@@ -1,0 +1,108 @@
+//! Microbenchmarks for the big-integer substrate: multiplication (including
+//! the Karatsuba crossover), Montgomery exponentiation, and prime
+//! generation — the primitives every protocol cost decomposes into.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppds_bigint::{modular, prime, random, BigUint};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+fn bench_mul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bigint_mul");
+    let mut r = rng(1);
+    // Around the Karatsuba threshold (24 limbs = 1536 bits) and the sizes
+    // Paillier actually multiplies (n of 1024-4096 bits).
+    for limbs in [8usize, 16, 24, 32, 64, 128] {
+        let a = random::gen_biguint_exact_bits(&mut r, limbs * 64);
+        let b = random::gen_biguint_exact_bits(&mut r, limbs * 64);
+        group.bench_with_input(BenchmarkId::from_parameter(limbs), &limbs, |bench, _| {
+            bench.iter(|| black_box(&a) * black_box(&b));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mod_pow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bigint_mod_pow");
+    group.sample_size(20);
+    let mut r = rng(2);
+    for bits in [256usize, 512, 1024, 2048] {
+        let mut modulus = random::gen_biguint_exact_bits(&mut r, bits);
+        modulus.set_bit(0, true);
+        let base = random::gen_biguint_below(&mut r, &modulus);
+        let exp = random::gen_biguint_exact_bits(&mut r, bits);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bench, _| {
+            bench.iter(|| modular::mod_pow(black_box(&base), black_box(&exp), &modulus));
+        });
+    }
+    group.finish();
+}
+
+fn bench_div_rem(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bigint_div_rem");
+    let mut r = rng(3);
+    for (ubits, vbits) in [(1024usize, 512usize), (2048, 1024), (4096, 2048)] {
+        let u = random::gen_biguint_exact_bits(&mut r, ubits);
+        let v = random::gen_biguint_exact_bits(&mut r, vbits);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{ubits}div{vbits}")),
+            &ubits,
+            |bench, _| {
+                bench.iter(|| black_box(&u).div_rem(black_box(&v)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_prime_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prime_gen");
+    group.sample_size(10);
+    for bits in [64usize, 128, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bench, &bits| {
+            let mut r = rng(4);
+            bench.iter(|| prime::gen_prime(&mut r, bits));
+        });
+    }
+    group.finish();
+}
+
+fn bench_miller_rabin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("miller_rabin_prime_input");
+    group.sample_size(20);
+    let mut r = rng(5);
+    for bits in [128usize, 256, 512] {
+        let p = prime::gen_prime(&mut r, bits);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bench, _| {
+            let mut r = rng(6);
+            bench.iter(|| prime::is_probable_prime(black_box(&p), 16, &mut r));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decimal_io(c: &mut Criterion) {
+    let mut r = rng(7);
+    let x = random::gen_biguint_exact_bits(&mut r, 2048);
+    let s = x.to_string();
+    c.bench_function("decimal_format_2048", |b| b.iter(|| black_box(&x).to_string()));
+    c.bench_function("decimal_parse_2048", |b| {
+        b.iter(|| s.parse::<BigUint>().unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mul,
+    bench_mod_pow,
+    bench_div_rem,
+    bench_prime_gen,
+    bench_miller_rabin,
+    bench_decimal_io
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Paillier cryptosystem costs by key size: key generation, encryption,
+//! both decryption paths (standard vs CRT), and the homomorphic operations
+//! the Multiplication Protocol is built from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppds_bigint::{random, BigUint};
+use ppds_paillier::Keypair;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+fn bench_keygen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paillier_keygen");
+    group.sample_size(10);
+    for bits in [256usize, 512, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bench, &bits| {
+            let mut r = rng(1);
+            bench.iter(|| Keypair::generate(bits, &mut r));
+        });
+    }
+    group.finish();
+}
+
+fn bench_encrypt_decrypt(c: &mut Criterion) {
+    for bits in [256usize, 512, 1024] {
+        let keypair = Keypair::generate(bits, &mut rng(2));
+        let mut r = rng(3);
+        let m = random::gen_biguint_below(&mut r, keypair.public.n());
+        let ct = keypair.public.encrypt(&m, &mut r).unwrap();
+
+        let mut group = c.benchmark_group(format!("paillier_{bits}"));
+        group.sample_size(20);
+        group.bench_function("encrypt", |b| {
+            let mut r = rng(4);
+            b.iter(|| keypair.public.encrypt(black_box(&m), &mut r).unwrap());
+        });
+        group.bench_function("decrypt_standard", |b| {
+            b.iter(|| keypair.private.decrypt(black_box(&ct)).unwrap());
+        });
+        group.bench_function("decrypt_crt", |b| {
+            b.iter(|| keypair.private.decrypt_crt(black_box(&ct)).unwrap());
+        });
+        group.finish();
+    }
+}
+
+fn bench_homomorphic_ops(c: &mut Criterion) {
+    let keypair = Keypair::generate(512, &mut rng(5));
+    let mut r = rng(6);
+    let c1 = keypair
+        .public
+        .encrypt(&BigUint::from_u64(1234), &mut r)
+        .unwrap();
+    let c2 = keypair
+        .public
+        .encrypt(&BigUint::from_u64(5678), &mut r)
+        .unwrap();
+    let scalar = BigUint::from_u64(999_983);
+
+    let mut group = c.benchmark_group("paillier_homomorphic_512");
+    group.bench_function("add", |b| {
+        b.iter(|| keypair.public.add(black_box(&c1), black_box(&c2)))
+    });
+    group.bench_function("mul_plain", |b| {
+        b.iter(|| keypair.public.mul_plain(black_box(&c1), black_box(&scalar)))
+    });
+    group.bench_function("negate", |b| {
+        b.iter(|| keypair.public.negate(black_box(&c1)))
+    });
+    group.bench_function("rerandomize", |b| {
+        let mut r = rng(7);
+        b.iter(|| keypair.public.rerandomize(black_box(&c1), &mut r))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_keygen, bench_encrypt_decrypt, bench_homomorphic_ops);
+criterion_main!(benches);

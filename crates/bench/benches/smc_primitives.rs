@@ -1,0 +1,256 @@
+//! SMC primitive costs: the Multiplication Protocol (single and dot
+//! product), Yao's millionaires by domain size, the Ideal comparator, and
+//! k-th-smallest selection — each including its real two-thread channel
+//! round trips.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppds_bigint::{BigInt, BigUint};
+use ppds_paillier::Keypair;
+use ppds_smc::compare::{compare_alice, compare_bob, CmpOp, Comparator, ComparisonDomain};
+use ppds_smc::kth::{kth_smallest_alice, kth_smallest_bob, SelectionMethod};
+use ppds_smc::multiplication::{dot_keyholder, dot_peer, mul_keyholder, mul_peer};
+use ppds_transport::duplex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::OnceLock;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+fn keypair() -> &'static Keypair {
+    static KP: OnceLock<Keypair> = OnceLock::new();
+    KP.get_or_init(|| Keypair::generate(256, &mut rng(0)))
+}
+
+fn bench_multiplication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mul_protocol_256");
+    group.sample_size(20);
+    group.bench_function("single", |b| {
+        b.iter(|| {
+            let (mut kchan, mut pchan) = duplex();
+            let handle = std::thread::spawn(move || {
+                let mut r = rng(1);
+                mul_keyholder(&mut kchan, keypair(), &BigInt::from_i64(37), &mut r).unwrap()
+            });
+            let mut r = rng(2);
+            mul_peer(
+                &mut pchan,
+                &keypair().public,
+                &BigInt::from_i64(53),
+                &BigUint::from_u64(1 << 30),
+                &mut r,
+            )
+            .unwrap();
+            handle.join().unwrap()
+        });
+    });
+    for m in [2usize, 8] {
+        group.bench_with_input(BenchmarkId::new("dot_product", m), &m, |b, &m| {
+            let xs: Vec<BigInt> = (0..m as i64).map(BigInt::from_i64).collect();
+            let ys: Vec<BigInt> = (0..m as i64).map(|v| BigInt::from_i64(v * 3)).collect();
+            b.iter(|| {
+                let (mut kchan, mut pchan) = duplex();
+                let xs2 = xs.clone();
+                let handle = std::thread::spawn(move || {
+                    let mut r = rng(3);
+                    dot_keyholder(&mut kchan, keypair(), &xs2, &mut r).unwrap()
+                });
+                let mut r = rng(4);
+                dot_peer(
+                    &mut pchan,
+                    &keypair().public,
+                    &ys,
+                    &BigUint::from_u64(1 << 30),
+                    &mut r,
+                )
+                .unwrap();
+                handle.join().unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_yao(c: &mut Criterion) {
+    let mut group = c.benchmark_group("yao_millionaires_256");
+    group.sample_size(10);
+    for n0 in [16i64, 64, 256] {
+        let domain = ComparisonDomain::new(1, n0 - 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n0), &n0, |b, _| {
+            b.iter(|| {
+                let (mut achan, mut bchan) = duplex();
+                let handle = std::thread::spawn(move || {
+                    let mut r = rng(5);
+                    compare_alice(
+                        Comparator::Yao,
+                        &mut achan,
+                        keypair(),
+                        2,
+                        CmpOp::Lt,
+                        &domain,
+                        &mut r,
+                    )
+                    .unwrap()
+                });
+                let mut r = rng(6);
+                compare_bob(
+                    Comparator::Yao,
+                    &mut bchan,
+                    &keypair().public,
+                    5,
+                    CmpOp::Lt,
+                    &domain,
+                    &mut r,
+                )
+                .unwrap();
+                handle.join().unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ideal_compare(c: &mut Criterion) {
+    let domain = ComparisonDomain::symmetric(1 << 30);
+    c.bench_function("ideal_compare", |b| {
+        b.iter(|| {
+            let (mut achan, mut bchan) = duplex();
+            let handle = std::thread::spawn(move || {
+                let mut r = rng(7);
+                compare_alice(
+                    Comparator::Ideal,
+                    &mut achan,
+                    keypair(),
+                    123,
+                    CmpOp::Leq,
+                    &domain,
+                    &mut r,
+                )
+                .unwrap()
+            });
+            let mut r = rng(8);
+            compare_bob(
+                Comparator::Ideal,
+                &mut bchan,
+                &keypair().public,
+                456,
+                CmpOp::Leq,
+                &domain,
+                &mut r,
+            )
+            .unwrap();
+            handle.join().unwrap()
+        });
+    });
+}
+
+fn bench_kth_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kth_selection_n32");
+    group.sample_size(10);
+    let n = 32usize;
+    let mut r = rng(9);
+    let dists: Vec<i64> = (0..n).map(|_| r.random_range(0..1000)).collect();
+    let vs: Vec<i64> = (0..n).map(|_| r.random_range(-500..500)).collect();
+    let us: Vec<i64> = dists.iter().zip(&vs).map(|(d, v)| d + v).collect();
+    let domain = ComparisonDomain::symmetric(4000);
+    for (label, method, k) in [
+        ("repmin_k1", SelectionMethod::RepeatedMin, 1usize),
+        ("repmin_k16", SelectionMethod::RepeatedMin, 16),
+        ("quickselect_k16", SelectionMethod::QuickSelect, 16),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let (mut achan, mut bchan) = duplex();
+                let us2 = us.clone();
+                let handle = std::thread::spawn(move || {
+                    let mut ar = rng(10);
+                    kth_smallest_alice(
+                        method,
+                        Comparator::Ideal,
+                        &mut achan,
+                        keypair(),
+                        &us2,
+                        k,
+                        &domain,
+                        &mut ar,
+                    )
+                    .unwrap()
+                });
+                let mut br = rng(11);
+                kth_smallest_bob(
+                    method,
+                    Comparator::Ideal,
+                    &mut bchan,
+                    &keypair().public,
+                    &vs,
+                    k,
+                    &domain,
+                    &mut br,
+                )
+                .unwrap();
+                handle.join().unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation (DESIGN.md): protocol HDP fuses its `m` Algorithm 2 runs into
+/// one message round trip. Same ciphertext count either way; the batched
+/// form saves `m - 1` round trips of framing and thread wakeups.
+fn bench_batching_ablation(c: &mut Criterion) {
+    use ppds_smc::multiplication::{mul_batch_keyholder, mul_batch_peer, zero_sum_masks};
+    let m = 4usize;
+    let xs: Vec<BigInt> = (0..m as i64).map(BigInt::from_i64).collect();
+    let ys: Vec<BigInt> = (0..m as i64).map(|v| BigInt::from_i64(v + 1)).collect();
+    let mut group = c.benchmark_group("mul_batching_m4");
+    group.sample_size(10);
+    group.bench_function("four_singles", |b| {
+        let xs = xs.clone();
+        let ys = ys.clone();
+        b.iter(|| {
+            let (mut kchan, mut pchan) = duplex();
+            let xs2 = xs.clone();
+            let handle = std::thread::spawn(move || {
+                let mut r = rng(20);
+                xs2.iter()
+                    .map(|x| mul_keyholder(&mut kchan, keypair(), x, &mut r).unwrap())
+                    .collect::<Vec<_>>()
+            });
+            let mut r = rng(21);
+            for y in &ys {
+                mul_peer(&mut pchan, &keypair().public, y, &BigUint::from_u64(1 << 20), &mut r)
+                    .unwrap();
+            }
+            handle.join().unwrap()
+        });
+    });
+    group.bench_function("one_batch", |b| {
+        let xs = xs.clone();
+        let ys = ys.clone();
+        b.iter(|| {
+            let (mut kchan, mut pchan) = duplex();
+            let xs2 = xs.clone();
+            let handle = std::thread::spawn(move || {
+                let mut r = rng(22);
+                mul_batch_keyholder(&mut kchan, keypair(), &xs2, &mut r).unwrap()
+            });
+            let mut r = rng(23);
+            let masks = zero_sum_masks(&mut r, ys.len(), &BigUint::from_u64(1 << 20));
+            mul_batch_peer(&mut pchan, &keypair().public, &ys, &masks, &mut r).unwrap();
+            handle.join().unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_multiplication,
+    bench_yao,
+    bench_ideal_compare,
+    bench_kth_selection,
+    bench_batching_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,625 @@
+//! Experiment regenerator: one sub-command per experiment in EXPERIMENTS.md
+//! (which records a full run of `all`). The paper has no empirical tables —
+//! its evaluation is the communication-complexity analyses of §4.2.2,
+//! §4.3.2, §5.1, the privacy theorems and the Figure 1 attack — so every
+//! experiment here measures one of those analytical claims.
+//!
+//! Usage: `cargo run -p ppds-bench --bin experiments --release -- [e1..e9|f1|all]`
+
+use ppdbscan::config::ProtocolConfig;
+use ppdbscan::driver::{
+    run_arbitrary_pair, run_enhanced_pair, run_horizontal_pair, run_vertical_pair,
+};
+use ppdbscan::{ArbitraryPartition, VerticalPartition};
+use ppds_bench::{blob_workload, fmt_bytes, print_header, print_row, rng};
+use ppds_bigint::{BigInt, BigUint};
+use ppds_dbscan::datagen::{cluster_in_ring, split_alternating, two_moons};
+use ppds_dbscan::{
+    dbscan, dbscan_with_external_density, eval, DbscanParams, Point, Quantizer,
+};
+use ppds_paillier::Keypair;
+use ppds_smc::compare::{compare_alice, compare_bob, CmpOp, Comparator, ComparisonDomain};
+use ppds_smc::kth::{kth_smallest_alice, kth_smallest_bob, SelectionMethod};
+use ppds_smc::millionaires;
+use ppds_smc::multiplication::{mul_keyholder, mul_peer};
+use ppds_transport::{duplex, Channel};
+use std::time::Instant;
+
+fn section(title: &str) {
+    println!("\n### {title}\n");
+}
+
+/// E1 — §4.2.2: horizontal protocol communication is
+/// `O(c1·m·l(n−l) + c2·n0·l(n−l))`.
+fn e1() {
+    section("E1  Horizontal protocol: communication vs n, m (§4.2.2)");
+    println!("Sweep n (m = 2, even split l = n/2):\n");
+    let widths = [4, 4, 6, 9, 12, 13, 14, 12];
+    print_header(
+        &widths,
+        &[
+            "n",
+            "l",
+            "pairs",
+            "queries",
+            "comparisons",
+            "wire bytes",
+            "modeled Yao",
+            "bytes/pair",
+        ],
+    );
+    for n in [12usize, 24, 36, 48] {
+        let w = blob_workload(n, 2, 1000 + n as u64);
+        let (a, b) = run_horizontal_pair(&w.cfg, &w.alice, &w.bob, rng(1), rng(2)).unwrap();
+        let queries = a.leakage.count_kind("neighbor_count")
+            + b.leakage.count_kind("neighbor_count");
+        let pairs = a.yao.comparisons; // = Σ queries × peer-size
+        print_row(
+            &widths,
+            &[
+                format!("{}", w.all.len()),
+                format!("{}", w.alice.len()),
+                format!("{pairs}"),
+                format!("{queries}"),
+                format!("{}", a.yao.comparisons),
+                fmt_bytes(a.traffic.total_bytes()),
+                fmt_bytes(a.yao.modeled_bytes),
+                format!("{}", a.traffic.total_bytes() / pairs.max(1)),
+            ],
+        );
+    }
+    println!("\nSweep m at n = 24 (ciphertext term `c1·m` isolated as wire-byte delta):\n");
+    let widths = [4, 12, 13, 18];
+    print_header(&widths, &["m", "comparisons", "wire bytes", "bytes/(pair*m)"]);
+    for m in [2usize, 4, 8] {
+        let w = blob_workload(24, m, 2000 + m as u64);
+        let (a, _) = run_horizontal_pair(&w.cfg, &w.alice, &w.bob, rng(3), rng(4)).unwrap();
+        print_row(
+            &widths,
+            &[
+                format!("{m}"),
+                format!("{}", a.yao.comparisons),
+                fmt_bytes(a.traffic.total_bytes()),
+                format!(
+                    "{:.1}",
+                    a.traffic.total_bytes() as f64 / (a.yao.comparisons.max(1) as f64 * m as f64)
+                ),
+            ],
+        );
+    }
+    println!("\nSweep coordinate bound C at n = 12, m = 2 (Yao domain n0 ∝ m·C²):\n");
+    let widths = [5, 9, 12, 16];
+    print_header(&widths, &["C", "n0", "modeled Yao", "modeled/cmp (B)"]);
+    // Fixed small points (within ±10), only the *agreed* bound C grows —
+    // the domain, and with it the faithful-Yao cost, scales as C².
+    let alice: Vec<Point> = (0..6).map(|i| Point::new(vec![i * 3 - 8, 2])).collect();
+    let bob: Vec<Point> = (0..6).map(|i| Point::new(vec![i * 3 - 7, -2])).collect();
+    for bound in [15i64, 30, 60, 120] {
+        let mut cfg = ProtocolConfig::new(
+            DbscanParams {
+                eps_sq: 81,
+                min_pts: 3,
+            },
+            bound,
+        );
+        cfg.key_bits = 256;
+        let domain = ppdbscan::domain::hdp_domain(&cfg, 2);
+        let (a, _) = run_horizontal_pair(&cfg, &alice, &bob, rng(5), rng(6)).unwrap();
+        print_row(
+            &widths,
+            &[
+                format!("{bound}"),
+                format!("{}", domain.n0()),
+                fmt_bytes(a.yao.modeled_bytes),
+                format!("{}", a.yao.modeled_bytes / a.yao.comparisons.max(1)),
+            ],
+        );
+    }
+}
+
+/// E2 — §4.3.2: vertical protocol communication is `O(c2·n0·n²)`.
+fn e2() {
+    section("E2  Vertical protocol: communication vs n (§4.3.2)");
+    let widths = [4, 9, 12, 14, 13, 14];
+    print_header(
+        &widths,
+        &["n", "queries", "comparisons", "cmp/n²", "wire bytes", "modeled Yao"],
+    );
+    for n in [9usize, 18, 27, 36] {
+        let w = blob_workload(n, 2, 4000 + n as u64);
+        let partition = VerticalPartition::split(&w.all, 1);
+        let (a, _) = run_vertical_pair(&w.cfg, &partition, rng(7), rng(8)).unwrap();
+        let n_actual = w.all.len();
+        print_row(
+            &widths,
+            &[
+                format!("{n_actual}"),
+                format!("{}", a.leakage.count_kind("neighbor_count")),
+                format!("{}", a.yao.comparisons),
+                format!(
+                    "{:.2}",
+                    a.yao.comparisons as f64 / (n_actual * n_actual) as f64
+                ),
+                fmt_bytes(a.traffic.total_bytes()),
+                fmt_bytes(a.yao.modeled_bytes),
+            ],
+        );
+    }
+    println!("\ncmp/n² stays ~constant: the §4.3.2 quadratic term, with the constant");
+    println!("equal to (region queries per point) ≈ 1 when most points join clusters.");
+}
+
+/// E3 — §5.1: enhanced protocol stays within the same asymptotic envelope;
+/// the constant-factor and mask-width (σ) trade-offs quantified.
+fn e3() {
+    section("E3  Basic vs enhanced protocol (§5.1) and the σ ablation");
+    let w = blob_workload(24, 2, 5000);
+    let (basic, _) = run_horizontal_pair(&w.cfg, &w.alice, &w.bob, rng(9), rng(10)).unwrap();
+    let widths = [22, 12, 13, 14];
+    print_header(
+        &widths,
+        &["protocol", "comparisons", "wire bytes", "modeled Yao"],
+    );
+    print_row(
+        &widths,
+        &[
+            "basic".into(),
+            format!("{}", basic.yao.comparisons),
+            fmt_bytes(basic.traffic.total_bytes()),
+            fmt_bytes(basic.yao.modeled_bytes),
+        ],
+    );
+    for (label, selection) in [
+        ("enhanced/repeated-min", SelectionMethod::RepeatedMin),
+        ("enhanced/quickselect", SelectionMethod::QuickSelect),
+    ] {
+        let mut cfg = w.cfg;
+        cfg.selection = selection;
+        let (enh, _) = run_enhanced_pair(&cfg, &w.alice, &w.bob, rng(11), rng(12)).unwrap();
+        assert_eq!(enh.clustering, basic.clustering, "same output required");
+        print_row(
+            &widths,
+            &[
+                label.into(),
+                format!("{}", enh.yao.comparisons),
+                fmt_bytes(enh.traffic.total_bytes()),
+                fmt_bytes(enh.yao.modeled_bytes),
+            ],
+        );
+    }
+    println!("\nMask-width ablation (enhanced, repeated-min): σ drives the share-");
+    println!("comparison domain and therefore the faithful-Yao model cost:\n");
+    let widths = [4, 14, 14];
+    print_header(&widths, &["σ", "share n0", "modeled Yao"]);
+    for mask_bits in [4u32, 8, 12, 16, 20] {
+        let mut cfg = w.cfg;
+        cfg.mask_bits = mask_bits;
+        let n0 = ppdbscan::domain::enhanced_share_domain(&cfg, 2).n0();
+        let (enh, _) = run_enhanced_pair(&cfg, &w.alice, &w.bob, rng(13), rng(14)).unwrap();
+        print_row(
+            &widths,
+            &[
+                format!("{mask_bits}"),
+                format!("{n0:.2e}"),
+                fmt_bytes(enh.yao.modeled_bytes),
+            ],
+        );
+    }
+}
+
+/// E4 — correctness contract: private runs vs plaintext references.
+fn e4() {
+    section("E4  Correctness: private protocols vs plaintext DBSCAN");
+    let quantizer = Quantizer::new(1.0, 60);
+    let (moons, _) = two_moons(&mut rng(20), 12, 30.0, 1.0, quantizer);
+    let (rings, _) = cluster_in_ring(&mut rng(21), 10, 14, 2.0, 25.0, 0.5, quantizer);
+    let blob = blob_workload(24, 2, 6000);
+    let workloads: Vec<(&str, Vec<Point>, DbscanParams)> = vec![
+        ("blobs", blob.all.clone(), blob.cfg.params),
+        (
+            "moons",
+            moons,
+            DbscanParams {
+                eps_sq: 81,
+                min_pts: 3,
+            },
+        ),
+        (
+            "rings",
+            rings,
+            DbscanParams {
+                eps_sq: 100,
+                min_pts: 3,
+            },
+        ),
+    ];
+    let widths = [7, 16, 17, 17, 21];
+    print_header(
+        &widths,
+        &[
+            "data",
+            "vertical==plain",
+            "arbitrary==plain",
+            "horiz==reference",
+            "horiz RI vs central",
+        ],
+    );
+    for (name, records, params) in workloads {
+        let cfg = ProtocolConfig::new(params, 60);
+        let reference = dbscan(&records, params);
+
+        let vp = VerticalPartition::split(&records, 1);
+        let (v, _) = run_vertical_pair(&cfg, &vp, rng(22), rng(23)).unwrap();
+
+        let ap = ArbitraryPartition::random(&mut rng(24), &records);
+        let (ar, _) = run_arbitrary_pair(&cfg, &ap, rng(25), rng(26)).unwrap();
+
+        let (alice_pts, bob_pts) = split_alternating(&records);
+        let (h, _) = run_horizontal_pair(&cfg, &alice_pts, &bob_pts, rng(27), rng(28)).unwrap();
+        let h_ref = dbscan_with_external_density(&alice_pts, &bob_pts, params);
+        let central_alice = ppds_dbscan::Clustering {
+            labels: dbscan(&records, params).labels[..]
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % 2 == 0)
+                .map(|(_, l)| *l)
+                .collect(),
+            num_clusters: reference.num_clusters,
+        };
+        print_row(
+            &widths,
+            &[
+                name.into(),
+                format!("{}", v.clustering == reference),
+                format!("{}", ar.clustering == reference),
+                format!("{}", h.clustering == h_ref),
+                format!("{:.4}", eval::rand_index(&h.clustering, &central_alice)),
+            ],
+        );
+    }
+    println!("\nThe horizontal protocol matches its own reference semantics exactly;");
+    println!("vs centralized DBSCAN it diverges only when clusters are bridged solely");
+    println!("by peer points (RI < 1 would flag that; dense splits give RI = 1).");
+}
+
+/// E5 — Theorem 9 vs 10 vs 11: measured leakage-event profiles.
+fn e5() {
+    section("E5  Leakage profiles (Theorems 9, 10, 11)");
+    let w = blob_workload(24, 2, 7000);
+    let (basic_a, basic_b) =
+        run_horizontal_pair(&w.cfg, &w.alice, &w.bob, rng(30), rng(31)).unwrap();
+    let (enh_a, enh_b) = run_enhanced_pair(&w.cfg, &w.alice, &w.bob, rng(32), rng(33)).unwrap();
+    let vp = VerticalPartition::split(&w.all, 1);
+    let (vert_a, _) = run_vertical_pair(&w.cfg, &vp, rng(34), rng(35)).unwrap();
+
+    let widths = [26, 15, 11, 13, 15];
+    print_header(
+        &widths,
+        &[
+            "run",
+            "neighbor_count",
+            "core_bit",
+            "own_matched",
+            "threshold_rank",
+        ],
+    );
+    for (name, log) in [
+        ("basic horizontal (Alice)", &basic_a.leakage),
+        ("basic horizontal (Bob)", &basic_b.leakage),
+        ("enhanced (Alice)", &enh_a.leakage),
+        ("enhanced (Bob)", &enh_b.leakage),
+        ("vertical (Alice)", &vert_a.leakage),
+    ] {
+        print_row(
+            &widths,
+            &[
+                name.into(),
+                format!("{}", log.count_kind("neighbor_count")),
+                format!("{}", log.count_kind("core_point_bit")),
+                format!("{}", log.count_kind("own_point_matched")),
+                format!("{}", log.count_kind("threshold_rank")),
+            ],
+        );
+    }
+    println!("\nTheorem 9: counts leak in the basic run. Theorem 11: the enhanced run");
+    println!("replaces every count with a single core bit. Theorem 10: the vertical");
+    println!("protocol's output itself is the neighborhood structure.");
+}
+
+/// E6 — §4.1: the Multiplication Protocol costs O(c1) per invocation.
+fn e6() {
+    section("E6  Multiplication Protocol cost vs key size (§4.1)");
+    let widths = [9, 12, 14, 12];
+    print_header(&widths, &["key bits", "bytes/call", "time/call", "keygen"]);
+    for key_bits in [128usize, 256, 512, 1024] {
+        let t0 = Instant::now();
+        let keypair = Keypair::generate(key_bits, &mut rng(40));
+        let keygen = t0.elapsed();
+        let reps = 20;
+        let (mut kchan, mut pchan) = duplex();
+        let kp = keypair.clone();
+        let handle = std::thread::spawn(move || {
+            let mut r = rng(41);
+            for i in 0..reps {
+                let _ =
+                    mul_keyholder(&mut kchan, &kp, &BigInt::from_i64(37 + i), &mut r).unwrap();
+            }
+            kchan.metrics()
+        });
+        let mut r = rng(42);
+        let t0 = Instant::now();
+        for i in 0..reps {
+            mul_peer(
+                &mut pchan,
+                &keypair.public,
+                &BigInt::from_i64(53 + i),
+                &BigUint::from_u64(1 << 30),
+                &mut r,
+            )
+            .unwrap();
+        }
+        let per_call = t0.elapsed() / reps as u32;
+        let metrics = handle.join().unwrap();
+        print_row(
+            &widths,
+            &[
+                format!("{key_bits}"),
+                format!("{}", metrics.total_bytes() / reps as u64),
+                format!("{per_call:.2?}"),
+                format!("{keygen:.2?}"),
+            ],
+        );
+    }
+    println!("\nBytes/call = 2 ciphertexts ≈ 4·(key bits)/8: the O(c1) claim, with");
+    println!("c1 the ciphertext width. Time is dominated by the Paillier decryption.");
+}
+
+/// E7 — §3.8: YMPP costs O(c2·n0) bits and O(n0) decryptions.
+fn e7() {
+    section("E7  Yao's Millionaires' Protocol cost vs domain size n0 (§3.8)");
+    let keypair = Keypair::generate(256, &mut rng(50));
+    let widths = [6, 13, 13, 12, 13];
+    print_header(
+        &widths,
+        &["n0", "measured B", "modeled B", "time", "decryptions"],
+    );
+    for n0 in [16u64, 64, 256, 1024] {
+        let domain = ComparisonDomain::new(1, n0 as i64 - 1);
+        assert_eq!(domain.n0(), n0);
+        let (mut achan, mut bchan) = duplex();
+        let kp = keypair.clone();
+        let handle = std::thread::spawn(move || {
+            let mut r = rng(51);
+            compare_alice(
+                Comparator::Yao,
+                &mut achan,
+                &kp,
+                2,
+                CmpOp::Lt,
+                &domain,
+                &mut r,
+            )
+            .unwrap();
+            achan.metrics()
+        });
+        let mut r = rng(52);
+        let t0 = Instant::now();
+        compare_bob(
+            Comparator::Yao,
+            &mut bchan,
+            &keypair.public,
+            5.min(n0 as i64 - 2),
+            CmpOp::Lt,
+            &domain,
+            &mut r,
+        )
+        .unwrap();
+        let elapsed = t0.elapsed();
+        let metrics = handle.join().unwrap();
+        let (m1, m2, m3) = millionaires::modeled_message_sizes(256, n0);
+        print_row(
+            &widths,
+            &[
+                format!("{n0}"),
+                format!("{}", metrics.total_bytes()),
+                format!("{}", m1 + m2 + m3 + 12),
+                format!("{elapsed:.2?}"),
+                format!("{n0}"),
+            ],
+        );
+    }
+    println!("\nMeasured bytes track the model within BigUint minimal-length noise;");
+    println!("both scale linearly in n0 — the c2·n0 term of every complexity bound.");
+}
+
+/// E8 — §5's two selection algorithms: O(kn) repeated-min vs expected-O(n)
+/// quickselect.
+fn e8() {
+    section("E8  k-th smallest selection: repeated-min vs quickselect (§5)");
+    let keypair = Keypair::generate(64, &mut rng(60));
+    let widths = [5, 5, 15, 14];
+    print_header(&widths, &["n", "k", "repeated-min", "quickselect"]);
+    for n in [16usize, 32, 64] {
+        for k in [1usize, 4, n / 2, n - 1] {
+            let mut counts = Vec::new();
+            for method in [SelectionMethod::RepeatedMin, SelectionMethod::QuickSelect] {
+                let mut r = rng(61);
+                use rand::Rng as _;
+                let dists: Vec<i64> = (0..n).map(|_| r.random_range(0..1000)).collect();
+                let vs: Vec<i64> = (0..n).map(|_| r.random_range(-500..500)).collect();
+                let us: Vec<i64> = dists.iter().zip(&vs).map(|(d, v)| d + v).collect();
+                let domain = ComparisonDomain::symmetric(4000);
+                let (mut achan, mut bchan) = duplex();
+                let kp = keypair.clone();
+                let handle = std::thread::spawn(move || {
+                    let mut ar = rng(62);
+                    kth_smallest_alice(
+                        method,
+                        Comparator::Ideal,
+                        &mut achan,
+                        &kp,
+                        &us,
+                        k,
+                        &domain,
+                        &mut ar,
+                    )
+                    .unwrap()
+                });
+                let mut br = rng(63);
+                let outcome = kth_smallest_bob(
+                    method,
+                    Comparator::Ideal,
+                    &mut bchan,
+                    &keypair.public,
+                    &vs,
+                    k,
+                    &domain,
+                    &mut br,
+                )
+                .unwrap();
+                let _ = handle.join().unwrap();
+                counts.push(outcome.comparisons);
+            }
+            print_row(
+                &widths,
+                &[
+                    format!("{n}"),
+                    format!("{k}"),
+                    format!("{}", counts[0]),
+                    format!("{}", counts[1]),
+                ],
+            );
+        }
+    }
+    println!("\nRepeated-min grows with k (O(kn)); quickselect stays near-linear in n.");
+    println!("Crossover sits at small k — matching §5's \"good for small k\" guidance.");
+}
+
+/// E9 — the multi-party extension (paper §6 future work): per-party cost
+/// as the number of parties grows at fixed total data size.
+fn e9() {
+    use ppdbscan::multiparty::run_multiparty_horizontal;
+    section("E9  Multi-party extension: per-party cost vs K (total n fixed)");
+    let widths = [4, 8, 13, 14, 13];
+    print_header(
+        &widths,
+        &["K", "n/party", "wire/party", "comparisons", "counts seen"],
+    );
+    let total = 24usize;
+    for k in [2usize, 3, 4, 6] {
+        let w = blob_workload(total, 2, 8000);
+        // Deal the same points round-robin to K parties.
+        let mut parties: Vec<Vec<Point>> = vec![Vec::new(); k];
+        for (i, p) in w.all.iter().enumerate() {
+            parties[i % k].push(p.clone());
+        }
+        let outputs = run_multiparty_horizontal(&w.cfg, &parties, 42).unwrap();
+        let avg_bytes: u64 =
+            outputs.iter().map(|o| o.traffic.total_bytes()).sum::<u64>() / k as u64;
+        let avg_cmp: u64 = outputs.iter().map(|o| o.yao.comparisons).sum::<u64>() / k as u64;
+        let avg_counts: usize = outputs
+            .iter()
+            .map(|o| o.leakage.count_kind("neighbor_count"))
+            .sum::<usize>()
+            / k;
+        print_row(
+            &widths,
+            &[
+                format!("{k}"),
+                format!("{}", parties[0].len()),
+                fmt_bytes(avg_bytes),
+                format!("{avg_cmp}"),
+                format!("{avg_counts}"),
+            ],
+        );
+    }
+    println!("\nPer-party pair work is (n/K)·(n − n/K): it falls as K grows (each");
+    println!("party queries fewer own points), while the leakage grows finer-grained");
+    println!("(K−1 separate counts per query) — the trade the module docs discuss.");
+}
+
+/// F1 — the Figure 1 neighborhood-intersection attack, *executed* against
+/// the implemented Kumar et al. \[14\] baseline and compared with the honest
+/// protocol's unlinkable leakage.
+fn f1() {
+    use ppdbscan::kumar::{intersection_attack, run_kumar_pair, unlinkable_feasible_region};
+    section("F1  Figure 1: the intersection attack, executed on real transcripts");
+    let bob_points = vec![
+        Point::new(vec![0, 0]),
+        Point::new(vec![16, 0]),
+        Point::new(vec![8, 14]),
+    ];
+    let alice_points = vec![Point::new(vec![8, 5])];
+    let bound = 40i64;
+    let widths = [5, 17, 15, 11];
+    print_header(
+        &widths,
+        &["Eps", "Kumar localized", "honest (union)", "ratio"],
+    );
+    for eps in [10i64, 12, 14, 18] {
+        let eps_sq = (eps * eps) as u64;
+        let cfg = ProtocolConfig::new(
+            DbscanParams {
+                eps_sq,
+                min_pts: 5,
+            },
+            64,
+        );
+        let (_, kumar_bob) =
+            run_kumar_pair(&cfg, &alice_points, &bob_points, rng(70), rng(71)).unwrap();
+        let localized = intersection_attack(&bob_points, &kumar_bob.leakage, eps_sq, bound)[&0];
+        let union = unlinkable_feasible_region(&bob_points, eps_sq, bound);
+        print_row(
+            &widths,
+            &[
+                format!("{eps}"),
+                format!("{localized}"),
+                format!("{union}"),
+                if localized == 0 {
+                    "∞".to_string()
+                } else {
+                    format!("{:.0}x", union as f64 / localized as f64)
+                },
+            ],
+        );
+    }
+    println!("\nThe \"Kumar localized\" column replays the attack on the baseline");
+    println!("protocol's actual transcript (linked neighbor bits); \"honest\" is the");
+    println!("best the same adversary achieves against the permuted protocol.");
+    println!("See `cargo run --release --example figure1_attack` for the full demo.");
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let t0 = Instant::now();
+    println!("# Privacy-preserving distributed DBSCAN — experiment run");
+    match arg.as_str() {
+        "e1" => e1(),
+        "e2" => e2(),
+        "e3" => e3(),
+        "e4" => e4(),
+        "e5" => e5(),
+        "e6" => e6(),
+        "e7" => e7(),
+        "e8" => e8(),
+        "e9" => e9(),
+        "f1" => f1(),
+        "all" => {
+            e1();
+            e2();
+            e3();
+            e4();
+            e5();
+            e6();
+            e7();
+            e8();
+            e9();
+            f1();
+        }
+        other => {
+            eprintln!("unknown experiment {other}; use e1..e9, f1 or all");
+            std::process::exit(2);
+        }
+    }
+    println!("\n(total runtime {:.1?})", t0.elapsed());
+}

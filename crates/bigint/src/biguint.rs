@@ -1,0 +1,565 @@
+//! The unsigned big integer type and its core (non-multiplicative) operations:
+//! construction, conversion, comparison, addition, subtraction, shifts and
+//! bit access.
+
+use std::cmp::Ordering;
+use std::ops::{Add, AddAssign, Shl, Shr, Sub, SubAssign};
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Stored as little-endian 64-bit limbs with the invariant that the highest
+/// limb is non-zero; zero is represented by an empty limb vector. All
+/// constructors and operations normalize their results.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    pub(crate) limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value `0`.
+    pub const fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Builds a value from a single `u64`.
+    pub fn from_u64(value: u64) -> Self {
+        if value == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![value] }
+        }
+    }
+
+    /// Builds a value from a `u128`.
+    pub fn from_u128(value: u128) -> Self {
+        let lo = value as u64;
+        let hi = (value >> 64) as u64;
+        if hi != 0 {
+            BigUint { limbs: vec![lo, hi] }
+        } else {
+            Self::from_u64(lo)
+        }
+    }
+
+    /// Builds a value from little-endian limbs, dropping trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Builds a value from little-endian bytes.
+    pub fn from_bytes_le(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(8));
+        for chunk in bytes.chunks(8) {
+            let mut limb = [0u8; 8];
+            limb[..chunk.len()].copy_from_slice(chunk);
+            limbs.push(u64::from_le_bytes(limb));
+        }
+        Self::from_limbs(limbs)
+    }
+
+    /// Builds a value from big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut le: Vec<u8> = bytes.to_vec();
+        le.reverse();
+        Self::from_bytes_le(&le)
+    }
+
+    /// Serializes to little-endian bytes without trailing zero bytes
+    /// (zero serializes to an empty vector).
+    pub fn to_bytes_le(&self) -> Vec<u8> {
+        let mut bytes: Vec<u8> = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in &self.limbs {
+            bytes.extend_from_slice(&limb.to_le_bytes());
+        }
+        while bytes.last() == Some(&0) {
+            bytes.pop();
+        }
+        bytes
+    }
+
+    /// Serializes to big-endian bytes without leading zero bytes.
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        let mut bytes = self.to_bytes_le();
+        bytes.reverse();
+        bytes
+    }
+
+    /// The little-endian limb slice (no trailing zero limbs).
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// `true` iff the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// `true` iff the value is even (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// `true` iff the value is odd.
+    pub fn is_odd(&self) -> bool {
+        !self.is_even()
+    }
+
+    /// Number of bits in the minimal binary representation (`0` for zero).
+    pub fn bit_length(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Value of bit `i` (bit 0 is the least significant). Out-of-range bits
+    /// read as `false`.
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        match self.limbs.get(limb) {
+            Some(l) => (l >> (i % 64)) & 1 == 1,
+            None => false,
+        }
+    }
+
+    /// Sets bit `i` to `value`, growing the representation as needed.
+    pub fn set_bit(&mut self, i: usize, value: bool) {
+        let limb = i / 64;
+        if value {
+            if limb >= self.limbs.len() {
+                self.limbs.resize(limb + 1, 0);
+            }
+            self.limbs[limb] |= 1u64 << (i % 64);
+        } else if limb < self.limbs.len() {
+            self.limbs[limb] &= !(1u64 << (i % 64));
+            self.normalize();
+        }
+    }
+
+    /// Number of trailing zero bits, or `None` for zero.
+    pub fn trailing_zeros(&self) -> Option<usize> {
+        for (i, &limb) in self.limbs.iter().enumerate() {
+            if limb != 0 {
+                return Some(i * 64 + limb.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+            _ => None,
+        }
+    }
+
+    /// Converts to `f64` (may lose precision; saturates to infinity for
+    /// astronomically large values). Used only for reporting, never for
+    /// protocol arithmetic.
+    pub fn to_f64_lossy(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for &limb in self.limbs.iter().rev() {
+            acc = acc * 1.8446744073709552e19 + limb as f64;
+        }
+        acc
+    }
+
+    /// Drops trailing zero limbs to restore the representation invariant.
+    pub(crate) fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self - other`, or `None` if the result would be negative.
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if self < other {
+            return None;
+        }
+        let mut limbs = self.limbs.clone();
+        sub_in_place(&mut limbs, &other.limbs);
+        Some(BigUint::from_limbs(limbs))
+    }
+
+    /// `(self + other) mod modulus`, assuming both inputs are `< modulus`.
+    pub fn add_mod(&self, other: &BigUint, modulus: &BigUint) -> BigUint {
+        debug_assert!(self < modulus && other < modulus);
+        let sum = self + other;
+        if &sum >= modulus {
+            sum.checked_sub(modulus).expect("sum >= modulus")
+        } else {
+            sum
+        }
+    }
+
+    /// `(self - other) mod modulus`, assuming both inputs are `< modulus`.
+    pub fn sub_mod(&self, other: &BigUint, modulus: &BigUint) -> BigUint {
+        debug_assert!(self < modulus && other < modulus);
+        if self >= other {
+            self.checked_sub(other).expect("self >= other")
+        } else {
+            (self + modulus).checked_sub(other).expect("lifted")
+        }
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        cmp_limbs(&self.limbs, &other.limbs)
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Lexicographic-from-the-top comparison of normalized limb slices.
+pub(crate) fn cmp_limbs(a: &[u64], b: &[u64]) -> Ordering {
+    if a.len() != b.len() {
+        return a.len().cmp(&b.len());
+    }
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        match x.cmp(y) {
+            Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+/// `acc += rhs` on raw limb vectors, growing `acc` as needed.
+pub(crate) fn add_in_place(acc: &mut Vec<u64>, rhs: &[u64]) {
+    if acc.len() < rhs.len() {
+        acc.resize(rhs.len(), 0);
+    }
+    let mut carry = 0u64;
+    for (i, &r) in rhs.iter().enumerate() {
+        let sum = acc[i] as u128 + r as u128 + carry as u128;
+        acc[i] = sum as u64;
+        carry = (sum >> 64) as u64;
+    }
+    let mut i = rhs.len();
+    while carry != 0 {
+        if i == acc.len() {
+            acc.push(carry);
+            break;
+        }
+        let sum = acc[i] as u128 + carry as u128;
+        acc[i] = sum as u64;
+        carry = (sum >> 64) as u64;
+        i += 1;
+    }
+}
+
+/// `acc -= rhs` on raw limb vectors; the caller guarantees `acc >= rhs`.
+#[allow(clippy::needless_range_loop)] // early-exit borrow propagation needs the index
+pub(crate) fn sub_in_place(acc: &mut [u64], rhs: &[u64]) {
+    debug_assert!(cmp_limbs_prefix(acc, rhs) != Ordering::Less);
+    let mut borrow = 0u64;
+    for i in 0..acc.len() {
+        let r = rhs.get(i).copied().unwrap_or(0);
+        let (d, b1) = acc[i].overflowing_sub(r);
+        let (d, b2) = d.overflowing_sub(borrow);
+        acc[i] = d;
+        borrow = (b1 as u64) + (b2 as u64);
+        if borrow == 0 && i >= rhs.len() {
+            break;
+        }
+    }
+    debug_assert_eq!(borrow, 0, "subtraction underflow");
+}
+
+fn cmp_limbs_prefix(a: &[u64], b: &[u64]) -> Ordering {
+    // Like cmp_limbs but tolerates non-normalized slices.
+    let alen = a.iter().rposition(|&l| l != 0).map_or(0, |p| p + 1);
+    let blen = b.iter().rposition(|&l| l != 0).map_or(0, |p| p + 1);
+    cmp_limbs(&a[..alen], &b[..blen])
+}
+
+impl Add<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        let mut limbs = self.limbs.clone();
+        add_in_place(&mut limbs, &rhs.limbs);
+        BigUint::from_limbs(limbs)
+    }
+}
+
+impl Add<u64> for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: u64) -> BigUint {
+        let mut limbs = self.limbs.clone();
+        add_in_place(&mut limbs, &[rhs]);
+        BigUint::from_limbs(limbs)
+    }
+}
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        add_in_place(&mut self.limbs, &rhs.limbs);
+    }
+}
+
+impl Sub<&BigUint> for &BigUint {
+    type Output = BigUint;
+    /// Panics if the result would be negative; use [`BigUint::checked_sub`]
+    /// when underflow is possible.
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs)
+            .expect("BigUint subtraction underflow")
+    }
+}
+
+impl SubAssign<&BigUint> for BigUint {
+    fn sub_assign(&mut self, rhs: &BigUint) {
+        assert!(&*self >= rhs, "BigUint subtraction underflow");
+        sub_in_place(&mut self.limbs, &rhs.limbs);
+        self.normalize();
+    }
+}
+
+impl Shl<usize> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, shift: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = shift / 64;
+        let bit_shift = shift % 64;
+        let mut limbs = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        BigUint::from_limbs(limbs)
+    }
+}
+
+impl Shr<usize> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, shift: usize) -> BigUint {
+        let limb_shift = shift / 64;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = shift % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut limbs = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            limbs.extend_from_slice(src);
+        } else {
+            for (i, &l) in src.iter().enumerate() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                limbs.push((l >> bit_shift) | (hi << (64 - bit_shift)));
+            }
+        }
+        BigUint::from_limbs(limbs)
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(value: u64) -> Self {
+        Self::from_u64(value)
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(value: u128) -> Self {
+        Self::from_u128(value)
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(value: u32) -> Self {
+        Self::from_u64(value as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn zero_is_normalized_empty() {
+        assert!(BigUint::zero().limbs.is_empty());
+        assert!(BigUint::from_u64(0).limbs.is_empty());
+        assert!(BigUint::from_limbs(vec![0, 0, 0]).limbs.is_empty());
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::zero().is_even());
+        assert!(!BigUint::zero().is_odd());
+    }
+
+    #[test]
+    fn from_limbs_drops_trailing_zeros() {
+        let x = BigUint::from_limbs(vec![5, 0, 0]);
+        assert_eq!(x.limbs(), &[5]);
+    }
+
+    #[test]
+    fn add_with_carry_propagation() {
+        let x = BigUint::from_limbs(vec![u64::MAX, u64::MAX]);
+        let y = BigUint::one();
+        let sum = &x + &y;
+        assert_eq!(sum.limbs(), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn add_u64_scalar() {
+        assert_eq!(&b(41) + 1, b(42));
+        let x = BigUint::from_limbs(vec![u64::MAX]);
+        assert_eq!((&x + 1).limbs(), &[0, 1]);
+    }
+
+    #[test]
+    fn sub_basics_and_underflow() {
+        assert_eq!(&b(100) - &b(58), b(42));
+        assert_eq!(&b(7) - &b(7), BigUint::zero());
+        assert!(b(3).checked_sub(&b(4)).is_none());
+        let x = BigUint::from_limbs(vec![0, 1]); // 2^64
+        assert_eq!(&x - &b(1), b(u64::MAX as u128));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_panics_on_underflow() {
+        let _ = &b(1) - &b(2);
+    }
+
+    #[test]
+    fn comparison_ordering() {
+        assert!(b(0) < b(1));
+        assert!(b(u64::MAX as u128) < b(u64::MAX as u128 + 1));
+        assert_eq!(b(12345), b(12345));
+        let big = BigUint::from_limbs(vec![0, 0, 1]);
+        let small = BigUint::from_limbs(vec![u64::MAX, u64::MAX]);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn bit_length_and_bits() {
+        assert_eq!(BigUint::zero().bit_length(), 0);
+        assert_eq!(b(1).bit_length(), 1);
+        assert_eq!(b(255).bit_length(), 8);
+        assert_eq!(b(256).bit_length(), 9);
+        assert_eq!(b(1 << 70).bit_length(), 71);
+        assert!(b(5).bit(0));
+        assert!(!b(5).bit(1));
+        assert!(b(5).bit(2));
+        assert!(!b(5).bit(200));
+    }
+
+    #[test]
+    fn set_bit_grows_and_shrinks() {
+        let mut x = BigUint::zero();
+        x.set_bit(130, true);
+        assert_eq!(x.bit_length(), 131);
+        x.set_bit(130, false);
+        assert!(x.is_zero());
+    }
+
+    #[test]
+    fn trailing_zeros() {
+        assert_eq!(BigUint::zero().trailing_zeros(), None);
+        assert_eq!(b(1).trailing_zeros(), Some(0));
+        assert_eq!(b(8).trailing_zeros(), Some(3));
+        assert_eq!((&b(1) << 130usize).trailing_zeros(), Some(130));
+    }
+
+    #[test]
+    fn shifts_roundtrip() {
+        let x = b(0xDEAD_BEEF_CAFE_BABE);
+        for shift in [0usize, 1, 13, 63, 64, 65, 127, 128, 200] {
+            let up = &x << shift;
+            assert_eq!(&up >> shift, x, "shift {shift}");
+        }
+        assert_eq!(&b(1) << 64usize, BigUint::from_limbs(vec![0, 1]));
+        assert_eq!(&b(3) >> 1usize, b(1));
+        assert_eq!(&b(3) >> 200usize, BigUint::zero());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let cases = [
+            vec![],
+            vec![1],
+            vec![0xff; 9],
+            vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+        ];
+        for case in cases {
+            let x = BigUint::from_bytes_le(&case);
+            let mut expect = case.clone();
+            while expect.last() == Some(&0) {
+                expect.pop();
+            }
+            assert_eq!(x.to_bytes_le(), expect);
+        }
+        let be = BigUint::from_bytes_be(&[0x12, 0x34]);
+        assert_eq!(be, b(0x1234));
+        assert_eq!(be.to_bytes_be(), vec![0x12, 0x34]);
+    }
+
+    #[test]
+    fn u128_roundtrip() {
+        for v in [0u128, 1, u64::MAX as u128, u64::MAX as u128 + 1, u128::MAX] {
+            assert_eq!(BigUint::from_u128(v).to_u128(), Some(v));
+        }
+        let too_big = BigUint::from_limbs(vec![0, 0, 1]);
+        assert_eq!(too_big.to_u128(), None);
+        assert_eq!(too_big.to_u64(), None);
+    }
+
+    #[test]
+    fn add_mod_sub_mod() {
+        let m = b(97);
+        assert_eq!(b(50).add_mod(&b(60), &m), b(13));
+        assert_eq!(b(50).add_mod(&b(40), &m), b(90));
+        assert_eq!(b(10).sub_mod(&b(20), &m), b(87));
+        assert_eq!(b(20).sub_mod(&b(10), &m), b(10));
+    }
+
+    #[test]
+    fn to_f64_lossy_small_values_exact() {
+        assert_eq!(b(0).to_f64_lossy(), 0.0);
+        assert_eq!(b(42).to_f64_lossy(), 42.0);
+        assert_eq!(b(1 << 52).to_f64_lossy(), (1u64 << 52) as f64);
+    }
+}

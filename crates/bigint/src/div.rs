@@ -1,0 +1,244 @@
+//! Division and remainder: single-limb fast path plus Knuth's Algorithm D
+//! (TAOCP vol. 2, §4.3.1) for multi-limb divisors.
+
+use crate::biguint::BigUint;
+use std::ops::{Div, Rem};
+
+impl BigUint {
+    /// Computes `(self / divisor, self % divisor)`.
+    ///
+    /// # Panics
+    /// Panics on division by zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "BigUint division by zero");
+        if self < divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = div_rem_single(&self.limbs, divisor.limbs[0]);
+            return (BigUint::from_limbs(q), BigUint::from_u64(r));
+        }
+        div_rem_knuth(self, divisor)
+    }
+
+    /// `self % divisor` as a `u64` for a single-limb divisor (fast path used
+    /// by trial division in primality testing).
+    pub fn rem_u64(&self, divisor: u64) -> u64 {
+        assert!(divisor != 0, "BigUint division by zero");
+        let mut rem = 0u64;
+        for &limb in self.limbs.iter().rev() {
+            let acc = ((rem as u128) << 64) | limb as u128;
+            rem = (acc % divisor as u128) as u64;
+        }
+        rem
+    }
+}
+
+/// Divides a limb vector by a single limb, returning quotient limbs and the
+/// remainder.
+fn div_rem_single(limbs: &[u64], divisor: u64) -> (Vec<u64>, u64) {
+    let mut quotient = vec![0u64; limbs.len()];
+    let mut rem = 0u64;
+    for i in (0..limbs.len()).rev() {
+        let acc = ((rem as u128) << 64) | limbs[i] as u128;
+        quotient[i] = (acc / divisor as u128) as u64;
+        rem = (acc % divisor as u128) as u64;
+    }
+    (quotient, rem)
+}
+
+/// Knuth Algorithm D for divisors of at least two limbs.
+fn div_rem_knuth(u: &BigUint, v: &BigUint) -> (BigUint, BigUint) {
+    let n = v.limbs.len();
+    debug_assert!(n >= 2);
+    debug_assert!(u >= v);
+
+    // D1: normalize so the divisor's top limb has its high bit set.
+    let shift = v.limbs[n - 1].leading_zeros() as usize;
+    let vn = (v << shift).limbs;
+    debug_assert_eq!(vn.len(), n);
+    let mut un = (u << shift).limbs;
+    un.push(0); // always keep one extra high limb for the subtraction step
+    let m = un.len() - 1 - n; // quotient has m + 1 limbs
+    let mut q = vec![0u64; m + 1];
+
+    let v_top = vn[n - 1] as u128;
+    let v_next = vn[n - 2] as u128;
+
+    // D2–D7: main loop over quotient digits, most significant first.
+    for j in (0..=m).rev() {
+        // D3: estimate q̂ from the top two limbs of the current remainder.
+        let numerator = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+        let mut qhat = numerator / v_top;
+        let mut rhat = numerator % v_top;
+        while qhat >= 1u128 << 64
+            || qhat * v_next > ((rhat << 64) | un[j + n - 2] as u128)
+        {
+            qhat -= 1;
+            rhat += v_top;
+            if rhat >= 1u128 << 64 {
+                break;
+            }
+        }
+
+        // D4: multiply-and-subtract un[j..=j+n] -= q̂ · v.
+        let mut mul_carry = 0u128;
+        let mut borrow = 0u64;
+        for i in 0..n {
+            let p = qhat * vn[i] as u128 + mul_carry;
+            mul_carry = p >> 64;
+            let (d, b1) = un[i + j].overflowing_sub(p as u64);
+            let (d, b2) = d.overflowing_sub(borrow);
+            un[i + j] = d;
+            borrow = b1 as u64 + b2 as u64;
+        }
+        let (d, b1) = un[j + n].overflowing_sub(mul_carry as u64);
+        let (d, b2) = d.overflowing_sub(borrow);
+        un[j + n] = d;
+
+        // D5/D6: q̂ was one too large at most once (Knuth Thm. 4.3.1B);
+        // detect the underflow and add the divisor back.
+        if b1 || b2 {
+            debug_assert!(!(b1 && b2), "double borrow cannot occur");
+            qhat -= 1;
+            let mut carry = 0u64;
+            for i in 0..n {
+                let sum = un[i + j] as u128 + vn[i] as u128 + carry as u128;
+                un[i + j] = sum as u64;
+                carry = (sum >> 64) as u64;
+            }
+            un[j + n] = un[j + n].wrapping_add(carry);
+        }
+        q[j] = qhat as u64;
+    }
+
+    // D8: denormalize the remainder.
+    let rem = BigUint::from_limbs(un[..n].to_vec());
+    (BigUint::from_limbs(q), &rem >> shift)
+}
+
+impl Div<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn div(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::gen_biguint_bits;
+    use crate::test_helpers::rng;
+
+    fn b(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn small_division() {
+        assert_eq!(b(42).div_rem(&b(7)), (b(6), b(0)));
+        assert_eq!(b(43).div_rem(&b(7)), (b(6), b(1)));
+        assert_eq!(b(6).div_rem(&b(7)), (b(0), b(6)));
+        assert_eq!(b(0).div_rem(&b(7)), (b(0), b(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = b(1).div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn rem_u64_by_zero_panics() {
+        let _ = b(1).rem_u64(0);
+    }
+
+    #[test]
+    fn u128_cases_match_native() {
+        let cases = [
+            (u128::MAX, 3u128),
+            (u128::MAX, u64::MAX as u128),
+            (u128::MAX, u64::MAX as u128 + 1),
+            (u128::MAX - 1, u128::MAX),
+            (1 << 127, (1 << 64) + 12345),
+            (0xDEAD_BEEF_0000_0000_0000_0001, 0xFFFF_FFFF_FFFF),
+        ];
+        for (x, y) in cases {
+            let (q, r) = b(x).div_rem(&b(y));
+            assert_eq!(q, b(x / y), "{x} / {y}");
+            assert_eq!(r, b(x % y), "{x} % {y}");
+        }
+    }
+
+    #[test]
+    fn rem_u64_matches_div_rem() {
+        let mut r = rng(11);
+        for bits in [1usize, 64, 190, 1024] {
+            let x = gen_biguint_bits(&mut r, bits);
+            for d in [1u64, 2, 3, 10, 97, u64::MAX] {
+                assert_eq!(
+                    x.rem_u64(d),
+                    (&x % &BigUint::from_u64(d)).to_u64().unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn knuth_reconstruction_random() {
+        let mut r = rng(99);
+        for (ubits, vbits) in [
+            (512usize, 128usize),
+            (2048, 1024),
+            (300, 299),
+            (1024, 1024),
+            (4096, 130),
+        ] {
+            for _ in 0..10 {
+                let u = gen_biguint_bits(&mut r, ubits);
+                let v = gen_biguint_bits(&mut r, vbits);
+                if v.is_zero() {
+                    continue;
+                }
+                let (q, rem) = u.div_rem(&v);
+                assert!(rem < v, "remainder must be < divisor");
+                assert_eq!(&(&q * &v) + &rem, u, "u = q*v + r");
+            }
+        }
+    }
+
+    #[test]
+    fn division_triggering_add_back() {
+        // Exercises the rare D6 add-back: u chosen so the first q̂ estimate
+        // overshoots. Classic adversarial pattern: v = B^2/2 + 1 style values.
+        let v = BigUint::from_limbs(vec![1, 1u64 << 63]);
+        let u = BigUint::from_limbs(vec![0, 0, 1u64 << 63]);
+        let (q, r) = u.div_rem(&v);
+        assert_eq!(&(&q * &v) + &r, u);
+        assert!(r < v);
+    }
+
+    #[test]
+    fn exact_division_of_products() {
+        let mut r = rng(5);
+        for _ in 0..20 {
+            let a = gen_biguint_bits(&mut r, 600);
+            let d = gen_biguint_bits(&mut r, 300);
+            if d.is_zero() {
+                continue;
+            }
+            let product = &a * &d;
+            let (q, rem) = product.div_rem(&d);
+            assert_eq!(q, a);
+            assert!(rem.is_zero());
+        }
+    }
+}

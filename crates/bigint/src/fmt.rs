@@ -1,0 +1,244 @@
+//! Formatting and parsing: decimal `Display`/`FromStr`, hexadecimal
+//! `LowerHex`, and `Debug` for both integer types.
+
+use crate::bigint::{BigInt, Sign};
+use crate::biguint::BigUint;
+use std::fmt;
+use std::str::FromStr;
+
+/// Error returned when parsing a big integer from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigIntError {
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseErrorKind {
+    Empty,
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseErrorKind::Empty => write!(f, "cannot parse integer from empty string"),
+            ParseErrorKind::InvalidDigit(c) => write!(f, "invalid digit {c:?} in integer"),
+        }
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+/// 10^19 — the largest power of ten that fits in a `u64`.
+const DEC_CHUNK_BASE: u64 = 10_000_000_000_000_000_000;
+const DEC_CHUNK_DIGITS: usize = 19;
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        // Peel off 19 decimal digits at a time.
+        let mut chunks: Vec<u64> = Vec::new();
+        let chunk_base = BigUint::from_u64(DEC_CHUNK_BASE);
+        let mut value = self.clone();
+        while !value.is_zero() {
+            let (q, r) = value.div_rem(&chunk_base);
+            chunks.push(r.to_u64().expect("remainder < 10^19"));
+            value = q;
+        }
+        let mut out = String::with_capacity(chunks.len() * DEC_CHUNK_DIGITS);
+        let mut iter = chunks.iter().rev();
+        if let Some(top) = iter.next() {
+            out.push_str(&top.to_string());
+        }
+        for chunk in iter {
+            out.push_str(&format!("{chunk:019}"));
+        }
+        f.pad_integral(true, "", &out)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint({self})")
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "0x", "0");
+        }
+        let mut out = String::with_capacity(self.limbs.len() * 16);
+        let mut iter = self.limbs.iter().rev();
+        if let Some(top) = iter.next() {
+            out.push_str(&format!("{top:x}"));
+        }
+        for limb in iter {
+            out.push_str(&format!("{limb:016x}"));
+        }
+        f.pad_integral(true, "0x", &out)
+    }
+}
+
+impl FromStr for BigUint {
+    type Err = ParseBigIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseBigIntError {
+                kind: ParseErrorKind::Empty,
+            });
+        }
+        let mut acc = BigUint::zero();
+        let chunk_base = BigUint::from_u64(DEC_CHUNK_BASE);
+        let bytes = s.as_bytes();
+        let mut idx = 0;
+        while idx < bytes.len() {
+            let end = (idx + DEC_CHUNK_DIGITS).min(bytes.len());
+            let chunk = &s[idx..end];
+            let mut chunk_value = 0u64;
+            for c in chunk.chars() {
+                let digit = c.to_digit(10).ok_or(ParseBigIntError {
+                    kind: ParseErrorKind::InvalidDigit(c),
+                })?;
+                chunk_value = chunk_value * 10 + digit as u64;
+            }
+            let scale = if end - idx == DEC_CHUNK_DIGITS {
+                chunk_base.clone()
+            } else {
+                BigUint::from_u64(10u64.pow((end - idx) as u32))
+            };
+            acc = &(&acc * &scale) + &BigUint::from_u64(chunk_value);
+            idx = end;
+        }
+        Ok(acc)
+    }
+}
+
+impl BigUint {
+    /// Parses a hexadecimal string (no `0x` prefix, case-insensitive).
+    pub fn from_hex(s: &str) -> Result<Self, ParseBigIntError> {
+        if s.is_empty() {
+            return Err(ParseBigIntError {
+                kind: ParseErrorKind::Empty,
+            });
+        }
+        let mut acc = BigUint::zero();
+        for c in s.chars() {
+            let digit = c.to_digit(16).ok_or(ParseBigIntError {
+                kind: ParseErrorKind::InvalidDigit(c),
+            })?;
+            acc = &(&acc << 4usize) + &BigUint::from_u64(digit as u64);
+        }
+        Ok(acc)
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "-{}", self.magnitude())
+        } else {
+            write!(f, "{}", self.magnitude())
+        }
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(rest) = s.strip_prefix('-') {
+            let mag: BigUint = rest.parse()?;
+            Ok(BigInt::from_biguint(Sign::Negative, mag))
+        } else {
+            let rest = s.strip_prefix('+').unwrap_or(s);
+            let mag: BigUint = rest.parse()?;
+            Ok(BigInt::from_biguint(Sign::Positive, mag))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::gen_biguint_bits;
+    use crate::test_helpers::rng;
+
+    #[test]
+    fn display_small() {
+        assert_eq!(BigUint::zero().to_string(), "0");
+        assert_eq!(BigUint::from_u64(42).to_string(), "42");
+        assert_eq!(
+            BigUint::from_u128(u128::MAX).to_string(),
+            "340282366920938463463374607431768211455"
+        );
+    }
+
+    #[test]
+    fn display_chunk_boundaries() {
+        // Values around 10^19 exercise the zero-padding of inner chunks.
+        let v: BigUint = "10000000000000000000".parse().unwrap();
+        assert_eq!(v.to_string(), "10000000000000000000");
+        let v: BigUint = "10000000000000000001".parse().unwrap();
+        assert_eq!(v.to_string(), "10000000000000000001");
+        let v: BigUint = "100000000000000000000000000000000000001".parse().unwrap();
+        assert_eq!(v.to_string(), "100000000000000000000000000000000000001");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<BigUint>().is_err());
+        assert!("12a3".parse::<BigUint>().is_err());
+        assert!("-5".parse::<BigUint>().is_err());
+        assert!(" 5".parse::<BigUint>().is_err());
+    }
+
+    #[test]
+    fn decimal_roundtrip_random() {
+        let mut r = rng(55);
+        for bits in [1usize, 63, 64, 65, 300, 2048] {
+            let x = gen_biguint_bits(&mut r, bits);
+            let s = x.to_string();
+            let back: BigUint = s.parse().unwrap();
+            assert_eq!(back, x, "{s}");
+        }
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        assert_eq!(format!("{:x}", BigUint::zero()), "0");
+        assert_eq!(format!("{:x}", BigUint::from_u64(0xdeadbeef)), "deadbeef");
+        let big = BigUint::from_limbs(vec![0x1, 0xabc]);
+        assert_eq!(format!("{big:x}"), "abc0000000000000001");
+        assert_eq!(BigUint::from_hex("abc0000000000000001").unwrap(), big);
+        assert_eq!(BigUint::from_hex("ABC").unwrap(), BigUint::from_u64(0xabc));
+        assert!(BigUint::from_hex("xyz").is_err());
+        assert!(BigUint::from_hex("").is_err());
+    }
+
+    #[test]
+    fn bigint_display_and_parse() {
+        assert_eq!(BigInt::from_i64(-42).to_string(), "-42");
+        assert_eq!(BigInt::from_i64(42).to_string(), "42");
+        assert_eq!(BigInt::zero().to_string(), "0");
+        assert_eq!("-42".parse::<BigInt>().unwrap(), BigInt::from_i64(-42));
+        assert_eq!("+42".parse::<BigInt>().unwrap(), BigInt::from_i64(42));
+        assert_eq!("-0".parse::<BigInt>().unwrap(), BigInt::zero());
+        assert!("--1".parse::<BigInt>().is_err());
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", BigUint::from_u64(7)), "BigUint(7)");
+        assert_eq!(format!("{:?}", BigInt::from_i64(-7)), "BigInt(-7)");
+    }
+}

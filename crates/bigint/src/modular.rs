@@ -1,0 +1,248 @@
+//! Modular arithmetic helpers: exponentiation, inverse, GCD and LCM.
+
+use crate::bigint::{BigInt, Sign};
+use crate::biguint::BigUint;
+use crate::montgomery::MontgomeryCtx;
+
+/// `base^exp mod modulus`.
+///
+/// Uses Montgomery exponentiation for odd moduli (the only case Paillier
+/// needs) and falls back to square-and-multiply with plain reduction for
+/// even moduli so the function is total.
+///
+/// # Panics
+/// Panics if `modulus` is zero.
+pub fn mod_pow(base: &BigUint, exp: &BigUint, modulus: &BigUint) -> BigUint {
+    assert!(!modulus.is_zero(), "mod_pow with zero modulus");
+    if modulus.is_one() {
+        return BigUint::zero();
+    }
+    if let Some(ctx) = MontgomeryCtx::new(modulus) {
+        return ctx.pow_mod(base, exp);
+    }
+    // Even modulus fallback.
+    let mut acc = BigUint::one();
+    let base = base % modulus;
+    for i in (0..exp.bit_length()).rev() {
+        acc = &acc.square() % modulus;
+        if exp.bit(i) {
+            acc = &(&acc * &base) % modulus;
+        }
+    }
+    acc
+}
+
+/// Greatest common divisor (binary GCD).
+pub fn gcd(a: &BigUint, b: &BigUint) -> BigUint {
+    if a.is_zero() {
+        return b.clone();
+    }
+    if b.is_zero() {
+        return a.clone();
+    }
+    let mut a = a.clone();
+    let mut b = b.clone();
+    let shift_a = a.trailing_zeros().expect("a nonzero");
+    let shift_b = b.trailing_zeros().expect("b nonzero");
+    let common = shift_a.min(shift_b);
+    a = &a >> shift_a;
+    b = &b >> shift_b;
+    // Both odd now.
+    loop {
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        b -= &a; // b >= a, result even or zero
+        if b.is_zero() {
+            return &a << common;
+        }
+        b = &b >> b.trailing_zeros().expect("b nonzero");
+    }
+}
+
+/// Least common multiple; `lcm(0, x) = 0`.
+pub fn lcm(a: &BigUint, b: &BigUint) -> BigUint {
+    if a.is_zero() || b.is_zero() {
+        return BigUint::zero();
+    }
+    let g = gcd(a, b);
+    &(a / &g) * b
+}
+
+/// Extended Euclid: returns `(g, x, y)` with `a·x + b·y = g = gcd(a, b)`.
+pub fn extended_gcd(a: &BigUint, b: &BigUint) -> (BigUint, BigInt, BigInt) {
+    let mut old_r = BigInt::from_biguint(Sign::Positive, a.clone());
+    let mut r = BigInt::from_biguint(Sign::Positive, b.clone());
+    let mut old_s = BigInt::one();
+    let mut s = BigInt::zero();
+    let mut old_t = BigInt::zero();
+    let mut t = BigInt::one();
+
+    while !r.is_zero() {
+        let (q, rem) = old_r.div_rem(&r);
+        old_r = std::mem::replace(&mut r, rem);
+        let new_s = &old_s - &(&q * &s);
+        old_s = std::mem::replace(&mut s, new_s);
+        let new_t = &old_t - &(&q * &t);
+        old_t = std::mem::replace(&mut t, new_t);
+    }
+    (old_r.into_magnitude(), old_s, old_t)
+}
+
+/// `a^{-1} mod modulus`, or `None` when `gcd(a, modulus) != 1`.
+///
+/// # Panics
+/// Panics if `modulus` is zero.
+pub fn mod_inverse(a: &BigUint, modulus: &BigUint) -> Option<BigUint> {
+    assert!(!modulus.is_zero(), "mod_inverse with zero modulus");
+    if modulus.is_one() {
+        return Some(BigUint::zero());
+    }
+    let a = a % modulus;
+    if a.is_zero() {
+        return None;
+    }
+    let (g, x, _) = extended_gcd(&a, modulus);
+    if !g.is_one() {
+        return None;
+    }
+    Some(x.rem_euclid(modulus))
+}
+
+/// `(a * b) mod modulus` without intermediate growth beyond one product.
+pub fn mod_mul(a: &BigUint, b: &BigUint, modulus: &BigUint) -> BigUint {
+    &(a * b) % modulus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{gen_biguint_below, gen_biguint_bits};
+    use crate::test_helpers::rng;
+
+    fn b(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn mod_pow_basic() {
+        assert_eq!(mod_pow(&b(2), &b(10), &b(1000)), b(24));
+        assert_eq!(mod_pow(&b(2), &b(10), &b(1)), b(0));
+        assert_eq!(mod_pow(&b(0), &b(0), &b(7)), b(1)); // 0^0 = 1 convention
+        assert_eq!(mod_pow(&b(5), &b(0), &b(7)), b(1));
+    }
+
+    #[test]
+    fn mod_pow_even_modulus_fallback() {
+        assert_eq!(mod_pow(&b(3), &b(4), &b(100)), b(81));
+        assert_eq!(mod_pow(&b(7), &b(13), &b(1 << 40)), b(7u128.pow(13) % (1 << 40)));
+    }
+
+    #[test]
+    fn gcd_cases() {
+        assert_eq!(gcd(&b(0), &b(5)), b(5));
+        assert_eq!(gcd(&b(5), &b(0)), b(5));
+        assert_eq!(gcd(&b(0), &b(0)), b(0));
+        assert_eq!(gcd(&b(12), &b(18)), b(6));
+        assert_eq!(gcd(&b(17), &b(13)), b(1));
+        assert_eq!(gcd(&b(1 << 30), &b(1 << 20)), b(1 << 20));
+        assert_eq!(gcd(&b(2 * 3 * 5 * 7), &b(3 * 7 * 11)), b(21));
+    }
+
+    #[test]
+    fn gcd_matches_euclid_random() {
+        let mut r = rng(31);
+        for _ in 0..25 {
+            let a = gen_biguint_bits(&mut r, 256);
+            let bb = gen_biguint_bits(&mut r, 200);
+            let g = gcd(&a, &bb);
+            if !a.is_zero() && !bb.is_zero() {
+                assert!((&a % &g).is_zero());
+                assert!((&bb % &g).is_zero());
+            }
+            // Classical Euclid cross-check.
+            let mut x = a.clone();
+            let mut y = bb.clone();
+            while !y.is_zero() {
+                let rem = &x % &y;
+                x = std::mem::replace(&mut y, rem);
+            }
+            assert_eq!(g, x);
+        }
+    }
+
+    #[test]
+    fn lcm_cases() {
+        assert_eq!(lcm(&b(4), &b(6)), b(12));
+        assert_eq!(lcm(&b(0), &b(6)), b(0));
+        assert_eq!(lcm(&b(7), &b(13)), b(91));
+    }
+
+    #[test]
+    fn extended_gcd_bezout_identity() {
+        let mut r = rng(32);
+        for _ in 0..20 {
+            let a = gen_biguint_bits(&mut r, 192);
+            let bb = gen_biguint_bits(&mut r, 160);
+            let (g, x, y) = extended_gcd(&a, &bb);
+            let lhs = &(&BigInt::from_biguint(Sign::Positive, a.clone()) * &x)
+                + &(&BigInt::from_biguint(Sign::Positive, bb.clone()) * &y);
+            assert_eq!(lhs, BigInt::from_biguint(Sign::Positive, g));
+        }
+    }
+
+    #[test]
+    fn mod_inverse_round_trips() {
+        let m = b(1_000_000_007);
+        for v in [1u128, 2, 3, 999, 1_000_000_006] {
+            let inv = mod_inverse(&b(v), &m).expect("prime modulus");
+            assert_eq!(&(&b(v) * &inv) % &m, b(1), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn mod_inverse_nonexistent() {
+        assert_eq!(mod_inverse(&b(6), &b(9)), None);
+        assert_eq!(mod_inverse(&b(0), &b(9)), None);
+        assert_eq!(mod_inverse(&b(9), &b(9)), None);
+    }
+
+    #[test]
+    fn mod_inverse_modulus_one() {
+        assert_eq!(mod_inverse(&b(5), &b(1)), Some(b(0)));
+    }
+
+    #[test]
+    fn mod_inverse_random_odd_moduli() {
+        let mut r = rng(33);
+        for _ in 0..15 {
+            let mut m = gen_biguint_bits(&mut r, 384);
+            m.set_bit(0, true);
+            if m.is_one() {
+                continue;
+            }
+            let a = gen_biguint_below(&mut r, &m);
+            match mod_inverse(&a, &m) {
+                Some(inv) => {
+                    assert!(inv < m);
+                    assert_eq!(mod_mul(&a, &inv, &m), BigUint::one());
+                }
+                None => assert!(!gcd(&a, &m).is_one()),
+            }
+        }
+    }
+
+    #[test]
+    fn fermat_little_theorem_via_mod_pow() {
+        // 2^61 - 1 is a Mersenne prime.
+        let p = b((1u128 << 61) - 1);
+        let mut r = rng(34);
+        for _ in 0..5 {
+            let a = gen_biguint_below(&mut r, &p);
+            if a.is_zero() {
+                continue;
+            }
+            assert_eq!(mod_pow(&a, &(&p - &b(1)), &p), BigUint::one());
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Montgomery-form modular arithmetic for odd moduli.
+//!
+//! Paillier works modulo `n` and `n²`, both odd, so every hot modular
+//! exponentiation in the workspace goes through this context. The multiplier
+//! is the word-level CIOS (coarsely integrated operand scanning) algorithm;
+//! exponentiation uses a fixed 4-bit window.
+
+use crate::biguint::BigUint;
+
+/// Precomputed state for repeated multiplication modulo a fixed odd modulus.
+#[derive(Clone)]
+pub struct MontgomeryCtx {
+    /// The modulus `m` (odd, > 1).
+    modulus: BigUint,
+    /// Limb count `k`; R = 2^(64k).
+    k: usize,
+    /// `-m^{-1} mod 2^64`.
+    n0_inv: u64,
+    /// `R² mod m`, used to convert into Montgomery form.
+    r2: BigUint,
+}
+
+impl MontgomeryCtx {
+    /// Builds a context for odd `modulus > 1`; returns `None` otherwise.
+    pub fn new(modulus: &BigUint) -> Option<Self> {
+        if modulus.is_even() || modulus.is_one() || modulus.is_zero() {
+            return None;
+        }
+        let k = modulus.limbs().len();
+        let n0_inv = neg_inv_u64(modulus.limbs()[0]);
+        // R² mod m computed by repeated doubling: start from R mod m
+        // (obtained by shifting) and double 64k times.
+        let r_mod_m = &(&BigUint::one() << (64 * k)) % modulus;
+        let mut r2 = r_mod_m;
+        for _ in 0..64 * k {
+            r2 = r2.add_mod(&r2.clone(), modulus);
+        }
+        Some(MontgomeryCtx {
+            modulus: modulus.clone(),
+            k,
+            n0_inv,
+            r2,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// Converts `x < m` into Montgomery form `x·R mod m`.
+    pub fn to_mont(&self, x: &BigUint) -> BigUint {
+        debug_assert!(x < &self.modulus);
+        self.mont_mul(x, &self.r2)
+    }
+
+    /// Converts out of Montgomery form: `x̄ · R^{-1} mod m`.
+    pub fn from_mont(&self, x: &BigUint) -> BigUint {
+        self.mont_mul(x, &BigUint::one())
+    }
+
+    /// Montgomery product `a·b·R^{-1} mod m` (CIOS).
+    #[allow(clippy::needless_range_loop)] // index form mirrors the CIOS recurrence
+    pub fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        debug_assert!(a < &self.modulus && b < &self.modulus);
+        let k = self.k;
+        let m = self.modulus.limbs();
+        let a_limbs = a.limbs();
+        let b_limbs = b.limbs();
+
+        // t holds k+1 limbs plus a one-bit overflow in t[k+1].
+        let mut t = vec![0u64; k + 2];
+        for i in 0..k {
+            let ai = a_limbs.get(i).copied().unwrap_or(0);
+
+            // t += ai * b
+            let mut carry = 0u64;
+            for j in 0..k {
+                let bj = b_limbs.get(j).copied().unwrap_or(0);
+                let sum = t[j] as u128 + ai as u128 * bj as u128 + carry as u128;
+                t[j] = sum as u64;
+                carry = (sum >> 64) as u64;
+            }
+            let sum = t[k] as u128 + carry as u128;
+            t[k] = sum as u64;
+            t[k + 1] += (sum >> 64) as u64; // ≤ 1
+
+            // u = t[0] * (-m^{-1}) mod 2^64; t += u*m; t >>= 64
+            let u = t[0].wrapping_mul(self.n0_inv);
+            let first = t[0] as u128 + u as u128 * m[0] as u128;
+            debug_assert_eq!(first as u64, 0);
+            let mut carry = (first >> 64) as u64;
+            for j in 1..k {
+                let sum = t[j] as u128 + u as u128 * m[j] as u128 + carry as u128;
+                t[j - 1] = sum as u64;
+                carry = (sum >> 64) as u64;
+            }
+            let sum = t[k] as u128 + carry as u128;
+            t[k - 1] = sum as u64;
+            let c2 = (sum >> 64) as u64;
+            t[k] = t[k + 1] + c2; // both ≤ 1, no overflow
+            t[k + 1] = 0;
+        }
+
+        let mut result = BigUint::from_limbs(t[..=k].to_vec());
+        if result >= self.modulus {
+            result = result
+                .checked_sub(&self.modulus)
+                .expect("CIOS result < 2m");
+        }
+        debug_assert!(result < self.modulus);
+        result
+    }
+
+    /// `base^exp mod m` using a 4-bit fixed window.
+    ///
+    /// `base` may be ≥ m; it is reduced first.
+    pub fn pow_mod(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return &BigUint::one() % &self.modulus;
+        }
+        let base = if base >= &self.modulus {
+            base % &self.modulus
+        } else {
+            base.clone()
+        };
+
+        let one_mont = self.to_mont(&(&BigUint::one() % &self.modulus));
+        let base_mont = self.to_mont(&base);
+
+        // Precompute base^0..base^15 in Montgomery form.
+        let mut table = Vec::with_capacity(16);
+        table.push(one_mont.clone());
+        for i in 1..16 {
+            table.push(self.mont_mul(&table[i - 1], &base_mont));
+        }
+
+        let bits = exp.bit_length();
+        let windows = bits.div_ceil(4);
+        let mut acc = one_mont;
+        for w in (0..windows).rev() {
+            if w + 1 < windows {
+                for _ in 0..4 {
+                    acc = self.mont_mul(&acc, &acc);
+                }
+            }
+            let mut idx = 0usize;
+            for bit in 0..4 {
+                let pos = w * 4 + bit;
+                if pos < bits && exp.bit(pos) {
+                    idx |= 1 << bit;
+                }
+            }
+            if idx != 0 {
+                acc = self.mont_mul(&acc, &table[idx]);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+/// `-m0^{-1} mod 2^64` for odd `m0`, by Newton–Hensel lifting
+/// (doubles correct bits each step: 5 iterations ≥ 64 bits).
+fn neg_inv_u64(m0: u64) -> u64 {
+    debug_assert!(m0 & 1 == 1);
+    let mut inv = m0; // correct to 3 bits for odd m0 (x ≡ x^{-1} mod 8)
+    for _ in 0..5 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(m0.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(m0.wrapping_mul(inv), 1);
+    inv.wrapping_neg()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{gen_biguint_below, gen_biguint_bits};
+    use crate::test_helpers::rng;
+
+    fn b(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn rejects_bad_moduli() {
+        assert!(MontgomeryCtx::new(&BigUint::zero()).is_none());
+        assert!(MontgomeryCtx::new(&BigUint::one()).is_none());
+        assert!(MontgomeryCtx::new(&b(100)).is_none());
+        assert!(MontgomeryCtx::new(&b(101)).is_some());
+    }
+
+    #[test]
+    fn neg_inv_property() {
+        for m0 in [1u64, 3, 5, 0xFFFF_FFFF_FFFF_FFFF, 0x1234_5678_9ABC_DEF1] {
+            let ninv = neg_inv_u64(m0);
+            assert_eq!(m0.wrapping_mul(ninv), 1u64.wrapping_neg());
+        }
+    }
+
+    #[test]
+    fn roundtrip_mont_form() {
+        let m = b(0xFFFF_FFFF_FFFF_FFC5); // large 64-bit prime
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        for v in [0u128, 1, 2, 0xDEAD_BEEF, 0xFFFF_FFFF_FFFF_FFC4] {
+            let x = b(v);
+            assert_eq!(ctx.from_mont(&ctx.to_mont(&x)), x);
+        }
+    }
+
+    #[test]
+    fn mont_mul_matches_naive() {
+        let mut r = rng(21);
+        for bits in [64usize, 128, 512, 1024] {
+            let mut m = gen_biguint_bits(&mut r, bits);
+            m.set_bit(0, true); // make odd
+            m.set_bit(bits - 1, true);
+            let ctx = MontgomeryCtx::new(&m).unwrap();
+            for _ in 0..8 {
+                let a = gen_biguint_below(&mut r, &m);
+                let bv = gen_biguint_below(&mut r, &m);
+                let am = ctx.to_mont(&a);
+                let bm = ctx.to_mont(&bv);
+                let got = ctx.from_mont(&ctx.mont_mul(&am, &bm));
+                let want = &(&a * &bv) % &m;
+                assert_eq!(got, want, "{bits} bits");
+            }
+        }
+    }
+
+    #[test]
+    fn pow_mod_small_cases() {
+        let m = b(1_000_000_007);
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        assert_eq!(ctx.pow_mod(&b(2), &b(10)), b(1024));
+        assert_eq!(ctx.pow_mod(&b(2), &b(0)), b(1));
+        assert_eq!(ctx.pow_mod(&b(0), &b(5)), b(0));
+        assert_eq!(ctx.pow_mod(&b(5), &b(1)), b(5));
+        // Fermat: a^(p-1) = 1 mod p
+        assert_eq!(ctx.pow_mod(&b(123456), &b(1_000_000_006)), b(1));
+    }
+
+    #[test]
+    fn pow_mod_reduces_large_base() {
+        let m = b(97);
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        assert_eq!(ctx.pow_mod(&b(1000), &b(3)), b(1000u128.pow(3) % 97));
+    }
+
+    #[test]
+    fn pow_mod_matches_naive_square_multiply() {
+        let mut r = rng(77);
+        let mut m = gen_biguint_bits(&mut r, 256);
+        m.set_bit(0, true);
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        for _ in 0..4 {
+            let base = gen_biguint_below(&mut r, &m);
+            let exp = gen_biguint_bits(&mut r, 96);
+            // naive square-and-multiply with plain div_rem reduction
+            let mut acc = BigUint::one();
+            for i in (0..exp.bit_length()).rev() {
+                acc = &acc.square() % &m;
+                if exp.bit(i) {
+                    acc = &(&acc * &base) % &m;
+                }
+            }
+            assert_eq!(ctx.pow_mod(&base, &exp), acc);
+        }
+    }
+
+    #[test]
+    fn modulus_one_limb_edge() {
+        // Smallest usable odd modulus.
+        let m = b(3);
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        assert_eq!(ctx.pow_mod(&b(2), &b(2)), b(1));
+        assert_eq!(ctx.pow_mod(&b(2), &b(3)), b(2));
+    }
+}

@@ -1,0 +1,242 @@
+//! Multiplication: schoolbook for small operands, Karatsuba above a
+//! limb-count threshold. Paillier key generation multiplies 1024-bit primes
+//! and squares 2048-bit moduli, where Karatsuba already pays off.
+
+use crate::biguint::{add_in_place, sub_in_place, BigUint};
+use std::ops::{Mul, MulAssign};
+
+/// Operands with at least this many limbs on both sides go through Karatsuba.
+/// Below it, schoolbook's cache behaviour wins. Chosen by the `bigint_mul`
+/// bench in `ppds-bench`: on the reference machine schoolbook and Karatsuba
+/// break even around 32 limbs (2048 bits) and Karatsuba wins ~20% at 128
+/// limbs.
+const KARATSUBA_THRESHOLD: usize = 32;
+
+impl Mul<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        BigUint::from_limbs(mul_limbs(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl Mul<u64> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: u64) -> BigUint {
+        if self.is_zero() || rhs == 0 {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u64;
+        for &l in &self.limbs {
+            let p = l as u128 * rhs as u128 + carry as u128;
+            out.push(p as u64);
+            carry = (p >> 64) as u64;
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl MulAssign<&BigUint> for BigUint {
+    fn mul_assign(&mut self, rhs: &BigUint) {
+        let result = &*self * rhs;
+        *self = result;
+    }
+}
+
+impl BigUint {
+    /// `self * self`. (Dedicated entry point; squaring inside Montgomery
+    /// exponentiation dominates Paillier cost, and keeping the call explicit
+    /// makes the hot path visible in profiles.)
+    pub fn square(&self) -> BigUint {
+        self * self
+    }
+
+    /// `self^exp` by binary exponentiation. Intended for small exponents
+    /// (e.g. `10^19` chunks in decimal formatting); use
+    /// [`modular::mod_pow`](crate::modular::mod_pow) for cryptographic sizes.
+    pub fn pow(&self, mut exp: u32) -> BigUint {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.square();
+            }
+        }
+        acc
+    }
+}
+
+/// Dispatches between schoolbook and Karatsuba.
+pub(crate) fn mul_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.len().min(b.len()) < KARATSUBA_THRESHOLD {
+        mul_schoolbook(a, b)
+    } else {
+        mul_karatsuba(a, b)
+    }
+}
+
+/// O(n·m) schoolbook multiplication.
+fn mul_schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u64;
+        for (j, &bj) in b.iter().enumerate() {
+            let p = out[i + j] as u128 + ai as u128 * bj as u128 + carry as u128;
+            out[i + j] = p as u64;
+            carry = (p >> 64) as u64;
+        }
+        out[i + b.len()] = carry;
+    }
+    out
+}
+
+/// Karatsuba: splits both operands at `h = min(len)/2` limbs and recurses.
+///
+/// With `a = a1·B^h + a0` and `b = b1·B^h + b0`:
+/// `a·b = z2·B^{2h} + (z1 - z2 - z0)·B^h + z0` where `z0 = a0·b0`,
+/// `z2 = a1·b1`, `z1 = (a0+a1)·(b0+b1)`.
+fn mul_karatsuba(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let h = a.len().min(b.len()) / 2;
+    debug_assert!(h >= 1);
+    let (a0, a1) = a.split_at(h);
+    let (b0, b1) = b.split_at(h);
+
+    let z0 = mul_limbs(trim(a0), trim(b0));
+    let z2 = mul_limbs(trim(a1), trim(b1));
+
+    let mut asum = a0.to_vec();
+    add_in_place(&mut asum, a1);
+    let mut bsum = b0.to_vec();
+    add_in_place(&mut bsum, b1);
+    let mut z1 = mul_limbs(trim(&asum), trim(&bsum));
+    // z1 >= z0 + z2 always holds, so these in-place subtractions are safe.
+    sub_in_place(&mut z1, &z0);
+    sub_in_place(&mut z1, &z2);
+
+    let mut out = vec![0u64; a.len() + b.len()];
+    add_shifted(&mut out, &z0, 0);
+    add_shifted(&mut out, &z1, h);
+    add_shifted(&mut out, &z2, 2 * h);
+    out
+}
+
+/// Drops trailing zero limbs from a borrowed slice.
+fn trim(limbs: &[u64]) -> &[u64] {
+    let len = limbs.iter().rposition(|&l| l != 0).map_or(0, |p| p + 1);
+    &limbs[..len]
+}
+
+/// `out += value << (64 * limb_offset)`; `out` must be long enough.
+fn add_shifted(out: &mut [u64], value: &[u64], limb_offset: usize) {
+    let mut carry = 0u64;
+    let mut i = 0;
+    while i < value.len() || carry != 0 {
+        let v = value.get(i).copied().unwrap_or(0);
+        let idx = limb_offset + i;
+        debug_assert!(idx < out.len() || (v == 0 && carry == 0));
+        if idx >= out.len() {
+            break;
+        }
+        let sum = out[idx] as u128 + v as u128 + carry as u128;
+        out[idx] = sum as u64;
+        carry = (sum >> 64) as u64;
+        i += 1;
+    }
+    debug_assert_eq!(carry, 0, "add_shifted overflow");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::gen_biguint_bits;
+    use crate::test_helpers::rng;
+
+    fn b(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn small_products() {
+        assert_eq!(&b(6) * &b(7), b(42));
+        assert_eq!(&b(0) * &b(7), b(0));
+        assert_eq!(&b(1) * &b(7), b(7));
+        assert_eq!(
+            &b(u64::MAX as u128) * &b(u64::MAX as u128),
+            b((u64::MAX as u128) * (u64::MAX as u128))
+        );
+    }
+
+    #[test]
+    #[allow(clippy::erasing_op)] // zero-scalar behaviour is the point
+    fn scalar_mul() {
+        assert_eq!(&b(1 << 100) * 3u64, b(3 << 100));
+        assert_eq!(&b(5) * 0u64, b(0));
+        let x = BigUint::from_limbs(vec![u64::MAX, u64::MAX]);
+        let got = &x * u64::MAX;
+        let want = &x * &b(u64::MAX as u128);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pow_small() {
+        assert_eq!(b(2).pow(10), b(1024));
+        assert_eq!(b(10).pow(0), b(1));
+        assert_eq!(b(0).pow(5), b(0));
+        assert_eq!(b(0).pow(0), b(1)); // convention: 0^0 = 1
+        assert_eq!(b(3).pow(40), b(3u128.pow(40)));
+    }
+
+    #[test]
+    fn square_matches_mul() {
+        let mut r = rng(7);
+        for bits in [1usize, 64, 65, 500, 1500, 3000] {
+            let x = gen_biguint_bits(&mut r, bits);
+            assert_eq!(x.square(), &x * &x);
+        }
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook() {
+        let mut r = rng(42);
+        for (abits, bbits) in [
+            (64 * 30, 64 * 30),   // both above threshold, balanced
+            (64 * 48, 64 * 25),   // unbalanced
+            (64 * 100, 64 * 100), // deep recursion
+            (64 * 32, 64 * 32),   // exactly at threshold
+        ] {
+            let a = gen_biguint_bits(&mut r, abits);
+            let b = gen_biguint_bits(&mut r, bbits);
+            let fast = BigUint::from_limbs(mul_limbs(a.limbs(), b.limbs()));
+            let slow = BigUint::from_limbs(mul_schoolbook(a.limbs(), b.limbs()));
+            assert_eq!(fast, slow, "{abits} x {bbits} bits");
+        }
+    }
+
+    #[test]
+    fn mul_commutes_and_distributes() {
+        let mut r = rng(3);
+        let a = gen_biguint_bits(&mut r, 700);
+        let b2 = gen_biguint_bits(&mut r, 1900);
+        let c = gen_biguint_bits(&mut r, 130);
+        assert_eq!(&a * &b2, &b2 * &a);
+        let lhs = &a * &(&b2 + &c);
+        let rhs = &(&a * &b2) + &(&a * &c);
+        assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,243 @@
+//! Probabilistic primality testing and random prime generation.
+//!
+//! Paillier key generation needs large random primes `p`, `q`; Yao's
+//! millionaires protocol (Algorithm 1 of the paper) additionally draws fresh
+//! `N/2`-bit primes inside every protocol execution, so prime generation is a
+//! hot path, not just a setup cost.
+
+use crate::biguint::BigUint;
+use crate::modular::mod_pow;
+use crate::random::{gen_biguint_exact_bits, gen_biguint_range};
+use rand::Rng;
+
+/// Primes below 1000, used for fast trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 168] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293,
+    307, 311, 313, 317, 331, 337, 347, 349, 353, 359, 367, 373, 379, 383, 389, 397, 401, 409, 419,
+    421, 431, 433, 439, 443, 449, 457, 461, 463, 467, 479, 487, 491, 499, 503, 509, 521, 523, 541,
+    547, 557, 563, 569, 571, 577, 587, 593, 599, 601, 607, 613, 617, 619, 631, 641, 643, 647, 653,
+    659, 661, 673, 677, 683, 691, 701, 709, 719, 727, 733, 739, 743, 751, 757, 761, 769, 773, 787,
+    797, 809, 811, 821, 823, 827, 829, 839, 853, 857, 859, 863, 877, 881, 883, 887, 907, 911, 919,
+    929, 937, 941, 947, 953, 967, 971, 977, 983, 991, 997,
+];
+
+/// Number of Miller–Rabin rounds used by default. For random (non-adversarial)
+/// candidates this gives a false-positive probability far below 4^-64.
+pub const DEFAULT_MILLER_RABIN_ROUNDS: usize = 32;
+
+/// Returns `true` if `n` is (probably) prime.
+///
+/// Runs trial division by a table of primes below 1000 and then `rounds` Miller–Rabin
+/// iterations with uniformly random bases drawn from `rng`.
+pub fn is_probable_prime<R: Rng + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
+    if let Some(small) = n.to_u64() {
+        if small < 2 {
+            return false;
+        }
+        if SMALL_PRIMES.binary_search(&small).is_ok() {
+            return true;
+        }
+    }
+    for &p in &SMALL_PRIMES {
+        if n.rem_u64(p) == 0 {
+            // Divisible by a small prime; prime only if n == p, which the
+            // branch above already handled.
+            return false;
+        }
+    }
+    miller_rabin(n, rounds, rng)
+}
+
+/// Miller–Rabin with random bases. `n` must be odd and `> 3` here (callers go
+/// through [`is_probable_prime`], which screens smaller values).
+fn miller_rabin<R: Rng + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
+    debug_assert!(n.is_odd());
+    let one = BigUint::one();
+    let two = BigUint::from_u64(2);
+    let n_minus_1 = n - &one;
+    let n_minus_2 = n - &two;
+
+    // n - 1 = 2^s * d with d odd
+    let s = n_minus_1.trailing_zeros().expect("n > 1 so n-1 > 0");
+    let d = &n_minus_1 >> s;
+
+    'witness: for _ in 0..rounds {
+        let a = gen_biguint_range(rng, &two, &n_minus_2);
+        let mut x = mod_pow(&a, &d, n);
+        if x == one || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..s - 1 {
+            x = &x.square() % n;
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false; // a is a witness of compositeness
+    }
+    true
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+///
+/// # Panics
+/// Panics if `bits < 2` (there is no 1-bit prime).
+pub fn gen_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    assert!(bits >= 2, "primes need at least 2 bits");
+    loop {
+        let mut candidate = gen_biguint_exact_bits(rng, bits);
+        candidate.set_bit(0, true); // force odd
+        if is_probable_prime(&candidate, DEFAULT_MILLER_RABIN_ROUNDS, rng) {
+            return candidate;
+        }
+    }
+}
+
+/// Generates two distinct probable primes of `bits` bits each whose product
+/// has exactly `2 * bits` bits, suitable as Paillier key factors.
+///
+/// Each prime has its top *two* bits set (so `p, q ≥ 1.5 · 2^(bits-1)` and
+/// `p·q ≥ 1.125 · 2^(2·bits-1)`, guaranteeing a full-size modulus).
+///
+/// # Panics
+/// Panics if `bits < 3` (need room for two forced top bits plus the odd bit).
+pub fn gen_prime_pair<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> (BigUint, BigUint) {
+    assert!(bits >= 3, "prime pair factors need at least 3 bits");
+    let gen_one = |rng: &mut R| loop {
+        let mut candidate = gen_biguint_exact_bits(rng, bits);
+        candidate.set_bit(bits - 2, true);
+        candidate.set_bit(0, true);
+        if is_probable_prime(&candidate, DEFAULT_MILLER_RABIN_ROUNDS, rng) {
+            return candidate;
+        }
+    };
+    let p = gen_one(rng);
+    loop {
+        let q = gen_one(rng);
+        if q != p {
+            return (p, q);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_helpers::rng;
+
+    fn is_prime_u64(n: &BigUint, r: &mut impl Rng) -> bool {
+        is_probable_prime(n, DEFAULT_MILLER_RABIN_ROUNDS, r)
+    }
+
+    #[test]
+    fn small_values_classified_exactly() {
+        let mut r = rng(1);
+        let primes: Vec<u64> = SMALL_PRIMES.to_vec();
+        for n in 0u64..1000 {
+            let expect = primes.binary_search(&n).is_ok();
+            assert_eq!(
+                is_prime_u64(&BigUint::from_u64(n), &mut r),
+                expect,
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn known_large_primes_accepted() {
+        let mut r = rng(2);
+        // Mersenne primes 2^61-1, 2^89-1, 2^107-1 and a few NIST-ish values.
+        for s in [
+            "2305843009213693951",
+            "618970019642690137449562111",
+            "162259276829213363391578010288127",
+            "170141183460469231731687303715884105727", // 2^127 - 1
+        ] {
+            let p: BigUint = s.parse().unwrap();
+            assert!(is_prime_u64(&p, &mut r), "{s}");
+        }
+    }
+
+    #[test]
+    fn known_composites_rejected() {
+        let mut r = rng(3);
+        // Carmichael numbers defeat Fermat tests but not Miller–Rabin.
+        for s in ["561", "1105", "1729", "2465", "2821", "6601", "8911", "41041", "825265"] {
+            let n: BigUint = s.parse().unwrap();
+            assert!(!is_prime_u64(&n, &mut r), "{s} is a Carmichael number");
+        }
+        // Products of two close primes (RSA-style worst case for trial division).
+        let p: BigUint = "2305843009213693951".parse().unwrap();
+        let product = &p * &p;
+        assert!(!is_prime_u64(&product, &mut r));
+    }
+
+    #[test]
+    fn prime_squares_of_small_primes_rejected() {
+        let mut r = rng(4);
+        for &p in &SMALL_PRIMES[..20] {
+            let sq = BigUint::from_u64(p * p);
+            assert!(!is_prime_u64(&sq, &mut r), "{p}^2");
+        }
+    }
+
+    #[test]
+    fn gen_prime_has_requested_size_and_is_odd() {
+        let mut r = rng(5);
+        for bits in [2usize, 3, 8, 16, 32, 64, 128] {
+            let p = gen_prime(&mut r, bits);
+            assert_eq!(p.bit_length(), bits, "{bits} bits");
+            assert!(bits < 3 || p.is_odd());
+            assert!(is_prime_u64(&p, &mut r));
+        }
+    }
+
+    #[test]
+    fn gen_prime_256_bits() {
+        let mut r = rng(6);
+        let p = gen_prime(&mut r, 256);
+        assert_eq!(p.bit_length(), 256);
+        assert!(is_probable_prime(&p, 16, &mut r));
+    }
+
+    #[test]
+    fn gen_prime_pair_distinct_and_full_product_size() {
+        let mut r = rng(7);
+        let (p, q) = gen_prime_pair(&mut r, 64);
+        assert_ne!(p, q);
+        assert_eq!((&p * &q).bit_length(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 bits")]
+    fn one_bit_prime_panics() {
+        let mut r = rng(8);
+        let _ = gen_prime(&mut r, 1);
+    }
+
+    #[test]
+    fn two_bit_primes_are_2_or_3() {
+        let mut r = rng(9);
+        for _ in 0..10 {
+            let p = gen_prime(&mut r, 2).to_u64().unwrap();
+            assert!(p == 2 || p == 3, "{p}");
+        }
+    }
+
+    #[test]
+    fn small_primes_table_is_sorted_and_prime() {
+        for w in SMALL_PRIMES.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for &p in &SMALL_PRIMES {
+            for d in 2..p {
+                if d * d > p {
+                    break;
+                }
+                assert!(p % d != 0, "{p} divisible by {d}");
+            }
+        }
+    }
+}

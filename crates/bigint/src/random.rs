@@ -1,0 +1,159 @@
+//! Uniform random sampling of big integers from any [`rand::Rng`].
+//!
+//! All library code takes the RNG as a parameter; nothing touches a global
+//! generator, so protocol transcripts are reproducible under seeded RNGs.
+
+use crate::biguint::BigUint;
+use rand::Rng;
+
+/// Samples a uniform integer with at most `bits` bits (i.e. in `[0, 2^bits)`).
+pub fn gen_biguint_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    if bits == 0 {
+        return BigUint::zero();
+    }
+    let limbs = bits.div_ceil(64);
+    let mut out = Vec::with_capacity(limbs);
+    for _ in 0..limbs {
+        out.push(rng.random::<u64>());
+    }
+    let extra = limbs * 64 - bits;
+    if extra > 0 {
+        let last = out.last_mut().expect("limbs >= 1");
+        *last &= u64::MAX >> extra;
+    }
+    BigUint::from_limbs(out)
+}
+
+/// Samples a uniform integer with *exactly* `bits` bits (top bit set).
+///
+/// # Panics
+/// Panics if `bits == 0`.
+pub fn gen_biguint_exact_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    assert!(bits > 0, "cannot sample a 0-bit integer with its top bit set");
+    let mut value = gen_biguint_bits(rng, bits);
+    value.set_bit(bits - 1, true);
+    value
+}
+
+/// Samples a uniform integer in `[0, bound)` by rejection.
+///
+/// # Panics
+/// Panics if `bound` is zero.
+pub fn gen_biguint_below<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
+    assert!(!bound.is_zero(), "empty sampling range [0, 0)");
+    let bits = bound.bit_length();
+    loop {
+        let candidate = gen_biguint_bits(rng, bits);
+        if &candidate < bound {
+            return candidate;
+        }
+        // Rejection probability < 1/2 per round since bound has `bits` bits.
+    }
+}
+
+/// Samples a uniform integer in `[low, high)`.
+///
+/// # Panics
+/// Panics if `low >= high`.
+pub fn gen_biguint_range<R: Rng + ?Sized>(
+    rng: &mut R,
+    low: &BigUint,
+    high: &BigUint,
+) -> BigUint {
+    assert!(low < high, "empty sampling range");
+    let width = high - low;
+    &gen_biguint_below(rng, &width) + low
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_helpers::rng;
+
+    #[test]
+    fn bits_bound_respected() {
+        let mut r = rng(1);
+        for bits in [0usize, 1, 7, 64, 65, 130, 1024] {
+            for _ in 0..20 {
+                let x = gen_biguint_bits(&mut r, bits);
+                assert!(x.bit_length() <= bits, "{bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_bits_sets_top_bit() {
+        let mut r = rng(2);
+        for bits in [1usize, 2, 63, 64, 65, 512] {
+            for _ in 0..10 {
+                let x = gen_biguint_exact_bits(&mut r, bits);
+                assert_eq!(x.bit_length(), bits);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "0-bit")]
+    fn exact_bits_zero_panics() {
+        let mut r = rng(3);
+        let _ = gen_biguint_exact_bits(&mut r, 0);
+    }
+
+    #[test]
+    fn below_always_in_range() {
+        let mut r = rng(4);
+        for bound in [1u128, 2, 3, 100, u64::MAX as u128 + 5] {
+            let bound = BigUint::from_u128(bound);
+            for _ in 0..50 {
+                assert!(gen_biguint_below(&mut r, &bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn below_one_is_always_zero() {
+        let mut r = rng(5);
+        for _ in 0..10 {
+            assert!(gen_biguint_below(&mut r, &BigUint::one()).is_zero());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sampling range")]
+    fn below_zero_panics() {
+        let mut r = rng(6);
+        let _ = gen_biguint_below(&mut r, &BigUint::zero());
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = rng(7);
+        let low = BigUint::from_u64(1000);
+        let high = BigUint::from_u64(1010);
+        let mut seen_low = false;
+        for _ in 0..500 {
+            let x = gen_biguint_range(&mut r, &low, &high);
+            assert!(x >= low && x < high);
+            if x == low {
+                seen_low = true;
+            }
+        }
+        assert!(seen_low, "lower endpoint should be reachable");
+    }
+
+    #[test]
+    fn rough_uniformity_smoke() {
+        // Not a statistical test — just catches catastrophic bias such as
+        // always-zero high bits.
+        let mut r = rng(8);
+        let bound = BigUint::from_u64(100);
+        let mut buckets = [0usize; 4];
+        for _ in 0..4000 {
+            let x = gen_biguint_below(&mut r, &bound).to_u64().unwrap();
+            buckets[(x / 25) as usize] += 1;
+        }
+        for &count in &buckets {
+            assert!(count > 700, "bucket badly under-filled: {buckets:?}");
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! The arbitrary-partition distance protocol (§4.4).
+//!
+//! For a record pair `(x, y)` under arbitrary per-cell ownership, the
+//! squared distance decomposes over three public attribute classes:
+//!
+//! * `V_A` — attributes where Alice owns both `x_k` and `y_k`: she sums
+//!   `(x_k − y_k)²` locally;
+//! * `V_B` — symmetric for Bob;
+//! * `H` — attributes where the endpoints are split across parties:
+//!   `(x_k − y_k)² = x_k² − 2·x_k·y_k + y_k²`; the squares stay local and
+//!   the cross terms go through the Multiplication Protocol with Bob as
+//!   keyholder and Alice blinding with zero-sum `r_k` — exactly the HDP
+//!   treatment the paper prescribes ("the horizontally partitioned data
+//!   could be processed using the Protocol HDP").
+//!
+//! One Yao comparison then decides
+//! `V_A + Σ_H a_k²  ≤  Eps² − V_B − Σ_H b_k² + 2·Σ_H a_k·b_k`,
+//! which is `dist²(x, y) ≤ Eps²`.
+
+use crate::config::{ProtocolConfig, YaoLedger};
+use crate::domain::adp_domain;
+use ppds_bigint::BigInt;
+use ppds_paillier::{Keypair, PublicKey};
+use ppds_smc::compare::{compare_alice, compare_bob, CmpOp};
+use ppds_smc::multiplication::{mul_batch_keyholder, mul_batch_peer, zero_sum_masks};
+use ppds_smc::SmcError;
+use ppds_transport::Channel;
+use rand::Rng;
+
+/// One party's view of a record pair: its own values (`Some`) per
+/// attribute, for records `x` and `y`.
+#[derive(Debug, Clone, Copy)]
+pub struct PairView<'a> {
+    /// Own values of record `x` (`Some` at owned attributes).
+    pub x: &'a [Option<i64>],
+    /// Own values of record `y`.
+    pub y: &'a [Option<i64>],
+}
+
+/// Classified attribute contributions, computed locally by each party from
+/// its own view. Ownership is complementary, so the two parties' `split`
+/// endpoint lists align index-for-index.
+struct LocalParts {
+    /// Σ (x_k − y_k)² over attributes where this party owns both endpoints.
+    both_owned: i64,
+    /// This party's endpoint value per split attribute, ascending `k`.
+    split_endpoints: Vec<i64>,
+}
+
+fn classify(view: &PairView<'_>) -> LocalParts {
+    assert_eq!(view.x.len(), view.y.len(), "views must share the schema");
+    let mut both_owned = 0i64;
+    let mut split_endpoints = Vec::new();
+    for (xk, yk) in view.x.iter().zip(view.y) {
+        match (xk, yk) {
+            (Some(x), Some(y)) => {
+                let d = x - y;
+                both_owned += d * d;
+            }
+            (Some(v), None) | (None, Some(v)) => split_endpoints.push(*v),
+            (None, None) => {} // the peer owns both endpoints
+        }
+    }
+    LocalParts {
+        both_owned,
+        split_endpoints,
+    }
+}
+
+/// Alice's side of one arbitrary-partition comparison. Returns
+/// `dist²(x, y) ≤ Eps²`.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
+pub fn adp_compare_alice<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    my_keypair: &Keypair,
+    bob_pk: &PublicKey,
+    view: PairView<'_>,
+    rng: &mut R,
+    ledger: &mut YaoLedger,
+) -> Result<bool, SmcError> {
+    let total_dim = view.x.len();
+    let parts = classify(&view);
+    // Cross terms through the Multiplication Protocol (Bob keyholder).
+    if !parts.split_endpoints.is_empty() {
+        let ys: Vec<BigInt> = parts
+            .split_endpoints
+            .iter()
+            .map(|&v| BigInt::from_i64(v))
+            .collect();
+        let masks = zero_sum_masks(rng, ys.len(), &cfg.mul_mask_bound());
+        mul_batch_peer(chan, bob_pk, &ys, &masks, rng)?;
+    }
+    let i_val = parts.both_owned
+        + parts
+            .split_endpoints
+            .iter()
+            .map(|&v| v * v)
+            .sum::<i64>();
+    let domain = adp_domain(cfg, total_dim);
+    ledger.record(cfg.key_bits, domain.n0());
+    compare_alice(
+        cfg.comparator,
+        chan,
+        my_keypair,
+        i_val,
+        CmpOp::Leq,
+        &domain,
+        rng,
+    )
+}
+
+/// Bob's side of one arbitrary-partition comparison.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
+pub fn adp_compare_bob<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    my_keypair: &Keypair,
+    alice_pk: &PublicKey,
+    view: PairView<'_>,
+    rng: &mut R,
+    ledger: &mut YaoLedger,
+) -> Result<bool, SmcError> {
+    let total_dim = view.x.len();
+    let parts = classify(&view);
+    let mut cross = 0i64;
+    if !parts.split_endpoints.is_empty() {
+        let xs: Vec<BigInt> = parts
+            .split_endpoints
+            .iter()
+            .map(|&v| BigInt::from_i64(v))
+            .collect();
+        let ws = mul_batch_keyholder(chan, my_keypair, &xs, rng)?;
+        cross = ws
+            .iter()
+            .fold(BigInt::zero(), |acc, w| &acc + w)
+            .to_i64()
+            .ok_or_else(|| SmcError::protocol("ADP cross term overflows i64"))?;
+    }
+    let squares: i64 = parts.split_endpoints.iter().map(|&v| v * v).sum();
+    let j_val = cfg.params.eps_sq as i64 - parts.both_owned - squares + 2 * cross;
+    let domain = adp_domain(cfg, total_dim);
+    ledger.record(cfg.key_bits, domain.n0());
+    compare_bob(
+        cfg.comparator,
+        chan,
+        alice_pk,
+        j_val,
+        CmpOp::Leq,
+        &domain,
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::ArbitraryPartition;
+    use crate::test_helpers::rng;
+    use ppds_dbscan::{dist_sq, DbscanParams, Point};
+    use ppds_transport::duplex;
+    use std::sync::OnceLock;
+
+    fn alice_kp() -> &'static Keypair {
+        static KP: OnceLock<Keypair> = OnceLock::new();
+        KP.get_or_init(|| Keypair::generate(256, &mut rng(44)))
+    }
+
+    fn bob_kp() -> &'static Keypair {
+        static KP: OnceLock<Keypair> = OnceLock::new();
+        KP.get_or_init(|| Keypair::generate(256, &mut rng(55)))
+    }
+
+    /// Runs one comparison for records x_idx, y_idx of a partition.
+    fn run(cfg: ProtocolConfig, part: &ArbitraryPartition, x: usize, y: usize) -> bool {
+        let (mut achan, mut bchan) = duplex();
+        let ax = part.alice_values[x].clone();
+        let ay = part.alice_values[y].clone();
+        let a = std::thread::spawn(move || {
+            let mut r = rng(600 + x as u64);
+            let mut ledger = YaoLedger::default();
+            adp_compare_alice(
+                &mut achan,
+                &cfg,
+                alice_kp(),
+                &bob_kp().public,
+                PairView { x: &ax, y: &ay },
+                &mut r,
+                &mut ledger,
+            )
+            .unwrap()
+        });
+        let mut r = rng(700 + y as u64);
+        let mut ledger = YaoLedger::default();
+        let bob_view = adp_compare_bob(
+            &mut bchan,
+            &cfg,
+            bob_kp(),
+            &alice_kp().public,
+            PairView {
+                x: &part.bob_values[x],
+                y: &part.bob_values[y],
+            },
+            &mut r,
+            &mut ledger,
+        )
+        .unwrap();
+        let alice_view = a.join().unwrap();
+        assert_eq!(alice_view, bob_view);
+        alice_view
+    }
+
+    #[test]
+    fn matches_plain_distance_on_random_partitions() {
+        let cfg = ProtocolConfig::new(
+            DbscanParams {
+                eps_sq: 20,
+                min_pts: 2,
+            },
+            4,
+        );
+        let records = vec![
+            Point::new(vec![1, -2, 3, 0]),
+            Point::new(vec![0, -2, 1, 2]),
+            Point::new(vec![4, 4, -4, -4]),
+        ];
+        let mut r = rng(9);
+        for trial in 0..5 {
+            let part = ArbitraryPartition::random(&mut r, &records);
+            for x in 0..records.len() {
+                for y in 0..records.len() {
+                    if x == y {
+                        continue;
+                    }
+                    let expect = dist_sq(&records[x], &records[y]) <= 20;
+                    assert_eq!(run(cfg, &part, x, y), expect, "trial {trial}, ({x},{y})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pure_vertical_ownership_needs_no_multiplication() {
+        // Constant per-column ownership => H is empty => ADP reduces to VDP.
+        use crate::partition::Owner;
+        let records = vec![Point::new(vec![0, 0]), Point::new(vec![3, 4])];
+        let ownership = vec![vec![Owner::Alice, Owner::Bob]; 2];
+        let part = ArbitraryPartition::from_records(&records, ownership);
+        let cfg = ProtocolConfig::new(
+            DbscanParams {
+                eps_sq: 25,
+                min_pts: 2,
+            },
+            5,
+        );
+        assert!(run(cfg, &part, 0, 1)); // dist² = 25 ≤ 25 (boundary)
+    }
+
+    #[test]
+    fn pure_horizontal_rows_exercise_full_multiplication() {
+        use crate::partition::Owner;
+        // Record 0 fully Alice's, record 1 fully Bob's: every attribute is a
+        // split pair, V_A = V_B = 0.
+        let records = vec![Point::new(vec![1, 2]), Point::new(vec![2, 4])];
+        let ownership = vec![
+            vec![Owner::Alice, Owner::Alice],
+            vec![Owner::Bob, Owner::Bob],
+        ];
+        let part = ArbitraryPartition::from_records(&records, ownership);
+        let cfg = ProtocolConfig::new(
+            DbscanParams {
+                eps_sq: 5,
+                min_pts: 2,
+            },
+            4,
+        );
+        assert!(run(cfg, &part, 0, 1)); // dist² = 1 + 4 = 5 ≤ 5
+        let cfg_tight = ProtocolConfig::new(
+            DbscanParams {
+                eps_sq: 4,
+                min_pts: 2,
+            },
+            4,
+        );
+        assert!(!run(cfg_tight, &part, 0, 1));
+    }
+}

@@ -1,0 +1,190 @@
+//! The arbitrary-partition DBSCAN driver (§4.4).
+//!
+//! "Since the arbitrarily partitioned data could be decomposed into
+//! horizontally and vertically partitioned data, …, the algorithm for the
+//! arbitrarily partitioned data is the combination of algorithms for
+//! horizontally and vertically partitioned data." — concretely: the control
+//! structure is the vertical protocol's shared lockstep loop (both parties
+//! hold a stake in *every* record, so both learn every label, per §3.3),
+//! while each distance test uses the ADP decomposition ([`crate::adp`]) that
+//! routes split attribute pairs through the Multiplication Protocol.
+
+use crate::adp::{adp_compare_alice, adp_compare_bob, PairView};
+use crate::config::{ProtocolConfig, YaoLedger};
+use crate::driver::{establish, PartyOutput, MODE_ARBITRARY};
+use crate::error::CoreError;
+use crate::vertical::lockstep_dbscan;
+use ppds_smc::{LeakageLog, Party};
+use ppds_transport::Channel;
+use rand::Rng;
+
+/// One party's full run over arbitrarily partitioned data. `my_values` is
+/// this party's view: per record, `Some(value)` exactly at the attributes
+/// it owns (see [`crate::partition::ArbitraryPartition`]).
+pub fn arbitrary_party<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    my_values: &[Vec<Option<i64>>],
+    role: Party,
+    rng: &mut R,
+) -> Result<PartyOutput, CoreError> {
+    let dim = my_values.first().map_or(1, Vec::len);
+    cfg.validate(dim)?;
+    for (i, row) in my_values.iter().enumerate() {
+        if row.len() != dim {
+            return Err(CoreError::config(format!(
+                "record {i} has {} attributes, expected {dim}",
+                row.len()
+            )));
+        }
+        for value in row.iter().flatten() {
+            if value.abs() > cfg.coord_bound {
+                return Err(CoreError::config(format!(
+                    "record {i} exceeds the agreed coordinate bound {}",
+                    cfg.coord_bound
+                )));
+            }
+        }
+    }
+    let session = establish(
+        chan,
+        cfg,
+        role,
+        MODE_ARBITRARY,
+        my_values.len(),
+        dim,
+        true,
+        rng,
+    )?;
+    if session.peer_n != my_values.len() {
+        return Err(CoreError::mismatch(format!(
+            "record counts differ: mine {} vs peer {}",
+            my_values.len(),
+            session.peer_n
+        )));
+    }
+
+    let mut leakage = LeakageLog::new();
+    let mut ledger = YaoLedger::default();
+    let clustering = {
+        let ledger = &mut ledger;
+        let dist_leq = |x: usize, y: usize| -> Result<bool, CoreError> {
+            let view = PairView {
+                x: &my_values[x],
+                y: &my_values[y],
+            };
+            let result = match role {
+                Party::Alice => adp_compare_alice(
+                    chan,
+                    cfg,
+                    &session.my_keypair,
+                    &session.peer_pk,
+                    view,
+                    rng,
+                    ledger,
+                )?,
+                Party::Bob => adp_compare_bob(
+                    chan,
+                    cfg,
+                    &session.my_keypair,
+                    &session.peer_pk,
+                    view,
+                    rng,
+                    ledger,
+                )?,
+            };
+            Ok(result)
+        };
+        lockstep_dbscan(my_values.len(), cfg.params, dist_leq, &mut leakage)?
+    };
+
+    Ok(PartyOutput {
+        clustering,
+        leakage,
+        traffic: chan.metrics(),
+        yao: ledger,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_arbitrary_pair;
+    use crate::partition::{ArbitraryPartition, Owner};
+    use crate::test_helpers::rng;
+    use ppds_dbscan::{dbscan, DbscanParams, Point};
+
+    fn cfg(eps_sq: u64, min_pts: usize, bound: i64) -> ProtocolConfig {
+        ProtocolConfig::new(DbscanParams { eps_sq, min_pts }, bound)
+    }
+
+    fn records() -> Vec<Point> {
+        vec![
+            Point::new(vec![0, 0, 1]),
+            Point::new(vec![1, 0, 0]),
+            Point::new(vec![0, 1, 1]),
+            Point::new(vec![8, 8, 8]),
+            Point::new(vec![9, 8, 8]),
+            Point::new(vec![8, 9, 9]),
+            Point::new(vec![-9, 9, 0]),
+        ]
+    }
+
+    #[test]
+    fn random_partitions_match_plaintext() {
+        let recs = records();
+        let c = cfg(4, 3, 12);
+        let reference = dbscan(&recs, c.params);
+        let mut r = rng(42);
+        for trial in 0..3 {
+            let part = ArbitraryPartition::random(&mut r, &recs);
+            let (a_out, b_out) =
+                run_arbitrary_pair(&c, &part, rng(100 + trial), rng(200 + trial)).unwrap();
+            assert_eq!(a_out.clustering, reference, "trial {trial}: alice");
+            assert_eq!(b_out.clustering, reference, "trial {trial}: bob");
+        }
+    }
+
+    #[test]
+    fn vertical_ownership_pattern_reduces_to_vertical_protocol_result() {
+        let recs = records();
+        let ownership =
+            vec![vec![Owner::Alice, Owner::Bob, Owner::Bob]; recs.len()];
+        let part = ArbitraryPartition::from_records(&recs, ownership);
+        let c = cfg(4, 3, 12);
+        let (a_out, _) = run_arbitrary_pair(&c, &part, rng(1), rng(2)).unwrap();
+        assert_eq!(a_out.clustering, dbscan(&recs, c.params));
+    }
+
+    #[test]
+    fn row_wise_ownership_works_like_horizontal_rows() {
+        // Whole records owned by alternating parties — the "horizontal rows
+        // inside the arbitrary model" case from Figure 4.
+        let recs = records();
+        let ownership: Vec<Vec<Owner>> = (0..recs.len())
+            .map(|i| {
+                vec![
+                    if i % 2 == 0 { Owner::Alice } else { Owner::Bob };
+                    3
+                ]
+            })
+            .collect();
+        let part = ArbitraryPartition::from_records(&recs, ownership);
+        let c = cfg(4, 3, 12);
+        let (a_out, b_out) = run_arbitrary_pair(&c, &part, rng(3), rng(4)).unwrap();
+        // Unlike the horizontal protocol, the arbitrary driver runs the
+        // joint lockstep loop, so the result matches centralized DBSCAN.
+        assert_eq!(a_out.clustering, dbscan(&recs, c.params));
+        assert_eq!(b_out.clustering, a_out.clustering);
+    }
+
+    #[test]
+    fn leakage_is_neighbor_counts_like_vertical() {
+        let recs = records();
+        let part = ArbitraryPartition::random(&mut rng(5), &recs);
+        let c = cfg(4, 3, 12);
+        let (a_out, _) = run_arbitrary_pair(&c, &part, rng(6), rng(7)).unwrap();
+        assert!(a_out.leakage.count_kind("neighbor_count") > 0);
+        assert_eq!(a_out.leakage.count_kind("core_point_bit"), 0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Session plumbing: handshake, per-party outputs, and convenience runners
+//! that execute both protocol halves on two threads over an in-memory
+//! channel pair. Each half is equally runnable over
+//! [`ppds_transport::tcp::TcpChannel`] for genuine two-process deployments
+//! (see `examples/hospitals_horizontal.rs`).
+
+use crate::config::{ProtocolConfig, YaoLedger};
+use crate::error::CoreError;
+use crate::partition::{ArbitraryPartition, VerticalPartition};
+use ppds_dbscan::{Clustering, Point};
+use ppds_paillier::{Keypair, PublicKey};
+use ppds_smc::compare::Comparator;
+use ppds_smc::kth::SelectionMethod;
+use ppds_smc::{setup, LeakageLog, Party};
+use ppds_transport::{duplex, Channel, MemoryChannel, MetricsSnapshot};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Everything one party takes away from a protocol run.
+#[derive(Debug)]
+pub struct PartyOutput {
+    /// The clustering this party learned (its own points for horizontal
+    /// protocols; all records for vertical/arbitrary).
+    pub clustering: Clustering,
+    /// Exactly what this party learned beyond its prescribed output.
+    pub leakage: LeakageLog,
+    /// Actual bytes/messages this endpoint moved.
+    pub traffic: MetricsSnapshot,
+    /// Modeled cost of the faithful Yao protocol for every comparison run.
+    pub yao: YaoLedger,
+}
+
+/// Protocol mode tags for the handshake.
+pub(crate) const MODE_HORIZONTAL: u64 = 1;
+pub(crate) const MODE_VERTICAL: u64 = 2;
+pub(crate) const MODE_ARBITRARY: u64 = 3;
+pub(crate) const MODE_ENHANCED: u64 = 4;
+
+/// Session state after a successful handshake.
+pub(crate) struct Session {
+    pub my_keypair: Keypair,
+    pub peer_pk: PublicKey,
+    /// Peer's record count (horizontal) or record count check (vertical).
+    pub peer_n: usize,
+    /// Peer's attribute count (differs from ours only for vertical data).
+    pub peer_dim: usize,
+}
+
+fn comparator_tag(c: Comparator) -> u64 {
+    match c {
+        Comparator::Yao => 0,
+        Comparator::Ideal => 1,
+        Comparator::Dgk => 2,
+    }
+}
+
+fn selection_tag(s: SelectionMethod) -> u64 {
+    match s {
+        SelectionMethod::RepeatedMin => 0,
+        SelectionMethod::QuickSelect => 1,
+    }
+}
+
+/// Generates a keypair, exchanges public keys, and cross-checks all public
+/// protocol metadata. `dim_must_match` is false for vertical data (parties
+/// own different attribute slices).
+#[allow(clippy::too_many_arguments)] // one parameter per handshake field
+pub(crate) fn establish<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    role: Party,
+    mode: u64,
+    n_mine: usize,
+    dim_mine: usize,
+    dim_must_match: bool,
+    rng: &mut R,
+) -> Result<Session, CoreError> {
+    let my_keypair = Keypair::generate(cfg.key_bits, rng);
+    establish_with_keypair(chan, cfg, my_keypair, role, mode, n_mine, dim_mine, dim_must_match)
+}
+
+/// [`establish`] with a caller-provided keypair — a multi-party node reuses
+/// one keypair across all of its pairwise sessions.
+#[allow(clippy::too_many_arguments)] // one parameter per handshake field
+pub(crate) fn establish_with_keypair<C: Channel>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    my_keypair: Keypair,
+    role: Party,
+    mode: u64,
+    n_mine: usize,
+    dim_mine: usize,
+    dim_must_match: bool,
+) -> Result<Session, CoreError> {
+    let peer_pk = match role {
+        Party::Alice => setup::exchange_keys_alice(chan, &my_keypair)?,
+        Party::Bob => setup::exchange_keys_bob(chan, &my_keypair)?,
+    };
+
+    let meta: Vec<u64> = vec![
+        mode,
+        n_mine as u64,
+        dim_mine as u64,
+        cfg.coord_bound as u64,
+        cfg.params.eps_sq,
+        cfg.params.min_pts as u64,
+        cfg.key_bits as u64,
+        comparator_tag(cfg.comparator),
+        selection_tag(cfg.selection),
+        cfg.mask_bits as u64,
+    ];
+    chan.send(&meta)?;
+    let peer_meta: Vec<u64> = chan.recv()?;
+    if peer_meta.len() != meta.len() {
+        return Err(CoreError::mismatch("handshake metadata length"));
+    }
+    let check = |idx: usize, what: &str| -> Result<(), CoreError> {
+        if meta[idx] != peer_meta[idx] {
+            return Err(CoreError::mismatch(format!(
+                "{what}: mine {} vs peer {}",
+                meta[idx], peer_meta[idx]
+            )));
+        }
+        Ok(())
+    };
+    check(0, "protocol mode")?;
+    if dim_must_match && meta[2] != 0 && peer_meta[2] != 0 {
+        // Dimension 0 means "this side has no points" and matches anything.
+        check(2, "dimension")?;
+    }
+    check(3, "coordinate bound")?;
+    check(4, "Eps²")?;
+    check(5, "MinPts")?;
+    check(6, "key bits")?;
+    check(7, "comparator")?;
+    check(8, "selection method")?;
+    check(9, "mask bits")?;
+    // Vertical/arbitrary protocols also need identical record counts, which
+    // the caller checks via `peer_n`.
+    Ok(Session {
+        my_keypair,
+        peer_pk,
+        peer_n: peer_meta[1] as usize,
+        peer_dim: peer_meta[2] as usize,
+    })
+}
+
+/// Runs the two halves of a protocol on two scoped threads over an
+/// in-memory duplex pair.
+pub fn run_pair<A, B, RA, RB>(alice_half: A, bob_half: B) -> Result<(RA, RB), CoreError>
+where
+    A: FnOnce(MemoryChannel) -> Result<RA, CoreError> + Send,
+    B: FnOnce(MemoryChannel) -> Result<RB, CoreError> + Send,
+    RA: Send,
+    RB: Send,
+{
+    let (alice_chan, bob_chan) = duplex();
+    let (alice_result, bob_result) = std::thread::scope(|scope| {
+        let alice = scope.spawn(move || alice_half(alice_chan));
+        let bob = scope.spawn(move || bob_half(bob_chan));
+        (
+            alice.join().map_err(|_| CoreError::PartyPanicked("alice")),
+            bob.join().map_err(|_| CoreError::PartyPanicked("bob")),
+        )
+    });
+    Ok((alice_result??, bob_result??))
+}
+
+/// Runs the basic horizontal protocol (Algorithms 3 & 4) end to end.
+pub fn run_horizontal_pair(
+    cfg: &ProtocolConfig,
+    alice_points: &[Point],
+    bob_points: &[Point],
+    mut rng_a: StdRng,
+    mut rng_b: StdRng,
+) -> Result<(PartyOutput, PartyOutput), CoreError> {
+    run_pair(
+        |mut chan| {
+            crate::horizontal::horizontal_party(&mut chan, cfg, alice_points, Party::Alice, &mut rng_a)
+        },
+        |mut chan| {
+            crate::horizontal::horizontal_party(&mut chan, cfg, bob_points, Party::Bob, &mut rng_b)
+        },
+    )
+}
+
+/// Runs the enhanced horizontal protocol (Algorithms 7 & 8) end to end.
+pub fn run_enhanced_pair(
+    cfg: &ProtocolConfig,
+    alice_points: &[Point],
+    bob_points: &[Point],
+    mut rng_a: StdRng,
+    mut rng_b: StdRng,
+) -> Result<(PartyOutput, PartyOutput), CoreError> {
+    run_pair(
+        |mut chan| {
+            crate::horizontal::enhanced_party(&mut chan, cfg, alice_points, Party::Alice, &mut rng_a)
+        },
+        |mut chan| {
+            crate::horizontal::enhanced_party(&mut chan, cfg, bob_points, Party::Bob, &mut rng_b)
+        },
+    )
+}
+
+/// Runs the vertical protocol (Algorithms 5 & 6) end to end.
+pub fn run_vertical_pair(
+    cfg: &ProtocolConfig,
+    partition: &VerticalPartition,
+    mut rng_a: StdRng,
+    mut rng_b: StdRng,
+) -> Result<(PartyOutput, PartyOutput), CoreError> {
+    run_pair(
+        |mut chan| {
+            crate::vertical::vertical_party(&mut chan, cfg, &partition.alice, Party::Alice, &mut rng_a)
+        },
+        |mut chan| {
+            crate::vertical::vertical_party(&mut chan, cfg, &partition.bob, Party::Bob, &mut rng_b)
+        },
+    )
+}
+
+/// Runs the arbitrary-partition protocol (§4.4) end to end.
+pub fn run_arbitrary_pair(
+    cfg: &ProtocolConfig,
+    partition: &ArbitraryPartition,
+    mut rng_a: StdRng,
+    mut rng_b: StdRng,
+) -> Result<(PartyOutput, PartyOutput), CoreError> {
+    run_pair(
+        |mut chan| {
+            crate::arbitrary::arbitrary_party(
+                &mut chan,
+                cfg,
+                &partition.alice_values,
+                Party::Alice,
+                &mut rng_a,
+            )
+        },
+        |mut chan| {
+            crate::arbitrary::arbitrary_party(
+                &mut chan,
+                cfg,
+                &partition.bob_values,
+                Party::Bob,
+                &mut rng_b,
+            )
+        },
+    )
+}

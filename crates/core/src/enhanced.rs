@@ -1,0 +1,380 @@
+//! The enhanced core-point test (Section 5).
+//!
+//! The basic horizontal protocol reveals, per query, *how many* of the
+//! responder's points fall in the neighborhood (Theorem 9). Section 5
+//! replaces the count with a single bit:
+//!
+//! 1. The querier's coefficient vector `(ΣA², −2A_1, …, −2A_m, 1)` is
+//!    encrypted under her key and sent **once**; the responder answers with
+//!    `E(Dist²(A, B_j) + v_j)` for every point `B_j` (freshly permuted),
+//!    using the dot-product Multiplication Protocol. The querier decrypts
+//!    shares `u_j`, the responder keeps `v_j`.
+//! 2. With `k = MinPts − |querier's own neighbors|`, the parties select the
+//!    k-th smallest shared distance (repeated-minimum or quickselect, §5's
+//!    two algorithms) using share comparisons
+//!    `u_a − u_b < v_a − v_b ⟺ Dist_a < Dist_b`.
+//! 3. One final Yao comparison decides `u_k ≤ Eps² + v_k`, i.e. whether the
+//!    k-th nearest responder point is within Eps — which is precisely
+//!    "is A a core point", revealing nothing else about the count
+//!    (Theorem 11).
+//!
+//! Edge cases the paper leaves implicit: when `k ≤ 0` the querier already
+//! knows A is core, and when `k > n_b` it cannot possibly be; both are
+//! decided locally, and the responder only sees a one-bit "not engaging"
+//! flag (strictly less than it learns from a full selection).
+
+use crate::config::{ProtocolConfig, YaoLedger};
+use crate::domain::enhanced_share_domain;
+use ppds_bigint::{BigInt, BigUint};
+use ppds_dbscan::Point;
+use ppds_paillier::{Keypair, PublicKey};
+use ppds_smc::compare::{compare_alice, compare_bob, CmpOp};
+use ppds_smc::kth::{kth_smallest_alice, kth_smallest_bob};
+use ppds_smc::multiplication::{dot_many_keyholder, dot_many_peer};
+use ppds_smc::{LeakageEvent, LeakageLog, SmcError};
+use ppds_transport::Channel;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+fn share_to_i64(v: &BigInt) -> Result<i64, SmcError> {
+    v.to_i64()
+        .ok_or_else(|| SmcError::protocol("distance share overflows i64"))
+}
+
+/// Querier side of one enhanced core-point test. `own_count` is the size of
+/// the querier's *local* Eps-neighborhood of `query` (including the point
+/// itself). Returns whether `query` is a core point of the joint data.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
+pub fn enhanced_core_test_querier<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    my_keypair: &Keypair,
+    query: &Point,
+    own_count: usize,
+    responder_count: usize,
+    rng: &mut R,
+    ledger: &mut YaoLedger,
+    leakage: &mut LeakageLog,
+) -> Result<bool, SmcError> {
+    let k_needed = cfg.params.min_pts.saturating_sub(own_count);
+    let engage = k_needed >= 1 && k_needed <= responder_count;
+    chan.send(&(engage, k_needed as u64))?;
+    if !engage {
+        // Decided locally: core iff the local neighborhood alone suffices.
+        let is_core = k_needed == 0;
+        leakage.record(LeakageEvent::CorePointBit {
+            query: "local".into(),
+            is_core,
+        });
+        return Ok(is_core);
+    }
+
+    // Phase 1: shares u_j = Dist²(A, B_j) + v_j.
+    let dim = query.dim();
+    let mut xs: Vec<BigInt> = Vec::with_capacity(dim + 2);
+    xs.push(BigInt::from(BigUint::from_u64(query.norm_sq())));
+    for &a in query.coords() {
+        xs.push(BigInt::from_i64(-2 * a));
+    }
+    xs.push(BigInt::from_i64(1));
+    let raw = dot_many_keyholder(chan, my_keypair, &xs, responder_count, rng)?;
+    let shares: Vec<i64> = raw.iter().map(share_to_i64).collect::<Result<_, _>>()?;
+
+    // Phase 2: k-th smallest shared distance.
+    let domain = enhanced_share_domain(cfg, dim);
+    let outcome = kth_smallest_alice(
+        cfg.selection,
+        cfg.comparator,
+        chan,
+        my_keypair,
+        &shares,
+        k_needed,
+        &domain,
+        rng,
+    )?;
+    for _ in 0..outcome.comparisons {
+        ledger.record(cfg.key_bits, domain.n0());
+    }
+
+    // Phase 3: u_k ≤ Eps² + v_k.
+    ledger.record(cfg.key_bits, domain.n0());
+    let is_core = compare_alice(
+        cfg.comparator,
+        chan,
+        my_keypair,
+        shares[outcome.index],
+        CmpOp::Leq,
+        &domain,
+        rng,
+    )?;
+    leakage.record(LeakageEvent::CorePointBit {
+        query: "joint".into(),
+        is_core,
+    });
+    Ok(is_core)
+}
+
+/// Responder side of one enhanced core-point test over `my_points`.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
+pub fn enhanced_core_respond<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    querier_pk: &PublicKey,
+    my_points: &[Point],
+    dim: usize,
+    rng: &mut R,
+    ledger: &mut YaoLedger,
+    leakage: &mut LeakageLog,
+) -> Result<(), SmcError> {
+    let (engage, k): (bool, u64) = chan.recv()?;
+    if !engage {
+        return Ok(());
+    }
+    let k = k as usize;
+    if k == 0 || k > my_points.len() {
+        return Err(SmcError::protocol(format!(
+            "querier engaged with invalid k = {k} for {} points",
+            my_points.len()
+        )));
+    }
+    leakage.record(LeakageEvent::ThresholdRank {
+        query: "peer-query".into(),
+        k: k as u64,
+    });
+
+    // Phase 1: masked dot products over a fresh permutation.
+    let mut order: Vec<usize> = (0..my_points.len()).collect();
+    order.shuffle(rng);
+    let rows: Vec<Vec<BigInt>> = order
+        .iter()
+        .map(|&idx| {
+            let p = &my_points[idx];
+            let mut row: Vec<BigInt> = Vec::with_capacity(p.dim() + 2);
+            row.push(BigInt::from_i64(1));
+            for &b in p.coords() {
+                row.push(BigInt::from_i64(b));
+            }
+            row.push(BigInt::from(BigUint::from_u64(p.norm_sq())));
+            row
+        })
+        .collect();
+    let mask_bound = BigUint::from_u64(cfg.enhanced_mask_bound(dim));
+    let masks = dot_many_peer(chan, querier_pk, &rows, &mask_bound, rng)?;
+    let shares: Vec<i64> = masks.iter().map(share_to_i64).collect::<Result<_, _>>()?;
+
+    // Phase 2: mirror the selection.
+    let domain = enhanced_share_domain(cfg, dim);
+    let outcome = kth_smallest_bob(
+        cfg.selection,
+        cfg.comparator,
+        chan,
+        querier_pk,
+        &shares,
+        k,
+        &domain,
+        rng,
+    )?;
+    for _ in 0..outcome.comparisons {
+        ledger.record(cfg.key_bits, domain.n0());
+    }
+
+    // Phase 3: Eps² + v_k vs the querier's u_k.
+    ledger.record(cfg.key_bits, domain.n0());
+    let is_core = compare_bob(
+        cfg.comparator,
+        chan,
+        querier_pk,
+        cfg.params.eps_sq as i64 + shares[outcome.index],
+        CmpOp::Leq,
+        &domain,
+        rng,
+    )?;
+    if is_core {
+        // The responder knows which of *his own* points ranked k-th and
+        // that it sits within Eps of some unidentifiable query point.
+        leakage.record(LeakageEvent::OwnPointMatched {
+            point: format!("own#{}", order[outcome.index]),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_helpers::rng;
+    use ppds_dbscan::{dist_sq, DbscanParams};
+    use ppds_transport::duplex;
+    use std::sync::OnceLock;
+
+    fn querier_kp() -> &'static Keypair {
+        static KP: OnceLock<Keypair> = OnceLock::new();
+        KP.get_or_init(|| Keypair::generate(256, &mut rng(66)))
+    }
+
+    fn run_test(
+        cfg: ProtocolConfig,
+        query: Point,
+        own_count: usize,
+        responder_points: Vec<Point>,
+        seed: u64,
+    ) -> (bool, LeakageLog, LeakageLog) {
+        let dim = query.dim();
+        let nb = responder_points.len();
+        let (mut qchan, mut rchan) = duplex();
+        let q = std::thread::spawn(move || {
+            let mut r = rng(seed);
+            let mut ledger = YaoLedger::default();
+            let mut leakage = LeakageLog::new();
+            let is_core = enhanced_core_test_querier(
+                &mut qchan,
+                &cfg,
+                querier_kp(),
+                &query,
+                own_count,
+                nb,
+                &mut r,
+                &mut ledger,
+                &mut leakage,
+            )
+            .unwrap();
+            (is_core, leakage)
+        });
+        let mut r = rng(seed + 1);
+        let mut ledger = YaoLedger::default();
+        let mut r_leakage = LeakageLog::new();
+        enhanced_core_respond(
+            &mut rchan,
+            &cfg,
+            &querier_kp().public,
+            &responder_points,
+            dim,
+            &mut r,
+            &mut ledger,
+            &mut r_leakage,
+        )
+        .unwrap();
+        let (is_core, q_leakage) = q.join().unwrap();
+        (is_core, q_leakage, r_leakage)
+    }
+
+    fn cfg(eps_sq: u64, min_pts: usize) -> ProtocolConfig {
+        ProtocolConfig::new(DbscanParams { eps_sq, min_pts }, 10)
+    }
+
+    #[test]
+    fn core_decision_matches_plain_count() {
+        let responder_points = vec![
+            Point::new(vec![1, 0]),
+            Point::new(vec![0, 2]),
+            Point::new(vec![5, 5]),
+            Point::new(vec![-1, -1]),
+        ];
+        let query = Point::new(vec![0, 0]);
+        for min_pts in 1..=6 {
+            for own_count in 0..=3 {
+                let c = cfg(4, min_pts);
+                let peer_in = responder_points
+                    .iter()
+                    .filter(|p| dist_sq(p, &query) <= 4)
+                    .count();
+                let expect = own_count + peer_in >= min_pts;
+                let (got, _, _) = run_test(
+                    c,
+                    query.clone(),
+                    own_count,
+                    responder_points.clone(),
+                    1000 + (min_pts * 10 + own_count) as u64,
+                );
+                assert_eq!(got, expect, "min_pts={min_pts} own={own_count}");
+            }
+        }
+    }
+
+    #[test]
+    fn leakage_is_core_bit_only_for_querier() {
+        let (is_core, q_leakage, r_leakage) = run_test(
+            cfg(4, 2),
+            Point::new(vec![0, 0]),
+            1,
+            vec![Point::new(vec![1, 1]), Point::new(vec![8, 8])],
+            50,
+        );
+        assert!(is_core);
+        // Querier's deliberate disclosures: exactly one core-point bit.
+        assert_eq!(q_leakage.count_kind("core_point_bit"), 1);
+        assert_eq!(q_leakage.count_kind("neighbor_count"), 0);
+        // Responder: learned the rank k and that his nearest point matched.
+        assert_eq!(r_leakage.count_kind("threshold_rank"), 1);
+        assert_eq!(r_leakage.count_kind("own_point_matched"), 1);
+    }
+
+    #[test]
+    fn locally_decided_core() {
+        // own_count ≥ MinPts: no engagement, responder learns one flag bit.
+        let (is_core, _, r_leakage) = run_test(
+            cfg(4, 2),
+            Point::new(vec![0, 0]),
+            5,
+            vec![Point::new(vec![9, 9])],
+            60,
+        );
+        assert!(is_core);
+        assert!(r_leakage.is_empty());
+    }
+
+    #[test]
+    fn locally_decided_not_core() {
+        // k > responder point count: impossible to reach MinPts.
+        let (is_core, _, _) = run_test(
+            cfg(4, 5),
+            Point::new(vec![0, 0]),
+            1,
+            vec![Point::new(vec![0, 1])],
+            70,
+        );
+        assert!(!is_core);
+    }
+
+    #[test]
+    fn quickselect_variant_agrees() {
+        let mut c = cfg(9, 4);
+        c.selection = ppds_smc::kth::SelectionMethod::QuickSelect;
+        let responder_points = vec![
+            Point::new(vec![3, 0]),
+            Point::new(vec![0, 3]),
+            Point::new(vec![2, 2]),
+            Point::new(vec![10, 0]),
+            Point::new(vec![0, 10]),
+        ];
+        // own_count 1 → k = 3; 3rd nearest responder distance: 9 ≤ 9 ✓.
+        let (is_core, _, _) =
+            run_test(c, Point::new(vec![0, 0]), 1, responder_points.clone(), 80);
+        assert!(is_core);
+        // min_pts 5 → k = 4; 4th nearest is dist² 100 > 9.
+        let mut c5 = cfg(9, 5);
+        c5.selection = ppds_smc::kth::SelectionMethod::QuickSelect;
+        let (is_core, _, _) = run_test(c5, Point::new(vec![0, 0]), 1, responder_points, 81);
+        assert!(!is_core);
+    }
+
+    #[test]
+    fn yao_backend_small_domain() {
+        let mut c = ProtocolConfig::new_with_yao(
+            DbscanParams {
+                eps_sq: 2,
+                min_pts: 2,
+            },
+            2,
+        );
+        c.mask_bits = 1;
+        let (is_core, _, _) = run_test(
+            c,
+            Point::new(vec![0, 0]),
+            1,
+            vec![Point::new(vec![1, 1]), Point::new(vec![2, 2])],
+            90,
+        );
+        assert!(is_core); // nearest responder dist² = 2 ≤ 2
+    }
+}

@@ -1,0 +1,310 @@
+//! Protocol HDP (§4.2): secure `dist²(a, b) ≤ Eps²` for horizontally
+//! partitioned records, batched into one *neighborhood query* — the
+//! querying party's point against every point of the responder, in a fresh
+//! random order chosen by the responder.
+//!
+//! Per pair the paper's recipe runs in two stages:
+//!
+//! 1. **Multiplication stage.** The responder is the Multiplication
+//!    Protocol keyholder with his attribute values `b_k`; the querier is
+//!    the peer with her values `a_k` and zero-sum blinding terms `r_k`
+//!    (`Σ r_k = 0`). The responder learns `w_k = a_k·b_k + r_k` and sums
+//!    them to the exact inner product `⟨a, b⟩` — individual products stay
+//!    hidden behind the `r_k`.
+//! 2. **Comparison stage.** Querier input `i = Σ a_k²`; responder input
+//!    `j = Eps² − Σ b_k² + 2⟨a, b⟩`. One Yao comparison decides
+//!    `i ≤ j ⟺ dist²(a, b) ≤ Eps²`.
+//!
+//! The querier ends with the *count* of matching responder points (the
+//! Theorem 9 leakage); because the responder permutes his points per query,
+//! the querier cannot link matches across queries, which defeats the
+//! Figure 1 intersection attack. The responder learns, for each of his own
+//! points, whether it matched *some* unidentified query point (and logs it
+//! as [`LeakageEvent::OwnPointMatched`]).
+
+use crate::config::{ProtocolConfig, YaoLedger};
+use crate::domain::hdp_domain;
+use ppds_bigint::BigInt;
+use ppds_dbscan::Point;
+use ppds_paillier::{Keypair, PublicKey};
+use ppds_smc::compare::{compare_alice, compare_bob, CmpOp};
+use ppds_smc::multiplication::{mul_batch_keyholder, mul_batch_peer, zero_sum_masks};
+use ppds_smc::{LeakageEvent, LeakageLog, SmcError};
+use ppds_transport::Channel;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+fn coords_as_bigint(p: &Point) -> Vec<BigInt> {
+    p.coords().iter().map(|&c| BigInt::from_i64(c)).collect()
+}
+
+/// Querier side of one neighborhood query: returns how many of the
+/// responder's `responder_count` points lie within `Eps` of `query`.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
+pub fn hdp_query_querier<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    my_keypair: &Keypair,
+    responder_pk: &PublicKey,
+    query: &Point,
+    responder_count: usize,
+    rng: &mut R,
+    ledger: &mut YaoLedger,
+) -> Result<usize, SmcError> {
+    let dim = query.dim();
+    let domain = hdp_domain(cfg, dim);
+    let i_val = i64::try_from(query.norm_sq()).expect("ΣA² fits i64 on a validated lattice");
+    let ys = coords_as_bigint(query);
+    let mut count = 0usize;
+    for _ in 0..responder_count {
+        // Stage 1: responder (keyholder) gets a_k·b_k + r_k per attribute.
+        let masks = zero_sum_masks(rng, dim, &cfg.mul_mask_bound());
+        mul_batch_peer(chan, responder_pk, &ys, &masks, rng)?;
+        // Stage 2: one Yao comparison under the querier's key.
+        ledger.record(cfg.key_bits, domain.n0());
+        let within = compare_alice(
+            cfg.comparator,
+            chan,
+            my_keypair,
+            i_val,
+            CmpOp::Leq,
+            &domain,
+            rng,
+        )?;
+        count += within as usize;
+    }
+    Ok(count)
+}
+
+/// Responder side of one neighborhood query over `my_points`. Returns the
+/// number of own points that matched (the same bits the querier counted).
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
+pub fn hdp_respond<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    my_keypair: &Keypair,
+    querier_pk: &PublicKey,
+    my_points: &[Point],
+    rng: &mut R,
+    ledger: &mut YaoLedger,
+    leakage: &mut LeakageLog,
+) -> Result<usize, SmcError> {
+    let dim = my_points.first().map_or(0, Point::dim);
+    let domain = hdp_domain(cfg, dim);
+    let eps = cfg.params.eps_sq as i64;
+
+    // Fresh permutation per query: the querier sees match bits in an order
+    // it cannot link to any previous query (Figure 1 defense).
+    let mut order: Vec<usize> = (0..my_points.len()).collect();
+    order.shuffle(rng);
+
+    let mut count = 0usize;
+    for &idx in &order {
+        let point = &my_points[idx];
+        let xs = coords_as_bigint(point);
+        let ws = mul_batch_keyholder(chan, my_keypair, &xs, rng)?;
+        let inner_product: i64 = ws
+            .iter()
+            .fold(BigInt::zero(), |acc, w| &acc + w)
+            .to_i64()
+            .ok_or_else(|| SmcError::protocol("inner product overflows i64"))?;
+        let j_val = eps - point.norm_sq() as i64 + 2 * inner_product;
+        ledger.record(cfg.key_bits, domain.n0());
+        let within = compare_bob(
+            cfg.comparator,
+            chan,
+            querier_pk,
+            j_val,
+            CmpOp::Leq,
+            &domain,
+            rng,
+        )?;
+        if within {
+            count += 1;
+            leakage.record(LeakageEvent::OwnPointMatched {
+                point: format!("own#{idx}"),
+            });
+        }
+    }
+    Ok(count)
+}
+
+impl ProtocolConfig {
+    /// Mask bound for the Multiplication Protocol's blinding terms:
+    /// `C² · 2^σ`, so each masked product `a_k·b_k + r_k` hides its value
+    /// with σ bits of statistical slack. These never enter a Yao comparison
+    /// (the `r_k` cancel), so σ can be large regardless of the comparator.
+    pub fn mul_mask_bound(&self) -> ppds_bigint::BigUint {
+        let c2 = (self.coord_bound as u128) * (self.coord_bound as u128);
+        ppds_bigint::BigUint::from_u128(c2 << self.mask_bits.min(64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_helpers::rng;
+    use ppds_dbscan::{dist_sq, DbscanParams};
+    use ppds_paillier::Keypair;
+    use ppds_transport::duplex;
+    use std::sync::OnceLock;
+
+    fn querier_kp() -> &'static Keypair {
+        static KP: OnceLock<Keypair> = OnceLock::new();
+        KP.get_or_init(|| Keypair::generate(256, &mut rng(11)))
+    }
+
+    fn responder_kp() -> &'static Keypair {
+        static KP: OnceLock<Keypair> = OnceLock::new();
+        KP.get_or_init(|| Keypair::generate(256, &mut rng(22)))
+    }
+
+    fn run_query(
+        cfg: &ProtocolConfig,
+        query: Point,
+        responder_points: Vec<Point>,
+    ) -> (usize, usize, LeakageLog) {
+        let (mut qchan, mut rchan) = duplex();
+        let nb = responder_points.len();
+        let cfg_q = *cfg;
+        let q = std::thread::spawn(move || {
+            let mut r = rng(100);
+            let mut ledger = YaoLedger::default();
+            hdp_query_querier(
+                &mut qchan,
+                &cfg_q,
+                querier_kp(),
+                &responder_kp().public,
+                &query,
+                nb,
+                &mut r,
+                &mut ledger,
+            )
+            .unwrap()
+        });
+        let mut r = rng(200);
+        let mut ledger = YaoLedger::default();
+        let mut leakage = LeakageLog::new();
+        let responder_count = hdp_respond(
+            &mut rchan,
+            cfg,
+            responder_kp(),
+            &querier_kp().public,
+            &responder_points,
+            &mut r,
+            &mut ledger,
+            &mut leakage,
+        )
+        .unwrap();
+        (q.join().unwrap(), responder_count, leakage)
+    }
+
+    #[test]
+    fn counts_match_plain_distance_computation() {
+        let cfg = ProtocolConfig::new(
+            DbscanParams {
+                eps_sq: 9,
+                min_pts: 3,
+            },
+            10,
+        );
+        let query = Point::new(vec![0, 0]);
+        let responder_points = vec![
+            Point::new(vec![1, 1]),   // dist² 2: in
+            Point::new(vec![3, 0]),   // dist² 9: in (boundary)
+            Point::new(vec![3, 1]),   // dist² 10: out
+            Point::new(vec![-2, -2]), // dist² 8: in
+            Point::new(vec![10, 10]), // out
+        ];
+        let expected = responder_points
+            .iter()
+            .filter(|p| dist_sq(p, &query) <= 9)
+            .count();
+        let (qc, rc, leakage) = run_query(&cfg, query, responder_points);
+        assert_eq!(qc, expected);
+        assert_eq!(rc, expected);
+        assert_eq!(leakage.count_kind("own_point_matched"), expected);
+    }
+
+    #[test]
+    fn works_with_negative_coordinates_and_yao() {
+        let cfg = ProtocolConfig::new_with_yao(
+            DbscanParams {
+                eps_sq: 4,
+                min_pts: 2,
+            },
+            3,
+        );
+        let query = Point::new(vec![-2, 1]);
+        let pts = vec![Point::new(vec![-1, 1]), Point::new(vec![2, -2])];
+        let (qc, rc, _) = run_query(&cfg, query, pts);
+        assert_eq!(qc, 1);
+        assert_eq!(rc, 1);
+    }
+
+    #[test]
+    fn empty_responder_set() {
+        let cfg = ProtocolConfig::new(
+            DbscanParams {
+                eps_sq: 4,
+                min_pts: 2,
+            },
+            5,
+        );
+        let (qc, rc, leakage) = run_query(&cfg, Point::new(vec![0, 0]), vec![]);
+        assert_eq!(qc, 0);
+        assert_eq!(rc, 0);
+        assert!(leakage.is_empty());
+    }
+
+    #[test]
+    fn ledger_counts_one_comparison_per_pair() {
+        let cfg = ProtocolConfig::new(
+            DbscanParams {
+                eps_sq: 4,
+                min_pts: 2,
+            },
+            5,
+        );
+        let (mut qchan, mut rchan) = duplex();
+        let q = std::thread::spawn(move || {
+            let mut r = rng(7);
+            let mut ledger = YaoLedger::default();
+            let c = hdp_query_querier(
+                &mut qchan,
+                &cfg,
+                querier_kp(),
+                &responder_kp().public,
+                &Point::new(vec![0, 0]),
+                3,
+                &mut r,
+                &mut ledger,
+            )
+            .unwrap();
+            (c, ledger)
+        });
+        let mut r = rng(8);
+        let mut ledger = YaoLedger::default();
+        let mut leakage = LeakageLog::new();
+        let pts = vec![
+            Point::new(vec![0, 1]),
+            Point::new(vec![4, 4]),
+            Point::new(vec![1, 0]),
+        ];
+        hdp_respond(
+            &mut rchan,
+            &cfg,
+            responder_kp(),
+            &querier_kp().public,
+            &pts,
+            &mut r,
+            &mut ledger,
+            &mut leakage,
+        )
+        .unwrap();
+        let (_, q_ledger) = q.join().unwrap();
+        assert_eq!(q_ledger.comparisons, 3);
+        assert_eq!(ledger.comparisons, 3);
+        assert!(q_ledger.modeled_bytes > 0);
+    }
+}

@@ -1,0 +1,449 @@
+//! The horizontally partitioned DBSCAN drivers: the basic protocol
+//! (Algorithms 3 & 4) and the enhanced protocol (Algorithms 7 & 8), which
+//! share one expansion engine and differ only in the core-point test.
+//!
+//! Per the paper, the run is *symmetric*: Alice clusters her own points
+//! while Bob answers her neighborhood queries, then the roles swap. Each
+//! party ends with labels for its own records only (§3.3); cluster ids are
+//! party-local and intentionally not reconciled across parties.
+//!
+//! Connectivity semantics: the querying party learns only *how many* (or,
+//! enhanced, *whether enough*) peer points lie in a neighborhood — never
+//! which ones — so expansion can only traverse the party's own points. The
+//! plaintext reference of this behaviour is
+//! [`ppds_dbscan::dbscan_with_external_density`], and the integration tests
+//! assert label-exact agreement with it.
+
+use crate::config::{ProtocolConfig, YaoLedger};
+use crate::driver::{establish, PartyOutput, MODE_ENHANCED, MODE_HORIZONTAL};
+use crate::enhanced::{enhanced_core_respond, enhanced_core_test_querier};
+use crate::error::CoreError;
+use crate::hdp::{hdp_query_querier, hdp_respond};
+use ppds_dbscan::index::{LinearIndex, NeighborIndex};
+use ppds_dbscan::{Clustering, DbscanParams, Label, Point};
+use ppds_smc::{LeakageEvent, LeakageLog, Party};
+use ppds_transport::Channel;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Control tags framing the querier's stream of neighborhood queries.
+const TAG_DONE: u8 = 0;
+const TAG_QUERY: u8 = 1;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    Unclassified,
+    Noise,
+    Cluster(usize),
+}
+
+/// The querying party's DBSCAN loop (Algorithm 3 + the local half of
+/// Algorithm 4), generic over the core-point test so the basic and
+/// enhanced protocols share it.
+///
+/// `core_test(chan, point_idx, own_neighbor_count)` runs one interactive
+/// core-point decision with the responder.
+fn querier_phase<C, F>(
+    chan: &mut C,
+    params: DbscanParams,
+    points: &[Point],
+    mut core_test: F,
+) -> Result<Clustering, CoreError>
+where
+    C: Channel,
+    F: FnMut(&mut C, usize, usize) -> Result<bool, CoreError>,
+{
+    let index = LinearIndex::new(points, params.eps_sq);
+    let mut states = vec![State::Unclassified; points.len()];
+    let mut next_cluster = 0usize;
+
+    for i in 0..points.len() {
+        if states[i] != State::Unclassified {
+            continue;
+        }
+        let seeds = index.region_query(&points[i]);
+        chan.send(&TAG_QUERY)?;
+        if !core_test(chan, i, seeds.len())? {
+            states[i] = State::Noise;
+            continue;
+        }
+        let cluster_id = next_cluster;
+        next_cluster += 1;
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &s in &seeds {
+            states[s] = State::Cluster(cluster_id);
+            if s != i {
+                queue.push_back(s);
+            }
+        }
+        while let Some(current) = queue.pop_front() {
+            let result = index.region_query(&points[current]);
+            chan.send(&TAG_QUERY)?;
+            if core_test(chan, current, result.len())? {
+                for &neighbor in &result {
+                    match states[neighbor] {
+                        State::Unclassified => {
+                            queue.push_back(neighbor);
+                            states[neighbor] = State::Cluster(cluster_id);
+                        }
+                        State::Noise => {
+                            states[neighbor] = State::Cluster(cluster_id);
+                        }
+                        State::Cluster(_) => {}
+                    }
+                }
+            }
+        }
+    }
+    chan.send(&TAG_DONE)?;
+
+    let labels = states
+        .into_iter()
+        .map(|s| match s {
+            State::Unclassified => unreachable!("all points classified"),
+            State::Noise => Label::Noise,
+            State::Cluster(id) => Label::Cluster(id),
+        })
+        .collect();
+    Ok(Clustering {
+        labels,
+        num_clusters: next_cluster,
+    })
+}
+
+/// The responding party's loop: serve queries until the querier signals
+/// completion.
+fn responder_phase<C, F>(chan: &mut C, mut respond: F) -> Result<(), CoreError>
+where
+    C: Channel,
+    F: FnMut(&mut C) -> Result<(), CoreError>,
+{
+    loop {
+        let tag: u8 = chan.recv()?;
+        match tag {
+            TAG_DONE => return Ok(()),
+            TAG_QUERY => respond(chan)?,
+            other => {
+                return Err(CoreError::Smc(ppds_smc::SmcError::protocol(format!(
+                    "unexpected control tag {other}"
+                ))))
+            }
+        }
+    }
+}
+
+/// One party's full run of the **basic** horizontal protocol.
+///
+/// Alice queries first while Bob responds, then the roles swap — both
+/// orderings driven by `role`. Returns this party's own clustering.
+pub fn horizontal_party<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    my_points: &[Point],
+    role: Party,
+    rng: &mut R,
+) -> Result<PartyOutput, CoreError> {
+    // An empty side advertises dimension 0, which the handshake treats as
+    // "any" (it still answers queries — with zero matches — either way).
+    let dim = my_points.first().map_or(0, Point::dim);
+    cfg.validate(dim.max(1))?;
+    check_points(cfg, my_points)?;
+    let session = establish(
+        chan,
+        cfg,
+        role,
+        MODE_HORIZONTAL,
+        my_points.len(),
+        dim,
+        true,
+        rng,
+    )?;
+
+    let mut leakage = LeakageLog::new();
+    let mut ledger = YaoLedger::default();
+    let clustering;
+
+    let run_query_phase =
+        |chan: &mut C, rng: &mut R, leakage: &mut LeakageLog, ledger: &mut YaoLedger| {
+            querier_phase(chan, cfg.params, my_points, |chan, idx, own_count| {
+                let peer_count = hdp_query_querier(
+                    chan,
+                    cfg,
+                    &session.my_keypair,
+                    &session.peer_pk,
+                    &my_points[idx],
+                    session.peer_n,
+                    rng,
+                    ledger,
+                )?;
+                leakage.record(LeakageEvent::NeighborCount {
+                    query: format!("own#{idx}"),
+                    count: peer_count as u64,
+                });
+                Ok(own_count + peer_count >= cfg.params.min_pts)
+            })
+        };
+    let run_respond_phase =
+        |chan: &mut C, rng: &mut R, leakage: &mut LeakageLog, ledger: &mut YaoLedger| {
+            responder_phase(chan, |chan| {
+                hdp_respond(
+                    chan,
+                    cfg,
+                    &session.my_keypair,
+                    &session.peer_pk,
+                    my_points,
+                    rng,
+                    ledger,
+                    leakage,
+                )?;
+                Ok(())
+            })
+        };
+
+    match role {
+        Party::Alice => {
+            clustering = Some(run_query_phase(chan, rng, &mut leakage, &mut ledger)?);
+            run_respond_phase(chan, rng, &mut leakage, &mut ledger)?;
+        }
+        Party::Bob => {
+            run_respond_phase(chan, rng, &mut leakage, &mut ledger)?;
+            clustering = Some(run_query_phase(chan, rng, &mut leakage, &mut ledger)?);
+        }
+    }
+
+    Ok(PartyOutput {
+        clustering: clustering.expect("query phase ran"),
+        leakage,
+        traffic: chan.metrics(),
+        yao: ledger,
+    })
+}
+
+/// One party's full run of the **enhanced** protocol (Section 5).
+pub fn enhanced_party<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    my_points: &[Point],
+    role: Party,
+    rng: &mut R,
+) -> Result<PartyOutput, CoreError> {
+    let dim = my_points.first().map_or(0, Point::dim);
+    cfg.validate(dim.max(1))?;
+    check_points(cfg, my_points)?;
+    let session = establish(
+        chan,
+        cfg,
+        role,
+        MODE_ENHANCED,
+        my_points.len(),
+        dim,
+        true,
+        rng,
+    )?;
+
+    let mut leakage = LeakageLog::new();
+    let mut ledger = YaoLedger::default();
+    let clustering;
+
+    let run_query_phase =
+        |chan: &mut C, rng: &mut R, leakage: &mut LeakageLog, ledger: &mut YaoLedger| {
+            querier_phase(chan, cfg.params, my_points, |chan, idx, own_count| {
+                Ok(enhanced_core_test_querier(
+                    chan,
+                    cfg,
+                    &session.my_keypair,
+                    &my_points[idx],
+                    own_count,
+                    session.peer_n,
+                    rng,
+                    ledger,
+                    leakage,
+                )?)
+            })
+        };
+    let run_respond_phase =
+        |chan: &mut C, rng: &mut R, leakage: &mut LeakageLog, ledger: &mut YaoLedger| {
+            responder_phase(chan, |chan| {
+                enhanced_core_respond(
+                    chan,
+                    cfg,
+                    &session.peer_pk,
+                    my_points,
+                    dim,
+                    rng,
+                    ledger,
+                    leakage,
+                )?;
+                Ok(())
+            })
+        };
+
+    match role {
+        Party::Alice => {
+            clustering = Some(run_query_phase(chan, rng, &mut leakage, &mut ledger)?);
+            run_respond_phase(chan, rng, &mut leakage, &mut ledger)?;
+        }
+        Party::Bob => {
+            run_respond_phase(chan, rng, &mut leakage, &mut ledger)?;
+            clustering = Some(run_query_phase(chan, rng, &mut leakage, &mut ledger)?);
+        }
+    }
+
+    Ok(PartyOutput {
+        clustering: clustering.expect("query phase ran"),
+        leakage,
+        traffic: chan.metrics(),
+        yao: ledger,
+    })
+}
+
+/// Validates that every local point respects the agreed lattice bound and
+/// shares one dimension.
+pub(crate) fn check_points(cfg: &ProtocolConfig, points: &[Point]) -> Result<(), CoreError> {
+    let dim = points.first().map_or(0, Point::dim);
+    for (i, p) in points.iter().enumerate() {
+        if p.dim() != dim {
+            return Err(CoreError::config(format!(
+                "point {i} has dimension {} but point 0 has {dim}",
+                p.dim()
+            )));
+        }
+        if p.max_abs_coord() > cfg.coord_bound {
+            return Err(CoreError::config(format!(
+                "point {i} exceeds the agreed coordinate bound {}",
+                cfg.coord_bound
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_enhanced_pair, run_horizontal_pair};
+    use crate::test_helpers::rng;
+    use ppds_dbscan::{dbscan_with_external_density, eval};
+
+    fn pts(coords: &[&[i64]]) -> Vec<Point> {
+        coords.iter().map(|c| Point::from(*c)).collect()
+    }
+
+    fn cfg(eps_sq: u64, min_pts: usize, bound: i64) -> ProtocolConfig {
+        ProtocolConfig::new(DbscanParams { eps_sq, min_pts }, bound)
+    }
+
+    #[test]
+    fn basic_matches_external_density_reference() {
+        let alice = pts(&[&[0, 0], &[1, 0], &[10, 10], &[11, 10], &[30, -30]]);
+        let bob = pts(&[&[0, 1], &[1, 1], &[10, 11], &[-30, 30]]);
+        let c = cfg(4, 3, 40);
+        let (a_out, b_out) =
+            run_horizontal_pair(&c, &alice, &bob, rng(1), rng(2)).unwrap();
+        let a_ref = dbscan_with_external_density(&alice, &bob, c.params);
+        let b_ref = dbscan_with_external_density(&bob, &alice, c.params);
+        assert_eq!(a_out.clustering, a_ref, "alice labels");
+        assert_eq!(b_out.clustering, b_ref, "bob labels");
+        assert!(a_out.traffic.total_bytes() > 0);
+        assert!(a_out.yao.comparisons > 0);
+    }
+
+    #[test]
+    fn enhanced_matches_basic_labels() {
+        let alice = pts(&[&[0, 0], &[1, 0], &[10, 10], &[11, 10], &[30, -30]]);
+        let bob = pts(&[&[0, 1], &[1, 1], &[10, 11], &[-30, 30]]);
+        let c = cfg(4, 3, 40);
+        let (basic_a, basic_b) =
+            run_horizontal_pair(&c, &alice, &bob, rng(3), rng(4)).unwrap();
+        let (enh_a, enh_b) = run_enhanced_pair(&c, &alice, &bob, rng(5), rng(6)).unwrap();
+        assert_eq!(basic_a.clustering, enh_a.clustering);
+        assert_eq!(basic_b.clustering, enh_b.clustering);
+    }
+
+    #[test]
+    fn leakage_profiles_match_theorems_9_and_11() {
+        let alice = pts(&[&[0, 0], &[1, 0], &[9, 9]]);
+        let bob = pts(&[&[0, 1], &[8, 9]]);
+        let c = cfg(4, 2, 15);
+        let (basic_a, _b) = run_horizontal_pair(&c, &alice, &bob, rng(7), rng(8)).unwrap();
+        // Theorem 9: one neighbor count per query the party issued.
+        assert!(basic_a.leakage.count_kind("neighbor_count") > 0);
+        assert_eq!(basic_a.leakage.count_kind("core_point_bit"), 0);
+
+        let (enh_a, _b) = run_enhanced_pair(&c, &alice, &bob, rng(9), rng(10)).unwrap();
+        // Theorem 11: core-point bits only, never a count.
+        assert_eq!(enh_a.leakage.count_kind("neighbor_count"), 0);
+        assert!(enh_a.leakage.count_kind("core_point_bit") > 0);
+    }
+
+    #[test]
+    fn cross_party_density_counts_are_used() {
+        // Alone, neither side clusters (every point would be noise); with
+        // the peer's density both sides find their cluster.
+        let alice = pts(&[&[0, 0], &[2, 0]]);
+        let bob = pts(&[&[1, 0], &[1, 1]]);
+        let c = cfg(4, 3, 5);
+        let (a_out, b_out) = run_horizontal_pair(&c, &alice, &bob, rng(11), rng(12)).unwrap();
+        assert_eq!(a_out.clustering.noise_count(), 0);
+        assert_eq!(b_out.clustering.noise_count(), 0);
+        assert_eq!(a_out.clustering.num_clusters, 1);
+    }
+
+    #[test]
+    fn empty_bob_side_degenerates_to_local_dbscan() {
+        let alice = pts(&[&[0], &[1], &[2], &[50]]);
+        let bob: Vec<Point> = vec![];
+        let c = cfg(1, 2, 60);
+        let (a_out, b_out) = run_horizontal_pair(&c, &alice, &bob, rng(13), rng(14)).unwrap();
+        let reference = dbscan_with_external_density(&alice, &[], c.params);
+        assert_eq!(a_out.clustering, reference);
+        assert!(b_out.clustering.labels.is_empty());
+    }
+
+    #[test]
+    fn rand_index_against_centralized_union() {
+        // Well-separated clusters split across parties: each party's view
+        // agrees perfectly with centralized DBSCAN restricted to its points.
+        let alice = pts(&[&[0, 0], &[1, 1], &[20, 20], &[21, 21]]);
+        let bob = pts(&[&[0, 1], &[1, 0], &[20, 21], &[21, 20]]);
+        let c = cfg(8, 4, 30);
+        let (a_out, _) = run_horizontal_pair(&c, &alice, &bob, rng(15), rng(16)).unwrap();
+        let mut union = alice.clone();
+        union.extend(bob.iter().cloned());
+        let central = ppds_dbscan::dbscan(&union, c.params);
+        let central_alice = Clustering {
+            labels: central.labels[..alice.len()].to_vec(),
+            num_clusters: central.num_clusters,
+        };
+        assert!((eval::rand_index(&a_out.clustering, &central_alice) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handshake_mismatch_detected() {
+        let alice = pts(&[&[0]]);
+        let bob = pts(&[&[0]]);
+        let cfg_a = cfg(4, 2, 5);
+        let cfg_b = cfg(9, 2, 5); // different Eps²
+        let result = crate::driver::run_pair(
+            |mut chan| {
+                let mut r = rng(17);
+                horizontal_party(&mut chan, &cfg_a, &alice, Party::Alice, &mut r)
+            },
+            |mut chan| {
+                let mut r = rng(18);
+                horizontal_party(&mut chan, &cfg_b, &bob, Party::Bob, &mut r)
+            },
+        );
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn out_of_bound_points_rejected_locally() {
+        let alice = pts(&[&[100, 0]]);
+        let c = cfg(4, 2, 5);
+        let (mut chan, _peer) = ppds_transport::duplex();
+        let mut r = rng(19);
+        let err = horizontal_party(&mut chan, &c, &alice, Party::Alice, &mut r).unwrap_err();
+        assert!(matches!(err, CoreError::Config(_)));
+    }
+}

@@ -1,0 +1,433 @@
+//! Multi-party horizontal DBSCAN — the extension the paper's §1 and §6
+//! point to ("the two-party algorithm can be extended to multi-party
+//! cases") but never spells out.
+//!
+//! `K ≥ 2` parties each own complete records. The construction generalizes
+//! Algorithms 3 & 4 in the natural way:
+//!
+//! * every party holds one Paillier keypair and runs a pairwise session
+//!   with each peer (full mesh; public-key exchange + metadata handshake);
+//! * the run proceeds in `K` deterministic *phases*; in phase `p`, party
+//!   `p` is the querier and every other party answers its neighborhood
+//!   queries on their pairwise channel;
+//! * a core-point test for the querier's point sums its own neighbor count
+//!   with one HDP count per peer (each over a fresh per-query permutation,
+//!   preserving the Figure 1 defense against every peer independently);
+//! * cluster expansion still traverses only the querier's own points, so
+//!   each party's output clustering of its own records matches the
+//!   two-party reference semantics with the union of all peers as the
+//!   external set: `dbscan_with_external_density(own, all_others)`.
+//!
+//! Leakage per party is the Theorem 9 profile against each peer
+//! separately: per issued query, one neighbor count *per peer* (strictly
+//! finer-grained than the union count — the price of the pairwise
+//! construction; a future aggregation layer could hide the split at the
+//! cost of a joint protocol among all K parties).
+
+use crate::config::{ProtocolConfig, YaoLedger};
+use crate::driver::{establish_with_keypair, PartyOutput, Session};
+use crate::error::CoreError;
+use crate::hdp::{hdp_query_querier, hdp_respond};
+use crate::horizontal::check_points;
+use ppds_dbscan::index::{LinearIndex, NeighborIndex};
+use ppds_dbscan::{Clustering, Label, Point};
+use ppds_paillier::Keypair;
+use ppds_smc::{LeakageEvent, LeakageLog, Party};
+use ppds_transport::{duplex, Channel, MemoryChannel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+const MODE_MULTIPARTY: u64 = 5;
+const TAG_DONE: u8 = 0;
+const TAG_QUERY: u8 = 1;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    Unclassified,
+    Noise,
+    Cluster(usize),
+}
+
+/// One node's full run of the multi-party horizontal protocol.
+///
+/// `peers` holds one channel per other party, tagged with that party's
+/// global id; `my_id` is this node's id in `0..k_parties`. All parties must
+/// agree on ids and use the same `cfg`.
+pub fn multiparty_horizontal_party<C: Channel, R: Rng + ?Sized>(
+    peers: &mut [(usize, C)],
+    my_id: usize,
+    k_parties: usize,
+    cfg: &ProtocolConfig,
+    my_points: &[Point],
+    rng: &mut R,
+) -> Result<PartyOutput, CoreError> {
+    assert!(k_parties >= 2, "need at least two parties");
+    assert_eq!(peers.len(), k_parties - 1, "one channel per peer");
+    assert!(my_id < k_parties, "party id out of range");
+    peers.sort_by_key(|(peer_id, _)| *peer_id);
+
+    let dim = my_points.first().map_or(0, Point::dim);
+    cfg.validate(dim.max(1))?;
+    check_points(cfg, my_points)?;
+
+    // One keypair per node, one pairwise session per peer. The lower id
+    // plays the Alice role of the key exchange ordering.
+    let keypair = Keypair::generate(cfg.key_bits, rng);
+    let mut sessions: Vec<(usize, Session)> = Vec::with_capacity(peers.len());
+    for (peer_id, chan) in peers.iter_mut() {
+        let role = if my_id < *peer_id {
+            Party::Alice
+        } else {
+            Party::Bob
+        };
+        let session = establish_with_keypair(
+            chan,
+            cfg,
+            keypair.clone(),
+            role,
+            MODE_MULTIPARTY,
+            my_points.len(),
+            dim,
+            true,
+        )?;
+        sessions.push((*peer_id, session));
+    }
+
+    let mut leakage = LeakageLog::new();
+    let mut ledger = YaoLedger::default();
+    let mut clustering = None;
+
+    // K deterministic phases; ids give every party the same schedule.
+    for phase in 0..k_parties {
+        if phase == my_id {
+            clustering = Some(query_phase(
+                peers,
+                &sessions,
+                cfg,
+                my_points,
+                rng,
+                &mut leakage,
+                &mut ledger,
+            )?);
+        } else {
+            // Serve the querying party on the channel that leads to it.
+            let idx = peers
+                .iter()
+                .position(|(peer_id, _)| *peer_id == phase)
+                .expect("phase party is a peer");
+            let (_, session) = &sessions[idx];
+            let (_, chan) = &mut peers[idx];
+            respond_phase(
+                chan,
+                session,
+                cfg,
+                my_points,
+                rng,
+                &mut leakage,
+                &mut ledger,
+            )?;
+        }
+    }
+
+    let traffic = peers
+        .iter()
+        .map(|(_, chan)| chan.metrics())
+        .fold(ppds_transport::MetricsSnapshot::default(), |acc, m| {
+            ppds_transport::MetricsSnapshot {
+                bytes_sent: acc.bytes_sent + m.bytes_sent,
+                bytes_received: acc.bytes_received + m.bytes_received,
+                messages_sent: acc.messages_sent + m.messages_sent,
+                messages_received: acc.messages_received + m.messages_received,
+            }
+        });
+    Ok(PartyOutput {
+        clustering: clustering.expect("own phase ran"),
+        leakage,
+        traffic,
+        yao: ledger,
+    })
+}
+
+/// The querier's DBSCAN loop: like the two-party engine, but each core test
+/// fans out one HDP neighborhood query to every peer.
+#[allow(clippy::too_many_arguments)]
+fn query_phase<C: Channel, R: Rng + ?Sized>(
+    peers: &mut [(usize, C)],
+    sessions: &[(usize, Session)],
+    cfg: &ProtocolConfig,
+    points: &[Point],
+    rng: &mut R,
+    leakage: &mut LeakageLog,
+    ledger: &mut YaoLedger,
+) -> Result<Clustering, CoreError> {
+    let index = LinearIndex::new(points, cfg.params.eps_sq);
+    let mut states = vec![State::Unclassified; points.len()];
+    let mut next_cluster = 0usize;
+
+    let core_test = |peers: &mut [(usize, C)],
+                         rng: &mut R,
+                         leakage: &mut LeakageLog,
+                         ledger: &mut YaoLedger,
+                         idx: usize,
+                         own_count: usize|
+     -> Result<bool, CoreError> {
+        let mut total = own_count;
+        for (pos, (peer_id, chan)) in peers.iter_mut().enumerate() {
+            chan.send(&TAG_QUERY)?;
+            let session = &sessions[pos].1;
+            let count = hdp_query_querier(
+                chan,
+                cfg,
+                &session.my_keypair,
+                &session.peer_pk,
+                &points[idx],
+                session.peer_n,
+                rng,
+                ledger,
+            )?;
+            leakage.record(LeakageEvent::NeighborCount {
+                query: format!("own#{idx}/peer#{peer_id}"),
+                count: count as u64,
+            });
+            total += count;
+        }
+        Ok(total >= cfg.params.min_pts)
+    };
+
+    for i in 0..points.len() {
+        if states[i] != State::Unclassified {
+            continue;
+        }
+        let seeds = index.region_query(&points[i]);
+        if !core_test(peers, rng, leakage, ledger, i, seeds.len())? {
+            states[i] = State::Noise;
+            continue;
+        }
+        let cluster_id = next_cluster;
+        next_cluster += 1;
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &s in &seeds {
+            states[s] = State::Cluster(cluster_id);
+            if s != i {
+                queue.push_back(s);
+            }
+        }
+        while let Some(current) = queue.pop_front() {
+            let result = index.region_query(&points[current]);
+            if core_test(peers, rng, leakage, ledger, current, result.len())? {
+                for &neighbor in &result {
+                    match states[neighbor] {
+                        State::Unclassified => {
+                            queue.push_back(neighbor);
+                            states[neighbor] = State::Cluster(cluster_id);
+                        }
+                        State::Noise => {
+                            states[neighbor] = State::Cluster(cluster_id);
+                        }
+                        State::Cluster(_) => {}
+                    }
+                }
+            }
+        }
+    }
+    for (_, chan) in peers.iter_mut() {
+        chan.send(&TAG_DONE)?;
+    }
+
+    let labels = states
+        .into_iter()
+        .map(|s| match s {
+            State::Unclassified => unreachable!("all points classified"),
+            State::Noise => Label::Noise,
+            State::Cluster(id) => Label::Cluster(id),
+        })
+        .collect();
+    Ok(Clustering {
+        labels,
+        num_clusters: next_cluster,
+    })
+}
+
+fn respond_phase<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    session: &Session,
+    cfg: &ProtocolConfig,
+    my_points: &[Point],
+    rng: &mut R,
+    leakage: &mut LeakageLog,
+    ledger: &mut YaoLedger,
+) -> Result<(), CoreError> {
+    loop {
+        let tag: u8 = chan.recv()?;
+        match tag {
+            TAG_DONE => return Ok(()),
+            TAG_QUERY => {
+                hdp_respond(
+                    chan,
+                    cfg,
+                    &session.my_keypair,
+                    &session.peer_pk,
+                    my_points,
+                    rng,
+                    ledger,
+                    leakage,
+                )?;
+            }
+            other => {
+                return Err(CoreError::Smc(ppds_smc::SmcError::protocol(format!(
+                    "unexpected multiparty control tag {other}"
+                ))))
+            }
+        }
+    }
+}
+
+/// Runs all `K` parties of the multi-party horizontal protocol on threads
+/// over an in-memory full mesh; returns one [`PartyOutput`] per party, in
+/// party-id order.
+pub fn run_multiparty_horizontal(
+    cfg: &ProtocolConfig,
+    party_points: &[Vec<Point>],
+    seed: u64,
+) -> Result<Vec<PartyOutput>, CoreError> {
+    let k = party_points.len();
+    assert!(k >= 2, "need at least two parties");
+
+    // Build the mesh: channels[i] collects (peer_id, endpoint) for party i.
+    let mut channels: Vec<Vec<(usize, MemoryChannel)>> = (0..k).map(|_| Vec::new()).collect();
+    for i in 0..k {
+        for j in i + 1..k {
+            let (a, b) = duplex();
+            channels[i].push((j, a));
+            channels[j].push((i, b));
+        }
+    }
+
+    let mut outputs: Vec<Option<Result<PartyOutput, CoreError>>> =
+        (0..k).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (my_id, (mut peers, points)) in channels
+            .drain(..)
+            .zip(party_points.iter())
+            .enumerate()
+        {
+            handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(my_id as u64));
+                multiparty_horizontal_party(&mut peers, my_id, k, cfg, points, &mut rng)
+            }));
+        }
+        for (i, handle) in handles.into_iter().enumerate() {
+            outputs[i] = Some(
+                handle
+                    .join()
+                    .unwrap_or(Err(CoreError::PartyPanicked("multiparty node"))),
+            );
+        }
+    });
+    outputs
+        .into_iter()
+        .map(|slot| slot.expect("every party joined"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_horizontal_pair;
+    use crate::test_helpers::rng;
+    use ppds_dbscan::{dbscan_with_external_density, DbscanParams};
+
+    fn cfg(eps_sq: u64, min_pts: usize, bound: i64) -> ProtocolConfig {
+        ProtocolConfig::new(DbscanParams { eps_sq, min_pts }, bound)
+    }
+
+    fn pts(coords: &[&[i64]]) -> Vec<Point> {
+        coords.iter().map(|c| Point::from(*c)).collect()
+    }
+
+    #[test]
+    fn three_parties_match_external_density_reference() {
+        let parties = vec![
+            pts(&[&[0, 0], &[10, 10], &[30, -30]]),
+            pts(&[&[1, 0], &[11, 10]]),
+            pts(&[&[0, 1], &[10, 11], &[-30, 30]]),
+        ];
+        let c = cfg(4, 3, 40);
+        let outputs = run_multiparty_horizontal(&c, &parties, 77).unwrap();
+        assert_eq!(outputs.len(), 3);
+        for (i, out) in outputs.iter().enumerate() {
+            let others: Vec<Point> = parties
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .flat_map(|(_, p)| p.iter().cloned())
+                .collect();
+            let reference = dbscan_with_external_density(&parties[i], &others, c.params);
+            assert_eq!(out.clustering, reference, "party {i}");
+        }
+    }
+
+    #[test]
+    fn two_party_case_equals_bilateral_protocol() {
+        let alice = pts(&[&[0, 0], &[1, 1], &[20, 20]]);
+        let bob = pts(&[&[0, 1], &[19, 20]]);
+        let c = cfg(4, 3, 30);
+        let multi = run_multiparty_horizontal(&c, &[alice.clone(), bob.clone()], 5).unwrap();
+        let (two_a, two_b) = run_horizontal_pair(&c, &alice, &bob, rng(1), rng(2)).unwrap();
+        assert_eq!(multi[0].clustering, two_a.clustering);
+        assert_eq!(multi[1].clustering, two_b.clustering);
+    }
+
+    #[test]
+    fn four_parties_pool_density() {
+        // Each party alone sees nothing; four together make every point core.
+        let parties = vec![
+            pts(&[&[0, 0]]),
+            pts(&[&[1, 0]]),
+            pts(&[&[0, 1]]),
+            pts(&[&[1, 1]]),
+        ];
+        let c = cfg(4, 4, 5);
+        let outputs = run_multiparty_horizontal(&c, &parties, 9).unwrap();
+        for (i, out) in outputs.iter().enumerate() {
+            assert_eq!(out.clustering.num_clusters, 1, "party {i}");
+            assert_eq!(out.clustering.noise_count(), 0, "party {i}");
+        }
+    }
+
+    #[test]
+    fn leakage_is_per_peer_neighbor_counts() {
+        let parties = vec![
+            pts(&[&[0, 0], &[5, 5]]),
+            pts(&[&[1, 0]]),
+            pts(&[&[0, 1]]),
+        ];
+        let c = cfg(4, 2, 10);
+        let outputs = run_multiparty_horizontal(&c, &parties, 11).unwrap();
+        // Party 0 issued queries against 2 peers: counts come in pairs.
+        let counts = outputs[0].leakage.count_kind("neighbor_count");
+        assert!(counts > 0 && counts.is_multiple_of(2), "counts = {counts}");
+        for event in outputs[0].leakage.events() {
+            if let LeakageEvent::NeighborCount { query, .. } = event {
+                assert!(query.contains("/peer#"), "per-peer context: {query}");
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_party_sizes_work() {
+        let parties = vec![
+            pts(&[&[0, 0], &[1, 0], &[0, 1], &[9, 9]]),
+            pts(&[&[1, 1]]),
+            pts(&[]),
+        ];
+        let c = cfg(4, 3, 12);
+        let outputs = run_multiparty_horizontal(&c, &parties, 13).unwrap();
+        assert_eq!(outputs[2].clustering.labels.len(), 0);
+        let others: Vec<Point> = parties[1..].iter().flatten().cloned().collect();
+        let reference = dbscan_with_external_density(&parties[0], &others, c.params);
+        assert_eq!(outputs[0].clustering, reference);
+    }
+}

@@ -1,0 +1,276 @@
+//! Data partition models: Figures 2, 3 and 4 of the paper.
+//!
+//! Horizontal partitioning needs no type of its own (each party simply holds
+//! a `Vec<Point>`); vertical and arbitrary partitioning carry structure that
+//! must be kept consistent between the parties, so they get types with
+//! validated constructors.
+//!
+//! Ownership *metadata* (who holds which attribute of which record) is
+//! public in this model — the paper assumes both parties know the schema
+//! and, for arbitrary partitioning, the ownership pattern; only attribute
+//! *values* are private.
+
+use ppds_dbscan::Point;
+use rand::Rng;
+
+/// Vertically partitioned data (Figure 3): `n` records of `m` attributes;
+/// Alice holds attributes `0..split`, Bob holds `split..m`, for every
+/// record.
+#[derive(Debug, Clone)]
+pub struct VerticalPartition {
+    /// Alice's attribute slice of each record (dimension = `split`).
+    pub alice: Vec<Point>,
+    /// Bob's attribute slice of each record (dimension = `m - split`).
+    pub bob: Vec<Point>,
+}
+
+impl VerticalPartition {
+    /// Splits full records at attribute index `split`.
+    ///
+    /// # Panics
+    /// Panics if `split` is 0 or ≥ the record dimension (each party must
+    /// own at least one attribute), or if records disagree on dimension.
+    pub fn split(records: &[Point], split: usize) -> Self {
+        assert!(!records.is_empty(), "cannot partition zero records");
+        let dim = records[0].dim();
+        assert!(
+            split > 0 && split < dim,
+            "split {split} must leave both parties at least one of {dim} attributes"
+        );
+        let mut alice = Vec::with_capacity(records.len());
+        let mut bob = Vec::with_capacity(records.len());
+        for r in records {
+            assert_eq!(r.dim(), dim, "records must share a dimension");
+            alice.push(Point::new(r.coords()[..split].to_vec()));
+            bob.push(Point::new(r.coords()[split..].to_vec()));
+        }
+        VerticalPartition { alice, bob }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.alice.len()
+    }
+
+    /// `true` if there are no records.
+    pub fn is_empty(&self) -> bool {
+        self.alice.is_empty()
+    }
+
+    /// Rejoins the slices into full records (test helper — a real party
+    /// could never call this).
+    pub fn reconstruct(&self) -> Vec<Point> {
+        self.alice
+            .iter()
+            .zip(&self.bob)
+            .map(|(a, b)| {
+                let mut coords = a.coords().to_vec();
+                coords.extend_from_slice(b.coords());
+                Point::new(coords)
+            })
+            .collect()
+    }
+}
+
+/// Which party owns one attribute of one record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Owner {
+    /// The cell belongs to Alice.
+    Alice,
+    /// The cell belongs to Bob.
+    Bob,
+}
+
+/// Arbitrarily partitioned data (Figure 4): every `(record, attribute)`
+/// cell is owned by exactly one party. The ownership matrix is public; the
+/// values are private.
+#[derive(Debug, Clone)]
+pub struct ArbitraryPartition {
+    /// Public ownership matrix, `n × m`.
+    pub ownership: Vec<Vec<Owner>>,
+    /// Alice's private values: `Some` exactly where she owns the cell.
+    pub alice_values: Vec<Vec<Option<i64>>>,
+    /// Bob's private values: `Some` exactly where he owns the cell.
+    pub bob_values: Vec<Vec<Option<i64>>>,
+}
+
+impl ArbitraryPartition {
+    /// Partitions full records according to `ownership`.
+    ///
+    /// # Panics
+    /// Panics if shapes disagree.
+    pub fn from_records(records: &[Point], ownership: Vec<Vec<Owner>>) -> Self {
+        assert_eq!(records.len(), ownership.len(), "one ownership row per record");
+        let mut alice_values = Vec::with_capacity(records.len());
+        let mut bob_values = Vec::with_capacity(records.len());
+        for (r, owners) in records.iter().zip(&ownership) {
+            assert_eq!(r.dim(), owners.len(), "one owner per attribute");
+            let mut a_row = Vec::with_capacity(owners.len());
+            let mut b_row = Vec::with_capacity(owners.len());
+            for (&value, &owner) in r.coords().iter().zip(owners) {
+                match owner {
+                    Owner::Alice => {
+                        a_row.push(Some(value));
+                        b_row.push(None);
+                    }
+                    Owner::Bob => {
+                        a_row.push(None);
+                        b_row.push(Some(value));
+                    }
+                }
+            }
+            alice_values.push(a_row);
+            bob_values.push(b_row);
+        }
+        ArbitraryPartition {
+            ownership,
+            alice_values,
+            bob_values,
+        }
+    }
+
+    /// Partitions records with uniformly random per-cell ownership.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, records: &[Point]) -> Self {
+        let ownership = records
+            .iter()
+            .map(|r| {
+                (0..r.dim())
+                    .map(|_| {
+                        if rng.random::<bool>() {
+                            Owner::Alice
+                        } else {
+                            Owner::Bob
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Self::from_records(records, ownership)
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.ownership.len()
+    }
+
+    /// `true` if there are no records.
+    pub fn is_empty(&self) -> bool {
+        self.ownership.is_empty()
+    }
+
+    /// Attribute count.
+    pub fn dim(&self) -> usize {
+        self.ownership.first().map_or(0, |row| row.len())
+    }
+
+    /// Rejoins both views into full records (test helper).
+    pub fn reconstruct(&self) -> Vec<Point> {
+        self.alice_values
+            .iter()
+            .zip(&self.bob_values)
+            .map(|(a_row, b_row)| {
+                Point::new(
+                    a_row
+                        .iter()
+                        .zip(b_row)
+                        .map(|(a, b)| a.or(*b).expect("every cell owned by someone"))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_helpers::rng;
+
+    fn records() -> Vec<Point> {
+        vec![
+            Point::new(vec![1, 2, 3, 4]),
+            Point::new(vec![5, 6, 7, 8]),
+            Point::new(vec![-1, -2, -3, -4]),
+        ]
+    }
+
+    #[test]
+    fn vertical_split_and_reconstruct() {
+        let recs = records();
+        for split in 1..4 {
+            let part = VerticalPartition::split(&recs, split);
+            assert_eq!(part.len(), 3);
+            assert!(!part.is_empty());
+            assert_eq!(part.alice[0].dim(), split);
+            assert_eq!(part.bob[0].dim(), 4 - split);
+            assert_eq!(part.reconstruct(), recs, "split = {split}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must leave both parties")]
+    fn vertical_split_rejects_empty_side() {
+        let _ = VerticalPartition::split(&records(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must leave both parties")]
+    fn vertical_split_rejects_full_side() {
+        let _ = VerticalPartition::split(&records(), 4);
+    }
+
+    #[test]
+    fn arbitrary_from_records_partitions_cells() {
+        let recs = records();
+        let ownership = vec![
+            vec![Owner::Alice, Owner::Bob, Owner::Bob, Owner::Alice],
+            vec![Owner::Bob, Owner::Bob, Owner::Bob, Owner::Bob],
+            vec![Owner::Alice, Owner::Alice, Owner::Alice, Owner::Alice],
+        ];
+        let part = ArbitraryPartition::from_records(&recs, ownership);
+        assert_eq!(part.alice_values[0], vec![Some(1), None, None, Some(4)]);
+        assert_eq!(part.bob_values[0], vec![None, Some(2), Some(3), None]);
+        assert_eq!(part.alice_values[1], vec![None; 4]);
+        assert_eq!(part.bob_values[2], vec![None; 4]);
+        assert_eq!(part.reconstruct(), recs);
+        assert_eq!(part.dim(), 4);
+        assert_eq!(part.len(), 3);
+    }
+
+    #[test]
+    fn random_partition_reconstructs() {
+        let recs = records();
+        let mut r = rng(5);
+        for _ in 0..10 {
+            let part = ArbitraryPartition::random(&mut r, &recs);
+            assert_eq!(part.reconstruct(), recs);
+            // Complementarity: exactly one side owns each cell.
+            for (a_row, b_row) in part.alice_values.iter().zip(&part.bob_values) {
+                for (a, b) in a_row.iter().zip(b_row) {
+                    assert!(a.is_some() ^ b.is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vertical_matches_arbitrary_special_case() {
+        // A vertical partition is the arbitrary partition whose ownership is
+        // constant per column (Figure 4's identity).
+        let recs = records();
+        let vertical = VerticalPartition::split(&recs, 2);
+        let ownership = vec![
+            vec![Owner::Alice, Owner::Alice, Owner::Bob, Owner::Bob];
+            recs.len()
+        ];
+        let arbitrary = ArbitraryPartition::from_records(&recs, ownership);
+        for i in 0..recs.len() {
+            let a_vals: Vec<i64> = arbitrary.alice_values[i]
+                .iter()
+                .flatten()
+                .copied()
+                .collect();
+            assert_eq!(a_vals, vertical.alice[i].coords());
+        }
+    }
+}

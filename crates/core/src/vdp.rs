@@ -1,0 +1,146 @@
+//! Protocol VDP (§4.3): secure `dist²(d_x, d_y) ≤ Eps²` for vertically
+//! partitioned records.
+//!
+//! Each party computes its local squared-delta sum over the attributes it
+//! owns — Alice `α = Σ_{k ≤ l} (d_{x,k} − d_{y,k})²`, Bob
+//! `β = Σ_{k > l} (d_{x,k} − d_{y,k})²` — and a single Yao comparison
+//! decides `α ≤ Eps² − β`. No homomorphic encryption is needed at all;
+//! the whole cost is the comparison (the paper's `O(c2·n0·n²)` bound).
+
+use crate::config::{ProtocolConfig, YaoLedger};
+use crate::domain::vdp_domain;
+use ppds_paillier::{Keypair, PublicKey};
+use ppds_smc::compare::{compare_alice, compare_bob, CmpOp};
+use ppds_smc::SmcError;
+use ppds_transport::Channel;
+use rand::Rng;
+
+/// Local squared-delta sum between two attribute slices (each party calls
+/// this on its own slice of records `x` and `y`).
+pub fn local_delta_sq(x: &ppds_dbscan::Point, y: &ppds_dbscan::Point) -> u64 {
+    ppds_dbscan::dist_sq(x, y)
+}
+
+/// Alice's side of one VDP comparison. `alpha` is her local squared-delta
+/// sum; `total_dim` is the full record dimension `m` (needed to agree on
+/// the comparison domain). Returns `dist² ≤ Eps²`.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
+pub fn vdp_compare_alice<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    my_keypair: &Keypair,
+    alpha: u64,
+    total_dim: usize,
+    rng: &mut R,
+    ledger: &mut YaoLedger,
+) -> Result<bool, SmcError> {
+    let domain = vdp_domain(cfg, total_dim);
+    ledger.record(cfg.key_bits, domain.n0());
+    compare_alice(
+        cfg.comparator,
+        chan,
+        my_keypair,
+        i64::try_from(alpha).expect("α fits i64 on a validated lattice"),
+        CmpOp::Leq,
+        &domain,
+        rng,
+    )
+}
+
+/// Bob's side: `beta` is his local squared-delta sum.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
+pub fn vdp_compare_bob<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    alice_pk: &PublicKey,
+    beta: u64,
+    total_dim: usize,
+    rng: &mut R,
+    ledger: &mut YaoLedger,
+) -> Result<bool, SmcError> {
+    let domain = vdp_domain(cfg, total_dim);
+    ledger.record(cfg.key_bits, domain.n0());
+    let j_val = cfg.params.eps_sq as i64 - i64::try_from(beta).expect("β fits i64");
+    compare_bob(
+        cfg.comparator,
+        chan,
+        alice_pk,
+        j_val,
+        CmpOp::Leq,
+        &domain,
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_helpers::rng;
+    use ppds_dbscan::{dist_sq, DbscanParams, Point};
+    use ppds_smc::compare::Comparator;
+    use ppds_transport::duplex;
+    use std::sync::OnceLock;
+
+    fn alice_kp() -> &'static Keypair {
+        static KP: OnceLock<Keypair> = OnceLock::new();
+        KP.get_or_init(|| Keypair::generate(256, &mut rng(33)))
+    }
+
+    fn run(cfg: ProtocolConfig, alpha: u64, beta: u64, dim: usize) -> bool {
+        let (mut achan, mut bchan) = duplex();
+        let a = std::thread::spawn(move || {
+            let mut r = rng(1);
+            let mut ledger = YaoLedger::default();
+            vdp_compare_alice(&mut achan, &cfg, alice_kp(), alpha, dim, &mut r, &mut ledger)
+                .unwrap()
+        });
+        let mut r = rng(2);
+        let mut ledger = YaoLedger::default();
+        let bob =
+            vdp_compare_bob(&mut bchan, &cfg, &alice_kp().public, beta, dim, &mut r, &mut ledger)
+                .unwrap();
+        let alice = a.join().unwrap();
+        assert_eq!(alice, bob);
+        alice
+    }
+
+    #[test]
+    fn decides_exactly_alpha_plus_beta_vs_eps() {
+        let cfg = ProtocolConfig::new(
+            DbscanParams {
+                eps_sq: 10,
+                min_pts: 2,
+            },
+            3,
+        );
+        for (alpha, beta) in [(0u64, 0u64), (5, 5), (5, 6), (10, 0), (0, 10), (11, 0), (3, 4)] {
+            let expect = alpha + beta <= 10;
+            assert_eq!(run(cfg, alpha, beta, 2), expect, "α={alpha} β={beta}");
+        }
+    }
+
+    #[test]
+    fn split_records_match_full_distance() {
+        let cfg = ProtocolConfig::new_with_yao(
+            DbscanParams {
+                eps_sq: 9,
+                min_pts: 2,
+            },
+            3,
+        );
+        let full_x = Point::new(vec![1, -2, 3, 0]);
+        let full_y = Point::new(vec![0, -2, 1, 2]);
+        // Vertical split at attribute 2.
+        let alpha = local_delta_sq(
+            &Point::new(full_x.coords()[..2].to_vec()),
+            &Point::new(full_y.coords()[..2].to_vec()),
+        );
+        let beta = local_delta_sq(
+            &Point::new(full_x.coords()[2..].to_vec()),
+            &Point::new(full_y.coords()[2..].to_vec()),
+        );
+        let expect = dist_sq(&full_x, &full_y) <= 9;
+        assert_eq!(run(cfg, alpha, beta, 4), expect);
+        assert!(matches!(cfg.comparator, Comparator::Yao));
+    }
+}

@@ -1,0 +1,283 @@
+//! The vertically partitioned DBSCAN driver (Algorithms 5 & 6).
+//!
+//! Both parties hold an attribute slice of *every* record, so they run one
+//! shared DBSCAN loop in lockstep over the common record index space; each
+//! `dist ≤ Eps` test is a single protocol-VDP comparison whose outcome both
+//! sides learn. Because the control flow is a deterministic function of
+//! those shared outcomes, the two parties compute byte-identical
+//! clusterings without exchanging any labels — and that clustering is
+//! *exactly* the single-party DBSCAN of the joined records (verified
+//! label-for-label by the integration tests).
+
+use crate::config::{ProtocolConfig, YaoLedger};
+use crate::driver::{establish, PartyOutput, MODE_VERTICAL};
+use crate::error::CoreError;
+use crate::vdp::{local_delta_sq, vdp_compare_alice, vdp_compare_bob};
+use ppds_dbscan::{Clustering, DbscanParams, Label, Point};
+use ppds_smc::{LeakageEvent, LeakageLog, Party};
+use ppds_transport::Channel;
+use rand::Rng;
+use std::collections::VecDeque;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    Unclassified,
+    Noise,
+    Cluster(usize),
+}
+
+/// The shared lockstep DBSCAN engine: Algorithm 5/6 where every region
+/// query is assembled from `n - 1` joint comparisons (`dist_leq(x, y)`)
+/// plus the point itself. Also used by the arbitrary-partition driver.
+pub(crate) fn lockstep_dbscan<F>(
+    n: usize,
+    params: DbscanParams,
+    mut dist_leq: F,
+    leakage: &mut LeakageLog,
+) -> Result<Clustering, CoreError>
+where
+    F: FnMut(usize, usize) -> Result<bool, CoreError>,
+{
+    let mut region_query = |x: usize, leakage: &mut LeakageLog| -> Result<Vec<usize>, CoreError> {
+        let mut neighbors = Vec::new();
+        for y in 0..n {
+            // Self-distance is zero by definition; skipping the protocol
+            // round leaks nothing (both sides skip deterministically).
+            if y == x || dist_leq(x, y)? {
+                neighbors.push(y);
+            }
+        }
+        leakage.record(LeakageEvent::NeighborCount {
+            query: format!("record#{x}"),
+            count: neighbors.len() as u64,
+        });
+        Ok(neighbors)
+    };
+
+    let mut states = vec![State::Unclassified; n];
+    let mut next_cluster = 0usize;
+    for i in 0..n {
+        if states[i] != State::Unclassified {
+            continue;
+        }
+        let seeds = region_query(i, leakage)?;
+        if seeds.len() < params.min_pts {
+            states[i] = State::Noise;
+            continue;
+        }
+        let cluster_id = next_cluster;
+        next_cluster += 1;
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &s in &seeds {
+            states[s] = State::Cluster(cluster_id);
+            if s != i {
+                queue.push_back(s);
+            }
+        }
+        while let Some(current) = queue.pop_front() {
+            let result = region_query(current, leakage)?;
+            if result.len() >= params.min_pts {
+                for &neighbor in &result {
+                    match states[neighbor] {
+                        State::Unclassified => {
+                            queue.push_back(neighbor);
+                            states[neighbor] = State::Cluster(cluster_id);
+                        }
+                        State::Noise => {
+                            states[neighbor] = State::Cluster(cluster_id);
+                        }
+                        State::Cluster(_) => {}
+                    }
+                }
+            }
+        }
+    }
+
+    let labels = states
+        .into_iter()
+        .map(|s| match s {
+            State::Unclassified => unreachable!("all records classified"),
+            State::Noise => Label::Noise,
+            State::Cluster(id) => Label::Cluster(id),
+        })
+        .collect();
+    Ok(Clustering {
+        labels,
+        num_clusters: next_cluster,
+    })
+}
+
+/// One party's full run of the vertical protocol. `my_attrs` holds this
+/// party's attribute slice of each record (all records, same order on both
+/// sides). Returns the joint clustering of all records.
+pub fn vertical_party<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    my_attrs: &[Point],
+    role: Party,
+    rng: &mut R,
+) -> Result<PartyOutput, CoreError> {
+    let my_dim = my_attrs.first().map_or(1, Point::dim);
+    crate::horizontal::check_points(cfg, my_attrs)?;
+    let session = establish(
+        chan,
+        cfg,
+        role,
+        MODE_VERTICAL,
+        my_attrs.len(),
+        my_dim,
+        false,
+        rng,
+    )?;
+    if session.peer_n != my_attrs.len() {
+        return Err(CoreError::mismatch(format!(
+            "record counts differ: mine {} vs peer {}",
+            my_attrs.len(),
+            session.peer_n
+        )));
+    }
+    let total_dim = my_dim + session.peer_dim;
+    cfg.validate(total_dim)?;
+
+    let mut leakage = LeakageLog::new();
+    let mut ledger = YaoLedger::default();
+    let clustering = {
+        let ledger = &mut ledger;
+        let dist_leq = |x: usize, y: usize| -> Result<bool, CoreError> {
+            let local = local_delta_sq(&my_attrs[x], &my_attrs[y]);
+            let result = match role {
+                Party::Alice => vdp_compare_alice(
+                    chan,
+                    cfg,
+                    &session.my_keypair,
+                    local,
+                    total_dim,
+                    rng,
+                    ledger,
+                )?,
+                Party::Bob => vdp_compare_bob(
+                    chan,
+                    cfg,
+                    &session.peer_pk,
+                    local,
+                    total_dim,
+                    rng,
+                    ledger,
+                )?,
+            };
+            Ok(result)
+        };
+        lockstep_dbscan(my_attrs.len(), cfg.params, dist_leq, &mut leakage)?
+    };
+
+    Ok(PartyOutput {
+        clustering,
+        leakage,
+        traffic: chan.metrics(),
+        yao: ledger,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_vertical_pair;
+    use crate::partition::VerticalPartition;
+    use crate::test_helpers::rng;
+    use ppds_dbscan::{dbscan, eval};
+
+    fn records(coords: &[&[i64]]) -> Vec<Point> {
+        coords.iter().map(|c| Point::from(*c)).collect()
+    }
+
+    fn cfg(eps_sq: u64, min_pts: usize, bound: i64) -> ProtocolConfig {
+        ProtocolConfig::new(DbscanParams { eps_sq, min_pts }, bound)
+    }
+
+    #[test]
+    fn matches_plaintext_dbscan_exactly() {
+        let recs = records(&[
+            &[0, 0, 1, 0],
+            &[1, 0, 0, 0],
+            &[0, 1, 1, 1],
+            &[10, 10, 10, 10],
+            &[11, 10, 10, 10],
+            &[10, 11, 10, 11],
+            &[-20, 5, 3, -9],
+        ]);
+        let c = cfg(6, 3, 25);
+        for split in [1usize, 2, 3] {
+            let part = VerticalPartition::split(&recs, split);
+            let (a_out, b_out) = run_vertical_pair(&c, &part, rng(1), rng(2)).unwrap();
+            let reference = dbscan(&recs, c.params);
+            assert_eq!(a_out.clustering, reference, "split {split}: alice");
+            assert_eq!(b_out.clustering, reference, "split {split}: bob");
+            assert!(eval::same_partition(&a_out.clustering, &b_out.clustering));
+        }
+    }
+
+    #[test]
+    fn yao_backend_matches_ideal() {
+        let recs = records(&[&[0, 0], &[1, 1], &[9, 9], &[1, 0]]);
+        let part = VerticalPartition::split(&recs, 1);
+        let ideal = cfg(2, 2, 10);
+        let yao = ProtocolConfig::new_with_yao(ideal.params, 10);
+        let (ia, _) = run_vertical_pair(&ideal, &part, rng(3), rng(4)).unwrap();
+        let (ya, _) = run_vertical_pair(&yao, &part, rng(5), rng(6)).unwrap();
+        assert_eq!(ia.clustering, ya.clustering);
+    }
+
+    #[test]
+    fn leakage_matches_theorem_10() {
+        // Each region query reveals exactly one neighbor count per party.
+        let recs = records(&[&[0, 0], &[1, 1], &[9, 9]]);
+        let part = VerticalPartition::split(&recs, 1);
+        let c = cfg(2, 2, 10);
+        let (a_out, b_out) = run_vertical_pair(&c, &part, rng(7), rng(8)).unwrap();
+        assert!(a_out.leakage.count_kind("neighbor_count") > 0);
+        assert_eq!(
+            a_out.leakage.count_kind("neighbor_count"),
+            b_out.leakage.count_kind("neighbor_count"),
+            "lockstep parties issue identical query sequences"
+        );
+        assert_eq!(a_out.leakage.count_kind("core_point_bit"), 0);
+    }
+
+    #[test]
+    fn record_count_mismatch_rejected() {
+        let recs = records(&[&[0, 0], &[1, 1]]);
+        let part = VerticalPartition::split(&recs, 1);
+        let c = cfg(2, 2, 10);
+        let result = crate::driver::run_pair(
+            |mut chan| {
+                let mut r = rng(9);
+                vertical_party(&mut chan, &c, &part.alice, Party::Alice, &mut r)
+            },
+            |mut chan| {
+                let mut r = rng(10);
+                // Bob drops a record.
+                vertical_party(&mut chan, &c, &part.bob[..1], Party::Bob, &mut r)
+            },
+        );
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn traffic_is_quadratic_in_n() {
+        // §4.3.2: O(c2·n0·n²) — doubling n should roughly quadruple bytes.
+        let make = |n: usize| {
+            let recs: Vec<Point> = (0..n)
+                .map(|i| Point::new(vec![(i as i64) * 3, (i as i64) % 5]))
+                .collect();
+            VerticalPartition::split(&recs, 1)
+        };
+        let c = cfg(4, 2, 50);
+        let (a_small, _) = run_vertical_pair(&c, &make(6), rng(11), rng(12)).unwrap();
+        let (a_big, _) = run_vertical_pair(&c, &make(12), rng(13), rng(14)).unwrap();
+        let ratio = a_big.yao.comparisons as f64 / a_small.yao.comparisons.max(1) as f64;
+        assert!(
+            ratio > 2.5,
+            "comparisons should grow superlinearly, ratio = {ratio}"
+        );
+    }
+}

@@ -1,0 +1,300 @@
+//! Synthetic workload generators.
+//!
+//! The paper motivates privacy-preserving clustering with hospital records
+//! but names no dataset; these generators produce the cluster shapes its
+//! introduction argues DBSCAN exists for — arbitrary shapes, nested
+//! structures, noise — on the bounded integer lattice the SMC layer needs
+//! (see DESIGN.md §3 for the substitution rationale).
+
+use crate::point::{Point, Quantizer};
+use rand::Rng;
+use std::f64::consts::TAU;
+
+/// A standard normal sample via Box–Muller (no external distribution crate
+/// in the offline set).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (TAU * u2).cos()
+}
+
+/// Isotropic Gaussian blobs around the given centers. Returns the points
+/// and their ground-truth blob ids (for purity checks).
+pub fn gaussian_blobs<R: Rng + ?Sized>(
+    rng: &mut R,
+    per_cluster: usize,
+    centers: &[Vec<f64>],
+    std_dev: f64,
+    quantizer: Quantizer,
+) -> (Vec<Point>, Vec<usize>) {
+    assert!(!centers.is_empty(), "need at least one blob center");
+    let dim = centers[0].len();
+    assert!(
+        centers.iter().all(|c| c.len() == dim),
+        "all centers must share a dimension"
+    );
+    let mut points = Vec::with_capacity(per_cluster * centers.len());
+    let mut truth = Vec::with_capacity(points.capacity());
+    for (id, center) in centers.iter().enumerate() {
+        for _ in 0..per_cluster {
+            let raw: Vec<f64> = center.iter().map(|&c| c + std_dev * gaussian(rng)).collect();
+            points.push(quantizer.quantize(&raw));
+            truth.push(id);
+        }
+    }
+    (points, truth)
+}
+
+/// Convenience: `k` well-separated blobs in `dim` dimensions on a circle
+/// (2-D) or hypercube corners (higher dims), spread to stay inside the
+/// quantizer's bound.
+pub fn standard_blobs<R: Rng + ?Sized>(
+    rng: &mut R,
+    per_cluster: usize,
+    k: usize,
+    dim: usize,
+    quantizer: Quantizer,
+) -> (Vec<Point>, Vec<usize>) {
+    assert!(k >= 1 && dim >= 1);
+    let reach = quantizer.coord_bound as f64 / quantizer.scale * 0.6;
+    let centers: Vec<Vec<f64>> = (0..k)
+        .map(|i| {
+            if dim == 1 || k == 1 {
+                let t = if k == 1 {
+                    0.0
+                } else {
+                    2.0 * i as f64 / (k - 1) as f64 - 1.0
+                };
+                let mut c = vec![0.0; dim];
+                c[0] = reach * t;
+                c
+            } else {
+                let angle = i as f64 * TAU / k as f64;
+                let mut c = vec![0.0; dim];
+                c[0] = reach * angle.cos();
+                c[1] = reach * angle.sin();
+                c
+            }
+        })
+        .collect();
+    let std_dev = reach / (k as f64 * 4.0);
+    gaussian_blobs(rng, per_cluster, &centers, std_dev, quantizer)
+}
+
+/// The classic interleaving two-moons shape (2-D): two crescents that
+/// partition-based clustering cannot separate.
+pub fn two_moons<R: Rng + ?Sized>(
+    rng: &mut R,
+    per_moon: usize,
+    radius: f64,
+    noise_std: f64,
+    quantizer: Quantizer,
+) -> (Vec<Point>, Vec<usize>) {
+    let mut points = Vec::with_capacity(2 * per_moon);
+    let mut truth = Vec::with_capacity(2 * per_moon);
+    for i in 0..per_moon {
+        let t = i as f64 / per_moon.max(1) as f64 * std::f64::consts::PI;
+        let x = radius * t.cos() + noise_std * gaussian(rng);
+        let y = radius * t.sin() + noise_std * gaussian(rng);
+        points.push(quantizer.quantize(&[x, y]));
+        truth.push(0);
+        // Second moon: shifted and flipped.
+        let x2 = radius - radius * t.cos() + noise_std * gaussian(rng);
+        let y2 = -radius * t.sin() + radius / 2.0 + noise_std * gaussian(rng);
+        points.push(quantizer.quantize(&[x2, y2]));
+        truth.push(1);
+    }
+    (points, truth)
+}
+
+/// A dense blob completely surrounded by a ring — the "cluster inside a
+/// different cluster" case the paper's introduction highlights.
+pub fn cluster_in_ring<R: Rng + ?Sized>(
+    rng: &mut R,
+    core_points: usize,
+    ring_points: usize,
+    core_std: f64,
+    ring_radius: f64,
+    ring_std: f64,
+    quantizer: Quantizer,
+) -> (Vec<Point>, Vec<usize>) {
+    let mut points = Vec::with_capacity(core_points + ring_points);
+    let mut truth = Vec::with_capacity(points.capacity());
+    for _ in 0..core_points {
+        let x = core_std * gaussian(rng);
+        let y = core_std * gaussian(rng);
+        points.push(quantizer.quantize(&[x, y]));
+        truth.push(0);
+    }
+    for i in 0..ring_points {
+        let angle = i as f64 / ring_points.max(1) as f64 * TAU;
+        let r = ring_radius + ring_std * gaussian(rng);
+        points.push(quantizer.quantize(&[r * angle.cos(), r * angle.sin()]));
+        truth.push(1);
+    }
+    (points, truth)
+}
+
+/// Uniform noise over the full lattice box.
+pub fn uniform_points<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    dim: usize,
+    coord_bound: i64,
+) -> Vec<Point> {
+    assert!(dim >= 1 && coord_bound >= 1);
+    (0..n)
+        .map(|_| Point::new((0..dim).map(|_| rng.random_range(-coord_bound..=coord_bound)).collect()))
+        .collect()
+}
+
+/// Horizontal split by alternating index: deterministic, balanced, and —
+/// because generators emit cluster points contiguously — gives both parties
+/// points from every cluster.
+pub fn split_alternating(points: &[Point]) -> (Vec<Point>, Vec<Point>) {
+    let alice = points.iter().step_by(2).cloned().collect();
+    let bob = points.iter().skip(1).step_by(2).cloned().collect();
+    (alice, bob)
+}
+
+/// Horizontal split where each point goes to Alice with probability
+/// `alice_fraction`.
+pub fn split_random<R: Rng + ?Sized>(
+    rng: &mut R,
+    points: &[Point],
+    alice_fraction: f64,
+) -> (Vec<Point>, Vec<Point>) {
+    assert!((0.0..=1.0).contains(&alice_fraction));
+    let mut alice = Vec::new();
+    let mut bob = Vec::new();
+    for p in points {
+        if rng.random::<f64>() < alice_fraction {
+            alice.push(p.clone());
+        } else {
+            bob.push(p.clone());
+        }
+    }
+    (alice, bob)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{dbscan, DbscanParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn q() -> Quantizer {
+        Quantizer::new(1.0, 1000)
+    }
+
+    #[test]
+    fn blobs_have_expected_counts_and_labels() {
+        let mut r = rng(1);
+        let centers = vec![vec![-50.0, 0.0], vec![50.0, 0.0]];
+        let (points, truth) = gaussian_blobs(&mut r, 30, &centers, 3.0, q());
+        assert_eq!(points.len(), 60);
+        assert_eq!(truth.len(), 60);
+        assert!(truth[..30].iter().all(|&t| t == 0));
+        assert!(truth[30..].iter().all(|&t| t == 1));
+        // Blob separation: dbscan finds exactly two clusters.
+        let c = dbscan(&points, DbscanParams { eps_sq: 100, min_pts: 4 });
+        assert_eq!(c.num_clusters, 2);
+    }
+
+    #[test]
+    fn blob_points_stay_in_bounds() {
+        let mut r = rng(2);
+        let quant = Quantizer::new(1.0, 20);
+        let (points, _) = gaussian_blobs(&mut r, 100, &[vec![100.0, 100.0]], 50.0, quant);
+        for p in &points {
+            assert!(p.max_abs_coord() <= 20);
+        }
+    }
+
+    #[test]
+    fn standard_blobs_separable_by_dbscan() {
+        let mut r = rng(3);
+        let quant = Quantizer::new(1.0, 100);
+        for k in [2usize, 3, 4] {
+            let (points, _) = standard_blobs(&mut r, 40, k, 2, quant);
+            let c = dbscan(&points, DbscanParams { eps_sq: 64, min_pts: 4 });
+            assert_eq!(c.num_clusters, k, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn two_moons_found_as_two_clusters() {
+        let mut r = rng(4);
+        let quant = Quantizer::new(1.0, 200);
+        let (points, _) = two_moons(&mut r, 80, 60.0, 1.5, quant);
+        let c = dbscan(&points, DbscanParams { eps_sq: 64, min_pts: 3 });
+        assert_eq!(c.num_clusters, 2);
+        assert_eq!(c.noise_count(), 0);
+    }
+
+    #[test]
+    fn ring_encloses_core_two_clusters() {
+        let mut r = rng(5);
+        let quant = Quantizer::new(1.0, 200);
+        let (points, truth) = cluster_in_ring(&mut r, 40, 60, 3.0, 50.0, 1.0, quant);
+        // Ring spacing ≈ 2π·50/60 ≈ 5.2, so eps = 12 gives each ring point
+        // ≥ 4 neighbors (two per side) while staying far below the ≈ 38 gap
+        // between blob fringe and ring.
+        let c = dbscan(&points, DbscanParams { eps_sq: 144, min_pts: 4 });
+        assert_eq!(c.num_clusters, 2);
+        // Verify the clusters match the generator's ground truth.
+        let first_core = c.labels[0];
+        for (label, &t) in c.labels.iter().zip(&truth) {
+            if t == 0 {
+                assert_eq!(*label, first_core);
+            } else {
+                assert_ne!(*label, first_core);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_points_respect_bounds() {
+        let mut r = rng(6);
+        let points = uniform_points(&mut r, 200, 3, 7);
+        assert_eq!(points.len(), 200);
+        for p in &points {
+            assert_eq!(p.dim(), 3);
+            assert!(p.max_abs_coord() <= 7);
+        }
+    }
+
+    #[test]
+    fn alternating_split_is_balanced_and_complete() {
+        let points = uniform_points(&mut rng(7), 11, 2, 5);
+        let (alice, bob) = split_alternating(&points);
+        assert_eq!(alice.len(), 6);
+        assert_eq!(bob.len(), 5);
+        assert_eq!(alice[0], points[0]);
+        assert_eq!(bob[0], points[1]);
+    }
+
+    #[test]
+    fn random_split_respects_extremes() {
+        let points = uniform_points(&mut rng(8), 50, 2, 5);
+        let (alice, bob) = split_random(&mut rng(9), &points, 1.0);
+        assert_eq!(alice.len(), 50);
+        assert!(bob.is_empty());
+        let (alice, bob) = split_random(&mut rng(10), &points, 0.0);
+        assert!(alice.is_empty());
+        assert_eq!(bob.len(), 50);
+    }
+
+    #[test]
+    fn generators_are_deterministic_under_seed() {
+        let quant = q();
+        let (a, _) = standard_blobs(&mut rng(42), 10, 2, 2, quant);
+        let (b, _) = standard_blobs(&mut rng(42), 10, 2, 2, quant);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,264 @@
+//! Clustering-agreement metrics for the correctness experiments (E4).
+
+use crate::algo::{Clustering, Label};
+use std::collections::HashMap;
+
+/// `true` iff two clusterings are the same partition: identical noise sets
+/// and a bijection between cluster ids.
+pub fn same_partition(a: &Clustering, b: &Clustering) -> bool {
+    if a.labels.len() != b.labels.len() {
+        return false;
+    }
+    let mut a_to_b: HashMap<usize, usize> = HashMap::new();
+    let mut b_to_a: HashMap<usize, usize> = HashMap::new();
+    for (la, lb) in a.labels.iter().zip(&b.labels) {
+        match (la, lb) {
+            (Label::Noise, Label::Noise) => {}
+            (Label::Cluster(x), Label::Cluster(y)) => {
+                if *a_to_b.entry(*x).or_insert(*y) != *y {
+                    return false;
+                }
+                if *b_to_a.entry(*y).or_insert(*x) != *x {
+                    return false;
+                }
+            }
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Rand index in `[0, 1]`: fraction of point pairs on which the two
+/// clusterings agree (same-cluster vs different-cluster). Noise points are
+/// treated as singleton clusters, so two identical clusterings always score
+/// exactly 1.
+pub fn rand_index(a: &Clustering, b: &Clustering) -> f64 {
+    assert_eq!(a.labels.len(), b.labels.len(), "clusterings must align");
+    let n = a.labels.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let key = |labels: &[Label], i: usize| match labels[i] {
+        // Singleton id disjoint from real cluster ids.
+        Label::Noise => (1usize, i),
+        Label::Cluster(c) => (0usize, c),
+    };
+    let mut agreements = 0u64;
+    let mut total = 0u64;
+    for i in 0..n {
+        for j in i + 1..n {
+            let same_a = key(&a.labels, i) == key(&a.labels, j);
+            let same_b = key(&b.labels, i) == key(&b.labels, j);
+            agreements += (same_a == same_b) as u64;
+            total += 1;
+        }
+    }
+    agreements as f64 / total as f64
+}
+
+/// Adjusted Rand index: the Rand index corrected for chance agreement,
+/// so random labelings score ≈ 0 and identical partitions score 1. Noise
+/// points are treated as singleton clusters, consistent with
+/// [`rand_index`].
+pub fn adjusted_rand_index(a: &Clustering, b: &Clustering) -> f64 {
+    assert_eq!(a.labels.len(), b.labels.len(), "clusterings must align");
+    let n = a.labels.len();
+    if n < 2 {
+        return 1.0;
+    }
+    // Effective cluster ids with noise as singletons.
+    let ids = |c: &Clustering| -> Vec<usize> {
+        let base = c.num_clusters;
+        let mut next_singleton = base;
+        c.labels
+            .iter()
+            .map(|l| match l {
+                Label::Cluster(id) => *id,
+                Label::Noise => {
+                    let id = next_singleton;
+                    next_singleton += 1;
+                    id
+                }
+            })
+            .collect()
+    };
+    let a_ids = ids(a);
+    let b_ids = ids(b);
+
+    // Contingency table.
+    let mut table: HashMap<(usize, usize), u64> = HashMap::new();
+    let mut a_sums: HashMap<usize, u64> = HashMap::new();
+    let mut b_sums: HashMap<usize, u64> = HashMap::new();
+    for (&x, &y) in a_ids.iter().zip(&b_ids) {
+        *table.entry((x, y)).or_insert(0) += 1;
+        *a_sums.entry(x).or_insert(0) += 1;
+        *b_sums.entry(y).or_insert(0) += 1;
+    }
+    let choose2 = |v: u64| -> f64 { (v * v.saturating_sub(1)) as f64 / 2.0 };
+    let sum_table: f64 = table.values().map(|&v| choose2(v)).sum();
+    let sum_a: f64 = a_sums.values().map(|&v| choose2(v)).sum();
+    let sum_b: f64 = b_sums.values().map(|&v| choose2(v)).sum();
+    let total_pairs = choose2(n as u64);
+    let expected = sum_a * sum_b / total_pairs;
+    let max_index = (sum_a + sum_b) / 2.0;
+    if (max_index - expected).abs() < f64::EPSILON {
+        // Degenerate (e.g. everything singleton in both): define as 1 when
+        // the partitions agree pairwise, else 0.
+        return if sum_table == max_index { 1.0 } else { 0.0 };
+    }
+    (sum_table - expected) / (max_index - expected)
+}
+
+/// Purity of a predicted clustering against ground-truth classes: each
+/// cluster votes for its majority class; noise points count as errors.
+/// Returns a value in `[0, 1]`.
+pub fn purity(predicted: &Clustering, truth: &[usize]) -> f64 {
+    assert_eq!(predicted.labels.len(), truth.len(), "lengths must align");
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let mut votes: HashMap<usize, HashMap<usize, usize>> = HashMap::new();
+    for (label, &class) in predicted.labels.iter().zip(truth) {
+        if let Label::Cluster(c) = label {
+            *votes.entry(*c).or_default().entry(class).or_insert(0) += 1;
+        }
+    }
+    let correct: usize = votes
+        .values()
+        .map(|counts| counts.values().copied().max().unwrap_or(0))
+        .sum();
+    correct as f64 / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustering(labels: Vec<Label>) -> Clustering {
+        let num_clusters = labels
+            .iter()
+            .filter_map(|l| l.cluster())
+            .max()
+            .map_or(0, |m| m + 1);
+        Clustering {
+            labels,
+            num_clusters,
+        }
+    }
+
+    use Label::{Cluster as C, Noise as N};
+
+    #[test]
+    fn identical_clusterings_match() {
+        let a = clustering(vec![C(0), C(0), C(1), N]);
+        assert!(same_partition(&a, &a));
+        assert_eq!(rand_index(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn relabeled_clusters_still_same_partition() {
+        let a = clustering(vec![C(0), C(0), C(1), N]);
+        let b = clustering(vec![C(1), C(1), C(0), N]);
+        assert!(same_partition(&a, &b));
+        assert_eq!(rand_index(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn merged_clusters_are_not_same_partition() {
+        let a = clustering(vec![C(0), C(0), C(1), C(1)]);
+        let b = clustering(vec![C(0), C(0), C(0), C(0)]);
+        assert!(!same_partition(&a, &b));
+        assert!(!same_partition(&b, &a));
+        // 6 pairs; a and b agree on (0,1) and (2,3): 4 disagreements.
+        let ri = rand_index(&a, &b);
+        assert!((ri - 2.0 / 6.0).abs() < 1e-12, "ri = {ri}");
+    }
+
+    #[test]
+    fn noise_mismatch_detected() {
+        let a = clustering(vec![C(0), N]);
+        let b = clustering(vec![C(0), C(0)]);
+        assert!(!same_partition(&a, &b));
+        assert_eq!(rand_index(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn two_noise_points_are_distinct_singletons() {
+        // Both clusterings call points 0 and 1 noise: they agree that the
+        // pair is split, so the Rand index is 1.
+        let a = clustering(vec![N, N]);
+        let b = clustering(vec![N, N]);
+        assert!(same_partition(&a, &b));
+        assert_eq!(rand_index(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn length_mismatch_is_not_same_partition() {
+        let a = clustering(vec![C(0)]);
+        let b = clustering(vec![C(0), C(0)]);
+        assert!(!same_partition(&a, &b));
+    }
+
+    #[test]
+    fn singleton_inputs() {
+        let a = clustering(vec![C(0)]);
+        assert_eq!(rand_index(&a, &a), 1.0);
+        let empty = clustering(vec![]);
+        assert_eq!(rand_index(&empty, &empty), 1.0);
+        assert!(same_partition(&empty, &empty));
+    }
+
+    #[test]
+    fn purity_perfect_and_imperfect() {
+        let truth = vec![0, 0, 1, 1];
+        let perfect = clustering(vec![C(5), C(5), C(9), C(9)]);
+        assert_eq!(purity(&perfect, &truth), 1.0);
+        let one_wrong = clustering(vec![C(0), C(0), C(0), C(1)]);
+        assert_eq!(purity(&one_wrong, &truth), 0.75);
+        let all_noise = clustering(vec![N, N, N, N]);
+        assert_eq!(purity(&all_noise, &truth), 0.0);
+    }
+
+    #[test]
+    fn purity_counts_noise_as_error() {
+        let truth = vec![0, 0, 0, 0];
+        let half_noise = clustering(vec![C(0), C(0), N, N]);
+        assert_eq!(purity(&half_noise, &truth), 0.5);
+    }
+
+    #[test]
+    fn ari_identical_partitions_score_one() {
+        let a = clustering(vec![C(0), C(0), C(1), C(1), N]);
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+        let relabeled = clustering(vec![C(1), C(1), C(0), C(0), N]);
+        assert!((adjusted_rand_index(&a, &relabeled) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_penalizes_merging_more_than_rand_index() {
+        let a = clustering(vec![C(0), C(0), C(0), C(1), C(1), C(1)]);
+        let merged = clustering(vec![C(0); 6]);
+        let ri = rand_index(&a, &merged);
+        let ari = adjusted_rand_index(&a, &merged);
+        assert!(ari < ri, "ari {ari} vs ri {ri}");
+        assert!(ari <= 0.0 + 1e-12, "merging everything has no skill: {ari}");
+    }
+
+    #[test]
+    fn ari_textbook_value() {
+        // Classic example: partitions {1,1,2,2,3,3} vs {1,1,1,2,2,2}... use
+        // a hand-computed case instead: a = [0,0,1,1], b = [0,1,0,1].
+        // Contingency: all cells 1 => sum_table = 0; sum_a = sum_b = 2;
+        // expected = 4/6; max = 2; ARI = (0 - 2/3)/(2 - 2/3) = -0.5.
+        let a = clustering(vec![C(0), C(0), C(1), C(1)]);
+        let b = clustering(vec![C(0), C(1), C(0), C(1)]);
+        let ari = adjusted_rand_index(&a, &b);
+        assert!((ari - (-0.5)).abs() < 1e-12, "ari = {ari}");
+    }
+
+    #[test]
+    fn ari_all_singletons_degenerate_case() {
+        let a = clustering(vec![N, N, N]);
+        assert_eq!(adjusted_rand_index(&a, &a), 1.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Region-query indexes: `N_eps(q) = { p : dist(p, q) ≤ eps }`.
+//!
+//! Queries return indexes of all points within `eps` *including the query
+//! point itself* when it belongs to the indexed set — the convention of
+//! Ester et al. that the paper's MinPts thresholds assume.
+
+use crate::point::{dist_sq, isqrt, Point};
+use std::collections::HashMap;
+
+/// Anything that can answer Eps-neighborhood queries over a fixed point set.
+pub trait NeighborIndex {
+    /// Indexes of all points with `dist²(p, q) ≤ eps²`, in ascending index
+    /// order (deterministic order keeps two-party runs in lockstep).
+    fn region_query(&self, q: &Point) -> Vec<usize>;
+
+    /// Number of indexed points.
+    fn len(&self) -> usize;
+
+    /// `true` if the index holds no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// O(n) scan. Reference implementation and the right choice for the small
+/// point sets SMC protocols can afford.
+pub struct LinearIndex<'a> {
+    points: &'a [Point],
+    eps_sq: u64,
+}
+
+impl<'a> LinearIndex<'a> {
+    /// Builds a linear index over `points` with threshold `eps²`.
+    pub fn new(points: &'a [Point], eps_sq: u64) -> Self {
+        LinearIndex { points, eps_sq }
+    }
+}
+
+impl NeighborIndex for LinearIndex<'_> {
+    fn region_query(&self, q: &Point) -> Vec<usize> {
+        self.points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| dist_sq(p, q) <= self.eps_sq)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+}
+
+/// Uniform grid with cell side `ceil(eps)`: a query inspects the 3^d
+/// neighboring cells. The classic accelerator for low-dimensional DBSCAN
+/// (the paper's §4.3.2 notes its complexity assumes *no* spatial index; the
+/// `region_query_index` bench quantifies what an index buys).
+pub struct GridIndex<'a> {
+    points: &'a [Point],
+    eps_sq: u64,
+    cell_size: i64,
+    dim: usize,
+    cells: HashMap<Vec<i64>, Vec<usize>>,
+}
+
+impl<'a> GridIndex<'a> {
+    /// Builds a grid over `points` with threshold `eps²`.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or `eps_sq` is zero (a zero radius makes
+    /// every point its own neighborhood; use `LinearIndex` for that
+    /// degenerate case).
+    pub fn new(points: &'a [Point], eps_sq: u64) -> Self {
+        assert!(!points.is_empty(), "cannot grid-index zero points");
+        assert!(eps_sq > 0, "GridIndex needs a positive radius");
+        let dim = points[0].dim();
+        // ceil(sqrt(eps_sq)) in exact integer arithmetic.
+        let root = isqrt(eps_sq);
+        let cell_size = (root + u64::from(root * root < eps_sq)) as i64;
+        let mut cells: HashMap<Vec<i64>, Vec<usize>> = HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            cells.entry(Self::cell_of(p, cell_size)).or_default().push(i);
+        }
+        GridIndex {
+            points,
+            eps_sq,
+            cell_size,
+            dim,
+            cells,
+        }
+    }
+
+    fn cell_of(p: &Point, cell_size: i64) -> Vec<i64> {
+        p.coords().iter().map(|&c| c.div_euclid(cell_size)).collect()
+    }
+
+    /// Visits every cell offset in `{-1, 0, 1}^dim` around `base`.
+    fn for_each_neighbor_cell(&self, base: &[i64], visit: &mut impl FnMut(&[i64])) {
+        let mut offset = vec![-1i64; self.dim];
+        loop {
+            let cell: Vec<i64> = base.iter().zip(&offset).map(|(b, o)| b + o).collect();
+            visit(&cell);
+            // Odometer increment over {-1, 0, 1}^dim.
+            let mut pos = 0;
+            loop {
+                if pos == self.dim {
+                    return;
+                }
+                offset[pos] += 1;
+                if offset[pos] <= 1 {
+                    break;
+                }
+                offset[pos] = -1;
+                pos += 1;
+            }
+        }
+    }
+}
+
+impl NeighborIndex for GridIndex<'_> {
+    fn region_query(&self, q: &Point) -> Vec<usize> {
+        assert_eq!(q.dim(), self.dim, "query dimension mismatch");
+        let base = Self::cell_of(q, self.cell_size);
+        let mut hits = Vec::new();
+        self.for_each_neighbor_cell(&base, &mut |cell| {
+            if let Some(indices) = self.cells.get(cell) {
+                for &i in indices {
+                    if dist_sq(&self.points[i], q) <= self.eps_sq {
+                        hits.push(i);
+                    }
+                }
+            }
+        });
+        hits.sort_unstable();
+        hits
+    }
+
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn pts(coords: &[&[i64]]) -> Vec<Point> {
+        coords.iter().map(|c| Point::from(*c)).collect()
+    }
+
+    #[test]
+    fn linear_index_includes_self_and_boundary() {
+        let points = pts(&[&[0, 0], &[3, 4], &[10, 10]]);
+        let idx = LinearIndex::new(&points, 25);
+        // Boundary: dist² == eps² counts (≤, per the paper's `≤ Eps`).
+        assert_eq!(idx.region_query(&points[0]), vec![0, 1]);
+        assert_eq!(idx.region_query(&points[2]), vec![2]);
+        assert_eq!(idx.len(), 3);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn query_point_need_not_be_indexed() {
+        let points = pts(&[&[0, 0], &[2, 0]]);
+        let idx = LinearIndex::new(&points, 4);
+        let external = Point::from([1i64, 0].as_slice());
+        assert_eq!(idx.region_query(&external), vec![0, 1]);
+    }
+
+    #[test]
+    fn grid_matches_linear_on_random_data() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for dim in [1usize, 2, 3, 4] {
+            let points: Vec<Point> = (0..200)
+                .map(|_| Point::new((0..dim).map(|_| rng.random_range(-50..=50)).collect()))
+                .collect();
+            for eps_sq in [1u64, 9, 100, 2500] {
+                let linear = LinearIndex::new(&points, eps_sq);
+                let grid = GridIndex::new(&points, eps_sq);
+                for q in points.iter().take(40) {
+                    assert_eq!(
+                        grid.region_query(q),
+                        linear.region_query(q),
+                        "dim={dim} eps²={eps_sq}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_handles_negative_coordinates() {
+        let points = pts(&[&[-7, -7], &[-6, -7], &[7, 7]]);
+        let grid = GridIndex::new(&points, 4);
+        assert_eq!(grid.region_query(&points[0]), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive radius")]
+    fn zero_radius_grid_panics() {
+        let points = pts(&[&[0]]);
+        let _ = GridIndex::new(&points, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero points")]
+    fn empty_grid_panics() {
+        let points: Vec<Point> = vec![];
+        let _ = GridIndex::new(&points, 1);
+    }
+
+    #[test]
+    fn duplicate_points_all_reported() {
+        let points = pts(&[&[1, 1], &[1, 1], &[1, 1]]);
+        let grid = GridIndex::new(&points, 1);
+        assert_eq!(grid.region_query(&points[0]), vec![0, 1, 2]);
+    }
+}

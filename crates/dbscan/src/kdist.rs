@@ -1,0 +1,160 @@
+//! The sorted k-distance heuristic for choosing `Eps` (Ester et al. '96,
+//! §4.2): plot each point's distance to its k-th nearest neighbor in
+//! descending order; the first "valley" separates noise from cluster points
+//! and its height is a good `Eps`.
+//!
+//! The privacy paper inherits `Eps`/`MinPts` as given global parameters, so
+//! in a deployment each party would run this heuristic on its *own* data
+//! (or the parties would agree out of band). Providing it here completes
+//! the substrate a practitioner needs to actually parameterize a run.
+
+use crate::point::{dist_sq, Point};
+
+/// Squared distance from each point to its k-th nearest *other* neighbor,
+/// sorted in descending order — the classic k-dist graph (as squared
+/// values, consistent with the lattice arithmetic everywhere else).
+///
+/// # Panics
+/// Panics if `k == 0` or `k >= points.len()`.
+pub fn k_distance_profile(points: &[Point], k: usize) -> Vec<u64> {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(
+        k < points.len(),
+        "k = {k} needs at least {} points, have {}",
+        k + 1,
+        points.len()
+    );
+    let mut profile: Vec<u64> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let mut dists: Vec<u64> = points
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, q)| dist_sq(p, q))
+                .collect();
+            dists.sort_unstable();
+            dists[k - 1]
+        })
+        .collect();
+    profile.sort_unstable_by(|a, b| b.cmp(a));
+    profile
+}
+
+/// Fraction of points assumed to sit inside clusters (i.e. not in the
+/// noisy head of the k-dist graph) by [`suggest_eps_sq`].
+pub const DEFAULT_CORE_FRACTION: f64 = 0.90;
+
+/// Suggests `eps_sq` from the k-dist graph with the
+/// [`DEFAULT_CORE_FRACTION`] rule.
+pub fn suggest_eps_sq(points: &[Point], k: usize) -> u64 {
+    suggest_eps_sq_with_fraction(points, k, DEFAULT_CORE_FRACTION)
+}
+
+/// Suggests `eps_sq` such that `core_fraction` of all points have their
+/// k-th nearest neighbor within Eps — Ester et al.'s interactive "cut the
+/// sorted k-dist graph below the noise head", automated with an explicit
+/// head-size assumption.
+///
+/// The suggestion is a starting point, not an oracle — exactly how the
+/// original paper positions the heuristic.
+///
+/// # Panics
+/// Panics if `core_fraction` is outside `(0, 1]`.
+pub fn suggest_eps_sq_with_fraction(points: &[Point], k: usize, core_fraction: f64) -> u64 {
+    assert!(
+        core_fraction > 0.0 && core_fraction <= 1.0,
+        "core_fraction must be in (0, 1], got {core_fraction}"
+    );
+    let profile = k_distance_profile(points, k);
+    // profile is sorted descending: index i means (i) points have a larger
+    // k-dist. Cutting at the head of size (1 - fraction)·n keeps
+    // `fraction` of points at or below the suggested radius.
+    let head = ((1.0 - core_fraction) * profile.len() as f64).floor() as usize;
+    profile[head.min(profile.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{dbscan, DbscanParams};
+    use crate::datagen::standard_blobs;
+    use crate::point::Quantizer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pts(coords: &[&[i64]]) -> Vec<Point> {
+        coords.iter().map(|c| Point::from(*c)).collect()
+    }
+
+    #[test]
+    fn profile_is_sorted_descending_and_correct() {
+        // Chain 0-1-3-7: 1-NN squared distances are 1,1,4,16.
+        let points = pts(&[&[0], &[1], &[3], &[7]]);
+        let profile = k_distance_profile(&points, 1);
+        assert_eq!(profile, vec![16, 4, 1, 1]);
+    }
+
+    #[test]
+    fn second_nearest_profile() {
+        let points = pts(&[&[0], &[1], &[3], &[7]]);
+        // 2-NN squared: from 0 -> {1,9,49} -> 9; from 1 -> {1,4,36} -> 4;
+        // from 3 -> {4,9,16} -> 9; from 7 -> {16,36,49} -> 36.
+        let profile = k_distance_profile(&points, 2);
+        assert_eq!(profile, vec![36, 9, 9, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn k_zero_rejected() {
+        let _ = k_distance_profile(&pts(&[&[0], &[1]]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs at least")]
+    fn k_too_large_rejected() {
+        let _ = k_distance_profile(&pts(&[&[0], &[1]]), 2);
+    }
+
+    #[test]
+    fn suggestion_recovers_blob_clusters() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let quantizer = Quantizer::new(1.0, 100);
+        let (points, _) = standard_blobs(&mut rng, 40, 3, 2, quantizer);
+        let min_pts = 4;
+        let eps_sq = suggest_eps_sq(&points, min_pts - 1);
+        assert!(eps_sq > 0);
+        let clustering = dbscan(&points, DbscanParams { eps_sq, min_pts });
+        // The heuristic must land in a regime that separates the 3 blobs
+        // without shattering them.
+        assert_eq!(
+            clustering.num_clusters, 3,
+            "eps_sq = {eps_sq} gave {} clusters",
+            clustering.num_clusters
+        );
+        let noise_frac = clustering.noise_count() as f64 / points.len() as f64;
+        assert!(noise_frac < 0.2, "noise fraction {noise_frac}");
+    }
+
+    #[test]
+    fn flat_profile_returns_the_common_distance() {
+        // Evenly spaced grid: every 1-NN distance identical.
+        let points: Vec<Point> = (0..10).map(|i| Point::new(vec![i * 2])).collect();
+        let eps_sq = suggest_eps_sq(&points, 1);
+        assert_eq!(eps_sq, 4);
+    }
+
+    #[test]
+    fn fraction_one_keeps_every_point_core() {
+        let points = pts(&[&[0], &[1], &[3], &[7]]);
+        // fraction 1.0 => head 0 => the largest k-dist: everything within.
+        assert_eq!(suggest_eps_sq_with_fraction(&points, 1, 1.0), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "core_fraction")]
+    fn zero_fraction_rejected() {
+        let _ = suggest_eps_sq_with_fraction(&pts(&[&[0], &[1]]), 1, 0.0);
+    }
+}

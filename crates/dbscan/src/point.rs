@@ -1,0 +1,288 @@
+//! Points on a bounded integer lattice.
+//!
+//! The SMC layer needs a bounded integer domain: Yao's protocol works on
+//! `[1, n0]` and the squared-distance algebra must not overflow the signed
+//! Paillier encoding. Working on an `i64` lattice makes every bound explicit
+//! and keeps distance arithmetic exact (no float comparisons to disagree
+//! across parties).
+
+use std::fmt;
+
+/// A point with `i64` coordinates.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Point {
+    coords: Vec<i64>,
+}
+
+impl Point {
+    /// Builds a point from coordinates.
+    ///
+    /// # Panics
+    /// Panics on zero-dimensional points.
+    pub fn new(coords: Vec<i64>) -> Self {
+        assert!(!coords.is_empty(), "points need at least one dimension");
+        Point { coords }
+    }
+
+    /// The coordinates.
+    pub fn coords(&self) -> &[i64] {
+        &self.coords
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Largest coordinate magnitude.
+    pub fn max_abs_coord(&self) -> i64 {
+        self.coords.iter().map(|c| c.abs()).max().expect("non-empty")
+    }
+
+    /// Sum of squared coordinates (`Σ c_k²`), the `ΣA²` term of the paper's
+    /// distance decompositions.
+    pub fn norm_sq(&self) -> u64 {
+        self.coords
+            .iter()
+            .map(|&c| (c as i128) * (c as i128))
+            .sum::<i128>()
+            .try_into()
+            .expect("norm² fits u64 for lattice-bounded coordinates")
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{:?}", self.coords)
+    }
+}
+
+impl From<Vec<i64>> for Point {
+    fn from(coords: Vec<i64>) -> Self {
+        Point::new(coords)
+    }
+}
+
+impl From<&[i64]> for Point {
+    fn from(coords: &[i64]) -> Self {
+        Point::new(coords.to_vec())
+    }
+}
+
+/// Exact squared Euclidean distance.
+///
+/// # Panics
+/// Panics if the points have different dimensionality, or if the squared
+/// distance overflows `u64` (impossible for coordinates below `2^30`).
+pub fn dist_sq(a: &Point, b: &Point) -> u64 {
+    assert_eq!(
+        a.dim(),
+        b.dim(),
+        "dimension mismatch: {} vs {}",
+        a.dim(),
+        b.dim()
+    );
+    let sum: i128 = a
+        .coords()
+        .iter()
+        .zip(b.coords())
+        .map(|(&x, &y)| {
+            let d = (x - y) as i128;
+            d * d
+        })
+        .sum();
+    sum.try_into().expect("squared distance fits u64")
+}
+
+/// Largest squared distance possible between two points whose coordinates
+/// all lie in `[-coord_bound, coord_bound]` with `dim` dimensions.
+pub fn max_dist_sq(dim: usize, coord_bound: i64) -> u64 {
+    let span = 2 * coord_bound as i128;
+    (dim as i128 * span * span)
+        .try_into()
+        .expect("max squared distance fits u64")
+}
+
+/// Exact floor integer square root (`isqrt(n)² ≤ n < (isqrt(n)+1)²`).
+///
+/// The grid index derives its cell size from `Eps = isqrt(eps_sq)`; using
+/// exact integer arithmetic keeps region queries correct even for `eps_sq`
+/// beyond `f64`'s 53-bit exact range.
+pub fn isqrt(n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    // Newton's method seeded from the float estimate: one or two
+    // corrections suffice for all u64 inputs.
+    let mut x = (n as f64).sqrt() as u64;
+    // Guard against float overshoot near u64::MAX.
+    x = x.min(u64::MAX >> 16 | 0xFFFF_FFFF);
+    loop {
+        let better = (x + n / x.max(1)) / 2;
+        if better >= x {
+            break;
+        }
+        x = better;
+    }
+    // Final correction in both directions.
+    while x.checked_mul(x).is_none_or(|sq| sq > n) {
+        x -= 1;
+    }
+    while (x + 1).checked_mul(x + 1).is_some_and(|sq| sq <= n) {
+        x += 1;
+    }
+    x
+}
+
+/// Maps real-valued data onto the integer lattice with a fixed scale.
+///
+/// `quantize(x) = round(x * scale)`, clamped to `[-coord_bound,
+/// coord_bound]`. The scale choice trades resolution against the size of the
+/// SMC comparison domain (`n0` grows with `coord_bound²`); the experiments
+/// document this trade-off.
+#[derive(Debug, Clone, Copy)]
+pub struct Quantizer {
+    /// Multiplier applied before rounding.
+    pub scale: f64,
+    /// Clamp bound for the resulting lattice coordinates.
+    pub coord_bound: i64,
+}
+
+impl Quantizer {
+    /// A quantizer with the given scale and clamp bound.
+    ///
+    /// # Panics
+    /// Panics on non-positive scale or bound.
+    pub fn new(scale: f64, coord_bound: i64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        assert!(coord_bound > 0, "coordinate bound must be positive");
+        Quantizer { scale, coord_bound }
+    }
+
+    /// Quantizes one coordinate.
+    pub fn quantize_coord(&self, value: f64) -> i64 {
+        let scaled = (value * self.scale).round();
+        let clamped = scaled.clamp(-(self.coord_bound as f64), self.coord_bound as f64);
+        clamped as i64
+    }
+
+    /// Quantizes a full point.
+    pub fn quantize(&self, values: &[f64]) -> Point {
+        Point::new(values.iter().map(|&v| self.quantize_coord(v)).collect())
+    }
+
+    /// Quantizes a real-valued radius into a lattice squared radius
+    /// (`eps² = round(eps · scale)²`).
+    pub fn quantize_eps_sq(&self, eps: f64) -> u64 {
+        let lattice_eps = (eps * self.scale).round().max(0.0) as u64;
+        lattice_eps * lattice_eps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(coords: &[i64]) -> Point {
+        Point::from(coords)
+    }
+
+    #[test]
+    fn dist_sq_basics() {
+        assert_eq!(dist_sq(&p(&[0, 0]), &p(&[3, 4])), 25);
+        assert_eq!(dist_sq(&p(&[1, 1]), &p(&[1, 1])), 0);
+        assert_eq!(dist_sq(&p(&[-3]), &p(&[4])), 49);
+        assert_eq!(dist_sq(&p(&[1, 2, 3]), &p(&[3, 2, 1])), 8);
+    }
+
+    #[test]
+    fn dist_sq_symmetric() {
+        let a = p(&[5, -7, 11]);
+        let b = p(&[-2, 0, 4]);
+        assert_eq!(dist_sq(&a, &b), dist_sq(&b, &a));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let _ = dist_sq(&p(&[1]), &p(&[1, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn empty_point_rejected() {
+        let _ = Point::new(vec![]);
+    }
+
+    #[test]
+    fn norm_sq_and_max_abs() {
+        let x = p(&[3, -4, 0]);
+        assert_eq!(x.norm_sq(), 25);
+        assert_eq!(x.max_abs_coord(), 4);
+    }
+
+    #[test]
+    fn max_dist_sq_is_attained_at_corners() {
+        assert_eq!(max_dist_sq(2, 10), dist_sq(&p(&[-10, -10]), &p(&[10, 10])));
+        assert_eq!(max_dist_sq(1, 5), 100);
+        assert_eq!(max_dist_sq(3, 1), 12);
+    }
+
+    #[test]
+    fn extreme_coordinates_do_not_overflow() {
+        let bound = 1 << 30;
+        let a = p(&[-bound, -bound]);
+        let b = p(&[bound, bound]);
+        assert_eq!(dist_sq(&a, &b), 2 * (2u64 * (1 << 30)) * (2u64 * (1 << 30)));
+    }
+
+    #[test]
+    fn isqrt_exact_on_edge_cases() {
+        for n in 0u64..2000 {
+            let r = isqrt(n);
+            assert!(r * r <= n, "n = {n}");
+            assert!((r + 1).checked_mul(r + 1).is_none_or(|sq| sq > n), "n = {n}");
+        }
+        for n in [
+            u64::MAX,
+            u64::MAX - 1,
+            (1 << 62) - 1,
+            1 << 62,
+            (1 << 53) + 1, // beyond f64 exactness
+            999_999_999_999_999_999,
+        ] {
+            let r = isqrt(n);
+            assert!(r.checked_mul(r).is_some_and(|sq| sq <= n), "n = {n}");
+            assert!((r + 1).checked_mul(r + 1).is_none_or(|sq| sq > n), "n = {n}");
+        }
+        assert_eq!(isqrt(0), 0);
+        assert_eq!(isqrt(1), 1);
+        assert_eq!(isqrt(3), 1);
+        assert_eq!(isqrt(4), 2);
+        assert_eq!(isqrt(u64::MAX), (1u64 << 32) - 1);
+    }
+
+    #[test]
+    fn quantizer_rounds_and_clamps() {
+        let q = Quantizer::new(10.0, 100);
+        assert_eq!(q.quantize_coord(1.26), 13);
+        assert_eq!(q.quantize_coord(-1.24), -12);
+        assert_eq!(q.quantize_coord(1e9), 100);
+        assert_eq!(q.quantize_coord(-1e9), -100);
+        let pt = q.quantize(&[0.1, -0.52]);
+        assert_eq!(pt.coords(), &[1, -5]);
+    }
+
+    #[test]
+    fn quantizer_eps() {
+        let q = Quantizer::new(10.0, 100);
+        assert_eq!(q.quantize_eps_sq(0.5), 25);
+        assert_eq!(q.quantize_eps_sq(0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn bad_quantizer_scale_panics() {
+        let _ = Quantizer::new(0.0, 10);
+    }
+}

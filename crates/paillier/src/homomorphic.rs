@@ -1,0 +1,205 @@
+//! Homomorphic operations on ciphertexts.
+//!
+//! These implement the two properties the paper quotes in §3.7 and builds
+//! Algorithm 2 (the Multiplication Protocol) on:
+//!
+//! * addition:        `D(E(m1) · E(m2) mod n²) = m1 + m2 mod n`
+//! * plaintext mul:   `D(E(m1)^m2  mod n²) = m1 · m2 mod n`
+
+use crate::keys::{Ciphertext, PublicKey};
+use ppds_bigint::{BigInt, BigUint};
+use rand::Rng;
+
+impl PublicKey {
+    /// `E(m1 + m2)` from `E(m1)` and `E(m2)`: ciphertext product mod `n²`.
+    pub fn add(&self, c1: &Ciphertext, c2: &Ciphertext) -> Ciphertext {
+        Ciphertext(self.mul_mod_nn(&c1.0, &c2.0))
+    }
+
+    /// `E(m + k)` from `E(m)` and plaintext `k`: multiply by `g^k`.
+    pub fn add_plain(&self, c: &Ciphertext, k: &BigUint) -> Ciphertext {
+        let k = k % self.n();
+        let g_to_k = self
+            .encrypt_with_nonce(&k, &BigUint::one())
+            .expect("k reduced mod n");
+        self.add(c, &g_to_k)
+    }
+
+    /// `E(m · k)` from `E(m)` and plaintext `k`: ciphertext power mod `n²`.
+    pub fn mul_plain(&self, c: &Ciphertext, k: &BigUint) -> Ciphertext {
+        let k = k % self.n();
+        if k.is_zero() {
+            // c^0 = 1 = E(0) with nonce 1; keep it a valid group element.
+            return Ciphertext(BigUint::one());
+        }
+        Ciphertext(self.pow_mod_nn(&c.0, &k))
+    }
+
+    /// `E(m · k)` for a signed scalar `k` (negative scalars exponentiate by
+    /// `k mod n`, i.e. `n - |k|`).
+    pub fn mul_plain_signed(&self, c: &Ciphertext, k: &BigInt) -> Ciphertext {
+        let k_reduced = k.rem_euclid(self.n());
+        self.mul_plain(c, &k_reduced)
+    }
+
+    /// `E(-m)` from `E(m)`: exponent `n - 1 ≡ -1 (mod n)`.
+    pub fn negate(&self, c: &Ciphertext) -> Ciphertext {
+        let minus_one = self.n() - &BigUint::one();
+        self.mul_plain(c, &minus_one)
+    }
+
+    /// `E(m1 - m2)` from `E(m1)` and `E(m2)`.
+    pub fn sub(&self, c1: &Ciphertext, c2: &Ciphertext) -> Ciphertext {
+        self.add(c1, &self.negate(c2))
+    }
+
+    /// Re-randomizes a ciphertext: multiplies by a fresh encryption of zero,
+    /// so the value is unchanged but the group element is statistically
+    /// independent of the input. The DBSCAN drivers use this before echoing
+    /// any ciphertext back to its producer.
+    pub fn rerandomize<R: Rng + ?Sized>(&self, c: &Ciphertext, rng: &mut R) -> Ciphertext {
+        let zero_enc = self
+            .encrypt(&BigUint::zero(), rng)
+            .expect("0 is always in range");
+        self.add(c, &zero_enc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_helpers::{rng, shared_keypair};
+    use ppds_bigint::random::gen_biguint_below;
+
+    fn b(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let kp = shared_keypair();
+        let mut r = rng(10);
+        let c1 = kp.public.encrypt(&b(20), &mut r).unwrap();
+        let c2 = kp.public.encrypt(&b(22), &mut r).unwrap();
+        let sum = kp.public.add(&c1, &c2);
+        assert_eq!(kp.private.decrypt(&sum).unwrap(), b(42));
+    }
+
+    #[test]
+    fn homomorphic_addition_wraps_mod_n() {
+        let kp = shared_keypair();
+        let mut r = rng(11);
+        let n_minus_1 = kp.public.n() - &BigUint::one();
+        let c1 = kp.public.encrypt(&n_minus_1, &mut r).unwrap();
+        let c2 = kp.public.encrypt(&b(5), &mut r).unwrap();
+        let sum = kp.public.add(&c1, &c2);
+        assert_eq!(kp.private.decrypt(&sum).unwrap(), b(4));
+    }
+
+    #[test]
+    fn add_plain_matches_add() {
+        let kp = shared_keypair();
+        let mut r = rng(12);
+        let c = kp.public.encrypt(&b(100), &mut r).unwrap();
+        let shifted = kp.public.add_plain(&c, &b(23));
+        assert_eq!(kp.private.decrypt(&shifted).unwrap(), b(123));
+    }
+
+    #[test]
+    fn mul_plain_scalars() {
+        let kp = shared_keypair();
+        let mut r = rng(13);
+        let c = kp.public.encrypt(&b(7), &mut r).unwrap();
+        for k in [0u64, 1, 2, 6, 1000] {
+            let scaled = kp.public.mul_plain(&c, &b(k));
+            assert_eq!(kp.private.decrypt(&scaled).unwrap(), b(7 * k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn mul_plain_reduces_large_scalar() {
+        let kp = shared_keypair();
+        let mut r = rng(14);
+        let c = kp.public.encrypt(&b(3), &mut r).unwrap();
+        let k = kp.public.n() + &b(2); // k ≡ 2 (mod n)
+        let scaled = kp.public.mul_plain(&c, &k);
+        assert_eq!(kp.private.decrypt(&scaled).unwrap(), b(6));
+    }
+
+    #[test]
+    fn mul_plain_signed_negative() {
+        let kp = shared_keypair();
+        let mut r = rng(15);
+        let c = kp.public.encrypt(&b(10), &mut r).unwrap();
+        let scaled = kp.public.mul_plain_signed(&c, &BigInt::from_i64(-3));
+        // -30 mod n = n - 30
+        let expect = kp.public.n() - &b(30);
+        assert_eq!(kp.private.decrypt(&scaled).unwrap(), expect);
+    }
+
+    #[test]
+    fn negate_and_sub() {
+        let kp = shared_keypair();
+        let mut r = rng(16);
+        let c1 = kp.public.encrypt(&b(50), &mut r).unwrap();
+        let c2 = kp.public.encrypt(&b(8), &mut r).unwrap();
+        let diff = kp.public.sub(&c1, &c2);
+        assert_eq!(kp.private.decrypt(&diff).unwrap(), b(42));
+        let neg = kp.public.negate(&c1);
+        assert_eq!(
+            kp.private.decrypt(&neg).unwrap(),
+            kp.public.n() - &b(50)
+        );
+    }
+
+    #[test]
+    fn rerandomize_preserves_plaintext_changes_ciphertext() {
+        let kp = shared_keypair();
+        let mut r = rng(17);
+        let c = kp.public.encrypt(&b(77), &mut r).unwrap();
+        let c2 = kp.public.rerandomize(&c, &mut r);
+        assert_ne!(c, c2);
+        assert_eq!(kp.private.decrypt(&c2).unwrap(), b(77));
+    }
+
+    #[test]
+    fn multiplication_protocol_core_identity() {
+        // The exact algebra of Algorithm 2: u' = E(x)^y * E(v), u = D(u') = xy + v.
+        let kp = shared_keypair();
+        let mut r = rng(18);
+        let (x, y, v) = (b(123), b(456), b(789));
+        let ex = kp.public.encrypt(&x, &mut r).unwrap();
+        let u_prime = kp
+            .public
+            .add(&kp.public.mul_plain(&ex, &y), &kp.public.encrypt(&v, &mut r).unwrap());
+        let u = kp.private.decrypt(&u_prime).unwrap();
+        assert_eq!(u, b(123 * 456 + 789));
+    }
+
+    #[test]
+    fn random_homomorphic_add_mod_n() {
+        let kp = shared_keypair();
+        let mut r = rng(19);
+        for _ in 0..8 {
+            let m1 = gen_biguint_below(&mut r, kp.public.n());
+            let m2 = gen_biguint_below(&mut r, kp.public.n());
+            let c1 = kp.public.encrypt(&m1, &mut r).unwrap();
+            let c2 = kp.public.encrypt(&m2, &mut r).unwrap();
+            let got = kp.private.decrypt_crt(&kp.public.add(&c1, &c2)).unwrap();
+            assert_eq!(got, m1.add_mod(&m2, kp.public.n()));
+        }
+    }
+
+    #[test]
+    fn mul_plain_zero_is_valid_encryption_of_zero() {
+        let kp = shared_keypair();
+        let mut r = rng(20);
+        let c = kp.public.encrypt(&b(9), &mut r).unwrap();
+        let zeroed = kp.public.mul_plain(&c, &BigUint::zero());
+        assert_eq!(kp.private.decrypt(&zeroed).unwrap(), BigUint::zero());
+        // And it must still compose homomorphically.
+        let c5 = kp.public.encrypt(&b(5), &mut r).unwrap();
+        let sum = kp.public.add(&zeroed, &c5);
+        assert_eq!(kp.private.decrypt(&sum).unwrap(), b(5));
+    }
+}

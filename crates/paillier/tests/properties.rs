@@ -1,0 +1,114 @@
+//! Property-based tests for the Paillier homomorphic laws.
+//!
+//! All properties run against a fixed 256-bit key (generation is the
+//! expensive part, the laws are key-independent) with proptest-driven
+//! plaintexts and scalars.
+
+use ppds_bigint::{BigInt, BigUint};
+use ppds_paillier::Keypair;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+fn keypair() -> &'static Keypair {
+    static KP: OnceLock<Keypair> = OnceLock::new();
+    KP.get_or_init(|| Keypair::generate(256, &mut StdRng::seed_from_u64(99)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_u64(m in any::<u64>(), seed in any::<u64>()) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = BigUint::from_u64(m);
+        let c = kp.public.encrypt(&m, &mut rng).unwrap();
+        prop_assert_eq!(kp.private.decrypt(&c).unwrap(), m.clone());
+        prop_assert_eq!(kp.private.decrypt_crt(&c).unwrap(), m);
+    }
+
+    #[test]
+    fn additive_law(m1 in any::<u64>(), m2 in any::<u64>(), seed in any::<u64>()) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (m1, m2) = (BigUint::from_u64(m1), BigUint::from_u64(m2));
+        let c1 = kp.public.encrypt(&m1, &mut rng).unwrap();
+        let c2 = kp.public.encrypt(&m2, &mut rng).unwrap();
+        let sum = kp.private.decrypt_crt(&kp.public.add(&c1, &c2)).unwrap();
+        prop_assert_eq!(sum, &m1 + &m2); // no wrap: 65 bits << 256-bit n
+    }
+
+    #[test]
+    fn scalar_law(m in any::<u32>(), k in any::<u32>(), seed in any::<u64>()) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m_big = BigUint::from_u64(m as u64);
+        let k_big = BigUint::from_u64(k as u64);
+        let c = kp.public.encrypt(&m_big, &mut rng).unwrap();
+        let scaled = kp.private.decrypt_crt(&kp.public.mul_plain(&c, &k_big)).unwrap();
+        prop_assert_eq!(scaled, BigUint::from_u128(m as u128 * k as u128));
+    }
+
+    #[test]
+    fn multiplication_protocol_identity(x in any::<u32>(), y in any::<u32>(), v in any::<i32>(), seed in any::<u64>()) {
+        // u = D(E(x)^y * E(v)) = x*y + v — the algebra of Algorithm 2.
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ex = kp.public.encrypt_i64(x as i64, &mut rng).unwrap();
+        let xy = kp.public.mul_plain(&ex, &BigUint::from_u64(y as u64));
+        let ev = kp.public.encrypt_i64(v as i64, &mut rng).unwrap();
+        let u = kp.private.decrypt_signed(&kp.public.add(&xy, &ev)).unwrap();
+        prop_assert_eq!(u, BigInt::from_i128(x as i128 * y as i128 + v as i128));
+    }
+
+    #[test]
+    fn signed_roundtrip(v in any::<i64>(), seed in any::<u64>()) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = kp.public.encrypt_i64(v, &mut rng).unwrap();
+        prop_assert_eq!(kp.private.decrypt_i64(&c).unwrap(), Some(v));
+    }
+
+    #[test]
+    fn signed_additive_law(a in -(1i64 << 40)..(1i64 << 40), b in -(1i64 << 40)..(1i64 << 40), seed in any::<u64>()) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ca = kp.public.encrypt_i64(a, &mut rng).unwrap();
+        let cb = kp.public.encrypt_i64(b, &mut rng).unwrap();
+        let sum = kp.private.decrypt_i64(&kp.public.add(&ca, &cb)).unwrap();
+        prop_assert_eq!(sum, Some(a + b));
+    }
+
+    #[test]
+    fn signed_scalar_law(m in -(1i64 << 30)..(1i64 << 30), k in -(1i64 << 30)..(1i64 << 30), seed in any::<u64>()) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = kp.public.encrypt_i64(m, &mut rng).unwrap();
+        let scaled = kp.public.mul_plain_signed(&c, &BigInt::from_i64(k));
+        let got = kp.private.decrypt_signed(&scaled).unwrap();
+        prop_assert_eq!(got, BigInt::from_i128(m as i128 * k as i128));
+    }
+
+    #[test]
+    fn rerandomization_is_invisible(m in any::<u64>(), seed in any::<u64>()) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = BigUint::from_u64(m);
+        let c = kp.public.encrypt(&m, &mut rng).unwrap();
+        let c2 = kp.public.rerandomize(&c, &mut rng);
+        prop_assert_ne!(&c, &c2);
+        prop_assert_eq!(kp.private.decrypt_crt(&c2).unwrap(), m);
+    }
+
+    #[test]
+    fn sub_law(a in any::<u32>(), b in any::<u32>(), seed in any::<u64>()) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ca = kp.public.encrypt_i64(a as i64, &mut rng).unwrap();
+        let cb = kp.public.encrypt_i64(b as i64, &mut rng).unwrap();
+        let diff = kp.private.decrypt_i64(&kp.public.sub(&ca, &cb)).unwrap();
+        prop_assert_eq!(diff, Some(a as i64 - b as i64));
+    }
+}

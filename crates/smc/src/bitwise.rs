@@ -1,0 +1,247 @@
+//! Bitwise secure comparison in `O(log n0)` ciphertexts — the
+//! Damgård–Geisler–Krøigaard (DGK)-style upgrade that experiment E3
+//! identifies as the fix for Algorithm 1's `O(n0)` cost explosion on the
+//! enhanced protocol's masked-share domains.
+//!
+//! Protocol (Alice holds `x`, Bob holds `y`, both `ℓ`-bit; Alice holds the
+//! Paillier key):
+//!
+//! 1. Alice sends `E(x_i)` for every bit, most significant first.
+//! 2. For each position `i` Bob homomorphically computes
+//!    `c_i = x_i − y_i + 1 + 3·Σ_{j<i} (x_j ⊕ y_j)` — zero exactly when
+//!    `x_i = 0`, `y_i = 1` and all more-significant bits agree, i.e. at the
+//!    unique position witnessing `x < y`. (The XOR is computable because
+//!    `y_j` is Bob's plaintext: `x ⊕ 0 = x`, `x ⊕ 1 = 1 − x`.)
+//! 3. Bob masks each `c_i` with a fresh random scalar, re-randomizes,
+//!    permutes, and returns the batch; Alice decrypts and learns whether a
+//!    zero occurs — the comparison bit and nothing else (the permutation
+//!    hides the witnessing position; the scalars hide the magnitudes).
+//! 4. Alice tells Bob the conclusion, mirroring Algorithm 1 step 7.
+//!
+//! Communication: `2ℓ` ciphertexts + 1 bit, `ℓ = ⌈log₂ n0⌉` — versus
+//! Algorithm 1's `n0` residues and `n0` decryptions. Both parties learn
+//! exactly the comparison outcome, so the leakage profile (and therefore
+//! every theorem downstream) is unchanged.
+
+use crate::error::SmcError;
+use ppds_bigint::{random, BigUint};
+use ppds_paillier::{Ciphertext, Keypair, PublicKey};
+use ppds_transport::Channel;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Bit width needed to represent `value` (at least 1).
+fn bit_width(value: u64) -> usize {
+    (64 - value.leading_zeros() as usize).max(1)
+}
+
+/// Alice's side: inputs `x`, learns whether `x < y`. Both inputs must be
+/// `< 2^63` (they are domain-encoded comparison operands, far smaller).
+pub fn dgk_alice<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    keypair: &Keypair,
+    x: u64,
+    domain_bound: u64,
+    rng: &mut R,
+) -> Result<bool, SmcError> {
+    let ell = bit_width(domain_bound);
+    // Step 1: encrypted bits, MSB first.
+    let bits: Vec<BigUint> = (0..ell)
+        .rev()
+        .map(|i| {
+            let bit = BigUint::from_u64((x >> i) & 1);
+            keypair
+                .public
+                .encrypt(&bit, rng)
+                .map(|c| c.as_biguint().clone())
+        })
+        .collect::<Result<_, _>>()?;
+    chan.send(&bits)?;
+
+    // Step 3: decrypt the masked, permuted c_i values.
+    let masked: Vec<BigUint> = chan.recv()?;
+    if masked.len() != ell {
+        return Err(SmcError::protocol(format!(
+            "expected {ell} comparison values, got {}",
+            masked.len()
+        )));
+    }
+    let mut x_lt_y = false;
+    for raw in masked {
+        let value = keypair
+            .private
+            .decrypt_crt(&Ciphertext::from_biguint(raw))?;
+        if value.is_zero() {
+            x_lt_y = true; // the unique witnessing position
+        }
+    }
+    // Step 4: tell Bob, mirroring Algorithm 1's final message.
+    chan.send(&x_lt_y)?;
+    Ok(x_lt_y)
+}
+
+/// Bob's side: inputs `y`, learns whether `x < y`.
+pub fn dgk_bob<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    alice_pk: &PublicKey,
+    y: u64,
+    domain_bound: u64,
+    rng: &mut R,
+) -> Result<bool, SmcError> {
+    let ell = bit_width(domain_bound);
+    let raw_bits: Vec<BigUint> = chan.recv()?;
+    if raw_bits.len() != ell {
+        return Err(SmcError::protocol(format!(
+            "expected {ell} encrypted bits, got {}",
+            raw_bits.len()
+        )));
+    }
+    let x_bits: Vec<Ciphertext> = raw_bits
+        .into_iter()
+        .map(|raw| {
+            let c = Ciphertext::from_biguint(raw);
+            alice_pk.validate(&c).map(|()| c)
+        })
+        .collect::<Result<_, _>>()?;
+
+    let one = BigUint::one();
+    let enc_one = alice_pk
+        .encrypt_with_nonce(&one, &one)
+        .expect("1 < n"); // deterministic E(1); re-randomized before sending
+    let three = BigUint::from_u64(3);
+
+    // Running Σ (x_j ⊕ y_j) over the more-significant prefix, encrypted.
+    let mut prefix_xor = alice_pk
+        .encrypt_with_nonce(&BigUint::zero(), &one)
+        .expect("0 < n");
+    let mut out = Vec::with_capacity(ell);
+    for (pos, enc_x) in x_bits.iter().enumerate() {
+        let y_bit = (y >> (ell - 1 - pos)) & 1;
+        // c = x − y + 1 + 3·prefix  (all arithmetic under Alice's key)
+        let mut c = alice_pk.add(enc_x, &alice_pk.mul_plain(&prefix_xor, &three));
+        if y_bit == 1 {
+            // x − 1 + 1 = x … minus y(=1): c = x + 3w + 1 − 1 = x + 3w
+            // (nothing to add: −y + 1 = 0)
+        } else {
+            c = alice_pk.add(&c, &enc_one); // −y + 1 = 1
+        }
+        // Mask with a fresh nonzero scalar and re-randomize. The scalar is
+        // sized so c·r (c ≤ 3ℓ+2) can never wrap mod n — a wrap could fake
+        // a zero. Keys of ≥ 32 bits leave plenty of room.
+        let r_bits = alice_pk.bits().saturating_sub(16).clamp(8, 64);
+        let r = loop {
+            let candidate = random::gen_biguint_bits(rng, r_bits);
+            if !candidate.is_zero() {
+                break candidate;
+            }
+        };
+        out.push(alice_pk.rerandomize(&alice_pk.mul_plain(&c, &r), rng));
+
+        // Update the prefix XOR: x ⊕ y = x when y = 0, 1 − x when y = 1.
+        let xor = if y_bit == 0 {
+            enc_x.clone()
+        } else {
+            alice_pk.sub(&enc_one, enc_x)
+        };
+        prefix_xor = alice_pk.add(&prefix_xor, &xor);
+    }
+
+    // Permute so Alice cannot see which position witnessed the comparison.
+    out.shuffle(rng);
+    let wire: Vec<BigUint> = out.iter().map(|c| c.as_biguint().clone()).collect();
+    chan.send(&wire)?;
+
+    Ok(chan.recv()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_helpers::{alice_keypair, rng};
+    use ppds_transport::duplex;
+
+    fn run(x: u64, y: u64, bound: u64, seed: u64) -> bool {
+        let (mut achan, mut bchan) = duplex();
+        let alice = std::thread::spawn(move || {
+            let mut r = rng(seed);
+            dgk_alice(&mut achan, alice_keypair(), x, bound, &mut r).unwrap()
+        });
+        let mut r = rng(seed + 1);
+        let bob_view = dgk_bob(&mut bchan, &alice_keypair().public, y, bound, &mut r).unwrap();
+        let alice_view = alice.join().unwrap();
+        assert_eq!(alice_view, bob_view, "views must agree");
+        alice_view
+    }
+
+    #[test]
+    fn exhaustive_small_domain() {
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                assert_eq!(run(x, y, 7, 100 + x * 8 + y), x < y, "{x} < {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_values() {
+        let bound = (1 << 40) - 1;
+        for (x, y) in [
+            (0u64, 1u64),
+            (1, 0),
+            (123_456_789, 123_456_790),
+            (123_456_790, 123_456_789),
+            ((1 << 40) - 1, (1 << 40) - 1),
+            (0, (1 << 40) - 1),
+            ((1 << 40) - 1, 0),
+            (1 << 39, (1 << 39) + 1),
+        ] {
+            assert_eq!(run(x, y, bound, 7_000 + x % 97 + y % 89), x < y, "{x} < {y}");
+        }
+    }
+
+    #[test]
+    fn equal_values_are_not_less() {
+        for v in [0u64, 1, 5, 100] {
+            assert!(!run(v, v, 127, 9_000 + v));
+        }
+    }
+
+    #[test]
+    fn truncated_batches_are_protocol_errors() {
+        let (mut achan, mut bchan) = duplex();
+        // Fake Alice sends too few encrypted bits.
+        let kp = alice_keypair();
+        let mut r = rng(1);
+        let short: Vec<BigUint> = vec![kp
+            .public
+            .encrypt(&BigUint::zero(), &mut r)
+            .unwrap()
+            .as_biguint()
+            .clone()];
+        achan.send(&short).unwrap();
+        let err = dgk_bob(&mut bchan, &kp.public, 3, 7, &mut r).unwrap_err();
+        assert!(matches!(err, SmcError::Protocol(_)));
+    }
+
+    #[test]
+    fn communication_is_logarithmic_in_domain() {
+        // ℓ = 10 bits for n0 = 1023 → 20 ciphertexts total, versus the
+        // faithful Yao protocol's 1023 residues (~16 KiB at 256-bit keys).
+        let bound = 1023u64;
+        let (mut achan, mut bchan) = duplex();
+        let alice = std::thread::spawn(move || {
+            let mut r = rng(2);
+            dgk_alice(&mut achan, alice_keypair(), 400, bound, &mut r).unwrap();
+            achan.metrics().total_bytes()
+        });
+        let mut r = rng(3);
+        dgk_bob(&mut bchan, &alice_keypair().public, 700, bound, &mut r).unwrap();
+        let dgk_bytes = alice.join().unwrap();
+        let (m1, m2, m3) = crate::millionaires::modeled_message_sizes(256, bound + 1);
+        let yao_bytes = m1 + m2 + m3;
+        assert!(
+            dgk_bytes * 5 < yao_bytes,
+            "DGK {dgk_bytes} B should be far below Yao {yao_bytes} B"
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type shared by all SMC protocols.
+
+use ppds_paillier::PaillierError;
+use ppds_transport::TransportError;
+use std::fmt;
+
+/// Errors raised during a protocol execution.
+#[derive(Debug)]
+pub enum SmcError {
+    /// Channel failure (peer gone, socket error, malformed frame).
+    Transport(TransportError),
+    /// Cryptographic failure (invalid ciphertext, out-of-range plaintext).
+    Crypto(PaillierError),
+    /// The peer sent something structurally valid but semantically wrong
+    /// for the current protocol step.
+    Protocol(String),
+    /// A value fell outside the comparison domain the parties agreed on
+    /// (would make Yao's protocol silently wrong, so it is an error).
+    DomainViolation {
+        /// The offending input.
+        value: i64,
+        /// Inclusive lower bound of the agreed domain.
+        lo: i64,
+        /// Inclusive upper bound of the agreed domain.
+        hi: i64,
+    },
+}
+
+impl SmcError {
+    /// Convenience constructor for protocol violations.
+    pub fn protocol(msg: impl Into<String>) -> Self {
+        SmcError::Protocol(msg.into())
+    }
+}
+
+impl fmt::Display for SmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmcError::Transport(e) => write!(f, "transport error: {e}"),
+            SmcError::Crypto(e) => write!(f, "crypto error: {e}"),
+            SmcError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            SmcError::DomainViolation { value, lo, hi } => {
+                write!(f, "value {value} outside agreed comparison domain [{lo}, {hi}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SmcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SmcError::Transport(e) => Some(e),
+            SmcError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TransportError> for SmcError {
+    fn from(e: TransportError) -> Self {
+        SmcError::Transport(e)
+    }
+}
+
+impl From<PaillierError> for SmcError {
+    fn from(e: PaillierError) -> Self {
+        SmcError::Crypto(e)
+    }
+}

@@ -1,0 +1,342 @@
+//! Secure k-th order statistic over secret-shared distances (§5).
+//!
+//! After the dot-product phase of the enhanced protocol, Alice holds
+//! `u_i = Dist²(A, B_i) + v_i` and Bob holds `v_i`. Neither party knows any
+//! distance, but together they can compare two shared distances with one
+//! secure comparison (`u_a - u_b` vs `v_a - v_b`). The paper proposes two
+//! selection algorithms over this comparison oracle and we implement both:
+//!
+//! * [`SelectionMethod::RepeatedMin`] — scan for the minimum, delete it,
+//!   repeat `k` times: `O(kn)` comparisons, best when `k` is small (the
+//!   common case, since `k ≤ MinPts`);
+//! * [`SelectionMethod::QuickSelect`] — quickselect on the index set with a
+//!   deterministic pivot (both parties must take identical control paths
+//!   without extra coordination): expected `O(n)` comparisons, `O(n²)`
+//!   worst case, better for large `k` — exactly the trade-off §5 discusses.
+//!
+//! Control flow is driven purely by comparison outcomes, which Algorithm 1
+//! reveals to both parties anyway, so both sides replay the identical
+//! decision sequence and stay in lockstep with zero additional messages.
+
+use crate::compare::{share_less_than_alice, share_less_than_bob, Comparator, ComparisonDomain};
+use crate::error::SmcError;
+use ppds_paillier::{Keypair, PublicKey};
+use ppds_transport::Channel;
+use rand::Rng;
+
+/// Which of the paper's two k-th-smallest algorithms to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionMethod {
+    /// `O(kn)` repeated minimum scan.
+    #[default]
+    RepeatedMin,
+    /// Expected `O(n)` quickselect with deterministic middle pivot.
+    QuickSelect,
+}
+
+/// Result of a selection: which element ranked k-th, and how many secure
+/// comparisons it took (the unit experiment E8 counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectionOutcome {
+    /// Index (into the original share vector) of the k-th smallest distance.
+    pub index: usize,
+    /// Number of secure comparisons executed.
+    pub comparisons: usize,
+}
+
+/// Alice's side: her shares are `u_i`; returns the k-th smallest (1-based).
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
+pub fn kth_smallest_alice<C: Channel, R: Rng + ?Sized>(
+    method: SelectionMethod,
+    comparator: Comparator,
+    chan: &mut C,
+    keypair: &Keypair,
+    shares: &[i64],
+    k: usize,
+    domain: &ComparisonDomain,
+    rng: &mut R,
+) -> Result<SelectionOutcome, SmcError> {
+    let mut less = |a: usize, b: usize, chan: &mut C, rng: &mut R| {
+        share_less_than_alice(comparator, chan, keypair, shares[a], shares[b], domain, rng)
+    };
+    kth_engine(shares.len(), k, method, chan, rng, &mut less)
+}
+
+/// Bob's side: his shares are `v_i`.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
+pub fn kth_smallest_bob<C: Channel, R: Rng + ?Sized>(
+    method: SelectionMethod,
+    comparator: Comparator,
+    chan: &mut C,
+    alice_pk: &PublicKey,
+    shares: &[i64],
+    k: usize,
+    domain: &ComparisonDomain,
+    rng: &mut R,
+) -> Result<SelectionOutcome, SmcError> {
+    let mut less = |a: usize, b: usize, chan: &mut C, rng: &mut R| {
+        share_less_than_bob(comparator, chan, alice_pk, shares[a], shares[b], domain, rng)
+    };
+    kth_engine(shares.len(), k, method, chan, rng, &mut less)
+}
+
+/// Role-neutral engine: identical deterministic control flow on both sides,
+/// parameterized by the party-specific comparison call.
+fn kth_engine<C, R, F>(
+    n: usize,
+    k: usize,
+    method: SelectionMethod,
+    chan: &mut C,
+    rng: &mut R,
+    less: &mut F,
+) -> Result<SelectionOutcome, SmcError>
+where
+    C: Channel,
+    R: Rng + ?Sized,
+    F: FnMut(usize, usize, &mut C, &mut R) -> Result<bool, SmcError>,
+{
+    assert!(n > 0, "cannot select from an empty share vector");
+    assert!(
+        (1..=n).contains(&k),
+        "k = {k} out of range for {n} elements"
+    );
+    match method {
+        SelectionMethod::RepeatedMin => repeated_min(n, k, chan, rng, less),
+        SelectionMethod::QuickSelect => quick_select(n, k, chan, rng, less),
+    }
+}
+
+fn repeated_min<C, R, F>(
+    n: usize,
+    k: usize,
+    chan: &mut C,
+    rng: &mut R,
+    less: &mut F,
+) -> Result<SelectionOutcome, SmcError>
+where
+    C: Channel,
+    R: Rng + ?Sized,
+    F: FnMut(usize, usize, &mut C, &mut R) -> Result<bool, SmcError>,
+{
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut comparisons = 0;
+    for round in 0..k {
+        let mut min_pos = 0;
+        for pos in 1..active.len() {
+            comparisons += 1;
+            if less(active[pos], active[min_pos], chan, rng)? {
+                min_pos = pos;
+            }
+        }
+        if round == k - 1 {
+            return Ok(SelectionOutcome {
+                index: active[min_pos],
+                comparisons,
+            });
+        }
+        active.swap_remove(min_pos);
+    }
+    unreachable!("loop returns on round k-1")
+}
+
+fn quick_select<C, R, F>(
+    n: usize,
+    k: usize,
+    chan: &mut C,
+    rng: &mut R,
+    less: &mut F,
+) -> Result<SelectionOutcome, SmcError>
+where
+    C: Channel,
+    R: Rng + ?Sized,
+    F: FnMut(usize, usize, &mut C, &mut R) -> Result<bool, SmcError>,
+{
+    let mut items: Vec<usize> = (0..n).collect();
+    let mut k = k; // 1-based rank within `items`
+    let mut comparisons = 0;
+    loop {
+        if items.len() == 1 {
+            return Ok(SelectionOutcome {
+                index: items[0],
+                comparisons,
+            });
+        }
+        // Deterministic pivot: both parties pick the same position without
+        // exchanging anything.
+        let pivot = items[items.len() / 2];
+        let mut smaller = Vec::new();
+        let mut not_smaller = Vec::new();
+        for &idx in &items {
+            if idx == pivot {
+                continue;
+            }
+            comparisons += 1;
+            if less(idx, pivot, chan, rng)? {
+                smaller.push(idx);
+            } else {
+                not_smaller.push(idx);
+            }
+        }
+        if k <= smaller.len() {
+            items = smaller;
+        } else if k == smaller.len() + 1 {
+            return Ok(SelectionOutcome {
+                index: pivot,
+                comparisons,
+            });
+        } else {
+            k -= smaller.len() + 1;
+            items = not_smaller;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_helpers::{alice_keypair, rng};
+    use ppds_transport::duplex;
+
+    /// Splits `dists` into shares (u_i = d_i + v_i for random v_i), runs the
+    /// selection on two threads, and returns the outcome both sides agree on.
+    fn run(
+        dists: &[i64],
+        k: usize,
+        method: SelectionMethod,
+        comparator: Comparator,
+        seed: u64,
+    ) -> SelectionOutcome {
+        let mut r = rng(seed);
+        let vs: Vec<i64> = dists.iter().map(|_| r.random_range(-50..=50)).collect();
+        let us: Vec<i64> = dists.iter().zip(&vs).map(|(d, v)| d + v).collect();
+        let bound = 2 * (dists.iter().map(|d| d.abs()).max().unwrap_or(0) + 50);
+        let domain = ComparisonDomain::symmetric(bound);
+
+        let (mut achan, mut bchan) = duplex();
+        let alice = std::thread::spawn(move || {
+            let mut ar = rng(seed + 1);
+            kth_smallest_alice(
+                method,
+                comparator,
+                &mut achan,
+                alice_keypair(),
+                &us,
+                k,
+                &domain,
+                &mut ar,
+            )
+            .unwrap()
+        });
+        let mut br = rng(seed + 2);
+        let bob = kth_smallest_bob(
+            method,
+            comparator,
+            &mut bchan,
+            &alice_keypair().public,
+            &vs,
+            k,
+            &domain,
+            &mut br,
+        )
+        .unwrap();
+        let alice = alice.join().unwrap();
+        assert_eq!(alice, bob, "both parties must agree");
+        alice
+    }
+
+    /// The set of indices whose value ties for the k-th smallest (selection
+    /// may return any of them).
+    fn kth_tie_set(dists: &[i64], k: usize) -> Vec<usize> {
+        let mut sorted: Vec<i64> = dists.to_vec();
+        sorted.sort();
+        let kth_value = sorted[k - 1];
+        (0..dists.len())
+            .filter(|&i| dists[i] == kth_value)
+            .collect()
+    }
+
+    #[test]
+    fn selects_correct_index_all_ranks() {
+        let dists = [9i64, 2, 14, 5, 0, 7];
+        for method in [SelectionMethod::RepeatedMin, SelectionMethod::QuickSelect] {
+            for k in 1..=dists.len() {
+                let outcome = run(&dists, k, method, Comparator::Ideal, 100 + k as u64);
+                let valid = kth_tie_set(&dists, k);
+                assert!(
+                    valid.contains(&outcome.index),
+                    "{method:?} k={k}: got {} want one of {valid:?}",
+                    outcome.index
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn handles_ties() {
+        let dists = [5i64, 5, 5, 1, 5];
+        for method in [SelectionMethod::RepeatedMin, SelectionMethod::QuickSelect] {
+            let outcome = run(&dists, 1, method, Comparator::Ideal, 7);
+            assert_eq!(outcome.index, 3, "{method:?}: unique minimum");
+            let outcome = run(&dists, 3, method, Comparator::Ideal, 8);
+            assert!(dists[outcome.index] == 5, "{method:?}: tie rank");
+        }
+    }
+
+    #[test]
+    fn single_element() {
+        for method in [SelectionMethod::RepeatedMin, SelectionMethod::QuickSelect] {
+            let outcome = run(&[42], 1, method, Comparator::Ideal, 9);
+            assert_eq!(outcome.index, 0);
+            assert_eq!(outcome.comparisons, 0, "{method:?}");
+        }
+    }
+
+    #[test]
+    fn repeated_min_comparison_count_is_exact() {
+        // Round t scans (n - t) active elements => (n - t - 1) comparisons.
+        let dists = [3i64, 1, 4, 1, 5, 9, 2, 6];
+        let n = dists.len();
+        for k in 1..=4 {
+            let outcome = run(&dists, k, SelectionMethod::RepeatedMin, Comparator::Ideal, 20);
+            let expect: usize = (0..k).map(|t| n - t - 1).sum();
+            assert_eq!(outcome.comparisons, expect, "k={k}");
+        }
+    }
+
+    #[test]
+    fn quickselect_uses_fewer_comparisons_for_large_k() {
+        let mut r = rng(33);
+        let dists: Vec<i64> = (0..40).map(|_| r.random_range(0..1000)).collect();
+        let k = 20;
+        let rm = run(&dists, k, SelectionMethod::RepeatedMin, Comparator::Ideal, 40);
+        let qs = run(&dists, k, SelectionMethod::QuickSelect, Comparator::Ideal, 41);
+        assert!(
+            qs.comparisons < rm.comparisons,
+            "quickselect {} vs repeated-min {}",
+            qs.comparisons,
+            rm.comparisons
+        );
+    }
+
+    #[test]
+    fn yao_backend_agrees_with_ideal_on_small_instance() {
+        let dists = [4i64, 1, 3, 2];
+        for k in 1..=4 {
+            let ideal = run(&dists, k, SelectionMethod::RepeatedMin, Comparator::Ideal, 60);
+            let yao = run(&dists, k, SelectionMethod::RepeatedMin, Comparator::Yao, 61);
+            assert_eq!(ideal.index, yao.index, "k={k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn k_zero_panics() {
+        let _ = run(&[1, 2], 0, SelectionMethod::RepeatedMin, Comparator::Ideal, 70);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn k_above_n_panics() {
+        let _ = run(&[1, 2], 3, SelectionMethod::QuickSelect, Comparator::Ideal, 71);
+    }
+}

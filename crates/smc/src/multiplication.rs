@@ -1,0 +1,513 @@
+//! The Multiplication Protocol (Algorithm 2, §4.1) and its batched
+//! dot-product extension (§5).
+//!
+//! Roles follow the key, not the paper's character names, because the
+//! DBSCAN protocols run it in both directions:
+//!
+//! * the **keyholder** owns the Paillier keypair, inputs `x`, and learns
+//!   `u = x·y + v`;
+//! * the **peer** inputs `y`, chooses the random mask `v`, and learns
+//!   nothing (it only ever sees ciphertexts under the keyholder's key).
+//!
+//! In protocol HDP (§4.2) Bob is the keyholder (`x` = his attribute value)
+//! and Alice the peer (`y` = her attribute value, `v` = her zero-sum blinding
+//! term `r_i`). In the enhanced protocol (§5) Alice is the keyholder of the
+//! dot-product form and Bob masks with `v_i`.
+//!
+//! All values are signed ([`BigInt`]) and ride the balanced `Z_n` encoding
+//! from `ppds-paillier`; callers must keep `|x·y + v|` below `(n-1)/2`,
+//! which every caller in this workspace guarantees by construction (lattice
+//! coordinates and masks are tiny relative to ≥ 2^255).
+
+use crate::error::SmcError;
+use ppds_bigint::{random, BigInt, BigUint};
+use ppds_paillier::{Ciphertext, Keypair, PublicKey};
+use ppds_transport::Channel;
+use rand::Rng;
+
+/// Samples a mask uniformly from `[-bound, bound]`.
+pub fn sample_mask<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigInt {
+    if bound.is_zero() {
+        return BigInt::zero();
+    }
+    let width = &(bound << 1usize) + 1u64; // 2·bound + 1 values
+    let raw = random::gen_biguint_below(rng, &width);
+    &BigInt::from(raw) - &BigInt::from(bound.clone())
+}
+
+/// Keyholder side of Algorithm 2: inputs `x`, learns `u = x·y + v`.
+pub fn mul_keyholder<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    keypair: &Keypair,
+    x: &BigInt,
+    rng: &mut R,
+) -> Result<BigInt, SmcError> {
+    // Step 3: send E_A(x). (Fresh secret nonce; see crate docs of
+    // ppds-paillier for why the printed protocol's shared-r is not followed.)
+    let cx = keypair.public.encrypt_signed(x, rng)?;
+    chan.send(cx.as_biguint())?;
+    // Step 6-7: receive u' and decrypt.
+    let u_prime = Ciphertext::from_biguint(chan.recv()?);
+    Ok(keypair.private.decrypt_signed(&u_prime)?)
+}
+
+/// Peer side of Algorithm 2: inputs `y`, draws `v` uniform in
+/// `[-mask_bound, mask_bound]`, returns the `v` it used.
+pub fn mul_peer<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    keyholder_pk: &PublicKey,
+    y: &BigInt,
+    mask_bound: &BigUint,
+    rng: &mut R,
+) -> Result<BigInt, SmcError> {
+    let cx = Ciphertext::from_biguint(chan.recv()?);
+    keyholder_pk.validate(&cx)?;
+    // Step 4-5: v random; u' = E(x)^y · E(v).
+    let v = sample_mask(rng, mask_bound);
+    let xy = keyholder_pk.mul_plain_signed(&cx, y);
+    let u_prime = keyholder_pk.add(&xy, &keyholder_pk.encrypt_signed(&v, rng)?);
+    chan.send(u_prime.as_biguint())?;
+    Ok(v)
+}
+
+/// Keyholder side of the batched per-element protocol: inputs
+/// `x_1, …, x_m`, learns `u_i = x_i·y_i + v_i` for each `i`.
+///
+/// This is protocol HDP's usage: `m` runs of Algorithm 2 fused into one
+/// message round-trip (same ciphertext count, fewer frames).
+pub fn mul_batch_keyholder<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    keypair: &Keypair,
+    xs: &[BigInt],
+    rng: &mut R,
+) -> Result<Vec<BigInt>, SmcError> {
+    let cts: Vec<BigUint> = xs
+        .iter()
+        .map(|x| {
+            keypair
+                .public
+                .encrypt_signed(x, rng)
+                .map(|c| c.as_biguint().clone())
+        })
+        .collect::<Result<_, _>>()?;
+    chan.send(&cts)?;
+    let responses: Vec<BigUint> = chan.recv()?;
+    if responses.len() != xs.len() {
+        return Err(SmcError::protocol(format!(
+            "expected {} masked products, got {}",
+            xs.len(),
+            responses.len()
+        )));
+    }
+    responses
+        .into_iter()
+        .map(|c| {
+            Ok(keypair
+                .private
+                .decrypt_signed(&Ciphertext::from_biguint(c))?)
+        })
+        .collect()
+}
+
+/// Peer side of [`mul_batch_keyholder`]: inputs `y_i` and caller-chosen
+/// masks `v_i` (HDP passes blinding terms with `Σ v_i = 0`).
+pub fn mul_batch_peer<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    keyholder_pk: &PublicKey,
+    ys: &[BigInt],
+    masks: &[BigInt],
+    rng: &mut R,
+) -> Result<(), SmcError> {
+    assert_eq!(ys.len(), masks.len(), "one mask per multiplicand");
+    let cts: Vec<BigUint> = chan.recv()?;
+    if cts.len() != ys.len() {
+        return Err(SmcError::protocol(format!(
+            "expected {} ciphertexts, got {}",
+            ys.len(),
+            cts.len()
+        )));
+    }
+    let mut responses = Vec::with_capacity(cts.len());
+    for ((ct, y), v) in cts.into_iter().zip(ys).zip(masks) {
+        let cx = Ciphertext::from_biguint(ct);
+        keyholder_pk.validate(&cx)?;
+        let xy = keyholder_pk.mul_plain_signed(&cx, y);
+        let masked = keyholder_pk.add(&xy, &keyholder_pk.encrypt_signed(v, rng)?);
+        responses.push(masked.as_biguint().clone());
+    }
+    chan.send(&responses)?;
+    Ok(())
+}
+
+/// Keyholder side of the dot-product protocol (§5): inputs the vector
+/// `x_1, …, x_m`, learns `u = Σ x_i·y_i + v`.
+///
+/// The enhanced protocol calls this with Alice's vector
+/// `(ΣA_k², -2A_1, …, -2A_m, 1)` so that `u = Dist²(A, B_i) + v_i`.
+pub fn dot_keyholder<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    keypair: &Keypair,
+    xs: &[BigInt],
+    rng: &mut R,
+) -> Result<BigInt, SmcError> {
+    let cts: Vec<BigUint> = xs
+        .iter()
+        .map(|x| {
+            keypair
+                .public
+                .encrypt_signed(x, rng)
+                .map(|c| c.as_biguint().clone())
+        })
+        .collect::<Result<_, _>>()?;
+    chan.send(&cts)?;
+    let u_prime = Ciphertext::from_biguint(chan.recv()?);
+    Ok(keypair.private.decrypt_signed(&u_prime)?)
+}
+
+/// Peer side of [`dot_keyholder`]: inputs `y_1, …, y_m` and the mask bound;
+/// returns the `v` it drew.
+pub fn dot_peer<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    keyholder_pk: &PublicKey,
+    ys: &[BigInt],
+    mask_bound: &BigUint,
+    rng: &mut R,
+) -> Result<BigInt, SmcError> {
+    let cts: Vec<BigUint> = chan.recv()?;
+    if cts.len() != ys.len() {
+        return Err(SmcError::protocol(format!(
+            "dot product arity mismatch: {} ciphertexts vs {} coefficients",
+            cts.len(),
+            ys.len()
+        )));
+    }
+    let v = sample_mask(rng, mask_bound);
+    // Accumulate Π E(x_i)^{y_i} · E(v) = E(Σ x_i y_i + v).
+    let mut acc = keyholder_pk.encrypt_signed(&v, rng)?;
+    for (ct, y) in cts.into_iter().zip(ys) {
+        if y.is_zero() {
+            continue; // E(x)^0 contributes nothing
+        }
+        let cx = Ciphertext::from_biguint(ct);
+        keyholder_pk.validate(&cx)?;
+        acc = keyholder_pk.add(&acc, &keyholder_pk.mul_plain_signed(&cx, y));
+    }
+    chan.send(acc.as_biguint())?;
+    Ok(v)
+}
+
+/// Keyholder side of the one-query/many-responses dot product used by the
+/// enhanced protocol (§5): Alice's coefficient vector
+/// `(ΣA², -2A_1, …, -2A_m, 1)` is encrypted **once**, and the peer answers
+/// with one masked dot product per point of his: `u_j = Dist²(A, B_j) + v_j`.
+pub fn dot_many_keyholder<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    keypair: &Keypair,
+    xs: &[BigInt],
+    expected_responses: usize,
+    rng: &mut R,
+) -> Result<Vec<BigInt>, SmcError> {
+    let cts: Vec<BigUint> = xs
+        .iter()
+        .map(|x| {
+            keypair
+                .public
+                .encrypt_signed(x, rng)
+                .map(|c| c.as_biguint().clone())
+        })
+        .collect::<Result<_, _>>()?;
+    chan.send(&cts)?;
+    let responses: Vec<BigUint> = chan.recv()?;
+    if responses.len() != expected_responses {
+        return Err(SmcError::protocol(format!(
+            "expected {expected_responses} dot products, got {}",
+            responses.len()
+        )));
+    }
+    responses
+        .into_iter()
+        .map(|c| {
+            Ok(keypair
+                .private
+                .decrypt_signed(&Ciphertext::from_biguint(c))?)
+        })
+        .collect()
+}
+
+/// Peer side of [`dot_many_keyholder`]: one coefficient row per response,
+/// each dotted against the keyholder's single encrypted vector. Returns the
+/// masks `v_j` drawn (uniform in `[-mask_bound, mask_bound]`).
+pub fn dot_many_peer<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    keyholder_pk: &PublicKey,
+    ys_rows: &[Vec<BigInt>],
+    mask_bound: &BigUint,
+    rng: &mut R,
+) -> Result<Vec<BigInt>, SmcError> {
+    let cts_raw: Vec<BigUint> = chan.recv()?;
+    let mut cts = Vec::with_capacity(cts_raw.len());
+    for raw in cts_raw {
+        let c = Ciphertext::from_biguint(raw);
+        keyholder_pk.validate(&c)?;
+        cts.push(c);
+    }
+    let mut responses = Vec::with_capacity(ys_rows.len());
+    let mut masks = Vec::with_capacity(ys_rows.len());
+    for ys in ys_rows {
+        if cts.len() != ys.len() {
+            return Err(SmcError::protocol(format!(
+                "dot product arity mismatch: {} ciphertexts vs {} coefficients",
+                cts.len(),
+                ys.len()
+            )));
+        }
+        let v = sample_mask(rng, mask_bound);
+        let mut acc = keyholder_pk.encrypt_signed(&v, rng)?;
+        for (ct, y) in cts.iter().zip(ys) {
+            if y.is_zero() {
+                continue;
+            }
+            acc = keyholder_pk.add(&acc, &keyholder_pk.mul_plain_signed(ct, y));
+        }
+        responses.push(acc.as_biguint().clone());
+        masks.push(v);
+    }
+    chan.send(&responses)?;
+    Ok(masks)
+}
+
+/// Generates `count` blinding terms that sum to zero, each component
+/// uniform in `[-bound, bound]` except the last, which balances the sum —
+/// the `r_1 + r_2 + … + r_m = 0` construction of protocol HDP.
+pub fn zero_sum_masks<R: Rng + ?Sized>(
+    rng: &mut R,
+    count: usize,
+    bound: &BigUint,
+) -> Vec<BigInt> {
+    if count == 0 {
+        return Vec::new();
+    }
+    let mut masks: Vec<BigInt> = (0..count - 1).map(|_| sample_mask(rng, bound)).collect();
+    let sum = masks
+        .iter()
+        .fold(BigInt::zero(), |acc, m| &acc + m);
+    masks.push(-&sum);
+    masks
+}
+
+/// Upper bound on `|Σ x_i·y_i + v|` given element bounds; used by callers to
+/// size comparison domains.
+pub fn dot_product_bound(len: usize, x_bound: u64, y_bound: u64, mask_bound: &BigUint) -> BigUint {
+    let per_term = BigUint::from_u128(x_bound as u128 * y_bound as u128);
+    &(&per_term * len as u64) + mask_bound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_helpers::{bob_keypair, rng};
+    use ppds_transport::duplex;
+
+    fn bi(v: i64) -> BigInt {
+        BigInt::from_i64(v)
+    }
+
+    /// Runs keyholder in a thread, peer on the caller thread.
+    fn run_single(x: i64, y: i64, mask_bound: u64) -> (BigInt, BigInt) {
+        let (mut kchan, mut pchan) = duplex();
+        let keyholder = std::thread::spawn(move || {
+            let mut r = rng(1);
+            mul_keyholder(&mut kchan, bob_keypair(), &bi(x), &mut r).unwrap()
+        });
+        let mut r = rng(2);
+        let v = mul_peer(
+            &mut pchan,
+            &bob_keypair().public,
+            &bi(y),
+            &BigUint::from_u64(mask_bound),
+            &mut r,
+        )
+        .unwrap();
+        (keyholder.join().unwrap(), v)
+    }
+
+    #[test]
+    fn algorithm2_identity_holds() {
+        for (x, y) in [(3i64, 4i64), (0, 9), (7, 0), (-5, 6), (5, -6), (-7, -8)] {
+            let (u, v) = run_single(x, y, 1000);
+            assert_eq!(&u - &v, bi(x * y), "x={x}, y={y}");
+        }
+    }
+
+    #[test]
+    fn mask_bound_respected() {
+        for seed in 0..20u64 {
+            let mut r = rng(seed);
+            let v = sample_mask(&mut r, &BigUint::from_u64(5));
+            let v = v.to_i64().unwrap();
+            assert!((-5..=5).contains(&v), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn zero_mask_bound_means_no_mask() {
+        let (u, v) = run_single(6, 7, 0);
+        assert!(v.is_zero());
+        assert_eq!(u, bi(42));
+    }
+
+    #[test]
+    fn masks_actually_vary() {
+        let mut r = rng(3);
+        let bound = BigUint::from_u64(1 << 30);
+        let a = sample_mask(&mut r, &bound);
+        let b = sample_mask(&mut r, &bound);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn batch_matches_singles() {
+        let xs: Vec<BigInt> = [3i64, -1, 0, 12].iter().map(|&v| bi(v)).collect();
+        let ys: Vec<BigInt> = [5i64, 5, -9, 2].iter().map(|&v| bi(v)).collect();
+        let masks = vec![bi(10), bi(-4), bi(0), bi(-6)]; // Σ = 0
+        let (mut kchan, mut pchan) = duplex();
+        let xs2 = xs.clone();
+        let keyholder = std::thread::spawn(move || {
+            let mut r = rng(4);
+            mul_batch_keyholder(&mut kchan, bob_keypair(), &xs2, &mut r).unwrap()
+        });
+        let mut r = rng(5);
+        mul_batch_peer(&mut pchan, &bob_keypair().public, &ys, &masks, &mut r).unwrap();
+        let us = keyholder.join().unwrap();
+        for i in 0..xs.len() {
+            let expect = &(&xs[i] * &ys[i]) + &masks[i];
+            assert_eq!(us[i], expect, "element {i}");
+        }
+        // Sum telescopes to the exact inner product (masks cancel) — the
+        // algebra HDP relies on.
+        let sum = us.iter().fold(BigInt::zero(), |acc, u| &acc + u);
+        assert_eq!(sum, bi(3 * 5 - 5 + 24));
+    }
+
+    #[test]
+    fn dot_product_identity() {
+        let xs: Vec<BigInt> = [2i64, -3, 4].iter().map(|&v| bi(v)).collect();
+        let ys: Vec<BigInt> = [10i64, 1, -2].iter().map(|&v| bi(v)).collect();
+        let (mut kchan, mut pchan) = duplex();
+        let xs2 = xs.clone();
+        let keyholder = std::thread::spawn(move || {
+            let mut r = rng(6);
+            dot_keyholder(&mut kchan, bob_keypair(), &xs2, &mut r).unwrap()
+        });
+        let mut r = rng(7);
+        let v = dot_peer(
+            &mut pchan,
+            &bob_keypair().public,
+            &ys,
+            &BigUint::from_u64(1 << 20),
+            &mut r,
+        )
+        .unwrap();
+        let u = keyholder.join().unwrap();
+        assert_eq!(&u - &v, bi(20 - 3 - 8));
+    }
+
+    #[test]
+    fn dot_arity_mismatch_is_protocol_error() {
+        let (mut kchan, mut pchan) = duplex();
+        let keyholder = std::thread::spawn(move || {
+            let mut r = rng(8);
+            // Keyholder sends 2 ciphertexts; peer expects 3.
+            let _ = dot_keyholder(&mut kchan, bob_keypair(), &[bi(1), bi(2)], &mut r);
+        });
+        let mut r = rng(9);
+        let err = dot_peer(
+            &mut pchan,
+            &bob_keypair().public,
+            &[bi(1), bi(2), bi(3)],
+            &BigUint::from_u64(10),
+            &mut r,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SmcError::Protocol(_)));
+        drop(pchan);
+        let _ = keyholder.join();
+    }
+
+    #[test]
+    fn dot_many_computes_all_squared_distances() {
+        // The §5 usage: Alice's vector (ΣA², -2A_1, -2A_2, 1) against Bob's
+        // rows (1, B_1, B_2, ΣB²) yields dist²(A, B_j) + v_j.
+        let a = [3i64, 4i64];
+        let bobs = [[0i64, 0i64], [3, 0], [6, 8]];
+        let a_norm = a.iter().map(|x| x * x).sum::<i64>();
+        let xs: Vec<BigInt> = [a_norm, -2 * a[0], -2 * a[1], 1]
+            .iter()
+            .map(|&v| bi(v))
+            .collect();
+        let ys_rows: Vec<Vec<BigInt>> = bobs
+            .iter()
+            .map(|b| {
+                let b_norm = b.iter().map(|x| x * x).sum::<i64>();
+                vec![bi(1), bi(b[0]), bi(b[1]), bi(b_norm)]
+            })
+            .collect();
+
+        let (mut kchan, mut pchan) = duplex();
+        let xs2 = xs.clone();
+        let keyholder = std::thread::spawn(move || {
+            let mut r = rng(12);
+            dot_many_keyholder(&mut kchan, bob_keypair(), &xs2, 3, &mut r).unwrap()
+        });
+        let mut r = rng(13);
+        let masks = dot_many_peer(
+            &mut pchan,
+            &bob_keypair().public,
+            &ys_rows,
+            &BigUint::from_u64(1 << 16),
+            &mut r,
+        )
+        .unwrap();
+        let us = keyholder.join().unwrap();
+        let expect = [25i64, 16, 25]; // dist²((3,4), ·)
+        for j in 0..3 {
+            assert_eq!(&us[j] - &masks[j], bi(expect[j]), "point {j}");
+        }
+    }
+
+    #[test]
+    fn zero_sum_masks_sum_to_zero() {
+        let mut r = rng(10);
+        for count in [1usize, 2, 3, 8, 33] {
+            let masks = zero_sum_masks(&mut r, count, &BigUint::from_u64(1 << 16));
+            assert_eq!(masks.len(), count);
+            let sum = masks.iter().fold(BigInt::zero(), |acc, m| &acc + m);
+            assert!(sum.is_zero(), "count = {count}");
+        }
+        assert!(zero_sum_masks(&mut r, 0, &BigUint::from_u64(5)).is_empty());
+    }
+
+    #[test]
+    fn dot_product_bound_is_safe() {
+        let bound = dot_product_bound(3, 100, 50, &BigUint::from_u64(7));
+        // 3 * 100*50 + 7
+        assert_eq!(bound, BigUint::from_u64(15_007));
+    }
+
+    #[test]
+    fn peer_rejects_invalid_ciphertext() {
+        let (mut kchan, mut pchan) = duplex();
+        // Hand-inject an invalid "ciphertext" (zero).
+        kchan.send(&BigUint::zero()).unwrap();
+        let mut r = rng(11);
+        let err = mul_peer(
+            &mut pchan,
+            &bob_keypair().public,
+            &bi(1),
+            &BigUint::from_u64(10),
+            &mut r,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SmcError::Crypto(_)));
+    }
+}

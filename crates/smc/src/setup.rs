@@ -1,0 +1,83 @@
+//! Session setup: public key exchange.
+//!
+//! Both DBSCAN protocols need both parties to hold keypairs (the
+//! Multiplication Protocol's key holder varies by query direction, and
+//! Yao's protocol always decrypts under the querying side's key), so a
+//! session starts with a symmetric exchange of Paillier moduli.
+
+use crate::error::SmcError;
+use ppds_paillier::{Keypair, PublicKey};
+use ppds_transport::Channel;
+
+/// Sends our public key (just `n`; `g = n + 1` is the fixed convention).
+pub fn send_public_key<C: Channel>(chan: &mut C, keypair: &Keypair) -> Result<(), SmcError> {
+    chan.send(keypair.public.n())?;
+    Ok(())
+}
+
+/// Receives and validates the peer's public key.
+pub fn recv_public_key<C: Channel>(chan: &mut C) -> Result<PublicKey, SmcError> {
+    let n = chan.recv()?;
+    Ok(PublicKey::from_modulus(n)?)
+}
+
+/// Symmetric exchange: Alice sends first, then receives; Bob mirrors.
+/// Returns the peer's public key.
+pub fn exchange_keys_alice<C: Channel>(
+    chan: &mut C,
+    keypair: &Keypair,
+) -> Result<PublicKey, SmcError> {
+    send_public_key(chan, keypair)?;
+    recv_public_key(chan)
+}
+
+/// Bob's half of [`exchange_keys_alice`].
+pub fn exchange_keys_bob<C: Channel>(
+    chan: &mut C,
+    keypair: &Keypair,
+) -> Result<PublicKey, SmcError> {
+    let peer = recv_public_key(chan)?;
+    send_public_key(chan, keypair)?;
+    Ok(peer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_helpers::{alice_keypair, bob_keypair, rng};
+    use ppds_bigint::BigUint;
+    use ppds_transport::duplex;
+
+    #[test]
+    fn key_exchange_roundtrip() {
+        let (mut a_chan, mut b_chan) = duplex();
+        let bob = std::thread::spawn(move || {
+            let peer = exchange_keys_bob(&mut b_chan, bob_keypair()).unwrap();
+            (peer, b_chan)
+        });
+        let alice_view_of_bob = exchange_keys_alice(&mut a_chan, alice_keypair()).unwrap();
+        let (bob_view_of_alice, _chan) = bob.join().unwrap();
+        assert_eq!(alice_view_of_bob.n(), bob_keypair().public.n());
+        assert_eq!(bob_view_of_alice.n(), alice_keypair().public.n());
+    }
+
+    #[test]
+    fn received_key_can_encrypt_for_peer() {
+        let (mut a_chan, mut b_chan) = duplex();
+        send_public_key(&mut a_chan, alice_keypair()).unwrap();
+        let alice_pk = recv_public_key(&mut b_chan).unwrap();
+        let mut r = rng(1);
+        let c = alice_pk.encrypt(&BigUint::from_u64(321), &mut r).unwrap();
+        assert_eq!(
+            alice_keypair().private.decrypt(&c).unwrap(),
+            BigUint::from_u64(321)
+        );
+    }
+
+    #[test]
+    fn garbage_modulus_rejected() {
+        let (mut a_chan, mut b_chan) = duplex();
+        a_chan.send(&BigUint::from_u64(4)).unwrap(); // even, tiny
+        assert!(recv_public_key(&mut b_chan).is_err());
+    }
+}

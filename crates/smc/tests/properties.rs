@@ -1,0 +1,143 @@
+//! Property-based tests for the SMC primitives: the faithful Yao protocol
+//! and both comparison backends must implement exact integer comparison for
+//! arbitrary in-domain inputs, and the multiplication protocols must
+//! satisfy their masking identities.
+
+use ppds_bigint::{BigInt, BigUint};
+use ppds_paillier::Keypair;
+use ppds_smc::compare::{compare_alice, compare_bob, CmpOp, Comparator, ComparisonDomain};
+use ppds_smc::millionaires::{yao_alice, yao_bob, YaoConfig};
+use ppds_smc::multiplication::{
+    dot_keyholder, dot_peer, mul_batch_keyholder, mul_batch_peer, zero_sum_masks,
+};
+use ppds_transport::duplex;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+fn keypair() -> &'static Keypair {
+    static KP: OnceLock<Keypair> = OnceLock::new();
+    KP.get_or_init(|| Keypair::generate(128, &mut StdRng::seed_from_u64(7)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn yao_decides_lt_exactly(
+        n0 in 2u64..40,
+        i_frac in 0.0f64..1.0,
+        j_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let i = 1 + (i_frac * (n0 - 1) as f64) as u64;
+        let j = 1 + (j_frac * (n0 - 1) as f64) as u64;
+        let config = YaoConfig { n0 };
+        let (mut achan, mut bchan) = duplex();
+        let alice = std::thread::spawn(move || {
+            let mut r = StdRng::seed_from_u64(seed);
+            yao_alice(&mut achan, keypair(), i, &config, &mut r).unwrap()
+        });
+        let mut r = StdRng::seed_from_u64(seed.wrapping_add(1));
+        let bob_view = yao_bob(&mut bchan, &keypair().public, j, &config, &mut r).unwrap();
+        let alice_view = alice.join().unwrap();
+        prop_assert_eq!(alice_view, i < j);
+        prop_assert_eq!(bob_view, i < j);
+    }
+
+    #[test]
+    fn comparators_agree_on_signed_domains(
+        lo in -60i64..0,
+        span in 1i64..60,
+        a_off in 0i64..60,
+        b_off in 0i64..60,
+        leq in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let hi = lo + span;
+        let domain = ComparisonDomain::new(lo, hi);
+        let a = lo + a_off % (span + 1);
+        let b = lo + b_off % (span + 1);
+        let op = if leq { CmpOp::Leq } else { CmpOp::Lt };
+        let expect = if leq { a <= b } else { a < b };
+        for comparator in [Comparator::Yao, Comparator::Ideal] {
+            let (mut achan, mut bchan) = duplex();
+            let alice = std::thread::spawn(move || {
+                let mut r = StdRng::seed_from_u64(seed);
+                compare_alice(comparator, &mut achan, keypair(), a, op, &domain, &mut r)
+                    .unwrap()
+            });
+            let mut r = StdRng::seed_from_u64(seed.wrapping_add(1));
+            let bob_view =
+                compare_bob(comparator, &mut bchan, &keypair().public, b, op, &domain, &mut r)
+                    .unwrap();
+            let alice_view = alice.join().unwrap();
+            prop_assert_eq!(alice_view, expect, "{:?} {} vs {}", comparator, a, b);
+            prop_assert_eq!(bob_view, expect);
+        }
+    }
+
+    #[test]
+    fn batched_multiplication_masks_cancel(
+        xs in proptest::collection::vec(-100i64..100, 1..6),
+        ys_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let mut r = StdRng::seed_from_u64(ys_seed);
+        use rand::Rng as _;
+        let ys: Vec<i64> = xs.iter().map(|_| r.random_range(-100..100)).collect();
+        let xs_big: Vec<BigInt> = xs.iter().map(|&v| BigInt::from_i64(v)).collect();
+        let ys_big: Vec<BigInt> = ys.iter().map(|&v| BigInt::from_i64(v)).collect();
+
+        let mut mask_rng = StdRng::seed_from_u64(seed);
+        let masks = zero_sum_masks(&mut mask_rng, xs.len(), &BigUint::from_u64(1 << 20));
+
+        let (mut kchan, mut pchan) = duplex();
+        let xs2 = xs_big.clone();
+        let keyholder = std::thread::spawn(move || {
+            let mut r = StdRng::seed_from_u64(seed.wrapping_add(1));
+            mul_batch_keyholder(&mut kchan, keypair(), &xs2, &mut r).unwrap()
+        });
+        let mut r2 = StdRng::seed_from_u64(seed.wrapping_add(2));
+        mul_batch_peer(&mut pchan, &keypair().public, &ys_big, &masks, &mut r2).unwrap();
+        let ws = keyholder.join().unwrap();
+
+        // Σ w_i = Σ x_i·y_i exactly (zero-sum masks cancel).
+        let sum = ws.iter().fold(BigInt::zero(), |acc, w| &acc + w);
+        let expect: i64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
+        prop_assert_eq!(sum, BigInt::from_i64(expect));
+    }
+
+    #[test]
+    fn dot_product_identity_holds(
+        xs in proptest::collection::vec(-50i64..50, 1..5),
+        ys_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let mut r = StdRng::seed_from_u64(ys_seed);
+        use rand::Rng as _;
+        let ys: Vec<i64> = xs.iter().map(|_| r.random_range(-50..50)).collect();
+        let xs_big: Vec<BigInt> = xs.iter().map(|&v| BigInt::from_i64(v)).collect();
+        let ys_big: Vec<BigInt> = ys.iter().map(|&v| BigInt::from_i64(v)).collect();
+
+        let (mut kchan, mut pchan) = duplex();
+        let xs2 = xs_big.clone();
+        let keyholder = std::thread::spawn(move || {
+            let mut r = StdRng::seed_from_u64(seed);
+            dot_keyholder(&mut kchan, keypair(), &xs2, &mut r).unwrap()
+        });
+        let mut r2 = StdRng::seed_from_u64(seed.wrapping_add(1));
+        let v = dot_peer(
+            &mut pchan,
+            &keypair().public,
+            &ys_big,
+            &BigUint::from_u64(1 << 24),
+            &mut r2,
+        )
+        .unwrap();
+        let u = keyholder.join().unwrap();
+        let expect: i64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
+        prop_assert_eq!(&u - &v, BigInt::from_i64(expect));
+    }
+}

@@ -1,0 +1,44 @@
+//! The blocking channel interface protocols are written against.
+
+use crate::error::TransportError;
+use crate::metrics::MetricsSnapshot;
+use crate::wire::{WireDecode, WireEncode};
+
+/// A reliable, ordered, bidirectional message channel to the peer party.
+///
+/// Protocols are written as straight-line blocking code over this trait, so
+/// the same protocol implementation runs over an in-memory pair
+/// ([`crate::memory::duplex`]) for tests/benches and over TCP
+/// ([`crate::tcp`]) for genuine two-process deployments.
+pub trait Channel {
+    /// Sends one framed message.
+    fn send_bytes(&mut self, payload: &[u8]) -> Result<(), TransportError>;
+
+    /// Blocks until the next framed message arrives.
+    fn recv_bytes(&mut self) -> Result<Vec<u8>, TransportError>;
+
+    /// Traffic counters for this endpoint.
+    fn metrics(&self) -> MetricsSnapshot;
+
+    /// Sends a typed value using the [`crate::wire`] codec.
+    fn send<T: WireEncode>(&mut self, value: &T) -> Result<(), TransportError>
+    where
+        Self: Sized,
+    {
+        self.send_bytes(&value.encode_to_vec())
+    }
+
+    /// Receives a typed value; the payload must be exactly one `T`.
+    fn recv<T: WireDecode>(&mut self) -> Result<T, TransportError>
+    where
+        Self: Sized,
+    {
+        let payload = self.recv_bytes()?;
+        T::decode_exact(&payload)
+    }
+}
+
+/// Hard cap on a single frame. Large enough for any ciphertext batch the
+/// protocols send (a full 96-point × 4096-bit ciphertext vector is ~50 KiB),
+/// small enough to catch stream corruption immediately.
+pub const MAX_FRAME_BYTES: u64 = 64 * 1024 * 1024;

@@ -1,0 +1,188 @@
+//! Per-channel traffic accounting and modeled network cost.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Lock-free counters shared by a channel endpoint and whoever wants to read
+/// its traffic. Bytes include the 4-byte frame header per message.
+#[derive(Debug, Default)]
+pub struct ChannelMetrics {
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    messages_sent: AtomicU64,
+    messages_received: AtomicU64,
+}
+
+impl ChannelMetrics {
+    /// Fresh shared counters.
+    pub fn new_shared() -> Arc<ChannelMetrics> {
+        Arc::new(ChannelMetrics::default())
+    }
+
+    /// Records an outbound message of `payload_bytes` payload.
+    pub fn record_send(&self, payload_bytes: u64) {
+        self.bytes_sent
+            .fetch_add(payload_bytes + crate::FRAME_OVERHEAD_BYTES, Ordering::Relaxed);
+        self.messages_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an inbound message of `payload_bytes` payload.
+    pub fn record_recv(&self, payload_bytes: u64) {
+        self.bytes_received
+            .fetch_add(payload_bytes + crate::FRAME_OVERHEAD_BYTES, Ordering::Relaxed);
+        self.messages_received.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough point-in-time copy of the counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            messages_sent: self.messages_sent.load(Ordering::Relaxed),
+            messages_received: self.messages_received.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero (used between experiment repetitions).
+    pub fn reset(&self) {
+        self.bytes_sent.store(0, Ordering::Relaxed);
+        self.bytes_received.store(0, Ordering::Relaxed);
+        self.messages_sent.store(0, Ordering::Relaxed);
+        self.messages_received.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time view of a channel's traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Bytes sent by this endpoint (payload + framing).
+    pub bytes_sent: u64,
+    /// Bytes received by this endpoint.
+    pub bytes_received: u64,
+    /// Messages sent by this endpoint.
+    pub messages_sent: u64,
+    /// Messages received by this endpoint.
+    pub messages_received: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total traffic in both directions, bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent + self.bytes_received
+    }
+
+    /// Total message count in both directions.
+    pub fn total_messages(&self) -> u64 {
+        self.messages_sent + self.messages_received
+    }
+
+    /// Difference between two snapshots of the same counters
+    /// (`later - self`), for scoping traffic to a protocol phase.
+    pub fn delta(&self, later: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            bytes_sent: later.bytes_sent - self.bytes_sent,
+            bytes_received: later.bytes_received - self.bytes_received,
+            messages_sent: later.messages_sent - self.messages_sent,
+            messages_received: later.messages_received - self.messages_received,
+        }
+    }
+}
+
+/// Models the wall-clock cost of a transcript on a given link.
+///
+/// Each message pays one latency hit (the protocols here are strictly
+/// ping-pong, so messages never pipeline); payload pays bandwidth.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// One-way message latency.
+    pub latency: Duration,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: u64,
+}
+
+impl CostModel {
+    /// A 1 Gbit/s LAN with 0.2 ms one-way latency.
+    pub fn lan() -> CostModel {
+        CostModel {
+            latency: Duration::from_micros(200),
+            bandwidth_bytes_per_sec: 125_000_000,
+        }
+    }
+
+    /// A 100 Mbit/s WAN with 20 ms one-way latency (two hospitals on the
+    /// public internet — the paper's motivating deployment).
+    pub fn wan() -> CostModel {
+        CostModel {
+            latency: Duration::from_millis(20),
+            bandwidth_bytes_per_sec: 12_500_000,
+        }
+    }
+
+    /// Modeled transfer time for a transcript.
+    pub fn estimate(&self, snapshot: &MetricsSnapshot) -> Duration {
+        let latency_total = self.latency * snapshot.total_messages() as u32;
+        let transfer_secs =
+            snapshot.total_bytes() as f64 / self.bandwidth_bytes_per_sec as f64;
+        latency_total + Duration::from_secs_f64(transfer_secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_with_frame_overhead() {
+        let m = ChannelMetrics::new_shared();
+        m.record_send(100);
+        m.record_send(50);
+        m.record_recv(10);
+        let s = m.snapshot();
+        assert_eq!(s.bytes_sent, 150 + 2 * crate::FRAME_OVERHEAD_BYTES);
+        assert_eq!(s.messages_sent, 2);
+        assert_eq!(s.bytes_received, 10 + crate::FRAME_OVERHEAD_BYTES);
+        assert_eq!(s.messages_received, 1);
+        assert_eq!(s.total_bytes(), s.bytes_sent + s.bytes_received);
+        assert_eq!(s.total_messages(), 3);
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let m = ChannelMetrics::new_shared();
+        m.record_send(5);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn delta_scopes_a_phase() {
+        let m = ChannelMetrics::new_shared();
+        m.record_send(10);
+        let before = m.snapshot();
+        m.record_send(20);
+        m.record_recv(30);
+        let after = m.snapshot();
+        let d = before.delta(&after);
+        assert_eq!(d.messages_sent, 1);
+        assert_eq!(d.bytes_sent, 20 + crate::FRAME_OVERHEAD_BYTES);
+        assert_eq!(d.messages_received, 1);
+    }
+
+    #[test]
+    fn cost_model_estimates() {
+        let snapshot = MetricsSnapshot {
+            bytes_sent: 1_000_000,
+            bytes_received: 1_000_000,
+            messages_sent: 5,
+            messages_received: 5,
+        };
+        let lan = CostModel::lan().estimate(&snapshot);
+        let wan = CostModel::wan().estimate(&snapshot);
+        assert!(wan > lan);
+        // WAN: 10 msgs * 20ms = 200ms latency + 2MB / 12.5MB/s = 160ms
+        let expect = Duration::from_millis(200) + Duration::from_millis(160);
+        let diff = wan.abs_diff(expect);
+        assert!(diff < Duration::from_millis(1), "wan = {wan:?}");
+    }
+}

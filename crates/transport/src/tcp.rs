@@ -1,0 +1,159 @@
+//! TCP transport: the same framed protocol over real sockets.
+//!
+//! Lets the two parties run as separate processes (see
+//! `examples/hospitals_horizontal.rs --mode tcp`). Framing is a `u32`
+//! little-endian payload length followed by the payload, matching the bytes
+//! charged by [`crate::metrics::ChannelMetrics`] on the in-memory transport.
+
+use crate::channel::{Channel, MAX_FRAME_BYTES};
+use crate::error::TransportError;
+use crate::metrics::{ChannelMetrics, MetricsSnapshot};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+/// One endpoint of a framed TCP connection.
+pub struct TcpChannel {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    metrics: Arc<ChannelMetrics>,
+}
+
+impl TcpChannel {
+    /// Connects to a listening peer.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<TcpChannel, TransportError> {
+        let stream = TcpStream::connect(addr)?;
+        TcpChannel::from_stream(stream)
+    }
+
+    /// Accepts one inbound connection from `listener`.
+    pub fn accept(listener: &TcpListener) -> Result<TcpChannel, TransportError> {
+        let (stream, _peer) = listener.accept()?;
+        TcpChannel::from_stream(stream)
+    }
+
+    /// Wraps an established stream.
+    pub fn from_stream(stream: TcpStream) -> Result<TcpChannel, TransportError> {
+        stream.set_nodelay(true)?; // ping-pong protocols: don't batch
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(TcpChannel {
+            reader,
+            writer,
+            metrics: ChannelMetrics::new_shared(),
+        })
+    }
+
+    /// Shared handle to this endpoint's counters.
+    pub fn metrics_handle(&self) -> Arc<ChannelMetrics> {
+        Arc::clone(&self.metrics)
+    }
+}
+
+impl Channel for TcpChannel {
+    fn send_bytes(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        if payload.len() as u64 > MAX_FRAME_BYTES {
+            return Err(TransportError::FrameTooLarge {
+                announced: payload.len() as u64,
+                limit: MAX_FRAME_BYTES,
+            });
+        }
+        let len = payload.len() as u32;
+        self.writer.write_all(&len.to_le_bytes())?;
+        self.writer.write_all(payload)?;
+        self.writer.flush()?;
+        self.metrics.record_send(payload.len() as u64);
+        Ok(())
+    }
+
+    fn recv_bytes(&mut self) -> Result<Vec<u8>, TransportError> {
+        let mut len_bytes = [0u8; 4];
+        if let Err(e) = self.reader.read_exact(&mut len_bytes) {
+            return Err(match e.kind() {
+                std::io::ErrorKind::UnexpectedEof => TransportError::Disconnected,
+                _ => TransportError::Io(e),
+            });
+        }
+        let len = u32::from_le_bytes(len_bytes) as u64;
+        if len > MAX_FRAME_BYTES {
+            return Err(TransportError::FrameTooLarge {
+                announced: len,
+                limit: MAX_FRAME_BYTES,
+            });
+        }
+        let mut payload = vec![0u8; len as usize];
+        self.reader.read_exact(&mut payload)?;
+        self.metrics.record_recv(len);
+        Ok(payload)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppds_bigint::BigUint;
+
+    fn loopback_pair() -> (TcpChannel, TcpChannel) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client_thread = std::thread::spawn(move || TcpChannel::connect(addr).expect("connect"));
+        let server = TcpChannel::accept(&listener).expect("accept");
+        let client = client_thread.join().expect("join");
+        (server, client)
+    }
+
+    #[test]
+    fn ping_pong_over_loopback() {
+        let (mut server, mut client) = loopback_pair();
+        client.send(&BigUint::from_u128(1 << 100)).unwrap();
+        let got: BigUint = server.recv().unwrap();
+        assert_eq!(got, BigUint::from_u128(1 << 100));
+        server.send(&99u64).unwrap();
+        assert_eq!(client.recv::<u64>().unwrap(), 99);
+    }
+
+    #[test]
+    fn traffic_matches_memory_transport() {
+        // Same payloads must be charged identically on both transports.
+        let (mut ms, mut mc) = crate::memory::duplex();
+        let (mut ts, mut tc) = loopback_pair();
+        let payloads: Vec<Vec<u8>> = vec![vec![1; 10], vec![2; 1000], vec![]];
+        for p in &payloads {
+            mc.send_bytes(p).unwrap();
+            ms.recv_bytes().unwrap();
+            tc.send_bytes(p).unwrap();
+            ts.recv_bytes().unwrap();
+        }
+        assert_eq!(mc.metrics().bytes_sent, tc.metrics().bytes_sent);
+        assert_eq!(ms.metrics().bytes_received, ts.metrics().bytes_received);
+    }
+
+    #[test]
+    fn disconnect_detected() {
+        let (mut server, client) = loopback_pair();
+        drop(client);
+        assert!(matches!(
+            server.recv_bytes(),
+            Err(TransportError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let (mut server, mut client) = loopback_pair();
+        client.send_bytes(&[]).unwrap();
+        assert_eq!(server.recv_bytes().unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn large_payload_roundtrip() {
+        let (mut server, mut client) = loopback_pair();
+        let big = vec![0xCD; 1 << 20];
+        client.send_bytes(&big).unwrap();
+        assert_eq!(server.recv_bytes().unwrap(), big);
+    }
+}

@@ -1,0 +1,79 @@
+//! Arbitrarily partitioned data (Figure 4): every (record, attribute) cell
+//! can belong to either party — "extremely patchworked data" per §4.4. The
+//! protocol decomposes each distance into vertical (local) and horizontal
+//! (Multiplication Protocol) parts and still reproduces the exact
+//! trusted-third-party clustering.
+//!
+//! Run with: `cargo run --release --example arbitrary_partition`
+
+use ppdbscan::config::ProtocolConfig;
+use ppdbscan::driver::run_arbitrary_pair;
+use ppdbscan::partition::{ArbitraryPartition, Owner};
+use ppds_dbscan::datagen::standard_blobs;
+use ppds_dbscan::{dbscan, DbscanParams, Quantizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ownership_stats(part: &ArbitraryPartition) -> (usize, usize) {
+    let mut alice = 0;
+    let mut bob = 0;
+    for row in &part.ownership {
+        for owner in row {
+            match owner {
+                Owner::Alice => alice += 1,
+                Owner::Bob => bob += 1,
+            }
+        }
+    }
+    (alice, bob)
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let quantizer = Quantizer::new(1.0, 40);
+    let (records, _) = standard_blobs(&mut rng, 12, 2, 3, quantizer);
+
+    // Random per-cell ownership: the most adversarial partitioning pattern.
+    let partition = ArbitraryPartition::random(&mut rng, &records);
+    let (a_cells, b_cells) = ownership_stats(&partition);
+    println!(
+        "{} records x {} attributes; Alice owns {a_cells} cells, Bob owns {b_cells}.",
+        partition.len(),
+        partition.dim()
+    );
+
+    let params = DbscanParams {
+        eps_sq: 36,
+        min_pts: 3,
+    };
+    let cfg = ProtocolConfig::new(params, 40);
+
+    println!("\nRunning the arbitrary-partition protocol (§4.4)…");
+    let (alice, bob) = run_arbitrary_pair(
+        &cfg,
+        &partition,
+        StdRng::seed_from_u64(1),
+        StdRng::seed_from_u64(2),
+    )
+    .expect("protocol run");
+
+    assert_eq!(alice.clustering, bob.clustering, "both parties agree");
+    let reference = dbscan(&records, params);
+    assert_eq!(alice.clustering, reference, "matches plaintext DBSCAN");
+    println!(
+        "  ✔ {} clusters, {} noise — identical to plaintext DBSCAN on the joined records",
+        alice.clustering.num_clusters,
+        alice.clustering.noise_count()
+    );
+
+    println!(
+        "\nCost: {} Yao comparisons, {:.1} KiB transferred \
+         (+ Multiplication Protocol rounds for every split attribute pair).",
+        alice.yao.comparisons,
+        alice.traffic.total_bytes() as f64 / 1024.0
+    );
+    println!(
+        "The same code path handles pure-vertical and pure-horizontal ownership \
+         as special cases — see `crates/core/src/arbitrary.rs` tests."
+    );
+}

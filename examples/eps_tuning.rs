@@ -1,0 +1,68 @@
+//! Choosing `Eps` before engaging the protocol: the paper treats Eps and
+//! MinPts as given global parameters; in practice each party derives a
+//! candidate from *its own* data with Ester et al.'s sorted k-distance
+//! heuristic, then the parties agree on the larger value out of band.
+//! Nothing private is exchanged during tuning.
+//!
+//! Run with: `cargo run --release --example eps_tuning`
+
+use ppdbscan::config::ProtocolConfig;
+use ppdbscan::driver::run_horizontal_pair;
+use ppds_dbscan::datagen::{split_random, standard_blobs};
+use ppds_dbscan::kdist::{k_distance_profile, suggest_eps_sq};
+use ppds_dbscan::{DbscanParams, Quantizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sparkline(profile: &[u64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = *profile.iter().max().unwrap_or(&1) as f64;
+    profile
+        .iter()
+        .step_by((profile.len() / 60).max(1))
+        .map(|&v| BARS[((v as f64 / max) * 7.0).round() as usize])
+        .collect()
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let quantizer = Quantizer::new(1.0, 80);
+    let (points, _) = standard_blobs(&mut rng, 30, 3, 2, quantizer);
+    let (alice, bob) = split_random(&mut rng, &points, 0.5);
+
+    let min_pts = 4;
+    println!("Each party inspects its own sorted k-dist graph (k = MinPts - 1 = 3):\n");
+    let mut candidates = Vec::new();
+    for (name, data) in [("Alice", &alice), ("Bob", &bob)] {
+        let profile = k_distance_profile(data, min_pts - 1);
+        let suggestion = suggest_eps_sq(data, min_pts - 1);
+        println!("  {name:<5} ({} pts)  {}", data.len(), sparkline(&profile));
+        println!("         suggested eps² = {suggestion}");
+        candidates.push(suggestion);
+    }
+
+    // Agree on the larger candidate: local data is a subsample of the joint
+    // distribution, so local k-distances overestimate — taking the max keeps
+    // both parties' dense regions connected.
+    let eps_sq = *candidates.iter().max().unwrap();
+    println!("\nAgreed parameters: eps² = {eps_sq}, MinPts = {min_pts}.");
+
+    let cfg = ProtocolConfig::new(DbscanParams { eps_sq, min_pts }, 80);
+    let (a_out, b_out) = run_horizontal_pair(
+        &cfg,
+        &alice,
+        &bob,
+        StdRng::seed_from_u64(10),
+        StdRng::seed_from_u64(11),
+    )
+    .expect("protocol run");
+
+    println!(
+        "Joint run: Alice sees {} clusters ({} noise), Bob sees {} clusters ({} noise).",
+        a_out.clustering.num_clusters,
+        a_out.clustering.noise_count(),
+        b_out.clustering.num_clusters,
+        b_out.clustering.noise_count(),
+    );
+    assert_eq!(a_out.clustering.num_clusters, 3, "three blobs recovered");
+}

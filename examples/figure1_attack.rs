@@ -1,0 +1,121 @@
+//! Reproduces Figure 1 — the neighborhood-intersection attack that
+//! motivates the paper — and shows why the permuted protocol defeats it.
+//!
+//! Setting: Bob owns three points `B1, B2, B3` whose Eps-disks overlap in a
+//! small region; Alice owns one point `A` inside that region.
+//!
+//! * Under Kumar et al. [14]-style leakage, Bob learns *per Bob point,
+//!   per identified Alice record* whether it is a neighbor — so he can
+//!   intersect the three disks and localize `A` to the small gray region of
+//!   Figure 1.
+//! * Under this paper's protocol, Bob only learns "one of my points matched
+//!   some (unlinkable) query" — his feasible region for any particular
+//!   Alice record is the *union* of the disks, not the intersection.
+//!
+//! The example runs the real protocol to show what Bob's leakage log
+//! actually contains, then quantifies both feasible regions by exact
+//! lattice counting.
+//!
+//! Run with: `cargo run --release --example figure1_attack`
+
+use ppdbscan::config::ProtocolConfig;
+use ppdbscan::driver::run_horizontal_pair;
+use ppds_dbscan::{dist_sq, DbscanParams, Point};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Geometry tuned so the three disks overlap in a small sliver.
+    let eps_sq: u64 = 100; // Eps = 10
+    let bob_points = vec![
+        Point::new(vec![0, 0]),   // B1
+        Point::new(vec![16, 0]),  // B2
+        Point::new(vec![8, 14]),  // B3
+    ];
+    let alice_point = Point::new(vec![8, 5]); // A: inside all three disks
+    for b in &bob_points {
+        assert!(dist_sq(b, &alice_point) <= eps_sq, "A is in every disk");
+    }
+
+    // --- Quantify the attacker's knowledge by exact lattice counting. ---
+    let bound = 40i64;
+    let mut intersection = 0u64; // Kumar-style knowledge
+    let mut union = 0u64; // this paper's knowledge (upper bound)
+    for x in -bound..=bound {
+        for y in -bound..=bound {
+            let p = Point::new(vec![x, y]);
+            let hits = bob_points
+                .iter()
+                .filter(|b| dist_sq(b, &p) <= eps_sq)
+                .count();
+            if hits == 3 {
+                intersection += 1;
+            }
+            if hits >= 1 {
+                union += 1;
+            }
+        }
+    }
+    println!("Eps = 10, Bob's points: B1(0,0), B2(16,0), B3(8,14); Alice's A = (8,5)\n");
+    println!("Feasible lattice positions for A, from Bob's perspective:");
+    println!("  Kumar et al. [14] leakage (links neighbor bits to ONE record):");
+    println!("    intersection of the three disks = {intersection} positions");
+    println!("  This paper's protocol (unlinkable, permuted matches):");
+    println!("    at best the union of the disks  = {union} positions");
+    println!(
+        "  => localization power reduced {:.0}x\n",
+        union as f64 / intersection as f64
+    );
+
+    // --- Execute the attack against the Kumar-style baseline protocol. ---
+    let cfg = ProtocolConfig::new(
+        DbscanParams {
+            eps_sq,
+            min_pts: 5, // high MinPts: everything is noise; only queries matter
+        },
+        64,
+    );
+    let alice_points = vec![alice_point];
+    println!("Running the Kumar et al. [14]-style baseline (linkable neighbor bits)…");
+    let (_a, kumar_bob) = ppdbscan::kumar::run_kumar_pair(
+        &cfg,
+        &alice_points,
+        &bob_points,
+        StdRng::seed_from_u64(3),
+        StdRng::seed_from_u64(4),
+    )
+    .expect("baseline run");
+    let localized =
+        ppdbscan::kumar::intersection_attack(&bob_points, &kumar_bob.leakage, eps_sq, bound);
+    println!(
+        "  Bob's transcript holds {} LINKED bits; replaying Figure 1 on it pins \
+         Alice's record to {} candidate position(s).\n",
+        kumar_bob.leakage.count_kind("linked_neighbor_bit"),
+        localized[&0]
+    );
+
+    // --- The honest protocol on identical data. ---
+    println!("Running this paper's protocol on the same data…");
+    let (_a_out, b_out) = run_horizontal_pair(
+        &cfg,
+        &alice_points,
+        &bob_points,
+        StdRng::seed_from_u64(1),
+        StdRng::seed_from_u64(2),
+    )
+    .expect("protocol run");
+
+    println!("  Bob's complete leakage log:");
+    for event in b_out.leakage.events() {
+        println!("    {event:?}");
+    }
+    println!(
+        "\nBob saw {} own-point-matched flags and {} linkable bits: he cannot tell \
+         whether the matches came from the same Alice record — exactly the \
+         contribution-2 guarantee (\"Bob does not know whether those three records \
+         are the same or not\"). His feasible region stays the {}-position union.",
+        b_out.leakage.count_kind("own_point_matched"),
+        b_out.leakage.count_kind("linked_neighbor_bit"),
+        ppdbscan::kumar::unlinkable_feasible_region(&bob_points, eps_sq, bound),
+    );
+}

@@ -1,0 +1,81 @@
+//! Vertical partitioning (Figure 3): a bank and a hospital each hold
+//! *different attributes of the same customers* and want the joint
+//! clustering. The vertical protocol (Algorithms 5 & 6) gives both parties
+//! exactly the clustering a trusted third party would have computed — the
+//! example verifies this label-for-label against plaintext DBSCAN.
+//!
+//! Run with: `cargo run --release --example vertical_credit`
+
+use ppdbscan::config::ProtocolConfig;
+use ppdbscan::driver::run_vertical_pair;
+use ppdbscan::VerticalPartition;
+use ppds_dbscan::datagen::standard_blobs;
+use ppds_dbscan::{dbscan, eval, DbscanParams, Quantizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 4-attribute customer records: attributes 0-1 are financial (bank),
+    // attributes 2-3 are clinical (hospital). Three latent segments.
+    let mut rng = StdRng::seed_from_u64(7);
+    let quantizer = Quantizer::new(1.0, 60);
+    let (records, _truth) = standard_blobs(&mut rng, 25, 3, 4, quantizer);
+    let partition = VerticalPartition::split(&records, 2);
+
+    let params = DbscanParams {
+        eps_sq: 64,
+        min_pts: 4,
+    };
+    let cfg = ProtocolConfig::new(params, 60);
+
+    println!(
+        "{} customers; bank holds {} attributes, hospital holds {}.",
+        partition.len(),
+        partition.alice[0].dim(),
+        partition.bob[0].dim()
+    );
+
+    println!("\nRunning the vertical protocol (Algorithms 5 & 6)…");
+    let (bank, hospital) = run_vertical_pair(
+        &cfg,
+        &partition,
+        StdRng::seed_from_u64(100),
+        StdRng::seed_from_u64(200),
+    )
+    .expect("protocol run");
+
+    println!(
+        "  bank view:     {} clusters, {} noise",
+        bank.clustering.num_clusters,
+        bank.clustering.noise_count()
+    );
+    println!(
+        "  hospital view: {} clusters, {} noise",
+        hospital.clustering.num_clusters,
+        hospital.clustering.noise_count()
+    );
+
+    // The paper's §3.3 contract: identical joint output on both sides,
+    // equal to the trusted-third-party result.
+    assert_eq!(bank.clustering, hospital.clustering);
+    let reference = dbscan(&records, params);
+    assert_eq!(bank.clustering, reference);
+    println!(
+        "  ✔ both parties computed the exact trusted-third-party clustering \
+         (Rand index vs plaintext = {:.3})",
+        eval::rand_index(&bank.clustering, &reference)
+    );
+
+    println!(
+        "\nCost: {} Yao comparisons (≈ n² per the §4.3.2 analysis), \
+         {:.1} KiB actually transferred, {:.1} MiB under the faithful-Yao model.",
+        bank.yao.comparisons,
+        bank.traffic.total_bytes() as f64 / 1024.0,
+        bank.yao.modeled_bytes as f64 / (1024.0 * 1024.0)
+    );
+    println!(
+        "Leakage (Theorem 10): {} neighborhood sizes became known to each party — \
+         nothing else.",
+        bank.leakage.count_kind("neighbor_count")
+    );
+}

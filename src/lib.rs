@@ -1,0 +1,25 @@
+//! Umbrella crate for the *Privacy Preserving Distributed DBSCAN
+//! Clustering* reproduction (Liu, Xiong, Luo, Huang — EDBT/ICDT 2012
+//! Workshops / Transactions on Data Privacy 6, 2013).
+//!
+//! This crate re-exports the whole workspace so downstream users can depend
+//! on one name; it also hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`). See the README for a tour and
+//! DESIGN.md for the system inventory.
+//!
+//! * [`ppdbscan`] — the paper's protocols (horizontal, vertical, arbitrary,
+//!   enhanced) and drivers,
+//! * [`ppds_dbscan`] — plaintext DBSCAN baseline, workload generators,
+//!   clustering metrics,
+//! * [`ppds_smc`] — Multiplication Protocol, Yao's millionaires, secure
+//!   comparison and k-th order statistic,
+//! * [`ppds_paillier`] — the Paillier cryptosystem,
+//! * [`ppds_transport`] — measured two-party channels (in-memory and TCP),
+//! * [`ppds_bigint`] — arbitrary-precision integer substrate.
+
+pub use ppdbscan;
+pub use ppds_bigint;
+pub use ppds_dbscan;
+pub use ppds_paillier;
+pub use ppds_smc;
+pub use ppds_transport;

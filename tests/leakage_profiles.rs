@@ -1,0 +1,183 @@
+//! Leakage-profile conformance: each protocol's executions must disclose
+//! exactly the event classes its theorem permits — nothing more.
+//!
+//! * Theorem 9 (basic horizontal): querier learns one neighbor **count**
+//!   per query; responder learns unlinkable own-point match flags.
+//! * Theorem 10 (vertical): both parties learn each queried record's
+//!   neighborhood (the protocol output itself).
+//! * Theorem 11 (enhanced): querier learns one core-point **bit** per
+//!   query; counts never appear anywhere.
+
+use ppdbscan::config::ProtocolConfig;
+use ppdbscan::driver::{run_enhanced_pair, run_horizontal_pair, run_vertical_pair};
+use ppdbscan::VerticalPartition;
+use ppds_dbscan::datagen::{split_alternating, standard_blobs};
+use ppds_dbscan::{DbscanParams, Point, Quantizer};
+use ppds_smc::LeakageEvent;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+fn cfg(eps_sq: u64, min_pts: usize, bound: i64) -> ProtocolConfig {
+    ProtocolConfig::new(DbscanParams { eps_sq, min_pts }, bound)
+}
+
+fn test_points() -> (Vec<Point>, Vec<Point>) {
+    let quantizer = Quantizer::new(1.0, 40);
+    let (points, _) = standard_blobs(&mut rng(1), 8, 2, 2, quantizer);
+    split_alternating(&points)
+}
+
+#[test]
+fn theorem9_basic_horizontal_discloses_counts_only() {
+    let (alice, bob) = test_points();
+    let c = cfg(49, 3, 40);
+    let (a, b) = run_horizontal_pair(&c, &alice, &bob, rng(2), rng(3)).unwrap();
+
+    for out in [&a, &b] {
+        for event in out.leakage.events() {
+            match event {
+                LeakageEvent::NeighborCount { .. } | LeakageEvent::OwnPointMatched { .. } => {}
+                other => panic!("Theorem 9 forbids event {other:?}"),
+            }
+        }
+        // Counts are per issued query; every processed own point issues at
+        // most one query, and each query logs exactly one count.
+        assert!(out.leakage.count_kind("neighbor_count") <= out.clustering.labels.len());
+        assert!(out.leakage.count_kind("neighbor_count") > 0);
+    }
+}
+
+#[test]
+fn theorem9_counts_are_bounded_by_peer_set_size() {
+    let (alice, bob) = test_points();
+    let c = cfg(49, 3, 40);
+    let (a, _) = run_horizontal_pair(&c, &alice, &bob, rng(4), rng(5)).unwrap();
+    for event in a.leakage.events() {
+        if let LeakageEvent::NeighborCount { count, .. } = event {
+            assert!(*count as usize <= bob.len());
+        }
+    }
+}
+
+#[test]
+fn theorem10_vertical_discloses_neighborhoods_only() {
+    let quantizer = Quantizer::new(1.0, 40);
+    let (records, _) = standard_blobs(&mut rng(6), 8, 2, 3, quantizer);
+    let partition = VerticalPartition::split(&records, 1);
+    let c = cfg(49, 3, 40);
+    let (a, b) = run_vertical_pair(&c, &partition, rng(7), rng(8)).unwrap();
+
+    for out in [&a, &b] {
+        for event in out.leakage.events() {
+            match event {
+                LeakageEvent::NeighborCount { .. } => {}
+                other => panic!("Theorem 10 forbids event {other:?}"),
+            }
+        }
+    }
+    // Lockstep: both parties observe the identical query sequence.
+    assert_eq!(a.leakage.len(), b.leakage.len());
+}
+
+#[test]
+fn theorem11_enhanced_discloses_core_bits_never_counts() {
+    let (alice, bob) = test_points();
+    let c = cfg(49, 3, 40);
+    let (a, b) = run_enhanced_pair(&c, &alice, &bob, rng(9), rng(10)).unwrap();
+
+    for out in [&a, &b] {
+        assert_eq!(
+            out.leakage.count_kind("neighbor_count"),
+            0,
+            "the enhanced protocol must never reveal a count"
+        );
+        for event in out.leakage.events() {
+            match event {
+                LeakageEvent::CorePointBit { .. }
+                | LeakageEvent::ThresholdRank { .. }
+                | LeakageEvent::OwnPointMatched { .. } => {}
+                other => panic!("Theorem 11 forbids event {other:?}"),
+            }
+        }
+    }
+    // Every interactive query produced exactly one core bit for the querier.
+    assert!(a.leakage.count_kind("core_point_bit") > 0);
+    assert!(b.leakage.count_kind("core_point_bit") > 0);
+}
+
+#[test]
+fn enhanced_threshold_ranks_match_engaged_queries() {
+    // Bob's ThresholdRank events correspond 1:1 to Alice's engaged queries
+    // (those not decided locally), and each rank is in [1, |bob points|].
+    let (alice, bob) = test_points();
+    let c = cfg(49, 3, 40);
+    let (_, b) = run_enhanced_pair(&c, &alice, &bob, rng(11), rng(12)).unwrap();
+    for event in b.leakage.events() {
+        if let LeakageEvent::ThresholdRank { k, .. } = event {
+            assert!(*k >= 1 && *k as usize <= alice.len().max(bob.len()));
+        }
+    }
+}
+
+#[test]
+fn responder_match_flags_are_unlinkable_count_statistics() {
+    // Figure 1's defense, stated as a transcript property: the responder's
+    // log records only *which of its own* points matched, never an
+    // identifier of the querier's record. All context strings must refer to
+    // the responder's own indices.
+    let (alice, bob) = test_points();
+    let c = cfg(49, 3, 40);
+    let (_, b) = run_horizontal_pair(&c, &alice, &bob, rng(13), rng(14)).unwrap();
+    for event in b.leakage.events() {
+        if let LeakageEvent::OwnPointMatched { point } = event {
+            assert!(
+                point.starts_with("own#"),
+                "match flags must reference the responder's own points, got {point}"
+            );
+        }
+    }
+}
+
+#[test]
+fn honest_protocols_never_emit_linkable_bits() {
+    // The LinkedNeighborBit event class exists only for the Kumar [14]
+    // baseline; if any honest protocol ever produced one, the Figure 1
+    // defense would be void. Sweep all four honest protocol families.
+    let (alice, bob) = test_points();
+    let c = cfg(49, 3, 40);
+    let (ha, hb) = run_horizontal_pair(&c, &alice, &bob, rng(30), rng(31)).unwrap();
+    let (ea, eb) = run_enhanced_pair(&c, &alice, &bob, rng(32), rng(33)).unwrap();
+    let quantizer = Quantizer::new(1.0, 40);
+    let (records, _) = standard_blobs(&mut rng(34), 6, 2, 2, quantizer);
+    let vp = VerticalPartition::split(&records, 1);
+    let (va, vb) = run_vertical_pair(&c, &vp, rng(35), rng(36)).unwrap();
+    for out in [&ha, &hb, &ea, &eb, &va, &vb] {
+        assert_eq!(out.leakage.count_kind("linked_neighbor_bit"), 0);
+    }
+    // The baseline, by contrast, emits one per (query, responder point).
+    let (_, kumar_bob) =
+        ppdbscan::kumar::run_kumar_pair(&c, &alice, &bob, rng(37), rng(38)).unwrap();
+    assert!(kumar_bob.leakage.count_kind("linked_neighbor_bit") > 0);
+}
+
+#[test]
+fn noise_only_run_still_leaks_only_permitted_events() {
+    // All points isolated: every query returns count 0 / not-core.
+    let alice = vec![Point::new(vec![-30, -30]), Point::new(vec![30, 30])];
+    let bob = vec![Point::new(vec![-30, 30]), Point::new(vec![30, -30])];
+    let c = cfg(4, 3, 40);
+
+    let (a_basic, _) = run_horizontal_pair(&c, &alice, &bob, rng(15), rng(16)).unwrap();
+    assert_eq!(a_basic.clustering.noise_count(), 2);
+    assert_eq!(a_basic.leakage.count_kind("neighbor_count"), 2);
+    assert_eq!(a_basic.leakage.count_kind("own_point_matched"), 0);
+
+    let (a_enh, b_enh) = run_enhanced_pair(&c, &alice, &bob, rng(17), rng(18)).unwrap();
+    assert_eq!(a_enh.clustering.noise_count(), 2);
+    assert_eq!(a_enh.leakage.count_kind("core_point_bit"), 2);
+    assert_eq!(b_enh.leakage.count_kind("own_point_matched"), 0);
+}

@@ -1,0 +1,131 @@
+//! Property-based end-to-end tests: random small datasets through the full
+//! protocol stack must always reproduce the plaintext reference semantics.
+//!
+//! Key sizes are tiny (protocol correctness is key-size independent) and
+//! instance sizes small — each case still runs the complete Paillier +
+//! comparison pipeline on two threads.
+
+use ppdbscan::config::ProtocolConfig;
+use ppdbscan::driver::{
+    run_arbitrary_pair, run_enhanced_pair, run_horizontal_pair, run_vertical_pair,
+};
+use ppdbscan::{ArbitraryPartition, VerticalPartition};
+use ppds_dbscan::{dbscan, dbscan_with_external_density, DbscanParams, Point};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BOUND: i64 = 6;
+
+fn small_cfg(eps_sq: u64, min_pts: usize) -> ProtocolConfig {
+    let mut cfg = ProtocolConfig::new(DbscanParams { eps_sq, min_pts }, BOUND);
+    cfg.key_bits = 64; // fast keygen; correctness is size-independent
+    cfg.mask_bits = 6;
+    cfg
+}
+
+fn points_strategy(min: usize, max: usize) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec((-BOUND..=BOUND, -BOUND..=BOUND), min..=max)
+        .prop_map(|coords| coords.into_iter().map(|(x, y)| Point::new(vec![x, y])).collect())
+}
+
+proptest! {
+    // Each case spins up threads + keygen, so keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn horizontal_always_matches_reference(
+        alice in points_strategy(1, 6),
+        bob in points_strategy(1, 6),
+        eps_sq in 1u64..30,
+        min_pts in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let cfg = small_cfg(eps_sq, min_pts);
+        let (a, b) = run_horizontal_pair(
+            &cfg,
+            &alice,
+            &bob,
+            StdRng::seed_from_u64(seed),
+            StdRng::seed_from_u64(seed.wrapping_add(1)),
+        )
+        .unwrap();
+        prop_assert_eq!(
+            a.clustering,
+            dbscan_with_external_density(&alice, &bob, cfg.params)
+        );
+        prop_assert_eq!(
+            b.clustering,
+            dbscan_with_external_density(&bob, &alice, cfg.params)
+        );
+    }
+
+    #[test]
+    fn enhanced_always_equals_basic(
+        alice in points_strategy(1, 5),
+        bob in points_strategy(1, 5),
+        eps_sq in 1u64..30,
+        min_pts in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let cfg = small_cfg(eps_sq, min_pts);
+        let (enh_a, enh_b) = run_enhanced_pair(
+            &cfg,
+            &alice,
+            &bob,
+            StdRng::seed_from_u64(seed),
+            StdRng::seed_from_u64(seed.wrapping_add(1)),
+        )
+        .unwrap();
+        prop_assert_eq!(
+            enh_a.clustering,
+            dbscan_with_external_density(&alice, &bob, cfg.params)
+        );
+        prop_assert_eq!(
+            enh_b.clustering,
+            dbscan_with_external_density(&bob, &alice, cfg.params)
+        );
+    }
+
+    #[test]
+    fn vertical_always_matches_plaintext(
+        records in points_strategy(2, 7),
+        eps_sq in 1u64..30,
+        min_pts in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let cfg = small_cfg(eps_sq, min_pts);
+        let partition = VerticalPartition::split(&records, 1);
+        let (a, b) = run_vertical_pair(
+            &cfg,
+            &partition,
+            StdRng::seed_from_u64(seed),
+            StdRng::seed_from_u64(seed.wrapping_add(1)),
+        )
+        .unwrap();
+        let reference = dbscan(&records, cfg.params);
+        prop_assert_eq!(a.clustering, reference.clone());
+        prop_assert_eq!(b.clustering, reference);
+    }
+
+    #[test]
+    fn arbitrary_always_matches_plaintext(
+        records in points_strategy(2, 6),
+        eps_sq in 1u64..30,
+        min_pts in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let cfg = small_cfg(eps_sq, min_pts);
+        let partition = ArbitraryPartition::random(&mut StdRng::seed_from_u64(seed), &records);
+        let (a, b) = run_arbitrary_pair(
+            &cfg,
+            &partition,
+            StdRng::seed_from_u64(seed.wrapping_add(2)),
+            StdRng::seed_from_u64(seed.wrapping_add(3)),
+        )
+        .unwrap();
+        let reference = dbscan(&records, cfg.params);
+        prop_assert_eq!(a.clustering, reference.clone());
+        prop_assert_eq!(b.clustering, reference);
+    }
+}
