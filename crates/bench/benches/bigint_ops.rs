@@ -90,7 +90,9 @@ fn bench_decimal_io(c: &mut Criterion) {
     let mut r = rng(7);
     let x = random::gen_biguint_exact_bits(&mut r, 2048);
     let s = x.to_string();
-    c.bench_function("decimal_format_2048", |b| b.iter(|| black_box(&x).to_string()));
+    c.bench_function("decimal_format_2048", |b| {
+        b.iter(|| black_box(&x).to_string())
+    });
     c.bench_function("decimal_parse_2048", |b| {
         b.iter(|| s.parse::<BigUint>().unwrap())
     });

@@ -78,5 +78,10 @@ fn bench_homomorphic_ops(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_keygen, bench_encrypt_decrypt, bench_homomorphic_ops);
+criterion_group!(
+    benches,
+    bench_keygen,
+    bench_encrypt_decrypt,
+    bench_homomorphic_ops
+);
 criterion_main!(benches);

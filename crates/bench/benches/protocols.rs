@@ -77,15 +77,9 @@ fn bench_key_size_ablation(c: &mut Criterion) {
     for key_bits in [128usize, 256, 512] {
         let mut w = blob_workload(12, 2, 300);
         w.cfg.key_bits = key_bits;
-        group.bench_with_input(
-            BenchmarkId::from_parameter(key_bits),
-            &key_bits,
-            |b, _| {
-                b.iter(|| {
-                    run_horizontal_pair(&w.cfg, &w.alice, &w.bob, rng(12), rng(13)).unwrap()
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(key_bits), &key_bits, |b, _| {
+            b.iter(|| run_horizontal_pair(&w.cfg, &w.alice, &w.bob, rng(12), rng(13)).unwrap());
+        });
     }
     group.finish();
 }

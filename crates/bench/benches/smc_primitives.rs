@@ -220,8 +220,14 @@ fn bench_batching_ablation(c: &mut Criterion) {
             });
             let mut r = rng(21);
             for y in &ys {
-                mul_peer(&mut pchan, &keypair().public, y, &BigUint::from_u64(1 << 20), &mut r)
-                    .unwrap();
+                mul_peer(
+                    &mut pchan,
+                    &keypair().public,
+                    y,
+                    &BigUint::from_u64(1 << 20),
+                    &mut r,
+                )
+                .unwrap();
             }
             handle.join().unwrap()
         });

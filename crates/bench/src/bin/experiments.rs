@@ -14,9 +14,7 @@ use ppdbscan::{ArbitraryPartition, VerticalPartition};
 use ppds_bench::{blob_workload, fmt_bytes, print_header, print_row, rng};
 use ppds_bigint::{BigInt, BigUint};
 use ppds_dbscan::datagen::{cluster_in_ring, split_alternating, two_moons};
-use ppds_dbscan::{
-    dbscan, dbscan_with_external_density, eval, DbscanParams, Point, Quantizer,
-};
+use ppds_dbscan::{dbscan, dbscan_with_external_density, eval, DbscanParams, Point, Quantizer};
 use ppds_paillier::Keypair;
 use ppds_smc::compare::{compare_alice, compare_bob, CmpOp, Comparator, ComparisonDomain};
 use ppds_smc::kth::{kth_smallest_alice, kth_smallest_bob, SelectionMethod};
@@ -51,8 +49,8 @@ fn e1() {
     for n in [12usize, 24, 36, 48] {
         let w = blob_workload(n, 2, 1000 + n as u64);
         let (a, b) = run_horizontal_pair(&w.cfg, &w.alice, &w.bob, rng(1), rng(2)).unwrap();
-        let queries = a.leakage.count_kind("neighbor_count")
-            + b.leakage.count_kind("neighbor_count");
+        let queries =
+            a.leakage.count_kind("neighbor_count") + b.leakage.count_kind("neighbor_count");
         let pairs = a.yao.comparisons; // = Σ queries × peer-size
         print_row(
             &widths,
@@ -70,7 +68,10 @@ fn e1() {
     }
     println!("\nSweep m at n = 24 (ciphertext term `c1·m` isolated as wire-byte delta):\n");
     let widths = [4, 12, 13, 18];
-    print_header(&widths, &["m", "comparisons", "wire bytes", "bytes/(pair*m)"]);
+    print_header(
+        &widths,
+        &["m", "comparisons", "wire bytes", "bytes/(pair*m)"],
+    );
     for m in [2usize, 4, 8] {
         let w = blob_workload(24, m, 2000 + m as u64);
         let (a, _) = run_horizontal_pair(&w.cfg, &w.alice, &w.bob, rng(3), rng(4)).unwrap();
@@ -123,7 +124,14 @@ fn e2() {
     let widths = [4, 9, 12, 14, 13, 14];
     print_header(
         &widths,
-        &["n", "queries", "comparisons", "cmp/n²", "wire bytes", "modeled Yao"],
+        &[
+            "n",
+            "queries",
+            "comparisons",
+            "cmp/n²",
+            "wire bytes",
+            "modeled Yao",
+        ],
     );
     for n in [9usize, 18, 27, 36] {
         let w = blob_workload(n, 2, 4000 + n as u64);
@@ -341,8 +349,7 @@ fn e6() {
         let handle = std::thread::spawn(move || {
             let mut r = rng(41);
             for i in 0..reps {
-                let _ =
-                    mul_keyholder(&mut kchan, &kp, &BigInt::from_i64(37 + i), &mut r).unwrap();
+                let _ = mul_keyholder(&mut kchan, &kp, &BigInt::from_i64(37 + i), &mut r).unwrap();
             }
             kchan.metrics()
         });
@@ -558,13 +565,7 @@ fn f1() {
     );
     for eps in [10i64, 12, 14, 18] {
         let eps_sq = (eps * eps) as u64;
-        let cfg = ProtocolConfig::new(
-            DbscanParams {
-                eps_sq,
-                min_pts: 5,
-            },
-            64,
-        );
+        let cfg = ProtocolConfig::new(DbscanParams { eps_sq, min_pts: 5 }, 64);
         let (_, kumar_bob) =
             run_kumar_pair(&cfg, &alice_points, &bob_points, rng(70), rng(71)).unwrap();
         let localized = intersection_attack(&bob_points, &kumar_bob.leakage, eps_sq, bound)[&0];

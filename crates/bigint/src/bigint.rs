@@ -71,8 +71,12 @@ impl BigInt {
     pub fn from_i64(value: i64) -> Self {
         match value.cmp(&0) {
             Ordering::Equal => BigInt::zero(),
-            Ordering::Greater => BigInt::from_biguint(Sign::Positive, BigUint::from_u64(value as u64)),
-            Ordering::Less => BigInt::from_biguint(Sign::Negative, BigUint::from_u64(value.unsigned_abs())),
+            Ordering::Greater => {
+                BigInt::from_biguint(Sign::Positive, BigUint::from_u64(value as u64))
+            }
+            Ordering::Less => {
+                BigInt::from_biguint(Sign::Negative, BigUint::from_u64(value.unsigned_abs()))
+            }
         }
     }
 
@@ -232,9 +236,7 @@ impl Add<&BigInt> for &BigInt {
                 Ordering::Greater => {
                     BigInt::from_biguint(self.sign, &self.magnitude - &rhs.magnitude)
                 }
-                Ordering::Less => {
-                    BigInt::from_biguint(rhs.sign, &rhs.magnitude - &self.magnitude)
-                }
+                Ordering::Less => BigInt::from_biguint(rhs.sign, &rhs.magnitude - &self.magnitude),
             },
         }
     }
@@ -284,7 +286,10 @@ mod tests {
 
     #[test]
     fn zero_normalization() {
-        assert_eq!(BigInt::from_biguint(Sign::Negative, BigUint::zero()), BigInt::zero());
+        assert_eq!(
+            BigInt::from_biguint(Sign::Negative, BigUint::zero()),
+            BigInt::zero()
+        );
         assert_eq!(i(0).sign(), Sign::Zero);
         assert!(i(0).is_zero());
         assert!(!i(0).is_negative());

@@ -40,7 +40,9 @@ impl BigUint {
         let lo = value as u64;
         let hi = (value >> 64) as u64;
         if hi != 0 {
-            BigUint { limbs: vec![lo, hi] }
+            BigUint {
+                limbs: vec![lo, hi],
+            }
         } else {
             Self::from_u64(lo)
         }

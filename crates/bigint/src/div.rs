@@ -71,9 +71,7 @@ fn div_rem_knuth(u: &BigUint, v: &BigUint) -> (BigUint, BigUint) {
         let numerator = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
         let mut qhat = numerator / v_top;
         let mut rhat = numerator % v_top;
-        while qhat >= 1u128 << 64
-            || qhat * v_next > ((rhat << 64) | un[j + n - 2] as u128)
-        {
+        while qhat >= 1u128 << 64 || qhat * v_next > ((rhat << 64) | un[j + n - 2] as u128) {
             qhat -= 1;
             rhat += v_top;
             if rhat >= 1u128 << 64 {
@@ -184,10 +182,7 @@ mod tests {
         for bits in [1usize, 64, 190, 1024] {
             let x = gen_biguint_bits(&mut r, bits);
             for d in [1u64, 2, 3, 10, 97, u64::MAX] {
-                assert_eq!(
-                    x.rem_u64(d),
-                    (&x % &BigUint::from_u64(d)).to_u64().unwrap()
-                );
+                assert_eq!(x.rem_u64(d), (&x % &BigUint::from_u64(d)).to_u64().unwrap());
             }
         }
     }

@@ -135,7 +135,10 @@ mod tests {
     #[test]
     fn mod_pow_even_modulus_fallback() {
         assert_eq!(mod_pow(&b(3), &b(4), &b(100)), b(81));
-        assert_eq!(mod_pow(&b(7), &b(13), &b(1 << 40)), b(7u128.pow(13) % (1 << 40)));
+        assert_eq!(
+            mod_pow(&b(7), &b(13), &b(1 << 40)),
+            b(7u128.pow(13) % (1 << 40))
+        );
     }
 
     #[test]

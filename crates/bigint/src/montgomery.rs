@@ -104,9 +104,7 @@ impl MontgomeryCtx {
 
         let mut result = BigUint::from_limbs(t[..=k].to_vec());
         if result >= self.modulus {
-            result = result
-                .checked_sub(&self.modulus)
-                .expect("CIOS result < 2m");
+            result = result.checked_sub(&self.modulus).expect("CIOS result < 2m");
         }
         debug_assert!(result < self.modulus);
         result

@@ -29,7 +29,10 @@ pub fn gen_biguint_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
 /// # Panics
 /// Panics if `bits == 0`.
 pub fn gen_biguint_exact_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
-    assert!(bits > 0, "cannot sample a 0-bit integer with its top bit set");
+    assert!(
+        bits > 0,
+        "cannot sample a 0-bit integer with its top bit set"
+    );
     let mut value = gen_biguint_bits(rng, bits);
     value.set_bit(bits - 1, true);
     value
@@ -55,11 +58,7 @@ pub fn gen_biguint_below<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUi
 ///
 /// # Panics
 /// Panics if `low >= high`.
-pub fn gen_biguint_range<R: Rng + ?Sized>(
-    rng: &mut R,
-    low: &BigUint,
-    high: &BigUint,
-) -> BigUint {
+pub fn gen_biguint_range<R: Rng + ?Sized>(rng: &mut R, low: &BigUint, high: &BigUint) -> BigUint {
     assert!(low < high, "empty sampling range");
     let width = high - low;
     &gen_biguint_below(rng, &width) + low

@@ -91,12 +91,7 @@ pub fn adp_compare_alice<C: Channel, R: Rng + ?Sized>(
         let masks = zero_sum_masks(rng, ys.len(), &cfg.mul_mask_bound());
         mul_batch_peer(chan, bob_pk, &ys, &masks, rng)?;
     }
-    let i_val = parts.both_owned
-        + parts
-            .split_endpoints
-            .iter()
-            .map(|&v| v * v)
-            .sum::<i64>();
+    let i_val = parts.both_owned + parts.split_endpoints.iter().map(|&v| v * v).sum::<i64>();
     let domain = adp_domain(cfg, total_dim);
     ledger.record(cfg.key_bits, domain.n0());
     compare_alice(

@@ -148,8 +148,7 @@ mod tests {
     #[test]
     fn vertical_ownership_pattern_reduces_to_vertical_protocol_result() {
         let recs = records();
-        let ownership =
-            vec![vec![Owner::Alice, Owner::Bob, Owner::Bob]; recs.len()];
+        let ownership = vec![vec![Owner::Alice, Owner::Bob, Owner::Bob]; recs.len()];
         let part = ArbitraryPartition::from_records(&recs, ownership);
         let c = cfg(4, 3, 12);
         let (a_out, _) = run_arbitrary_pair(&c, &part, rng(1), rng(2)).unwrap();
@@ -162,12 +161,7 @@ mod tests {
         // inside the arbitrary model" case from Figure 4.
         let recs = records();
         let ownership: Vec<Vec<Owner>> = (0..recs.len())
-            .map(|i| {
-                vec![
-                    if i % 2 == 0 { Owner::Alice } else { Owner::Bob };
-                    3
-                ]
-            })
+            .map(|i| vec![if i % 2 == 0 { Owner::Alice } else { Owner::Bob }; 3])
             .collect();
         let part = ArbitraryPartition::from_records(&recs, ownership);
         let c = cfg(4, 3, 12);

@@ -115,7 +115,8 @@ impl ProtocolConfig {
     /// Mask bound `V = Dmax · 2^σ` for the enhanced protocol's distance
     /// shares.
     pub fn enhanced_mask_bound(&self, dim: usize) -> u64 {
-        self.max_dist_sq(dim).saturating_mul(1u64 << self.mask_bits.min(40))
+        self.max_dist_sq(dim)
+            .saturating_mul(1u64 << self.mask_bits.min(40))
     }
 }
 

@@ -64,13 +64,7 @@ mod tests {
     use ppds_dbscan::{dist_sq, DbscanParams, Point};
 
     fn cfg(eps_sq: u64, coord_bound: i64) -> ProtocolConfig {
-        ProtocolConfig::new(
-            DbscanParams {
-                eps_sq,
-                min_pts: 3,
-            },
-            coord_bound,
-        )
+        ProtocolConfig::new(DbscanParams { eps_sq, min_pts: 3 }, coord_bound)
     }
 
     /// Enumerates every lattice point pair in low dimension and checks the

@@ -76,7 +76,16 @@ pub(crate) fn establish<C: Channel, R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Session, CoreError> {
     let my_keypair = Keypair::generate(cfg.key_bits, rng);
-    establish_with_keypair(chan, cfg, my_keypair, role, mode, n_mine, dim_mine, dim_must_match)
+    establish_with_keypair(
+        chan,
+        cfg,
+        my_keypair,
+        role,
+        mode,
+        n_mine,
+        dim_mine,
+        dim_must_match,
+    )
 }
 
 /// [`establish`] with a caller-provided keypair — a multi-party node reuses
@@ -145,6 +154,107 @@ pub(crate) fn establish_with_keypair<C: Channel>(
     })
 }
 
+/// A mode-tagged, self-contained description of one clustering session:
+/// everything a scheduler needs to run a complete protocol execution
+/// without knowing which protocol family it is.
+///
+/// This is the engine-callable surface of the drivers: `ppds-engine`
+/// queues `SessionRequest`s and executes them with [`run_session`], and
+/// because [`run_session`] derives its per-party RNGs from the `seed`
+/// exactly like the `run_*_pair` helpers do, an engine-run job is
+/// bit-for-bit identical to a direct driver call with the same seed.
+#[derive(Debug, Clone)]
+pub enum SessionRequest {
+    /// Basic horizontal protocol (Algorithms 3 & 4).
+    Horizontal {
+        /// Alice's complete records.
+        alice: Vec<Point>,
+        /// Bob's complete records.
+        bob: Vec<Point>,
+    },
+    /// Enhanced horizontal protocol (Algorithms 7 & 8).
+    Enhanced {
+        /// Alice's complete records.
+        alice: Vec<Point>,
+        /// Bob's complete records.
+        bob: Vec<Point>,
+    },
+    /// Vertical protocol (Algorithms 5 & 6).
+    Vertical(VerticalPartition),
+    /// Arbitrary-partition protocol (§4.4).
+    Arbitrary(ArbitraryPartition),
+    /// K-party horizontal generalization (full pairwise mesh).
+    Multiparty {
+        /// One record set per party (`≥ 2` parties).
+        parties: Vec<Vec<Point>>,
+    },
+}
+
+impl SessionRequest {
+    /// Number of parties this session runs.
+    pub fn num_parties(&self) -> usize {
+        match self {
+            SessionRequest::Multiparty { parties } => parties.len(),
+            _ => 2,
+        }
+    }
+
+    /// Short protocol-family tag for logs and reports.
+    pub fn mode_name(&self) -> &'static str {
+        match self {
+            SessionRequest::Horizontal { .. } => "horizontal",
+            SessionRequest::Enhanced { .. } => "enhanced",
+            SessionRequest::Vertical(_) => "vertical",
+            SessionRequest::Arbitrary(_) => "arbitrary",
+            SessionRequest::Multiparty { .. } => "multiparty",
+        }
+    }
+}
+
+/// Runs one [`SessionRequest`] end to end on in-memory channels, deriving
+/// the party RNGs from `seed` (Alice gets `seed`, Bob `seed + 1`;
+/// multiparty node `i` gets `seed + i`). Returns one [`PartyOutput`] per
+/// party in party order.
+///
+/// For the two-party modes this is exactly equivalent to calling the
+/// matching `run_*_pair` helper with `StdRng::seed_from_u64(seed)` /
+/// `seed_from_u64(seed + 1)`.
+pub fn run_session(
+    cfg: &ProtocolConfig,
+    request: &SessionRequest,
+    seed: u64,
+) -> Result<Vec<PartyOutput>, CoreError> {
+    use rand::SeedableRng;
+    let rng_a = StdRng::seed_from_u64(seed);
+    let rng_b = StdRng::seed_from_u64(seed.wrapping_add(1));
+    match request {
+        SessionRequest::Horizontal { alice, bob } => {
+            let (a, b) = run_horizontal_pair(cfg, alice, bob, rng_a, rng_b)?;
+            Ok(vec![a, b])
+        }
+        SessionRequest::Enhanced { alice, bob } => {
+            let (a, b) = run_enhanced_pair(cfg, alice, bob, rng_a, rng_b)?;
+            Ok(vec![a, b])
+        }
+        SessionRequest::Vertical(partition) => {
+            let (a, b) = run_vertical_pair(cfg, partition, rng_a, rng_b)?;
+            Ok(vec![a, b])
+        }
+        SessionRequest::Arbitrary(partition) => {
+            let (a, b) = run_arbitrary_pair(cfg, partition, rng_a, rng_b)?;
+            Ok(vec![a, b])
+        }
+        SessionRequest::Multiparty { parties } => {
+            if parties.len() < 2 {
+                return Err(CoreError::config(
+                    "multiparty session needs at least 2 parties",
+                ));
+            }
+            crate::multiparty::run_multiparty_horizontal(cfg, parties, seed)
+        }
+    }
+}
+
 /// Runs the two halves of a protocol on two scoped threads over an
 /// in-memory duplex pair.
 pub fn run_pair<A, B, RA, RB>(alice_half: A, bob_half: B) -> Result<(RA, RB), CoreError>
@@ -176,7 +286,13 @@ pub fn run_horizontal_pair(
 ) -> Result<(PartyOutput, PartyOutput), CoreError> {
     run_pair(
         |mut chan| {
-            crate::horizontal::horizontal_party(&mut chan, cfg, alice_points, Party::Alice, &mut rng_a)
+            crate::horizontal::horizontal_party(
+                &mut chan,
+                cfg,
+                alice_points,
+                Party::Alice,
+                &mut rng_a,
+            )
         },
         |mut chan| {
             crate::horizontal::horizontal_party(&mut chan, cfg, bob_points, Party::Bob, &mut rng_b)
@@ -194,7 +310,13 @@ pub fn run_enhanced_pair(
 ) -> Result<(PartyOutput, PartyOutput), CoreError> {
     run_pair(
         |mut chan| {
-            crate::horizontal::enhanced_party(&mut chan, cfg, alice_points, Party::Alice, &mut rng_a)
+            crate::horizontal::enhanced_party(
+                &mut chan,
+                cfg,
+                alice_points,
+                Party::Alice,
+                &mut rng_a,
+            )
         },
         |mut chan| {
             crate::horizontal::enhanced_party(&mut chan, cfg, bob_points, Party::Bob, &mut rng_b)
@@ -211,7 +333,13 @@ pub fn run_vertical_pair(
 ) -> Result<(PartyOutput, PartyOutput), CoreError> {
     run_pair(
         |mut chan| {
-            crate::vertical::vertical_party(&mut chan, cfg, &partition.alice, Party::Alice, &mut rng_a)
+            crate::vertical::vertical_party(
+                &mut chan,
+                cfg,
+                &partition.alice,
+                Party::Alice,
+                &mut rng_a,
+            )
         },
         |mut chan| {
             crate::vertical::vertical_party(&mut chan, cfg, &partition.bob, Party::Bob, &mut rng_b)

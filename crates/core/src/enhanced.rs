@@ -348,8 +348,7 @@ mod tests {
             Point::new(vec![0, 10]),
         ];
         // own_count 1 → k = 3; 3rd nearest responder distance: 9 ≤ 9 ✓.
-        let (is_core, _, _) =
-            run_test(c, Point::new(vec![0, 0]), 1, responder_points.clone(), 80);
+        let (is_core, _, _) = run_test(c, Point::new(vec![0, 0]), 1, responder_points.clone(), 80);
         assert!(is_core);
         // min_pts 5 → k = 4; 4th nearest is dist² 100 > 9.
         let mut c5 = cfg(9, 5);

@@ -338,8 +338,7 @@ mod tests {
         let alice = pts(&[&[0, 0], &[1, 0], &[10, 10], &[11, 10], &[30, -30]]);
         let bob = pts(&[&[0, 1], &[1, 1], &[10, 11], &[-30, 30]]);
         let c = cfg(4, 3, 40);
-        let (a_out, b_out) =
-            run_horizontal_pair(&c, &alice, &bob, rng(1), rng(2)).unwrap();
+        let (a_out, b_out) = run_horizontal_pair(&c, &alice, &bob, rng(1), rng(2)).unwrap();
         let a_ref = dbscan_with_external_density(&alice, &bob, c.params);
         let b_ref = dbscan_with_external_density(&bob, &alice, c.params);
         assert_eq!(a_out.clustering, a_ref, "alice labels");
@@ -353,8 +352,7 @@ mod tests {
         let alice = pts(&[&[0, 0], &[1, 0], &[10, 10], &[11, 10], &[30, -30]]);
         let bob = pts(&[&[0, 1], &[1, 1], &[10, 11], &[-30, 30]]);
         let c = cfg(4, 3, 40);
-        let (basic_a, basic_b) =
-            run_horizontal_pair(&c, &alice, &bob, rng(3), rng(4)).unwrap();
+        let (basic_a, basic_b) = run_horizontal_pair(&c, &alice, &bob, rng(3), rng(4)).unwrap();
         let (enh_a, enh_b) = run_enhanced_pair(&c, &alice, &bob, rng(5), rng(6)).unwrap();
         assert_eq!(basic_a.clustering, enh_a.clustering);
         assert_eq!(basic_b.clustering, enh_b.clustering);

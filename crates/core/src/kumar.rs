@@ -68,7 +68,11 @@ fn kumar_query<C: Channel, R: Rng + ?Sized>(
     let dim = query.dim();
     let domain = crate::domain::hdp_domain(cfg, dim);
     let i_val = i64::try_from(query.norm_sq()).expect("ΣA² fits i64");
-    let ys: Vec<BigInt> = query.coords().iter().map(|&c| BigInt::from_i64(c)).collect();
+    let ys: Vec<BigInt> = query
+        .coords()
+        .iter()
+        .map(|&c| BigInt::from_i64(c))
+        .collect();
     let mut count = 0usize;
     for _ in 0..responder_count {
         let masks = zero_sum_masks(rng, dim, &cfg.mul_mask_bound());
@@ -104,7 +108,11 @@ fn kumar_respond<C: Channel, R: Rng + ?Sized>(
     let domain = crate::domain::hdp_domain(cfg, dim);
     let eps = cfg.params.eps_sq as i64;
     for (idx, point) in my_points.iter().enumerate() {
-        let xs: Vec<BigInt> = point.coords().iter().map(|&c| BigInt::from_i64(c)).collect();
+        let xs: Vec<BigInt> = point
+            .coords()
+            .iter()
+            .map(|&c| BigInt::from_i64(c))
+            .collect();
         let ws = mul_batch_keyholder(chan, my_keypair, &xs, rng)?;
         let inner: i64 = ws
             .iter()
@@ -143,16 +151,7 @@ pub fn kumar_party<C: Channel, R: Rng + ?Sized>(
     let dim = my_points.first().map_or(0, Point::dim);
     cfg.validate(dim.max(1))?;
     crate::horizontal::check_points(cfg, my_points)?;
-    let session = establish(
-        chan,
-        cfg,
-        role,
-        MODE_KUMAR,
-        my_points.len(),
-        dim,
-        true,
-        rng,
-    )?;
+    let session = establish(chan, cfg, role, MODE_KUMAR, my_points.len(), dim, true, rng)?;
 
     let mut leakage = LeakageLog::new();
     let mut ledger = YaoLedger::default();
@@ -164,11 +163,11 @@ pub fn kumar_party<C: Channel, R: Rng + ?Sized>(
             let mut states = vec![State::Unclassified; my_points.len()];
             let mut next_cluster = 0usize;
             let core_test = |chan: &mut C,
-                                 rng: &mut R,
-                                 leakage: &mut LeakageLog,
-                                 ledger: &mut YaoLedger,
-                                 idx: usize,
-                                 own: usize|
+                             rng: &mut R,
+                             leakage: &mut LeakageLog,
+                             ledger: &mut YaoLedger,
+                             idx: usize,
+                             own: usize|
              -> Result<bool, CoreError> {
                 chan.send(&TAG_QUERY)?;
                 let count = kumar_query(
@@ -237,26 +236,24 @@ pub fn kumar_party<C: Channel, R: Rng + ?Sized>(
             })
         };
     let run_respond_phase =
-        |chan: &mut C, rng: &mut R, leakage: &mut LeakageLog, ledger: &mut YaoLedger| {
-            loop {
-                let tag: u8 = chan.recv()?;
-                match tag {
-                    TAG_DONE => return Ok::<_, CoreError>(()),
-                    TAG_QUERY => kumar_respond(
-                        chan,
-                        cfg,
-                        &session.my_keypair,
-                        &session.peer_pk,
-                        my_points,
-                        rng,
-                        ledger,
-                        leakage,
-                    )?,
-                    other => {
-                        return Err(CoreError::Smc(SmcError::protocol(format!(
-                            "unexpected control tag {other}"
-                        ))))
-                    }
+        |chan: &mut C, rng: &mut R, leakage: &mut LeakageLog, ledger: &mut YaoLedger| loop {
+            let tag: u8 = chan.recv()?;
+            match tag {
+                TAG_DONE => return Ok::<_, CoreError>(()),
+                TAG_QUERY => kumar_respond(
+                    chan,
+                    cfg,
+                    &session.my_keypair,
+                    &session.peer_pk,
+                    my_points,
+                    rng,
+                    ledger,
+                    leakage,
+                )?,
+                other => {
+                    return Err(CoreError::Smc(SmcError::protocol(format!(
+                        "unexpected control tag {other}"
+                    ))))
                 }
             }
         };
@@ -346,9 +343,7 @@ pub fn unlinkable_feasible_region(my_points: &[Point], eps_sq: u64, bound: i64) 
     for x in -bound..=bound {
         for y in -bound..=bound {
             let candidate = Point::new(vec![x, y]);
-            let hit = my_points
-                .iter()
-                .any(|p| dist_sq(p, &candidate) <= eps_sq);
+            let hit = my_points.iter().any(|p| dist_sq(p, &candidate) <= eps_sq);
             feasible += hit as u64;
         }
     }

@@ -79,10 +79,11 @@ pub mod vertical;
 
 pub use config::ProtocolConfig;
 pub use driver::{
-    run_arbitrary_pair, run_enhanced_pair, run_horizontal_pair, run_vertical_pair, PartyOutput,
+    run_arbitrary_pair, run_enhanced_pair, run_horizontal_pair, run_session, run_vertical_pair,
+    PartyOutput, SessionRequest,
 };
-pub use multiparty::run_multiparty_horizontal;
 pub use error::CoreError;
+pub use multiparty::run_multiparty_horizontal;
 pub use partition::{ArbitraryPartition, VerticalPartition};
 
 #[cfg(test)]

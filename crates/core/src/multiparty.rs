@@ -130,17 +130,7 @@ pub fn multiparty_horizontal_party<C: Channel, R: Rng + ?Sized>(
         }
     }
 
-    let traffic = peers
-        .iter()
-        .map(|(_, chan)| chan.metrics())
-        .fold(ppds_transport::MetricsSnapshot::default(), |acc, m| {
-            ppds_transport::MetricsSnapshot {
-                bytes_sent: acc.bytes_sent + m.bytes_sent,
-                bytes_received: acc.bytes_received + m.bytes_received,
-                messages_sent: acc.messages_sent + m.messages_sent,
-                messages_received: acc.messages_received + m.messages_received,
-            }
-        });
+    let traffic = peers.iter().map(|(_, chan)| chan.metrics()).sum();
     Ok(PartyOutput {
         clustering: clustering.expect("own phase ran"),
         leakage,
@@ -166,11 +156,11 @@ fn query_phase<C: Channel, R: Rng + ?Sized>(
     let mut next_cluster = 0usize;
 
     let core_test = |peers: &mut [(usize, C)],
-                         rng: &mut R,
-                         leakage: &mut LeakageLog,
-                         ledger: &mut YaoLedger,
-                         idx: usize,
-                         own_count: usize|
+                     rng: &mut R,
+                     leakage: &mut LeakageLog,
+                     ledger: &mut YaoLedger,
+                     idx: usize,
+                     own_count: usize|
      -> Result<bool, CoreError> {
         let mut total = own_count;
         for (pos, (peer_id, chan)) in peers.iter_mut().enumerate() {
@@ -304,14 +294,10 @@ pub fn run_multiparty_horizontal(
         }
     }
 
-    let mut outputs: Vec<Option<Result<PartyOutput, CoreError>>> =
-        (0..k).map(|_| None).collect();
+    let mut outputs: Vec<Option<Result<PartyOutput, CoreError>>> = (0..k).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for (my_id, (mut peers, points)) in channels
-            .drain(..)
-            .zip(party_points.iter())
-            .enumerate()
+        for (my_id, (mut peers, points)) in channels.drain(..).zip(party_points.iter()).enumerate()
         {
             handles.push(scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed.wrapping_add(my_id as u64));
@@ -399,11 +385,7 @@ mod tests {
 
     #[test]
     fn leakage_is_per_peer_neighbor_counts() {
-        let parties = vec![
-            pts(&[&[0, 0], &[5, 5]]),
-            pts(&[&[1, 0]]),
-            pts(&[&[0, 1]]),
-        ];
+        let parties = vec![pts(&[&[0, 0], &[5, 5]]), pts(&[&[1, 0]]), pts(&[&[0, 1]])];
         let c = cfg(4, 2, 10);
         let outputs = run_multiparty_horizontal(&c, &parties, 11).unwrap();
         // Party 0 issued queries against 2 peers: counts come in pairs.

@@ -100,7 +100,11 @@ impl ArbitraryPartition {
     /// # Panics
     /// Panics if shapes disagree.
     pub fn from_records(records: &[Point], ownership: Vec<Vec<Owner>>) -> Self {
-        assert_eq!(records.len(), ownership.len(), "one ownership row per record");
+        assert_eq!(
+            records.len(),
+            ownership.len(),
+            "one ownership row per record"
+        );
         let mut alice_values = Vec::with_capacity(records.len());
         let mut bob_values = Vec::with_capacity(records.len());
         for (r, owners) in records.iter().zip(&ownership) {
@@ -259,10 +263,7 @@ mod tests {
         // constant per column (Figure 4's identity).
         let recs = records();
         let vertical = VerticalPartition::split(&recs, 2);
-        let ownership = vec![
-            vec![Owner::Alice, Owner::Alice, Owner::Bob, Owner::Bob];
-            recs.len()
-        ];
+        let ownership = vec![vec![Owner::Alice, Owner::Alice, Owner::Bob, Owner::Bob]; recs.len()];
         let arbitrary = ArbitraryPartition::from_records(&recs, ownership);
         for i in 0..recs.len() {
             let a_vals: Vec<i64> = arbitrary.alice_values[i]

@@ -91,14 +91,29 @@ mod tests {
         let a = std::thread::spawn(move || {
             let mut r = rng(1);
             let mut ledger = YaoLedger::default();
-            vdp_compare_alice(&mut achan, &cfg, alice_kp(), alpha, dim, &mut r, &mut ledger)
-                .unwrap()
+            vdp_compare_alice(
+                &mut achan,
+                &cfg,
+                alice_kp(),
+                alpha,
+                dim,
+                &mut r,
+                &mut ledger,
+            )
+            .unwrap()
         });
         let mut r = rng(2);
         let mut ledger = YaoLedger::default();
-        let bob =
-            vdp_compare_bob(&mut bchan, &cfg, &alice_kp().public, beta, dim, &mut r, &mut ledger)
-                .unwrap();
+        let bob = vdp_compare_bob(
+            &mut bchan,
+            &cfg,
+            &alice_kp().public,
+            beta,
+            dim,
+            &mut r,
+            &mut ledger,
+        )
+        .unwrap();
         let alice = a.join().unwrap();
         assert_eq!(alice, bob);
         alice
@@ -113,7 +128,15 @@ mod tests {
             },
             3,
         );
-        for (alpha, beta) in [(0u64, 0u64), (5, 5), (5, 6), (10, 0), (0, 10), (11, 0), (3, 4)] {
+        for (alpha, beta) in [
+            (0u64, 0u64),
+            (5, 5),
+            (5, 6),
+            (10, 0),
+            (0, 10),
+            (11, 0),
+            (3, 4),
+        ] {
             let expect = alpha + beta <= 10;
             assert_eq!(run(cfg, alpha, beta, 2), expect, "α={alpha} β={beta}");
         }

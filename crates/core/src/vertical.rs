@@ -155,15 +155,9 @@ pub fn vertical_party<C: Channel, R: Rng + ?Sized>(
                     rng,
                     ledger,
                 )?,
-                Party::Bob => vdp_compare_bob(
-                    chan,
-                    cfg,
-                    &session.peer_pk,
-                    local,
-                    total_dim,
-                    rng,
-                    ledger,
-                )?,
+                Party::Bob => {
+                    vdp_compare_bob(chan, cfg, &session.peer_pk, local, total_dim, rng, ledger)?
+                }
             };
             Ok(result)
         };

@@ -37,7 +37,10 @@ pub fn gaussian_blobs<R: Rng + ?Sized>(
     let mut truth = Vec::with_capacity(points.capacity());
     for (id, center) in centers.iter().enumerate() {
         for _ in 0..per_cluster {
-            let raw: Vec<f64> = center.iter().map(|&c| c + std_dev * gaussian(rng)).collect();
+            let raw: Vec<f64> = center
+                .iter()
+                .map(|&c| c + std_dev * gaussian(rng))
+                .collect();
             points.push(quantizer.quantize(&raw));
             truth.push(id);
         }
@@ -144,7 +147,13 @@ pub fn uniform_points<R: Rng + ?Sized>(
 ) -> Vec<Point> {
     assert!(dim >= 1 && coord_bound >= 1);
     (0..n)
-        .map(|_| Point::new((0..dim).map(|_| rng.random_range(-coord_bound..=coord_bound)).collect()))
+        .map(|_| {
+            Point::new(
+                (0..dim)
+                    .map(|_| rng.random_range(-coord_bound..=coord_bound))
+                    .collect(),
+            )
+        })
         .collect()
 }
 
@@ -202,7 +211,13 @@ mod tests {
         assert!(truth[..30].iter().all(|&t| t == 0));
         assert!(truth[30..].iter().all(|&t| t == 1));
         // Blob separation: dbscan finds exactly two clusters.
-        let c = dbscan(&points, DbscanParams { eps_sq: 100, min_pts: 4 });
+        let c = dbscan(
+            &points,
+            DbscanParams {
+                eps_sq: 100,
+                min_pts: 4,
+            },
+        );
         assert_eq!(c.num_clusters, 2);
     }
 
@@ -222,7 +237,13 @@ mod tests {
         let quant = Quantizer::new(1.0, 100);
         for k in [2usize, 3, 4] {
             let (points, _) = standard_blobs(&mut r, 40, k, 2, quant);
-            let c = dbscan(&points, DbscanParams { eps_sq: 64, min_pts: 4 });
+            let c = dbscan(
+                &points,
+                DbscanParams {
+                    eps_sq: 64,
+                    min_pts: 4,
+                },
+            );
             assert_eq!(c.num_clusters, k, "k = {k}");
         }
     }
@@ -232,7 +253,13 @@ mod tests {
         let mut r = rng(4);
         let quant = Quantizer::new(1.0, 200);
         let (points, _) = two_moons(&mut r, 80, 60.0, 1.5, quant);
-        let c = dbscan(&points, DbscanParams { eps_sq: 64, min_pts: 3 });
+        let c = dbscan(
+            &points,
+            DbscanParams {
+                eps_sq: 64,
+                min_pts: 3,
+            },
+        );
         assert_eq!(c.num_clusters, 2);
         assert_eq!(c.noise_count(), 0);
     }
@@ -245,7 +272,13 @@ mod tests {
         // Ring spacing ≈ 2π·50/60 ≈ 5.2, so eps = 12 gives each ring point
         // ≥ 4 neighbors (two per side) while staying far below the ≈ 38 gap
         // between blob fringe and ring.
-        let c = dbscan(&points, DbscanParams { eps_sq: 144, min_pts: 4 });
+        let c = dbscan(
+            &points,
+            DbscanParams {
+                eps_sq: 144,
+                min_pts: 4,
+            },
+        );
         assert_eq!(c.num_clusters, 2);
         // Verify the clusters match the generator's ground truth.
         let first_core = c.labels[0];

@@ -79,7 +79,10 @@ impl<'a> GridIndex<'a> {
         let cell_size = (root + u64::from(root * root < eps_sq)) as i64;
         let mut cells: HashMap<Vec<i64>, Vec<usize>> = HashMap::new();
         for (i, p) in points.iter().enumerate() {
-            cells.entry(Self::cell_of(p, cell_size)).or_default().push(i);
+            cells
+                .entry(Self::cell_of(p, cell_size))
+                .or_default()
+                .push(i);
         }
         GridIndex {
             points,
@@ -91,7 +94,10 @@ impl<'a> GridIndex<'a> {
     }
 
     fn cell_of(p: &Point, cell_size: i64) -> Vec<i64> {
-        p.coords().iter().map(|&c| c.div_euclid(cell_size)).collect()
+        p.coords()
+            .iter()
+            .map(|&c| c.div_euclid(cell_size))
+            .collect()
     }
 
     /// Visits every cell offset in `{-1, 0, 1}^dim` around `base`.

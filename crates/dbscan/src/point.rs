@@ -36,7 +36,11 @@ impl Point {
 
     /// Largest coordinate magnitude.
     pub fn max_abs_coord(&self) -> i64 {
-        self.coords.iter().map(|c| c.abs()).max().expect("non-empty")
+        self.coords
+            .iter()
+            .map(|c| c.abs())
+            .max()
+            .expect("non-empty")
     }
 
     /// Sum of squared coordinates (`Σ c_k²`), the `ΣA²` term of the paper's
@@ -241,7 +245,10 @@ mod tests {
         for n in 0u64..2000 {
             let r = isqrt(n);
             assert!(r * r <= n, "n = {n}");
-            assert!((r + 1).checked_mul(r + 1).is_none_or(|sq| sq > n), "n = {n}");
+            assert!(
+                (r + 1).checked_mul(r + 1).is_none_or(|sq| sq > n),
+                "n = {n}"
+            );
         }
         for n in [
             u64::MAX,
@@ -253,7 +260,10 @@ mod tests {
         ] {
             let r = isqrt(n);
             assert!(r.checked_mul(r).is_some_and(|sq| sq <= n), "n = {n}");
-            assert!((r + 1).checked_mul(r + 1).is_none_or(|sq| sq > n), "n = {n}");
+            assert!(
+                (r + 1).checked_mul(r + 1).is_none_or(|sq| sq > n),
+                "n = {n}"
+            );
         }
         assert_eq!(isqrt(0), 0);
         assert_eq!(isqrt(1), 1);

@@ -1,0 +1,313 @@
+//! Grid-sharded region queries: deterministic intra-job parallelism.
+//!
+//! [`ShardedGridIndex`] partitions the query space of a [`GridIndex`]-style
+//! uniform grid into `S` disjoint shards by a stable hash of the cell
+//! coordinate. Every shard owns the points of its cells, so a region query
+//! decomposes into `S` independent sub-queries that can run on different
+//! workers; results are merged and sorted, which makes the answer —
+//! including its order — identical to [`LinearIndex`]'s no matter how many
+//! workers ran or how they interleaved. The two-party protocols rely on
+//! deterministic neighbor order to stay in lockstep, so this determinism is
+//! load-bearing, not cosmetic.
+//!
+//! Parallelism comes in two shapes:
+//!
+//! * [`ShardedGridIndex::par_batch_region_query`] — fans a *batch* of
+//!   queries out over worker threads (each worker answers whole queries);
+//!   this is what `dbscan_parallel` and the engine's intra-job parallelism
+//!   use, since one DBSCAN run needs every point's neighborhood anyway;
+//! * [`NeighborIndex::region_query`] — the sequential per-query path, shard
+//!   by shard, for drop-in use anywhere an index is expected.
+
+use crate::algo::{dbscan_precomputed, Clustering, DbscanParams};
+use crate::index::NeighborIndex;
+use crate::point::{dist_sq, isqrt, Point};
+use std::collections::HashMap;
+
+/// A uniform grid split into disjoint cell shards for parallel querying.
+pub struct ShardedGridIndex<'a> {
+    points: &'a [Point],
+    eps_sq: u64,
+    cell_size: i64,
+    dim: usize,
+    /// `shards[s]` maps cell coordinates hashing to shard `s` onto the
+    /// (ascending) indices of the points in that cell.
+    shards: Vec<HashMap<Vec<i64>, Vec<usize>>>,
+}
+
+/// Stable FNV-1a over the cell coordinates: shard assignment must not vary
+/// across runs, platforms, or `HashMap` iteration order.
+fn shard_of(cell: &[i64], num_shards: usize) -> usize {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &c in cell {
+        for byte in c.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    (h % num_shards as u64) as usize
+}
+
+impl<'a> ShardedGridIndex<'a> {
+    /// Builds a sharded grid over `points` with threshold `eps²`.
+    ///
+    /// Construction is one O(n) pass routing each point's cell to its shard
+    /// (parallelism pays at *query* time, where the work actually is); the
+    /// resulting structure is a pure function of `(points, eps_sq,
+    /// num_shards)`.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty, `eps_sq` is zero, or `num_shards` is
+    /// zero.
+    pub fn new(points: &'a [Point], eps_sq: u64, num_shards: usize) -> Self {
+        assert!(!points.is_empty(), "cannot grid-index zero points");
+        assert!(eps_sq > 0, "ShardedGridIndex needs a positive radius");
+        assert!(num_shards > 0, "need at least one shard");
+        let dim = points[0].dim();
+        let root = isqrt(eps_sq);
+        let cell_size = (root + u64::from(root * root < eps_sq)) as i64;
+
+        let mut shards: Vec<HashMap<Vec<i64>, Vec<usize>>> =
+            (0..num_shards).map(|_| HashMap::new()).collect();
+        for (i, p) in points.iter().enumerate() {
+            let cell = Self::cell_of(p, cell_size);
+            let shard = shard_of(&cell, num_shards);
+            shards[shard].entry(cell).or_default().push(i);
+        }
+
+        ShardedGridIndex {
+            points,
+            eps_sq,
+            cell_size,
+            dim,
+            shards,
+        }
+    }
+
+    /// Number of shards the cell space is split into.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn cell_of(p: &Point, cell_size: i64) -> Vec<i64> {
+        p.coords()
+            .iter()
+            .map(|&c| c.div_euclid(cell_size))
+            .collect()
+    }
+
+    /// Scans the `{-1, 0, 1}^dim` cell neighborhood of `q` within one
+    /// shard, appending matching point indices to `hits`.
+    fn query_shard(&self, shard: &HashMap<Vec<i64>, Vec<usize>>, q: &Point, hits: &mut Vec<usize>) {
+        let base = Self::cell_of(q, self.cell_size);
+        let mut offset = vec![-1i64; self.dim];
+        loop {
+            let cell: Vec<i64> = base.iter().zip(&offset).map(|(b, o)| b + o).collect();
+            if let Some(indices) = shard.get(&cell) {
+                for &i in indices {
+                    if dist_sq(&self.points[i], q) <= self.eps_sq {
+                        hits.push(i);
+                    }
+                }
+            }
+            // Odometer increment over {-1, 0, 1}^dim.
+            let mut pos = 0;
+            loop {
+                if pos == self.dim {
+                    return;
+                }
+                offset[pos] += 1;
+                if offset[pos] <= 1 {
+                    break;
+                }
+                offset[pos] = -1;
+                pos += 1;
+            }
+        }
+    }
+
+    /// Answers every query in `queries`, fanning whole queries out across
+    /// `workers` threads. The output is index-aligned with `queries` and
+    /// identical to mapping [`NeighborIndex::region_query`] sequentially.
+    pub fn par_batch_region_query(&self, queries: &[Point], workers: usize) -> Vec<Vec<usize>> {
+        let workers = workers.max(1).min(queries.len().max(1));
+        if workers == 1 || queries.len() < 2 {
+            return queries.iter().map(|q| self.region_query(q)).collect();
+        }
+        let chunk = queries.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .chunks(chunk)
+                .map(|chunk_queries| {
+                    scope.spawn(move || {
+                        chunk_queries
+                            .iter()
+                            .map(|q| self.region_query(q))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mut out = Vec::with_capacity(queries.len());
+            for handle in handles {
+                out.extend(handle.join().expect("query worker panicked"));
+            }
+            out
+        })
+    }
+}
+
+impl NeighborIndex for ShardedGridIndex<'_> {
+    fn region_query(&self, q: &Point) -> Vec<usize> {
+        assert_eq!(q.dim(), self.dim, "query dimension mismatch");
+        let mut hits = Vec::new();
+        for shard in &self.shards {
+            self.query_shard(shard, q, &mut hits);
+        }
+        hits.sort_unstable();
+        hits
+    }
+
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+}
+
+/// DBSCAN with grid-sharded parallel neighborhood computation.
+///
+/// All `n` neighborhoods are computed up front by
+/// [`ShardedGridIndex::par_batch_region_query`] over `workers` threads,
+/// then the sequential expansion of Algorithm 6 runs on the precomputed
+/// answers. Labels are guaranteed identical to [`crate::algo::dbscan`] —
+/// the expansion consumes the same neighborhoods in the same order.
+pub fn dbscan_parallel(points: &[Point], params: DbscanParams, workers: usize) -> Clustering {
+    if points.is_empty() {
+        return Clustering {
+            labels: Vec::new(),
+            num_clusters: 0,
+        };
+    }
+    if params.eps_sq == 0 {
+        // Degenerate radius: fall back to the sequential reference.
+        return crate::algo::dbscan(points, params);
+    }
+    let shards = workers.clamp(1, 16);
+    let index = ShardedGridIndex::new(points, params.eps_sq, shards);
+    let neighborhoods = index.par_batch_region_query(points, workers.max(1));
+    dbscan_precomputed(points.len(), params, &neighborhoods)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::dbscan;
+    use crate::index::{GridIndex, LinearIndex};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new((0..dim).map(|_| rng.random_range(-60..=60)).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn sharded_matches_linear_and_grid() {
+        for dim in [1usize, 2, 3] {
+            let points = random_points(150, dim, 7 + dim as u64);
+            for eps_sq in [1u64, 16, 400] {
+                let linear = LinearIndex::new(&points, eps_sq);
+                let grid = GridIndex::new(&points, eps_sq);
+                for num_shards in [1usize, 2, 5, 8] {
+                    let sharded = ShardedGridIndex::new(&points, eps_sq, num_shards);
+                    for q in points.iter().take(25) {
+                        let expect = linear.region_query(q);
+                        assert_eq!(
+                            sharded.region_query(q),
+                            expect,
+                            "dim={dim} eps²={eps_sq} shards={num_shards}"
+                        );
+                        assert_eq!(grid.region_query(q), expect);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_query_matches_sequential_for_any_worker_count() {
+        let points = random_points(200, 2, 11);
+        let index = ShardedGridIndex::new(&points, 100, 4);
+        let sequential: Vec<Vec<usize>> = points.iter().map(|q| index.region_query(q)).collect();
+        for workers in [1usize, 2, 3, 8, 64] {
+            assert_eq!(
+                index.par_batch_region_query(&points, workers),
+                sequential,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn dbscan_parallel_matches_sequential_labels() {
+        for (n, eps_sq, min_pts) in [(40usize, 9u64, 3usize), (250, 64, 4), (400, 25, 5)] {
+            let points = random_points(n, 2, n as u64);
+            let params = DbscanParams { eps_sq, min_pts };
+            let reference = dbscan(&points, params);
+            for workers in [1usize, 2, 4, 7] {
+                assert_eq!(
+                    dbscan_parallel(&points, params, workers),
+                    reference,
+                    "n={n} workers={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_assignment_is_stable() {
+        // The same cell must land on the same shard across calls: build the
+        // index twice and compare per-shard cell keys.
+        let points = random_points(80, 2, 3);
+        let a = ShardedGridIndex::new(&points, 25, 4);
+        let b = ShardedGridIndex::new(&points, 25, 4);
+        for (sa, sb) in a.shards.iter().zip(&b.shards) {
+            let mut ka: Vec<_> = sa.keys().collect();
+            let mut kb: Vec<_> = sb.keys().collect();
+            ka.sort();
+            kb.sort();
+            assert_eq!(ka, kb);
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_points() {
+        let points = random_points(120, 3, 9);
+        let index = ShardedGridIndex::new(&points, 49, 6);
+        let mut seen: Vec<usize> = index
+            .shards
+            .iter()
+            .flat_map(|s| s.values().flatten().copied())
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..points.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let params = DbscanParams {
+            eps_sq: 4,
+            min_pts: 2,
+        };
+        assert_eq!(dbscan_parallel(&[], params, 4).labels.len(), 0);
+        let single = vec![Point::new(vec![1, 2])];
+        assert_eq!(dbscan_parallel(&single, params, 4), dbscan(&single, params));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let points = vec![Point::new(vec![0])];
+        let _ = ShardedGridIndex::new(&points, 1, 0);
+    }
+}

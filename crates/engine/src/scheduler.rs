@@ -1,0 +1,347 @@
+//! The worker-pool scheduler: submission queue, results store, rollups.
+
+use crate::job::{ClusteringJob, JobId, JobResult};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use ppdbscan::config::YaoLedger;
+use ppdbscan::run_session;
+use ppds_paillier::{FillerHandle, Keypair, PoolStats, RandomizerPool};
+use ppds_transport::MetricsSnapshot;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How many workers and whether to host a shared precomputation pool.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads pulling jobs from the queue. Each session additionally
+    /// spawns its per-party threads, so the sweet spot is roughly
+    /// `cores / 2` for two-party workloads.
+    pub workers: usize,
+    /// Optional shared Paillier randomizer pool (layer 2); `None` runs the
+    /// scheduler without a precomputation service.
+    pub precompute: Option<PrecomputeConfig>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().div_ceil(2))
+                .unwrap_or(4),
+            precompute: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A config with exactly `workers` workers and no precompute pool.
+    pub fn with_workers(workers: usize) -> Self {
+        EngineConfig {
+            workers,
+            precompute: None,
+        }
+    }
+}
+
+/// Parameters of the engine-hosted [`RandomizerPool`].
+#[derive(Debug, Clone)]
+pub struct PrecomputeConfig {
+    /// Key size for the engine's service keypair.
+    pub key_bits: usize,
+    /// Randomizers buffered at most.
+    pub capacity: usize,
+    /// Background filler threads.
+    pub fillers: usize,
+    /// Seed for keypair generation and the filler RNG streams.
+    pub seed: u64,
+}
+
+impl Default for PrecomputeConfig {
+    fn default() -> Self {
+        PrecomputeConfig {
+            key_bits: 512,
+            capacity: 1024,
+            fillers: 1,
+            seed: 0x0E46_14E0,
+        }
+    }
+}
+
+/// Aggregated view over everything the engine has executed so far.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineReport {
+    /// Jobs accepted by [`Engine::submit`].
+    pub submitted: u64,
+    /// Jobs that finished successfully.
+    pub completed: u64,
+    /// Jobs whose session returned an error.
+    pub failed: u64,
+    /// Componentwise sum of every finished job's party traffic.
+    pub traffic: MetricsSnapshot,
+    /// Absorbed Yao ledgers of every finished job.
+    pub yao: YaoLedger,
+    /// Sum of per-job wall times (exceeds real elapsed time when jobs ran
+    /// in parallel; the ratio is the scheduler's effective concurrency).
+    pub busy_time: Duration,
+    /// Stats of the shared randomizer pool, when one is hosted.
+    pub pool: Option<PoolStats>,
+}
+
+/// Shared mutable state between the engine handle and its workers.
+struct EngineShared {
+    results: Mutex<HashMap<u64, Arc<JobResult>>>,
+    /// Signaled whenever a result lands.
+    job_done: Condvar,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    rollup: Mutex<Rollup>,
+}
+
+#[derive(Default)]
+struct Rollup {
+    traffic: MetricsSnapshot,
+    yao: YaoLedger,
+    busy: Duration,
+}
+
+/// The engine: a handle to the worker pool. Dropping it (or calling
+/// [`Engine::shutdown`]) closes the queue, drains in-flight jobs, and joins
+/// the workers.
+pub struct Engine {
+    sender: Option<Sender<(JobId, ClusteringJob)>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<EngineShared>,
+    next_id: AtomicU64,
+    pool: Option<Arc<RandomizerPool>>,
+    fillers: Option<FillerHandle>,
+    service_keypair: Option<Keypair>,
+}
+
+impl Engine {
+    /// Starts the worker pool (and the precompute pool, if configured).
+    ///
+    /// # Panics
+    /// Panics if `config.workers` is zero.
+    pub fn start(config: EngineConfig) -> Engine {
+        assert!(config.workers > 0, "engine needs at least one worker");
+        let (sender, receiver): (Sender<(JobId, ClusteringJob)>, Receiver<_>) = unbounded();
+        let shared = Arc::new(EngineShared {
+            results: Mutex::new(HashMap::new()),
+            job_done: Condvar::new(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            rollup: Mutex::new(Rollup::default()),
+        });
+
+        let workers = (0..config.workers)
+            .map(|i| {
+                let rx = receiver.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ppds-engine-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &shared))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+
+        let (pool, fillers, service_keypair) = match config.precompute {
+            None => (None, None, None),
+            Some(pc) => {
+                let mut rng = StdRng::seed_from_u64(pc.seed);
+                let keypair = Keypair::generate(pc.key_bits, &mut rng);
+                let pool = RandomizerPool::new(keypair.public.clone(), pc.capacity);
+                let fillers = pool.spawn_fillers(pc.fillers.max(1), pc.seed ^ 0xF111);
+                (Some(pool), Some(fillers), Some(keypair))
+            }
+        };
+
+        Engine {
+            sender: Some(sender),
+            workers,
+            shared,
+            next_id: AtomicU64::new(0),
+            pool,
+            fillers,
+            service_keypair,
+        }
+    }
+
+    /// Queues a job and returns its handle immediately.
+    pub fn submit(&self, job: ClusteringJob) -> JobId {
+        let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        self.sender
+            .as_ref()
+            .expect("engine not shut down")
+            .send((id, job))
+            .expect("workers alive while engine handle exists");
+        id
+    }
+
+    /// Queues several jobs, returning their handles in order.
+    pub fn submit_all(&self, jobs: impl IntoIterator<Item = ClusteringJob>) -> Vec<JobId> {
+        jobs.into_iter().map(|j| self.submit(j)).collect()
+    }
+
+    /// The result for `id`, if it has finished.
+    pub fn try_result(&self, id: JobId) -> Option<Arc<JobResult>> {
+        self.shared
+            .results
+            .lock()
+            .unwrap()
+            .get(&id.0)
+            .map(Arc::clone)
+    }
+
+    /// Like [`Engine::wait`], but also *removes* the result from the store.
+    ///
+    /// The store retains every result until taken (rollup counters are
+    /// unaffected by taking), so a long-lived engine serving an open-ended
+    /// job stream should prefer this over [`Engine::wait`] to keep memory
+    /// bounded. Note that [`Engine::wait_all`] considers only results still
+    /// in the store.
+    pub fn take(&self, id: JobId) -> Arc<JobResult> {
+        let mut results = self.shared.results.lock().unwrap();
+        loop {
+            if let Some(result) = results.remove(&id.0) {
+                return result;
+            }
+            results = self.shared.job_done.wait(results).unwrap();
+        }
+    }
+
+    /// Blocks until job `id` finishes and returns its result.
+    pub fn wait(&self, id: JobId) -> Arc<JobResult> {
+        let mut results = self.shared.results.lock().unwrap();
+        loop {
+            if let Some(result) = results.get(&id.0) {
+                return Arc::clone(result);
+            }
+            results = self.shared.job_done.wait(results).unwrap();
+        }
+    }
+
+    /// Blocks until every submitted job has finished, then returns all
+    /// results still in the store (everything not already [`Engine::take`]n)
+    /// in submission (id) order.
+    pub fn wait_all(&self) -> Vec<Arc<JobResult>> {
+        let mut results = self.shared.results.lock().unwrap();
+        loop {
+            let submitted = self.shared.submitted.load(Ordering::Relaxed);
+            let finished = self.shared.completed.load(Ordering::Relaxed)
+                + self.shared.failed.load(Ordering::Relaxed);
+            if finished >= submitted {
+                let mut all: Vec<Arc<JobResult>> = results.values().map(Arc::clone).collect();
+                all.sort_by_key(|r| r.id);
+                return all;
+            }
+            results = self.shared.job_done.wait(results).unwrap();
+        }
+    }
+
+    /// The shared randomizer pool, when [`PrecomputeConfig`] enabled one.
+    pub fn randomizer_pool(&self) -> Option<&Arc<RandomizerPool>> {
+        self.pool.as_ref()
+    }
+
+    /// The engine's service keypair (the private half matching the shared
+    /// pool's public key), when precompute is enabled.
+    pub fn service_keypair(&self) -> Option<&Keypair> {
+        self.service_keypair.as_ref()
+    }
+
+    /// Point-in-time aggregated rollups.
+    pub fn report(&self) -> EngineReport {
+        let rollup = self.shared.rollup.lock().unwrap();
+        EngineReport {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            failed: self.shared.failed.load(Ordering::Relaxed),
+            traffic: rollup.traffic,
+            yao: rollup.yao,
+            busy_time: rollup.busy,
+            pool: self.pool.as_ref().map(|p| p.stats()),
+        }
+    }
+
+    /// Drains in-flight jobs, joins the workers, and returns the final
+    /// report.
+    pub fn shutdown(mut self) -> EngineReport {
+        self.close();
+        self.report()
+    }
+
+    fn close(&mut self) {
+        // Closing the queue makes worker `recv` return Err once drained.
+        self.sender.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(fillers) = self.fillers.take() {
+            fillers.stop();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+fn worker_loop(rx: &Receiver<(JobId, ClusteringJob)>, shared: &EngineShared) {
+    while let Ok((id, job)) = rx.recv() {
+        let mode = job.request.mode_name();
+        let start = Instant::now();
+        let outcome = run_session(&job.cfg, &job.request, job.seed);
+        let wall_time = start.elapsed();
+
+        let (traffic, yao) = match &outcome {
+            Ok(outputs) => {
+                let traffic = outputs.iter().map(|o| o.traffic).sum();
+                let mut yao = YaoLedger::default();
+                for output in outputs {
+                    yao.absorb(output.yao);
+                }
+                (traffic, yao)
+            }
+            Err(_) => (MetricsSnapshot::default(), YaoLedger::default()),
+        };
+
+        {
+            let mut rollup = shared.rollup.lock().unwrap();
+            rollup.traffic += traffic;
+            rollup.yao.absorb(yao);
+            rollup.busy += wall_time;
+        }
+
+        let succeeded = outcome.is_ok();
+        let result = Arc::new(JobResult {
+            id,
+            mode,
+            outcome,
+            wall_time,
+            traffic,
+            yao,
+        });
+        {
+            // Insert before bumping the finished counters, under the same
+            // lock `wait_all` holds while reading them: once a waiter sees
+            // `finished == submitted`, every result is in the store.
+            let mut results = shared.results.lock().unwrap();
+            results.insert(id.0, result);
+            if succeeded {
+                shared.completed.fetch_add(1, Ordering::Relaxed);
+            } else {
+                shared.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shared.job_done.notify_all();
+    }
+}

@@ -1,0 +1,293 @@
+//! Engine integration tests: concurrency, determinism, rollups, and
+//! per-session leakage under load.
+
+use ppdbscan::config::ProtocolConfig;
+use ppdbscan::driver::{run_enhanced_pair, run_horizontal_pair, run_vertical_pair};
+use ppdbscan::{ArbitraryPartition, SessionRequest, VerticalPartition};
+use ppds_bigint::BigUint;
+use ppds_dbscan::{DbscanParams, Point};
+use ppds_engine::{ClusteringJob, Engine, EngineConfig, PrecomputeConfig};
+use ppds_smc::LeakageEvent;
+use ppds_transport::MetricsSnapshot;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn cfg(eps_sq: u64, min_pts: usize, bound: i64) -> ProtocolConfig {
+    let mut c = ProtocolConfig::new(DbscanParams { eps_sq, min_pts }, bound);
+    c.key_bits = 64; // correctness is key-size independent; keep tests fast
+    c.mask_bits = 6;
+    c
+}
+
+fn random_points(n: usize, bound: i64, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Point::new(vec![
+                rng.random_range(-bound..=bound),
+                rng.random_range(-bound..=bound),
+            ])
+        })
+        .collect()
+}
+
+fn horizontal_job(seed: u64) -> ClusteringJob {
+    ClusteringJob::new(
+        cfg(8, 3, 10),
+        SessionRequest::Horizontal {
+            alice: random_points(7, 10, seed * 31 + 1),
+            bob: random_points(6, 10, seed * 31 + 2),
+        },
+        seed,
+    )
+}
+
+#[test]
+fn runs_eight_plus_concurrent_jobs_across_all_modes() {
+    let engine = Engine::start(EngineConfig::with_workers(8));
+    let mut jobs = Vec::new();
+    for seed in 0..4u64 {
+        jobs.push(horizontal_job(seed));
+        jobs.push(ClusteringJob::new(
+            cfg(8, 3, 10),
+            SessionRequest::Enhanced {
+                alice: random_points(5, 10, seed * 37 + 3),
+                bob: random_points(5, 10, seed * 37 + 4),
+            },
+            seed + 100,
+        ));
+        jobs.push(ClusteringJob::new(
+            cfg(8, 2, 10),
+            SessionRequest::Vertical(VerticalPartition::split(
+                &random_points(6, 10, seed * 41 + 5),
+                1,
+            )),
+            seed + 200,
+        ));
+        jobs.push(ClusteringJob::new(
+            cfg(8, 2, 10),
+            SessionRequest::Arbitrary(ArbitraryPartition::random(
+                &mut StdRng::seed_from_u64(seed),
+                &random_points(5, 10, seed * 47 + 6),
+            )),
+            seed + 300,
+        ));
+        jobs.push(ClusteringJob::new(
+            cfg(8, 2, 10),
+            SessionRequest::Multiparty {
+                parties: (0..3)
+                    .map(|p| random_points(4, 10, seed * 43 + p))
+                    .collect(),
+            },
+            seed + 400,
+        ));
+    }
+    assert!(jobs.len() >= 8, "acceptance: at least 8 concurrent jobs");
+    let expected_modes: Vec<&str> = jobs.iter().map(|j| j.request.mode_name()).collect();
+
+    let ids = engine.submit_all(jobs);
+    let results = engine.wait_all();
+    assert_eq!(results.len(), ids.len());
+    for (result, expected_mode) in results.iter().zip(&expected_modes) {
+        assert!(result.is_ok(), "{} ({}) failed", result.id, result.mode);
+        assert_eq!(&result.mode, expected_mode);
+        assert_eq!(
+            result.outputs().len(),
+            if result.mode == "multiparty" { 3 } else { 2 }
+        );
+        assert!(result.traffic.total_bytes() > 0);
+    }
+
+    let report = engine.shutdown();
+    assert_eq!(report.submitted, 20);
+    assert_eq!(report.completed, 20);
+    assert_eq!(report.failed, 0);
+}
+
+#[test]
+fn engine_matches_direct_drivers() {
+    // Acceptance: per-job clustering output is byte-identical to the
+    // single-session drivers given the same descriptor.
+    let c = cfg(8, 3, 10);
+    let alice = random_points(7, 10, 1001);
+    let bob = random_points(7, 10, 1002);
+    let records = random_points(7, 10, 1003);
+    let vertical = VerticalPartition::split(&records, 1);
+
+    let engine = Engine::start(EngineConfig::with_workers(4));
+    let h = engine.submit(ClusteringJob::new(
+        c,
+        SessionRequest::Horizontal {
+            alice: alice.clone(),
+            bob: bob.clone(),
+        },
+        7,
+    ));
+    let e = engine.submit(ClusteringJob::new(
+        c,
+        SessionRequest::Enhanced {
+            alice: alice.clone(),
+            bob: bob.clone(),
+        },
+        8,
+    ));
+    let v = engine.submit(ClusteringJob::new(
+        c,
+        SessionRequest::Vertical(vertical.clone()),
+        9,
+    ));
+
+    let seeded = |s: u64| StdRng::seed_from_u64(s);
+    let (da, db) = run_horizontal_pair(&c, &alice, &bob, seeded(7), seeded(8)).unwrap();
+    let engine_h = engine.wait(h);
+    assert_eq!(engine_h.outputs()[0].clustering, da.clustering);
+    assert_eq!(engine_h.outputs()[1].clustering, db.clustering);
+    assert_eq!(engine_h.outputs()[0].traffic, da.traffic);
+    assert_eq!(engine_h.outputs()[1].traffic, db.traffic);
+    assert_eq!(engine_h.outputs()[0].yao, da.yao);
+
+    let (ea, eb) = run_enhanced_pair(&c, &alice, &bob, seeded(8), seeded(9)).unwrap();
+    let engine_e = engine.wait(e);
+    assert_eq!(engine_e.outputs()[0].clustering, ea.clustering);
+    assert_eq!(engine_e.outputs()[1].clustering, eb.clustering);
+    assert_eq!(engine_e.outputs()[0].traffic, ea.traffic);
+
+    let (va, vb) = run_vertical_pair(&c, &vertical, seeded(9), seeded(10)).unwrap();
+    let engine_v = engine.wait(v);
+    assert_eq!(engine_v.outputs()[0].clustering, va.clustering);
+    assert_eq!(engine_v.outputs()[1].clustering, vb.clustering);
+    assert_eq!(engine_v.outputs()[1].traffic, vb.traffic);
+}
+
+#[test]
+fn resubmitted_job_reproduces_identical_results() {
+    let engine = Engine::start(EngineConfig::with_workers(4));
+    let job = horizontal_job(99);
+    let first = engine.wait(engine.submit(job.clone()));
+    let second = engine.wait(engine.submit(job));
+    assert_eq!(
+        first.outputs()[0].clustering,
+        second.outputs()[0].clustering
+    );
+    assert_eq!(
+        first.outputs()[1].clustering,
+        second.outputs()[1].clustering
+    );
+    assert_eq!(first.traffic, second.traffic);
+    assert_eq!(first.yao, second.yao);
+}
+
+#[test]
+fn report_rolls_up_exactly_the_sum_of_job_results() {
+    let engine = Engine::start(EngineConfig::with_workers(3));
+    let ids = engine.submit_all((0..6).map(horizontal_job));
+    let results = engine.wait_all();
+    assert_eq!(ids.len(), results.len());
+
+    let expected_traffic: MetricsSnapshot = results.iter().map(|r| r.traffic).sum();
+    let expected_comparisons: u64 = results.iter().map(|r| r.yao.comparisons).sum();
+    let report = engine.report();
+    assert_eq!(report.traffic, expected_traffic);
+    assert_eq!(report.yao.comparisons, expected_comparisons);
+    assert_eq!(report.completed, 6);
+    assert!(report.busy_time.as_nanos() > 0);
+    // Sanity: sessions are symmetric, so sent == received in aggregate.
+    assert_eq!(report.traffic.bytes_sent, report.traffic.bytes_received);
+}
+
+#[test]
+fn take_removes_results_but_keeps_rollups() {
+    let engine = Engine::start(EngineConfig::with_workers(2));
+    let ids = engine.submit_all((0..3).map(horizontal_job));
+    let taken = engine.take(ids[0]);
+    assert!(taken.is_ok());
+    assert!(engine.try_result(ids[0]).is_none(), "take must evict");
+    // wait_all still terminates (it counts finished jobs, not stored
+    // results) and returns only what was not taken.
+    let rest = engine.wait_all();
+    assert_eq!(rest.len(), 2);
+    let report = engine.shutdown();
+    assert_eq!(report.completed, 3, "rollups unaffected by take");
+}
+
+#[test]
+fn failed_jobs_are_reported_not_lost() {
+    let engine = Engine::start(EngineConfig::with_workers(2));
+    // Eps² beyond the lattice: config validation must fail inside the
+    // session and surface as a failed job.
+    let bad = ClusteringJob::new(
+        cfg(1_000_000, 3, 5),
+        SessionRequest::Horizontal {
+            alice: random_points(4, 5, 1),
+            bob: random_points(4, 5, 2),
+        },
+        1,
+    );
+    let good = horizontal_job(3);
+    let bad_id = engine.submit(bad);
+    let good_id = engine.submit(good);
+    assert!(engine.wait(bad_id).outcome.is_err());
+    assert!(engine.wait(good_id).is_ok());
+    let report = engine.shutdown();
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.failed, 1);
+}
+
+#[test]
+fn leakage_profile_preserved_per_concurrent_session() {
+    // Theorem 9's per-session profile must hold for every job of a fully
+    // loaded engine: concurrency adds no leakage events.
+    let engine = Engine::start(EngineConfig::with_workers(8));
+    let ids = engine.submit_all((0..8).map(horizontal_job));
+    for id in ids {
+        let result = engine.wait(id);
+        for out in result.outputs() {
+            for event in out.leakage.events() {
+                match event {
+                    LeakageEvent::NeighborCount { .. } | LeakageEvent::OwnPointMatched { .. } => {}
+                    other => panic!("Theorem 9 forbids event {other:?} (job {})", result.id),
+                }
+            }
+            assert!(out.leakage.count_kind("neighbor_count") > 0);
+        }
+    }
+}
+
+#[test]
+fn shared_randomizer_pool_serves_concurrent_encryptors() {
+    let engine = Engine::start(EngineConfig {
+        workers: 2,
+        precompute: Some(PrecomputeConfig {
+            key_bits: 128,
+            capacity: 64,
+            fillers: 2,
+            seed: 5,
+        }),
+    });
+    let pool = engine.randomizer_pool().expect("pool configured").clone();
+    let keypair = engine.service_keypair().expect("service keypair").clone();
+
+    // Several "sessions" encrypt concurrently from the one shared pool.
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let pool = pool.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(t);
+            (0..25)
+                .map(|i| {
+                    let m = BigUint::from_u64(t * 1000 + i);
+                    (m.clone(), pool.encrypt(&m, &mut rng).unwrap())
+                })
+                .collect::<Vec<_>>()
+        }));
+    }
+    for handle in handles {
+        for (m, c) in handle.join().unwrap() {
+            assert_eq!(keypair.private.decrypt_crt(&c).unwrap(), m);
+        }
+    }
+    let report = engine.shutdown();
+    let stats = report.pool.expect("pool stats in report");
+    assert_eq!(stats.hits + stats.misses, 100);
+    assert!(stats.hits > 0, "background fillers never served a hit");
+}

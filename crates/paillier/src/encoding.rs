@@ -123,10 +123,7 @@ mod tests {
         let result = kp
             .public
             .add(&xy, &kp.public.encrypt_i64(v, &mut r).unwrap());
-        assert_eq!(
-            kp.private.decrypt_i64(&result).unwrap(),
-            Some(x * y + v)
-        );
+        assert_eq!(kp.private.decrypt_i64(&result).unwrap(), Some(x * y + v));
     }
 
     #[test]

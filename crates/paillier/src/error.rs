@@ -18,6 +18,10 @@ pub enum PaillierError {
         /// The enforced floor, [`crate::MIN_KEY_BITS`].
         minimum: usize,
     },
+    /// A precomputed randomizer was offered to a key other than the one it
+    /// was computed under (the ciphertext would silently decrypt to
+    /// garbage).
+    RandomizerKeyMismatch,
 }
 
 impl fmt::Display for PaillierError {
@@ -33,7 +37,13 @@ impl fmt::Display for PaillierError {
                 write!(f, "ciphertext is not a valid element of Z*_{{n²}}")
             }
             PaillierError::KeyTooSmall { requested, minimum } => {
-                write!(f, "key size {requested} bits is below the minimum {minimum}")
+                write!(
+                    f,
+                    "key size {requested} bits is below the minimum {minimum}"
+                )
+            }
+            PaillierError::RandomizerKeyMismatch => {
+                write!(f, "randomizer was precomputed under a different key")
             }
         }
     }

@@ -146,10 +146,7 @@ mod tests {
         let diff = kp.public.sub(&c1, &c2);
         assert_eq!(kp.private.decrypt(&diff).unwrap(), b(42));
         let neg = kp.public.negate(&c1);
-        assert_eq!(
-            kp.private.decrypt(&neg).unwrap(),
-            kp.public.n() - &b(50)
-        );
+        assert_eq!(kp.private.decrypt(&neg).unwrap(), kp.public.n() - &b(50));
     }
 
     #[test]
@@ -169,9 +166,10 @@ mod tests {
         let mut r = rng(18);
         let (x, y, v) = (b(123), b(456), b(789));
         let ex = kp.public.encrypt(&x, &mut r).unwrap();
-        let u_prime = kp
-            .public
-            .add(&kp.public.mul_plain(&ex, &y), &kp.public.encrypt(&v, &mut r).unwrap());
+        let u_prime = kp.public.add(
+            &kp.public.mul_plain(&ex, &y),
+            &kp.public.encrypt(&v, &mut r).unwrap(),
+        );
         let u = kp.private.decrypt(&u_prime).unwrap();
         assert_eq!(u, b(123 * 456 + 789));
     }

@@ -302,7 +302,7 @@ impl PublicKey {
     }
 
     /// `g^m mod n²`, using the `g = n+1` shortcut when applicable.
-    fn g_pow(&self, m: &BigUint) -> BigUint {
+    pub(crate) fn g_pow(&self, m: &BigUint) -> BigUint {
         if self.g_is_n_plus_one {
             // (1+n)^m = 1 + m·n (mod n²)
             let mn = &(m * &self.n) % &self.n_squared;

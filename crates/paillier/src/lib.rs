@@ -18,7 +18,14 @@
 //! * a signed-message encoding ([`PublicKey::encrypt_signed`],
 //!   [`PrivateKey::decrypt_signed`]) mapping `[-(n-1)/2, (n-1)/2]` into
 //!   `Z_n`, which the DBSCAN protocols rely on because masked distances and
-//!   Bob's random offsets can be negative.
+//!   Bob's random offsets can be negative,
+//! * randomizer precomputation ([`RandomizerPool`],
+//!   [`PublicKey::precompute_randomizer`],
+//!   [`PublicKey::encrypt_with_randomizer`]): the message-independent
+//!   `r^n mod n²` factor is computed ahead of time (optionally by
+//!   background threads), so a hot-path encryption collapses to two
+//!   modular multiplications. The `ppds-engine` crate shares one pool
+//!   across all concurrent sessions encrypting under a key.
 //!
 //! ## Deviation from the paper's Algorithm 2 narration
 //!
@@ -34,9 +41,11 @@ mod encoding;
 mod error;
 mod homomorphic;
 mod keys;
+mod precompute;
 
 pub use error::PaillierError;
 pub use keys::{Ciphertext, Keypair, PrivateKey, PublicKey, MIN_KEY_BITS};
+pub use precompute::{FillerHandle, PoolStats, Randomizer, RandomizerPool};
 
 #[cfg(test)]
 pub(crate) mod test_helpers {

@@ -1,0 +1,476 @@
+//! Randomizer precomputation: moving Paillier's modular exponentiation off
+//! the encryption hot path.
+//!
+//! A Paillier encryption `c = g^m · r^n mod n²` spends almost all of its
+//! time computing `r^n mod n²`; with the standard `g = n + 1` the `g^m`
+//! part is a single multiplication. The factor `r^n` is independent of the
+//! message, so it can be computed *before* the message exists — by idle
+//! cores, between requests, or concurrently with protocol I/O. This module
+//! provides:
+//!
+//! * [`Randomizer`] — one precomputed `r^n mod n²`, bound to a key and
+//!   consumed by exactly one encryption,
+//! * [`PublicKey::precompute_randomizer`] / `encrypt_with_randomizer` — the
+//!   split encryption API,
+//! * [`RandomizerPool`] — a thread-safe, bounded buffer of randomizers with
+//!   optional background filler threads, shared by any number of concurrent
+//!   protocol sessions encrypting under the same key.
+//!
+//! ## Security invariants
+//!
+//! Semantic security of Paillier requires a *fresh, secret, uniform* nonce
+//! per encryption. The pool preserves exactly that:
+//!
+//! * each [`Randomizer`] is handed out at most once ([`RandomizerPool::take`]
+//!   pops; nothing is ever cloned back in), and `Randomizer` deliberately
+//!   implements neither `Clone` nor `Copy`;
+//! * the nonce `r` itself is dropped right after `r^n` is computed — the
+//!   pool stores only the group element, which reveals nothing about `r`
+//!   without breaking the n-th residuosity assumption;
+//! * a drained pool falls back to computing inline rather than reusing
+//!   anything ([`RandomizerPool::take_or_compute`]), so throughput
+//!   degradation can never become a correctness or security event.
+
+use crate::error::PaillierError;
+use crate::keys::{Ciphertext, PublicKey};
+use ppds_bigint::BigUint;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A precomputed `r^n mod n²` for one specific public key.
+///
+/// Intentionally neither `Clone` nor `Copy`: one randomizer must blind at
+/// most one ciphertext. The modulus it was computed under travels with it,
+/// so offering it to a different key is an error rather than a silently
+/// undecryptable ciphertext.
+#[derive(Debug)]
+pub struct Randomizer {
+    pub(crate) r_to_n: BigUint,
+    /// Modulus of the key this randomizer belongs to.
+    pub(crate) n: BigUint,
+}
+
+impl Randomizer {
+    /// The raw group element (for tests and serialization experiments).
+    pub fn into_biguint(self) -> BigUint {
+        self.r_to_n
+    }
+}
+
+impl PublicKey {
+    /// Computes the expensive, message-independent half of an encryption:
+    /// samples a fresh nonce `r ∈ Z*_n` and returns `r^n mod n²`.
+    pub fn precompute_randomizer<R: Rng + ?Sized>(&self, rng: &mut R) -> Randomizer {
+        let r = self.sample_nonce(rng);
+        Randomizer {
+            r_to_n: self.pow_mod_nn(&r, self.n()),
+            n: self.n().clone(),
+        }
+    }
+
+    /// Encrypts `m` using a precomputed randomizer: `c = g^m · (r^n) mod n²`.
+    ///
+    /// With `g = n + 1` this is two modular multiplications — no
+    /// exponentiation. The randomizer is consumed.
+    ///
+    /// # Errors
+    /// [`PaillierError::RandomizerKeyMismatch`] if the randomizer was
+    /// precomputed under a different key;
+    /// [`PaillierError::MessageOutOfRange`] if `m ≥ n`.
+    pub fn encrypt_with_randomizer(
+        &self,
+        m: &BigUint,
+        randomizer: Randomizer,
+    ) -> Result<Ciphertext, PaillierError> {
+        if &randomizer.n != self.n() {
+            return Err(PaillierError::RandomizerKeyMismatch);
+        }
+        if m >= self.n() {
+            return Err(PaillierError::MessageOutOfRange);
+        }
+        let g_to_m = self.g_pow(m);
+        Ok(Ciphertext(self.mul_mod_nn(&g_to_m, &randomizer.r_to_n)))
+    }
+}
+
+/// Counters describing a pool's lifetime behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Randomizers produced (by fillers, `prefill`, or inline fallback).
+    pub produced: u64,
+    /// `take*` calls served from the buffer.
+    pub hits: u64,
+    /// `take_or_compute` calls that found the buffer empty and computed
+    /// inline.
+    pub misses: u64,
+}
+
+/// A bounded, thread-safe buffer of precomputed randomizers for one key,
+/// shared across concurrent protocol sessions.
+///
+/// Typical use: wrap in an [`Arc`], call [`RandomizerPool::spawn_fillers`]
+/// once, then hand clones of the `Arc` to every session encrypting under
+/// this key. Sessions call [`RandomizerPool::take_or_compute`] (or
+/// [`RandomizerPool::encrypt`]) and never block on the fillers.
+pub struct RandomizerPool {
+    public_key: PublicKey,
+    capacity: usize,
+    queue: Mutex<VecDeque<Randomizer>>,
+    /// Signaled when the queue drops below capacity (fillers wait on this).
+    not_full: Condvar,
+    shutdown: AtomicBool,
+    produced: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for RandomizerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RandomizerPool")
+            .field("key_bits", &self.public_key.bits())
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RandomizerPool {
+    /// An empty pool for `public_key` holding at most `capacity`
+    /// randomizers.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(public_key: PublicKey, capacity: usize) -> Arc<RandomizerPool> {
+        assert!(capacity > 0, "a zero-capacity pool can never serve");
+        Arc::new(RandomizerPool {
+            public_key,
+            capacity,
+            queue: Mutex::new(VecDeque::with_capacity(capacity)),
+            not_full: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            produced: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// The key every randomizer in this pool is bound to.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.public_key
+    }
+
+    /// Buffered randomizers right now.
+    pub fn len(&self) -> usize {
+        self.queue.lock().unwrap().len()
+    }
+
+    /// `true` if no randomizer is currently buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            produced: self.produced.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Synchronously computes and buffers `count` randomizers (subject to
+    /// capacity).
+    pub fn prefill<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) {
+        for _ in 0..count {
+            let randomizer = self.public_key.precompute_randomizer(rng);
+            let mut queue = self.queue.lock().unwrap();
+            if queue.len() >= self.capacity {
+                return;
+            }
+            queue.push_back(randomizer);
+            self.produced.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Pops a buffered randomizer, if any.
+    pub fn take(&self) -> Option<Randomizer> {
+        let popped = self.queue.lock().unwrap().pop_front();
+        if popped.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.not_full.notify_one();
+        }
+        popped
+    }
+
+    /// Pops a buffered randomizer, or computes one inline when the buffer
+    /// is dry. Never blocks on the fillers.
+    pub fn take_or_compute<R: Rng + ?Sized>(&self, rng: &mut R) -> Randomizer {
+        match self.take() {
+            Some(randomizer) => randomizer,
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.produced.fetch_add(1, Ordering::Relaxed);
+                self.public_key.precompute_randomizer(rng)
+            }
+        }
+    }
+
+    /// Encrypts `m` under the pool's key with a pooled (or, on a dry pool,
+    /// freshly computed) randomizer.
+    pub fn encrypt<R: Rng + ?Sized>(
+        &self,
+        m: &BigUint,
+        rng: &mut R,
+    ) -> Result<Ciphertext, PaillierError> {
+        let randomizer = self.take_or_compute(rng);
+        self.public_key.encrypt_with_randomizer(m, randomizer)
+    }
+
+    /// Starts `workers` background threads that keep the pool topped up to
+    /// capacity until the returned handle is dropped.
+    ///
+    /// Filler RNGs are seeded from `seed` (one stream per worker) — the
+    /// nonces are as good as the seed's entropy, which is the same contract
+    /// as every other RNG input in this workspace.
+    pub fn spawn_fillers(self: &Arc<Self>, workers: usize, seed: u64) -> FillerHandle {
+        assert!(workers > 0, "need at least one filler thread");
+        let threads = (0..workers)
+            .map(|worker| {
+                let pool = Arc::clone(self);
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                std::thread::spawn(move || pool.fill_until_shutdown(&mut rng))
+            })
+            .collect();
+        FillerHandle {
+            pool: Arc::clone(self),
+            threads,
+        }
+    }
+
+    fn fill_until_shutdown(&self, rng: &mut StdRng) {
+        loop {
+            // Wait (off-CPU) while full; bail promptly on shutdown.
+            {
+                let mut queue = self.queue.lock().unwrap();
+                while queue.len() >= self.capacity {
+                    if self.shutdown.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let (guard, _timeout) = self
+                        .not_full
+                        .wait_timeout(queue, std::time::Duration::from_millis(50))
+                        .unwrap();
+                    queue = guard;
+                }
+            }
+            if self.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            // The expensive exponentiation happens outside the lock.
+            let randomizer = self.public_key.precompute_randomizer(rng);
+            let mut queue = self.queue.lock().unwrap();
+            if queue.len() < self.capacity {
+                queue.push_back(randomizer);
+                self.produced.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Joins a pool's background fillers when dropped.
+pub struct FillerHandle {
+    pool: Arc<RandomizerPool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl FillerHandle {
+    /// Signals shutdown and joins all filler threads.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.pool.shutdown.store(true, Ordering::Relaxed);
+        self.pool.not_full.notify_all();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FillerHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_helpers::{rng, shared_keypair};
+
+    #[test]
+    fn randomizer_encryption_decrypts_correctly() {
+        let kp = shared_keypair();
+        let mut r = rng(1);
+        for m in [0u64, 1, 42, u32::MAX as u64] {
+            let m = BigUint::from_u64(m);
+            let randomizer = kp.public.precompute_randomizer(&mut r);
+            let c = kp.public.encrypt_with_randomizer(&m, randomizer).unwrap();
+            assert_eq!(kp.private.decrypt_crt(&c).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn randomizer_matches_nonce_encryption() {
+        // encrypt_with_randomizer(m, r^n) must equal encrypt_with_nonce(m, r).
+        let kp = shared_keypair();
+        let nonce = BigUint::from_u64(987_654_321);
+        let m = BigUint::from_u64(31337);
+        let randomizer = Randomizer {
+            r_to_n: kp.public.pow_mod_nn(&nonce, kp.public.n()),
+            n: kp.public.n().clone(),
+        };
+        let via_randomizer = kp.public.encrypt_with_randomizer(&m, randomizer).unwrap();
+        let via_nonce = kp.public.encrypt_with_nonce(&m, &nonce).unwrap();
+        assert_eq!(via_randomizer, via_nonce);
+    }
+
+    #[test]
+    fn randomizer_encryption_rejects_oversized_message() {
+        let kp = shared_keypair();
+        let mut r = rng(2);
+        let randomizer = kp.public.precompute_randomizer(&mut r);
+        assert_eq!(
+            kp.public
+                .encrypt_with_randomizer(&kp.public.n().clone(), randomizer)
+                .unwrap_err(),
+            PaillierError::MessageOutOfRange
+        );
+    }
+
+    #[test]
+    fn cross_key_randomizer_rejected() {
+        let kp = shared_keypair();
+        let mut r = rng(20);
+        let other = crate::Keypair::generate(64, &mut r);
+        let randomizer = other.public.precompute_randomizer(&mut r);
+        assert_eq!(
+            kp.public
+                .encrypt_with_randomizer(&BigUint::from_u64(1), randomizer)
+                .unwrap_err(),
+            PaillierError::RandomizerKeyMismatch
+        );
+    }
+
+    #[test]
+    fn pool_prefill_take_and_fallback() {
+        let kp = shared_keypair();
+        let pool = RandomizerPool::new(kp.public.clone(), 4);
+        let mut r = rng(3);
+        pool.prefill(4, &mut r);
+        assert_eq!(pool.len(), 4);
+
+        for _ in 0..4 {
+            assert!(pool.take().is_some());
+        }
+        assert!(pool.take().is_none());
+
+        // Dry pool: take_or_compute falls back inline.
+        let m = BigUint::from_u64(77);
+        let c = pool.encrypt(&m, &mut r).unwrap();
+        assert_eq!(kp.private.decrypt_crt(&c).unwrap(), m);
+
+        let stats = pool.stats();
+        assert_eq!(stats.hits, 4);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.produced, 5);
+    }
+
+    #[test]
+    fn pool_respects_capacity() {
+        let kp = shared_keypair();
+        let pool = RandomizerPool::new(kp.public.clone(), 2);
+        let mut r = rng(4);
+        pool.prefill(10, &mut r);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn pooled_ciphertexts_are_distinct_and_valid() {
+        let kp = shared_keypair();
+        let pool = RandomizerPool::new(kp.public.clone(), 8);
+        let mut r = rng(5);
+        pool.prefill(8, &mut r);
+        let m = BigUint::from_u64(5);
+        let c1 = pool.encrypt(&m, &mut r).unwrap();
+        let c2 = pool.encrypt(&m, &mut r).unwrap();
+        assert_ne!(c1, c2, "two takes must yield two distinct nonces");
+        assert_eq!(kp.private.decrypt_crt(&c1).unwrap(), m);
+        assert_eq!(kp.private.decrypt_crt(&c2).unwrap(), m);
+    }
+
+    #[test]
+    fn background_fillers_top_up_and_shut_down() {
+        let kp = shared_keypair();
+        let pool = RandomizerPool::new(kp.public.clone(), 6);
+        let fillers = pool.spawn_fillers(2, 42);
+        // Wait for the fillers to reach capacity (256-bit ops are fast).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while pool.len() < 6 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "fillers did not reach capacity; len = {}",
+                pool.len()
+            );
+            std::thread::yield_now();
+        }
+        // Drain a few; fillers should replenish.
+        for _ in 0..3 {
+            assert!(pool.take().is_some());
+        }
+        while pool.len() < 6 {
+            assert!(std::time::Instant::now() < deadline, "no replenish");
+            std::thread::yield_now();
+        }
+        fillers.stop();
+        let mut r = rng(6);
+        let m = BigUint::from_u64(123);
+        let c = pool.encrypt(&m, &mut r).unwrap();
+        assert_eq!(kp.private.decrypt_crt(&c).unwrap(), m);
+    }
+
+    #[test]
+    fn concurrent_takers_never_share_a_randomizer() {
+        let kp = shared_keypair();
+        let pool = RandomizerPool::new(kp.public.clone(), 32);
+        let mut r = rng(7);
+        pool.prefill(32, &mut r);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                let mut taken = Vec::new();
+                while let Some(randomizer) = pool.take() {
+                    taken.push(randomizer.into_biguint());
+                }
+                taken
+            }));
+        }
+        let mut all: Vec<BigUint> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        assert_eq!(all.len(), 32);
+        let before = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), before, "a randomizer was handed out twice");
+    }
+}

@@ -1,0 +1,253 @@
+//! Offline stand-in for `criterion`: the same bench-authoring surface
+//! (`criterion_group!`/`criterion_main!`, [`Criterion`], benchmark groups,
+//! [`BenchmarkId`], `Bencher::iter`) backed by a simple wall-clock harness.
+//!
+//! Timing method: after a warm-up, each sample runs the closure in a batch
+//! sized so a batch takes ≳ `MIN_BATCH` wall time, and the per-iteration
+//! mean of the fastest-half samples is reported (a median-of-means style
+//! estimate that tolerates scheduler noise). No plots, no statistics files —
+//! one line per benchmark on stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const MIN_BATCH: Duration = Duration::from_millis(5);
+const DEFAULT_SAMPLES: usize = 12;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, criterion's conventional format.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter, for groups whose name already tells the story.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Hint for how much per-iteration input setup costs, mirroring
+/// criterion's enum. The shim times setup out of band either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Inputs are cheap to hold in memory in large numbers.
+    SmallInput,
+    /// Inputs are expensive; batch conservatively.
+    LargeInput,
+    /// Regenerate the input for every single iteration.
+    PerIteration,
+}
+
+/// Runs one benchmark's closure repeatedly and records timing.
+pub struct Bencher {
+    samples: usize,
+    /// Mean seconds per iteration, filled by `iter`.
+    result_secs_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the per-iteration estimate.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and batch sizing: grow the batch until it costs ≥ MIN_BATCH.
+        let mut batch = 1u64;
+        let batch = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MIN_BATCH || batch >= 1 << 20 {
+                break batch;
+            }
+            // Aim directly for MIN_BATCH with 2x headroom.
+            let scale = (MIN_BATCH.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).ceil();
+            batch = (batch.saturating_mul(scale as u64 * 2)).clamp(batch + 1, 1 << 20);
+        };
+
+        let mut times: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    black_box(routine());
+                }
+                start.elapsed().as_secs_f64() / batch as f64
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        let half = &times[..(times.len() / 2).max(1)];
+        self.result_secs_per_iter = half.iter().sum::<f64>() / half.len() as f64;
+    }
+
+    /// Times `routine` over inputs produced by `setup`, excluding the setup
+    /// cost from the measurement — the API for consumable inputs (e.g.
+    /// one-shot Paillier randomizers).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let mut timed = Duration::ZERO;
+            let mut iters = 0u64;
+            // Accumulate timed iterations until the sample is long enough
+            // for the clock to be meaningful.
+            while timed < MIN_BATCH && iters < 1 << 16 {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                timed += start.elapsed();
+                iters += 1;
+            }
+            times.push(timed.as_secs_f64() / iters as f64);
+        }
+        times.sort_by(f64::total_cmp);
+        let half = &times[..(times.len() / 2).max(1)];
+        self.result_secs_per_iter = half.iter().sum::<f64>() / half.len() as f64;
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// The top-level harness handle passed to every bench function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_one(None, id.into(), DEFAULT_SAMPLES, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for subsequent benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Criterion requires ≥ 10; we accept anything ≥ 2 and halve it,
+        // since our samples are whole batches rather than single calls.
+        self.samples = n.max(4) / 2;
+        self
+    }
+
+    /// Runs a benchmark within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_one(Some(&self.name), id.into(), self.samples, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(Some(&self.name), id.into(), self.samples, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (formatting no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: Option<&str>, id: BenchmarkId, samples: usize, mut f: F) {
+    let label = match group {
+        Some(g) => format!("{g}/{}", id.label),
+        None => id.label,
+    };
+    let mut bencher = Bencher {
+        samples,
+        result_secs_per_iter: f64::NAN,
+    };
+    f(&mut bencher);
+    if bencher.result_secs_per_iter.is_nan() {
+        println!("{label:<56} (no measurement: Bencher::iter never called)");
+    } else {
+        println!(
+            "{label:<56} {:>12}/iter",
+            format_time(bencher.result_secs_per_iter)
+        );
+    }
+}
+
+/// Declares a group of bench functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,252 @@
+//! Unbounded MPMC channels with crossbeam's API shape.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Shared<T> {
+    queue: Mutex<Inner<T>>,
+    not_empty: Condvar,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+/// Error returned by [`Sender::send`] when every receiver has been dropped.
+/// Carries the unsent value, like crossbeam's.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and every
+/// sender has been dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty, disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Channel currently holds no message but senders remain.
+    Empty,
+    /// Channel is empty and all senders are gone.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("channel empty"),
+            TryRecvError::Disconnected => f.write_str("channel disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// The sending half. Cloneable; the channel disconnects for receivers when
+/// the last clone drops.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half. Cloneable (multi-consumer); the channel disconnects
+/// for senders when the last clone drops.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(Inner {
+            items: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a message; fails only if all receivers are gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut inner = self.shared.queue.lock().unwrap();
+        if inner.receivers == 0 {
+            return Err(SendError(value));
+        }
+        inner.items.push_back(value);
+        drop(inner);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.queue.lock().unwrap().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.queue.lock().unwrap();
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            drop(inner);
+            // Wake blocked receivers so they observe the disconnect.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or all senders are gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.shared.queue.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Ok(item);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self.shared.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.shared.queue.lock().unwrap();
+        match inner.items.pop_front() {
+            Some(item) => Ok(item),
+            None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Number of queued messages at this instant.
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().unwrap().items.len()
+    }
+
+    /// `true` if no message is queued at this instant.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.queue.lock().unwrap().receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.queue.lock().unwrap().receivers -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_errors_after_all_receivers_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn blocked_receiver_wakes_on_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        let handle = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(handle.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn multi_consumer_partitions_messages() {
+        let (tx, rx) = unbounded::<u32>();
+        let rx2 = rx.clone();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let h1 = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            got
+        });
+        let h2 = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = rx2.recv() {
+                got.push(v);
+            }
+            got
+        });
+        let mut all = h1.join().unwrap();
+        all.extend(h2.join().unwrap());
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+}

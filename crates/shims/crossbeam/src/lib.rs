@@ -1,0 +1,10 @@
+//! Offline stand-in for the `crossbeam` crate: the [`channel`] module with
+//! unbounded multi-producer multi-consumer channels.
+//!
+//! Unlike `std::sync::mpsc`, receivers are cloneable and shareable across
+//! threads — the property the engine's worker pool relies on to pull jobs
+//! from one queue. The implementation is a `Mutex<VecDeque>` + `Condvar`;
+//! fine for the message rates the protocols generate, trivially replaceable
+//! by real crossbeam once registry access exists.
+
+pub mod channel;

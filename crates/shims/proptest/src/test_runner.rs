@@ -1,0 +1,108 @@
+//! Case scheduling: config, deterministic per-case RNG streams, and the
+//! pass/reject bookkeeping behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration. Only the knobs this workspace uses.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+    /// Cap on `prop_assume!` rejections before the test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            max_global_rejects: 1024 + cases * 16,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig::with_cases(256)
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the inputs; try another case.
+    Reject,
+    /// An assertion failed; the message carries the formatted values.
+    Fail(String),
+}
+
+/// The RNG handed to strategies for one case.
+pub type TestRng = StdRng;
+
+/// Drives one `proptest!`-declared test function.
+pub struct TestRunner {
+    seed: u64,
+    passes: u32,
+    rejects: u32,
+    next_stream: u64,
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// A runner whose RNG streams are derived from the test's name, so runs
+    /// are reproducible without a persistence file.
+    pub fn new(test_name: &str, config: &ProptestConfig) -> Self {
+        // FNV-1a over the name: stable across runs and platforms.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for byte in test_name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            seed,
+            passes: 0,
+            rejects: 0,
+            next_stream: 0,
+            config: config.clone(),
+        }
+    }
+
+    /// RNG for the next case, or `None` once enough cases passed.
+    ///
+    /// # Panics
+    /// Panics if `prop_assume!` rejected more cases than the configured cap
+    /// (the strategy then filters too aggressively to be meaningful).
+    pub fn next_case(&mut self) -> Option<TestRng> {
+        if self.passes >= self.config.cases {
+            return None;
+        }
+        assert!(
+            self.rejects <= self.config.max_global_rejects,
+            "proptest shim: {} cases rejected by prop_assume! (cap {}) — strategy filters too much",
+            self.rejects,
+            self.config.max_global_rejects
+        );
+        let stream = self.next_stream;
+        self.next_stream += 1;
+        Some(TestRng::seed_from_u64(
+            self.seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    /// Records a successful case.
+    pub fn record_pass(&mut self) {
+        self.passes += 1;
+    }
+
+    /// Records a `prop_assume!` rejection.
+    pub fn record_reject(&mut self) {
+        self.rejects += 1;
+    }
+
+    /// 1-based index of the case most recently produced (for messages).
+    pub fn case_index(&self) -> u64 {
+        self.next_stream
+    }
+}

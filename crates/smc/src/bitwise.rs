@@ -105,9 +105,7 @@ pub fn dgk_bob<C: Channel, R: Rng + ?Sized>(
         .collect::<Result<_, _>>()?;
 
     let one = BigUint::one();
-    let enc_one = alice_pk
-        .encrypt_with_nonce(&one, &one)
-        .expect("1 < n"); // deterministic E(1); re-randomized before sending
+    let enc_one = alice_pk.encrypt_with_nonce(&one, &one).expect("1 < n"); // deterministic E(1); re-randomized before sending
     let three = BigUint::from_u64(3);
 
     // Running Σ (x_j ⊕ y_j) over the more-significant prefix, encrypted.
@@ -195,7 +193,11 @@ mod tests {
             ((1 << 40) - 1, 0),
             (1 << 39, (1 << 39) + 1),
         ] {
-            assert_eq!(run(x, y, bound, 7_000 + x % 97 + y % 89), x < y, "{x} < {y}");
+            assert_eq!(
+                run(x, y, bound, 7_000 + x % 97 + y % 89),
+                x < y,
+                "{x} < {y}"
+            );
         }
     }
 

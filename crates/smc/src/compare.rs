@@ -135,9 +135,7 @@ pub fn compare_bob<C: Channel, R: Rng + ?Sized>(
         CmpOp::Leq => j + 1,
     };
     match comparator {
-        Comparator::Yao => {
-            millionaires::yao_bob(chan, alice_pk, j_eff, &domain.yao_config(), rng)
-        }
+        Comparator::Yao => millionaires::yao_bob(chan, alice_pk, j_eff, &domain.yao_config(), rng),
         Comparator::Ideal => ideal_bob(chan, alice_pk.bits(), j_eff, domain),
         Comparator::Dgk => crate::bitwise::dgk_bob(chan, alice_pk, j_eff, domain.n0(), rng),
     }
@@ -246,7 +244,16 @@ mod tests {
         let (mut achan, mut bchan) = duplex();
         let alice = std::thread::spawn(move || {
             let mut r = rng(500);
-            compare_alice(comparator, &mut achan, alice_keypair(), a, op, &domain, &mut r).unwrap()
+            compare_alice(
+                comparator,
+                &mut achan,
+                alice_keypair(),
+                a,
+                op,
+                &domain,
+                &mut r,
+            )
+            .unwrap()
         });
         let mut r = rng(501);
         let bob_view = compare_bob(

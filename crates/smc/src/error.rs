@@ -40,7 +40,10 @@ impl fmt::Display for SmcError {
             SmcError::Crypto(e) => write!(f, "crypto error: {e}"),
             SmcError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             SmcError::DomainViolation { value, lo, hi } => {
-                write!(f, "value {value} outside agreed comparison domain [{lo}, {hi}]")
+                write!(
+                    f,
+                    "value {value} outside agreed comparison domain [{lo}, {hi}]"
+                )
             }
         }
     }

@@ -75,7 +75,9 @@ pub fn kth_smallest_bob<C: Channel, R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<SelectionOutcome, SmcError> {
     let mut less = |a: usize, b: usize, chan: &mut C, rng: &mut R| {
-        share_less_than_bob(comparator, chan, alice_pk, shares[a], shares[b], domain, rng)
+        share_less_than_bob(
+            comparator, chan, alice_pk, shares[a], shares[b], domain, rng,
+        )
     };
     kth_engine(shares.len(), k, method, chan, rng, &mut less)
 }
@@ -297,7 +299,13 @@ mod tests {
         let dists = [3i64, 1, 4, 1, 5, 9, 2, 6];
         let n = dists.len();
         for k in 1..=4 {
-            let outcome = run(&dists, k, SelectionMethod::RepeatedMin, Comparator::Ideal, 20);
+            let outcome = run(
+                &dists,
+                k,
+                SelectionMethod::RepeatedMin,
+                Comparator::Ideal,
+                20,
+            );
             let expect: usize = (0..k).map(|t| n - t - 1).sum();
             assert_eq!(outcome.comparisons, expect, "k={k}");
         }
@@ -308,8 +316,20 @@ mod tests {
         let mut r = rng(33);
         let dists: Vec<i64> = (0..40).map(|_| r.random_range(0..1000)).collect();
         let k = 20;
-        let rm = run(&dists, k, SelectionMethod::RepeatedMin, Comparator::Ideal, 40);
-        let qs = run(&dists, k, SelectionMethod::QuickSelect, Comparator::Ideal, 41);
+        let rm = run(
+            &dists,
+            k,
+            SelectionMethod::RepeatedMin,
+            Comparator::Ideal,
+            40,
+        );
+        let qs = run(
+            &dists,
+            k,
+            SelectionMethod::QuickSelect,
+            Comparator::Ideal,
+            41,
+        );
         assert!(
             qs.comparisons < rm.comparisons,
             "quickselect {} vs repeated-min {}",
@@ -322,7 +342,13 @@ mod tests {
     fn yao_backend_agrees_with_ideal_on_small_instance() {
         let dists = [4i64, 1, 3, 2];
         for k in 1..=4 {
-            let ideal = run(&dists, k, SelectionMethod::RepeatedMin, Comparator::Ideal, 60);
+            let ideal = run(
+                &dists,
+                k,
+                SelectionMethod::RepeatedMin,
+                Comparator::Ideal,
+                60,
+            );
             let yao = run(&dists, k, SelectionMethod::RepeatedMin, Comparator::Yao, 61);
             assert_eq!(ideal.index, yao.index, "k={k}");
         }
@@ -331,12 +357,24 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn k_zero_panics() {
-        let _ = run(&[1, 2], 0, SelectionMethod::RepeatedMin, Comparator::Ideal, 70);
+        let _ = run(
+            &[1, 2],
+            0,
+            SelectionMethod::RepeatedMin,
+            Comparator::Ideal,
+            70,
+        );
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn k_above_n_panics() {
-        let _ = run(&[1, 2], 3, SelectionMethod::QuickSelect, Comparator::Ideal, 71);
+        let _ = run(
+            &[1, 2],
+            3,
+            SelectionMethod::QuickSelect,
+            Comparator::Ideal,
+            71,
+        );
     }
 }

@@ -89,9 +89,8 @@ pub fn yao_alice<C: Channel, R: Rng + ?Sized>(
             break;
         }
     }
-    let (p, zs) = p.ok_or_else(|| {
-        SmcError::protocol("could not find a prime with pairwise spacing >= 2")
-    })?;
+    let (p, zs) =
+        p.ok_or_else(|| SmcError::protocol("could not find a prime with pairwise spacing >= 2"))?;
 
     // Step 5: send p and z_1..z_i, z_{i+1}+1, ..., z_{n0}+1 (mod p).
     let mut sequence = Vec::with_capacity(n0 as usize);
@@ -200,7 +199,7 @@ pub fn modeled_message_sizes(key_bits: usize, n0: u64) -> (u64, u64, u64) {
     let nn_bytes = (2 * key_bits).div_ceil(8) as u64; // elements of Z_{n²}
     let half_bytes = (key_bits / 2).div_ceil(8) as u64; // elements mod p
     let msg1 = 4 + nn_bytes; // length-prefixed BigUint
-    // (p, Vec<z>) = p (4 + half) + vec count (4) + n0 * (4 + half)
+                             // (p, Vec<z>) = p (4 + half) + vec count (4) + n0 * (4 + half)
     let msg2 = (4 + half_bytes) + 4 + n0 * (4 + half_bytes);
     let msg3 = 1;
     (msg1, msg2, msg3)
@@ -326,7 +325,11 @@ mod tests {
         // byte or two below the model per value.
         let recv_err = a_metrics.bytes_received.abs_diff(modeled_recv);
         let sent_err = a_metrics.bytes_sent.abs_diff(modeled_sent);
-        assert!(recv_err <= 8, "recv {} vs model {modeled_recv}", a_metrics.bytes_received);
+        assert!(
+            recv_err <= 8,
+            "recv {} vs model {modeled_recv}",
+            a_metrics.bytes_received
+        );
         assert!(
             sent_err as f64 <= 0.02 * modeled_sent as f64 + 8.0,
             "sent {} vs model {modeled_sent}",

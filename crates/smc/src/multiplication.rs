@@ -279,18 +279,12 @@ pub fn dot_many_peer<C: Channel, R: Rng + ?Sized>(
 /// Generates `count` blinding terms that sum to zero, each component
 /// uniform in `[-bound, bound]` except the last, which balances the sum —
 /// the `r_1 + r_2 + … + r_m = 0` construction of protocol HDP.
-pub fn zero_sum_masks<R: Rng + ?Sized>(
-    rng: &mut R,
-    count: usize,
-    bound: &BigUint,
-) -> Vec<BigInt> {
+pub fn zero_sum_masks<R: Rng + ?Sized>(rng: &mut R, count: usize, bound: &BigUint) -> Vec<BigInt> {
     if count == 0 {
         return Vec::new();
     }
     let mut masks: Vec<BigInt> = (0..count - 1).map(|_| sample_mask(rng, bound)).collect();
-    let sum = masks
-        .iter()
-        .fold(BigInt::zero(), |acc, m| &acc + m);
+    let sum = masks.iter().fold(BigInt::zero(), |acc, m| &acc + m);
     masks.push(-&sum);
     masks
 }

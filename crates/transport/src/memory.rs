@@ -115,14 +115,8 @@ mod tests {
     fn disconnect_reported() {
         let (mut a, b) = duplex();
         drop(b);
-        assert!(matches!(
-            a.send(&1u64),
-            Err(TransportError::Disconnected)
-        ));
-        assert!(matches!(
-            a.recv::<u64>(),
-            Err(TransportError::Disconnected)
-        ));
+        assert!(matches!(a.send(&1u64), Err(TransportError::Disconnected)));
+        assert!(matches!(a.recv::<u64>(), Err(TransportError::Disconnected)));
     }
 
     #[test]

@@ -22,15 +22,19 @@ impl ChannelMetrics {
 
     /// Records an outbound message of `payload_bytes` payload.
     pub fn record_send(&self, payload_bytes: u64) {
-        self.bytes_sent
-            .fetch_add(payload_bytes + crate::FRAME_OVERHEAD_BYTES, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(
+            payload_bytes + crate::FRAME_OVERHEAD_BYTES,
+            Ordering::Relaxed,
+        );
         self.messages_sent.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records an inbound message of `payload_bytes` payload.
     pub fn record_recv(&self, payload_bytes: u64) {
-        self.bytes_received
-            .fetch_add(payload_bytes + crate::FRAME_OVERHEAD_BYTES, Ordering::Relaxed);
+        self.bytes_received.fetch_add(
+            payload_bytes + crate::FRAME_OVERHEAD_BYTES,
+            Ordering::Relaxed,
+        );
         self.messages_received.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -87,6 +91,44 @@ impl MetricsSnapshot {
             messages_received: later.messages_received - self.messages_received,
         }
     }
+
+    /// Componentwise sum with another snapshot: the aggregation the engine
+    /// uses to roll one job's (or one fleet's) sessions into a single
+    /// traffic figure.
+    pub fn merged(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+            bytes_received: self.bytes_received + other.bytes_received,
+            messages_sent: self.messages_sent + other.messages_sent,
+            messages_received: self.messages_received + other.messages_received,
+        }
+    }
+}
+
+impl std::ops::Add for MetricsSnapshot {
+    type Output = MetricsSnapshot;
+
+    fn add(self, other: MetricsSnapshot) -> MetricsSnapshot {
+        self.merged(&other)
+    }
+}
+
+impl std::ops::AddAssign for MetricsSnapshot {
+    fn add_assign(&mut self, other: MetricsSnapshot) {
+        *self = self.merged(&other);
+    }
+}
+
+impl std::iter::Sum for MetricsSnapshot {
+    fn sum<I: Iterator<Item = MetricsSnapshot>>(iter: I) -> MetricsSnapshot {
+        iter.fold(MetricsSnapshot::default(), |acc, s| acc.merged(&s))
+    }
+}
+
+impl<'a> std::iter::Sum<&'a MetricsSnapshot> for MetricsSnapshot {
+    fn sum<I: Iterator<Item = &'a MetricsSnapshot>>(iter: I) -> MetricsSnapshot {
+        iter.fold(MetricsSnapshot::default(), |acc, s| acc.merged(s))
+    }
 }
 
 /// Models the wall-clock cost of a transcript on a given link.
@@ -122,8 +164,7 @@ impl CostModel {
     /// Modeled transfer time for a transcript.
     pub fn estimate(&self, snapshot: &MetricsSnapshot) -> Duration {
         let latency_total = self.latency * snapshot.total_messages() as u32;
-        let transfer_secs =
-            snapshot.total_bytes() as f64 / self.bandwidth_bytes_per_sec as f64;
+        let transfer_secs = snapshot.total_bytes() as f64 / self.bandwidth_bytes_per_sec as f64;
         latency_total + Duration::from_secs_f64(transfer_secs)
     }
 }
@@ -167,6 +208,34 @@ mod tests {
         assert_eq!(d.messages_sent, 1);
         assert_eq!(d.bytes_sent, 20 + crate::FRAME_OVERHEAD_BYTES);
         assert_eq!(d.messages_received, 1);
+    }
+
+    #[test]
+    fn snapshots_aggregate_componentwise() {
+        let a = MetricsSnapshot {
+            bytes_sent: 10,
+            bytes_received: 20,
+            messages_sent: 1,
+            messages_received: 2,
+        };
+        let b = MetricsSnapshot {
+            bytes_sent: 5,
+            bytes_received: 7,
+            messages_sent: 3,
+            messages_received: 4,
+        };
+        let sum = a + b;
+        assert_eq!(sum.bytes_sent, 15);
+        assert_eq!(sum.bytes_received, 27);
+        assert_eq!(sum.messages_sent, 4);
+        assert_eq!(sum.messages_received, 6);
+
+        let mut acc = MetricsSnapshot::default();
+        acc += a;
+        acc += b;
+        assert_eq!(acc, sum);
+        assert_eq!([a, b].iter().sum::<MetricsSnapshot>(), sum);
+        assert_eq!(vec![a, b].into_iter().sum::<MetricsSnapshot>(), sum);
     }
 
     #[test]

@@ -209,11 +209,19 @@ impl WireDecode for BigInt {
             0 => Sign::Zero,
             1 => Sign::Positive,
             2 => Sign::Negative,
-            other => return Err(TransportError::decode("BigInt sign", format!("byte {other}"))),
+            other => {
+                return Err(TransportError::decode(
+                    "BigInt sign",
+                    format!("byte {other}"),
+                ))
+            }
         };
         let magnitude = BigUint::decode(reader)?;
         if sign == Sign::Zero && !magnitude.is_zero() {
-            return Err(TransportError::decode("BigInt", "zero sign with nonzero magnitude"));
+            return Err(TransportError::decode(
+                "BigInt",
+                "zero sign with nonzero magnitude",
+            ));
         }
         Ok(BigInt::from_biguint(sign, magnitude))
     }
@@ -235,7 +243,10 @@ impl<T: WireDecode> WireDecode for Vec<T> {
         if len > reader.remaining() {
             return Err(TransportError::decode(
                 "Vec",
-                format!("announced {len} items with {} bytes left", reader.remaining()),
+                format!(
+                    "announced {len} items with {} bytes left",
+                    reader.remaining()
+                ),
             ));
         }
         let mut items = Vec::with_capacity(len);

@@ -89,7 +89,11 @@ fn main() {
     );
 
     println!("\nThe privacy is not free — cost comparison for Alice's endpoint:");
-    for (name, out) in [("basic", &basic_a), ("enhanced/rep-min", &enh_a), ("enhanced/quickselect", &qs_a)] {
+    for (name, out) in [
+        ("basic", &basic_a),
+        ("enhanced/rep-min", &enh_a),
+        ("enhanced/quickselect", &qs_a),
+    ] {
         println!(
             "  {name:<22} {:>8.1} KiB wire, {:>6} Yao comparisons, modeled {:>10.1} KiB faithful-Yao",
             out.traffic.total_bytes() as f64 / 1024.0,

@@ -28,9 +28,9 @@ fn main() {
     // Geometry tuned so the three disks overlap in a small sliver.
     let eps_sq: u64 = 100; // Eps = 10
     let bob_points = vec![
-        Point::new(vec![0, 0]),   // B1
-        Point::new(vec![16, 0]),  // B2
-        Point::new(vec![8, 14]),  // B3
+        Point::new(vec![0, 0]),  // B1
+        Point::new(vec![16, 0]), // B2
+        Point::new(vec![8, 14]), // B3
     ];
     let alice_point = Point::new(vec![8, 5]); // A: inside all three disks
     for b in &bob_points {

@@ -40,11 +40,19 @@ fn main() {
     };
     let cfg = ProtocolConfig::new(params, 80);
 
-    println!("Parties: {:?} patients each.", parties.iter().map(Vec::len).collect::<Vec<_>>());
+    println!(
+        "Parties: {:?} patients each.",
+        parties.iter().map(Vec::len).collect::<Vec<_>>()
+    );
     println!("Running the {}-party horizontal protocol…\n", parties.len());
     let outputs = run_multiparty_horizontal(&cfg, &parties, 7).expect("protocol run");
 
-    let names = ["General Hospital", "North Clinic", "South Clinic", "Village Practice"];
+    let names = [
+        "General Hospital",
+        "North Clinic",
+        "South Clinic",
+        "Village Practice",
+    ];
     for (i, out) in outputs.iter().enumerate() {
         // What this party would have found alone:
         let solo = dbscan(&parties[i], params);

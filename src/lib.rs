@@ -4,22 +4,28 @@
 //!
 //! This crate re-exports the whole workspace so downstream users can depend
 //! on one name; it also hosts the runnable examples (`examples/`) and the
-//! cross-crate integration tests (`tests/`). See the README for a tour and
-//! DESIGN.md for the system inventory.
+//! cross-crate integration tests (`tests/`). The repository's `README.md`
+//! has a workspace tour and the engine quickstart; `DESIGN.md` has the
+//! system inventory and the documented deviations from the paper's text.
 //!
 //! * [`ppdbscan`] — the paper's protocols (horizontal, vertical, arbitrary,
 //!   enhanced) and drivers,
-//! * [`ppds_dbscan`] — plaintext DBSCAN baseline, workload generators,
-//!   clustering metrics,
+//! * [`ppds_engine`] — the parallel protocol-execution engine: worker-pool
+//!   job scheduler, shared Paillier randomizer precomputation, rollup
+//!   reports,
+//! * [`ppds_dbscan`] — plaintext DBSCAN baseline (sequential and
+//!   grid-sharded parallel), workload generators, clustering metrics,
 //! * [`ppds_smc`] — Multiplication Protocol, Yao's millionaires, secure
 //!   comparison and k-th order statistic,
-//! * [`ppds_paillier`] — the Paillier cryptosystem,
+//! * [`ppds_paillier`] — the Paillier cryptosystem with randomizer
+//!   precomputation pools,
 //! * [`ppds_transport`] — measured two-party channels (in-memory and TCP),
 //! * [`ppds_bigint`] — arbitrary-precision integer substrate.
 
 pub use ppdbscan;
 pub use ppds_bigint;
 pub use ppds_dbscan;
+pub use ppds_engine;
 pub use ppds_paillier;
 pub use ppds_smc;
 pub use ppds_transport;

@@ -7,9 +7,7 @@ use ppdbscan::driver::{
 };
 use ppdbscan::{ArbitraryPartition, VerticalPartition};
 use ppds_dbscan::datagen::{cluster_in_ring, split_alternating, standard_blobs, two_moons};
-use ppds_dbscan::{
-    dbscan, dbscan_with_external_density, eval, DbscanParams, Point, Quantizer,
-};
+use ppds_dbscan::{dbscan, dbscan_with_external_density, eval, DbscanParams, Point, Quantizer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -138,7 +138,7 @@ fn full_driver_surfaces_peer_garbage_as_error() {
     let handle = std::thread::spawn(move || {
         let _their_n: BigUint = fake.recv().unwrap();
         fake.send(&BigUint::from_u64(6)).unwrap(); // even, tiny "modulus"
-        // Keep the channel open so the honest side isn't just disconnected.
+                                                   // Keep the channel open so the honest side isn't just disconnected.
         std::thread::sleep(std::time::Duration::from_millis(50));
     });
     let mut r = rng(6);

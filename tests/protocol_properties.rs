@@ -25,8 +25,12 @@ fn small_cfg(eps_sq: u64, min_pts: usize) -> ProtocolConfig {
 }
 
 fn points_strategy(min: usize, max: usize) -> impl Strategy<Value = Vec<Point>> {
-    proptest::collection::vec((-BOUND..=BOUND, -BOUND..=BOUND), min..=max)
-        .prop_map(|coords| coords.into_iter().map(|(x, y)| Point::new(vec![x, y])).collect())
+    proptest::collection::vec((-BOUND..=BOUND, -BOUND..=BOUND), min..=max).prop_map(|coords| {
+        coords
+            .into_iter()
+            .map(|(x, y)| Point::new(vec![x, y]))
+            .collect()
+    })
 }
 
 proptest! {

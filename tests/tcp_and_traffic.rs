@@ -52,9 +52,13 @@ fn horizontal_protocol_over_real_tcp_sockets() {
         b_out.clustering,
         dbscan_with_external_density(&bob, &alice, c.params)
     );
-    // TCP and in-memory transports must charge identical traffic.
-    let (mem_a, _) = run_horizontal_pair(&c, &alice, &bob, rng(1), rng(2)).unwrap();
-    assert_eq!(a_out.traffic.total_messages(), mem_a.traffic.total_messages());
+    // TCP and in-memory transports must charge identical traffic: with the
+    // same seeds the transcript is identical, so the full MetricsSnapshot
+    // (bytes and messages, both directions) must match exactly.
+    let (mem_a, mem_b) = run_horizontal_pair(&c, &alice, &bob, rng(1), rng(2)).unwrap();
+    assert_eq!(a_out.traffic, mem_a.traffic);
+    assert_eq!(b_out.traffic, mem_b.traffic);
+    assert_eq!(a_out.traffic.bytes_sent, mem_b.traffic.bytes_received);
 }
 
 #[test]
