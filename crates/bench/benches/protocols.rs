@@ -40,6 +40,19 @@ fn bench_full_runs(c: &mut Criterion) {
     group.bench_function("arbitrary", |b| {
         b.iter(|| run_arbitrary_pair(&w.cfg, &arbitrary, rng(8), rng(9)).unwrap());
     });
+    // Round-batched variants: identical outputs, O(1) wire rounds per
+    // neighborhood query (in-process the win is fewer frames + syscalls;
+    // on a real link it is the latency collapse E10 models).
+    let batched_cfg = w.cfg.with_batching(true);
+    group.bench_function("horizontal_batched", |b| {
+        b.iter(|| run_horizontal_pair(&batched_cfg, &w.alice, &w.bob, rng(1), rng(2)).unwrap());
+    });
+    group.bench_function("vertical_batched", |b| {
+        b.iter(|| run_vertical_pair(&batched_cfg, &vertical, rng(5), rng(6)).unwrap());
+    });
+    group.bench_function("arbitrary_batched", |b| {
+        b.iter(|| run_arbitrary_pair(&batched_cfg, &arbitrary, rng(8), rng(9)).unwrap());
+    });
     group.finish();
 }
 

@@ -4,13 +4,20 @@
 //! §4.3.2, §5.1, the privacy theorems and the Figure 1 attack — so every
 //! experiment here measures one of those analytical claims.
 //!
-//! Usage: `cargo run -p ppds-bench --bin experiments --release -- [e1..e9|f1|all]`
+//! Usage:
+//! `cargo run -p ppds-bench --bin experiments --release -- [e1..e10|f1|all]`
+//! `cargo run -p ppds-bench --bin experiments --release -- --json <path>`
+//!
+//! `--json <path>` runs the round-batching protocol sweep (E10) and writes
+//! per-protocol `{rounds, messages, bytes, modeled_lan_ms, modeled_wan_ms}`
+//! records for both framings — the bench trajectory future PRs diff against
+//! (the repo keeps one run as `BENCH_protocols.json`).
 
 use ppdbscan::config::ProtocolConfig;
 use ppdbscan::driver::{
     run_arbitrary_pair, run_enhanced_pair, run_horizontal_pair, run_vertical_pair,
 };
-use ppdbscan::{ArbitraryPartition, VerticalPartition};
+use ppdbscan::{ArbitraryPartition, PartyOutput, VerticalPartition};
 use ppds_bench::{blob_workload, fmt_bytes, print_header, print_row, rng};
 use ppds_bigint::{BigInt, BigUint};
 use ppds_dbscan::datagen::{cluster_in_ring, split_alternating, two_moons};
@@ -20,7 +27,7 @@ use ppds_smc::compare::{compare_alice, compare_bob, CmpOp, Comparator, Compariso
 use ppds_smc::kth::{kth_smallest_alice, kth_smallest_bob, SelectionMethod};
 use ppds_smc::millionaires;
 use ppds_smc::multiplication::{mul_keyholder, mul_peer};
-use ppds_transport::{duplex, Channel};
+use ppds_transport::{duplex, Channel, CostModel};
 use std::time::Instant;
 
 fn section(title: &str) {
@@ -545,6 +552,144 @@ fn e9() {
     println!("(K−1 separate counts per query) — the trade the module docs discuss.");
 }
 
+/// One row of the round-batching sweep: a protocol family under one
+/// framing, with the measured wire figures and modeled link times.
+struct BatchBenchRow {
+    protocol: &'static str,
+    batching: bool,
+    rounds: u64,
+    messages: u64,
+    bytes: u64,
+    lan_ms: f64,
+    wan_ms: f64,
+}
+
+/// Runs every two-party protocol family batched and unbatched on the
+/// canonical n = 36 blob workload and returns one row per (protocol,
+/// framing). The per-protocol outputs are asserted label- and
+/// leakage-identical across framings before any number is reported.
+fn batching_sweep() -> Vec<BatchBenchRow> {
+    let w = blob_workload(36, 2, 9_100);
+    let vp = VerticalPartition::split(&w.all, 1);
+    let ap = ArbitraryPartition::random(&mut rng(9_101), &w.all);
+    let mut rows = Vec::new();
+    #[allow(clippy::type_complexity)]
+    let runs: Vec<(
+        &'static str,
+        Box<dyn Fn(&ProtocolConfig) -> (PartyOutput, PartyOutput) + '_>,
+    )> = vec![
+        (
+            "horizontal",
+            Box::new(|cfg| run_horizontal_pair(cfg, &w.alice, &w.bob, rng(81), rng(82)).unwrap()),
+        ),
+        (
+            "enhanced",
+            Box::new(|cfg| run_enhanced_pair(cfg, &w.alice, &w.bob, rng(83), rng(84)).unwrap()),
+        ),
+        (
+            // Quickselect partitions are the enhanced protocol's batchable
+            // comparisons (repeated-min is sequential by construction), and
+            // a higher MinPts forces the joint core tests to engage.
+            "enhanced-quickselect",
+            Box::new(|cfg| {
+                let mut cfg = *cfg;
+                cfg.selection = SelectionMethod::QuickSelect;
+                cfg.params.min_pts = 6;
+                run_enhanced_pair(&cfg, &w.alice, &w.bob, rng(83), rng(84)).unwrap()
+            }),
+        ),
+        (
+            "vertical",
+            Box::new(|cfg| run_vertical_pair(cfg, &vp, rng(85), rng(86)).unwrap()),
+        ),
+        (
+            "arbitrary",
+            Box::new(|cfg| run_arbitrary_pair(cfg, &ap, rng(87), rng(88)).unwrap()),
+        ),
+    ];
+    for (protocol, run) in &runs {
+        let plain = run(&w.cfg);
+        let batched = run(&w.cfg.with_batching(true));
+        assert_eq!(plain.0.clustering, batched.0.clustering, "{protocol}");
+        assert_eq!(plain.0.leakage, batched.0.leakage, "{protocol}");
+        for (on, out) in [(false, &plain), (true, &batched)] {
+            let t = out.0.traffic;
+            rows.push(BatchBenchRow {
+                protocol,
+                batching: on,
+                rounds: t.total_rounds(),
+                messages: t.total_messages(),
+                bytes: t.total_bytes(),
+                lan_ms: CostModel::lan().estimate(&t).as_secs_f64() * 1e3,
+                wan_ms: CostModel::wan().estimate(&t).as_secs_f64() * 1e3,
+            });
+        }
+    }
+    rows
+}
+
+/// E10 — the round-batched pipeline: one message per neighborhood instead
+/// of one per comparison; wire rounds (and with them modeled WAN latency)
+/// collapse while bytes, logical messages, outputs, and leakage are
+/// unchanged.
+fn e10() -> Vec<BatchBenchRow> {
+    section("E10  Round batching: wire rounds and modeled link time (n = 36)");
+    let rows = batching_sweep();
+    let widths = [11, 6, 8, 9, 11, 9, 10];
+    print_header(
+        &widths,
+        &[
+            "protocol",
+            "batch",
+            "rounds",
+            "messages",
+            "wire bytes",
+            "LAN ms",
+            "WAN ms",
+        ],
+    );
+    for row in &rows {
+        print_row(
+            &widths,
+            &[
+                row.protocol.into(),
+                if row.batching { "on" } else { "off" }.into(),
+                format!("{}", row.rounds),
+                format!("{}", row.messages),
+                fmt_bytes(row.bytes),
+                format!("{:.1}", row.lan_ms),
+                format!("{:.0}", row.wan_ms),
+            ],
+        );
+    }
+    println!("\nLabels and leakage logs are identical across framings (asserted);");
+    println!("rounds drop from O(candidates) to O(1) per neighborhood query, so");
+    println!("the 20 ms-per-hop WAN model collapses by the same factor.");
+    rows
+}
+
+/// Serializes the sweep as the machine-readable bench trajectory.
+fn write_bench_json(path: &str, rows: &[BatchBenchRow]) {
+    let mut out = String::from("{\n  \"workload\": {\"n\": 36, \"dim\": 2, \"generator\": \"standard_blobs\"},\n  \"protocols\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"protocol\": \"{}\", \"batching\": {}, \"rounds\": {}, \"messages\": {}, \
+             \"bytes\": {}, \"modeled_lan_ms\": {:.3}, \"modeled_wan_ms\": {:.3}}}{}\n",
+            row.protocol,
+            row.batching,
+            row.rounds,
+            row.messages,
+            row.bytes,
+            row.lan_ms,
+            row.wan_ms,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("\nwrote bench trajectory to {path}");
+}
+
 /// F1 — the Figure 1 neighborhood-intersection attack, *executed* against
 /// the implemented Kumar et al. \[14\] baseline and compared with the honest
 /// protocol's unlinkable leakage.
@@ -591,10 +736,40 @@ fn f1() {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut selector: Option<String> = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--json" {
+            match iter.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("--json requires a path argument");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(first) = &selector {
+            eprintln!("at most one experiment selector (got {first} and {arg})");
+            std::process::exit(2);
+        } else {
+            selector = Some(arg);
+        }
+    }
+    // `--json` alone runs just the batching sweep; a selector (or nothing)
+    // runs the printed experiments as before.
+    let selector = selector.unwrap_or_else(|| {
+        if json_path.is_some() {
+            "e10".into()
+        } else {
+            "all".into()
+        }
+    });
+
     let t0 = Instant::now();
     println!("# Privacy-preserving distributed DBSCAN — experiment run");
-    match arg.as_str() {
+    let mut sweep_rows: Option<Vec<BatchBenchRow>> = None;
+    match selector.as_str() {
         "e1" => e1(),
         "e2" => e2(),
         "e3" => e3(),
@@ -604,6 +779,7 @@ fn main() {
         "e7" => e7(),
         "e8" => e8(),
         "e9" => e9(),
+        "e10" => sweep_rows = Some(e10()),
         "f1" => f1(),
         "all" => {
             e1();
@@ -615,12 +791,17 @@ fn main() {
             e7();
             e8();
             e9();
+            sweep_rows = Some(e10());
             f1();
         }
         other => {
-            eprintln!("unknown experiment {other}; use e1..e9, f1 or all");
+            eprintln!("unknown experiment {other}; use e1..e10, f1 or all");
             std::process::exit(2);
         }
+    }
+    if let Some(path) = json_path {
+        let rows = sweep_rows.unwrap_or_else(batching_sweep);
+        write_bench_json(&path, &rows);
     }
     println!("\n(total runtime {:.1?})", t0.elapsed());
 }

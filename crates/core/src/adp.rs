@@ -21,8 +21,12 @@ use crate::config::{ProtocolConfig, YaoLedger};
 use crate::domain::adp_domain;
 use ppds_bigint::BigInt;
 use ppds_paillier::{Keypair, PublicKey};
-use ppds_smc::compare::{compare_alice, compare_bob, CmpOp};
-use ppds_smc::multiplication::{mul_batch_keyholder, mul_batch_peer, zero_sum_masks};
+use ppds_smc::compare::{
+    compare_alice, compare_batch_alice, compare_batch_bob, compare_bob, CmpOp,
+};
+use ppds_smc::multiplication::{
+    mul_batch_keyholder, mul_batch_peer, mul_batches_keyholder, mul_batches_peer, zero_sum_masks,
+};
 use ppds_smc::SmcError;
 use ppds_transport::Channel;
 use rand::Rng;
@@ -147,6 +151,171 @@ pub fn adp_compare_bob<C: Channel, R: Rng + ?Sized>(
     )
 }
 
+/// One ADP decision per pair view of a whole candidate set, dispatched on
+/// `cfg.batching`: batched mode runs [`adp_compare_batch_alice`],
+/// reference mode one [`adp_compare_alice`] ping-pong per pair. Outcomes
+/// are identical either way.
+pub fn adp_compare_set_alice<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    my_keypair: &Keypair,
+    bob_pk: &PublicKey,
+    views: &[PairView<'_>],
+    rng: &mut R,
+    ledger: &mut YaoLedger,
+) -> Result<Vec<bool>, SmcError> {
+    if cfg.batching {
+        return adp_compare_batch_alice(chan, cfg, my_keypair, bob_pk, views, rng, ledger);
+    }
+    views
+        .iter()
+        .map(|&view| adp_compare_alice(chan, cfg, my_keypair, bob_pk, view, rng, ledger))
+        .collect()
+}
+
+/// Bob's side of [`adp_compare_set_alice`].
+pub fn adp_compare_set_bob<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    my_keypair: &Keypair,
+    alice_pk: &PublicKey,
+    views: &[PairView<'_>],
+    rng: &mut R,
+    ledger: &mut YaoLedger,
+) -> Result<Vec<bool>, SmcError> {
+    if cfg.batching {
+        return adp_compare_batch_bob(chan, cfg, my_keypair, alice_pk, views, rng, ledger);
+    }
+    views
+        .iter()
+        .map(|&view| adp_compare_bob(chan, cfg, my_keypair, alice_pk, view, rng, ledger))
+        .collect()
+}
+
+/// Round-batched Alice side: one ADP decision per pair view of a whole
+/// candidate set. The multiplication stages of every split pair ride one
+/// wire frame each direction (Bob keyholder), then one batched comparison
+/// decides all pairs — 5 rounds per neighborhood instead of 5 per pair.
+/// Outcome `r[i]` equals [`adp_compare_alice`] on `views[i]`; the per-pair
+/// zero-sum masks cancel exactly as in the sequential run.
+pub fn adp_compare_batch_alice<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    my_keypair: &Keypair,
+    bob_pk: &PublicKey,
+    views: &[PairView<'_>],
+    rng: &mut R,
+    ledger: &mut YaoLedger,
+) -> Result<Vec<bool>, SmcError> {
+    if views.is_empty() {
+        return Ok(Vec::new());
+    }
+    let total_dim = views[0].x.len();
+    let parts: Vec<LocalParts> = views.iter().map(classify).collect();
+    // Cross terms for every split pair in one batched Multiplication
+    // Protocol run. Pairs without split attributes are excluded from the
+    // batch, exactly as the sequential protocol skips their exchange —
+    // ownership is complementary, so both parties filter identically and
+    // logical message counts match the unbatched run.
+    let ys_groups: Vec<Vec<BigInt>> = parts
+        .iter()
+        .filter(|p| !p.split_endpoints.is_empty())
+        .map(|p| {
+            p.split_endpoints
+                .iter()
+                .map(|&v| BigInt::from_i64(v))
+                .collect()
+        })
+        .collect();
+    if !ys_groups.is_empty() {
+        let bound = cfg.mul_mask_bound();
+        mul_batches_peer(
+            chan,
+            bob_pk,
+            &ys_groups,
+            |rng, g| zero_sum_masks(rng, ys_groups[g].len(), &bound),
+            rng,
+        )?;
+    }
+    let domain = adp_domain(cfg, total_dim);
+    let i_vals: Vec<i64> = parts
+        .iter()
+        .map(|p| {
+            ledger.record(cfg.key_bits, domain.n0());
+            p.both_owned + p.split_endpoints.iter().map(|&v| v * v).sum::<i64>()
+        })
+        .collect();
+    compare_batch_alice(
+        cfg.comparator,
+        chan,
+        my_keypair,
+        &i_vals,
+        CmpOp::Leq,
+        &domain,
+        rng,
+    )
+}
+
+/// Round-batched Bob side of [`adp_compare_batch_alice`].
+pub fn adp_compare_batch_bob<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    my_keypair: &Keypair,
+    alice_pk: &PublicKey,
+    views: &[PairView<'_>],
+    rng: &mut R,
+    ledger: &mut YaoLedger,
+) -> Result<Vec<bool>, SmcError> {
+    if views.is_empty() {
+        return Ok(Vec::new());
+    }
+    let total_dim = views[0].x.len();
+    let parts: Vec<LocalParts> = views.iter().map(classify).collect();
+    let mut crosses = vec![0i64; parts.len()];
+    let split_pairs: Vec<usize> = (0..parts.len())
+        .filter(|&i| !parts[i].split_endpoints.is_empty())
+        .collect();
+    if !split_pairs.is_empty() {
+        let xs_groups: Vec<Vec<BigInt>> = split_pairs
+            .iter()
+            .map(|&i| {
+                parts[i]
+                    .split_endpoints
+                    .iter()
+                    .map(|&v| BigInt::from_i64(v))
+                    .collect()
+            })
+            .collect();
+        let ws_groups = mul_batches_keyholder(chan, my_keypair, &xs_groups, rng)?;
+        for (&i, ws) in split_pairs.iter().zip(&ws_groups) {
+            crosses[i] = ws
+                .iter()
+                .fold(BigInt::zero(), |acc, w| &acc + w)
+                .to_i64()
+                .ok_or_else(|| SmcError::protocol("ADP cross term overflows i64"))?;
+        }
+    }
+    let domain = adp_domain(cfg, total_dim);
+    let j_vals: Vec<i64> = parts
+        .iter()
+        .zip(&crosses)
+        .map(|(p, &cross)| {
+            ledger.record(cfg.key_bits, domain.n0());
+            let squares: i64 = p.split_endpoints.iter().map(|&v| v * v).sum();
+            cfg.params.eps_sq as i64 - p.both_owned - squares + 2 * cross
+        })
+        .collect();
+    compare_batch_bob(
+        cfg.comparator,
+        chan,
+        alice_pk,
+        &j_vals,
+        CmpOp::Leq,
+        &domain,
+        rng,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +401,79 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn batch_matches_plain_distance_in_five_rounds() {
+        let cfg = ProtocolConfig::new(
+            DbscanParams {
+                eps_sq: 20,
+                min_pts: 2,
+            },
+            4,
+        );
+        let records = vec![
+            Point::new(vec![1, -2, 3, 0]),
+            Point::new(vec![0, -2, 1, 2]),
+            Point::new(vec![4, 4, -4, -4]),
+            Point::new(vec![0, 0, 0, 0]),
+        ];
+        let part = ArbitraryPartition::random(&mut rng(77), &records);
+        // One batch: record 0 against every other record.
+        let ys: Vec<usize> = vec![1, 2, 3];
+        let (mut achan, mut bchan) = duplex();
+        type OwnedView = (Vec<Option<i64>>, Vec<Option<i64>>);
+        let a_views: Vec<OwnedView> = ys
+            .iter()
+            .map(|&y| (part.alice_values[0].clone(), part.alice_values[y].clone()))
+            .collect();
+        let a = std::thread::spawn(move || {
+            let views: Vec<PairView<'_>> = a_views.iter().map(|(x, y)| PairView { x, y }).collect();
+            let mut r = rng(800);
+            let mut ledger = YaoLedger::default();
+            let out = adp_compare_batch_alice(
+                &mut achan,
+                &cfg,
+                alice_kp(),
+                &bob_kp().public,
+                &views,
+                &mut r,
+                &mut ledger,
+            )
+            .unwrap();
+            (out, achan.metrics())
+        });
+        let b_views: Vec<PairView<'_>> = ys
+            .iter()
+            .map(|&y| PairView {
+                x: &part.bob_values[0],
+                y: &part.bob_values[y],
+            })
+            .collect();
+        let mut r = rng(900);
+        let mut ledger = YaoLedger::default();
+        let bob = adp_compare_batch_bob(
+            &mut bchan,
+            &cfg,
+            bob_kp(),
+            &alice_kp().public,
+            &b_views,
+            &mut r,
+            &mut ledger,
+        )
+        .unwrap();
+        let (alice, metrics) = a.join().unwrap();
+        assert_eq!(alice, bob);
+        for (pos, &y) in ys.iter().enumerate() {
+            let expect = dist_sq(&records[0], &records[y]) <= 20;
+            assert_eq!(alice[pos], expect, "pair (0,{y})");
+        }
+        // 2 rounds of multiplication + 3 of comparison for the whole batch.
+        assert!(
+            metrics.total_rounds() <= 5,
+            "rounds = {}",
+            metrics.total_rounds()
+        );
     }
 
     #[test]

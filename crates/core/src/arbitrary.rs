@@ -9,7 +9,7 @@
 //! while each distance test uses the ADP decomposition ([`crate::adp`]) that
 //! routes split attribute pairs through the Multiplication Protocol.
 
-use crate::adp::{adp_compare_alice, adp_compare_bob, PairView};
+use crate::adp::{adp_compare_set_alice, adp_compare_set_bob, PairView};
 use crate::config::{ProtocolConfig, YaoLedger};
 use crate::driver::{establish, PartyOutput, MODE_ARBITRARY};
 use crate::error::CoreError;
@@ -68,34 +68,37 @@ pub fn arbitrary_party<C: Channel, R: Rng + ?Sized>(
     let mut ledger = YaoLedger::default();
     let clustering = {
         let ledger = &mut ledger;
-        let dist_leq = |x: usize, y: usize| -> Result<bool, CoreError> {
-            let view = PairView {
-                x: &my_values[x],
-                y: &my_values[y],
-            };
+        let dist_leq_set = |x: usize, ys: &[usize]| -> Result<Vec<bool>, CoreError> {
+            let views: Vec<PairView<'_>> = ys
+                .iter()
+                .map(|&y| PairView {
+                    x: &my_values[x],
+                    y: &my_values[y],
+                })
+                .collect();
             let result = match role {
-                Party::Alice => adp_compare_alice(
+                Party::Alice => adp_compare_set_alice(
                     chan,
                     cfg,
                     &session.my_keypair,
                     &session.peer_pk,
-                    view,
+                    &views,
                     rng,
                     ledger,
                 )?,
-                Party::Bob => adp_compare_bob(
+                Party::Bob => adp_compare_set_bob(
                     chan,
                     cfg,
                     &session.my_keypair,
                     &session.peer_pk,
-                    view,
+                    &views,
                     rng,
                     ledger,
                 )?,
             };
             Ok(result)
         };
-        lockstep_dbscan(my_values.len(), cfg.params, dist_leq, &mut leakage)?
+        lockstep_dbscan(my_values.len(), cfg.params, dist_leq_set, &mut leakage)?
     };
 
     Ok(PartyOutput {

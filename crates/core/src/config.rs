@@ -29,6 +29,15 @@ pub struct ProtocolConfig {
     /// the share-comparison domain by the same factor (which the faithful
     /// Yao backend cannot afford — `validate` enforces the cap).
     pub mask_bits: u32,
+    /// Round batching: when `true`, every neighborhood query packs all of
+    /// its candidate comparisons (and their multiplication stages) into one
+    /// wire frame per protocol message instead of one round-trip per
+    /// comparison, collapsing wire rounds from `O(candidates)` to `O(1)`
+    /// per query. Outputs, leakage, and comparison counts are identical to
+    /// the unbatched run under the same seeds (pinned by the
+    /// `batching_parity` integration tests); only the framing changes. See
+    /// DESIGN.md §7.
+    pub batching: bool,
 }
 
 impl ProtocolConfig {
@@ -42,7 +51,14 @@ impl ProtocolConfig {
             comparator: Comparator::Ideal,
             selection: SelectionMethod::RepeatedMin,
             mask_bits: 20,
+            batching: false,
         }
+    }
+
+    /// Returns a copy with round batching switched on or off (both parties
+    /// must agree; the handshake rejects a mismatch).
+    pub fn with_batching(self, batching: bool) -> Self {
+        ProtocolConfig { batching, ..self }
     }
 
     /// Same defaults but with the faithful Yao comparator and σ = 2 (the
@@ -162,6 +178,9 @@ mod tests {
     fn default_config_validates() {
         let cfg = ProtocolConfig::new(params(25, 4), 100);
         assert!(cfg.validate(2).is_ok());
+        assert!(!cfg.batching, "batching defaults off (reference mode)");
+        assert!(cfg.with_batching(true).batching);
+        assert!(cfg.with_batching(true).validate(2).is_ok());
     }
 
     #[test]

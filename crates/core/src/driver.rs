@@ -117,6 +117,7 @@ pub(crate) fn establish_with_keypair<C: Channel>(
         comparator_tag(cfg.comparator),
         selection_tag(cfg.selection),
         cfg.mask_bits as u64,
+        cfg.batching as u64,
     ];
     chan.send(&meta)?;
     let peer_meta: Vec<u64> = chan.recv()?;
@@ -144,6 +145,7 @@ pub(crate) fn establish_with_keypair<C: Channel>(
     check(7, "comparator")?;
     check(8, "selection method")?;
     check(9, "mask bits")?;
+    check(10, "batching")?;
     // Vertical/arbitrary protocols also need identical record counts, which
     // the caller checks via `peer_n`.
     Ok(Session {

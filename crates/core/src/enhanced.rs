@@ -29,7 +29,9 @@ use ppds_bigint::{BigInt, BigUint};
 use ppds_dbscan::Point;
 use ppds_paillier::{Keypair, PublicKey};
 use ppds_smc::compare::{compare_alice, compare_bob, CmpOp};
-use ppds_smc::kth::{kth_smallest_alice, kth_smallest_bob};
+use ppds_smc::kth::{
+    kth_smallest_alice, kth_smallest_alice_batched, kth_smallest_bob, kth_smallest_bob_batched,
+};
 use ppds_smc::multiplication::{dot_many_keyholder, dot_many_peer};
 use ppds_smc::{LeakageEvent, LeakageLog, SmcError};
 use ppds_transport::Channel;
@@ -80,18 +82,33 @@ pub fn enhanced_core_test_querier<C: Channel, R: Rng + ?Sized>(
     let raw = dot_many_keyholder(chan, my_keypair, &xs, responder_count, rng)?;
     let shares: Vec<i64> = raw.iter().map(share_to_i64).collect::<Result<_, _>>()?;
 
-    // Phase 2: k-th smallest shared distance.
+    // Phase 2: k-th smallest shared distance. Batching runs quickselect
+    // partitions as one comparison frame set per level (repeated-min is
+    // inherently sequential and executes identically either way).
     let domain = enhanced_share_domain(cfg, dim);
-    let outcome = kth_smallest_alice(
-        cfg.selection,
-        cfg.comparator,
-        chan,
-        my_keypair,
-        &shares,
-        k_needed,
-        &domain,
-        rng,
-    )?;
+    let outcome = if cfg.batching {
+        kth_smallest_alice_batched(
+            cfg.selection,
+            cfg.comparator,
+            chan,
+            my_keypair,
+            &shares,
+            k_needed,
+            &domain,
+            rng,
+        )?
+    } else {
+        kth_smallest_alice(
+            cfg.selection,
+            cfg.comparator,
+            chan,
+            my_keypair,
+            &shares,
+            k_needed,
+            &domain,
+            rng,
+        )?
+    };
     for _ in 0..outcome.comparisons {
         ledger.record(cfg.key_bits, domain.n0());
     }
@@ -162,18 +179,31 @@ pub fn enhanced_core_respond<C: Channel, R: Rng + ?Sized>(
     let masks = dot_many_peer(chan, querier_pk, &rows, &mask_bound, rng)?;
     let shares: Vec<i64> = masks.iter().map(share_to_i64).collect::<Result<_, _>>()?;
 
-    // Phase 2: mirror the selection.
+    // Phase 2: mirror the selection (batched partitions when enabled).
     let domain = enhanced_share_domain(cfg, dim);
-    let outcome = kth_smallest_bob(
-        cfg.selection,
-        cfg.comparator,
-        chan,
-        querier_pk,
-        &shares,
-        k,
-        &domain,
-        rng,
-    )?;
+    let outcome = if cfg.batching {
+        kth_smallest_bob_batched(
+            cfg.selection,
+            cfg.comparator,
+            chan,
+            querier_pk,
+            &shares,
+            k,
+            &domain,
+            rng,
+        )?
+    } else {
+        kth_smallest_bob(
+            cfg.selection,
+            cfg.comparator,
+            chan,
+            querier_pk,
+            &shares,
+            k,
+            &domain,
+            rng,
+        )?
+    };
     for _ in 0..outcome.comparisons {
         ledger.record(cfg.key_bits, domain.n0());
     }

@@ -27,8 +27,12 @@ use crate::domain::hdp_domain;
 use ppds_bigint::BigInt;
 use ppds_dbscan::Point;
 use ppds_paillier::{Keypair, PublicKey};
-use ppds_smc::compare::{compare_alice, compare_bob, CmpOp};
-use ppds_smc::multiplication::{mul_batch_keyholder, mul_batch_peer, zero_sum_masks};
+use ppds_smc::compare::{
+    compare_alice, compare_batch_alice, compare_batch_bob, compare_bob, CmpOp,
+};
+use ppds_smc::multiplication::{
+    mul_batch_keyholder, mul_batch_peer, mul_batches_keyholder, mul_batches_peer, zero_sum_masks,
+};
 use ppds_smc::{LeakageEvent, LeakageLog, SmcError};
 use ppds_transport::Channel;
 use rand::seq::SliceRandom;
@@ -123,6 +127,185 @@ pub fn hdp_respond<C: Channel, R: Rng + ?Sized>(
             count += 1;
             leakage.record(LeakageEvent::OwnPointMatched {
                 point: format!("own#{idx}"),
+            });
+        }
+    }
+    Ok(count)
+}
+
+/// One neighborhood query dispatched on `cfg.batching`:
+/// [`hdp_query_querier_batch`] when on, [`hdp_query_querier`] when off.
+/// The count returned is identical either way.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
+pub fn hdp_query<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    my_keypair: &Keypair,
+    responder_pk: &PublicKey,
+    query: &Point,
+    responder_count: usize,
+    rng: &mut R,
+    ledger: &mut YaoLedger,
+) -> Result<usize, SmcError> {
+    if cfg.batching {
+        hdp_query_querier_batch(
+            chan,
+            cfg,
+            my_keypair,
+            responder_pk,
+            query,
+            responder_count,
+            rng,
+            ledger,
+        )
+    } else {
+        hdp_query_querier(
+            chan,
+            cfg,
+            my_keypair,
+            responder_pk,
+            query,
+            responder_count,
+            rng,
+            ledger,
+        )
+    }
+}
+
+/// Responder side of [`hdp_query`], dispatched the same way.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
+pub fn hdp_serve<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    my_keypair: &Keypair,
+    querier_pk: &PublicKey,
+    my_points: &[Point],
+    rng: &mut R,
+    ledger: &mut YaoLedger,
+    leakage: &mut LeakageLog,
+) -> Result<usize, SmcError> {
+    if cfg.batching {
+        hdp_respond_batch(
+            chan, cfg, my_keypair, querier_pk, my_points, rng, ledger, leakage,
+        )
+    } else {
+        hdp_respond(
+            chan, cfg, my_keypair, querier_pk, my_points, rng, ledger, leakage,
+        )
+    }
+}
+
+/// Round-batched querier side: the same neighborhood query as
+/// [`hdp_query_querier`], but the multiplication stage for **all**
+/// responder points rides one wire frame each direction and the final
+/// decisions run as one batched comparison — 5 rounds per query instead of
+/// 5 per responder point.
+///
+/// The querier's mask draws interleave per point exactly as in the
+/// sequential protocol (see [`mul_batches_peer`]), so under the same seeds
+/// the count returned, the responder's permutation, and both leakage logs
+/// are identical to the unbatched run.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
+pub fn hdp_query_querier_batch<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    my_keypair: &Keypair,
+    responder_pk: &PublicKey,
+    query: &Point,
+    responder_count: usize,
+    rng: &mut R,
+    ledger: &mut YaoLedger,
+) -> Result<usize, SmcError> {
+    if responder_count == 0 {
+        return Ok(0);
+    }
+    let dim = query.dim();
+    let domain = hdp_domain(cfg, dim);
+    let i_val = i64::try_from(query.norm_sq()).expect("ΣA² fits i64 on a validated lattice");
+    let ys = coords_as_bigint(query);
+    // Stage 1: every responder point's masked products in one frame pair.
+    // Every group is the same query vector, borrowed — not cloned — per point.
+    let ys_groups: Vec<&[BigInt]> = vec![ys.as_slice(); responder_count];
+    let bound = cfg.mul_mask_bound();
+    mul_batches_peer(
+        chan,
+        responder_pk,
+        &ys_groups,
+        |rng, _| zero_sum_masks(rng, dim, &bound),
+        rng,
+    )?;
+    // Stage 2: one batched comparison run for the whole candidate set.
+    let values = vec![i_val; responder_count];
+    for _ in 0..responder_count {
+        ledger.record(cfg.key_bits, domain.n0());
+    }
+    let within = compare_batch_alice(
+        cfg.comparator,
+        chan,
+        my_keypair,
+        &values,
+        CmpOp::Leq,
+        &domain,
+        rng,
+    )?;
+    Ok(within.into_iter().filter(|&b| b).count())
+}
+
+/// Round-batched responder side of [`hdp_query_querier_batch`]. The fresh
+/// per-query permutation (the Figure 1 defense) is drawn exactly as in
+/// [`hdp_respond`], and matched own-point leakage events are recorded in
+/// the same permuted order.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
+pub fn hdp_respond_batch<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    my_keypair: &Keypair,
+    querier_pk: &PublicKey,
+    my_points: &[Point],
+    rng: &mut R,
+    ledger: &mut YaoLedger,
+    leakage: &mut LeakageLog,
+) -> Result<usize, SmcError> {
+    let dim = my_points.first().map_or(0, Point::dim);
+    let domain = hdp_domain(cfg, dim);
+    let eps = cfg.params.eps_sq as i64;
+
+    let mut order: Vec<usize> = (0..my_points.len()).collect();
+    order.shuffle(rng);
+    if my_points.is_empty() {
+        return Ok(0);
+    }
+
+    let xs_groups: Vec<Vec<BigInt>> = order
+        .iter()
+        .map(|&idx| coords_as_bigint(&my_points[idx]))
+        .collect();
+    let ws_groups = mul_batches_keyholder(chan, my_keypair, &xs_groups, rng)?;
+    let mut j_vals = Vec::with_capacity(order.len());
+    for (&idx, ws) in order.iter().zip(&ws_groups) {
+        let inner_product: i64 = ws
+            .iter()
+            .fold(BigInt::zero(), |acc, w| &acc + w)
+            .to_i64()
+            .ok_or_else(|| SmcError::protocol("inner product overflows i64"))?;
+        ledger.record(cfg.key_bits, domain.n0());
+        j_vals.push(eps - my_points[idx].norm_sq() as i64 + 2 * inner_product);
+    }
+    let within = compare_batch_bob(
+        cfg.comparator,
+        chan,
+        querier_pk,
+        &j_vals,
+        CmpOp::Leq,
+        &domain,
+        rng,
+    )?;
+    let mut count = 0usize;
+    for (pos, &matched) in within.iter().enumerate() {
+        if matched {
+            count += 1;
+            leakage.record(LeakageEvent::OwnPointMatched {
+                point: format!("own#{}", order[pos]),
             });
         }
     }
@@ -224,6 +407,96 @@ mod tests {
         assert_eq!(qc, expected);
         assert_eq!(rc, expected);
         assert_eq!(leakage.count_kind("own_point_matched"), expected);
+    }
+
+    fn run_query_batch(
+        cfg: &ProtocolConfig,
+        query: Point,
+        responder_points: Vec<Point>,
+        seeds: (u64, u64),
+    ) -> (usize, usize, LeakageLog, ppds_transport::MetricsSnapshot) {
+        let (mut qchan, mut rchan) = duplex();
+        let nb = responder_points.len();
+        let cfg_q = *cfg;
+        let q = std::thread::spawn(move || {
+            let mut r = rng(seeds.0);
+            let mut ledger = YaoLedger::default();
+            let count = hdp_query_querier_batch(
+                &mut qchan,
+                &cfg_q,
+                querier_kp(),
+                &responder_kp().public,
+                &query,
+                nb,
+                &mut r,
+                &mut ledger,
+            )
+            .unwrap();
+            (count, qchan.metrics())
+        });
+        let mut r = rng(seeds.1);
+        let mut ledger = YaoLedger::default();
+        let mut leakage = LeakageLog::new();
+        let responder_count = hdp_respond_batch(
+            &mut rchan,
+            cfg,
+            responder_kp(),
+            &querier_kp().public,
+            &responder_points,
+            &mut r,
+            &mut ledger,
+            &mut leakage,
+        )
+        .unwrap();
+        let (querier_count, metrics) = q.join().unwrap();
+        (querier_count, responder_count, leakage, metrics)
+    }
+
+    #[test]
+    fn batched_query_matches_sequential_and_collapses_rounds() {
+        let cfg = ProtocolConfig::new(
+            DbscanParams {
+                eps_sq: 9,
+                min_pts: 3,
+            },
+            10,
+        );
+        let query = Point::new(vec![0, 0]);
+        let responder_points = vec![
+            Point::new(vec![1, 1]),
+            Point::new(vec![3, 0]),
+            Point::new(vec![3, 1]),
+            Point::new(vec![-2, -2]),
+            Point::new(vec![10, 10]),
+        ];
+        // Same seeds as the sequential run: count AND leakage must match
+        // (the responder's permutation is drawn at the same stream point).
+        let (seq_q, seq_r, seq_leak) = run_query(&cfg, query.clone(), responder_points.clone());
+        let (bat_q, bat_r, bat_leak, metrics) =
+            run_query_batch(&cfg, query, responder_points, (100, 200));
+        assert_eq!(bat_q, seq_q);
+        assert_eq!(bat_r, seq_r);
+        assert_eq!(bat_leak, seq_leak, "identical permuted leakage order");
+        // 5 rounds per query (2 mul + 3 compare) instead of 5 per point.
+        assert_eq!(metrics.total_rounds(), 5);
+        assert!(metrics.total_messages() > metrics.total_rounds());
+    }
+
+    #[test]
+    fn batched_empty_responder_set() {
+        let cfg = ProtocolConfig::new(
+            DbscanParams {
+                eps_sq: 4,
+                min_pts: 2,
+            },
+            5,
+        );
+        let (qc, rc, leakage, metrics) =
+            run_query_batch(&cfg, Point::new(vec![0, 0]), vec![], (100, 200));
+        assert_eq!(qc, 0);
+        assert_eq!(rc, 0);
+        assert!(leakage.is_empty());
+        assert_eq!(metrics.total_rounds(), 0);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::config::{ProtocolConfig, YaoLedger};
 use crate::driver::{establish, PartyOutput, MODE_ENHANCED, MODE_HORIZONTAL};
 use crate::enhanced::{enhanced_core_respond, enhanced_core_test_querier};
 use crate::error::CoreError;
-use crate::hdp::{hdp_query_querier, hdp_respond};
+use crate::hdp::{hdp_query, hdp_serve};
 use ppds_dbscan::index::{LinearIndex, NeighborIndex};
 use ppds_dbscan::{Clustering, DbscanParams, Label, Point};
 use ppds_smc::{LeakageEvent, LeakageLog, Party};
@@ -166,7 +166,9 @@ pub fn horizontal_party<C: Channel, R: Rng + ?Sized>(
     let run_query_phase =
         |chan: &mut C, rng: &mut R, leakage: &mut LeakageLog, ledger: &mut YaoLedger| {
             querier_phase(chan, cfg.params, my_points, |chan, idx, own_count| {
-                let peer_count = hdp_query_querier(
+                // One HDP query per core test: batched mode ships the whole
+                // responder set in O(1) wire rounds.
+                let peer_count = hdp_query(
                     chan,
                     cfg,
                     &session.my_keypair,
@@ -186,7 +188,7 @@ pub fn horizontal_party<C: Channel, R: Rng + ?Sized>(
     let run_respond_phase =
         |chan: &mut C, rng: &mut R, leakage: &mut LeakageLog, ledger: &mut YaoLedger| {
             responder_phase(chan, |chan| {
-                hdp_respond(
+                hdp_serve(
                     chan,
                     cfg,
                     &session.my_keypair,

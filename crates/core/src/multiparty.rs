@@ -27,7 +27,7 @@
 use crate::config::{ProtocolConfig, YaoLedger};
 use crate::driver::{establish_with_keypair, PartyOutput, Session};
 use crate::error::CoreError;
-use crate::hdp::{hdp_query_querier, hdp_respond};
+use crate::hdp::{hdp_query, hdp_serve};
 use crate::horizontal::check_points;
 use ppds_dbscan::index::{LinearIndex, NeighborIndex};
 use ppds_dbscan::{Clustering, Label, Point};
@@ -166,7 +166,7 @@ fn query_phase<C: Channel, R: Rng + ?Sized>(
         for (pos, (peer_id, chan)) in peers.iter_mut().enumerate() {
             chan.send(&TAG_QUERY)?;
             let session = &sessions[pos].1;
-            let count = hdp_query_querier(
+            let count = hdp_query(
                 chan,
                 cfg,
                 &session.my_keypair,
@@ -253,7 +253,7 @@ fn respond_phase<C: Channel, R: Rng + ?Sized>(
         match tag {
             TAG_DONE => return Ok(()),
             TAG_QUERY => {
-                hdp_respond(
+                hdp_serve(
                     chan,
                     cfg,
                     &session.my_keypair,

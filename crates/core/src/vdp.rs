@@ -10,7 +10,9 @@
 use crate::config::{ProtocolConfig, YaoLedger};
 use crate::domain::vdp_domain;
 use ppds_paillier::{Keypair, PublicKey};
-use ppds_smc::compare::{compare_alice, compare_bob, CmpOp};
+use ppds_smc::compare::{
+    compare_alice, compare_batch_alice, compare_batch_bob, compare_bob, CmpOp,
+};
 use ppds_smc::SmcError;
 use ppds_transport::Channel;
 use rand::Rng;
@@ -66,6 +68,110 @@ pub fn vdp_compare_bob<C: Channel, R: Rng + ?Sized>(
         chan,
         alice_pk,
         j_val,
+        CmpOp::Leq,
+        &domain,
+        rng,
+    )
+}
+
+/// One VDP decision per entry of `alphas` (Alice's local squared-delta
+/// sums for a whole candidate set), dispatched on `cfg.batching`: batched
+/// mode packs the set into a constant number of wire rounds, reference
+/// mode runs one [`vdp_compare_alice`] ping-pong per entry. Outcomes are
+/// identical either way.
+pub fn vdp_compare_set_alice<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    my_keypair: &Keypair,
+    alphas: &[u64],
+    total_dim: usize,
+    rng: &mut R,
+    ledger: &mut YaoLedger,
+) -> Result<Vec<bool>, SmcError> {
+    if cfg.batching {
+        return vdp_compare_batch_alice(chan, cfg, my_keypair, alphas, total_dim, rng, ledger);
+    }
+    alphas
+        .iter()
+        .map(|&alpha| vdp_compare_alice(chan, cfg, my_keypair, alpha, total_dim, rng, ledger))
+        .collect()
+}
+
+/// Bob's side of [`vdp_compare_set_alice`].
+pub fn vdp_compare_set_bob<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    alice_pk: &PublicKey,
+    betas: &[u64],
+    total_dim: usize,
+    rng: &mut R,
+    ledger: &mut YaoLedger,
+) -> Result<Vec<bool>, SmcError> {
+    if cfg.batching {
+        return vdp_compare_batch_bob(chan, cfg, alice_pk, betas, total_dim, rng, ledger);
+    }
+    betas
+        .iter()
+        .map(|&beta| vdp_compare_bob(chan, cfg, alice_pk, beta, total_dim, rng, ledger))
+        .collect()
+}
+
+/// Round-batched Alice side: one VDP decision per entry of `alphas` (her
+/// local squared-delta sums for a whole candidate set), all packed into a
+/// constant number of wire rounds. Outcome `r[i]` equals what
+/// [`vdp_compare_alice`] would return for `alphas[i]`.
+pub fn vdp_compare_batch_alice<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    my_keypair: &Keypair,
+    alphas: &[u64],
+    total_dim: usize,
+    rng: &mut R,
+    ledger: &mut YaoLedger,
+) -> Result<Vec<bool>, SmcError> {
+    let domain = vdp_domain(cfg, total_dim);
+    let values: Vec<i64> = alphas
+        .iter()
+        .map(|&alpha| {
+            ledger.record(cfg.key_bits, domain.n0());
+            i64::try_from(alpha).expect("α fits i64 on a validated lattice")
+        })
+        .collect();
+    compare_batch_alice(
+        cfg.comparator,
+        chan,
+        my_keypair,
+        &values,
+        CmpOp::Leq,
+        &domain,
+        rng,
+    )
+}
+
+/// Round-batched Bob side of [`vdp_compare_batch_alice`]; `betas` are his
+/// local squared-delta sums for the same candidate set, in the same order.
+pub fn vdp_compare_batch_bob<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    alice_pk: &PublicKey,
+    betas: &[u64],
+    total_dim: usize,
+    rng: &mut R,
+    ledger: &mut YaoLedger,
+) -> Result<Vec<bool>, SmcError> {
+    let domain = vdp_domain(cfg, total_dim);
+    let values: Vec<i64> = betas
+        .iter()
+        .map(|&beta| {
+            ledger.record(cfg.key_bits, domain.n0());
+            cfg.params.eps_sq as i64 - i64::try_from(beta).expect("β fits i64")
+        })
+        .collect();
+    compare_batch_bob(
+        cfg.comparator,
+        chan,
+        alice_pk,
+        &values,
         CmpOp::Leq,
         &domain,
         rng,
@@ -140,6 +246,58 @@ mod tests {
             let expect = alpha + beta <= 10;
             assert_eq!(run(cfg, alpha, beta, 2), expect, "α={alpha} β={beta}");
         }
+    }
+
+    #[test]
+    fn batch_matches_singles_in_three_rounds() {
+        let cfg = ProtocolConfig::new(
+            DbscanParams {
+                eps_sq: 10,
+                min_pts: 2,
+            },
+            3,
+        );
+        let alphas: Vec<u64> = vec![0, 5, 5, 10, 0, 11, 3];
+        let betas: Vec<u64> = vec![0, 5, 6, 0, 10, 0, 4];
+        let expect: Vec<bool> = alphas
+            .iter()
+            .zip(&betas)
+            .map(|(&a, &b)| a + b <= 10)
+            .collect();
+        let (mut achan, mut bchan) = duplex();
+        let alphas2 = alphas.clone();
+        let a = std::thread::spawn(move || {
+            let mut r = rng(3);
+            let mut ledger = YaoLedger::default();
+            let out = vdp_compare_batch_alice(
+                &mut achan,
+                &cfg,
+                alice_kp(),
+                &alphas2,
+                2,
+                &mut r,
+                &mut ledger,
+            )
+            .unwrap();
+            (out, ledger, achan.metrics())
+        });
+        let mut r = rng(4);
+        let mut ledger = YaoLedger::default();
+        let bob = vdp_compare_batch_bob(
+            &mut bchan,
+            &cfg,
+            &alice_kp().public,
+            &betas,
+            2,
+            &mut r,
+            &mut ledger,
+        )
+        .unwrap();
+        let (alice, a_ledger, metrics) = a.join().unwrap();
+        assert_eq!(alice, expect);
+        assert_eq!(bob, expect);
+        assert_eq!(a_ledger.comparisons, alphas.len() as u64);
+        assert_eq!(metrics.total_rounds(), 3, "one Ideal exchange for all 7");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use crate::config::{ProtocolConfig, YaoLedger};
 use crate::driver::{establish, PartyOutput, MODE_VERTICAL};
 use crate::error::CoreError;
-use crate::vdp::{local_delta_sq, vdp_compare_alice, vdp_compare_bob};
+use crate::vdp::{local_delta_sq, vdp_compare_set_alice, vdp_compare_set_bob};
 use ppds_dbscan::{Clustering, DbscanParams, Label, Point};
 use ppds_smc::{LeakageEvent, LeakageLog, Party};
 use ppds_transport::Channel;
@@ -27,23 +27,36 @@ enum State {
 }
 
 /// The shared lockstep DBSCAN engine: Algorithm 5/6 where every region
-/// query is assembled from `n - 1` joint comparisons (`dist_leq(x, y)`)
-/// plus the point itself. Also used by the arbitrary-partition driver.
+/// query hands its full candidate set (`n - 1` record indices) to one
+/// oracle call, which returns one joint `dist² ≤ Eps²` bit per candidate.
+/// A batching driver answers the whole set in O(1) wire rounds; an
+/// unbatched driver loops one comparison per candidate inside the oracle.
+/// Also used by the arbitrary-partition driver.
 pub(crate) fn lockstep_dbscan<F>(
     n: usize,
     params: DbscanParams,
-    mut dist_leq: F,
+    mut dist_leq_set: F,
     leakage: &mut LeakageLog,
 ) -> Result<Clustering, CoreError>
 where
-    F: FnMut(usize, usize) -> Result<bool, CoreError>,
+    F: FnMut(usize, &[usize]) -> Result<Vec<bool>, CoreError>,
 {
     let mut region_query = |x: usize, leakage: &mut LeakageLog| -> Result<Vec<usize>, CoreError> {
-        let mut neighbors = Vec::new();
+        // Self-distance is zero by definition; excluding the point from the
+        // candidate set leaks nothing (both sides skip deterministically).
+        let candidates: Vec<usize> = (0..n).filter(|&y| y != x).collect();
+        let within = dist_leq_set(x, &candidates)?;
+        if within.len() != candidates.len() {
+            return Err(CoreError::mismatch(format!(
+                "region query arity: {} candidates vs {} answers",
+                candidates.len(),
+                within.len()
+            )));
+        }
+        let mut neighbors = Vec::with_capacity(n);
+        let mut answers = within.iter();
         for y in 0..n {
-            // Self-distance is zero by definition; skipping the protocol
-            // round leaks nothing (both sides skip deterministically).
-            if y == x || dist_leq(x, y)? {
+            if y == x || *answers.next().expect("one answer per candidate") {
                 neighbors.push(y);
             }
         }
@@ -143,25 +156,34 @@ pub fn vertical_party<C: Channel, R: Rng + ?Sized>(
     let mut ledger = YaoLedger::default();
     let clustering = {
         let ledger = &mut ledger;
-        let dist_leq = |x: usize, y: usize| -> Result<bool, CoreError> {
-            let local = local_delta_sq(&my_attrs[x], &my_attrs[y]);
+        let dist_leq_set = |x: usize, ys: &[usize]| -> Result<Vec<bool>, CoreError> {
+            let locals: Vec<u64> = ys
+                .iter()
+                .map(|&y| local_delta_sq(&my_attrs[x], &my_attrs[y]))
+                .collect();
             let result = match role {
-                Party::Alice => vdp_compare_alice(
+                Party::Alice => vdp_compare_set_alice(
                     chan,
                     cfg,
                     &session.my_keypair,
-                    local,
+                    &locals,
                     total_dim,
                     rng,
                     ledger,
                 )?,
-                Party::Bob => {
-                    vdp_compare_bob(chan, cfg, &session.peer_pk, local, total_dim, rng, ledger)?
-                }
+                Party::Bob => vdp_compare_set_bob(
+                    chan,
+                    cfg,
+                    &session.peer_pk,
+                    &locals,
+                    total_dim,
+                    rng,
+                    ledger,
+                )?,
             };
             Ok(result)
         };
-        lockstep_dbscan(my_attrs.len(), cfg.params, dist_leq, &mut leakage)?
+        lockstep_dbscan(my_attrs.len(), cfg.params, dist_leq_set, &mut leakage)?
     };
 
     Ok(PartyOutput {

@@ -160,6 +160,39 @@ fn engine_matches_direct_drivers() {
 }
 
 #[test]
+fn batched_jobs_match_unbatched_with_fewer_rounds() {
+    // The engine-facing batching knob: same descriptor, same seed, one job
+    // batched — labels and leakage identical, wire rounds collapse.
+    let engine = Engine::start(EngineConfig::with_workers(2));
+    let make = || {
+        ClusteringJob::new(
+            cfg(8, 2, 10),
+            SessionRequest::Vertical(VerticalPartition::split(&random_points(10, 10, 555), 1)),
+            42,
+        )
+    };
+    let plain = engine.wait(engine.submit(make()));
+    let batched = engine.wait(engine.submit(make().with_batching(true)));
+    for (p, b) in plain.outputs().iter().zip(batched.outputs()) {
+        assert_eq!(p.clustering, b.clustering);
+        assert_eq!(p.leakage, b.leakage);
+        assert_eq!(p.yao, b.yao);
+        assert!(
+            p.traffic.total_rounds() as f64 >= 5.0 * b.traffic.total_rounds() as f64,
+            "rounds {} vs {}",
+            p.traffic.total_rounds(),
+            b.traffic.total_rounds()
+        );
+    }
+    // Rollups aggregate rounds like every other counter.
+    let report = engine.shutdown();
+    assert_eq!(
+        report.traffic.total_rounds(),
+        plain.traffic.total_rounds() + batched.traffic.total_rounds()
+    );
+}
+
+#[test]
 fn resubmitted_job_reproduces_identical_results() {
     let engine = Engine::start(EngineConfig::with_workers(4));
     let job = horizontal_job(99);

@@ -141,6 +141,78 @@ pub fn compare_bob<C: Channel, R: Rng + ?Sized>(
     }
 }
 
+/// Round-batched Alice side: `values.len()` independent comparisons against
+/// Bob's equally long vector, all sharing one `op` and one `domain`, packed
+/// into a constant number of wire rounds instead of one round-trip each.
+///
+/// Both parties must call the batch entry points with vectors of the same
+/// length (the protocols guarantee this: both sides know the candidate set
+/// size). Per element, the outcome is exactly
+/// `compare_alice(values[i]) OP compare_bob(values[i])` — the Ideal and Dgk
+/// backends pack their per-comparison messages into shared [`Batch`]
+/// frames; the faithful Yao backend has no batched form (Algorithm 1's
+/// z-sequence is per-comparison interactive state), so it degrades to the
+/// sequential loop with identical results and no round win.
+///
+/// [`Batch`]: ppds_transport::Batch
+pub fn compare_batch_alice<C: Channel, R: Rng + ?Sized>(
+    comparator: Comparator,
+    chan: &mut C,
+    keypair: &Keypair,
+    values: &[i64],
+    op: CmpOp,
+    domain: &ComparisonDomain,
+    rng: &mut R,
+) -> Result<Vec<bool>, SmcError> {
+    if values.is_empty() {
+        return Ok(Vec::new());
+    }
+    let is: Vec<u64> = values
+        .iter()
+        .map(|&v| domain.encode(v))
+        .collect::<Result<_, _>>()?;
+    match comparator {
+        Comparator::Yao => is
+            .iter()
+            .map(|&i| millionaires::yao_alice(chan, keypair, i, &domain.yao_config(), rng))
+            .collect(),
+        Comparator::Ideal => ideal_batch_alice(chan, keypair.public.bits(), &is, op, domain),
+        Comparator::Dgk => crate::bitwise::dgk_batch_alice(chan, keypair, &is, domain.n0(), rng),
+    }
+}
+
+/// Round-batched Bob side of [`compare_batch_alice`].
+pub fn compare_batch_bob<C: Channel, R: Rng + ?Sized>(
+    comparator: Comparator,
+    chan: &mut C,
+    alice_pk: &PublicKey,
+    values: &[i64],
+    op: CmpOp,
+    domain: &ComparisonDomain,
+    rng: &mut R,
+) -> Result<Vec<bool>, SmcError> {
+    if values.is_empty() {
+        return Ok(Vec::new());
+    }
+    let j_effs: Vec<u64> = values
+        .iter()
+        .map(|&v| {
+            domain.encode(v).map(|j| match op {
+                CmpOp::Lt => j,
+                CmpOp::Leq => j + 1,
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    match comparator {
+        Comparator::Yao => j_effs
+            .iter()
+            .map(|&j| millionaires::yao_bob(chan, alice_pk, j, &domain.yao_config(), rng))
+            .collect(),
+        Comparator::Ideal => ideal_batch_bob(chan, alice_pk.bits(), &j_effs, domain),
+        Comparator::Dgk => crate::bitwise::dgk_batch_bob(chan, alice_pk, &j_effs, domain.n0(), rng),
+    }
+}
+
 /// Share comparison (§5): Alice holds `u_a, u_b`, Bob holds `v_a, v_b`,
 /// shares of `dist_a = u_a - v_a` and `dist_b = u_b - v_b`. Both learn
 /// whether `dist_a < dist_b`, via `u_a - u_b < v_a - v_b`.
@@ -177,6 +249,48 @@ pub fn share_less_than_bob<C: Channel, R: Rng + ?Sized>(
         hi: domain.hi,
     })?;
     compare_bob(comparator, chan, alice_pk, diff, CmpOp::Lt, domain, rng)
+}
+
+fn share_diffs(pairs: &[(i64, i64)], domain: &ComparisonDomain) -> Result<Vec<i64>, SmcError> {
+    pairs
+        .iter()
+        .map(|&(a, b)| {
+            a.checked_sub(b).ok_or(SmcError::DomainViolation {
+                value: i64::MAX,
+                lo: domain.lo,
+                hi: domain.hi,
+            })
+        })
+        .collect()
+}
+
+/// Round-batched share comparisons: each pair `(u_a, u_b)` against Bob's
+/// `(v_a, v_b)` decides `dist_a < dist_b`, all in a constant number of wire
+/// rounds (see [`compare_batch_alice`]). Used by the enhanced protocol's
+/// batched quickselect partitions.
+pub fn share_less_than_batch_alice<C: Channel, R: Rng + ?Sized>(
+    comparator: Comparator,
+    chan: &mut C,
+    keypair: &Keypair,
+    pairs: &[(i64, i64)],
+    domain: &ComparisonDomain,
+    rng: &mut R,
+) -> Result<Vec<bool>, SmcError> {
+    let diffs = share_diffs(pairs, domain)?;
+    compare_batch_alice(comparator, chan, keypair, &diffs, CmpOp::Lt, domain, rng)
+}
+
+/// Bob's half of [`share_less_than_batch_alice`].
+pub fn share_less_than_batch_bob<C: Channel, R: Rng + ?Sized>(
+    comparator: Comparator,
+    chan: &mut C,
+    alice_pk: &PublicKey,
+    pairs: &[(i64, i64)],
+    domain: &ComparisonDomain,
+    rng: &mut R,
+) -> Result<Vec<bool>, SmcError> {
+    let diffs = share_diffs(pairs, domain)?;
+    compare_batch_bob(comparator, chan, alice_pk, &diffs, CmpOp::Lt, domain, rng)
 }
 
 // ---------------------------------------------------------------------------
@@ -232,6 +346,70 @@ fn ideal_bob<C: Channel>(
     let (result, _pad): (bool, Vec<u8>) = chan.recv()?;
     chan.send(&(result, padding(m3, 5)))?;
     Ok(result)
+}
+
+/// Batched Ideal backend: the three per-comparison messages of
+/// [`ideal_alice`]/[`ideal_bob`] become three [`Batch`] frames carrying one
+/// item per comparison, each item padded exactly as its unbatched
+/// counterpart — so modeled bytes stay per-comparison comparable while the
+/// round count drops from `3k` to 3.
+///
+/// [`Batch`]: ppds_transport::Batch
+fn ideal_batch_alice<C: Channel>(
+    chan: &mut C,
+    key_bits: usize,
+    is: &[u64],
+    _op: CmpOp,
+    domain: &ComparisonDomain,
+) -> Result<Vec<bool>, SmcError> {
+    let (m1, m2, m3) = millionaires::modeled_message_sizes(key_bits, domain.n0());
+    // Round 1 (Bob→Alice): Bob's effective inputs.
+    let incoming: Vec<(u64, Vec<u8>)> = chan.recv_batch()?;
+    if incoming.len() != is.len() {
+        return Err(SmcError::protocol(format!(
+            "ideal batch arity mismatch: {} inputs vs {} received",
+            is.len(),
+            incoming.len()
+        )));
+    }
+    let results: Vec<bool> = is
+        .iter()
+        .zip(&incoming)
+        .map(|(&i, &(j_eff, _))| i < j_eff)
+        .collect();
+    // Round 2 (Alice→Bob): the results, each padded to the z-sequence size.
+    let reply: Vec<(bool, Vec<u8>)> = results.iter().map(|&r| (r, padding(m2, 5))).collect();
+    chan.send_batch(&reply)?;
+    // Round 3 (Bob→Alice): conclusion echoes, as in Algorithm 1 step 7.
+    let echoed: Vec<(bool, Vec<u8>)> = chan.recv_batch()?;
+    if echoed.len() != results.len() || echoed.iter().zip(&results).any(|(e, &r)| e.0 != r) {
+        return Err(SmcError::protocol("ideal batch comparator echo mismatch"));
+    }
+    let _ = (m1, m3);
+    Ok(results)
+}
+
+fn ideal_batch_bob<C: Channel>(
+    chan: &mut C,
+    key_bits: usize,
+    j_effs: &[u64],
+    domain: &ComparisonDomain,
+) -> Result<Vec<bool>, SmcError> {
+    let (m1, _m2, m3) = millionaires::modeled_message_sizes(key_bits, domain.n0());
+    let out: Vec<(u64, Vec<u8>)> = j_effs.iter().map(|&j| (j, padding(m1, 12))).collect();
+    chan.send_batch(&out)?;
+    let replies: Vec<(bool, Vec<u8>)> = chan.recv_batch()?;
+    if replies.len() != j_effs.len() {
+        return Err(SmcError::protocol(format!(
+            "ideal batch arity mismatch: {} inputs vs {} replies",
+            j_effs.len(),
+            replies.len()
+        )));
+    }
+    let results: Vec<bool> = replies.iter().map(|r| r.0).collect();
+    let echo: Vec<(bool, Vec<u8>)> = results.iter().map(|&r| (r, padding(m3, 5))).collect();
+    chan.send_batch(&echo)?;
+    Ok(results)
 }
 
 #[cfg(test)]
@@ -402,6 +580,132 @@ mod tests {
         let (yao, ideal) = (totals[0], totals[1]);
         let rel_err = (yao - ideal).abs() / yao;
         assert!(rel_err < 0.05, "yao = {yao}, ideal = {ideal}");
+    }
+
+    fn run_batch(
+        comparator: Comparator,
+        pairs: &[(i64, i64)],
+        op: CmpOp,
+        domain: ComparisonDomain,
+    ) -> (Vec<bool>, ppds_transport::MetricsSnapshot) {
+        let (mut achan, mut bchan) = duplex();
+        let a_vals: Vec<i64> = pairs.iter().map(|p| p.0).collect();
+        let b_vals: Vec<i64> = pairs.iter().map(|p| p.1).collect();
+        let alice = std::thread::spawn(move || {
+            let mut r = rng(600);
+            let out = compare_batch_alice(
+                comparator,
+                &mut achan,
+                alice_keypair(),
+                &a_vals,
+                op,
+                &domain,
+                &mut r,
+            )
+            .unwrap();
+            (out, achan.metrics())
+        });
+        let mut r = rng(601);
+        let bob_view = compare_batch_bob(
+            comparator,
+            &mut bchan,
+            &alice_keypair().public,
+            &b_vals,
+            op,
+            &domain,
+            &mut r,
+        )
+        .unwrap();
+        let (alice_view, metrics) = alice.join().unwrap();
+        assert_eq!(alice_view, bob_view, "views must agree");
+        (alice_view, metrics)
+    }
+
+    #[test]
+    fn batch_matches_native_comparison_all_backends() {
+        let domain = ComparisonDomain::symmetric(10);
+        let pairs: Vec<(i64, i64)> = vec![(-10, 10), (0, 0), (3, -3), (10, 10), (-1, 0), (7, 6)];
+        for comparator in [Comparator::Yao, Comparator::Ideal, Comparator::Dgk] {
+            for op in [CmpOp::Lt, CmpOp::Leq] {
+                let (got, _) = run_batch(comparator, &pairs, op, domain);
+                for (i, &(a, b)) in pairs.iter().enumerate() {
+                    let expect = match op {
+                        CmpOp::Lt => a < b,
+                        CmpOp::Leq => a <= b,
+                    };
+                    assert_eq!(got[i], expect, "{comparator:?} {op:?}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_collapses_rounds_for_ideal_and_dgk() {
+        let domain = ComparisonDomain::symmetric(16);
+        let pairs: Vec<(i64, i64)> = (0..20).map(|i| (i % 7 - 3, (i % 5) - 2)).collect();
+        for comparator in [Comparator::Ideal, Comparator::Dgk] {
+            let (_, m) = run_batch(comparator, &pairs, CmpOp::Lt, domain);
+            // 3 frames for 20 comparisons; unbatched would be 60 rounds.
+            assert_eq!(m.total_rounds(), 3, "{comparator:?}");
+            assert_eq!(m.total_messages(), 3 * pairs.len() as u64, "{comparator:?}");
+        }
+        // The faithful Yao backend has no batched form: rounds stay 3/cmp.
+        let (_, m) = run_batch(Comparator::Yao, &pairs[..2], CmpOp::Lt, domain);
+        assert_eq!(m.total_rounds(), 6);
+    }
+
+    #[test]
+    fn empty_batch_is_wire_silent() {
+        let (mut achan, _b) = duplex();
+        let mut r = rng(1);
+        let domain = ComparisonDomain::symmetric(5);
+        let out = compare_batch_alice(
+            Comparator::Ideal,
+            &mut achan,
+            alice_keypair(),
+            &[],
+            CmpOp::Lt,
+            &domain,
+            &mut r,
+        )
+        .unwrap();
+        assert!(out.is_empty());
+        assert_eq!(achan.metrics().total_rounds(), 0);
+    }
+
+    #[test]
+    fn batch_share_comparison_matches_plain() {
+        let domain = ComparisonDomain::symmetric(100);
+        // dists: alice-held u, bob-held v; dist_i = u_i - v_i.
+        let us = [(50i64, 20i64), (10, 9), (7, 7)];
+        let vs = [(43i64, 8i64), (2, 0), (0, 1)];
+        let (mut achan, mut bchan) = duplex();
+        let alice = std::thread::spawn(move || {
+            let mut r = rng(2);
+            share_less_than_batch_alice(
+                Comparator::Ideal,
+                &mut achan,
+                alice_keypair(),
+                &us,
+                &domain,
+                &mut r,
+            )
+            .unwrap()
+        });
+        let mut r = rng(3);
+        let bob_view = share_less_than_batch_bob(
+            Comparator::Ideal,
+            &mut bchan,
+            &alice_keypair().public,
+            &vs,
+            &domain,
+            &mut r,
+        )
+        .unwrap();
+        let alice_view = alice.join().unwrap();
+        assert_eq!(alice_view, bob_view);
+        // dist_a=7 vs dist_b=12 → true; 8 vs 9 → true; 7 vs 6 → false.
+        assert_eq!(alice_view, vec![true, true, false]);
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //! reveals to both parties anyway, so both sides replay the identical
 //! decision sequence and stay in lockstep with zero additional messages.
 
-use crate::compare::{share_less_than_alice, share_less_than_bob, Comparator, ComparisonDomain};
+use crate::compare::{
+    share_less_than_alice, share_less_than_batch_alice, share_less_than_batch_bob,
+    share_less_than_bob, Comparator, ComparisonDomain,
+};
 use crate::error::SmcError;
 use ppds_paillier::{Keypair, PublicKey};
 use ppds_transport::Channel;
@@ -56,10 +59,33 @@ pub fn kth_smallest_alice<C: Channel, R: Rng + ?Sized>(
     domain: &ComparisonDomain,
     rng: &mut R,
 ) -> Result<SelectionOutcome, SmcError> {
-    let mut less = |a: usize, b: usize, chan: &mut C, rng: &mut R| {
-        share_less_than_alice(comparator, chan, keypair, shares[a], shares[b], domain, rng)
-    };
-    kth_engine(shares.len(), k, method, chan, rng, &mut less)
+    kth_alice_impl(
+        method, comparator, chan, keypair, shares, k, domain, rng, false,
+    )
+}
+
+/// [`kth_smallest_alice`] with round batching: quickselect partitions run
+/// all pivot comparisons as one [`crate::compare::compare_batch_alice`]
+/// call (3 wire rounds per partition level instead of 3 per comparison).
+/// Repeated-minimum scans are inherently sequential — each comparison's
+/// operand depends on the previous outcome — so they execute exactly as in
+/// the unbatched entry point. Outcomes (index and comparison count) are
+/// identical either way: the same comparisons run with the same operands,
+/// only the framing changes.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
+pub fn kth_smallest_alice_batched<C: Channel, R: Rng + ?Sized>(
+    method: SelectionMethod,
+    comparator: Comparator,
+    chan: &mut C,
+    keypair: &Keypair,
+    shares: &[i64],
+    k: usize,
+    domain: &ComparisonDomain,
+    rng: &mut R,
+) -> Result<SelectionOutcome, SmcError> {
+    kth_alice_impl(
+        method, comparator, chan, keypair, shares, k, domain, rng, true,
+    )
 }
 
 /// Bob's side: his shares are `v_i`.
@@ -74,28 +100,98 @@ pub fn kth_smallest_bob<C: Channel, R: Rng + ?Sized>(
     domain: &ComparisonDomain,
     rng: &mut R,
 ) -> Result<SelectionOutcome, SmcError> {
-    let mut less = |a: usize, b: usize, chan: &mut C, rng: &mut R| {
-        share_less_than_bob(
-            comparator, chan, alice_pk, shares[a], shares[b], domain, rng,
-        )
+    kth_bob_impl(
+        method, comparator, chan, alice_pk, shares, k, domain, rng, false,
+    )
+}
+
+/// Round-batched Bob side; see [`kth_smallest_alice_batched`].
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
+pub fn kth_smallest_bob_batched<C: Channel, R: Rng + ?Sized>(
+    method: SelectionMethod,
+    comparator: Comparator,
+    chan: &mut C,
+    alice_pk: &PublicKey,
+    shares: &[i64],
+    k: usize,
+    domain: &ComparisonDomain,
+    rng: &mut R,
+) -> Result<SelectionOutcome, SmcError> {
+    kth_bob_impl(
+        method, comparator, chan, alice_pk, shares, k, domain, rng, true,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn kth_alice_impl<C: Channel, R: Rng + ?Sized>(
+    method: SelectionMethod,
+    comparator: Comparator,
+    chan: &mut C,
+    keypair: &Keypair,
+    shares: &[i64],
+    k: usize,
+    domain: &ComparisonDomain,
+    rng: &mut R,
+    batched: bool,
+) -> Result<SelectionOutcome, SmcError> {
+    let mut less_many = |pairs: &[(usize, usize)], chan: &mut C, rng: &mut R| {
+        if let [(a, b)] = pairs {
+            // Single-pair calls keep the unbatched wire format byte-exact.
+            return share_less_than_alice(
+                comparator, chan, keypair, shares[*a], shares[*b], domain, rng,
+            )
+            .map(|r| vec![r]);
+        }
+        let share_pairs: Vec<(i64, i64)> =
+            pairs.iter().map(|&(a, b)| (shares[a], shares[b])).collect();
+        share_less_than_batch_alice(comparator, chan, keypair, &share_pairs, domain, rng)
     };
-    kth_engine(shares.len(), k, method, chan, rng, &mut less)
+    kth_engine(shares.len(), k, method, batched, chan, rng, &mut less_many)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn kth_bob_impl<C: Channel, R: Rng + ?Sized>(
+    method: SelectionMethod,
+    comparator: Comparator,
+    chan: &mut C,
+    alice_pk: &PublicKey,
+    shares: &[i64],
+    k: usize,
+    domain: &ComparisonDomain,
+    rng: &mut R,
+    batched: bool,
+) -> Result<SelectionOutcome, SmcError> {
+    let mut less_many = |pairs: &[(usize, usize)], chan: &mut C, rng: &mut R| {
+        if let [(a, b)] = pairs {
+            return share_less_than_bob(
+                comparator, chan, alice_pk, shares[*a], shares[*b], domain, rng,
+            )
+            .map(|r| vec![r]);
+        }
+        let share_pairs: Vec<(i64, i64)> =
+            pairs.iter().map(|&(a, b)| (shares[a], shares[b])).collect();
+        share_less_than_batch_bob(comparator, chan, alice_pk, &share_pairs, domain, rng)
+    };
+    kth_engine(shares.len(), k, method, batched, chan, rng, &mut less_many)
 }
 
 /// Role-neutral engine: identical deterministic control flow on both sides,
-/// parameterized by the party-specific comparison call.
+/// parameterized by the party-specific comparison call. `less_many` runs a
+/// slice of independent share comparisons and returns one outcome per pair;
+/// sequential call sites pass single-pair slices.
 fn kth_engine<C, R, F>(
     n: usize,
     k: usize,
     method: SelectionMethod,
+    batched: bool,
     chan: &mut C,
     rng: &mut R,
-    less: &mut F,
+    less_many: &mut F,
 ) -> Result<SelectionOutcome, SmcError>
 where
     C: Channel,
     R: Rng + ?Sized,
-    F: FnMut(usize, usize, &mut C, &mut R) -> Result<bool, SmcError>,
+    F: FnMut(&[(usize, usize)], &mut C, &mut R) -> Result<Vec<bool>, SmcError>,
 {
     assert!(n > 0, "cannot select from an empty share vector");
     assert!(
@@ -103,8 +199,8 @@ where
         "k = {k} out of range for {n} elements"
     );
     match method {
-        SelectionMethod::RepeatedMin => repeated_min(n, k, chan, rng, less),
-        SelectionMethod::QuickSelect => quick_select(n, k, chan, rng, less),
+        SelectionMethod::RepeatedMin => repeated_min(n, k, chan, rng, less_many),
+        SelectionMethod::QuickSelect => quick_select(n, k, batched, chan, rng, less_many),
     }
 }
 
@@ -113,12 +209,12 @@ fn repeated_min<C, R, F>(
     k: usize,
     chan: &mut C,
     rng: &mut R,
-    less: &mut F,
+    less_many: &mut F,
 ) -> Result<SelectionOutcome, SmcError>
 where
     C: Channel,
     R: Rng + ?Sized,
-    F: FnMut(usize, usize, &mut C, &mut R) -> Result<bool, SmcError>,
+    F: FnMut(&[(usize, usize)], &mut C, &mut R) -> Result<Vec<bool>, SmcError>,
 {
     let mut active: Vec<usize> = (0..n).collect();
     let mut comparisons = 0;
@@ -126,7 +222,8 @@ where
         let mut min_pos = 0;
         for pos in 1..active.len() {
             comparisons += 1;
-            if less(active[pos], active[min_pos], chan, rng)? {
+            // Inherently sequential: the next operand is the running min.
+            if less_many(&[(active[pos], active[min_pos])], chan, rng)?[0] {
                 min_pos = pos;
             }
         }
@@ -144,14 +241,15 @@ where
 fn quick_select<C, R, F>(
     n: usize,
     k: usize,
+    batched: bool,
     chan: &mut C,
     rng: &mut R,
-    less: &mut F,
+    less_many: &mut F,
 ) -> Result<SelectionOutcome, SmcError>
 where
     C: Channel,
     R: Rng + ?Sized,
-    F: FnMut(usize, usize, &mut C, &mut R) -> Result<bool, SmcError>,
+    F: FnMut(&[(usize, usize)], &mut C, &mut R) -> Result<Vec<bool>, SmcError>,
 {
     let mut items: Vec<usize> = (0..n).collect();
     let mut k = k; // 1-based rank within `items`
@@ -166,14 +264,27 @@ where
         // Deterministic pivot: both parties pick the same position without
         // exchanging anything.
         let pivot = items[items.len() / 2];
+        let others: Vec<usize> = items.iter().copied().filter(|&i| i != pivot).collect();
+        // Every pivot comparison of one partition level is independent, so
+        // a batched run ships them as one frame set.
+        let outcomes: Vec<bool> = if batched {
+            let pairs: Vec<(usize, usize)> = others.iter().map(|&i| (i, pivot)).collect();
+            less_many(&pairs, chan, rng)?
+        } else {
+            let mut out = Vec::with_capacity(others.len());
+            for &idx in &others {
+                out.push(less_many(&[(idx, pivot)], chan, rng)?[0]);
+            }
+            out
+        };
+        if outcomes.len() != others.len() {
+            return Err(SmcError::protocol("partition outcome arity mismatch"));
+        }
+        comparisons += others.len();
         let mut smaller = Vec::new();
         let mut not_smaller = Vec::new();
-        for &idx in &items {
-            if idx == pivot {
-                continue;
-            }
-            comparisons += 1;
-            if less(idx, pivot, chan, rng)? {
+        for (&idx, &is_less) in others.iter().zip(&outcomes) {
+            if is_less {
                 smaller.push(idx);
             } else {
                 not_smaller.push(idx);
@@ -335,6 +446,88 @@ mod tests {
             "quickselect {} vs repeated-min {}",
             qs.comparisons,
             rm.comparisons
+        );
+    }
+
+    /// Batched run returning the outcome and Alice's channel metrics.
+    fn run_batched(
+        dists: &[i64],
+        k: usize,
+        method: SelectionMethod,
+        seed: u64,
+    ) -> (SelectionOutcome, ppds_transport::MetricsSnapshot) {
+        let mut r = rng(seed);
+        let vs: Vec<i64> = dists.iter().map(|_| r.random_range(-50..=50)).collect();
+        let us: Vec<i64> = dists.iter().zip(&vs).map(|(d, v)| d + v).collect();
+        let bound = 2 * (dists.iter().map(|d| d.abs()).max().unwrap_or(0) + 50);
+        let domain = ComparisonDomain::symmetric(bound);
+
+        let (mut achan, mut bchan) = duplex();
+        let alice = std::thread::spawn(move || {
+            let mut ar = rng(seed + 1);
+            let out = kth_smallest_alice_batched(
+                method,
+                Comparator::Ideal,
+                &mut achan,
+                alice_keypair(),
+                &us,
+                k,
+                &domain,
+                &mut ar,
+            )
+            .unwrap();
+            (out, achan.metrics())
+        });
+        let mut br = rng(seed + 2);
+        let bob = kth_smallest_bob_batched(
+            method,
+            Comparator::Ideal,
+            &mut bchan,
+            &alice_keypair().public,
+            &vs,
+            k,
+            &domain,
+            &mut br,
+        )
+        .unwrap();
+        let (alice, metrics) = alice.join().unwrap();
+        assert_eq!(alice, bob, "both parties must agree");
+        (alice, metrics)
+    }
+
+    #[test]
+    fn batched_selection_matches_sequential_outcome() {
+        let dists = [9i64, 2, 14, 5, 0, 7, 7, 3, 11, 1];
+        for method in [SelectionMethod::RepeatedMin, SelectionMethod::QuickSelect] {
+            for k in 1..=dists.len() {
+                let seq = run(&dists, k, method, Comparator::Ideal, 300 + k as u64);
+                let (bat, _) = run_batched(&dists, k, method, 300 + k as u64);
+                assert_eq!(seq, bat, "{method:?} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_quickselect_collapses_partition_rounds() {
+        let mut r = rng(44);
+        let dists: Vec<i64> = (0..32).map(|_| r.random_range(0..1000)).collect();
+        let seq = run(
+            &dists,
+            16,
+            SelectionMethod::QuickSelect,
+            Comparator::Ideal,
+            45,
+        );
+        let (bat, metrics) = run_batched(&dists, 16, SelectionMethod::QuickSelect, 45);
+        assert_eq!(seq.index, bat.index);
+        assert_eq!(seq.comparisons, bat.comparisons);
+        // Every partition level is 3 rounds; the sequential run pays 3 per
+        // comparison. Expected levels ~log n, comparisons ~2n.
+        assert!(
+            metrics.total_rounds() < 3 * bat.comparisons as u64 / 2,
+            "rounds {} should be far below 3x{} comparisons",
+            metrics.total_rounds(),
+            bat.comparisons
         );
     }
 

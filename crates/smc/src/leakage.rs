@@ -120,7 +120,11 @@ impl LeakageEvent {
 
 /// Ordered record of everything one party learned beyond its own input and
 /// prescribed output.
-#[derive(Debug, Default)]
+///
+/// `PartialEq` compares full event sequences in order — the relation the
+/// batching-parity tests use to assert that round batching widens leakage
+/// by nothing (identical events, identical order, identical payloads).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct LeakageLog {
     events: Vec<LeakageEvent>,
 }

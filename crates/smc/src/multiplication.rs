@@ -139,6 +139,129 @@ pub fn mul_batch_peer<C: Channel, R: Rng + ?Sized>(
     Ok(())
 }
 
+/// Round-batched keyholder side of many [`mul_batch_keyholder`] runs: one
+/// group of inputs per logical multiplication batch (e.g. one group per
+/// candidate pair of a neighborhood query), all groups' ciphertexts packed
+/// into **one** wire frame each direction instead of one frame pair per
+/// group. Returns `u_{g,i} = x_{g,i}·y_{g,i} + v_{g,i}` per group.
+///
+/// Per group, ciphertexts are produced in exactly the order the sequential
+/// protocol would produce them (group by group, element by element), so the
+/// keyholder's RNG stream — and therefore every transcript byte except the
+/// framing — matches the unbatched run.
+pub fn mul_batches_keyholder<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    keypair: &Keypair,
+    xs_groups: &[Vec<BigInt>],
+    rng: &mut R,
+) -> Result<Vec<Vec<BigInt>>, SmcError> {
+    if xs_groups.is_empty() {
+        return Ok(Vec::new());
+    }
+    let cts_groups: Vec<Vec<BigUint>> = xs_groups
+        .iter()
+        .map(|xs| {
+            xs.iter()
+                .map(|x| {
+                    keypair
+                        .public
+                        .encrypt_signed(x, rng)
+                        .map(|c| c.as_biguint().clone())
+                })
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .collect::<Result<_, _>>()?;
+    chan.send_batch(&cts_groups)?;
+    let responses: Vec<Vec<BigUint>> = chan.recv_batch()?;
+    if responses.len() != xs_groups.len() {
+        return Err(SmcError::protocol(format!(
+            "expected {} masked product groups, got {}",
+            xs_groups.len(),
+            responses.len()
+        )));
+    }
+    responses
+        .into_iter()
+        .zip(xs_groups)
+        .map(|(group, xs)| {
+            if group.len() != xs.len() {
+                return Err(SmcError::protocol(format!(
+                    "expected {} masked products in group, got {}",
+                    xs.len(),
+                    group.len()
+                )));
+            }
+            group
+                .into_iter()
+                .map(|c| {
+                    Ok(keypair
+                        .private
+                        .decrypt_signed(&Ciphertext::from_biguint(c))?)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Round-batched peer side of [`mul_batches_keyholder`]: one coefficient
+/// group per logical batch, with `draw_masks(rng, group_index)` producing
+/// that group's masks **at the same point in the RNG stream** the
+/// sequential protocol would draw them (mask draws and mask encryptions
+/// interleave group by group). Returns the masks drawn per group.
+///
+/// Groups are any slice-like coefficient vectors, so a caller multiplying
+/// one vector against many peer groups (HDP's neighborhood query) can pass
+/// `&[&[BigInt]]` borrowing a single allocation.
+pub fn mul_batches_peer<C: Channel, R: Rng + ?Sized, F, G>(
+    chan: &mut C,
+    keyholder_pk: &PublicKey,
+    ys_groups: &[G],
+    mut draw_masks: F,
+    rng: &mut R,
+) -> Result<Vec<Vec<BigInt>>, SmcError>
+where
+    F: FnMut(&mut R, usize) -> Vec<BigInt>,
+    G: AsRef<[BigInt]>,
+{
+    if ys_groups.is_empty() {
+        return Ok(Vec::new());
+    }
+    let cts_groups: Vec<Vec<BigUint>> = chan.recv_batch()?;
+    if cts_groups.len() != ys_groups.len() {
+        return Err(SmcError::protocol(format!(
+            "expected {} ciphertext groups, got {}",
+            ys_groups.len(),
+            cts_groups.len()
+        )));
+    }
+    let mut responses: Vec<Vec<BigUint>> = Vec::with_capacity(ys_groups.len());
+    let mut all_masks: Vec<Vec<BigInt>> = Vec::with_capacity(ys_groups.len());
+    for (g, (cts, ys)) in cts_groups.into_iter().zip(ys_groups).enumerate() {
+        let ys = ys.as_ref();
+        if cts.len() != ys.len() {
+            return Err(SmcError::protocol(format!(
+                "expected {} ciphertexts in group {g}, got {}",
+                ys.len(),
+                cts.len()
+            )));
+        }
+        let masks = draw_masks(rng, g);
+        assert_eq!(masks.len(), ys.len(), "one mask per multiplicand");
+        let mut group_out = Vec::with_capacity(cts.len());
+        for ((ct, y), v) in cts.into_iter().zip(ys).zip(&masks) {
+            let cx = Ciphertext::from_biguint(ct);
+            keyholder_pk.validate(&cx)?;
+            let xy = keyholder_pk.mul_plain_signed(&cx, y);
+            let masked = keyholder_pk.add(&xy, &keyholder_pk.encrypt_signed(v, rng)?);
+            group_out.push(masked.as_biguint().clone());
+        }
+        responses.push(group_out);
+        all_masks.push(masks);
+    }
+    chan.send_batch(&responses)?;
+    Ok(all_masks)
+}
+
 /// Keyholder side of the dot-product protocol (§5): inputs the vector
 /// `x_1, …, x_m`, learns `u = Σ x_i·y_i + v`.
 ///
@@ -381,6 +504,76 @@ mod tests {
         // algebra HDP relies on.
         let sum = us.iter().fold(BigInt::zero(), |acc, u| &acc + u);
         assert_eq!(sum, bi(3 * 5 - 5 + 24));
+    }
+
+    #[test]
+    fn batched_groups_match_singles_in_two_rounds() {
+        // Three logical multiplication batches of different sizes, one wire
+        // frame each way.
+        let xs_groups: Vec<Vec<BigInt>> =
+            vec![vec![bi(3), bi(-1)], vec![], vec![bi(12), bi(0), bi(-7)]];
+        let ys_groups: Vec<Vec<BigInt>> =
+            vec![vec![bi(5), bi(5)], vec![], vec![bi(2), bi(-9), bi(4)]];
+        let (mut kchan, mut pchan) = duplex();
+        let xs2 = xs_groups.clone();
+        let keyholder = std::thread::spawn(move || {
+            let mut r = rng(20);
+            let us = mul_batches_keyholder(&mut kchan, bob_keypair(), &xs2, &mut r).unwrap();
+            (us, kchan.metrics())
+        });
+        let mut r = rng(21);
+        let sizes: Vec<usize> = ys_groups.iter().map(Vec::len).collect();
+        let masks = mul_batches_peer(
+            &mut pchan,
+            &bob_keypair().public,
+            &ys_groups,
+            |rng, g| zero_sum_masks(rng, sizes[g], &BigUint::from_u64(1000)),
+            &mut r,
+        )
+        .unwrap();
+        let (us, metrics) = keyholder.join().unwrap();
+        assert_eq!(metrics.total_rounds(), 2, "one frame each direction");
+        for g in 0..xs_groups.len() {
+            assert_eq!(us[g].len(), xs_groups[g].len());
+            for i in 0..xs_groups[g].len() {
+                let expect = &(&xs_groups[g][i] * &ys_groups[g][i]) + &masks[g][i];
+                assert_eq!(us[g][i], expect, "group {g} element {i}");
+            }
+            // Zero-sum masks cancel per group: Σu = the exact inner product.
+            let sum = us[g].iter().fold(BigInt::zero(), |acc, u| &acc + u);
+            let ip = xs_groups[g]
+                .iter()
+                .zip(&ys_groups[g])
+                .fold(BigInt::zero(), |acc, (x, y)| &acc + &(x * y));
+            assert_eq!(sum, ip, "group {g}");
+        }
+    }
+
+    #[test]
+    fn batched_group_arity_mismatch_is_protocol_error() {
+        let (mut kchan, mut pchan) = duplex();
+        let keyholder = std::thread::spawn(move || {
+            let mut r = rng(22);
+            // Two groups sent; peer expects three.
+            let _ = mul_batches_keyholder(
+                &mut kchan,
+                bob_keypair(),
+                &[vec![bi(1)], vec![bi(2)]],
+                &mut r,
+            );
+        });
+        let mut r = rng(23);
+        let err = mul_batches_peer(
+            &mut pchan,
+            &bob_keypair().public,
+            &[vec![bi(1)], vec![bi(2)], vec![bi(3)]],
+            |rng, _| vec![sample_mask(rng, &BigUint::from_u64(5))],
+            &mut r,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SmcError::Protocol(_)));
+        drop(pchan);
+        let _ = keyholder.join();
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::error::TransportError;
 use crate::metrics::MetricsSnapshot;
-use crate::wire::{WireDecode, WireEncode};
+use crate::wire::{self, Batch, WireDecode, WireEncode};
 
 /// A reliable, ordered, bidirectional message channel to the peer party.
 ///
@@ -36,6 +36,43 @@ pub trait Channel {
         let payload = self.recv_bytes()?;
         T::decode_exact(&payload)
     }
+
+    /// Sends `items` as one [`Batch`] wire frame: a single round on the
+    /// link, charged as `items.len()` logical messages in the metrics.
+    ///
+    /// This is the round-batching primitive: a neighborhood query packs all
+    /// of its candidate payloads into one frame instead of paying one
+    /// round-trip per candidate.
+    fn send_batch<T: WireEncode>(&mut self, items: &[T]) -> Result<(), TransportError>
+    where
+        Self: Sized,
+    {
+        let mut payload = Vec::new();
+        wire::encode_batch_items(items, &mut payload);
+        self.send_bytes(&payload)?;
+        self.note_batch_sent(items.len() as u64);
+        Ok(())
+    }
+
+    /// Receives one [`Batch`] frame; the payload must be exactly one batch
+    /// of `T`s. Charged as one round and `len` logical messages.
+    fn recv_batch<T: WireDecode>(&mut self) -> Result<Vec<T>, TransportError>
+    where
+        Self: Sized,
+    {
+        let payload = self.recv_bytes()?;
+        let batch = Batch::<T>::decode_exact(&payload)?;
+        self.note_batch_received(batch.len() as u64);
+        Ok(batch.into_inner())
+    }
+
+    /// Metrics hook: reclassifies the most recent send as a batch of
+    /// `items` logical messages. Implementations with counters override
+    /// this; the default is a no-op so metric-less channels stay valid.
+    fn note_batch_sent(&mut self, _items: u64) {}
+
+    /// Receive-side counterpart of [`Channel::note_batch_sent`].
+    fn note_batch_received(&mut self, _items: u64) {}
 }
 
 /// Hard cap on a single frame. Large enough for any ciphertext batch the

@@ -7,15 +7,19 @@
 //! first-class measured object:
 //!
 //! * [`Channel`] — the blocking send/recv interface all protocols are
-//!   written against, with typed helpers built on the [`wire`] codec,
+//!   written against, with typed helpers built on the [`wire`] codec and
+//!   round-batching primitives ([`Channel::send_batch`] /
+//!   [`Channel::recv_batch`]) that ship many logical messages as one
+//!   latency-paying wire frame ([`Batch`]),
 //! * [`memory::duplex`] — an in-process channel pair (crossbeam-backed) used
 //!   to run Alice and Bob on two threads,
 //! * [`tcp`] — the same framing over real sockets, for running the two
 //!   parties as separate processes,
-//! * [`ChannelMetrics`] — lock-free per-direction byte and message counters;
-//!   the experiment harness reads these to regenerate the paper's
-//!   complexity tables with measured constants,
-//! * [`CostModel`] — turns counted bytes/messages into modeled wall-clock
+//! * [`ChannelMetrics`] — lock-free per-direction byte, message, and
+//!   **round** counters (a batch frame is many messages but one round); the
+//!   experiment harness reads these to regenerate the paper's complexity
+//!   tables with measured constants,
+//! * [`CostModel`] — turns counted bytes/rounds into modeled wall-clock
 //!   time for a given latency/bandwidth, so experiments can report network
 //!   cost independently of where they actually ran.
 //!
@@ -34,7 +38,7 @@ pub use channel::Channel;
 pub use error::TransportError;
 pub use memory::{duplex, MemoryChannel};
 pub use metrics::{ChannelMetrics, CostModel, MetricsSnapshot};
-pub use wire::{Reader, WireDecode, WireEncode};
+pub use wire::{Batch, Reader, WireDecode, WireEncode};
 
 /// Bytes charged per message for framing (u32 length prefix).
 pub const FRAME_OVERHEAD_BYTES: u64 = 4;

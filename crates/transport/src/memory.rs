@@ -72,6 +72,14 @@ impl Channel for MemoryChannel {
     fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
     }
+
+    fn note_batch_sent(&mut self, items: u64) {
+        self.metrics.note_batch_send(items);
+    }
+
+    fn note_batch_received(&mut self, items: u64) {
+        self.metrics.note_batch_recv(items);
+    }
 }
 
 #[cfg(test)]
@@ -160,5 +168,33 @@ mod tests {
         let (mut a, mut b) = duplex();
         a.send(&7u32).unwrap();
         assert!(b.recv::<u64>().is_err());
+    }
+
+    #[test]
+    fn batch_is_one_round_many_messages() {
+        let (mut a, mut b) = duplex();
+        let items: Vec<u64> = (0..50).collect();
+        a.send_batch(&items).unwrap();
+        let got: Vec<u64> = b.recv_batch().unwrap();
+        assert_eq!(got, items);
+        let (ma, mb) = (a.metrics(), b.metrics());
+        assert_eq!(ma.messages_sent, 50);
+        assert_eq!(ma.rounds_sent, 1);
+        assert_eq!(mb.messages_received, 50);
+        assert_eq!(mb.rounds_received, 1);
+        assert_eq!(ma.bytes_sent, mb.bytes_received);
+        // The batch payload equals the Vec encoding: 4-byte count + items.
+        assert_eq!(ma.bytes_sent, 4 + 50 * 8 + FRAME_OVERHEAD_BYTES);
+    }
+
+    #[test]
+    fn unbatched_sends_keep_messages_equal_to_rounds() {
+        let (mut a, mut b) = duplex();
+        for i in 0..5u64 {
+            a.send(&i).unwrap();
+            let _ = b.recv::<u64>().unwrap();
+        }
+        assert_eq!(a.metrics().messages_sent, a.metrics().rounds_sent);
+        assert_eq!(b.metrics().messages_received, b.metrics().rounds_received);
     }
 }

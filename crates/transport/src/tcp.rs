@@ -90,6 +90,14 @@ impl Channel for TcpChannel {
     fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
     }
+
+    fn note_batch_sent(&mut self, items: u64) {
+        self.metrics.note_batch_send(items);
+    }
+
+    fn note_batch_received(&mut self, items: u64) {
+        self.metrics.note_batch_recv(items);
+    }
 }
 
 #[cfg(test)]
@@ -155,5 +163,20 @@ mod tests {
         let big = vec![0xCD; 1 << 20];
         client.send_bytes(&big).unwrap();
         assert_eq!(server.recv_bytes().unwrap(), big);
+    }
+
+    #[test]
+    fn batch_accounting_matches_memory_transport() {
+        let (mut ms, mut mc) = crate::memory::duplex();
+        let (mut ts, mut tc) = loopback_pair();
+        let items: Vec<u64> = (0..32).collect();
+        mc.send_batch(&items).unwrap();
+        let _: Vec<u64> = ms.recv_batch().unwrap();
+        tc.send_batch(&items).unwrap();
+        let _: Vec<u64> = ts.recv_batch().unwrap();
+        assert_eq!(mc.metrics(), tc.metrics(), "sender batch parity");
+        assert_eq!(ms.metrics(), ts.metrics(), "receiver batch parity");
+        assert_eq!(tc.metrics().rounds_sent, 1);
+        assert_eq!(tc.metrics().messages_sent, 32);
     }
 }

@@ -90,6 +90,43 @@ fn vertical_protocol_over_real_tcp_sockets() {
     assert_eq!(b_out.clustering, reference);
 }
 
+#[test]
+fn batched_vertical_protocol_over_real_tcp_sockets() {
+    // The round-batched pipeline on its target deployment path: real
+    // sockets. Same labels as the in-memory batched run, byte-identical
+    // traffic snapshot (including the new rounds counters), and the round
+    // collapse visible end to end.
+    let records: Vec<Point> = (0..10)
+        .map(|i| Point::new(vec![(i % 5) * 2, i / 5]))
+        .collect();
+    let partition = VerticalPartition::split(&records, 1);
+    let c = cfg(2, 2, 10).with_batching(true);
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let alice_attrs = partition.alice.clone();
+    let alice_thread = std::thread::spawn(move || {
+        let mut chan = TcpChannel::accept(&listener).unwrap();
+        let mut r = rng(30);
+        vertical_party(&mut chan, &c, &alice_attrs, Party::Alice, &mut r).unwrap()
+    });
+    let mut chan = TcpChannel::connect(addr).unwrap();
+    let mut r = rng(31);
+    let b_out = vertical_party(&mut chan, &c, &partition.bob, Party::Bob, &mut r).unwrap();
+    let a_out = alice_thread.join().unwrap();
+
+    assert_eq!(a_out.clustering, dbscan(&records, c.params));
+    let (mem_a, mem_b) = run_vertical_pair(&c, &partition, rng(30), rng(31)).unwrap();
+    assert_eq!(a_out.traffic, mem_a.traffic, "TCP batch accounting parity");
+    assert_eq!(b_out.traffic, mem_b.traffic);
+    assert!(
+        a_out.traffic.total_messages() >= 3 * a_out.traffic.total_rounds(),
+        "batched frames must carry many logical messages ({} msgs, {} rounds)",
+        a_out.traffic.total_messages(),
+        a_out.traffic.total_rounds()
+    );
+}
+
 /// §4.2.2: horizontal communication is O(c1·m·l(n−l) + c2·n0·l(n−l)).
 /// With every point queried once, the pair term l(n−l) appears exactly as
 /// (number of issued queries) × (peer size) comparisons.
