@@ -4,11 +4,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ppdbscan::config::ProtocolConfig;
-use ppdbscan::driver::{
-    run_arbitrary_pair, run_enhanced_pair, run_horizontal_pair, run_vertical_pair,
-};
 use ppdbscan::{ArbitraryPartition, VerticalPartition};
-use ppds_bench::blob_workload;
+use ppds_bench::{
+    blob_workload, run_arbitrary_pair, run_enhanced_pair, run_horizontal_pair, run_vertical_pair,
+};
 use ppds_dbscan::{DbscanParams, Point};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -14,11 +14,11 @@
 //! (the repo keeps one run as `BENCH_protocols.json`).
 
 use ppdbscan::config::ProtocolConfig;
-use ppdbscan::driver::{
-    run_arbitrary_pair, run_enhanced_pair, run_horizontal_pair, run_vertical_pair,
-};
 use ppdbscan::{ArbitraryPartition, PartyOutput, VerticalPartition};
-use ppds_bench::{blob_workload, fmt_bytes, print_header, print_row, rng};
+use ppds_bench::{
+    blob_workload, fmt_bytes, print_header, print_row, rng, run_arbitrary_pair, run_enhanced_pair,
+    run_horizontal_pair, run_vertical_pair,
+};
 use ppds_bigint::{BigInt, BigUint};
 use ppds_dbscan::datagen::{cluster_in_ring, split_alternating, two_moons};
 use ppds_dbscan::{dbscan, dbscan_with_external_density, eval, DbscanParams, Point, Quantizer};
@@ -512,7 +512,6 @@ fn e8() {
 /// E9 — the multi-party extension (paper §6 future work): per-party cost
 /// as the number of parties grows at fixed total data size.
 fn e9() {
-    use ppdbscan::multiparty::run_multiparty_horizontal;
     section("E9  Multi-party extension: per-party cost vs K (total n fixed)");
     let widths = [4, 8, 13, 14, 13];
     print_header(
@@ -527,7 +526,11 @@ fn e9() {
         for (i, p) in w.all.iter().enumerate() {
             parties[i % k].push(p.clone());
         }
-        let outputs = run_multiparty_horizontal(&w.cfg, &parties, 42).unwrap();
+        let outputs: Vec<PartyOutput> = ppdbscan::session::run_mesh_local(&w.cfg, &parties, 42)
+            .unwrap()
+            .into_iter()
+            .map(|outcome| outcome.output)
+            .collect();
         let avg_bytes: u64 =
             outputs.iter().map(|o| o.traffic.total_bytes()).sum::<u64>() / k as u64;
         let avg_cmp: u64 = outputs.iter().map(|o| o.yao.comparisons).sum::<u64>() / k as u64;
@@ -668,9 +671,16 @@ fn e10() -> Vec<BatchBenchRow> {
     rows
 }
 
-/// Serializes the sweep as the machine-readable bench trajectory.
+/// Serializes the sweep as the machine-readable bench trajectory. The
+/// top-level `wire_version` records the session-handshake format the run
+/// used, so trajectories stay comparable across handshake changes (frame
+/// sizes shift slightly between versions; rounds and message counts do
+/// not).
 fn write_bench_json(path: &str, rows: &[BatchBenchRow]) {
-    let mut out = String::from("{\n  \"workload\": {\"n\": 36, \"dim\": 2, \"generator\": \"standard_blobs\"},\n  \"protocols\": [\n");
+    let mut out = format!(
+        "{{\n  \"wire_version\": {},\n  \"workload\": {{\"n\": 36, \"dim\": 2, \"generator\": \"standard_blobs\"}},\n  \"protocols\": [\n",
+        ppdbscan::session::WIRE_VERSION
+    );
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"protocol\": \"{}\", \"batching\": {}, \"rounds\": {}, \"messages\": {}, \

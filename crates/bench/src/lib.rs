@@ -8,6 +8,8 @@
 //! benches (`cargo bench`) cover the primitive costs.
 
 use ppdbscan::config::ProtocolConfig;
+use ppdbscan::session::{run_data_pair, PartyData};
+use ppdbscan::{ArbitraryPartition, CoreError, PartyOutput, VerticalPartition};
 use ppds_dbscan::datagen::{split_alternating, standard_blobs};
 use ppds_dbscan::{DbscanParams, Point, Quantizer};
 use rand::rngs::StdRng;
@@ -16,6 +18,72 @@ use rand::SeedableRng;
 /// Deterministic RNG for every experiment (results must be reproducible).
 pub fn rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
+}
+
+/// [`run_data_pair`] over horizontally partitioned complete records.
+pub fn run_horizontal_pair(
+    cfg: &ProtocolConfig,
+    alice: &[Point],
+    bob: &[Point],
+    rng_a: StdRng,
+    rng_b: StdRng,
+) -> Result<(PartyOutput, PartyOutput), CoreError> {
+    run_data_pair(
+        cfg,
+        PartyData::Horizontal(alice.to_vec()),
+        PartyData::Horizontal(bob.to_vec()),
+        rng_a,
+        rng_b,
+    )
+}
+
+/// [`run_data_pair`] on the enhanced (count-free) protocol.
+pub fn run_enhanced_pair(
+    cfg: &ProtocolConfig,
+    alice: &[Point],
+    bob: &[Point],
+    rng_a: StdRng,
+    rng_b: StdRng,
+) -> Result<(PartyOutput, PartyOutput), CoreError> {
+    run_data_pair(
+        cfg,
+        PartyData::Enhanced(alice.to_vec()),
+        PartyData::Enhanced(bob.to_vec()),
+        rng_a,
+        rng_b,
+    )
+}
+
+/// [`run_data_pair`] on a vertical partition.
+pub fn run_vertical_pair(
+    cfg: &ProtocolConfig,
+    partition: &VerticalPartition,
+    rng_a: StdRng,
+    rng_b: StdRng,
+) -> Result<(PartyOutput, PartyOutput), CoreError> {
+    run_data_pair(
+        cfg,
+        PartyData::Vertical(partition.alice.clone()),
+        PartyData::Vertical(partition.bob.clone()),
+        rng_a,
+        rng_b,
+    )
+}
+
+/// [`run_data_pair`] on an arbitrary partition.
+pub fn run_arbitrary_pair(
+    cfg: &ProtocolConfig,
+    partition: &ArbitraryPartition,
+    rng_a: StdRng,
+    rng_b: StdRng,
+) -> Result<(PartyOutput, PartyOutput), CoreError> {
+    run_data_pair(
+        cfg,
+        PartyData::Arbitrary(partition.alice_values.clone()),
+        PartyData::Arbitrary(partition.bob_values.clone()),
+        rng_a,
+        rng_b,
+    )
 }
 
 /// The canonical experiment workload: `n` lattice points in `dim`

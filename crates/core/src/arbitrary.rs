@@ -8,75 +8,97 @@
 //! hold a stake in *every* record, so both learn every label, per §3.3),
 //! while each distance test uses the ADP decomposition ([`crate::adp`]) that
 //! routes split attribute pairs through the Multiplication Protocol.
+//!
+//! Runs through the shared [`crate::session`] dispatch; the
+//! [`crate::session::Participant`] builder is the supported entry point.
 
 use crate::adp::{adp_compare_set_alice, adp_compare_set_bob, PairView};
-use crate::config::{ProtocolConfig, YaoLedger};
-use crate::driver::{establish, PartyOutput, MODE_ARBITRARY};
+use crate::config::ProtocolConfig;
+use crate::driver::PartyOutput;
 use crate::error::CoreError;
+use crate::session::{
+    run_two_party, HandshakeProfile, Mode, ModeContext, ModeDriver, Session, SessionLog,
+};
 use crate::vertical::lockstep_dbscan;
-use ppds_smc::{LeakageLog, Party};
+use ppds_dbscan::Clustering;
+use ppds_smc::Party;
 use ppds_transport::Channel;
 use rand::Rng;
 
-/// One party's full run over arbitrarily partitioned data. `my_values` is
-/// this party's view: per record, `Some(value)` exactly at the attributes
-/// it owns (see [`crate::partition::ArbitraryPartition`]).
-pub fn arbitrary_party<C: Channel, R: Rng + ?Sized>(
-    chan: &mut C,
-    cfg: &ProtocolConfig,
-    my_values: &[Vec<Option<i64>>],
-    role: Party,
-    rng: &mut R,
-) -> Result<PartyOutput, CoreError> {
-    let dim = my_values.first().map_or(1, Vec::len);
-    cfg.validate(dim)?;
-    for (i, row) in my_values.iter().enumerate() {
-        if row.len() != dim {
-            return Err(CoreError::config(format!(
-                "record {i} has {} attributes, expected {dim}",
-                row.len()
-            )));
-        }
-        for value in row.iter().flatten() {
-            if value.abs() > cfg.coord_bound {
+/// The arbitrary-partition protocol as a [`ModeDriver`]. `values` is this
+/// party's view: per record, `Some(value)` exactly at the attributes it
+/// owns (see [`crate::partition::ArbitraryPartition`]).
+pub(crate) struct ArbitraryDriver<'a> {
+    pub values: &'a [Vec<Option<i64>>],
+}
+
+impl ArbitraryDriver<'_> {
+    fn dim(&self) -> usize {
+        self.values.first().map_or(1, Vec::len)
+    }
+}
+
+impl ModeDriver for ArbitraryDriver<'_> {
+    fn validate(&self, cfg: &ProtocolConfig) -> Result<(), CoreError> {
+        let dim = self.dim();
+        cfg.validate(dim)?;
+        for (i, row) in self.values.iter().enumerate() {
+            if row.len() != dim {
                 return Err(CoreError::config(format!(
-                    "record {i} exceeds the agreed coordinate bound {}",
-                    cfg.coord_bound
+                    "record {i} has {} attributes, expected {dim}",
+                    row.len()
                 )));
             }
+            for value in row.iter().flatten() {
+                if value.abs() > cfg.coord_bound {
+                    return Err(CoreError::config(format!(
+                        "record {i} exceeds the agreed coordinate bound {}",
+                        cfg.coord_bound
+                    )));
+                }
+            }
         }
-    }
-    let session = establish(
-        chan,
-        cfg,
-        role,
-        MODE_ARBITRARY,
-        my_values.len(),
-        dim,
-        true,
-        rng,
-    )?;
-    if session.peer_n != my_values.len() {
-        return Err(CoreError::mismatch(format!(
-            "record counts differ: mine {} vs peer {}",
-            my_values.len(),
-            session.peer_n
-        )));
+        Ok(())
     }
 
-    let mut leakage = LeakageLog::new();
-    let mut ledger = YaoLedger::default();
-    let clustering = {
-        let ledger = &mut ledger;
+    fn profile(&self) -> HandshakeProfile {
+        HandshakeProfile {
+            mode: Mode::Arbitrary,
+            n: self.values.len(),
+            dim: self.dim(),
+            dim_must_match: true,
+        }
+    }
+
+    fn check_session(&self, _cfg: &ProtocolConfig, session: &Session) -> Result<(), CoreError> {
+        if session.peer_n != self.values.len() {
+            return Err(CoreError::HandshakeMismatch {
+                field: "record_count",
+                ours: self.values.len() as u64,
+                theirs: session.peer_n as u64,
+            });
+        }
+        Ok(())
+    }
+
+    fn execute<C: Channel, R: Rng + ?Sized>(
+        &self,
+        chan: &mut C,
+        ctx: &ModeContext<'_>,
+        rng: &mut R,
+        log: &mut SessionLog,
+    ) -> Result<Clustering, CoreError> {
+        let (cfg, session, values) = (ctx.cfg, ctx.session, self.values);
+        let ledger = &mut log.ledger;
         let dist_leq_set = |x: usize, ys: &[usize]| -> Result<Vec<bool>, CoreError> {
             let views: Vec<PairView<'_>> = ys
                 .iter()
                 .map(|&y| PairView {
-                    x: &my_values[x],
-                    y: &my_values[y],
+                    x: &values[x],
+                    y: &values[y],
                 })
                 .collect();
-            let result = match role {
+            let result = match ctx.role {
                 Party::Alice => adp_compare_set_alice(
                     chan,
                     cfg,
@@ -98,20 +120,39 @@ pub fn arbitrary_party<C: Channel, R: Rng + ?Sized>(
             };
             Ok(result)
         };
-        lockstep_dbscan(my_values.len(), cfg.params, dist_leq_set, &mut leakage)?
-    };
+        lockstep_dbscan(values.len(), cfg.params, dist_leq_set, &mut log.leakage)
+    }
+}
 
-    Ok(PartyOutput {
-        clustering,
-        leakage,
-        traffic: chan.metrics(),
-        yao: ledger,
-    })
+/// One party's full run over arbitrarily partitioned data. `my_values` is
+/// this party's view: per record, `Some(value)` exactly at the attributes
+/// it owns (see [`crate::partition::ArbitraryPartition`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "use ppdbscan::session::Participant with PartyData::Arbitrary"
+)]
+pub fn arbitrary_party<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    my_values: &[Vec<Option<i64>>],
+    role: Party,
+    rng: &mut R,
+) -> Result<PartyOutput, CoreError> {
+    run_two_party(
+        chan,
+        cfg,
+        &ArbitraryDriver { values: my_values },
+        role,
+        None,
+        rng,
+    )
+    .map(|outcome| outcome.output)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[allow(deprecated)]
     use crate::driver::run_arbitrary_pair;
     use crate::partition::{ArbitraryPartition, Owner};
     use crate::test_helpers::rng;
@@ -119,6 +160,16 @@ mod tests {
 
     fn cfg(eps_sq: u64, min_pts: usize, bound: i64) -> ProtocolConfig {
         ProtocolConfig::new(DbscanParams { eps_sq, min_pts }, bound)
+    }
+
+    #[allow(deprecated)]
+    fn arbitrary(
+        c: &ProtocolConfig,
+        part: &ArbitraryPartition,
+        sa: u64,
+        sb: u64,
+    ) -> (PartyOutput, PartyOutput) {
+        run_arbitrary_pair(c, part, rng(sa), rng(sb)).unwrap()
     }
 
     fn records() -> Vec<Point> {
@@ -141,8 +192,7 @@ mod tests {
         let mut r = rng(42);
         for trial in 0..3 {
             let part = ArbitraryPartition::random(&mut r, &recs);
-            let (a_out, b_out) =
-                run_arbitrary_pair(&c, &part, rng(100 + trial), rng(200 + trial)).unwrap();
+            let (a_out, b_out) = arbitrary(&c, &part, 100 + trial, 200 + trial);
             assert_eq!(a_out.clustering, reference, "trial {trial}: alice");
             assert_eq!(b_out.clustering, reference, "trial {trial}: bob");
         }
@@ -154,7 +204,7 @@ mod tests {
         let ownership = vec![vec![Owner::Alice, Owner::Bob, Owner::Bob]; recs.len()];
         let part = ArbitraryPartition::from_records(&recs, ownership);
         let c = cfg(4, 3, 12);
-        let (a_out, _) = run_arbitrary_pair(&c, &part, rng(1), rng(2)).unwrap();
+        let (a_out, _) = arbitrary(&c, &part, 1, 2);
         assert_eq!(a_out.clustering, dbscan(&recs, c.params));
     }
 
@@ -168,7 +218,7 @@ mod tests {
             .collect();
         let part = ArbitraryPartition::from_records(&recs, ownership);
         let c = cfg(4, 3, 12);
-        let (a_out, b_out) = run_arbitrary_pair(&c, &part, rng(3), rng(4)).unwrap();
+        let (a_out, b_out) = arbitrary(&c, &part, 3, 4);
         // Unlike the horizontal protocol, the arbitrary driver runs the
         // joint lockstep loop, so the result matches centralized DBSCAN.
         assert_eq!(a_out.clustering, dbscan(&recs, c.params));
@@ -180,7 +230,7 @@ mod tests {
         let recs = records();
         let part = ArbitraryPartition::random(&mut rng(5), &recs);
         let c = cfg(4, 3, 12);
-        let (a_out, _) = run_arbitrary_pair(&c, &part, rng(6), rng(7)).unwrap();
+        let (a_out, _) = arbitrary(&c, &part, 6, 7);
         assert!(a_out.leakage.count_kind("neighbor_count") > 0);
         assert_eq!(a_out.leakage.count_kind("core_point_bit"), 0);
     }

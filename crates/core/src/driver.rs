@@ -1,20 +1,22 @@
-//! Session plumbing: handshake, per-party outputs, and convenience runners
-//! that execute both protocol halves on two threads over an in-memory
-//! channel pair. Each half is equally runnable over
-//! [`ppds_transport::tcp::TcpChannel`] for genuine two-process deployments
-//! (see `examples/hospitals_horizontal.rs`).
+//! Per-party outputs, the in-process pair conductor, and the engine-facing
+//! [`SessionRequest`]/[`run_session`] surface.
+//!
+//! The protocol entry point is the [`crate::session`] module: a
+//! [`crate::session::Participant`] runs any mode over any
+//! [`ppds_transport::Channel`] (see `examples/hospitals_horizontal.rs` for
+//! a genuine two-process TCP deployment). The `run_*_pair` helpers kept
+//! here are deprecated thin wrappers that execute both halves on two
+//! threads over an in-memory channel pair.
 
 use crate::config::{ProtocolConfig, YaoLedger};
 use crate::error::CoreError;
 use crate::partition::{ArbitraryPartition, VerticalPartition};
+use crate::session::{run_data_pair, PartyData};
 use ppds_dbscan::{Clustering, Point};
-use ppds_paillier::{Keypair, PublicKey};
-use ppds_smc::compare::Comparator;
-use ppds_smc::kth::SelectionMethod;
-use ppds_smc::{setup, LeakageLog, Party};
-use ppds_transport::{duplex, Channel, MemoryChannel, MetricsSnapshot};
+use ppds_smc::LeakageLog;
+use ppds_transport::{duplex, MemoryChannel, MetricsSnapshot};
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::SeedableRng;
 
 /// Everything one party takes away from a protocol run.
 #[derive(Debug)]
@@ -30,132 +32,6 @@ pub struct PartyOutput {
     pub yao: YaoLedger,
 }
 
-/// Protocol mode tags for the handshake.
-pub(crate) const MODE_HORIZONTAL: u64 = 1;
-pub(crate) const MODE_VERTICAL: u64 = 2;
-pub(crate) const MODE_ARBITRARY: u64 = 3;
-pub(crate) const MODE_ENHANCED: u64 = 4;
-
-/// Session state after a successful handshake.
-pub(crate) struct Session {
-    pub my_keypair: Keypair,
-    pub peer_pk: PublicKey,
-    /// Peer's record count (horizontal) or record count check (vertical).
-    pub peer_n: usize,
-    /// Peer's attribute count (differs from ours only for vertical data).
-    pub peer_dim: usize,
-}
-
-fn comparator_tag(c: Comparator) -> u64 {
-    match c {
-        Comparator::Yao => 0,
-        Comparator::Ideal => 1,
-        Comparator::Dgk => 2,
-    }
-}
-
-fn selection_tag(s: SelectionMethod) -> u64 {
-    match s {
-        SelectionMethod::RepeatedMin => 0,
-        SelectionMethod::QuickSelect => 1,
-    }
-}
-
-/// Generates a keypair, exchanges public keys, and cross-checks all public
-/// protocol metadata. `dim_must_match` is false for vertical data (parties
-/// own different attribute slices).
-#[allow(clippy::too_many_arguments)] // one parameter per handshake field
-pub(crate) fn establish<C: Channel, R: Rng + ?Sized>(
-    chan: &mut C,
-    cfg: &ProtocolConfig,
-    role: Party,
-    mode: u64,
-    n_mine: usize,
-    dim_mine: usize,
-    dim_must_match: bool,
-    rng: &mut R,
-) -> Result<Session, CoreError> {
-    let my_keypair = Keypair::generate(cfg.key_bits, rng);
-    establish_with_keypair(
-        chan,
-        cfg,
-        my_keypair,
-        role,
-        mode,
-        n_mine,
-        dim_mine,
-        dim_must_match,
-    )
-}
-
-/// [`establish`] with a caller-provided keypair — a multi-party node reuses
-/// one keypair across all of its pairwise sessions.
-#[allow(clippy::too_many_arguments)] // one parameter per handshake field
-pub(crate) fn establish_with_keypair<C: Channel>(
-    chan: &mut C,
-    cfg: &ProtocolConfig,
-    my_keypair: Keypair,
-    role: Party,
-    mode: u64,
-    n_mine: usize,
-    dim_mine: usize,
-    dim_must_match: bool,
-) -> Result<Session, CoreError> {
-    let peer_pk = match role {
-        Party::Alice => setup::exchange_keys_alice(chan, &my_keypair)?,
-        Party::Bob => setup::exchange_keys_bob(chan, &my_keypair)?,
-    };
-
-    let meta: Vec<u64> = vec![
-        mode,
-        n_mine as u64,
-        dim_mine as u64,
-        cfg.coord_bound as u64,
-        cfg.params.eps_sq,
-        cfg.params.min_pts as u64,
-        cfg.key_bits as u64,
-        comparator_tag(cfg.comparator),
-        selection_tag(cfg.selection),
-        cfg.mask_bits as u64,
-        cfg.batching as u64,
-    ];
-    chan.send(&meta)?;
-    let peer_meta: Vec<u64> = chan.recv()?;
-    if peer_meta.len() != meta.len() {
-        return Err(CoreError::mismatch("handshake metadata length"));
-    }
-    let check = |idx: usize, what: &str| -> Result<(), CoreError> {
-        if meta[idx] != peer_meta[idx] {
-            return Err(CoreError::mismatch(format!(
-                "{what}: mine {} vs peer {}",
-                meta[idx], peer_meta[idx]
-            )));
-        }
-        Ok(())
-    };
-    check(0, "protocol mode")?;
-    if dim_must_match && meta[2] != 0 && peer_meta[2] != 0 {
-        // Dimension 0 means "this side has no points" and matches anything.
-        check(2, "dimension")?;
-    }
-    check(3, "coordinate bound")?;
-    check(4, "Eps²")?;
-    check(5, "MinPts")?;
-    check(6, "key bits")?;
-    check(7, "comparator")?;
-    check(8, "selection method")?;
-    check(9, "mask bits")?;
-    check(10, "batching")?;
-    // Vertical/arbitrary protocols also need identical record counts, which
-    // the caller checks via `peer_n`.
-    Ok(Session {
-        my_keypair,
-        peer_pk,
-        peer_n: peer_meta[1] as usize,
-        peer_dim: peer_meta[2] as usize,
-    })
-}
-
 /// A mode-tagged, self-contained description of one clustering session:
 /// everything a scheduler needs to run a complete protocol execution
 /// without knowing which protocol family it is.
@@ -163,8 +39,9 @@ pub(crate) fn establish_with_keypair<C: Channel>(
 /// This is the engine-callable surface of the drivers: `ppds-engine`
 /// queues `SessionRequest`s and executes them with [`run_session`], and
 /// because [`run_session`] derives its per-party RNGs from the `seed`
-/// exactly like the `run_*_pair` helpers do, an engine-run job is
-/// bit-for-bit identical to a direct driver call with the same seed.
+/// exactly like the [`crate::session::Participant`] builder's `.seed(..)`
+/// does, an engine-run job is bit-for-bit identical to running the same
+/// participants directly with the same seeds.
 #[derive(Debug, Clone)]
 pub enum SessionRequest {
     /// Basic horizontal protocol (Algorithms 3 & 4).
@@ -201,14 +78,49 @@ impl SessionRequest {
         }
     }
 
+    /// The protocol family this request selects.
+    pub fn mode(&self) -> crate::session::Mode {
+        use crate::session::Mode;
+        match self {
+            SessionRequest::Horizontal { .. } => Mode::Horizontal,
+            SessionRequest::Enhanced { .. } => Mode::Enhanced,
+            SessionRequest::Vertical(_) => Mode::Vertical,
+            SessionRequest::Arbitrary(_) => Mode::Arbitrary,
+            SessionRequest::Multiparty { .. } => Mode::Multiparty,
+        }
+    }
+
     /// Short protocol-family tag for logs and reports.
     pub fn mode_name(&self) -> &'static str {
+        self.mode().name()
+    }
+
+    /// The two parties' [`PartyData`] views `(alice, bob)` of this request.
+    ///
+    /// # Panics
+    /// Panics on [`SessionRequest::Multiparty`], which has no two-party
+    /// view (use [`crate::session::run_mesh_local`]).
+    fn two_party_views(&self) -> (PartyData, PartyData) {
         match self {
-            SessionRequest::Horizontal { .. } => "horizontal",
-            SessionRequest::Enhanced { .. } => "enhanced",
-            SessionRequest::Vertical(_) => "vertical",
-            SessionRequest::Arbitrary(_) => "arbitrary",
-            SessionRequest::Multiparty { .. } => "multiparty",
+            SessionRequest::Horizontal { alice, bob } => (
+                PartyData::Horizontal(alice.clone()),
+                PartyData::Horizontal(bob.clone()),
+            ),
+            SessionRequest::Enhanced { alice, bob } => (
+                PartyData::Enhanced(alice.clone()),
+                PartyData::Enhanced(bob.clone()),
+            ),
+            SessionRequest::Vertical(partition) => (
+                PartyData::Vertical(partition.alice.clone()),
+                PartyData::Vertical(partition.bob.clone()),
+            ),
+            SessionRequest::Arbitrary(partition) => (
+                PartyData::Arbitrary(partition.alice_values.clone()),
+                PartyData::Arbitrary(partition.bob_values.clone()),
+            ),
+            SessionRequest::Multiparty { .. } => {
+                unreachable!("multiparty requests run over a mesh")
+            }
         }
     }
 }
@@ -218,43 +130,35 @@ impl SessionRequest {
 /// multiparty node `i` gets `seed + i`). Returns one [`PartyOutput`] per
 /// party in party order.
 ///
-/// For the two-party modes this is exactly equivalent to calling the
-/// matching `run_*_pair` helper with `StdRng::seed_from_u64(seed)` /
-/// `seed_from_u64(seed + 1)`.
+/// For the two-party modes this is exactly equivalent to running two
+/// [`crate::session::Participant`]s with `.seed(seed)` / `.seed(seed + 1)`
+/// over a duplex
+/// pair.
 pub fn run_session(
     cfg: &ProtocolConfig,
     request: &SessionRequest,
     seed: u64,
 ) -> Result<Vec<PartyOutput>, CoreError> {
-    use rand::SeedableRng;
-    let rng_a = StdRng::seed_from_u64(seed);
-    let rng_b = StdRng::seed_from_u64(seed.wrapping_add(1));
-    match request {
-        SessionRequest::Horizontal { alice, bob } => {
-            let (a, b) = run_horizontal_pair(cfg, alice, bob, rng_a, rng_b)?;
-            Ok(vec![a, b])
+    if let SessionRequest::Multiparty { parties } = request {
+        if parties.len() < 2 {
+            return Err(CoreError::config(
+                "multiparty session needs at least 2 parties",
+            ));
         }
-        SessionRequest::Enhanced { alice, bob } => {
-            let (a, b) = run_enhanced_pair(cfg, alice, bob, rng_a, rng_b)?;
-            Ok(vec![a, b])
-        }
-        SessionRequest::Vertical(partition) => {
-            let (a, b) = run_vertical_pair(cfg, partition, rng_a, rng_b)?;
-            Ok(vec![a, b])
-        }
-        SessionRequest::Arbitrary(partition) => {
-            let (a, b) = run_arbitrary_pair(cfg, partition, rng_a, rng_b)?;
-            Ok(vec![a, b])
-        }
-        SessionRequest::Multiparty { parties } => {
-            if parties.len() < 2 {
-                return Err(CoreError::config(
-                    "multiparty session needs at least 2 parties",
-                ));
-            }
-            crate::multiparty::run_multiparty_horizontal(cfg, parties, seed)
-        }
+        return Ok(crate::session::run_mesh_local(cfg, parties, seed)?
+            .into_iter()
+            .map(|outcome| outcome.output)
+            .collect());
     }
+    let (alice_data, bob_data) = request.two_party_views();
+    let (a, b) = run_data_pair(
+        cfg,
+        alice_data,
+        bob_data,
+        StdRng::seed_from_u64(seed),
+        StdRng::seed_from_u64(seed.wrapping_add(1)),
+    )?;
+    Ok(vec![a, b])
 }
 
 /// Runs the two halves of a protocol on two scoped threads over an
@@ -279,101 +183,83 @@ where
 }
 
 /// Runs the basic horizontal protocol (Algorithms 3 & 4) end to end.
+#[deprecated(
+    since = "0.2.0",
+    note = "use ppdbscan::session::run_participants with PartyData::Horizontal"
+)]
 pub fn run_horizontal_pair(
     cfg: &ProtocolConfig,
     alice_points: &[Point],
     bob_points: &[Point],
-    mut rng_a: StdRng,
-    mut rng_b: StdRng,
+    rng_a: StdRng,
+    rng_b: StdRng,
 ) -> Result<(PartyOutput, PartyOutput), CoreError> {
-    run_pair(
-        |mut chan| {
-            crate::horizontal::horizontal_party(
-                &mut chan,
-                cfg,
-                alice_points,
-                Party::Alice,
-                &mut rng_a,
-            )
-        },
-        |mut chan| {
-            crate::horizontal::horizontal_party(&mut chan, cfg, bob_points, Party::Bob, &mut rng_b)
-        },
+    run_data_pair(
+        cfg,
+        PartyData::Horizontal(alice_points.to_vec()),
+        PartyData::Horizontal(bob_points.to_vec()),
+        rng_a,
+        rng_b,
     )
 }
 
 /// Runs the enhanced horizontal protocol (Algorithms 7 & 8) end to end.
+#[deprecated(
+    since = "0.2.0",
+    note = "use ppdbscan::session::run_participants with PartyData::Enhanced"
+)]
 pub fn run_enhanced_pair(
     cfg: &ProtocolConfig,
     alice_points: &[Point],
     bob_points: &[Point],
-    mut rng_a: StdRng,
-    mut rng_b: StdRng,
+    rng_a: StdRng,
+    rng_b: StdRng,
 ) -> Result<(PartyOutput, PartyOutput), CoreError> {
-    run_pair(
-        |mut chan| {
-            crate::horizontal::enhanced_party(
-                &mut chan,
-                cfg,
-                alice_points,
-                Party::Alice,
-                &mut rng_a,
-            )
-        },
-        |mut chan| {
-            crate::horizontal::enhanced_party(&mut chan, cfg, bob_points, Party::Bob, &mut rng_b)
-        },
+    run_data_pair(
+        cfg,
+        PartyData::Enhanced(alice_points.to_vec()),
+        PartyData::Enhanced(bob_points.to_vec()),
+        rng_a,
+        rng_b,
     )
 }
 
 /// Runs the vertical protocol (Algorithms 5 & 6) end to end.
+#[deprecated(
+    since = "0.2.0",
+    note = "use ppdbscan::session::run_participants with PartyData::Vertical"
+)]
 pub fn run_vertical_pair(
     cfg: &ProtocolConfig,
     partition: &VerticalPartition,
-    mut rng_a: StdRng,
-    mut rng_b: StdRng,
+    rng_a: StdRng,
+    rng_b: StdRng,
 ) -> Result<(PartyOutput, PartyOutput), CoreError> {
-    run_pair(
-        |mut chan| {
-            crate::vertical::vertical_party(
-                &mut chan,
-                cfg,
-                &partition.alice,
-                Party::Alice,
-                &mut rng_a,
-            )
-        },
-        |mut chan| {
-            crate::vertical::vertical_party(&mut chan, cfg, &partition.bob, Party::Bob, &mut rng_b)
-        },
+    run_data_pair(
+        cfg,
+        PartyData::Vertical(partition.alice.clone()),
+        PartyData::Vertical(partition.bob.clone()),
+        rng_a,
+        rng_b,
     )
 }
 
 /// Runs the arbitrary-partition protocol (§4.4) end to end.
+#[deprecated(
+    since = "0.2.0",
+    note = "use ppdbscan::session::run_participants with PartyData::Arbitrary"
+)]
 pub fn run_arbitrary_pair(
     cfg: &ProtocolConfig,
     partition: &ArbitraryPartition,
-    mut rng_a: StdRng,
-    mut rng_b: StdRng,
+    rng_a: StdRng,
+    rng_b: StdRng,
 ) -> Result<(PartyOutput, PartyOutput), CoreError> {
-    run_pair(
-        |mut chan| {
-            crate::arbitrary::arbitrary_party(
-                &mut chan,
-                cfg,
-                &partition.alice_values,
-                Party::Alice,
-                &mut rng_a,
-            )
-        },
-        |mut chan| {
-            crate::arbitrary::arbitrary_party(
-                &mut chan,
-                cfg,
-                &partition.bob_values,
-                Party::Bob,
-                &mut rng_b,
-            )
-        },
+    run_data_pair(
+        cfg,
+        PartyData::Arbitrary(partition.alice_values.clone()),
+        PartyData::Arbitrary(partition.bob_values.clone()),
+        rng_a,
+        rng_b,
     )
 }

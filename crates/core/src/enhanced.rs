@@ -25,15 +25,17 @@
 
 use crate::config::{ProtocolConfig, YaoLedger};
 use crate::domain::enhanced_share_domain;
+use crate::error::CoreError;
+use crate::session::{HandshakeProfile, Mode, ModeContext, ModeDriver, Session, SessionLog};
 use ppds_bigint::{BigInt, BigUint};
-use ppds_dbscan::Point;
+use ppds_dbscan::{Clustering, Point};
 use ppds_paillier::{Keypair, PublicKey};
 use ppds_smc::compare::{compare_alice, compare_bob, CmpOp};
 use ppds_smc::kth::{
     kth_smallest_alice, kth_smallest_alice_batched, kth_smallest_bob, kth_smallest_bob_batched,
 };
 use ppds_smc::multiplication::{dot_many_keyholder, dot_many_peer};
-use ppds_smc::{LeakageEvent, LeakageLog, SmcError};
+use ppds_smc::{LeakageEvent, LeakageLog, Party, SmcError};
 use ppds_transport::Channel;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -227,6 +229,79 @@ pub fn enhanced_core_respond<C: Channel, R: Rng + ?Sized>(
         });
     }
     Ok(())
+}
+
+/// The enhanced protocol as a [`ModeDriver`]: the horizontal expansion
+/// engine with the count-free core-point test above.
+pub(crate) struct EnhancedDriver<'a> {
+    pub points: &'a [Point],
+}
+
+impl ModeDriver for EnhancedDriver<'_> {
+    fn validate(&self, cfg: &ProtocolConfig) -> Result<(), CoreError> {
+        crate::horizontal::validate_complete_records(cfg, self.points)
+    }
+
+    fn profile(&self) -> HandshakeProfile {
+        crate::horizontal::complete_records_profile(Mode::Enhanced, self.points)
+    }
+
+    fn check_session(&self, _cfg: &ProtocolConfig, _session: &Session) -> Result<(), CoreError> {
+        Ok(())
+    }
+
+    fn execute<C: Channel, R: Rng + ?Sized>(
+        &self,
+        chan: &mut C,
+        ctx: &ModeContext<'_>,
+        rng: &mut R,
+        log: &mut SessionLog,
+    ) -> Result<Clustering, CoreError> {
+        let (cfg, session, points) = (ctx.cfg, ctx.session, self.points);
+        let dim = points.first().map_or(0, Point::dim);
+        let run_query_phase = |chan: &mut C, rng: &mut R, log: &mut SessionLog| {
+            crate::horizontal::querier_phase(chan, cfg.params, points, |chan, idx, own_count| {
+                Ok(enhanced_core_test_querier(
+                    chan,
+                    cfg,
+                    &session.my_keypair,
+                    &points[idx],
+                    own_count,
+                    session.peer_n,
+                    rng,
+                    &mut log.ledger,
+                    &mut log.leakage,
+                )?)
+            })
+        };
+        let run_respond_phase = |chan: &mut C, rng: &mut R, log: &mut SessionLog| {
+            crate::horizontal::responder_phase(chan, |chan| {
+                enhanced_core_respond(
+                    chan,
+                    cfg,
+                    &session.peer_pk,
+                    points,
+                    dim,
+                    rng,
+                    &mut log.ledger,
+                    &mut log.leakage,
+                )?;
+                Ok(())
+            })
+        };
+
+        match ctx.role {
+            Party::Alice => {
+                let clustering = run_query_phase(chan, rng, log)?;
+                run_respond_phase(chan, rng, log)?;
+                Ok(clustering)
+            }
+            Party::Bob => {
+                run_respond_phase(chan, rng, log)?;
+                run_query_phase(chan, rng, log)
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,22 @@ pub enum CoreError {
     /// The local configuration is unusable (e.g. Yao comparator with a
     /// domain beyond its hard cap, masks that overflow the share type).
     Config(String),
-    /// The parties' handshakes disagree (different Eps/MinPts/dimensions/…).
+    /// The parties' handshakes disagree on one negotiated field. `ours` and
+    /// `theirs` are the two advertised values (field tags per
+    /// [`crate::session::Hello`]; booleans as 0/1, enums as their wire
+    /// tags). Both halves of a mismatched session report this error with
+    /// the same `field`, sides swapped.
+    HandshakeMismatch {
+        /// Name of the disagreeing handshake field (e.g. `"eps_sq"`,
+        /// `"batching"`, `"wire_version"`).
+        field: &'static str,
+        /// The value this side advertised.
+        ours: u64,
+        /// The value the peer advertised.
+        theirs: u64,
+    },
+    /// The parties disagree mid-protocol in a way the handshake cannot
+    /// attribute to a single field (e.g. a region-query arity mismatch).
     Mismatch(String),
     /// A worker thread panicked while running one party.
     PartyPanicked(&'static str),
@@ -32,6 +47,14 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::Smc(e) => write!(f, "protocol primitive failed: {e}"),
             CoreError::Config(msg) => write!(f, "configuration error: {msg}"),
+            CoreError::HandshakeMismatch {
+                field,
+                ours,
+                theirs,
+            } => write!(
+                f,
+                "handshake mismatch on {field}: ours {ours}, theirs {theirs}"
+            ),
             CoreError::Mismatch(msg) => write!(f, "handshake mismatch: {msg}"),
             CoreError::PartyPanicked(which) => write!(f, "{which} thread panicked"),
         }

@@ -13,15 +13,20 @@
 //! plaintext reference of this behaviour is
 //! [`ppds_dbscan::dbscan_with_external_density`], and the integration tests
 //! assert label-exact agreement with it.
+//!
+//! Both protocols run through the shared [`crate::session`] dispatch; the
+//! [`crate::session::Participant`] builder is the supported entry point.
 
-use crate::config::{ProtocolConfig, YaoLedger};
-use crate::driver::{establish, PartyOutput, MODE_ENHANCED, MODE_HORIZONTAL};
-use crate::enhanced::{enhanced_core_respond, enhanced_core_test_querier};
+use crate::config::ProtocolConfig;
+use crate::driver::PartyOutput;
 use crate::error::CoreError;
 use crate::hdp::{hdp_query, hdp_serve};
+use crate::session::{
+    run_two_party, HandshakeProfile, Mode, ModeContext, ModeDriver, Session, SessionLog,
+};
 use ppds_dbscan::index::{LinearIndex, NeighborIndex};
 use ppds_dbscan::{Clustering, DbscanParams, Label, Point};
-use ppds_smc::{LeakageEvent, LeakageLog, Party};
+use ppds_smc::{LeakageEvent, Party};
 use ppds_transport::Channel;
 use rand::Rng;
 use std::collections::VecDeque;
@@ -43,7 +48,7 @@ enum State {
 ///
 /// `core_test(chan, point_idx, own_neighbor_count)` runs one interactive
 /// core-point decision with the responder.
-fn querier_phase<C, F>(
+pub(crate) fn querier_phase<C, F>(
     chan: &mut C,
     params: DbscanParams,
     points: &[Point],
@@ -113,7 +118,7 @@ where
 
 /// The responding party's loop: serve queries until the querier signals
 /// completion.
-fn responder_phase<C, F>(chan: &mut C, mut respond: F) -> Result<(), CoreError>
+pub(crate) fn responder_phase<C, F>(chan: &mut C, mut respond: F) -> Result<(), CoreError>
 where
     C: Channel,
     F: FnMut(&mut C) -> Result<(), CoreError>,
@@ -132,40 +137,57 @@ where
     }
 }
 
-/// One party's full run of the **basic** horizontal protocol.
-///
-/// Alice queries first while Bob responds, then the roles swap — both
-/// orderings driven by `role`. Returns this party's own clustering.
-pub fn horizontal_party<C: Channel, R: Rng + ?Sized>(
-    chan: &mut C,
+/// Shared local validation for complete-record modes: every point within
+/// the agreed lattice bound, one common dimension, config usable.
+pub(crate) fn validate_complete_records(
     cfg: &ProtocolConfig,
-    my_points: &[Point],
-    role: Party,
-    rng: &mut R,
-) -> Result<PartyOutput, CoreError> {
-    // An empty side advertises dimension 0, which the handshake treats as
-    // "any" (it still answers queries — with zero matches — either way).
-    let dim = my_points.first().map_or(0, Point::dim);
+    points: &[Point],
+) -> Result<(), CoreError> {
+    let dim = points.first().map_or(0, Point::dim);
     cfg.validate(dim.max(1))?;
-    check_points(cfg, my_points)?;
-    let session = establish(
-        chan,
-        cfg,
-        role,
-        MODE_HORIZONTAL,
-        my_points.len(),
-        dim,
-        true,
-        rng,
-    )?;
+    check_points(cfg, points)
+}
 
-    let mut leakage = LeakageLog::new();
-    let mut ledger = YaoLedger::default();
-    let clustering;
+/// Handshake advertisement for complete-record modes. An empty side
+/// advertises dimension 0, which the handshake treats as "any" (it still
+/// answers queries — with zero matches — either way).
+pub(crate) fn complete_records_profile(mode: Mode, points: &[Point]) -> HandshakeProfile {
+    HandshakeProfile {
+        mode,
+        n: points.len(),
+        dim: points.first().map_or(0, Point::dim),
+        dim_must_match: true,
+    }
+}
 
-    let run_query_phase =
-        |chan: &mut C, rng: &mut R, leakage: &mut LeakageLog, ledger: &mut YaoLedger| {
-            querier_phase(chan, cfg.params, my_points, |chan, idx, own_count| {
+/// The basic horizontal protocol as a [`ModeDriver`].
+pub(crate) struct HorizontalDriver<'a> {
+    pub points: &'a [Point],
+}
+
+impl ModeDriver for HorizontalDriver<'_> {
+    fn validate(&self, cfg: &ProtocolConfig) -> Result<(), CoreError> {
+        validate_complete_records(cfg, self.points)
+    }
+
+    fn profile(&self) -> HandshakeProfile {
+        complete_records_profile(Mode::Horizontal, self.points)
+    }
+
+    fn check_session(&self, _cfg: &ProtocolConfig, _session: &Session) -> Result<(), CoreError> {
+        Ok(())
+    }
+
+    fn execute<C: Channel, R: Rng + ?Sized>(
+        &self,
+        chan: &mut C,
+        ctx: &ModeContext<'_>,
+        rng: &mut R,
+        log: &mut SessionLog,
+    ) -> Result<Clustering, CoreError> {
+        let (cfg, session, points) = (ctx.cfg, ctx.session, self.points);
+        let run_query_phase = |chan: &mut C, rng: &mut R, log: &mut SessionLog| {
+            querier_phase(chan, cfg.params, points, |chan, idx, own_count| {
                 // One HDP query per core test: batched mode ships the whole
                 // responder set in O(1) wire rounds.
                 let peer_count = hdp_query(
@@ -173,55 +195,79 @@ pub fn horizontal_party<C: Channel, R: Rng + ?Sized>(
                     cfg,
                     &session.my_keypair,
                     &session.peer_pk,
-                    &my_points[idx],
+                    &points[idx],
                     session.peer_n,
                     rng,
-                    ledger,
+                    &mut log.ledger,
                 )?;
-                leakage.record(LeakageEvent::NeighborCount {
+                log.leakage.record(LeakageEvent::NeighborCount {
                     query: format!("own#{idx}"),
                     count: peer_count as u64,
                 });
                 Ok(own_count + peer_count >= cfg.params.min_pts)
             })
         };
-    let run_respond_phase =
-        |chan: &mut C, rng: &mut R, leakage: &mut LeakageLog, ledger: &mut YaoLedger| {
+        let run_respond_phase = |chan: &mut C, rng: &mut R, log: &mut SessionLog| {
             responder_phase(chan, |chan| {
                 hdp_serve(
                     chan,
                     cfg,
                     &session.my_keypair,
                     &session.peer_pk,
-                    my_points,
+                    points,
                     rng,
-                    ledger,
-                    leakage,
+                    &mut log.ledger,
+                    &mut log.leakage,
                 )?;
                 Ok(())
             })
         };
 
-    match role {
-        Party::Alice => {
-            clustering = Some(run_query_phase(chan, rng, &mut leakage, &mut ledger)?);
-            run_respond_phase(chan, rng, &mut leakage, &mut ledger)?;
-        }
-        Party::Bob => {
-            run_respond_phase(chan, rng, &mut leakage, &mut ledger)?;
-            clustering = Some(run_query_phase(chan, rng, &mut leakage, &mut ledger)?);
+        match ctx.role {
+            Party::Alice => {
+                let clustering = run_query_phase(chan, rng, log)?;
+                run_respond_phase(chan, rng, log)?;
+                Ok(clustering)
+            }
+            Party::Bob => {
+                run_respond_phase(chan, rng, log)?;
+                run_query_phase(chan, rng, log)
+            }
         }
     }
+}
 
-    Ok(PartyOutput {
-        clustering: clustering.expect("query phase ran"),
-        leakage,
-        traffic: chan.metrics(),
-        yao: ledger,
-    })
+/// One party's full run of the **basic** horizontal protocol.
+///
+/// Alice queries first while Bob responds, then the roles swap — both
+/// orderings driven by `role`. Returns this party's own clustering.
+#[deprecated(
+    since = "0.2.0",
+    note = "use ppdbscan::session::Participant with PartyData::Horizontal"
+)]
+pub fn horizontal_party<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    my_points: &[Point],
+    role: Party,
+    rng: &mut R,
+) -> Result<PartyOutput, CoreError> {
+    run_two_party(
+        chan,
+        cfg,
+        &HorizontalDriver { points: my_points },
+        role,
+        None,
+        rng,
+    )
+    .map(|outcome| outcome.output)
 }
 
 /// One party's full run of the **enhanced** protocol (Section 5).
+#[deprecated(
+    since = "0.2.0",
+    note = "use ppdbscan::session::Participant with PartyData::Enhanced"
+)]
 pub fn enhanced_party<C: Channel, R: Rng + ?Sized>(
     chan: &mut C,
     cfg: &ProtocolConfig,
@@ -229,74 +275,15 @@ pub fn enhanced_party<C: Channel, R: Rng + ?Sized>(
     role: Party,
     rng: &mut R,
 ) -> Result<PartyOutput, CoreError> {
-    let dim = my_points.first().map_or(0, Point::dim);
-    cfg.validate(dim.max(1))?;
-    check_points(cfg, my_points)?;
-    let session = establish(
+    run_two_party(
         chan,
         cfg,
+        &crate::enhanced::EnhancedDriver { points: my_points },
         role,
-        MODE_ENHANCED,
-        my_points.len(),
-        dim,
-        true,
+        None,
         rng,
-    )?;
-
-    let mut leakage = LeakageLog::new();
-    let mut ledger = YaoLedger::default();
-    let clustering;
-
-    let run_query_phase =
-        |chan: &mut C, rng: &mut R, leakage: &mut LeakageLog, ledger: &mut YaoLedger| {
-            querier_phase(chan, cfg.params, my_points, |chan, idx, own_count| {
-                Ok(enhanced_core_test_querier(
-                    chan,
-                    cfg,
-                    &session.my_keypair,
-                    &my_points[idx],
-                    own_count,
-                    session.peer_n,
-                    rng,
-                    ledger,
-                    leakage,
-                )?)
-            })
-        };
-    let run_respond_phase =
-        |chan: &mut C, rng: &mut R, leakage: &mut LeakageLog, ledger: &mut YaoLedger| {
-            responder_phase(chan, |chan| {
-                enhanced_core_respond(
-                    chan,
-                    cfg,
-                    &session.peer_pk,
-                    my_points,
-                    dim,
-                    rng,
-                    ledger,
-                    leakage,
-                )?;
-                Ok(())
-            })
-        };
-
-    match role {
-        Party::Alice => {
-            clustering = Some(run_query_phase(chan, rng, &mut leakage, &mut ledger)?);
-            run_respond_phase(chan, rng, &mut leakage, &mut ledger)?;
-        }
-        Party::Bob => {
-            run_respond_phase(chan, rng, &mut leakage, &mut ledger)?;
-            clustering = Some(run_query_phase(chan, rng, &mut leakage, &mut ledger)?);
-        }
-    }
-
-    Ok(PartyOutput {
-        clustering: clustering.expect("query phase ran"),
-        leakage,
-        traffic: chan.metrics(),
-        yao: ledger,
-    })
+    )
+    .map(|outcome| outcome.output)
 }
 
 /// Validates that every local point respects the agreed lattice bound and
@@ -323,7 +310,9 @@ pub(crate) fn check_points(cfg: &ProtocolConfig, points: &[Point]) -> Result<(),
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[allow(deprecated)]
     use crate::driver::{run_enhanced_pair, run_horizontal_pair};
+    use crate::session::{Participant, PartyData};
     use crate::test_helpers::rng;
     use ppds_dbscan::{dbscan_with_external_density, eval};
 
@@ -335,12 +324,36 @@ mod tests {
         ProtocolConfig::new(DbscanParams { eps_sq, min_pts }, bound)
     }
 
+    // The deprecated pair helpers stay the most convenient harness for
+    // these unit tests and double as coverage that the wrappers still work.
+    #[allow(deprecated)]
+    fn horizontal(
+        c: &ProtocolConfig,
+        alice: &[Point],
+        bob: &[Point],
+        sa: u64,
+        sb: u64,
+    ) -> (PartyOutput, PartyOutput) {
+        run_horizontal_pair(c, alice, bob, rng(sa), rng(sb)).unwrap()
+    }
+
+    #[allow(deprecated)]
+    fn enhanced(
+        c: &ProtocolConfig,
+        alice: &[Point],
+        bob: &[Point],
+        sa: u64,
+        sb: u64,
+    ) -> (PartyOutput, PartyOutput) {
+        run_enhanced_pair(c, alice, bob, rng(sa), rng(sb)).unwrap()
+    }
+
     #[test]
     fn basic_matches_external_density_reference() {
         let alice = pts(&[&[0, 0], &[1, 0], &[10, 10], &[11, 10], &[30, -30]]);
         let bob = pts(&[&[0, 1], &[1, 1], &[10, 11], &[-30, 30]]);
         let c = cfg(4, 3, 40);
-        let (a_out, b_out) = run_horizontal_pair(&c, &alice, &bob, rng(1), rng(2)).unwrap();
+        let (a_out, b_out) = horizontal(&c, &alice, &bob, 1, 2);
         let a_ref = dbscan_with_external_density(&alice, &bob, c.params);
         let b_ref = dbscan_with_external_density(&bob, &alice, c.params);
         assert_eq!(a_out.clustering, a_ref, "alice labels");
@@ -354,8 +367,8 @@ mod tests {
         let alice = pts(&[&[0, 0], &[1, 0], &[10, 10], &[11, 10], &[30, -30]]);
         let bob = pts(&[&[0, 1], &[1, 1], &[10, 11], &[-30, 30]]);
         let c = cfg(4, 3, 40);
-        let (basic_a, basic_b) = run_horizontal_pair(&c, &alice, &bob, rng(3), rng(4)).unwrap();
-        let (enh_a, enh_b) = run_enhanced_pair(&c, &alice, &bob, rng(5), rng(6)).unwrap();
+        let (basic_a, basic_b) = horizontal(&c, &alice, &bob, 3, 4);
+        let (enh_a, enh_b) = enhanced(&c, &alice, &bob, 5, 6);
         assert_eq!(basic_a.clustering, enh_a.clustering);
         assert_eq!(basic_b.clustering, enh_b.clustering);
     }
@@ -365,12 +378,12 @@ mod tests {
         let alice = pts(&[&[0, 0], &[1, 0], &[9, 9]]);
         let bob = pts(&[&[0, 1], &[8, 9]]);
         let c = cfg(4, 2, 15);
-        let (basic_a, _b) = run_horizontal_pair(&c, &alice, &bob, rng(7), rng(8)).unwrap();
+        let (basic_a, _b) = horizontal(&c, &alice, &bob, 7, 8);
         // Theorem 9: one neighbor count per query the party issued.
         assert!(basic_a.leakage.count_kind("neighbor_count") > 0);
         assert_eq!(basic_a.leakage.count_kind("core_point_bit"), 0);
 
-        let (enh_a, _b) = run_enhanced_pair(&c, &alice, &bob, rng(9), rng(10)).unwrap();
+        let (enh_a, _b) = enhanced(&c, &alice, &bob, 9, 10);
         // Theorem 11: core-point bits only, never a count.
         assert_eq!(enh_a.leakage.count_kind("neighbor_count"), 0);
         assert!(enh_a.leakage.count_kind("core_point_bit") > 0);
@@ -383,7 +396,7 @@ mod tests {
         let alice = pts(&[&[0, 0], &[2, 0]]);
         let bob = pts(&[&[1, 0], &[1, 1]]);
         let c = cfg(4, 3, 5);
-        let (a_out, b_out) = run_horizontal_pair(&c, &alice, &bob, rng(11), rng(12)).unwrap();
+        let (a_out, b_out) = horizontal(&c, &alice, &bob, 11, 12);
         assert_eq!(a_out.clustering.noise_count(), 0);
         assert_eq!(b_out.clustering.noise_count(), 0);
         assert_eq!(a_out.clustering.num_clusters, 1);
@@ -394,7 +407,7 @@ mod tests {
         let alice = pts(&[&[0], &[1], &[2], &[50]]);
         let bob: Vec<Point> = vec![];
         let c = cfg(1, 2, 60);
-        let (a_out, b_out) = run_horizontal_pair(&c, &alice, &bob, rng(13), rng(14)).unwrap();
+        let (a_out, b_out) = horizontal(&c, &alice, &bob, 13, 14);
         let reference = dbscan_with_external_density(&alice, &[], c.params);
         assert_eq!(a_out.clustering, reference);
         assert!(b_out.clustering.labels.is_empty());
@@ -407,7 +420,7 @@ mod tests {
         let alice = pts(&[&[0, 0], &[1, 1], &[20, 20], &[21, 21]]);
         let bob = pts(&[&[0, 1], &[1, 0], &[20, 21], &[21, 20]]);
         let c = cfg(8, 4, 30);
-        let (a_out, _) = run_horizontal_pair(&c, &alice, &bob, rng(15), rng(16)).unwrap();
+        let (a_out, _) = horizontal(&c, &alice, &bob, 15, 16);
         let mut union = alice.clone();
         union.extend(bob.iter().cloned());
         let central = ppds_dbscan::dbscan(&union, c.params);
@@ -426,15 +439,24 @@ mod tests {
         let cfg_b = cfg(9, 2, 5); // different Eps²
         let result = crate::driver::run_pair(
             |mut chan| {
-                let mut r = rng(17);
-                horizontal_party(&mut chan, &cfg_a, &alice, Party::Alice, &mut r)
+                Participant::new(cfg_a)
+                    .role(Party::Alice)
+                    .data(PartyData::Horizontal(alice.clone()))
+                    .seed(17)
+                    .run(&mut chan)
             },
             |mut chan| {
-                let mut r = rng(18);
-                horizontal_party(&mut chan, &cfg_b, &bob, Party::Bob, &mut r)
+                Participant::new(cfg_b)
+                    .role(Party::Bob)
+                    .data(PartyData::Horizontal(bob.clone()))
+                    .seed(18)
+                    .run(&mut chan)
             },
         );
-        assert!(result.is_err());
+        match result.unwrap_err() {
+            CoreError::HandshakeMismatch { field, .. } => assert_eq!(field, "eps_sq"),
+            other => panic!("wanted HandshakeMismatch, got {other:?}"),
+        }
     }
 
     #[test]
@@ -442,8 +464,12 @@ mod tests {
         let alice = pts(&[&[100, 0]]);
         let c = cfg(4, 2, 5);
         let (mut chan, _peer) = ppds_transport::duplex();
-        let mut r = rng(19);
-        let err = horizontal_party(&mut chan, &c, &alice, Party::Alice, &mut r).unwrap_err();
+        let err = Participant::new(c)
+            .role(Party::Alice)
+            .data(PartyData::Horizontal(alice))
+            .seed(19)
+            .run(&mut chan)
+            .unwrap_err();
         assert!(matches!(err, CoreError::Config(_)));
     }
 }

@@ -26,8 +26,9 @@
 //! **Never use this protocol for anything but measurement.**
 
 use crate::config::{ProtocolConfig, YaoLedger};
-use crate::driver::{establish, PartyOutput};
+use crate::driver::PartyOutput;
 use crate::error::CoreError;
+use crate::session::{establish, HandshakeProfile, Mode};
 use ppds_bigint::BigInt;
 use ppds_dbscan::index::{LinearIndex, NeighborIndex};
 use ppds_dbscan::{dist_sq, Clustering, Label, Point};
@@ -39,7 +40,6 @@ use ppds_transport::Channel;
 use rand::Rng;
 use std::collections::{BTreeMap, VecDeque};
 
-const MODE_KUMAR: u64 = 6;
 const TAG_DONE: u8 = 0;
 const TAG_QUERY: u8 = 1;
 
@@ -151,7 +151,19 @@ pub fn kumar_party<C: Channel, R: Rng + ?Sized>(
     let dim = my_points.first().map_or(0, Point::dim);
     cfg.validate(dim.max(1))?;
     crate::horizontal::check_points(cfg, my_points)?;
-    let session = establish(chan, cfg, role, MODE_KUMAR, my_points.len(), dim, true, rng)?;
+    let keypair = Keypair::generate(cfg.key_bits, rng);
+    let session = establish(
+        chan,
+        cfg,
+        keypair,
+        role,
+        &HandshakeProfile {
+            mode: Mode::KumarBaseline,
+            n: my_points.len(),
+            dim,
+            dim_must_match: true,
+        },
+    )?;
 
     let mut leakage = LeakageLog::new();
     let mut ledger = YaoLedger::default();
@@ -353,6 +365,7 @@ pub fn unlinkable_feasible_region(my_points: &[Point], eps_sq: u64, bound: i64) 
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[allow(deprecated)]
     use crate::driver::run_horizontal_pair;
     use crate::test_helpers::rng;
     use ppds_dbscan::{dbscan_with_external_density, DbscanParams};
@@ -417,6 +430,7 @@ mod tests {
 
         // Against the honest protocol the same adversary gets no linkable
         // bits at all…
+        #[allow(deprecated)]
         let (_, honest_bob) = run_horizontal_pair(&cfg, &alice, &bob, rng(5), rng(6)).unwrap();
         assert_eq!(honest_bob.leakage.count_kind("linked_neighbor_bit"), 0);
         // …and his best unlinkable inference is the union of his disks.

@@ -36,30 +36,49 @@
 //! argues against — with an executable Figure 1 intersection attack that
 //! demonstrates exactly why the permutation defense matters.
 //!
-//! Every run returns a [`driver::PartyOutput`] carrying the clustering, the
-//! exact [`ppds_smc::LeakageLog`] of what that party learned (tested against
-//! Theorems 9/10/11), wire-level traffic counters, and a
-//! [`config::YaoLedger`] with the modeled cost of the faithful Yao
-//! comparisons.
+//! # The session API
+//!
+//! All five protocol modes run through one typed entry point: the
+//! [`session::Participant`] builder. A participant describes one party's
+//! side — config, role, private [`session::PartyData`] view, optional
+//! keypair, deterministic seed — and [`session::Participant::run`]
+//! executes it over any [`ppds_transport::Channel`] (in-memory or TCP),
+//! after a versioned [`session::Hello`] handshake that cross-checks every
+//! public protocol parameter and rejects disagreements with a typed
+//! [`CoreError::HandshakeMismatch`]. The returned
+//! [`session::SessionOutcome`] wraps this party's [`driver::PartyOutput`]
+//! — the clustering, the exact [`ppds_smc::LeakageLog`] of what the party
+//! learned (tested against Theorems 9/10/11), wire-level traffic counters,
+//! and a [`config::YaoLedger`] with the modeled faithful-Yao cost — plus
+//! the negotiated [`session::SessionMeta`].
+//!
+//! The original free-function drivers (`run_horizontal_pair` & co.) remain
+//! as deprecated wrappers with byte-identical outputs; the engine-facing
+//! batch surface is [`driver::SessionRequest`]/[`driver::run_session`].
 //!
 //! ```
-//! use ppdbscan::config::ProtocolConfig;
-//! use ppdbscan::driver::run_horizontal_pair;
+//! use ppdbscan::session::{run_participants, Participant, PartyData};
+//! use ppdbscan::ProtocolConfig;
 //! use ppds_dbscan::{DbscanParams, Point};
-//! use rand::SeedableRng;
+//! use ppds_smc::Party;
 //!
-//! let alice_points = vec![Point::new(vec![0, 0]), Point::new(vec![1, 1])];
-//! let bob_points = vec![Point::new(vec![0, 1]), Point::new(vec![9, 9])];
 //! let cfg = ProtocolConfig::new(DbscanParams { eps_sq: 4, min_pts: 3 }, 10);
-//! let (alice_out, bob_out) = run_horizontal_pair(
-//!     &cfg,
-//!     &alice_points,
-//!     &bob_points,
-//!     rand::rngs::StdRng::seed_from_u64(1),
-//!     rand::rngs::StdRng::seed_from_u64(2),
-//! )
-//! .unwrap();
-//! println!("Alice sees {} clusters", alice_out.clustering.num_clusters);
+//! let alice = Participant::new(cfg)
+//!     .role(Party::Alice)
+//!     .data(PartyData::Horizontal(vec![
+//!         Point::new(vec![0, 0]),
+//!         Point::new(vec![1, 1]),
+//!     ]))
+//!     .seed(1);
+//! let bob = Participant::new(cfg)
+//!     .role(Party::Bob)
+//!     .data(PartyData::Horizontal(vec![
+//!         Point::new(vec![0, 1]),
+//!         Point::new(vec![9, 9]),
+//!     ]))
+//!     .seed(2);
+//! let (alice_out, _bob_out) = run_participants(alice, bob).unwrap();
+//! println!("Alice sees {} clusters", alice_out.output.clustering.num_clusters);
 //! ```
 
 pub mod adp;
@@ -74,17 +93,24 @@ pub mod horizontal;
 pub mod kumar;
 pub mod multiparty;
 pub mod partition;
+pub mod session;
 pub mod vdp;
 pub mod vertical;
 
 pub use config::ProtocolConfig;
+#[allow(deprecated)]
 pub use driver::{
     run_arbitrary_pair, run_enhanced_pair, run_horizontal_pair, run_session, run_vertical_pair,
     PartyOutput, SessionRequest,
 };
 pub use error::CoreError;
+#[allow(deprecated)]
 pub use multiparty::run_multiparty_horizontal;
 pub use partition::{ArbitraryPartition, VerticalPartition};
+pub use session::{
+    run_data_pair, run_participants, Hello, Mode, Participant, PartyData, SessionMeta,
+    SessionOutcome, WIRE_VERSION,
+};
 
 #[cfg(test)]
 pub(crate) mod test_helpers {

@@ -6,7 +6,8 @@
 //! Algorithms 3 & 4 in the natural way:
 //!
 //! * every party holds one Paillier keypair and runs a pairwise session
-//!   with each peer (full mesh; public-key exchange + metadata handshake);
+//!   with each peer (full mesh; public-key exchange + versioned `Hello`
+//!   handshake per [`crate::session`]);
 //! * the run proceeds in `K` deterministic *phases*; in phase `p`, party
 //!   `p` is the querier and every other party answers its neighborhood
 //!   queries on their pairwise channel;
@@ -23,22 +24,28 @@
 //! finer-grained than the union count — the price of the pairwise
 //! construction; a future aggregation layer could hide the split at the
 //! cost of a joint protocol among all K parties).
+//!
+//! Entry points: [`crate::session::Participant::run_mesh`] for one node
+//! over real channels, [`crate::session::run_mesh_local`] for all nodes on
+//! threads over an in-memory mesh.
 
-use crate::config::{ProtocolConfig, YaoLedger};
-use crate::driver::{establish_with_keypair, PartyOutput, Session};
+use crate::config::ProtocolConfig;
+use crate::driver::PartyOutput;
 use crate::error::CoreError;
 use crate::hdp::{hdp_query, hdp_serve};
 use crate::horizontal::check_points;
+use crate::session::{
+    establish, HandshakeProfile, Mode, PeerInfo, Session, SessionLog, SessionMeta, SessionOutcome,
+    WIRE_VERSION,
+};
 use ppds_dbscan::index::{LinearIndex, NeighborIndex};
 use ppds_dbscan::{Clustering, Label, Point};
 use ppds_paillier::Keypair;
-use ppds_smc::{LeakageEvent, LeakageLog, Party};
-use ppds_transport::{duplex, Channel, MemoryChannel};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ppds_smc::{LeakageEvent, Party};
+use ppds_transport::Channel;
+use rand::Rng;
 use std::collections::VecDeque;
 
-const MODE_MULTIPARTY: u64 = 5;
 const TAG_DONE: u8 = 0;
 const TAG_QUERY: u8 = 1;
 
@@ -49,22 +56,33 @@ enum State {
     Cluster(usize),
 }
 
-/// One node's full run of the multi-party horizontal protocol.
-///
-/// `peers` holds one channel per other party, tagged with that party's
-/// global id; `my_id` is this node's id in `0..k_parties`. All parties must
-/// agree on ids and use the same `cfg`.
-pub fn multiparty_horizontal_party<C: Channel, R: Rng + ?Sized>(
+/// One node's full run of the multi-party horizontal protocol: the shared
+/// implementation behind [`crate::session::Participant::run_mesh`] and the
+/// deprecated free function.
+pub(crate) fn run_mesh_node<C: Channel, R: Rng + ?Sized>(
     peers: &mut [(usize, C)],
     my_id: usize,
     k_parties: usize,
     cfg: &ProtocolConfig,
     my_points: &[Point],
+    keypair: Option<Keypair>,
     rng: &mut R,
-) -> Result<PartyOutput, CoreError> {
-    assert!(k_parties >= 2, "need at least two parties");
-    assert_eq!(peers.len(), k_parties - 1, "one channel per peer");
-    assert!(my_id < k_parties, "party id out of range");
+) -> Result<SessionOutcome, CoreError> {
+    if k_parties < 2 {
+        return Err(CoreError::config("need at least two parties"));
+    }
+    if peers.len() != k_parties - 1 {
+        return Err(CoreError::config(format!(
+            "one channel per peer: got {} for {} parties",
+            peers.len(),
+            k_parties
+        )));
+    }
+    if my_id >= k_parties {
+        return Err(CoreError::config(format!(
+            "party id {my_id} out of range for {k_parties} parties"
+        )));
+    }
     peers.sort_by_key(|(peer_id, _)| *peer_id);
 
     let dim = my_points.first().map_or(0, Point::dim);
@@ -73,7 +91,16 @@ pub fn multiparty_horizontal_party<C: Channel, R: Rng + ?Sized>(
 
     // One keypair per node, one pairwise session per peer. The lower id
     // plays the Alice role of the key exchange ordering.
-    let keypair = Keypair::generate(cfg.key_bits, rng);
+    let keypair = match keypair {
+        Some(kp) => kp,
+        None => Keypair::generate(cfg.key_bits, rng),
+    };
+    let profile = HandshakeProfile {
+        mode: Mode::Multiparty,
+        n: my_points.len(),
+        dim,
+        dim_must_match: true,
+    };
     let mut sessions: Vec<(usize, Session)> = Vec::with_capacity(peers.len());
     for (peer_id, chan) in peers.iter_mut() {
         let role = if my_id < *peer_id {
@@ -81,34 +108,18 @@ pub fn multiparty_horizontal_party<C: Channel, R: Rng + ?Sized>(
         } else {
             Party::Bob
         };
-        let session = establish_with_keypair(
-            chan,
-            cfg,
-            keypair.clone(),
-            role,
-            MODE_MULTIPARTY,
-            my_points.len(),
-            dim,
-            true,
-        )?;
+        let session = establish(chan, cfg, keypair.clone(), role, &profile)?;
         sessions.push((*peer_id, session));
     }
 
-    let mut leakage = LeakageLog::new();
-    let mut ledger = YaoLedger::default();
+    let mut log = SessionLog::new();
     let mut clustering = None;
 
     // K deterministic phases; ids give every party the same schedule.
     for phase in 0..k_parties {
         if phase == my_id {
             clustering = Some(query_phase(
-                peers,
-                &sessions,
-                cfg,
-                my_points,
-                rng,
-                &mut leakage,
-                &mut ledger,
+                peers, &sessions, cfg, my_points, rng, &mut log,
             )?);
         } else {
             // Serve the querying party on the channel that leads to it.
@@ -118,38 +129,64 @@ pub fn multiparty_horizontal_party<C: Channel, R: Rng + ?Sized>(
                 .expect("phase party is a peer");
             let (_, session) = &sessions[idx];
             let (_, chan) = &mut peers[idx];
-            respond_phase(
-                chan,
-                session,
-                cfg,
-                my_points,
-                rng,
-                &mut leakage,
-                &mut ledger,
-            )?;
+            respond_phase(chan, session, cfg, my_points, rng, &mut log)?;
         }
     }
 
     let traffic = peers.iter().map(|(_, chan)| chan.metrics()).sum();
-    Ok(PartyOutput {
-        clustering: clustering.expect("own phase ran"),
-        leakage,
-        traffic,
-        yao: ledger,
+    let peer_meta = sessions
+        .iter()
+        .map(|(peer_id, session)| PeerInfo {
+            id: *peer_id,
+            n: session.peer_n,
+            dim: session.peer_dim,
+        })
+        .collect();
+    Ok(SessionOutcome {
+        output: PartyOutput {
+            clustering: clustering.expect("own phase ran"),
+            leakage: log.leakage,
+            traffic,
+            yao: log.ledger,
+        },
+        meta: SessionMeta {
+            wire_version: WIRE_VERSION,
+            mode: Mode::Multiparty,
+            batching: cfg.batching,
+            peers: peer_meta,
+        },
     })
+}
+
+/// One node's full run of the multi-party horizontal protocol.
+///
+/// `peers` holds one channel per other party, tagged with that party's
+/// global id; `my_id` is this node's id in `0..k_parties`. All parties must
+/// agree on ids and use the same `cfg`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use ppdbscan::session::Participant::run_mesh with PartyData::Multiparty"
+)]
+pub fn multiparty_horizontal_party<C: Channel, R: Rng + ?Sized>(
+    peers: &mut [(usize, C)],
+    my_id: usize,
+    k_parties: usize,
+    cfg: &ProtocolConfig,
+    my_points: &[Point],
+    rng: &mut R,
+) -> Result<PartyOutput, CoreError> {
+    run_mesh_node(peers, my_id, k_parties, cfg, my_points, None, rng).map(|outcome| outcome.output)
 }
 
 /// The querier's DBSCAN loop: like the two-party engine, but each core test
 /// fans out one HDP neighborhood query to every peer.
-#[allow(clippy::too_many_arguments)]
 fn query_phase<C: Channel, R: Rng + ?Sized>(
     peers: &mut [(usize, C)],
     sessions: &[(usize, Session)],
     cfg: &ProtocolConfig,
     points: &[Point],
     rng: &mut R,
-    leakage: &mut LeakageLog,
-    ledger: &mut YaoLedger,
+    log: &mut SessionLog,
 ) -> Result<Clustering, CoreError> {
     let index = LinearIndex::new(points, cfg.params.eps_sq);
     let mut states = vec![State::Unclassified; points.len()];
@@ -157,8 +194,7 @@ fn query_phase<C: Channel, R: Rng + ?Sized>(
 
     let core_test = |peers: &mut [(usize, C)],
                      rng: &mut R,
-                     leakage: &mut LeakageLog,
-                     ledger: &mut YaoLedger,
+                     log: &mut SessionLog,
                      idx: usize,
                      own_count: usize|
      -> Result<bool, CoreError> {
@@ -174,9 +210,9 @@ fn query_phase<C: Channel, R: Rng + ?Sized>(
                 &points[idx],
                 session.peer_n,
                 rng,
-                ledger,
+                &mut log.ledger,
             )?;
-            leakage.record(LeakageEvent::NeighborCount {
+            log.leakage.record(LeakageEvent::NeighborCount {
                 query: format!("own#{idx}/peer#{peer_id}"),
                 count: count as u64,
             });
@@ -190,7 +226,7 @@ fn query_phase<C: Channel, R: Rng + ?Sized>(
             continue;
         }
         let seeds = index.region_query(&points[i]);
-        if !core_test(peers, rng, leakage, ledger, i, seeds.len())? {
+        if !core_test(peers, rng, log, i, seeds.len())? {
             states[i] = State::Noise;
             continue;
         }
@@ -205,7 +241,7 @@ fn query_phase<C: Channel, R: Rng + ?Sized>(
         }
         while let Some(current) = queue.pop_front() {
             let result = index.region_query(&points[current]);
-            if core_test(peers, rng, leakage, ledger, current, result.len())? {
+            if core_test(peers, rng, log, current, result.len())? {
                 for &neighbor in &result {
                     match states[neighbor] {
                         State::Unclassified => {
@@ -245,8 +281,7 @@ fn respond_phase<C: Channel, R: Rng + ?Sized>(
     cfg: &ProtocolConfig,
     my_points: &[Point],
     rng: &mut R,
-    leakage: &mut LeakageLog,
-    ledger: &mut YaoLedger,
+    log: &mut SessionLog,
 ) -> Result<(), CoreError> {
     loop {
         let tag: u8 = chan.recv()?;
@@ -260,8 +295,8 @@ fn respond_phase<C: Channel, R: Rng + ?Sized>(
                     &session.peer_pk,
                     my_points,
                     rng,
-                    ledger,
-                    leakage,
+                    &mut log.ledger,
+                    &mut log.leakage,
                 )?;
             }
             other => {
@@ -276,52 +311,25 @@ fn respond_phase<C: Channel, R: Rng + ?Sized>(
 /// Runs all `K` parties of the multi-party horizontal protocol on threads
 /// over an in-memory full mesh; returns one [`PartyOutput`] per party, in
 /// party-id order.
+#[deprecated(
+    since = "0.2.0",
+    note = "use ppdbscan::session::run_mesh_local (or Participant::run_mesh per node)"
+)]
 pub fn run_multiparty_horizontal(
     cfg: &ProtocolConfig,
     party_points: &[Vec<Point>],
     seed: u64,
 ) -> Result<Vec<PartyOutput>, CoreError> {
-    let k = party_points.len();
-    assert!(k >= 2, "need at least two parties");
-
-    // Build the mesh: channels[i] collects (peer_id, endpoint) for party i.
-    let mut channels: Vec<Vec<(usize, MemoryChannel)>> = (0..k).map(|_| Vec::new()).collect();
-    for i in 0..k {
-        for j in i + 1..k {
-            let (a, b) = duplex();
-            channels[i].push((j, a));
-            channels[j].push((i, b));
-        }
-    }
-
-    let mut outputs: Vec<Option<Result<PartyOutput, CoreError>>> = (0..k).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (my_id, (mut peers, points)) in channels.drain(..).zip(party_points.iter()).enumerate()
-        {
-            handles.push(scope.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(my_id as u64));
-                multiparty_horizontal_party(&mut peers, my_id, k, cfg, points, &mut rng)
-            }));
-        }
-        for (i, handle) in handles.into_iter().enumerate() {
-            outputs[i] = Some(
-                handle
-                    .join()
-                    .unwrap_or(Err(CoreError::PartyPanicked("multiparty node"))),
-            );
-        }
-    });
-    outputs
+    Ok(crate::session::run_mesh_local(cfg, party_points, seed)?
         .into_iter()
-        .map(|slot| slot.expect("every party joined"))
-        .collect()
+        .map(|outcome| outcome.output)
+        .collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::driver::run_horizontal_pair;
+    use crate::session::run_mesh_local;
     use crate::test_helpers::rng;
     use ppds_dbscan::{dbscan_with_external_density, DbscanParams};
 
@@ -333,6 +341,14 @@ mod tests {
         coords.iter().map(|c| Point::from(*c)).collect()
     }
 
+    fn mesh(c: &ProtocolConfig, parties: &[Vec<Point>], seed: u64) -> Vec<PartyOutput> {
+        run_mesh_local(c, parties, seed)
+            .unwrap()
+            .into_iter()
+            .map(|outcome| outcome.output)
+            .collect()
+    }
+
     #[test]
     fn three_parties_match_external_density_reference() {
         let parties = vec![
@@ -341,7 +357,7 @@ mod tests {
             pts(&[&[0, 1], &[10, 11], &[-30, 30]]),
         ];
         let c = cfg(4, 3, 40);
-        let outputs = run_multiparty_horizontal(&c, &parties, 77).unwrap();
+        let outputs = mesh(&c, &parties, 77);
         assert_eq!(outputs.len(), 3);
         for (i, out) in outputs.iter().enumerate() {
             let others: Vec<Point> = parties
@@ -360,8 +376,10 @@ mod tests {
         let alice = pts(&[&[0, 0], &[1, 1], &[20, 20]]);
         let bob = pts(&[&[0, 1], &[19, 20]]);
         let c = cfg(4, 3, 30);
-        let multi = run_multiparty_horizontal(&c, &[alice.clone(), bob.clone()], 5).unwrap();
-        let (two_a, two_b) = run_horizontal_pair(&c, &alice, &bob, rng(1), rng(2)).unwrap();
+        let multi = mesh(&c, &[alice.clone(), bob.clone()], 5);
+        #[allow(deprecated)]
+        let (two_a, two_b) =
+            crate::driver::run_horizontal_pair(&c, &alice, &bob, rng(1), rng(2)).unwrap();
         assert_eq!(multi[0].clustering, two_a.clustering);
         assert_eq!(multi[1].clustering, two_b.clustering);
     }
@@ -376,7 +394,7 @@ mod tests {
             pts(&[&[1, 1]]),
         ];
         let c = cfg(4, 4, 5);
-        let outputs = run_multiparty_horizontal(&c, &parties, 9).unwrap();
+        let outputs = mesh(&c, &parties, 9);
         for (i, out) in outputs.iter().enumerate() {
             assert_eq!(out.clustering.num_clusters, 1, "party {i}");
             assert_eq!(out.clustering.noise_count(), 0, "party {i}");
@@ -387,7 +405,7 @@ mod tests {
     fn leakage_is_per_peer_neighbor_counts() {
         let parties = vec![pts(&[&[0, 0], &[5, 5]]), pts(&[&[1, 0]]), pts(&[&[0, 1]])];
         let c = cfg(4, 2, 10);
-        let outputs = run_multiparty_horizontal(&c, &parties, 11).unwrap();
+        let outputs = mesh(&c, &parties, 11);
         // Party 0 issued queries against 2 peers: counts come in pairs.
         let counts = outputs[0].leakage.count_kind("neighbor_count");
         assert!(counts > 0 && counts.is_multiple_of(2), "counts = {counts}");
@@ -406,10 +424,24 @@ mod tests {
             pts(&[]),
         ];
         let c = cfg(4, 3, 12);
-        let outputs = run_multiparty_horizontal(&c, &parties, 13).unwrap();
+        let outputs = mesh(&c, &parties, 13);
         assert_eq!(outputs[2].clustering.labels.len(), 0);
         let others: Vec<Point> = parties[1..].iter().flatten().cloned().collect();
         let reference = dbscan_with_external_density(&parties[0], &others, c.params);
         assert_eq!(outputs[0].clustering, reference);
+    }
+
+    #[test]
+    fn mesh_outcome_carries_per_peer_metadata() {
+        let parties = vec![pts(&[&[0, 0], &[1, 1]]), pts(&[&[1, 0]]), pts(&[&[0, 1]])];
+        let c = cfg(4, 2, 10);
+        let outcomes = run_mesh_local(&c, &parties, 3).unwrap();
+        let meta = &outcomes[0].meta;
+        assert_eq!(meta.mode, Mode::Multiparty);
+        assert_eq!(meta.wire_version, WIRE_VERSION);
+        assert_eq!(meta.peers.len(), 2);
+        assert_eq!(meta.peers[0].id, 1);
+        assert_eq!(meta.peers[0].n, 1);
+        assert_eq!(meta.peers[1].id, 2);
     }
 }

@@ -1,0 +1,955 @@
+//! The typed participant session API — one entry point for every protocol
+//! mode.
+//!
+//! Historically each protocol family shipped its own free-function driver
+//! pair (`run_horizontal_pair`, `vertical_party`, …) with long positional
+//! argument lists and a magic-number `Vec<u64>` handshake. This module
+//! replaces that surface with three pieces:
+//!
+//! 1. **[`Participant`]** — a builder describing one party's side of a
+//!    session: the agreed [`ProtocolConfig`], this party's [`Party`] role,
+//!    its private [`PartyData`] view, optionally a pre-generated
+//!    [`Keypair`], and a deterministic randomness source. One
+//!    [`Participant::run`] call executes any two-party mode over any
+//!    [`Channel`] (in-memory or TCP alike); [`Participant::run_mesh`] runs
+//!    the K-party generalization over a full mesh of channels.
+//! 2. **[`Hello`]** — the versioned, self-describing handshake frame. Both
+//!    sides exchange one `Hello` after the key exchange; every public
+//!    protocol parameter is carried as a tagged field and cross-checked,
+//!    and any disagreement is reported as a typed
+//!    [`CoreError::HandshakeMismatch`] naming the offending field — on
+//!    *both* sides, before any protocol message flows.
+//! 3. **`ModeDriver`** (crate-internal) — the shared dispatch every mode
+//!    routes through, so validation, handshake, and output assembly live in
+//!    one place instead of five driver modules.
+//!
+//! The legacy free functions still exist as thin `#[deprecated]` wrappers
+//! over this module and produce byte-identical outputs (labels, leakage,
+//! Yao ledger, traffic) — pinned by the `api_parity` integration tests.
+//!
+//! ```
+//! use ppdbscan::session::{Participant, PartyData};
+//! use ppdbscan::ProtocolConfig;
+//! use ppds_dbscan::{DbscanParams, Point};
+//! use ppds_smc::Party;
+//!
+//! let cfg = ProtocolConfig::new(DbscanParams { eps_sq: 4, min_pts: 3 }, 10);
+//! let alice = Participant::new(cfg)
+//!     .role(Party::Alice)
+//!     .data(PartyData::Horizontal(vec![
+//!         Point::new(vec![0, 0]),
+//!         Point::new(vec![1, 1]),
+//!     ]))
+//!     .seed(1);
+//! let bob = Participant::new(cfg)
+//!     .role(Party::Bob)
+//!     .data(PartyData::Horizontal(vec![
+//!         Point::new(vec![0, 1]),
+//!         Point::new(vec![9, 9]),
+//!     ]))
+//!     .seed(2);
+//! let (a, b) = ppdbscan::session::run_participants(alice, bob).unwrap();
+//! assert_eq!(a.meta.wire_version, ppdbscan::session::WIRE_VERSION);
+//! println!("Alice sees {} clusters", a.output.clustering.num_clusters);
+//! # let _ = b;
+//! ```
+
+use crate::config::{ProtocolConfig, YaoLedger};
+use crate::driver::{run_pair, PartyOutput};
+use crate::error::CoreError;
+use ppds_dbscan::{Clustering, Point};
+use ppds_paillier::{Keypair, PublicKey};
+use ppds_smc::compare::Comparator;
+use ppds_smc::kth::SelectionMethod;
+use ppds_smc::{setup, LeakageLog, Party};
+use ppds_transport::wire::{Reader, WireDecode, WireEncode};
+use ppds_transport::{duplex, Channel, MemoryChannel, TransportError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Version of the session handshake wire format. Bumped whenever the
+/// [`Hello`] frame layout or the meaning of a negotiated field changes;
+/// participants with different versions refuse to run (typed
+/// [`CoreError::HandshakeMismatch`] on `wire_version`).
+///
+/// Version history: `1` was the unversioned `Vec<u64>` metadata frame of
+/// the original drivers; `2` is the tagged-field `Hello` frame.
+pub const WIRE_VERSION: u32 = 2;
+
+/// Protocol family tag, negotiated during the handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Basic horizontal protocol (Algorithms 3 & 4).
+    Horizontal,
+    /// Vertical protocol (Algorithms 5 & 6).
+    Vertical,
+    /// Arbitrary-partition protocol (§4.4).
+    Arbitrary,
+    /// Enhanced horizontal protocol (Algorithms 7 & 8).
+    Enhanced,
+    /// K-party horizontal generalization (full pairwise mesh).
+    Multiparty,
+    /// The insecure Kumar et al. \[14\] baseline (for the Figure 1 attack
+    /// demos only — not reachable through [`Participant`]).
+    KumarBaseline,
+}
+
+impl Mode {
+    /// Stable numeric tag carried in the handshake.
+    pub(crate) fn tag(self) -> u64 {
+        match self {
+            Mode::Horizontal => 1,
+            Mode::Vertical => 2,
+            Mode::Arbitrary => 3,
+            Mode::Enhanced => 4,
+            Mode::Multiparty => 5,
+            Mode::KumarBaseline => 6,
+        }
+    }
+
+    /// Short protocol-family name for logs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Horizontal => "horizontal",
+            Mode::Vertical => "vertical",
+            Mode::Arbitrary => "arbitrary",
+            Mode::Enhanced => "enhanced",
+            Mode::Multiparty => "multiparty",
+            Mode::KumarBaseline => "kumar-baseline",
+        }
+    }
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// Handshake field tags. Public protocol metadata only — every value here is
+// something both parties must already know or agree on in the paper's model.
+const F_MODE: u8 = 1;
+const F_RECORDS: u8 = 2;
+const F_DIM: u8 = 3;
+const F_COORD_BOUND: u8 = 4;
+const F_EPS_SQ: u8 = 5;
+const F_MIN_PTS: u8 = 6;
+const F_KEY_BITS: u8 = 7;
+const F_COMPARATOR: u8 = 8;
+const F_SELECTION: u8 = 9;
+const F_MASK_BITS: u8 = 10;
+const F_BATCHING: u8 = 11;
+
+/// Fields that must be byte-equal between the two halves (record count and
+/// dimension are informational / mode-dependent and checked separately).
+const AGREED_FIELDS: [(u8, &str); 9] = [
+    (F_MODE, "mode"),
+    (F_COORD_BOUND, "coord_bound"),
+    (F_EPS_SQ, "eps_sq"),
+    (F_MIN_PTS, "min_pts"),
+    (F_KEY_BITS, "key_bits"),
+    (F_COMPARATOR, "comparator"),
+    (F_SELECTION, "selection"),
+    (F_MASK_BITS, "mask_bits"),
+    (F_BATCHING, "batching"),
+];
+
+fn comparator_tag(c: Comparator) -> u64 {
+    match c {
+        Comparator::Yao => 0,
+        Comparator::Ideal => 1,
+        Comparator::Dgk => 2,
+    }
+}
+
+fn selection_tag(s: SelectionMethod) -> u64 {
+    match s {
+        SelectionMethod::RepeatedMin => 0,
+        SelectionMethod::QuickSelect => 1,
+    }
+}
+
+/// The versioned, self-describing handshake frame.
+///
+/// On the wire a `Hello` is its version (`u32`) followed by a tagged list
+/// of `(field id: u8, value: u64)` pairs. The tagged encoding makes the
+/// frame self-describing: fields can be added without shifting positions,
+/// unknown fields from newer peers are ignored, and a frame from a
+/// *different* wire version (including the legacy `Vec<u64>` metadata
+/// frame, whose length prefix lands where the version now lives) still
+/// decodes far enough to be rejected with a typed
+/// [`CoreError::HandshakeMismatch`] on `wire_version` instead of hanging or
+/// surfacing a generic decode error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// The sender's [`WIRE_VERSION`].
+    pub wire_version: u32,
+    fields: Vec<(u8, u64)>,
+}
+
+impl Hello {
+    /// Builds the handshake frame one participant sends: every public
+    /// protocol parameter of `cfg` plus the session-specific mode, record
+    /// count, and dimension.
+    pub fn for_session(cfg: &ProtocolConfig, mode: Mode, n: usize, dim: usize) -> Self {
+        Hello {
+            wire_version: WIRE_VERSION,
+            fields: vec![
+                (F_MODE, mode.tag()),
+                (F_RECORDS, n as u64),
+                (F_DIM, dim as u64),
+                (F_COORD_BOUND, cfg.coord_bound as u64),
+                (F_EPS_SQ, cfg.params.eps_sq),
+                (F_MIN_PTS, cfg.params.min_pts as u64),
+                (F_KEY_BITS, cfg.key_bits as u64),
+                (F_COMPARATOR, comparator_tag(cfg.comparator)),
+                (F_SELECTION, selection_tag(cfg.selection)),
+                (F_MASK_BITS, cfg.mask_bits as u64),
+                (F_BATCHING, cfg.batching as u64),
+            ],
+        }
+    }
+
+    /// Returns a copy advertising `version` instead of [`WIRE_VERSION`].
+    /// Interop/testing hook: lets a test (or a future bridge) forge the
+    /// frame an older or newer build would send.
+    pub fn with_wire_version(mut self, version: u32) -> Self {
+        self.wire_version = version;
+        self
+    }
+
+    /// The value of field `id`, if the sender included it.
+    fn field(&self, id: u8) -> Option<u64> {
+        self.fields
+            .iter()
+            .find(|(fid, _)| *fid == id)
+            .map(|(_, v)| *v)
+    }
+
+    /// Cross-checks a peer's `Hello` against ours. `dim_must_match` is
+    /// false for vertical data (the parties own different attribute
+    /// slices); dimension 0 means "this side has no points" and matches
+    /// anything.
+    fn check_compatible(&self, theirs: &Hello, dim_must_match: bool) -> Result<(), CoreError> {
+        if self.wire_version != theirs.wire_version {
+            return Err(CoreError::HandshakeMismatch {
+                field: "wire_version",
+                ours: u64::from(self.wire_version),
+                theirs: u64::from(theirs.wire_version),
+            });
+        }
+        for (id, name) in AGREED_FIELDS {
+            let ours = self.field(id).expect("our hello carries every field");
+            let Some(peer) = theirs.field(id) else {
+                return Err(CoreError::mismatch(format!(
+                    "peer handshake omits the {name} field"
+                )));
+            };
+            if ours != peer {
+                return Err(CoreError::HandshakeMismatch {
+                    field: name,
+                    ours,
+                    theirs: peer,
+                });
+            }
+        }
+        // Record count and dimension are informational (cross-checked per
+        // mode after the handshake), but a same-version frame must still
+        // carry them: a missing field silently defaulting to 0 would let
+        // the protocol start desynchronized and die mid-run with a generic
+        // transport error instead of failing here.
+        for (id, name) in [(F_RECORDS, "record_count"), (F_DIM, "dimension")] {
+            if theirs.field(id).is_none() {
+                return Err(CoreError::mismatch(format!(
+                    "peer handshake omits the {name} field"
+                )));
+            }
+        }
+        if dim_must_match {
+            let (ours, peer) = (
+                self.field(F_DIM).expect("our hello carries dim"),
+                theirs.field(F_DIM).expect("presence checked above"),
+            );
+            if ours != 0 && peer != 0 && ours != peer {
+                return Err(CoreError::HandshakeMismatch {
+                    field: "dimension",
+                    ours,
+                    theirs: peer,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl WireEncode for Hello {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.wire_version.encode(out);
+        (self.fields.len() as u32).encode(out);
+        for (id, value) in &self.fields {
+            id.encode(out);
+            value.encode(out);
+        }
+    }
+}
+
+impl WireDecode for Hello {
+    /// Lenient by design: the version is read first, and the field list is
+    /// parsed best-effort with trailing bytes ignored. A frame from any
+    /// other wire version therefore still yields a `Hello` whose version
+    /// the handshake can reject by name, rather than a decode error that
+    /// hides the real incompatibility.
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, TransportError> {
+        let wire_version = u32::decode(reader)?;
+        let mut fields = Vec::new();
+        if let Ok(count) = u32::decode(reader) {
+            for _ in 0..count {
+                match (u8::decode(reader), u64::decode(reader)) {
+                    (Ok(id), Ok(value)) => fields.push((id, value)),
+                    _ => break,
+                }
+            }
+        }
+        // Consume whatever a foreign version appended so `decode_exact`
+        // (and with it `Channel::recv`) does not reject the frame outright.
+        let remaining = reader.remaining();
+        let _ = reader.take(remaining);
+        Ok(Hello {
+            wire_version,
+            fields,
+        })
+    }
+}
+
+/// Everything one two-party handshake negotiates, shared by all drivers.
+pub(crate) struct Session {
+    pub my_keypair: Keypair,
+    pub peer_pk: PublicKey,
+    /// Peer's record count (horizontal) or record count check (vertical).
+    pub peer_n: usize,
+    /// Peer's attribute count (differs from ours only for vertical data).
+    pub peer_dim: usize,
+}
+
+/// What one mode advertises in (and requires of) the handshake.
+pub(crate) struct HandshakeProfile {
+    pub mode: Mode,
+    pub n: usize,
+    pub dim: usize,
+    pub dim_must_match: bool,
+}
+
+/// Exchanges public keys and `Hello` frames, cross-checking all public
+/// protocol metadata. Both sides send before either checks, so a mismatch
+/// is reported symmetrically (each half names the same offending field).
+pub(crate) fn establish<C: Channel>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    my_keypair: Keypair,
+    role: Party,
+    profile: &HandshakeProfile,
+) -> Result<Session, CoreError> {
+    let peer_pk = match role {
+        Party::Alice => setup::exchange_keys_alice(chan, &my_keypair)?,
+        Party::Bob => setup::exchange_keys_bob(chan, &my_keypair)?,
+    };
+    let mine = Hello::for_session(cfg, profile.mode, profile.n, profile.dim);
+    chan.send(&mine)?;
+    let theirs: Hello = chan.recv()?;
+    mine.check_compatible(&theirs, profile.dim_must_match)?;
+    Ok(Session {
+        my_keypair,
+        peer_pk,
+        peer_n: theirs
+            .field(F_RECORDS)
+            .expect("check_compatible requires the field") as usize,
+        peer_dim: theirs
+            .field(F_DIM)
+            .expect("check_compatible requires the field") as usize,
+    })
+}
+
+/// Running record of one party's leakage and modeled Yao cost.
+pub(crate) struct SessionLog {
+    pub leakage: LeakageLog,
+    pub ledger: YaoLedger,
+}
+
+impl SessionLog {
+    pub(crate) fn new() -> Self {
+        SessionLog {
+            leakage: LeakageLog::new(),
+            ledger: YaoLedger::default(),
+        }
+    }
+}
+
+/// Per-mode execution context handed to a [`ModeDriver`].
+pub(crate) struct ModeContext<'a> {
+    pub cfg: &'a ProtocolConfig,
+    pub role: Party,
+    pub session: &'a Session,
+}
+
+/// The shared dispatch every protocol family implements: local validation,
+/// handshake profile, post-handshake cross-checks, and the protocol body.
+/// `run_two_party` sequences these so the config/batching plumbing lives in
+/// exactly one place.
+pub(crate) trait ModeDriver {
+    /// Local-only validation before anything crosses the wire.
+    fn validate(&self, cfg: &ProtocolConfig) -> Result<(), CoreError>;
+
+    /// This driver's handshake advertisement.
+    fn profile(&self) -> HandshakeProfile;
+
+    /// Cross-checks after the handshake (e.g. equal record counts).
+    fn check_session(&self, cfg: &ProtocolConfig, session: &Session) -> Result<(), CoreError>;
+
+    /// The protocol body: returns this party's clustering.
+    fn execute<C: Channel, R: Rng + ?Sized>(
+        &self,
+        chan: &mut C,
+        ctx: &ModeContext<'_>,
+        rng: &mut R,
+        log: &mut SessionLog,
+    ) -> Result<Clustering, CoreError>;
+}
+
+/// Runs one two-party mode end to end on this side of `chan`: validate,
+/// establish (generating a keypair from `rng` unless one is supplied),
+/// cross-check, execute, assemble the outcome.
+pub(crate) fn run_two_party<C, R, D>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    driver: &D,
+    role: Party,
+    keypair: Option<Keypair>,
+    rng: &mut R,
+) -> Result<SessionOutcome, CoreError>
+where
+    C: Channel,
+    R: Rng + ?Sized,
+    D: ModeDriver,
+{
+    driver.validate(cfg)?;
+    let keypair = match keypair {
+        Some(kp) => kp,
+        None => Keypair::generate(cfg.key_bits, rng),
+    };
+    let profile = driver.profile();
+    let session = establish(chan, cfg, keypair, role, &profile)?;
+    driver.check_session(cfg, &session)?;
+
+    let mut log = SessionLog::new();
+    let ctx = ModeContext {
+        cfg,
+        role,
+        session: &session,
+    };
+    let clustering = driver.execute(chan, &ctx, rng, &mut log)?;
+    let mode = profile.mode;
+    Ok(SessionOutcome {
+        output: PartyOutput {
+            clustering,
+            leakage: log.leakage,
+            traffic: chan.metrics(),
+            yao: log.ledger,
+        },
+        meta: SessionMeta {
+            wire_version: WIRE_VERSION,
+            mode,
+            batching: cfg.batching,
+            peers: vec![PeerInfo {
+                id: match role {
+                    Party::Alice => 1,
+                    Party::Bob => 0,
+                },
+                n: session.peer_n,
+                dim: session.peer_dim,
+            }],
+        },
+    })
+}
+
+/// One party's private view of the session data — the mode selector of the
+/// [`Participant`] API. The variant picks the protocol family; the payload
+/// is exactly what that family's legacy driver took.
+#[derive(Debug, Clone)]
+pub enum PartyData {
+    /// Complete records, basic horizontal protocol (Algorithms 3 & 4).
+    Horizontal(Vec<Point>),
+    /// Complete records, enhanced protocol (Algorithms 7 & 8).
+    Enhanced(Vec<Point>),
+    /// This party's attribute slice of every record (Algorithms 5 & 6).
+    Vertical(Vec<Point>),
+    /// This party's cell view: `Some` exactly at owned attributes (§4.4).
+    Arbitrary(Vec<Vec<Option<i64>>>),
+    /// Complete records for the K-party mesh (run via
+    /// [`Participant::run_mesh`]).
+    Multiparty(Vec<Point>),
+}
+
+impl PartyData {
+    /// The protocol family this data selects.
+    pub fn mode(&self) -> Mode {
+        match self {
+            PartyData::Horizontal(_) => Mode::Horizontal,
+            PartyData::Enhanced(_) => Mode::Enhanced,
+            PartyData::Vertical(_) => Mode::Vertical,
+            PartyData::Arbitrary(_) => Mode::Arbitrary,
+            PartyData::Multiparty(_) => Mode::Multiparty,
+        }
+    }
+}
+
+/// Metadata about one peer session negotiated during the handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerInfo {
+    /// The peer's party id (role index for two-party sessions: Alice = 0,
+    /// Bob = 1; global party id in a mesh).
+    pub id: usize,
+    /// The peer's advertised record count.
+    pub n: usize,
+    /// The peer's advertised attribute count (0 = no points).
+    pub dim: usize,
+}
+
+/// Everything negotiated about a finished session beyond the protocol
+/// output itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionMeta {
+    /// The handshake wire version both sides agreed on.
+    pub wire_version: u32,
+    /// The negotiated protocol family.
+    pub mode: Mode,
+    /// Whether round batching was active (both sides must agree).
+    pub batching: bool,
+    /// One entry per peer session (one for two-party modes, `K − 1` for a
+    /// mesh), in peer-id order.
+    pub peers: Vec<PeerInfo>,
+}
+
+/// A completed session from one participant's perspective: the protocol
+/// output plus the negotiated session metadata.
+#[derive(Debug)]
+pub struct SessionOutcome {
+    /// The clustering, leakage log, traffic, and Yao ledger this party
+    /// takes away — identical to what the legacy drivers returned.
+    pub output: PartyOutput,
+    /// Negotiated session metadata.
+    pub meta: SessionMeta,
+}
+
+/// Builder for one party of a clustering session.
+///
+/// ```no_run
+/// use ppdbscan::session::{Participant, PartyData};
+/// use ppdbscan::ProtocolConfig;
+/// use ppds_dbscan::{DbscanParams, Point};
+/// use ppds_smc::Party;
+///
+/// let cfg = ProtocolConfig::new(DbscanParams { eps_sq: 4, min_pts: 3 }, 10);
+/// let points = vec![Point::new(vec![0, 0])];
+/// # let mut chan = ppds_transport::duplex().0;
+/// let outcome = Participant::new(cfg)
+///     .role(Party::Alice)
+///     .data(PartyData::Horizontal(points))
+///     .seed(7)
+///     .run(&mut chan)?;
+/// println!("ran {} over wire v{}", outcome.meta.mode, outcome.meta.wire_version);
+/// # Ok::<(), ppdbscan::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct Participant {
+    cfg: ProtocolConfig,
+    role: Option<Party>,
+    data: Option<PartyData>,
+    keypair: Option<Keypair>,
+    rng: Option<StdRng>,
+}
+
+impl Participant {
+    /// Starts a builder from the publicly agreed protocol configuration.
+    pub fn new(cfg: ProtocolConfig) -> Self {
+        Participant {
+            cfg,
+            role: None,
+            data: None,
+            keypair: None,
+            rng: None,
+        }
+    }
+
+    /// Sets this party's role (who sends first in the key exchange, who
+    /// queries first in the horizontal protocols). Required for
+    /// [`Participant::run`]; ignored by [`Participant::run_mesh`], where
+    /// roles are derived from party ids.
+    pub fn role(mut self, role: Party) -> Self {
+        self.role = Some(role);
+        self
+    }
+
+    /// Sets this party's private data view, which also selects the
+    /// protocol mode. Required.
+    pub fn data(mut self, data: PartyData) -> Self {
+        self.data = Some(data);
+        self
+    }
+
+    /// Supplies a pre-generated Paillier keypair instead of generating one
+    /// from the session RNG — a mesh node reuses one keypair across all of
+    /// its pairwise sessions, and a long-lived deployment amortizes keygen.
+    ///
+    /// # Errors
+    /// Rejects a keypair whose modulus size disagrees with
+    /// `cfg.key_bits` — the handshake advertises the configured size, so a
+    /// mismatched keypair would break the peer's expectations mid-protocol.
+    pub fn keypair(mut self, keypair: Keypair) -> Result<Self, CoreError> {
+        let bits = keypair.public.bits();
+        if bits != self.cfg.key_bits {
+            return Err(CoreError::config(format!(
+                "keypair has {bits}-bit modulus but cfg.key_bits = {}",
+                self.cfg.key_bits
+            )));
+        }
+        self.keypair = Some(keypair);
+        Ok(self)
+    }
+
+    /// Seeds the session's deterministic RNG stream. Equivalent to
+    /// `rng(StdRng::seed_from_u64(seed))`.
+    pub fn seed(self, seed: u64) -> Self {
+        self.rng(StdRng::seed_from_u64(seed))
+    }
+
+    /// Supplies the session RNG directly (the stream the legacy drivers
+    /// took by value, so seed-for-seed outputs are identical).
+    pub fn rng(mut self, rng: StdRng) -> Self {
+        self.rng = Some(rng);
+        self
+    }
+
+    fn take_rng(rng: Option<StdRng>) -> Result<StdRng, CoreError> {
+        rng.ok_or_else(|| {
+            CoreError::config("participant needs a randomness source: call .seed(..) or .rng(..)")
+        })
+    }
+
+    /// Runs this participant's half of a two-party session over `chan`.
+    ///
+    /// # Errors
+    /// [`CoreError::Config`] if the builder is incomplete or the local
+    /// configuration is unusable, [`CoreError::HandshakeMismatch`] if the
+    /// peer disagrees on any negotiated field, and the underlying protocol
+    /// errors otherwise.
+    pub fn run<C: Channel>(self, chan: &mut C) -> Result<SessionOutcome, CoreError> {
+        let role = self
+            .role
+            .ok_or_else(|| CoreError::config("participant needs a role: call .role(..)"))?;
+        let data = self
+            .data
+            .ok_or_else(|| CoreError::config("participant needs data: call .data(..)"))?;
+        let mut rng = Self::take_rng(self.rng)?;
+        let cfg = self.cfg;
+        match &data {
+            PartyData::Horizontal(points) => run_two_party(
+                chan,
+                &cfg,
+                &crate::horizontal::HorizontalDriver { points },
+                role,
+                self.keypair,
+                &mut rng,
+            ),
+            PartyData::Enhanced(points) => run_two_party(
+                chan,
+                &cfg,
+                &crate::enhanced::EnhancedDriver { points },
+                role,
+                self.keypair,
+                &mut rng,
+            ),
+            PartyData::Vertical(attrs) => run_two_party(
+                chan,
+                &cfg,
+                &crate::vertical::VerticalDriver { attrs },
+                role,
+                self.keypair,
+                &mut rng,
+            ),
+            PartyData::Arbitrary(values) => run_two_party(
+                chan,
+                &cfg,
+                &crate::arbitrary::ArbitraryDriver { values },
+                role,
+                self.keypair,
+                &mut rng,
+            ),
+            PartyData::Multiparty(_) => Err(CoreError::config(
+                "multiparty data runs over a mesh: call .run_mesh(..) instead of .run(..)",
+            )),
+        }
+    }
+
+    /// Runs this participant as node `my_id` of a `k_parties`-node mesh.
+    /// `peers` holds one channel per other party, tagged with that party's
+    /// global id. Requires [`PartyData::Multiparty`] data; the node's
+    /// keypair (supplied or generated) is reused across all pairwise
+    /// sessions.
+    pub fn run_mesh<C: Channel>(
+        self,
+        peers: &mut [(usize, C)],
+        my_id: usize,
+        k_parties: usize,
+    ) -> Result<SessionOutcome, CoreError> {
+        let data = self
+            .data
+            .ok_or_else(|| CoreError::config("participant needs data: call .data(..)"))?;
+        let PartyData::Multiparty(points) = data else {
+            return Err(CoreError::config(
+                "run_mesh needs PartyData::Multiparty; two-party data runs via .run(..)",
+            ));
+        };
+        let mut rng = Self::take_rng(self.rng)?;
+        crate::multiparty::run_mesh_node(
+            peers,
+            my_id,
+            k_parties,
+            &self.cfg,
+            &points,
+            self.keypair,
+            &mut rng,
+        )
+    }
+}
+
+/// Runs two participants against each other over an in-memory duplex pair
+/// (two scoped threads), returning both outcomes `(first, second)`.
+///
+/// The participants must be two halves of the same two-party session —
+/// complementary roles, compatible data. This is the in-process conductor
+/// the deprecated `run_*_pair` helpers and the engine's
+/// [`crate::driver::run_session`] are built on; for a real deployment, run
+/// each [`Participant`] in its own process over a
+/// [`ppds_transport::tcp::TcpChannel`].
+pub fn run_participants(
+    first: Participant,
+    second: Participant,
+) -> Result<(SessionOutcome, SessionOutcome), CoreError> {
+    run_pair(
+        move |mut chan: MemoryChannel| first.run(&mut chan),
+        move |mut chan: MemoryChannel| second.run(&mut chan),
+    )
+}
+
+/// [`run_participants`] for the common case: Alice's and Bob's data views
+/// with explicit RNG streams, returning the bare [`PartyOutput`]s. This is
+/// the one shared implementation behind the deprecated `run_*_pair`
+/// wrappers, the bench harness, and the integration-test helpers.
+pub fn run_data_pair(
+    cfg: &ProtocolConfig,
+    alice: PartyData,
+    bob: PartyData,
+    rng_a: StdRng,
+    rng_b: StdRng,
+) -> Result<(PartyOutput, PartyOutput), CoreError> {
+    let (a, b) = run_participants(
+        Participant::new(*cfg)
+            .role(Party::Alice)
+            .data(alice)
+            .rng(rng_a),
+        Participant::new(*cfg).role(Party::Bob).data(bob).rng(rng_b),
+    )?;
+    Ok((a.output, b.output))
+}
+
+/// Runs all `k` parties of a multiparty session on threads over an
+/// in-memory full mesh; returns one [`SessionOutcome`] per party in
+/// party-id order. Each node's RNG stream derives from
+/// `seed + party_id`, matching the legacy conductor seed-for-seed.
+pub fn run_mesh_local(
+    cfg: &ProtocolConfig,
+    party_points: &[Vec<Point>],
+    seed: u64,
+) -> Result<Vec<SessionOutcome>, CoreError> {
+    let k = party_points.len();
+    if k < 2 {
+        return Err(CoreError::config(
+            "multiparty session needs at least 2 parties",
+        ));
+    }
+
+    // Build the mesh: channels[i] collects (peer_id, endpoint) for party i.
+    let mut channels: Vec<Vec<(usize, MemoryChannel)>> = (0..k).map(|_| Vec::new()).collect();
+    for i in 0..k {
+        for j in i + 1..k {
+            let (a, b) = duplex();
+            channels[i].push((j, a));
+            channels[j].push((i, b));
+        }
+    }
+
+    let mut outcomes: Vec<Option<Result<SessionOutcome, CoreError>>> =
+        (0..k).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (my_id, (mut peers, points)) in channels.drain(..).zip(party_points.iter()).enumerate()
+        {
+            let participant = Participant::new(*cfg)
+                .data(PartyData::Multiparty(points.clone()))
+                .seed(seed.wrapping_add(my_id as u64));
+            handles.push(scope.spawn(move || participant.run_mesh(&mut peers, my_id, k)));
+        }
+        for (i, handle) in handles.into_iter().enumerate() {
+            outcomes[i] = Some(
+                handle
+                    .join()
+                    .unwrap_or(Err(CoreError::PartyPanicked("multiparty node"))),
+            );
+        }
+    });
+    outcomes
+        .into_iter()
+        .map(|slot| slot.expect("every party joined"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppds_dbscan::DbscanParams;
+
+    fn cfg() -> ProtocolConfig {
+        ProtocolConfig::new(
+            DbscanParams {
+                eps_sq: 4,
+                min_pts: 2,
+            },
+            10,
+        )
+    }
+
+    #[test]
+    fn hello_roundtrips_and_checks() {
+        let mine = Hello::for_session(&cfg(), Mode::Horizontal, 3, 2);
+        let bytes = mine.encode_to_vec();
+        let back = Hello::decode_exact(&bytes).unwrap();
+        assert_eq!(back, mine);
+        assert!(mine.check_compatible(&back, true).is_ok());
+    }
+
+    #[test]
+    fn hello_rejects_foreign_wire_version_by_name() {
+        let mine = Hello::for_session(&cfg(), Mode::Horizontal, 3, 2);
+        let old = mine.clone().with_wire_version(1);
+        let err = mine.check_compatible(&old, true).unwrap_err();
+        match err {
+            CoreError::HandshakeMismatch {
+                field,
+                ours,
+                theirs,
+            } => {
+                assert_eq!(field, "wire_version");
+                assert_eq!(ours, u64::from(WIRE_VERSION));
+                assert_eq!(theirs, 1);
+            }
+            other => panic!("wanted HandshakeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hello_survives_legacy_meta_frame_bytes() {
+        // The legacy handshake sent Vec<u64>: a u32 length prefix (11) then
+        // the values. Decoding those bytes as Hello must not error — it
+        // must yield a frame whose wire_version (= 11) the checker rejects
+        // by name.
+        let legacy: Vec<u64> = vec![1, 3, 2, 10, 4, 2, 256, 1, 0, 20, 0];
+        let bytes = legacy.encode_to_vec();
+        let decoded = Hello::decode_exact(&bytes).unwrap();
+        assert_eq!(decoded.wire_version, 11);
+        let mine = Hello::for_session(&cfg(), Mode::Horizontal, 3, 2);
+        match mine.check_compatible(&decoded, true).unwrap_err() {
+            CoreError::HandshakeMismatch { field, theirs, .. } => {
+                assert_eq!(field, "wire_version");
+                assert_eq!(theirs, 11);
+            }
+            other => panic!("wanted HandshakeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hello_field_disagreements_name_the_field() {
+        let mine = Hello::for_session(&cfg(), Mode::Horizontal, 3, 2);
+        let mut other_cfg = cfg();
+        other_cfg.params.eps_sq = 9;
+        let theirs = Hello::for_session(&other_cfg, Mode::Horizontal, 3, 2);
+        match mine.check_compatible(&theirs, true).unwrap_err() {
+            CoreError::HandshakeMismatch {
+                field,
+                ours,
+                theirs,
+            } => {
+                assert_eq!(field, "eps_sq");
+                assert_eq!((ours, theirs), (4, 9));
+            }
+            other => panic!("wanted HandshakeMismatch, got {other:?}"),
+        }
+
+        let theirs = Hello::for_session(&cfg().with_batching(true), Mode::Horizontal, 3, 2);
+        match mine.check_compatible(&theirs, true).unwrap_err() {
+            CoreError::HandshakeMismatch { field, .. } => assert_eq!(field, "batching"),
+            other => panic!("wanted HandshakeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dimension_zero_matches_anything() {
+        let mine = Hello::for_session(&cfg(), Mode::Horizontal, 3, 2);
+        let empty = Hello::for_session(&cfg(), Mode::Horizontal, 0, 0);
+        assert!(mine.check_compatible(&empty, true).is_ok());
+        let three_d = Hello::for_session(&cfg(), Mode::Horizontal, 3, 3);
+        assert!(mine.check_compatible(&three_d, true).is_err());
+        assert!(mine.check_compatible(&three_d, false).is_ok());
+    }
+
+    #[test]
+    fn builder_reports_missing_pieces() {
+        let (mut chan, _peer) = duplex();
+        let err = Participant::new(cfg()).run(&mut chan).unwrap_err();
+        assert!(matches!(err, CoreError::Config(_)), "{err}");
+        let err = Participant::new(cfg())
+            .role(Party::Alice)
+            .data(PartyData::Horizontal(vec![]))
+            .run(&mut chan)
+            .unwrap_err();
+        assert!(err.to_string().contains("randomness"), "{err}");
+    }
+
+    #[test]
+    fn keypair_bits_validated_against_config() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1);
+        let kp = Keypair::generate(128, &mut rng);
+        let err = Participant::new(cfg()).keypair(kp).unwrap_err();
+        assert!(matches!(err, CoreError::Config(_)), "{err}");
+        let kp256 = Keypair::generate(256, &mut rng);
+        assert!(Participant::new(cfg()).keypair(kp256).is_ok());
+    }
+
+    #[test]
+    fn two_party_data_rejected_by_run_mesh_and_vice_versa() {
+        let err = Participant::new(cfg())
+            .data(PartyData::Horizontal(vec![]))
+            .seed(1)
+            .run_mesh::<MemoryChannel>(&mut [], 0, 2)
+            .unwrap_err();
+        assert!(err.to_string().contains("run_mesh needs"), "{err}");
+        let (mut chan, _peer) = duplex();
+        let err = Participant::new(cfg())
+            .role(Party::Alice)
+            .data(PartyData::Multiparty(vec![]))
+            .seed(1)
+            .run(&mut chan)
+            .unwrap_err();
+        assert!(err.to_string().contains("mesh"), "{err}");
+    }
+}

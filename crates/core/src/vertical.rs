@@ -8,10 +8,16 @@
 //! clusterings without exchanging any labels — and that clustering is
 //! *exactly* the single-party DBSCAN of the joined records (verified
 //! label-for-label by the integration tests).
+//!
+//! Runs through the shared [`crate::session`] dispatch; the
+//! [`crate::session::Participant`] builder is the supported entry point.
 
-use crate::config::{ProtocolConfig, YaoLedger};
-use crate::driver::{establish, PartyOutput, MODE_VERTICAL};
+use crate::config::ProtocolConfig;
+use crate::driver::PartyOutput;
 use crate::error::CoreError;
+use crate::session::{
+    run_two_party, HandshakeProfile, Mode, ModeContext, ModeDriver, Session, SessionLog,
+};
 use crate::vdp::{local_delta_sq, vdp_compare_set_alice, vdp_compare_set_bob};
 use ppds_dbscan::{Clustering, DbscanParams, Label, Point};
 use ppds_smc::{LeakageEvent, LeakageLog, Party};
@@ -120,48 +126,56 @@ where
     })
 }
 
-/// One party's full run of the vertical protocol. `my_attrs` holds this
-/// party's attribute slice of each record (all records, same order on both
-/// sides). Returns the joint clustering of all records.
-pub fn vertical_party<C: Channel, R: Rng + ?Sized>(
-    chan: &mut C,
-    cfg: &ProtocolConfig,
-    my_attrs: &[Point],
-    role: Party,
-    rng: &mut R,
-) -> Result<PartyOutput, CoreError> {
-    let my_dim = my_attrs.first().map_or(1, Point::dim);
-    crate::horizontal::check_points(cfg, my_attrs)?;
-    let session = establish(
-        chan,
-        cfg,
-        role,
-        MODE_VERTICAL,
-        my_attrs.len(),
-        my_dim,
-        false,
-        rng,
-    )?;
-    if session.peer_n != my_attrs.len() {
-        return Err(CoreError::mismatch(format!(
-            "record counts differ: mine {} vs peer {}",
-            my_attrs.len(),
-            session.peer_n
-        )));
-    }
-    let total_dim = my_dim + session.peer_dim;
-    cfg.validate(total_dim)?;
+/// The vertical protocol as a [`ModeDriver`]. The parties own different
+/// attribute slices, so their dimensions legitimately differ; the joined
+/// dimension is only known (and validated) after the handshake.
+pub(crate) struct VerticalDriver<'a> {
+    pub attrs: &'a [Point],
+}
 
-    let mut leakage = LeakageLog::new();
-    let mut ledger = YaoLedger::default();
-    let clustering = {
-        let ledger = &mut ledger;
+impl ModeDriver for VerticalDriver<'_> {
+    fn validate(&self, cfg: &ProtocolConfig) -> Result<(), CoreError> {
+        crate::horizontal::check_points(cfg, self.attrs)
+    }
+
+    fn profile(&self) -> HandshakeProfile {
+        HandshakeProfile {
+            mode: Mode::Vertical,
+            n: self.attrs.len(),
+            dim: self.attrs.first().map_or(1, Point::dim),
+            dim_must_match: false,
+        }
+    }
+
+    fn check_session(&self, cfg: &ProtocolConfig, session: &Session) -> Result<(), CoreError> {
+        if session.peer_n != self.attrs.len() {
+            return Err(CoreError::HandshakeMismatch {
+                field: "record_count",
+                ours: self.attrs.len() as u64,
+                theirs: session.peer_n as u64,
+            });
+        }
+        let my_dim = self.attrs.first().map_or(1, Point::dim);
+        cfg.validate(my_dim + session.peer_dim)
+    }
+
+    fn execute<C: Channel, R: Rng + ?Sized>(
+        &self,
+        chan: &mut C,
+        ctx: &ModeContext<'_>,
+        rng: &mut R,
+        log: &mut SessionLog,
+    ) -> Result<Clustering, CoreError> {
+        let (cfg, session, attrs) = (ctx.cfg, ctx.session, self.attrs);
+        let my_dim = attrs.first().map_or(1, Point::dim);
+        let total_dim = my_dim + session.peer_dim;
+        let ledger = &mut log.ledger;
         let dist_leq_set = |x: usize, ys: &[usize]| -> Result<Vec<bool>, CoreError> {
             let locals: Vec<u64> = ys
                 .iter()
-                .map(|&y| local_delta_sq(&my_attrs[x], &my_attrs[y]))
+                .map(|&y| local_delta_sq(&attrs[x], &attrs[y]))
                 .collect();
-            let result = match role {
+            let result = match ctx.role {
                 Party::Alice => vdp_compare_set_alice(
                     chan,
                     cfg,
@@ -183,22 +197,42 @@ pub fn vertical_party<C: Channel, R: Rng + ?Sized>(
             };
             Ok(result)
         };
-        lockstep_dbscan(my_attrs.len(), cfg.params, dist_leq_set, &mut leakage)?
-    };
+        lockstep_dbscan(attrs.len(), cfg.params, dist_leq_set, &mut log.leakage)
+    }
+}
 
-    Ok(PartyOutput {
-        clustering,
-        leakage,
-        traffic: chan.metrics(),
-        yao: ledger,
-    })
+/// One party's full run of the vertical protocol. `my_attrs` holds this
+/// party's attribute slice of each record (all records, same order on both
+/// sides). Returns the joint clustering of all records.
+#[deprecated(
+    since = "0.2.0",
+    note = "use ppdbscan::session::Participant with PartyData::Vertical"
+)]
+pub fn vertical_party<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    my_attrs: &[Point],
+    role: Party,
+    rng: &mut R,
+) -> Result<PartyOutput, CoreError> {
+    run_two_party(
+        chan,
+        cfg,
+        &VerticalDriver { attrs: my_attrs },
+        role,
+        None,
+        rng,
+    )
+    .map(|outcome| outcome.output)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[allow(deprecated)]
     use crate::driver::run_vertical_pair;
     use crate::partition::VerticalPartition;
+    use crate::session::{Participant, PartyData};
     use crate::test_helpers::rng;
     use ppds_dbscan::{dbscan, eval};
 
@@ -208,6 +242,16 @@ mod tests {
 
     fn cfg(eps_sq: u64, min_pts: usize, bound: i64) -> ProtocolConfig {
         ProtocolConfig::new(DbscanParams { eps_sq, min_pts }, bound)
+    }
+
+    #[allow(deprecated)]
+    fn vertical(
+        c: &ProtocolConfig,
+        part: &VerticalPartition,
+        sa: u64,
+        sb: u64,
+    ) -> (PartyOutput, PartyOutput) {
+        run_vertical_pair(c, part, rng(sa), rng(sb)).unwrap()
     }
 
     #[test]
@@ -224,7 +268,7 @@ mod tests {
         let c = cfg(6, 3, 25);
         for split in [1usize, 2, 3] {
             let part = VerticalPartition::split(&recs, split);
-            let (a_out, b_out) = run_vertical_pair(&c, &part, rng(1), rng(2)).unwrap();
+            let (a_out, b_out) = vertical(&c, &part, 1, 2);
             let reference = dbscan(&recs, c.params);
             assert_eq!(a_out.clustering, reference, "split {split}: alice");
             assert_eq!(b_out.clustering, reference, "split {split}: bob");
@@ -238,8 +282,8 @@ mod tests {
         let part = VerticalPartition::split(&recs, 1);
         let ideal = cfg(2, 2, 10);
         let yao = ProtocolConfig::new_with_yao(ideal.params, 10);
-        let (ia, _) = run_vertical_pair(&ideal, &part, rng(3), rng(4)).unwrap();
-        let (ya, _) = run_vertical_pair(&yao, &part, rng(5), rng(6)).unwrap();
+        let (ia, _) = vertical(&ideal, &part, 3, 4);
+        let (ya, _) = vertical(&yao, &part, 5, 6);
         assert_eq!(ia.clustering, ya.clustering);
     }
 
@@ -249,7 +293,7 @@ mod tests {
         let recs = records(&[&[0, 0], &[1, 1], &[9, 9]]);
         let part = VerticalPartition::split(&recs, 1);
         let c = cfg(2, 2, 10);
-        let (a_out, b_out) = run_vertical_pair(&c, &part, rng(7), rng(8)).unwrap();
+        let (a_out, b_out) = vertical(&c, &part, 7, 8);
         assert!(a_out.leakage.count_kind("neighbor_count") > 0);
         assert_eq!(
             a_out.leakage.count_kind("neighbor_count"),
@@ -260,22 +304,31 @@ mod tests {
     }
 
     #[test]
-    fn record_count_mismatch_rejected() {
+    fn record_count_mismatch_rejected_with_typed_error() {
         let recs = records(&[&[0, 0], &[1, 1]]);
         let part = VerticalPartition::split(&recs, 1);
         let c = cfg(2, 2, 10);
         let result = crate::driver::run_pair(
             |mut chan| {
-                let mut r = rng(9);
-                vertical_party(&mut chan, &c, &part.alice, Party::Alice, &mut r)
+                Participant::new(c)
+                    .role(Party::Alice)
+                    .data(PartyData::Vertical(part.alice.clone()))
+                    .seed(9)
+                    .run(&mut chan)
             },
             |mut chan| {
-                let mut r = rng(10);
                 // Bob drops a record.
-                vertical_party(&mut chan, &c, &part.bob[..1], Party::Bob, &mut r)
+                Participant::new(c)
+                    .role(Party::Bob)
+                    .data(PartyData::Vertical(part.bob[..1].to_vec()))
+                    .seed(10)
+                    .run(&mut chan)
             },
         );
-        assert!(result.is_err());
+        match result.unwrap_err() {
+            CoreError::HandshakeMismatch { field, .. } => assert_eq!(field, "record_count"),
+            other => panic!("wanted HandshakeMismatch, got {other:?}"),
+        }
     }
 
     #[test]
@@ -288,8 +341,8 @@ mod tests {
             VerticalPartition::split(&recs, 1)
         };
         let c = cfg(4, 2, 50);
-        let (a_small, _) = run_vertical_pair(&c, &make(6), rng(11), rng(12)).unwrap();
-        let (a_big, _) = run_vertical_pair(&c, &make(12), rng(13), rng(14)).unwrap();
+        let (a_small, _) = vertical(&c, &make(6), 11, 12);
+        let (a_big, _) = vertical(&c, &make(12), 13, 14);
         let ratio = a_big.yao.comparisons as f64 / a_small.yao.comparisons.max(1) as f64;
         assert!(
             ratio > 2.5,

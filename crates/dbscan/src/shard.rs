@@ -1,11 +1,11 @@
 //! Grid-sharded region queries: deterministic intra-job parallelism.
 //!
-//! [`ShardedGridIndex`] partitions the query space of a [`GridIndex`]-style
+//! [`ShardedGridIndex`] partitions the query space of a [`GridIndex`](crate::index::GridIndex)-style
 //! uniform grid into `S` disjoint shards by a stable hash of the cell
 //! coordinate. Every shard owns the points of its cells, so a region query
 //! decomposes into `S` independent sub-queries that can run on different
 //! workers; results are merged and sorted, which makes the answer —
-//! including its order — identical to [`LinearIndex`]'s no matter how many
+//! including its order — identical to [`LinearIndex`](crate::index::LinearIndex)'s no matter how many
 //! workers ran or how they interleaved. The two-party protocols rely on
 //! deterministic neighbor order to stay in lockstep, so this determinism is
 //! load-bearing, not cosmetic.

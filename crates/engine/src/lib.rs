@@ -17,18 +17,20 @@
 //! arbitrary, enhanced, or multiparty), a dataset, a
 //! [`ppdbscan::ProtocolConfig`], and a seed — and get back a [`JobId`]
 //! immediately. Each worker executes whole sessions via
-//! [`ppdbscan::run_session`] (which spawns the per-party threads over an
-//! in-memory duplex pair), records a [`JobResult`] in the results store,
+//! [`ppdbscan::run_session`] — built on the typed
+//! [`ppdbscan::session::Participant`] API, spawning the per-party threads
+//! over an in-memory duplex pair — records a [`JobResult`] in the results
+//! store,
 //! and rolls the session's traffic ([`ppds_transport::MetricsSnapshot`])
 //! and modeled Yao cost ([`ppdbscan::config::YaoLedger`]) into the
 //! engine-wide [`EngineReport`]. Results are retrieved per job
 //! ([`Engine::wait`]) or in bulk ([`Engine::wait_all`]).
 //!
-//! Because workers call the *unmodified* drivers with the job's seed, a
-//! job's clustering output is bit-for-bit identical to running the same
-//! request through `run_horizontal_pair` & co. directly — concurrency
-//! changes throughput, never answers. The `engine_matches_direct_drivers`
-//! integration test pins this.
+//! Because workers run the *unmodified* session drivers with the job's
+//! seed, a job's clustering output is bit-for-bit identical to running the
+//! same request through two [`ppdbscan::session::Participant`]s directly —
+//! concurrency changes throughput, never answers. The
+//! `engine_matches_direct_drivers` integration test pins this.
 //!
 //! ## 2. The Paillier precomputation pool ([`ppds_paillier::RandomizerPool`])
 //!

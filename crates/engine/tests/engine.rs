@@ -2,12 +2,13 @@
 //! per-session leakage under load.
 
 use ppdbscan::config::ProtocolConfig;
-use ppdbscan::driver::{run_enhanced_pair, run_horizontal_pair, run_vertical_pair};
-use ppdbscan::{ArbitraryPartition, SessionRequest, VerticalPartition};
+use ppdbscan::session::{run_participants, Participant, PartyData};
+use ppdbscan::{ArbitraryPartition, PartyOutput, SessionRequest, VerticalPartition};
 use ppds_bigint::BigUint;
 use ppds_dbscan::{DbscanParams, Point};
 use ppds_engine::{ClusteringJob, Engine, EngineConfig, PrecomputeConfig};
 use ppds_smc::LeakageEvent;
+use ppds_smc::Party;
 use ppds_transport::MetricsSnapshot;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -137,8 +138,28 @@ fn engine_matches_direct_drivers() {
         9,
     ));
 
-    let seeded = |s: u64| StdRng::seed_from_u64(s);
-    let (da, db) = run_horizontal_pair(&c, &alice, &bob, seeded(7), seeded(8)).unwrap();
+    // The direct reference path: two Participants over a duplex pair with
+    // the seeds the engine derives from the job seed.
+    let direct = |data_a: PartyData, data_b: PartyData, seed: u64| -> (PartyOutput, PartyOutput) {
+        let (a, b) = run_participants(
+            Participant::new(c)
+                .role(Party::Alice)
+                .data(data_a)
+                .seed(seed),
+            Participant::new(c)
+                .role(Party::Bob)
+                .data(data_b)
+                .seed(seed + 1),
+        )
+        .unwrap();
+        (a.output, b.output)
+    };
+
+    let (da, db) = direct(
+        PartyData::Horizontal(alice.clone()),
+        PartyData::Horizontal(bob.clone()),
+        7,
+    );
     let engine_h = engine.wait(h);
     assert_eq!(engine_h.outputs()[0].clustering, da.clustering);
     assert_eq!(engine_h.outputs()[1].clustering, db.clustering);
@@ -146,13 +167,21 @@ fn engine_matches_direct_drivers() {
     assert_eq!(engine_h.outputs()[1].traffic, db.traffic);
     assert_eq!(engine_h.outputs()[0].yao, da.yao);
 
-    let (ea, eb) = run_enhanced_pair(&c, &alice, &bob, seeded(8), seeded(9)).unwrap();
+    let (ea, eb) = direct(
+        PartyData::Enhanced(alice.clone()),
+        PartyData::Enhanced(bob.clone()),
+        8,
+    );
     let engine_e = engine.wait(e);
     assert_eq!(engine_e.outputs()[0].clustering, ea.clustering);
     assert_eq!(engine_e.outputs()[1].clustering, eb.clustering);
     assert_eq!(engine_e.outputs()[0].traffic, ea.traffic);
 
-    let (va, vb) = run_vertical_pair(&c, &vertical, seeded(9), seeded(10)).unwrap();
+    let (va, vb) = direct(
+        PartyData::Vertical(vertical.alice.clone()),
+        PartyData::Vertical(vertical.bob.clone()),
+        9,
+    );
     let engine_v = engine.wait(v);
     assert_eq!(engine_v.outputs()[0].clustering, va.clustering);
     assert_eq!(engine_v.outputs()[1].clustering, vb.clustering);

@@ -7,10 +7,11 @@
 //! Run with: `cargo run --release --example arbitrary_partition`
 
 use ppdbscan::config::ProtocolConfig;
-use ppdbscan::driver::run_arbitrary_pair;
 use ppdbscan::partition::{ArbitraryPartition, Owner};
+use ppdbscan::session::{run_participants, Participant, PartyData};
 use ppds_dbscan::datagen::standard_blobs;
 use ppds_dbscan::{dbscan, DbscanParams, Quantizer};
+use ppds_smc::Party;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -49,13 +50,18 @@ fn main() {
     let cfg = ProtocolConfig::new(params, 40);
 
     println!("\nRunning the arbitrary-partition protocol (§4.4)…");
-    let (alice, bob) = run_arbitrary_pair(
-        &cfg,
-        &partition,
-        StdRng::seed_from_u64(1),
-        StdRng::seed_from_u64(2),
+    let (alice_outcome, bob_outcome) = run_participants(
+        Participant::new(cfg)
+            .role(Party::Alice)
+            .data(PartyData::Arbitrary(partition.alice_values.clone()))
+            .seed(1),
+        Participant::new(cfg)
+            .role(Party::Bob)
+            .data(PartyData::Arbitrary(partition.bob_values.clone()))
+            .seed(2),
     )
     .expect("protocol run");
+    let (alice, bob) = (alice_outcome.output, bob_outcome.output);
 
     assert_eq!(alice.clustering, bob.clustering, "both parties agree");
     let reference = dbscan(&records, params);

@@ -10,12 +10,37 @@
 //! Run with: `cargo run --release --example enhanced_privacy`
 
 use ppdbscan::config::ProtocolConfig;
-use ppdbscan::driver::{run_enhanced_pair, run_horizontal_pair};
+use ppdbscan::session::{run_participants, Participant, PartyData};
+use ppdbscan::PartyOutput;
 use ppds_dbscan::datagen::{split_alternating, standard_blobs};
-use ppds_dbscan::{DbscanParams, Quantizer};
+use ppds_dbscan::{DbscanParams, Point, Quantizer};
 use ppds_smc::kth::SelectionMethod;
+use ppds_smc::Party;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Runs one horizontal-family protocol (basic or enhanced, per `data`)
+/// through the session API with the given seeds.
+fn run(
+    cfg: ProtocolConfig,
+    data: fn(Vec<Point>) -> PartyData,
+    alice: &[Point],
+    bob: &[Point],
+    seeds: (u64, u64),
+) -> (PartyOutput, PartyOutput) {
+    let (a, b) = run_participants(
+        Participant::new(cfg)
+            .role(Party::Alice)
+            .data(data(alice.to_vec()))
+            .seed(seeds.0),
+        Participant::new(cfg)
+            .role(Party::Bob)
+            .data(data(bob.to_vec()))
+            .seed(seeds.1),
+    )
+    .expect("protocol run");
+    (a.output, b.output)
+}
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(5);
@@ -30,36 +55,15 @@ fn main() {
     let cfg = ProtocolConfig::new(params, 60);
 
     println!("Running the BASIC horizontal protocol (Algorithms 3 & 4)…");
-    let (basic_a, _) = run_horizontal_pair(
-        &cfg,
-        &alice,
-        &bob,
-        StdRng::seed_from_u64(1),
-        StdRng::seed_from_u64(2),
-    )
-    .expect("basic run");
+    let (basic_a, _) = run(cfg, PartyData::Horizontal, &alice, &bob, (1, 2));
 
     println!("Running the ENHANCED protocol (Algorithms 7 & 8, repeated-min)…");
-    let (enh_a, enh_b) = run_enhanced_pair(
-        &cfg,
-        &alice,
-        &bob,
-        StdRng::seed_from_u64(3),
-        StdRng::seed_from_u64(4),
-    )
-    .expect("enhanced run");
+    let (enh_a, enh_b) = run(cfg, PartyData::Enhanced, &alice, &bob, (3, 4));
 
     println!("Running the ENHANCED protocol again with quickselect…");
     let mut cfg_qs = cfg;
     cfg_qs.selection = SelectionMethod::QuickSelect;
-    let (qs_a, _) = run_enhanced_pair(
-        &cfg_qs,
-        &alice,
-        &bob,
-        StdRng::seed_from_u64(5),
-        StdRng::seed_from_u64(6),
-    )
-    .expect("quickselect run");
+    let (qs_a, _) = run(cfg_qs, PartyData::Enhanced, &alice, &bob, (5, 6));
 
     assert_eq!(basic_a.clustering, enh_a.clustering);
     assert_eq!(basic_a.clustering, qs_a.clustering);

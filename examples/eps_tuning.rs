@@ -7,10 +7,11 @@
 //! Run with: `cargo run --release --example eps_tuning`
 
 use ppdbscan::config::ProtocolConfig;
-use ppdbscan::driver::run_horizontal_pair;
+use ppdbscan::session::{run_participants, Participant, PartyData};
 use ppds_dbscan::datagen::{split_random, standard_blobs};
 use ppds_dbscan::kdist::{k_distance_profile, suggest_eps_sq};
 use ppds_dbscan::{DbscanParams, Quantizer};
+use ppds_smc::Party;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -48,14 +49,18 @@ fn main() {
     println!("\nAgreed parameters: eps² = {eps_sq}, MinPts = {min_pts}.");
 
     let cfg = ProtocolConfig::new(DbscanParams { eps_sq, min_pts }, 80);
-    let (a_out, b_out) = run_horizontal_pair(
-        &cfg,
-        &alice,
-        &bob,
-        StdRng::seed_from_u64(10),
-        StdRng::seed_from_u64(11),
+    let (a_outcome, b_outcome) = run_participants(
+        Participant::new(cfg)
+            .role(Party::Alice)
+            .data(PartyData::Horizontal(alice.clone()))
+            .seed(10),
+        Participant::new(cfg)
+            .role(Party::Bob)
+            .data(PartyData::Horizontal(bob.clone()))
+            .seed(11),
     )
     .expect("protocol run");
+    let (a_out, b_out) = (a_outcome.output, b_outcome.output);
 
     println!(
         "Joint run: Alice sees {} clusters ({} noise), Bob sees {} clusters ({} noise).",

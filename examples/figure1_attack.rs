@@ -19,8 +19,9 @@
 //! Run with: `cargo run --release --example figure1_attack`
 
 use ppdbscan::config::ProtocolConfig;
-use ppdbscan::driver::run_horizontal_pair;
+use ppdbscan::session::{run_participants, Participant, PartyData};
 use ppds_dbscan::{dist_sq, DbscanParams, Point};
+use ppds_smc::Party;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -96,14 +97,18 @@ fn main() {
 
     // --- The honest protocol on identical data. ---
     println!("Running this paper's protocol on the same data…");
-    let (_a_out, b_out) = run_horizontal_pair(
-        &cfg,
-        &alice_points,
-        &bob_points,
-        StdRng::seed_from_u64(1),
-        StdRng::seed_from_u64(2),
+    let (_a_outcome, b_outcome) = run_participants(
+        Participant::new(cfg)
+            .role(Party::Alice)
+            .data(PartyData::Horizontal(alice_points.clone()))
+            .seed(1),
+        Participant::new(cfg)
+            .role(Party::Bob)
+            .data(PartyData::Horizontal(bob_points.clone()))
+            .seed(2),
     )
     .expect("protocol run");
+    let b_out = b_outcome.output;
 
     println!("  Bob's complete leakage log:");
     for event in b_out.leakage.events() {

@@ -10,8 +10,7 @@
 //!   sockets, same protocol code.
 
 use ppdbscan::config::ProtocolConfig;
-use ppdbscan::driver::run_horizontal_pair;
-use ppdbscan::horizontal::horizontal_party;
+use ppdbscan::session::{run_participants, Participant, PartyData};
 use ppds_dbscan::datagen::{split_random, standard_blobs};
 use ppds_dbscan::{DbscanParams, Point, Quantizer};
 use ppds_smc::Party;
@@ -69,16 +68,20 @@ fn main() {
     match args.get(1).map(String::as_str) {
         None | Some("memory") => {
             println!("Two hospitals, one process (in-memory channel).\n");
-            let (a_out, b_out) = run_horizontal_pair(
-                &cfg,
-                &alice,
-                &bob,
-                StdRng::seed_from_u64(10),
-                StdRng::seed_from_u64(20),
+            let (a_outcome, b_outcome) = run_participants(
+                Participant::new(cfg)
+                    .role(Party::Alice)
+                    .data(PartyData::Horizontal(alice.clone()))
+                    .seed(10),
+                Participant::new(cfg)
+                    .role(Party::Bob)
+                    .data(PartyData::Horizontal(bob.clone()))
+                    .seed(20),
             )
             .expect("protocol run");
-            report("Hospital A", &a_out, alice.len());
-            report("Hospital B", &b_out, bob.len());
+            report("Hospital A", &a_outcome.output, alice.len());
+            report("Hospital B", &b_outcome.output, bob.len());
+            let a_out = a_outcome.output;
             // The modeled network cost on a WAN between the hospitals:
             let wan = ppds_transport::CostModel::wan();
             println!(
@@ -91,19 +94,26 @@ fn main() {
             let listener = TcpListener::bind(addr).expect("bind");
             println!("Hospital A listening on {addr} — start the tcp-bob side now.");
             let mut chan = TcpChannel::accept(&listener).expect("accept");
-            let mut rng = StdRng::seed_from_u64(10);
-            let out = horizontal_party(&mut chan, &cfg, &alice, Party::Alice, &mut rng)
+            // The identical Participant runs over TCP and in-memory alike.
+            let outcome = Participant::new(cfg)
+                .role(Party::Alice)
+                .data(PartyData::Horizontal(alice.clone()))
+                .seed(10)
+                .run(&mut chan)
                 .expect("protocol run");
-            report("Hospital A (TCP)", &out, alice.len());
+            report("Hospital A (TCP)", &outcome.output, alice.len());
         }
         Some("tcp-bob") => {
             let addr = args.get(2).map(String::as_str).unwrap_or("127.0.0.1:7777");
             let mut chan = TcpChannel::connect(addr).expect("connect");
             println!("Hospital B connected to {addr}.");
-            let mut rng = StdRng::seed_from_u64(20);
-            let out = horizontal_party(&mut chan, &cfg, &bob, Party::Bob, &mut rng)
+            let outcome = Participant::new(cfg)
+                .role(Party::Bob)
+                .data(PartyData::Horizontal(bob.clone()))
+                .seed(20)
+                .run(&mut chan)
                 .expect("protocol run");
-            report("Hospital B (TCP)", &out, bob.len());
+            report("Hospital B (TCP)", &outcome.output, bob.len());
         }
         Some(other) => {
             eprintln!("unknown mode {other}; use: memory | tcp-alice [addr] | tcp-bob [addr]");

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example multiparty_hospitals`
 
 use ppdbscan::config::ProtocolConfig;
-use ppdbscan::multiparty::run_multiparty_horizontal;
+use ppdbscan::session::run_mesh_local;
 use ppds_dbscan::datagen::standard_blobs;
 use ppds_dbscan::{dbscan, dbscan_with_external_density, DbscanParams, Point, Quantizer};
 use rand::rngs::StdRng;
@@ -45,7 +45,13 @@ fn main() {
         parties.iter().map(Vec::len).collect::<Vec<_>>()
     );
     println!("Running the {}-party horizontal protocol…\n", parties.len());
-    let outputs = run_multiparty_horizontal(&cfg, &parties, 7).expect("protocol run");
+    let outcomes = run_mesh_local(&cfg, &parties, 7).expect("protocol run");
+    println!(
+        "Each node negotiated {} pairwise sessions over handshake wire v{}.\n",
+        outcomes[0].meta.peers.len(),
+        outcomes[0].meta.wire_version
+    );
+    let outputs: Vec<_> = outcomes.into_iter().map(|o| o.output).collect();
 
     let names = [
         "General Hospital",

@@ -5,10 +5,9 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use ppdbscan::config::ProtocolConfig;
-use ppdbscan::driver::run_horizontal_pair;
+use ppdbscan::session::{run_participants, Participant, PartyData};
 use ppds_dbscan::{dbscan, DbscanParams, Label, Point};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ppds_smc::Party;
 
 fn show(owner: &str, points: &[Point], labels: &[Label]) {
     for (p, label) in points.iter().zip(labels) {
@@ -57,14 +56,23 @@ fn main() {
     );
 
     println!("\n== Running the privacy-preserving protocol (Algorithms 3 & 4) ==");
-    let (alice_out, bob_out) = run_horizontal_pair(
-        &cfg,
-        &alice,
-        &bob,
-        StdRng::seed_from_u64(1),
-        StdRng::seed_from_u64(2),
+    // One typed entry point per party: config, role, data view, seed.
+    let (alice_outcome, bob_outcome) = run_participants(
+        Participant::new(cfg)
+            .role(Party::Alice)
+            .data(PartyData::Horizontal(alice.clone()))
+            .seed(1),
+        Participant::new(cfg)
+            .role(Party::Bob)
+            .data(PartyData::Horizontal(bob.clone()))
+            .seed(2),
     )
     .expect("protocol run");
+    println!(
+        "  negotiated: {} mode over handshake wire v{}",
+        alice_outcome.meta.mode, alice_outcome.meta.wire_version
+    );
+    let (alice_out, bob_out) = (alice_outcome.output, bob_outcome.output);
 
     println!(
         "  Alice now sees {} clusters over her points:",

@@ -7,12 +7,34 @@
 //! Run with: `cargo run --release --example vertical_credit`
 
 use ppdbscan::config::ProtocolConfig;
-use ppdbscan::driver::run_vertical_pair;
+use ppdbscan::session::{run_participants, Participant, PartyData};
 use ppdbscan::VerticalPartition;
 use ppds_dbscan::datagen::standard_blobs;
 use ppds_dbscan::{dbscan, eval, DbscanParams, Quantizer};
+use ppds_smc::Party;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Both halves of the vertical protocol through the session API.
+fn run_vertical(
+    cfg: ProtocolConfig,
+    partition: &VerticalPartition,
+    seed_bank: u64,
+    seed_hospital: u64,
+) -> (ppdbscan::PartyOutput, ppdbscan::PartyOutput) {
+    let (bank, hospital) = run_participants(
+        Participant::new(cfg)
+            .role(Party::Alice)
+            .data(PartyData::Vertical(partition.alice.clone()))
+            .seed(seed_bank),
+        Participant::new(cfg)
+            .role(Party::Bob)
+            .data(PartyData::Vertical(partition.bob.clone()))
+            .seed(seed_hospital),
+    )
+    .expect("protocol run");
+    (bank.output, hospital.output)
+}
 
 fn main() {
     // 4-attribute customer records: attributes 0-1 are financial (bank),
@@ -36,13 +58,7 @@ fn main() {
     );
 
     println!("\nRunning the vertical protocol (Algorithms 5 & 6)…");
-    let (bank, hospital) = run_vertical_pair(
-        &cfg,
-        &partition,
-        StdRng::seed_from_u64(100),
-        StdRng::seed_from_u64(200),
-    )
-    .expect("protocol run");
+    let (bank, hospital) = run_vertical(cfg, &partition, 100, 200);
 
     println!(
         "  bank view:     {} clusters, {} noise",
@@ -83,13 +99,7 @@ fn main() {
     // candidate set as one wire frame per message instead of one ping-pong
     // per comparison. Identical labels and leakage; O(1) rounds per query.
     println!("\nRe-running with round batching (one message per neighborhood)…");
-    let (bank_b, _hospital_b) = run_vertical_pair(
-        &cfg.with_batching(true),
-        &partition,
-        StdRng::seed_from_u64(100),
-        StdRng::seed_from_u64(200),
-    )
-    .expect("batched protocol run");
+    let (bank_b, _hospital_b) = run_vertical(cfg.with_batching(true), &partition, 100, 200);
     assert_eq!(bank_b.clustering, bank.clustering);
     assert_eq!(bank_b.leakage, bank.leakage);
     let wan = ppds_transport::CostModel::wan();

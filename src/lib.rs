@@ -9,7 +9,12 @@
 //! system inventory and the documented deviations from the paper's text.
 //!
 //! * [`ppdbscan`] — the paper's protocols (horizontal, vertical, arbitrary,
-//!   enhanced) and drivers,
+//!   enhanced, multiparty) behind the typed [`ppdbscan::session`] API: build
+//!   a [`ppdbscan::session::Participant`], run it over any channel, get a
+//!   [`ppdbscan::session::SessionOutcome`] (output + negotiated metadata).
+//!   The versioned [`ppdbscan::session::Hello`] handshake rejects any
+//!   parameter disagreement with a typed
+//!   [`ppdbscan::CoreError::HandshakeMismatch`] naming the field,
 //! * [`ppds_engine`] — the parallel protocol-execution engine: worker-pool
 //!   job scheduler, shared Paillier randomizer precomputation, rollup
 //!   reports,

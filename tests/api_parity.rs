@@ -1,0 +1,279 @@
+//! API parity: the new `ppdbscan::session::Participant` surface must be
+//! **byte-identical** to the deprecated free-function drivers for every
+//! protocol mode — labels, `LeakageLog`, `YaoLedger`, and the full
+//! `MetricsSnapshot` — at multiple seeds, and every mode must also run
+//! through `Participant` over real TCP sockets with the same outputs as
+//! in-memory.
+#![allow(deprecated)] // this suite exists to compare against the legacy API
+
+use ppdbscan::config::ProtocolConfig;
+use ppdbscan::driver::{
+    run_arbitrary_pair, run_enhanced_pair, run_horizontal_pair, run_vertical_pair,
+};
+use ppdbscan::session::{
+    run_mesh_local, run_participants, Mode, Participant, PartyData, SessionOutcome, WIRE_VERSION,
+};
+use ppdbscan::{run_multiparty_horizontal, ArbitraryPartition, PartyOutput, VerticalPartition};
+use ppds_dbscan::datagen::{split_alternating, standard_blobs};
+use ppds_dbscan::{DbscanParams, Point, Quantizer};
+use ppds_smc::Party;
+use ppds_transport::tcp::TcpChannel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::TcpListener;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+fn blobs(n: usize, seed: u64) -> Vec<Point> {
+    let quantizer = Quantizer::new(1.0, 60);
+    let (points, _) = standard_blobs(&mut rng(seed), (n / 3).max(1), 3, 2, quantizer);
+    points
+}
+
+fn base_cfg() -> ProtocolConfig {
+    ProtocolConfig::new(
+        DbscanParams {
+            eps_sq: 81,
+            min_pts: 3,
+        },
+        60,
+    )
+}
+
+/// Asserts every field the acceptance criteria pin: labels, leakage, Yao
+/// ledger, and the complete traffic snapshot.
+fn assert_output_parity(name: &str, legacy: &PartyOutput, new: &PartyOutput) {
+    assert_eq!(legacy.clustering, new.clustering, "{name}: labels");
+    assert_eq!(legacy.leakage, new.leakage, "{name}: LeakageLog");
+    assert_eq!(legacy.yao, new.yao, "{name}: YaoLedger");
+    assert_eq!(legacy.traffic, new.traffic, "{name}: MetricsSnapshot");
+}
+
+/// The two parties' `PartyData` views of one mode over one dataset.
+fn mode_views(mode: Mode, records: &[Point], seed: u64) -> (PartyData, PartyData) {
+    match mode {
+        Mode::Horizontal => {
+            let (a, b) = split_alternating(records);
+            (PartyData::Horizontal(a), PartyData::Horizontal(b))
+        }
+        Mode::Enhanced => {
+            let (a, b) = split_alternating(records);
+            (PartyData::Enhanced(a), PartyData::Enhanced(b))
+        }
+        Mode::Vertical => {
+            let part = VerticalPartition::split(records, 1);
+            (
+                PartyData::Vertical(part.alice),
+                PartyData::Vertical(part.bob),
+            )
+        }
+        Mode::Arbitrary => {
+            let part = ArbitraryPartition::random(&mut rng(seed ^ 0xA5A5), records);
+            (
+                PartyData::Arbitrary(part.alice_values),
+                PartyData::Arbitrary(part.bob_values),
+            )
+        }
+        other => panic!("mode_views covers two-party modes only, got {other}"),
+    }
+}
+
+/// The same mode through the deprecated free function.
+fn legacy_pair(
+    mode: Mode,
+    cfg: &ProtocolConfig,
+    records: &[Point],
+    seed: u64,
+) -> (PartyOutput, PartyOutput) {
+    let (rng_a, rng_b) = (rng(seed), rng(seed + 1));
+    match mode {
+        Mode::Horizontal => {
+            let (a, b) = split_alternating(records);
+            run_horizontal_pair(cfg, &a, &b, rng_a, rng_b).unwrap()
+        }
+        Mode::Enhanced => {
+            let (a, b) = split_alternating(records);
+            run_enhanced_pair(cfg, &a, &b, rng_a, rng_b).unwrap()
+        }
+        Mode::Vertical => {
+            let part = VerticalPartition::split(records, 1);
+            run_vertical_pair(cfg, &part, rng_a, rng_b).unwrap()
+        }
+        Mode::Arbitrary => {
+            let part = ArbitraryPartition::random(&mut rng(seed ^ 0xA5A5), records);
+            run_arbitrary_pair(cfg, &part, rng_a, rng_b).unwrap()
+        }
+        other => panic!("legacy_pair covers two-party modes only, got {other}"),
+    }
+}
+
+const TWO_PARTY_MODES: [Mode; 4] = [
+    Mode::Horizontal,
+    Mode::Enhanced,
+    Mode::Vertical,
+    Mode::Arbitrary,
+];
+
+#[test]
+fn every_two_party_mode_matches_legacy_at_two_seeds() {
+    let records = blobs(18, 777);
+    for batching in [false, true] {
+        let cfg = base_cfg().with_batching(batching);
+        for mode in TWO_PARTY_MODES {
+            for seed in [11u64, 202] {
+                let (legacy_a, legacy_b) = legacy_pair(mode, &cfg, &records, seed);
+                let (data_a, data_b) = mode_views(mode, &records, seed);
+                let (new_a, new_b) = run_participants(
+                    Participant::new(cfg)
+                        .role(Party::Alice)
+                        .data(data_a)
+                        .seed(seed),
+                    Participant::new(cfg)
+                        .role(Party::Bob)
+                        .data(data_b)
+                        .seed(seed + 1),
+                )
+                .unwrap();
+                let name = format!("{mode}/seed{seed}/batching={batching}");
+                assert_output_parity(&format!("{name}/alice"), &legacy_a, &new_a.output);
+                assert_output_parity(&format!("{name}/bob"), &legacy_b, &new_b.output);
+                // The outcome's negotiated metadata reflects the session.
+                assert_eq!(new_a.meta.mode, mode, "{name}");
+                assert_eq!(new_a.meta.wire_version, WIRE_VERSION, "{name}");
+                assert_eq!(new_a.meta.batching, batching, "{name}");
+            }
+        }
+    }
+}
+
+#[test]
+fn multiparty_matches_legacy_at_two_seeds() {
+    let all = blobs(15, 55);
+    let parties: Vec<Vec<Point>> = (0..3)
+        .map(|p| {
+            all.iter()
+                .enumerate()
+                .filter(|(i, _)| i % 3 == p)
+                .map(|(_, pt)| pt.clone())
+                .collect()
+        })
+        .collect();
+    let cfg = base_cfg();
+    for seed in [7u64, 91] {
+        let legacy = run_multiparty_horizontal(&cfg, &parties, seed).unwrap();
+        let new = run_mesh_local(&cfg, &parties, seed).unwrap();
+        assert_eq!(legacy.len(), new.len());
+        for (i, (l, n)) in legacy.iter().zip(&new).enumerate() {
+            assert_output_parity(&format!("multiparty/seed{seed}/party{i}"), l, &n.output);
+            assert_eq!(n.meta.mode, Mode::Multiparty);
+            assert_eq!(n.meta.peers.len(), parties.len() - 1);
+        }
+    }
+}
+
+/// Runs one two-party mode over real TCP sockets via `Participant` and
+/// returns `(alice, bob)` outcomes.
+fn tcp_pair(
+    cfg: ProtocolConfig,
+    data_a: PartyData,
+    data_b: PartyData,
+    seed: u64,
+) -> (SessionOutcome, SessionOutcome) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let alice = Participant::new(cfg)
+        .role(Party::Alice)
+        .data(data_a)
+        .seed(seed);
+    let alice_thread = std::thread::spawn(move || {
+        let mut chan = TcpChannel::accept(&listener).unwrap();
+        alice.run(&mut chan).unwrap()
+    });
+    let mut chan = TcpChannel::connect(addr).unwrap();
+    let bob = Participant::new(cfg)
+        .role(Party::Bob)
+        .data(data_b)
+        .seed(seed + 1)
+        .run(&mut chan)
+        .unwrap();
+    (alice_thread.join().unwrap(), bob)
+}
+
+#[test]
+fn every_two_party_mode_runs_over_tcp_with_identical_outputs() {
+    let records = blobs(9, 404);
+    let mut cfg = base_cfg();
+    cfg.key_bits = 128; // four modes × two transports: keep the test quick
+    for mode in TWO_PARTY_MODES {
+        let seed = 31;
+        let (data_a, data_b) = mode_views(mode, &records, seed);
+        let (mem_a, mem_b) = run_participants(
+            Participant::new(cfg)
+                .role(Party::Alice)
+                .data(data_a.clone())
+                .seed(seed),
+            Participant::new(cfg)
+                .role(Party::Bob)
+                .data(data_b.clone())
+                .seed(seed + 1),
+        )
+        .unwrap();
+        let (tcp_a, tcp_b) = tcp_pair(cfg, data_a, data_b, seed);
+        assert_output_parity(&format!("{mode}/tcp/alice"), &mem_a.output, &tcp_a.output);
+        assert_output_parity(&format!("{mode}/tcp/bob"), &mem_b.output, &tcp_b.output);
+        assert_eq!(tcp_a.meta, mem_a.meta, "{mode}: negotiated metadata");
+    }
+}
+
+#[test]
+fn multiparty_runs_over_tcp_mesh_with_identical_outputs() {
+    let all = blobs(9, 606);
+    let parties: Vec<Vec<Point>> = (0..3)
+        .map(|p| {
+            all.iter()
+                .enumerate()
+                .filter(|(i, _)| i % 3 == p)
+                .map(|(_, pt)| pt.clone())
+                .collect()
+        })
+        .collect();
+    let mut cfg = base_cfg();
+    cfg.key_bits = 128;
+    let seed = 13u64;
+    let reference = run_mesh_local(&cfg, &parties, seed).unwrap();
+
+    // Build a real TCP full mesh: one socket pair per party pair, the
+    // lower id accepting.
+    let k = parties.len();
+    let mut mesh: Vec<Vec<(usize, TcpChannel)>> = (0..k).map(|_| Vec::new()).collect();
+    for i in 0..k {
+        for j in i + 1..k {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let accept = std::thread::spawn(move || TcpChannel::accept(&listener).unwrap());
+            let connect = TcpChannel::connect(addr).unwrap();
+            mesh[i].push((j, accept.join().unwrap()));
+            mesh[j].push((i, connect));
+        }
+    }
+
+    let mut handles = Vec::new();
+    for (my_id, (mut peers, points)) in mesh.drain(..).zip(parties.iter()).enumerate() {
+        let participant = Participant::new(cfg)
+            .data(PartyData::Multiparty(points.clone()))
+            .seed(seed.wrapping_add(my_id as u64));
+        handles.push(std::thread::spawn(move || {
+            participant.run_mesh(&mut peers, my_id, 3).unwrap()
+        }));
+    }
+    for (i, handle) in handles.into_iter().enumerate() {
+        let outcome = handle.join().unwrap();
+        assert_output_parity(
+            &format!("multiparty/tcp/party{i}"),
+            &reference[i].output,
+            &outcome.output,
+        );
+    }
+}

@@ -4,23 +4,19 @@
 //! framing, never the protocol — while collapsing wire rounds from
 //! `O(candidates)` to `O(1)` per neighborhood query.
 
+mod common;
+
+use common::{
+    rng, run_arbitrary_pair, run_enhanced_pair, run_horizontal_pair, run_multiparty,
+    run_vertical_pair,
+};
 use ppds::ppdbscan::config::ProtocolConfig;
-use ppds::ppdbscan::driver::{
-    run_arbitrary_pair, run_enhanced_pair, run_horizontal_pair, run_vertical_pair,
-};
-use ppds::ppdbscan::{
-    run_multiparty_horizontal, ArbitraryPartition, PartyOutput, VerticalPartition,
-};
+use ppds::ppdbscan::session::{Participant, PartyData};
+use ppds::ppdbscan::{ArbitraryPartition, CoreError, PartyOutput, VerticalPartition};
 use ppds::ppds_dbscan::datagen::{split_alternating, standard_blobs};
 use ppds::ppds_dbscan::{dbscan, DbscanParams, Point, Quantizer};
 use ppds::ppds_smc::compare::Comparator;
 use ppds::ppds_smc::kth::SelectionMethod;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
-}
 
 fn blobs(n: usize, seed: u64) -> Vec<Point> {
     let quantizer = Quantizer::new(1.0, 60);
@@ -195,8 +191,8 @@ fn multiparty_parity() {
         })
         .collect();
     let cfg = base_cfg();
-    let unbatched = run_multiparty_horizontal(&cfg, &parties, 7).unwrap();
-    let batched = run_multiparty_horizontal(&cfg.with_batching(true), &parties, 7).unwrap();
+    let unbatched = run_multiparty(&cfg, &parties, 7).unwrap();
+    let batched = run_multiparty(&cfg.with_batching(true), &parties, 7).unwrap();
     for (i, (u, b)) in unbatched.iter().zip(&batched).enumerate() {
         assert_eq!(u.clustering, b.clustering, "party {i} labels");
         assert_eq!(u.leakage, b.leakage, "party {i} leakage");
@@ -229,33 +225,53 @@ fn dgk_backend_parity_on_vertical() {
     assert_parity("vertical/dgk", &unbatched, &batched, 5.0);
 }
 
+/// KNOWN DEFECT (pre-existing in the round-batching pipeline, surfaced by
+/// review): with the DGK comparator the batched HDP responder performs all
+/// multiplication-stage encryptions first and all DGK draws after, instead
+/// of interleaving them per point like the sequential path. Rejection
+/// sampling makes those draws value-dependent, so the RNG stream position
+/// of each later query's Figure-1-defense permutation shifts and the
+/// responder's `own#idx` leakage order diverges from the unbatched run
+/// (labels still match). Un-ignore once the batched path draws randomness
+/// in sequential order; see DESIGN.md §7.
+#[test]
+#[ignore = "known defect: batched DGK horizontal run reorders RNG draws, so leakage order diverges"]
+fn dgk_backend_parity_on_horizontal() {
+    let (alice, bob) = split_alternating(&blobs(24, 321));
+    let mut cfg = base_cfg();
+    cfg.comparator = Comparator::Dgk;
+    cfg.key_bits = 64;
+    let unbatched = run_horizontal_pair(&cfg, &alice, &bob, rng(5), rng(6)).unwrap();
+    let batched =
+        run_horizontal_pair(&cfg.with_batching(true), &alice, &bob, rng(5), rng(6)).unwrap();
+    assert_parity("horizontal/dgk", &unbatched, &batched, 3.0);
+}
+
 #[test]
 fn batching_mismatch_is_rejected_at_handshake() {
     let records = blobs(6, 99);
     let partition = VerticalPartition::split(&records, 1);
     let cfg = base_cfg();
     let batched_cfg = cfg.with_batching(true);
-    let result = ppds::ppdbscan::driver::run_pair(
-        |mut chan| {
-            let mut r = rng(1);
-            ppds::ppdbscan::vertical::vertical_party(
-                &mut chan,
-                &cfg,
-                &partition.alice,
-                ppds::ppds_smc::Party::Alice,
-                &mut r,
-            )
-        },
-        |mut chan| {
-            let mut r = rng(2);
-            ppds::ppdbscan::vertical::vertical_party(
-                &mut chan,
-                &batched_cfg,
-                &partition.bob,
-                ppds::ppds_smc::Party::Bob,
-                &mut r,
-            )
-        },
+    let result = ppds::ppdbscan::session::run_participants(
+        Participant::new(cfg)
+            .role(ppds::ppds_smc::Party::Alice)
+            .data(PartyData::Vertical(partition.alice.clone()))
+            .rng(rng(1)),
+        Participant::new(batched_cfg)
+            .role(ppds::ppds_smc::Party::Bob)
+            .data(PartyData::Vertical(partition.bob.clone()))
+            .rng(rng(2)),
     );
-    assert!(result.is_err(), "one-sided batching must not silently run");
+    match result.unwrap_err() {
+        CoreError::HandshakeMismatch {
+            field,
+            ours,
+            theirs,
+        } => {
+            assert_eq!(field, "batching");
+            assert_eq!((ours, theirs), (0, 1), "alice reports her side first");
+        }
+        other => panic!("one-sided batching must fail with a typed error, got {other:?}"),
+    }
 }

@@ -1,0 +1,27 @@
+//! Shared helpers for the umbrella integration tests: seed-deterministic
+//! wrappers that run each protocol family through the typed
+//! `ppdbscan::session::Participant` API. The two-party runners live in
+//! `ppds_bench` (one canonical copy, built on
+//! `ppdbscan::session::run_data_pair`) and are re-exported here.
+#![allow(dead_code, unused_imports)] // each test binary uses a different subset
+
+pub use ppds_bench::{
+    rng, run_arbitrary_pair, run_enhanced_pair, run_horizontal_pair, run_vertical_pair,
+};
+
+use ppdbscan::config::ProtocolConfig;
+use ppdbscan::{CoreError, PartyOutput};
+use ppds_dbscan::Point;
+
+/// Runs all parties of a multiparty session on an in-memory mesh,
+/// returning the bare [`PartyOutput`]s in party-id order.
+pub fn run_multiparty(
+    cfg: &ProtocolConfig,
+    parties: &[Vec<Point>],
+    seed: u64,
+) -> Result<Vec<PartyOutput>, CoreError> {
+    Ok(ppdbscan::session::run_mesh_local(cfg, parties, seed)?
+        .into_iter()
+        .map(|outcome| outcome.output)
+        .collect())
+}

@@ -1,19 +1,13 @@
 //! Cross-crate integration tests: every protocol family against its
 //! plaintext reference semantics, over the generated workload families.
 
+mod common;
+
+use common::{rng, run_arbitrary_pair, run_enhanced_pair, run_horizontal_pair, run_vertical_pair};
 use ppdbscan::config::ProtocolConfig;
-use ppdbscan::driver::{
-    run_arbitrary_pair, run_enhanced_pair, run_horizontal_pair, run_vertical_pair,
-};
 use ppdbscan::{ArbitraryPartition, VerticalPartition};
 use ppds_dbscan::datagen::{cluster_in_ring, split_alternating, standard_blobs, two_moons};
 use ppds_dbscan::{dbscan, dbscan_with_external_density, eval, DbscanParams, Point, Quantizer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
-}
 
 fn workloads() -> Vec<(&'static str, Vec<Point>, DbscanParams)> {
     let quantizer = Quantizer::new(1.0, 80);

@@ -3,7 +3,8 @@
 //! answers — because in deployment the peer is a different codebase.
 
 use ppdbscan::config::ProtocolConfig;
-use ppdbscan::horizontal::horizontal_party;
+use ppdbscan::session::{Participant, PartyData};
+use ppdbscan::CoreError;
 use ppds_bigint::BigUint;
 use ppds_dbscan::{DbscanParams, Point};
 use ppds_paillier::Keypair;
@@ -141,15 +142,20 @@ fn full_driver_surfaces_peer_garbage_as_error() {
                                                    // Keep the channel open so the honest side isn't just disconnected.
         std::thread::sleep(std::time::Duration::from_millis(50));
     });
-    let mut r = rng(6);
-    let err = horizontal_party(&mut honest, &cfg, &points, Party::Alice, &mut r).unwrap_err();
-    assert!(matches!(err, ppdbscan::CoreError::Smc(_)));
+    let err = Participant::new(cfg)
+        .role(Party::Alice)
+        .data(PartyData::Horizontal(points))
+        .rng(rng(6))
+        .run(&mut honest)
+        .unwrap_err();
+    assert!(matches!(err, CoreError::Smc(_)));
     handle.join().unwrap();
 }
 
 #[test]
 fn mode_mismatch_between_protocols_is_detected() {
-    // One side runs horizontal, the other vertical: handshake must catch it.
+    // One side runs horizontal, the other vertical: handshake must catch
+    // it, on both sides, naming the mode field.
     let cfg = ProtocolConfig::new(
         DbscanParams {
             eps_sq: 4,
@@ -158,15 +164,18 @@ fn mode_mismatch_between_protocols_is_detected() {
         10,
     );
     let points = vec![Point::new(vec![0, 0]), Point::new(vec![1, 1])];
-    let result = ppdbscan::driver::run_pair(
-        |mut chan| {
-            let mut r = rng(7);
-            horizontal_party(&mut chan, &cfg, &points, Party::Alice, &mut r)
-        },
-        |mut chan| {
-            let mut r = rng(8);
-            ppdbscan::vertical::vertical_party(&mut chan, &cfg, &points, Party::Bob, &mut r)
-        },
+    let result = ppdbscan::session::run_participants(
+        Participant::new(cfg)
+            .role(Party::Alice)
+            .data(PartyData::Horizontal(points.clone()))
+            .rng(rng(7)),
+        Participant::new(cfg)
+            .role(Party::Bob)
+            .data(PartyData::Vertical(points))
+            .rng(rng(8)),
     );
-    assert!(result.is_err());
+    match result.unwrap_err() {
+        CoreError::HandshakeMismatch { field, .. } => assert_eq!(field, "mode"),
+        other => panic!("wanted HandshakeMismatch on mode, got {other:?}"),
+    }
 }

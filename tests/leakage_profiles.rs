@@ -8,18 +8,14 @@
 //! * Theorem 11 (enhanced): querier learns one core-point **bit** per
 //!   query; counts never appear anywhere.
 
+mod common;
+
+use common::{rng, run_enhanced_pair, run_horizontal_pair, run_vertical_pair};
 use ppdbscan::config::ProtocolConfig;
-use ppdbscan::driver::{run_enhanced_pair, run_horizontal_pair, run_vertical_pair};
 use ppdbscan::VerticalPartition;
 use ppds_dbscan::datagen::{split_alternating, standard_blobs};
 use ppds_dbscan::{DbscanParams, Point, Quantizer};
 use ppds_smc::LeakageEvent;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
-}
 
 fn cfg(eps_sq: u64, min_pts: usize, bound: i64) -> ProtocolConfig {
     ProtocolConfig::new(DbscanParams { eps_sq, min_pts }, bound)

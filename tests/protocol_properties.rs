@@ -5,10 +5,10 @@
 //! instance sizes small — each case still runs the complete Paillier +
 //! comparison pipeline on two threads.
 
+mod common;
+
+use common::{run_arbitrary_pair, run_enhanced_pair, run_horizontal_pair, run_vertical_pair};
 use ppdbscan::config::ProtocolConfig;
-use ppdbscan::driver::{
-    run_arbitrary_pair, run_enhanced_pair, run_horizontal_pair, run_vertical_pair,
-};
 use ppdbscan::{ArbitraryPartition, VerticalPartition};
 use ppds_dbscan::{dbscan, dbscan_with_external_density, DbscanParams, Point};
 use proptest::prelude::*;

@@ -1,24 +1,33 @@
 //! Deployment and accounting tests: the protocols over real TCP sockets,
 //! and the communication-complexity shape checks behind experiments E1/E2.
 
+mod common;
+
+use common::{rng, run_horizontal_pair, run_vertical_pair};
 use ppdbscan::config::ProtocolConfig;
-use ppdbscan::driver::{run_horizontal_pair, run_vertical_pair};
-use ppdbscan::horizontal::horizontal_party;
-use ppdbscan::vertical::vertical_party;
+use ppdbscan::session::{Participant, PartyData, SessionOutcome, WIRE_VERSION};
 use ppdbscan::VerticalPartition;
 use ppds_dbscan::{dbscan, dbscan_with_external_density, DbscanParams, Point};
 use ppds_smc::Party;
 use ppds_transport::tcp::TcpChannel;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::net::TcpListener;
-
-fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
-}
 
 fn cfg(eps_sq: u64, min_pts: usize, bound: i64) -> ProtocolConfig {
     ProtocolConfig::new(DbscanParams { eps_sq, min_pts }, bound)
+}
+
+/// Runs one participant over a real TCP socket: the accepting side listens
+/// on an ephemeral port, the connecting side dials it.
+fn over_tcp(
+    listener: Option<TcpListener>,
+    addr: std::net::SocketAddr,
+    participant: Participant,
+) -> SessionOutcome {
+    let mut chan = match listener {
+        Some(listener) => TcpChannel::accept(&listener).unwrap(),
+        None => TcpChannel::connect(addr).unwrap(),
+    };
+    participant.run(&mut chan).unwrap()
 }
 
 #[test]
@@ -33,16 +42,22 @@ fn horizontal_protocol_over_real_tcp_sockets() {
 
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
-    let alice_clone = alice.clone();
-    let alice_thread = std::thread::spawn(move || {
-        let mut chan = TcpChannel::accept(&listener).unwrap();
-        let mut r = rng(1);
-        horizontal_party(&mut chan, &c, &alice_clone, Party::Alice, &mut r).unwrap()
-    });
-    let mut chan = TcpChannel::connect(addr).unwrap();
-    let mut r = rng(2);
-    let b_out = horizontal_party(&mut chan, &c, &bob, Party::Bob, &mut r).unwrap();
-    let a_out = alice_thread.join().unwrap();
+    let alice_participant = Participant::new(c)
+        .role(Party::Alice)
+        .data(PartyData::Horizontal(alice.clone()))
+        .rng(rng(1));
+    let alice_thread =
+        std::thread::spawn(move || over_tcp(Some(listener), addr, alice_participant));
+    let b_outcome = over_tcp(
+        None,
+        addr,
+        Participant::new(c)
+            .role(Party::Bob)
+            .data(PartyData::Horizontal(bob.clone()))
+            .rng(rng(2)),
+    );
+    let a_outcome = alice_thread.join().unwrap();
+    let (a_out, b_out) = (&a_outcome.output, &b_outcome.output);
 
     assert_eq!(
         a_out.clustering,
@@ -52,6 +67,10 @@ fn horizontal_protocol_over_real_tcp_sockets() {
         b_out.clustering,
         dbscan_with_external_density(&bob, &alice, c.params)
     );
+    // The negotiated metadata survives the real socket unchanged.
+    assert_eq!(a_outcome.meta.wire_version, WIRE_VERSION);
+    assert_eq!(a_outcome.meta.peers[0].n, bob.len());
+    assert_eq!(b_outcome.meta.peers[0].n, alice.len());
     // TCP and in-memory transports must charge identical traffic: with the
     // same seeds the transcript is identical, so the full MetricsSnapshot
     // (bytes and messages, both directions) must match exactly.
@@ -74,16 +93,22 @@ fn vertical_protocol_over_real_tcp_sockets() {
 
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
-    let alice_attrs = partition.alice.clone();
-    let alice_thread = std::thread::spawn(move || {
-        let mut chan = TcpChannel::accept(&listener).unwrap();
-        let mut r = rng(3);
-        vertical_party(&mut chan, &c, &alice_attrs, Party::Alice, &mut r).unwrap()
-    });
-    let mut chan = TcpChannel::connect(addr).unwrap();
-    let mut r = rng(4);
-    let b_out = vertical_party(&mut chan, &c, &partition.bob, Party::Bob, &mut r).unwrap();
-    let a_out = alice_thread.join().unwrap();
+    let alice_participant = Participant::new(c)
+        .role(Party::Alice)
+        .data(PartyData::Vertical(partition.alice.clone()))
+        .rng(rng(3));
+    let alice_thread =
+        std::thread::spawn(move || over_tcp(Some(listener), addr, alice_participant));
+    let b_out = over_tcp(
+        None,
+        addr,
+        Participant::new(c)
+            .role(Party::Bob)
+            .data(PartyData::Vertical(partition.bob.clone()))
+            .rng(rng(4)),
+    )
+    .output;
+    let a_out = alice_thread.join().unwrap().output;
 
     let reference = dbscan(&records, c.params);
     assert_eq!(a_out.clustering, reference);
@@ -104,16 +129,23 @@ fn batched_vertical_protocol_over_real_tcp_sockets() {
 
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
-    let alice_attrs = partition.alice.clone();
-    let alice_thread = std::thread::spawn(move || {
-        let mut chan = TcpChannel::accept(&listener).unwrap();
-        let mut r = rng(30);
-        vertical_party(&mut chan, &c, &alice_attrs, Party::Alice, &mut r).unwrap()
-    });
-    let mut chan = TcpChannel::connect(addr).unwrap();
-    let mut r = rng(31);
-    let b_out = vertical_party(&mut chan, &c, &partition.bob, Party::Bob, &mut r).unwrap();
-    let a_out = alice_thread.join().unwrap();
+    let alice_participant = Participant::new(c)
+        .role(Party::Alice)
+        .data(PartyData::Vertical(partition.alice.clone()))
+        .rng(rng(30));
+    let alice_thread =
+        std::thread::spawn(move || over_tcp(Some(listener), addr, alice_participant));
+    let b_outcome = over_tcp(
+        None,
+        addr,
+        Participant::new(c)
+            .role(Party::Bob)
+            .data(PartyData::Vertical(partition.bob.clone()))
+            .rng(rng(31)),
+    );
+    let a_outcome = alice_thread.join().unwrap();
+    assert!(a_outcome.meta.batching && b_outcome.meta.batching);
+    let (a_out, b_out) = (a_outcome.output, b_outcome.output);
 
     assert_eq!(a_out.clustering, dbscan(&records, c.params));
     let (mem_a, mem_b) = run_vertical_pair(&c, &partition, rng(30), rng(31)).unwrap();
