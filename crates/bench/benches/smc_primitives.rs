@@ -9,6 +9,7 @@ use ppds_paillier::Keypair;
 use ppds_smc::compare::{compare_alice, compare_bob, CmpOp, Comparator, ComparisonDomain};
 use ppds_smc::kth::{kth_smallest_alice, kth_smallest_bob, SelectionMethod};
 use ppds_smc::multiplication::{dot_keyholder, dot_peer, mul_keyholder, mul_peer};
+use ppds_smc::ProtocolContext;
 use ppds_transport::duplex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -30,16 +31,20 @@ fn bench_multiplication(c: &mut Criterion) {
         b.iter(|| {
             let (mut kchan, mut pchan) = duplex();
             let handle = std::thread::spawn(move || {
-                let mut r = rng(1);
-                mul_keyholder(&mut kchan, keypair(), &BigInt::from_i64(37), &mut r).unwrap()
+                mul_keyholder(
+                    &mut kchan,
+                    keypair(),
+                    &BigInt::from_i64(37),
+                    &ProtocolContext::new(1),
+                )
+                .unwrap()
             });
-            let mut r = rng(2);
             mul_peer(
                 &mut pchan,
                 &keypair().public,
                 &BigInt::from_i64(53),
                 &BigUint::from_u64(1 << 30),
-                &mut r,
+                &ProtocolContext::new(2),
             )
             .unwrap();
             handle.join().unwrap()
@@ -53,16 +58,14 @@ fn bench_multiplication(c: &mut Criterion) {
                 let (mut kchan, mut pchan) = duplex();
                 let xs2 = xs.clone();
                 let handle = std::thread::spawn(move || {
-                    let mut r = rng(3);
-                    dot_keyholder(&mut kchan, keypair(), &xs2, &mut r).unwrap()
+                    dot_keyholder(&mut kchan, keypair(), &xs2, &ProtocolContext::new(3)).unwrap()
                 });
-                let mut r = rng(4);
                 dot_peer(
                     &mut pchan,
                     &keypair().public,
                     &ys,
                     &BigUint::from_u64(1 << 30),
-                    &mut r,
+                    &ProtocolContext::new(4),
                 )
                 .unwrap();
                 handle.join().unwrap()
@@ -81,7 +84,6 @@ fn bench_yao(c: &mut Criterion) {
             b.iter(|| {
                 let (mut achan, mut bchan) = duplex();
                 let handle = std::thread::spawn(move || {
-                    let mut r = rng(5);
                     compare_alice(
                         Comparator::Yao,
                         &mut achan,
@@ -89,11 +91,10 @@ fn bench_yao(c: &mut Criterion) {
                         2,
                         CmpOp::Lt,
                         &domain,
-                        &mut r,
+                        &ProtocolContext::new(5),
                     )
                     .unwrap()
                 });
-                let mut r = rng(6);
                 compare_bob(
                     Comparator::Yao,
                     &mut bchan,
@@ -101,7 +102,7 @@ fn bench_yao(c: &mut Criterion) {
                     5,
                     CmpOp::Lt,
                     &domain,
-                    &mut r,
+                    &ProtocolContext::new(6),
                 )
                 .unwrap();
                 handle.join().unwrap()
@@ -117,7 +118,6 @@ fn bench_ideal_compare(c: &mut Criterion) {
         b.iter(|| {
             let (mut achan, mut bchan) = duplex();
             let handle = std::thread::spawn(move || {
-                let mut r = rng(7);
                 compare_alice(
                     Comparator::Ideal,
                     &mut achan,
@@ -125,11 +125,10 @@ fn bench_ideal_compare(c: &mut Criterion) {
                     123,
                     CmpOp::Leq,
                     &domain,
-                    &mut r,
+                    &ProtocolContext::new(7),
                 )
                 .unwrap()
             });
-            let mut r = rng(8);
             compare_bob(
                 Comparator::Ideal,
                 &mut bchan,
@@ -137,7 +136,7 @@ fn bench_ideal_compare(c: &mut Criterion) {
                 456,
                 CmpOp::Leq,
                 &domain,
-                &mut r,
+                &ProtocolContext::new(8),
             )
             .unwrap();
             handle.join().unwrap()
@@ -164,7 +163,6 @@ fn bench_kth_selection(c: &mut Criterion) {
                 let (mut achan, mut bchan) = duplex();
                 let us2 = us.clone();
                 let handle = std::thread::spawn(move || {
-                    let mut ar = rng(10);
                     kth_smallest_alice(
                         method,
                         Comparator::Ideal,
@@ -173,11 +171,10 @@ fn bench_kth_selection(c: &mut Criterion) {
                         &us2,
                         k,
                         &domain,
-                        &mut ar,
+                        &ProtocolContext::new(10),
                     )
                     .unwrap()
                 });
-                let mut br = rng(11);
                 kth_smallest_bob(
                     method,
                     Comparator::Ideal,
@@ -186,7 +183,7 @@ fn bench_kth_selection(c: &mut Criterion) {
                     &vs,
                     k,
                     &domain,
-                    &mut br,
+                    &ProtocolContext::new(11),
                 )
                 .unwrap();
                 handle.join().unwrap()
@@ -213,19 +210,22 @@ fn bench_batching_ablation(c: &mut Criterion) {
             let (mut kchan, mut pchan) = duplex();
             let xs2 = xs.clone();
             let handle = std::thread::spawn(move || {
-                let mut r = rng(20);
+                let kctx = ProtocolContext::new(20);
                 xs2.iter()
-                    .map(|x| mul_keyholder(&mut kchan, keypair(), x, &mut r).unwrap())
+                    .enumerate()
+                    .map(|(i, x)| {
+                        mul_keyholder(&mut kchan, keypair(), x, &kctx.at(i as u64)).unwrap()
+                    })
                     .collect::<Vec<_>>()
             });
-            let mut r = rng(21);
-            for y in &ys {
+            let pctx = ProtocolContext::new(21);
+            for (i, y) in ys.iter().enumerate() {
                 mul_peer(
                     &mut pchan,
                     &keypair().public,
                     y,
                     &BigUint::from_u64(1 << 20),
-                    &mut r,
+                    &pctx.at(i as u64),
                 )
                 .unwrap();
             }
@@ -239,15 +239,92 @@ fn bench_batching_ablation(c: &mut Criterion) {
             let (mut kchan, mut pchan) = duplex();
             let xs2 = xs.clone();
             let handle = std::thread::spawn(move || {
-                let mut r = rng(22);
-                mul_batch_keyholder(&mut kchan, keypair(), &xs2, &mut r).unwrap()
+                mul_batch_keyholder(&mut kchan, keypair(), &xs2, &ProtocolContext::new(22)).unwrap()
             });
-            let mut r = rng(23);
-            let masks = zero_sum_masks(&mut r, ys.len(), &BigUint::from_u64(1 << 20));
-            mul_batch_peer(&mut pchan, &keypair().public, &ys, &masks, &mut r).unwrap();
+            let pctx = ProtocolContext::new(23);
+            let masks = zero_sum_masks(
+                pctx.narrow("mask").rng(),
+                ys.len(),
+                &BigUint::from_u64(1 << 20),
+            );
+            mul_batch_peer(&mut pchan, &keypair().public, &ys, &masks, &pctx).unwrap();
             handle.join().unwrap()
         });
     });
+    group.finish();
+}
+
+/// Keyed-substream discipline overhead: deriving one generator per record
+/// (`ctx.rng_for(i)` — the cost the DGK batch path now pays per item)
+/// versus advancing one threaded sequential stream (the old discipline).
+/// The derivation is a handful of 64-bit multiplies per record, which the
+/// first Paillier exponentiation dwarfs by orders of magnitude.
+fn bench_keyed_derivation(c: &mut Criterion) {
+    use criterion::black_box;
+    use rand::RngCore;
+    let mut group = c.benchmark_group("randomness_discipline_1024_draws");
+    group.bench_function("keyed_substreams", |b| {
+        let ctx = ProtocolContext::new(7).narrow("dgk");
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1024u64 {
+                acc ^= ctx.rng_for(black_box(i)).next_u64();
+            }
+            acc
+        });
+    });
+    group.bench_function("sequential_stream", |b| {
+        b.iter(|| {
+            let mut r = rng(7);
+            let mut acc = 0u64;
+            for _ in 0..1024 {
+                acc ^= r.next_u64();
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+/// Order-independent draws unlock parallel batch evaluation: the DGK batch
+/// encryption path (Bob's masked comparison vectors are the analogous hot
+/// loop) run on 1 worker vs 4. On a single-CPU host both rows are flat;
+/// on a multicore host the 4-worker row shows the speedup. Outputs are
+/// byte-identical either way (pinned by the smc parallel tests).
+fn bench_parallel_batch_encryption(c: &mut Criterion) {
+    use ppds_smc::multiplication::mul_batches_keyholder;
+    use ppds_smc::parallel::force_workers;
+    let groups: Vec<Vec<BigInt>> = (0..16)
+        .map(|g| (0..4).map(|i| BigInt::from_i64(g * 4 + i)).collect())
+        .collect();
+    let mut group = c.benchmark_group("batch_encryption_16x4_256bit");
+    group.sample_size(10);
+    for workers in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let _guard = force_workers(workers);
+                    let (mut kchan, mut pchan) = duplex();
+                    let groups2 = groups.clone();
+                    let handle = std::thread::spawn(move || {
+                        let kctx = ProtocolContext::new(30).narrow("mul");
+                        mul_batches_keyholder(&mut kchan, keypair(), &groups2, |g| {
+                            kctx.at(g as u64)
+                        })
+                        .unwrap()
+                    });
+                    // Absorb and answer with the ciphertexts unchanged so the
+                    // bench isolates the keyholder's encrypt+decrypt work.
+                    use ppds_transport::Channel;
+                    let cts: Vec<Vec<ppds_bigint::BigUint>> = pchan.recv_batch().unwrap();
+                    pchan.send_batch(&cts).unwrap();
+                    handle.join().unwrap()
+                });
+            },
+        );
+    }
     group.finish();
 }
 
@@ -257,6 +334,8 @@ criterion_group!(
     bench_yao,
     bench_ideal_compare,
     bench_kth_selection,
-    bench_batching_ablation
+    bench_batching_ablation,
+    bench_keyed_derivation,
+    bench_parallel_batch_encryption
 );
 criterion_main!(benches);

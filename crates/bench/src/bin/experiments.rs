@@ -27,6 +27,7 @@ use ppds_smc::compare::{compare_alice, compare_bob, CmpOp, Comparator, Compariso
 use ppds_smc::kth::{kth_smallest_alice, kth_smallest_bob, SelectionMethod};
 use ppds_smc::millionaires;
 use ppds_smc::multiplication::{mul_keyholder, mul_peer};
+use ppds_smc::ProtocolContext;
 use ppds_transport::{duplex, Channel, CostModel};
 use std::time::Instant;
 
@@ -354,13 +355,19 @@ fn e6() {
         let (mut kchan, mut pchan) = duplex();
         let kp = keypair.clone();
         let handle = std::thread::spawn(move || {
-            let mut r = rng(41);
+            let kctx = ProtocolContext::new(41);
             for i in 0..reps {
-                let _ = mul_keyholder(&mut kchan, &kp, &BigInt::from_i64(37 + i), &mut r).unwrap();
+                let _ = mul_keyholder(
+                    &mut kchan,
+                    &kp,
+                    &BigInt::from_i64(37 + i),
+                    &kctx.at(i as u64),
+                )
+                .unwrap();
             }
             kchan.metrics()
         });
-        let mut r = rng(42);
+        let pctx = ProtocolContext::new(42);
         let t0 = Instant::now();
         for i in 0..reps {
             mul_peer(
@@ -368,7 +375,7 @@ fn e6() {
                 &keypair.public,
                 &BigInt::from_i64(53 + i),
                 &BigUint::from_u64(1 << 30),
-                &mut r,
+                &pctx.at(i as u64),
             )
             .unwrap();
         }
@@ -403,7 +410,6 @@ fn e7() {
         let (mut achan, mut bchan) = duplex();
         let kp = keypair.clone();
         let handle = std::thread::spawn(move || {
-            let mut r = rng(51);
             compare_alice(
                 Comparator::Yao,
                 &mut achan,
@@ -411,12 +417,11 @@ fn e7() {
                 2,
                 CmpOp::Lt,
                 &domain,
-                &mut r,
+                &ProtocolContext::new(51),
             )
             .unwrap();
             achan.metrics()
         });
-        let mut r = rng(52);
         let t0 = Instant::now();
         compare_bob(
             Comparator::Yao,
@@ -425,7 +430,7 @@ fn e7() {
             5.min(n0 as i64 - 2),
             CmpOp::Lt,
             &domain,
-            &mut r,
+            &ProtocolContext::new(52),
         )
         .unwrap();
         let elapsed = t0.elapsed();
@@ -466,7 +471,6 @@ fn e8() {
                 let (mut achan, mut bchan) = duplex();
                 let kp = keypair.clone();
                 let handle = std::thread::spawn(move || {
-                    let mut ar = rng(62);
                     kth_smallest_alice(
                         method,
                         Comparator::Ideal,
@@ -475,11 +479,10 @@ fn e8() {
                         &us,
                         k,
                         &domain,
-                        &mut ar,
+                        &ProtocolContext::new(62),
                     )
                     .unwrap()
                 });
-                let mut br = rng(63);
                 let outcome = kth_smallest_bob(
                     method,
                     Comparator::Ideal,
@@ -488,7 +491,7 @@ fn e8() {
                     &vs,
                     k,
                     &domain,
-                    &mut br,
+                    &ProtocolContext::new(63),
                 )
                 .unwrap();
                 let _ = handle.join().unwrap();
@@ -672,14 +675,19 @@ fn e10() -> Vec<BatchBenchRow> {
 }
 
 /// Serializes the sweep as the machine-readable bench trajectory. The
-/// top-level `wire_version` records the session-handshake format the run
-/// used, so trajectories stay comparable across handshake changes (frame
-/// sizes shift slightly between versions; rounds and message counts do
-/// not).
+/// top-level `wire_version` records the session-handshake format and
+/// `randomness` the RNG discipline (`keyed-v1` = `ProtocolContext`
+/// substreams) the run used, so a reader knows which builds a trajectory
+/// is comparable with: frame sizes shift slightly between wire versions,
+/// and counts that depend on drawn values (the enhanced protocol's
+/// quickselect partition paths depend on the masks) shift when the
+/// derivation scheme changes. Data-independent counts (horizontal,
+/// vertical, arbitrary rounds/messages) are stable across both.
 fn write_bench_json(path: &str, rows: &[BatchBenchRow]) {
     let mut out = format!(
-        "{{\n  \"wire_version\": {},\n  \"workload\": {{\"n\": 36, \"dim\": 2, \"generator\": \"standard_blobs\"}},\n  \"protocols\": [\n",
-        ppdbscan::session::WIRE_VERSION
+        "{{\n  \"wire_version\": {},\n  \"randomness\": \"{}\",\n  \"workload\": {{\"n\": 36, \"dim\": 2, \"generator\": \"standard_blobs\"}},\n  \"protocols\": [\n",
+        ppdbscan::session::WIRE_VERSION,
+        ppds_smc::context::RANDOMNESS_DISCIPLINE
     );
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!(

@@ -27,9 +27,8 @@ use ppds_smc::compare::{
 use ppds_smc::multiplication::{
     mul_batch_keyholder, mul_batch_peer, mul_batches_keyholder, mul_batches_peer, zero_sum_masks,
 };
-use ppds_smc::SmcError;
+use ppds_smc::{ProtocolContext, SmcError};
 use ppds_transport::Channel;
-use rand::Rng;
 
 /// One party's view of a record pair: its own values (`Some`) per
 /// attribute, for records `x` and `y`.
@@ -71,16 +70,19 @@ fn classify(view: &PairView<'_>) -> LocalParts {
     }
 }
 
-/// Alice's side of one arbitrary-partition comparison. Returns
+/// Alice's side of one arbitrary-partition comparison. `ctx` is this
+/// pair's record scope and `record` its index in the candidate set (the
+/// keys the batched form derives for the same pair). Returns
 /// `dist²(x, y) ≤ Eps²`.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
-pub fn adp_compare_alice<C: Channel, R: Rng + ?Sized>(
+pub fn adp_compare_alice<C: Channel>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     my_keypair: &Keypair,
     bob_pk: &PublicKey,
     view: PairView<'_>,
-    rng: &mut R,
+    ctx: &ProtocolContext,
+    record: u64,
     ledger: &mut YaoLedger,
 ) -> Result<bool, SmcError> {
     let total_dim = view.x.len();
@@ -92,8 +94,12 @@ pub fn adp_compare_alice<C: Channel, R: Rng + ?Sized>(
             .iter()
             .map(|&v| BigInt::from_i64(v))
             .collect();
-        let masks = zero_sum_masks(rng, ys.len(), &cfg.mul_mask_bound());
-        mul_batch_peer(chan, bob_pk, &ys, &masks, rng)?;
+        let masks = zero_sum_masks(
+            ctx.narrow("mask").rng_for(record),
+            ys.len(),
+            &cfg.mul_mask_bound(),
+        );
+        mul_batch_peer(chan, bob_pk, &ys, &masks, &ctx.narrow("mul").at(record))?;
     }
     let i_val = parts.both_owned + parts.split_endpoints.iter().map(|&v| v * v).sum::<i64>();
     let domain = adp_domain(cfg, total_dim);
@@ -105,19 +111,20 @@ pub fn adp_compare_alice<C: Channel, R: Rng + ?Sized>(
         i_val,
         CmpOp::Leq,
         &domain,
-        rng,
+        &ctx.narrow("cmp").at(record),
     )
 }
 
 /// Bob's side of one arbitrary-partition comparison.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
-pub fn adp_compare_bob<C: Channel, R: Rng + ?Sized>(
+pub fn adp_compare_bob<C: Channel>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     my_keypair: &Keypair,
     alice_pk: &PublicKey,
     view: PairView<'_>,
-    rng: &mut R,
+    ctx: &ProtocolContext,
+    record: u64,
     ledger: &mut YaoLedger,
 ) -> Result<bool, SmcError> {
     let total_dim = view.x.len();
@@ -129,7 +136,7 @@ pub fn adp_compare_bob<C: Channel, R: Rng + ?Sized>(
             .iter()
             .map(|&v| BigInt::from_i64(v))
             .collect();
-        let ws = mul_batch_keyholder(chan, my_keypair, &xs, rng)?;
+        let ws = mul_batch_keyholder(chan, my_keypair, &xs, &ctx.narrow("mul").at(record))?;
         cross = ws
             .iter()
             .fold(BigInt::zero(), |acc, w| &acc + w)
@@ -147,7 +154,7 @@ pub fn adp_compare_bob<C: Channel, R: Rng + ?Sized>(
         j_val,
         CmpOp::Leq,
         &domain,
-        rng,
+        &ctx.narrow("cmp").at(record),
     )
 }
 
@@ -155,40 +162,46 @@ pub fn adp_compare_bob<C: Channel, R: Rng + ?Sized>(
 /// `cfg.batching`: batched mode runs [`adp_compare_batch_alice`],
 /// reference mode one [`adp_compare_alice`] ping-pong per pair. Outcomes
 /// are identical either way.
-pub fn adp_compare_set_alice<C: Channel, R: Rng + ?Sized>(
+pub fn adp_compare_set_alice<C: Channel>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     my_keypair: &Keypair,
     bob_pk: &PublicKey,
     views: &[PairView<'_>],
-    rng: &mut R,
+    ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
 ) -> Result<Vec<bool>, SmcError> {
     if cfg.batching {
-        return adp_compare_batch_alice(chan, cfg, my_keypair, bob_pk, views, rng, ledger);
+        return adp_compare_batch_alice(chan, cfg, my_keypair, bob_pk, views, ctx, ledger);
     }
     views
         .iter()
-        .map(|&view| adp_compare_alice(chan, cfg, my_keypair, bob_pk, view, rng, ledger))
+        .enumerate()
+        .map(|(i, &view)| {
+            adp_compare_alice(chan, cfg, my_keypair, bob_pk, view, ctx, i as u64, ledger)
+        })
         .collect()
 }
 
 /// Bob's side of [`adp_compare_set_alice`].
-pub fn adp_compare_set_bob<C: Channel, R: Rng + ?Sized>(
+pub fn adp_compare_set_bob<C: Channel>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     my_keypair: &Keypair,
     alice_pk: &PublicKey,
     views: &[PairView<'_>],
-    rng: &mut R,
+    ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
 ) -> Result<Vec<bool>, SmcError> {
     if cfg.batching {
-        return adp_compare_batch_bob(chan, cfg, my_keypair, alice_pk, views, rng, ledger);
+        return adp_compare_batch_bob(chan, cfg, my_keypair, alice_pk, views, ctx, ledger);
     }
     views
         .iter()
-        .map(|&view| adp_compare_bob(chan, cfg, my_keypair, alice_pk, view, rng, ledger))
+        .enumerate()
+        .map(|(i, &view)| {
+            adp_compare_bob(chan, cfg, my_keypair, alice_pk, view, ctx, i as u64, ledger)
+        })
         .collect()
 }
 
@@ -198,13 +211,13 @@ pub fn adp_compare_set_bob<C: Channel, R: Rng + ?Sized>(
 /// decides all pairs — 5 rounds per neighborhood instead of 5 per pair.
 /// Outcome `r[i]` equals [`adp_compare_alice`] on `views[i]`; the per-pair
 /// zero-sum masks cancel exactly as in the sequential run.
-pub fn adp_compare_batch_alice<C: Channel, R: Rng + ?Sized>(
+pub fn adp_compare_batch_alice<C: Channel>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     my_keypair: &Keypair,
     bob_pk: &PublicKey,
     views: &[PairView<'_>],
-    rng: &mut R,
+    ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
 ) -> Result<Vec<bool>, SmcError> {
     if views.is_empty() {
@@ -216,12 +229,17 @@ pub fn adp_compare_batch_alice<C: Channel, R: Rng + ?Sized>(
     // Protocol run. Pairs without split attributes are excluded from the
     // batch, exactly as the sequential protocol skips their exchange —
     // ownership is complementary, so both parties filter identically and
-    // logical message counts match the unbatched run.
-    let ys_groups: Vec<Vec<BigInt>> = parts
+    // logical message counts match the unbatched run. Each group keys its
+    // randomness by the pair's *candidate index*, matching the sequential
+    // [`adp_compare_alice`] call for that pair.
+    let split_pairs: Vec<usize> = (0..parts.len())
+        .filter(|&i| !parts[i].split_endpoints.is_empty())
+        .collect();
+    let ys_groups: Vec<Vec<BigInt>> = split_pairs
         .iter()
-        .filter(|p| !p.split_endpoints.is_empty())
-        .map(|p| {
-            p.split_endpoints
+        .map(|&i| {
+            parts[i]
+                .split_endpoints
                 .iter()
                 .map(|&v| BigInt::from_i64(v))
                 .collect()
@@ -229,12 +247,20 @@ pub fn adp_compare_batch_alice<C: Channel, R: Rng + ?Sized>(
         .collect();
     if !ys_groups.is_empty() {
         let bound = cfg.mul_mask_bound();
+        let mask_ctx = ctx.narrow("mask");
+        let mul_ctx = ctx.narrow("mul");
         mul_batches_peer(
             chan,
             bob_pk,
             &ys_groups,
-            |rng, g| zero_sum_masks(rng, ys_groups[g].len(), &bound),
-            rng,
+            |g| {
+                zero_sum_masks(
+                    mask_ctx.rng_for(split_pairs[g] as u64),
+                    ys_groups[g].len(),
+                    &bound,
+                )
+            },
+            |g| mul_ctx.at(split_pairs[g] as u64),
         )?;
     }
     let domain = adp_domain(cfg, total_dim);
@@ -252,18 +278,18 @@ pub fn adp_compare_batch_alice<C: Channel, R: Rng + ?Sized>(
         &i_vals,
         CmpOp::Leq,
         &domain,
-        rng,
+        &ctx.narrow("cmp"),
     )
 }
 
 /// Round-batched Bob side of [`adp_compare_batch_alice`].
-pub fn adp_compare_batch_bob<C: Channel, R: Rng + ?Sized>(
+pub fn adp_compare_batch_bob<C: Channel>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     my_keypair: &Keypair,
     alice_pk: &PublicKey,
     views: &[PairView<'_>],
-    rng: &mut R,
+    ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
 ) -> Result<Vec<bool>, SmcError> {
     if views.is_empty() {
@@ -286,7 +312,10 @@ pub fn adp_compare_batch_bob<C: Channel, R: Rng + ?Sized>(
                     .collect()
             })
             .collect();
-        let ws_groups = mul_batches_keyholder(chan, my_keypair, &xs_groups, rng)?;
+        let mul_ctx = ctx.narrow("mul");
+        let ws_groups = mul_batches_keyholder(chan, my_keypair, &xs_groups, |g| {
+            mul_ctx.at(split_pairs[g] as u64)
+        })?;
         for (&i, ws) in split_pairs.iter().zip(&ws_groups) {
             crosses[i] = ws
                 .iter()
@@ -312,7 +341,7 @@ pub fn adp_compare_batch_bob<C: Channel, R: Rng + ?Sized>(
         &j_vals,
         CmpOp::Leq,
         &domain,
-        rng,
+        &ctx.narrow("cmp"),
     )
 }
 
@@ -320,7 +349,7 @@ pub fn adp_compare_batch_bob<C: Channel, R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::partition::ArbitraryPartition;
-    use crate::test_helpers::rng;
+    use crate::test_helpers::{ctx, rng};
     use ppds_dbscan::{dist_sq, DbscanParams, Point};
     use ppds_transport::duplex;
     use std::sync::OnceLock;
@@ -341,7 +370,6 @@ mod tests {
         let ax = part.alice_values[x].clone();
         let ay = part.alice_values[y].clone();
         let a = std::thread::spawn(move || {
-            let mut r = rng(600 + x as u64);
             let mut ledger = YaoLedger::default();
             adp_compare_alice(
                 &mut achan,
@@ -349,12 +377,12 @@ mod tests {
                 alice_kp(),
                 &bob_kp().public,
                 PairView { x: &ax, y: &ay },
-                &mut r,
+                &ctx(600 + x as u64),
+                0,
                 &mut ledger,
             )
             .unwrap()
         });
-        let mut r = rng(700 + y as u64);
         let mut ledger = YaoLedger::default();
         let bob_view = adp_compare_bob(
             &mut bchan,
@@ -365,7 +393,8 @@ mod tests {
                 x: &part.bob_values[x],
                 y: &part.bob_values[y],
             },
-            &mut r,
+            &ctx(700 + y as u64),
+            0,
             &mut ledger,
         )
         .unwrap();
@@ -429,7 +458,6 @@ mod tests {
             .collect();
         let a = std::thread::spawn(move || {
             let views: Vec<PairView<'_>> = a_views.iter().map(|(x, y)| PairView { x, y }).collect();
-            let mut r = rng(800);
             let mut ledger = YaoLedger::default();
             let out = adp_compare_batch_alice(
                 &mut achan,
@@ -437,7 +465,7 @@ mod tests {
                 alice_kp(),
                 &bob_kp().public,
                 &views,
-                &mut r,
+                &ctx(800),
                 &mut ledger,
             )
             .unwrap();
@@ -450,7 +478,6 @@ mod tests {
                 y: &part.bob_values[y],
             })
             .collect();
-        let mut r = rng(900);
         let mut ledger = YaoLedger::default();
         let bob = adp_compare_batch_bob(
             &mut bchan,
@@ -458,7 +485,7 @@ mod tests {
             bob_kp(),
             &alice_kp().public,
             &b_views,
-            &mut r,
+            &ctx(900),
             &mut ledger,
         )
         .unwrap();

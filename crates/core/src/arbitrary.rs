@@ -21,9 +21,8 @@ use crate::session::{
 };
 use crate::vertical::lockstep_dbscan;
 use ppds_dbscan::Clustering;
-use ppds_smc::Party;
+use ppds_smc::{Party, ProtocolContext};
 use ppds_transport::Channel;
-use rand::Rng;
 
 /// The arbitrary-partition protocol as a [`ModeDriver`]. `values` is this
 /// party's view: per record, `Some(value)` exactly at the attributes it
@@ -81,16 +80,21 @@ impl ModeDriver for ArbitraryDriver<'_> {
         Ok(())
     }
 
-    fn execute<C: Channel, R: Rng + ?Sized>(
+    fn execute<C: Channel>(
         &self,
         chan: &mut C,
-        ctx: &ModeContext<'_>,
-        rng: &mut R,
+        mctx: &ModeContext<'_>,
+        ctx: &ProtocolContext,
         log: &mut SessionLog,
     ) -> Result<Clustering, CoreError> {
-        let (cfg, session, values) = (ctx.cfg, ctx.session, self.values);
+        let (cfg, session, values) = (mctx.cfg, mctx.session, self.values);
         let ledger = &mut log.ledger;
+        // One context instance per region query (see the vertical driver).
+        let region_ctx = ctx.narrow("region");
+        let mut q = 0u64;
         let dist_leq_set = |x: usize, ys: &[usize]| -> Result<Vec<bool>, CoreError> {
+            let qctx = region_ctx.at(q);
+            q += 1;
             let views: Vec<PairView<'_>> = ys
                 .iter()
                 .map(|&y| PairView {
@@ -98,14 +102,14 @@ impl ModeDriver for ArbitraryDriver<'_> {
                     y: &values[y],
                 })
                 .collect();
-            let result = match ctx.role {
+            let result = match mctx.role {
                 Party::Alice => adp_compare_set_alice(
                     chan,
                     cfg,
                     &session.my_keypair,
                     &session.peer_pk,
                     &views,
-                    rng,
+                    &qctx,
                     ledger,
                 )?,
                 Party::Bob => adp_compare_set_bob(
@@ -114,7 +118,7 @@ impl ModeDriver for ArbitraryDriver<'_> {
                     &session.my_keypair,
                     &session.peer_pk,
                     &views,
-                    rng,
+                    &qctx,
                     ledger,
                 )?,
             };
@@ -131,20 +135,21 @@ impl ModeDriver for ArbitraryDriver<'_> {
     since = "0.2.0",
     note = "use ppdbscan::session::Participant with PartyData::Arbitrary"
 )]
-pub fn arbitrary_party<C: Channel, R: Rng + ?Sized>(
+pub fn arbitrary_party<C: Channel>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     my_values: &[Vec<Option<i64>>],
     role: Party,
-    rng: &mut R,
+    rng: rand::rngs::StdRng,
 ) -> Result<PartyOutput, CoreError> {
+    let mut rng = rng;
     run_two_party(
         chan,
         cfg,
         &ArbitraryDriver { values: my_values },
         role,
         None,
-        rng,
+        &ProtocolContext::from_rng(&mut rng),
     )
     .map(|outcome| outcome.output)
 }

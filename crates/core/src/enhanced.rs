@@ -35,10 +35,9 @@ use ppds_smc::kth::{
     kth_smallest_alice, kth_smallest_alice_batched, kth_smallest_bob, kth_smallest_bob_batched,
 };
 use ppds_smc::multiplication::{dot_many_keyholder, dot_many_peer};
-use ppds_smc::{LeakageEvent, LeakageLog, Party, SmcError};
+use ppds_smc::{LeakageEvent, LeakageLog, Party, ProtocolContext, SmcError};
 use ppds_transport::Channel;
 use rand::seq::SliceRandom;
-use rand::Rng;
 
 fn share_to_i64(v: &BigInt) -> Result<i64, SmcError> {
     v.to_i64()
@@ -47,16 +46,17 @@ fn share_to_i64(v: &BigInt) -> Result<i64, SmcError> {
 
 /// Querier side of one enhanced core-point test. `own_count` is the size of
 /// the querier's *local* Eps-neighborhood of `query` (including the point
-/// itself). Returns whether `query` is a core point of the joint data.
+/// itself); `ctx` is this core test's context (the driver narrows per
+/// query). Returns whether `query` is a core point of the joint data.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
-pub fn enhanced_core_test_querier<C: Channel, R: Rng + ?Sized>(
+pub fn enhanced_core_test_querier<C: Channel>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     my_keypair: &Keypair,
     query: &Point,
     own_count: usize,
     responder_count: usize,
-    rng: &mut R,
+    ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
     leakage: &mut LeakageLog,
 ) -> Result<bool, SmcError> {
@@ -81,13 +81,14 @@ pub fn enhanced_core_test_querier<C: Channel, R: Rng + ?Sized>(
         xs.push(BigInt::from_i64(-2 * a));
     }
     xs.push(BigInt::from_i64(1));
-    let raw = dot_many_keyholder(chan, my_keypair, &xs, responder_count, rng)?;
+    let raw = dot_many_keyholder(chan, my_keypair, &xs, responder_count, &ctx.narrow("dot"))?;
     let shares: Vec<i64> = raw.iter().map(share_to_i64).collect::<Result<_, _>>()?;
 
     // Phase 2: k-th smallest shared distance. Batching runs quickselect
     // partitions as one comparison frame set per level (repeated-min is
     // inherently sequential and executes identically either way).
     let domain = enhanced_share_domain(cfg, dim);
+    let sel_ctx = ctx.narrow("sel");
     let outcome = if cfg.batching {
         kth_smallest_alice_batched(
             cfg.selection,
@@ -97,7 +98,7 @@ pub fn enhanced_core_test_querier<C: Channel, R: Rng + ?Sized>(
             &shares,
             k_needed,
             &domain,
-            rng,
+            &sel_ctx,
         )?
     } else {
         kth_smallest_alice(
@@ -108,7 +109,7 @@ pub fn enhanced_core_test_querier<C: Channel, R: Rng + ?Sized>(
             &shares,
             k_needed,
             &domain,
-            rng,
+            &sel_ctx,
         )?
     };
     for _ in 0..outcome.comparisons {
@@ -124,7 +125,7 @@ pub fn enhanced_core_test_querier<C: Channel, R: Rng + ?Sized>(
         shares[outcome.index],
         CmpOp::Leq,
         &domain,
-        rng,
+        &ctx.narrow("cmp"),
     )?;
     leakage.record(LeakageEvent::CorePointBit {
         query: "joint".into(),
@@ -135,13 +136,13 @@ pub fn enhanced_core_test_querier<C: Channel, R: Rng + ?Sized>(
 
 /// Responder side of one enhanced core-point test over `my_points`.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
-pub fn enhanced_core_respond<C: Channel, R: Rng + ?Sized>(
+pub fn enhanced_core_respond<C: Channel>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     querier_pk: &PublicKey,
     my_points: &[Point],
     dim: usize,
-    rng: &mut R,
+    ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
     leakage: &mut LeakageLog,
 ) -> Result<(), SmcError> {
@@ -163,7 +164,7 @@ pub fn enhanced_core_respond<C: Channel, R: Rng + ?Sized>(
 
     // Phase 1: masked dot products over a fresh permutation.
     let mut order: Vec<usize> = (0..my_points.len()).collect();
-    order.shuffle(rng);
+    order.shuffle(&mut ctx.narrow("perm").rng());
     let rows: Vec<Vec<BigInt>> = order
         .iter()
         .map(|&idx| {
@@ -178,11 +179,12 @@ pub fn enhanced_core_respond<C: Channel, R: Rng + ?Sized>(
         })
         .collect();
     let mask_bound = BigUint::from_u64(cfg.enhanced_mask_bound(dim));
-    let masks = dot_many_peer(chan, querier_pk, &rows, &mask_bound, rng)?;
+    let masks = dot_many_peer(chan, querier_pk, &rows, &mask_bound, &ctx.narrow("dot"))?;
     let shares: Vec<i64> = masks.iter().map(share_to_i64).collect::<Result<_, _>>()?;
 
     // Phase 2: mirror the selection (batched partitions when enabled).
     let domain = enhanced_share_domain(cfg, dim);
+    let sel_ctx = ctx.narrow("sel");
     let outcome = if cfg.batching {
         kth_smallest_bob_batched(
             cfg.selection,
@@ -192,7 +194,7 @@ pub fn enhanced_core_respond<C: Channel, R: Rng + ?Sized>(
             &shares,
             k,
             &domain,
-            rng,
+            &sel_ctx,
         )?
     } else {
         kth_smallest_bob(
@@ -203,7 +205,7 @@ pub fn enhanced_core_respond<C: Channel, R: Rng + ?Sized>(
             &shares,
             k,
             &domain,
-            rng,
+            &sel_ctx,
         )?
     };
     for _ in 0..outcome.comparisons {
@@ -219,7 +221,7 @@ pub fn enhanced_core_respond<C: Channel, R: Rng + ?Sized>(
         cfg.params.eps_sq as i64 + shares[outcome.index],
         CmpOp::Leq,
         &domain,
-        rng,
+        &ctx.narrow("cmp"),
     )?;
     if is_core {
         // The responder knows which of *his own* points ranked k-th and
@@ -250,17 +252,22 @@ impl ModeDriver for EnhancedDriver<'_> {
         Ok(())
     }
 
-    fn execute<C: Channel, R: Rng + ?Sized>(
+    fn execute<C: Channel>(
         &self,
         chan: &mut C,
-        ctx: &ModeContext<'_>,
-        rng: &mut R,
+        mctx: &ModeContext<'_>,
+        ctx: &ProtocolContext,
         log: &mut SessionLog,
     ) -> Result<Clustering, CoreError> {
-        let (cfg, session, points) = (ctx.cfg, ctx.session, self.points);
+        let (cfg, session, points) = (mctx.cfg, mctx.session, self.points);
         let dim = points.first().map_or(0, Point::dim);
-        let run_query_phase = |chan: &mut C, rng: &mut R, log: &mut SessionLog| {
+        let query_ctx = ctx.narrow("query");
+        let serve_ctx = ctx.narrow("serve");
+        let run_query_phase = |chan: &mut C, log: &mut SessionLog| {
+            let mut q = 0u64;
             crate::horizontal::querier_phase(chan, cfg.params, points, |chan, idx, own_count| {
+                let test_ctx = query_ctx.at(q);
+                q += 1;
                 Ok(enhanced_core_test_querier(
                     chan,
                     cfg,
@@ -268,21 +275,24 @@ impl ModeDriver for EnhancedDriver<'_> {
                     &points[idx],
                     own_count,
                     session.peer_n,
-                    rng,
+                    &test_ctx,
                     &mut log.ledger,
                     &mut log.leakage,
                 )?)
             })
         };
-        let run_respond_phase = |chan: &mut C, rng: &mut R, log: &mut SessionLog| {
+        let run_respond_phase = |chan: &mut C, log: &mut SessionLog| {
+            let mut q = 0u64;
             crate::horizontal::responder_phase(chan, |chan| {
+                let test_ctx = serve_ctx.at(q);
+                q += 1;
                 enhanced_core_respond(
                     chan,
                     cfg,
                     &session.peer_pk,
                     points,
                     dim,
-                    rng,
+                    &test_ctx,
                     &mut log.ledger,
                     &mut log.leakage,
                 )?;
@@ -290,15 +300,15 @@ impl ModeDriver for EnhancedDriver<'_> {
             })
         };
 
-        match ctx.role {
+        match mctx.role {
             Party::Alice => {
-                let clustering = run_query_phase(chan, rng, log)?;
-                run_respond_phase(chan, rng, log)?;
+                let clustering = run_query_phase(chan, log)?;
+                run_respond_phase(chan, log)?;
                 Ok(clustering)
             }
             Party::Bob => {
-                run_respond_phase(chan, rng, log)?;
-                run_query_phase(chan, rng, log)
+                run_respond_phase(chan, log)?;
+                run_query_phase(chan, log)
             }
         }
     }
@@ -307,7 +317,7 @@ impl ModeDriver for EnhancedDriver<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_helpers::rng;
+    use crate::test_helpers::{ctx, rng};
     use ppds_dbscan::{dist_sq, DbscanParams};
     use ppds_transport::duplex;
     use std::sync::OnceLock;
@@ -328,7 +338,6 @@ mod tests {
         let nb = responder_points.len();
         let (mut qchan, mut rchan) = duplex();
         let q = std::thread::spawn(move || {
-            let mut r = rng(seed);
             let mut ledger = YaoLedger::default();
             let mut leakage = LeakageLog::new();
             let is_core = enhanced_core_test_querier(
@@ -338,14 +347,13 @@ mod tests {
                 &query,
                 own_count,
                 nb,
-                &mut r,
+                &ctx(seed),
                 &mut ledger,
                 &mut leakage,
             )
             .unwrap();
             (is_core, leakage)
         });
-        let mut r = rng(seed + 1);
         let mut ledger = YaoLedger::default();
         let mut r_leakage = LeakageLog::new();
         enhanced_core_respond(
@@ -354,7 +362,7 @@ mod tests {
             &querier_kp().public,
             &responder_points,
             dim,
-            &mut r,
+            &ctx(seed + 1),
             &mut ledger,
             &mut r_leakage,
         )

@@ -33,10 +33,9 @@ use ppds_smc::compare::{
 use ppds_smc::multiplication::{
     mul_batch_keyholder, mul_batch_peer, mul_batches_keyholder, mul_batches_peer, zero_sum_masks,
 };
-use ppds_smc::{LeakageEvent, LeakageLog, SmcError};
+use ppds_smc::{LeakageEvent, LeakageLog, ProtocolContext, SmcError};
 use ppds_transport::Channel;
 use rand::seq::SliceRandom;
-use rand::Rng;
 
 fn coords_as_bigint(p: &Point) -> Vec<BigInt> {
     p.coords().iter().map(|&c| BigInt::from_i64(c)).collect()
@@ -44,26 +43,31 @@ fn coords_as_bigint(p: &Point) -> Vec<BigInt> {
 
 /// Querier side of one neighborhood query: returns how many of the
 /// responder's `responder_count` points lie within `Eps` of `query`.
+/// `ctx` is this query instance's context (the driver narrows per query);
+/// responder point `i` draws its masks, multiplication nonces, and
+/// comparison randomness from substreams keyed by `i`, so the batched
+/// framing derives identical bytes.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
-pub fn hdp_query_querier<C: Channel, R: Rng + ?Sized>(
+pub fn hdp_query_querier<C: Channel>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     my_keypair: &Keypair,
     responder_pk: &PublicKey,
     query: &Point,
     responder_count: usize,
-    rng: &mut R,
+    ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
 ) -> Result<usize, SmcError> {
     let dim = query.dim();
     let domain = hdp_domain(cfg, dim);
     let i_val = i64::try_from(query.norm_sq()).expect("ΣA² fits i64 on a validated lattice");
     let ys = coords_as_bigint(query);
+    let (mask_ctx, mul_ctx, cmp_ctx) = (ctx.narrow("mask"), ctx.narrow("mul"), ctx.narrow("cmp"));
     let mut count = 0usize;
-    for _ in 0..responder_count {
+    for pos in 0..responder_count {
         // Stage 1: responder (keyholder) gets a_k·b_k + r_k per attribute.
-        let masks = zero_sum_masks(rng, dim, &cfg.mul_mask_bound());
-        mul_batch_peer(chan, responder_pk, &ys, &masks, rng)?;
+        let masks = zero_sum_masks(mask_ctx.rng_for(pos as u64), dim, &cfg.mul_mask_bound());
+        mul_batch_peer(chan, responder_pk, &ys, &masks, &mul_ctx.at(pos as u64))?;
         // Stage 2: one Yao comparison under the querier's key.
         ledger.record(cfg.key_bits, domain.n0());
         let within = compare_alice(
@@ -73,7 +77,7 @@ pub fn hdp_query_querier<C: Channel, R: Rng + ?Sized>(
             i_val,
             CmpOp::Leq,
             &domain,
-            rng,
+            &cmp_ctx.at(pos as u64),
         )?;
         count += within as usize;
     }
@@ -82,14 +86,17 @@ pub fn hdp_query_querier<C: Channel, R: Rng + ?Sized>(
 
 /// Responder side of one neighborhood query over `my_points`. Returns the
 /// number of own points that matched (the same bits the querier counted).
+/// The Figure-1-defense permutation draws from the query context's
+/// `"perm"` substream; the point at permuted position `i` keys its
+/// multiplication and comparison randomness by `i`.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
-pub fn hdp_respond<C: Channel, R: Rng + ?Sized>(
+pub fn hdp_respond<C: Channel>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     my_keypair: &Keypair,
     querier_pk: &PublicKey,
     my_points: &[Point],
-    rng: &mut R,
+    ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
     leakage: &mut LeakageLog,
 ) -> Result<usize, SmcError> {
@@ -100,13 +107,14 @@ pub fn hdp_respond<C: Channel, R: Rng + ?Sized>(
     // Fresh permutation per query: the querier sees match bits in an order
     // it cannot link to any previous query (Figure 1 defense).
     let mut order: Vec<usize> = (0..my_points.len()).collect();
-    order.shuffle(rng);
+    order.shuffle(&mut ctx.narrow("perm").rng());
+    let (mul_ctx, cmp_ctx) = (ctx.narrow("mul"), ctx.narrow("cmp"));
 
     let mut count = 0usize;
-    for &idx in &order {
+    for (pos, &idx) in order.iter().enumerate() {
         let point = &my_points[idx];
         let xs = coords_as_bigint(point);
-        let ws = mul_batch_keyholder(chan, my_keypair, &xs, rng)?;
+        let ws = mul_batch_keyholder(chan, my_keypair, &xs, &mul_ctx.at(pos as u64))?;
         let inner_product: i64 = ws
             .iter()
             .fold(BigInt::zero(), |acc, w| &acc + w)
@@ -121,7 +129,7 @@ pub fn hdp_respond<C: Channel, R: Rng + ?Sized>(
             j_val,
             CmpOp::Leq,
             &domain,
-            rng,
+            &cmp_ctx.at(pos as u64),
         )?;
         if within {
             count += 1;
@@ -137,14 +145,14 @@ pub fn hdp_respond<C: Channel, R: Rng + ?Sized>(
 /// [`hdp_query_querier_batch`] when on, [`hdp_query_querier`] when off.
 /// The count returned is identical either way.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
-pub fn hdp_query<C: Channel, R: Rng + ?Sized>(
+pub fn hdp_query<C: Channel>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     my_keypair: &Keypair,
     responder_pk: &PublicKey,
     query: &Point,
     responder_count: usize,
-    rng: &mut R,
+    ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
 ) -> Result<usize, SmcError> {
     if cfg.batching {
@@ -155,7 +163,7 @@ pub fn hdp_query<C: Channel, R: Rng + ?Sized>(
             responder_pk,
             query,
             responder_count,
-            rng,
+            ctx,
             ledger,
         )
     } else {
@@ -166,7 +174,7 @@ pub fn hdp_query<C: Channel, R: Rng + ?Sized>(
             responder_pk,
             query,
             responder_count,
-            rng,
+            ctx,
             ledger,
         )
     }
@@ -174,23 +182,23 @@ pub fn hdp_query<C: Channel, R: Rng + ?Sized>(
 
 /// Responder side of [`hdp_query`], dispatched the same way.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
-pub fn hdp_serve<C: Channel, R: Rng + ?Sized>(
+pub fn hdp_serve<C: Channel>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     my_keypair: &Keypair,
     querier_pk: &PublicKey,
     my_points: &[Point],
-    rng: &mut R,
+    ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
     leakage: &mut LeakageLog,
 ) -> Result<usize, SmcError> {
     if cfg.batching {
         hdp_respond_batch(
-            chan, cfg, my_keypair, querier_pk, my_points, rng, ledger, leakage,
+            chan, cfg, my_keypair, querier_pk, my_points, ctx, ledger, leakage,
         )
     } else {
         hdp_respond(
-            chan, cfg, my_keypair, querier_pk, my_points, rng, ledger, leakage,
+            chan, cfg, my_keypair, querier_pk, my_points, ctx, ledger, leakage,
         )
     }
 }
@@ -201,19 +209,21 @@ pub fn hdp_serve<C: Channel, R: Rng + ?Sized>(
 /// decisions run as one batched comparison — 5 rounds per query instead of
 /// 5 per responder point.
 ///
-/// The querier's mask draws interleave per point exactly as in the
-/// sequential protocol (see [`mul_batches_peer`]), so under the same seeds
-/// the count returned, the responder's permutation, and both leakage logs
-/// are identical to the unbatched run.
+/// Point `i` of the batch draws its masks, nonces, and comparison
+/// randomness from the same keyed substreams the sequential
+/// [`hdp_query_querier`] loop derives for position `i`, so under the same
+/// session seed the count returned, the responder's permutation, and both
+/// leakage logs are identical to the unbatched run — and the per-point
+/// ciphertext work parallelizes (see [`ppds_smc::parallel`]).
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
-pub fn hdp_query_querier_batch<C: Channel, R: Rng + ?Sized>(
+pub fn hdp_query_querier_batch<C: Channel>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     my_keypair: &Keypair,
     responder_pk: &PublicKey,
     query: &Point,
     responder_count: usize,
-    rng: &mut R,
+    ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
 ) -> Result<usize, SmcError> {
     if responder_count == 0 {
@@ -223,6 +233,7 @@ pub fn hdp_query_querier_batch<C: Channel, R: Rng + ?Sized>(
     let domain = hdp_domain(cfg, dim);
     let i_val = i64::try_from(query.norm_sq()).expect("ΣA² fits i64 on a validated lattice");
     let ys = coords_as_bigint(query);
+    let (mask_ctx, mul_ctx, cmp_ctx) = (ctx.narrow("mask"), ctx.narrow("mul"), ctx.narrow("cmp"));
     // Stage 1: every responder point's masked products in one frame pair.
     // Every group is the same query vector, borrowed — not cloned — per point.
     let ys_groups: Vec<&[BigInt]> = vec![ys.as_slice(); responder_count];
@@ -231,8 +242,8 @@ pub fn hdp_query_querier_batch<C: Channel, R: Rng + ?Sized>(
         chan,
         responder_pk,
         &ys_groups,
-        |rng, _| zero_sum_masks(rng, dim, &bound),
-        rng,
+        |g| zero_sum_masks(mask_ctx.rng_for(g as u64), dim, &bound),
+        |g| mul_ctx.at(g as u64),
     )?;
     // Stage 2: one batched comparison run for the whole candidate set.
     let values = vec![i_val; responder_count];
@@ -246,23 +257,27 @@ pub fn hdp_query_querier_batch<C: Channel, R: Rng + ?Sized>(
         &values,
         CmpOp::Leq,
         &domain,
-        rng,
+        &cmp_ctx,
     )?;
     Ok(within.into_iter().filter(|&b| b).count())
 }
 
 /// Round-batched responder side of [`hdp_query_querier_batch`]. The fresh
-/// per-query permutation (the Figure 1 defense) is drawn exactly as in
-/// [`hdp_respond`], and matched own-point leakage events are recorded in
-/// the same permuted order.
+/// per-query permutation (the Figure 1 defense) draws from the same
+/// `"perm"` substream as [`hdp_respond`], and matched own-point leakage
+/// events are recorded in the same permuted order. Because the point at
+/// permuted position `i` keys all its randomness by `i`, the DGK
+/// backend's value-dependent draws no longer shift any other point's
+/// stream — the divergence that used to be pinned red by
+/// `dgk_backend_parity_on_horizontal` is gone by construction.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
-pub fn hdp_respond_batch<C: Channel, R: Rng + ?Sized>(
+pub fn hdp_respond_batch<C: Channel>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     my_keypair: &Keypair,
     querier_pk: &PublicKey,
     my_points: &[Point],
-    rng: &mut R,
+    ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
     leakage: &mut LeakageLog,
 ) -> Result<usize, SmcError> {
@@ -271,7 +286,8 @@ pub fn hdp_respond_batch<C: Channel, R: Rng + ?Sized>(
     let eps = cfg.params.eps_sq as i64;
 
     let mut order: Vec<usize> = (0..my_points.len()).collect();
-    order.shuffle(rng);
+    order.shuffle(&mut ctx.narrow("perm").rng());
+    let (mul_ctx, cmp_ctx) = (ctx.narrow("mul"), ctx.narrow("cmp"));
     if my_points.is_empty() {
         return Ok(0);
     }
@@ -280,7 +296,7 @@ pub fn hdp_respond_batch<C: Channel, R: Rng + ?Sized>(
         .iter()
         .map(|&idx| coords_as_bigint(&my_points[idx]))
         .collect();
-    let ws_groups = mul_batches_keyholder(chan, my_keypair, &xs_groups, rng)?;
+    let ws_groups = mul_batches_keyholder(chan, my_keypair, &xs_groups, |g| mul_ctx.at(g as u64))?;
     let mut j_vals = Vec::with_capacity(order.len());
     for (&idx, ws) in order.iter().zip(&ws_groups) {
         let inner_product: i64 = ws
@@ -298,7 +314,7 @@ pub fn hdp_respond_batch<C: Channel, R: Rng + ?Sized>(
         &j_vals,
         CmpOp::Leq,
         &domain,
-        rng,
+        &cmp_ctx,
     )?;
     let mut count = 0usize;
     for (pos, &matched) in within.iter().enumerate() {
@@ -326,7 +342,7 @@ impl ProtocolConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_helpers::rng;
+    use crate::test_helpers::{ctx, rng};
     use ppds_dbscan::{dist_sq, DbscanParams};
     use ppds_paillier::Keypair;
     use ppds_transport::duplex;
@@ -351,7 +367,6 @@ mod tests {
         let nb = responder_points.len();
         let cfg_q = *cfg;
         let q = std::thread::spawn(move || {
-            let mut r = rng(100);
             let mut ledger = YaoLedger::default();
             hdp_query_querier(
                 &mut qchan,
@@ -360,12 +375,11 @@ mod tests {
                 &responder_kp().public,
                 &query,
                 nb,
-                &mut r,
+                &ctx(100),
                 &mut ledger,
             )
             .unwrap()
         });
-        let mut r = rng(200);
         let mut ledger = YaoLedger::default();
         let mut leakage = LeakageLog::new();
         let responder_count = hdp_respond(
@@ -374,7 +388,7 @@ mod tests {
             responder_kp(),
             &querier_kp().public,
             &responder_points,
-            &mut r,
+            &ctx(200),
             &mut ledger,
             &mut leakage,
         )
@@ -419,7 +433,6 @@ mod tests {
         let nb = responder_points.len();
         let cfg_q = *cfg;
         let q = std::thread::spawn(move || {
-            let mut r = rng(seeds.0);
             let mut ledger = YaoLedger::default();
             let count = hdp_query_querier_batch(
                 &mut qchan,
@@ -428,13 +441,12 @@ mod tests {
                 &responder_kp().public,
                 &query,
                 nb,
-                &mut r,
+                &ctx(seeds.0),
                 &mut ledger,
             )
             .unwrap();
             (count, qchan.metrics())
         });
-        let mut r = rng(seeds.1);
         let mut ledger = YaoLedger::default();
         let mut leakage = LeakageLog::new();
         let responder_count = hdp_respond_batch(
@@ -443,7 +455,7 @@ mod tests {
             responder_kp(),
             &querier_kp().public,
             &responder_points,
-            &mut r,
+            &ctx(seeds.1),
             &mut ledger,
             &mut leakage,
         )
@@ -541,7 +553,6 @@ mod tests {
         );
         let (mut qchan, mut rchan) = duplex();
         let q = std::thread::spawn(move || {
-            let mut r = rng(7);
             let mut ledger = YaoLedger::default();
             let c = hdp_query_querier(
                 &mut qchan,
@@ -550,13 +561,12 @@ mod tests {
                 &responder_kp().public,
                 &Point::new(vec![0, 0]),
                 3,
-                &mut r,
+                &ctx(7),
                 &mut ledger,
             )
             .unwrap();
             (c, ledger)
         });
-        let mut r = rng(8);
         let mut ledger = YaoLedger::default();
         let mut leakage = LeakageLog::new();
         let pts = vec![
@@ -570,7 +580,7 @@ mod tests {
             responder_kp(),
             &querier_kp().public,
             &pts,
-            &mut r,
+            &ctx(8),
             &mut ledger,
             &mut leakage,
         )

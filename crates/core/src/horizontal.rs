@@ -26,9 +26,8 @@ use crate::session::{
 };
 use ppds_dbscan::index::{LinearIndex, NeighborIndex};
 use ppds_dbscan::{Clustering, DbscanParams, Label, Point};
-use ppds_smc::{LeakageEvent, Party};
+use ppds_smc::{LeakageEvent, Party, ProtocolContext};
 use ppds_transport::Channel;
-use rand::Rng;
 use std::collections::VecDeque;
 
 /// Control tags framing the querier's stream of neighborhood queries.
@@ -178,18 +177,26 @@ impl ModeDriver for HorizontalDriver<'_> {
         Ok(())
     }
 
-    fn execute<C: Channel, R: Rng + ?Sized>(
+    fn execute<C: Channel>(
         &self,
         chan: &mut C,
-        ctx: &ModeContext<'_>,
-        rng: &mut R,
+        mctx: &ModeContext<'_>,
+        ctx: &ProtocolContext,
         log: &mut SessionLog,
     ) -> Result<Clustering, CoreError> {
-        let (cfg, session, points) = (ctx.cfg, ctx.session, self.points);
-        let run_query_phase = |chan: &mut C, rng: &mut R, log: &mut SessionLog| {
+        let (cfg, session, points) = (mctx.cfg, mctx.session, self.points);
+        // One context instance per issued/served query: the q-th query of
+        // either phase draws from `query`/`serve` at index q, so the
+        // batched framing (same query sequence) derives identical streams.
+        let query_ctx = ctx.narrow("query");
+        let serve_ctx = ctx.narrow("serve");
+        let run_query_phase = |chan: &mut C, log: &mut SessionLog| {
+            let mut q = 0u64;
             querier_phase(chan, cfg.params, points, |chan, idx, own_count| {
                 // One HDP query per core test: batched mode ships the whole
                 // responder set in O(1) wire rounds.
+                let qctx = query_ctx.at(q);
+                q += 1;
                 let peer_count = hdp_query(
                     chan,
                     cfg,
@@ -197,7 +204,7 @@ impl ModeDriver for HorizontalDriver<'_> {
                     &session.peer_pk,
                     &points[idx],
                     session.peer_n,
-                    rng,
+                    &qctx,
                     &mut log.ledger,
                 )?;
                 log.leakage.record(LeakageEvent::NeighborCount {
@@ -207,15 +214,18 @@ impl ModeDriver for HorizontalDriver<'_> {
                 Ok(own_count + peer_count >= cfg.params.min_pts)
             })
         };
-        let run_respond_phase = |chan: &mut C, rng: &mut R, log: &mut SessionLog| {
+        let run_respond_phase = |chan: &mut C, log: &mut SessionLog| {
+            let mut q = 0u64;
             responder_phase(chan, |chan| {
+                let qctx = serve_ctx.at(q);
+                q += 1;
                 hdp_serve(
                     chan,
                     cfg,
                     &session.my_keypair,
                     &session.peer_pk,
                     points,
-                    rng,
+                    &qctx,
                     &mut log.ledger,
                     &mut log.leakage,
                 )?;
@@ -223,15 +233,15 @@ impl ModeDriver for HorizontalDriver<'_> {
             })
         };
 
-        match ctx.role {
+        match mctx.role {
             Party::Alice => {
-                let clustering = run_query_phase(chan, rng, log)?;
-                run_respond_phase(chan, rng, log)?;
+                let clustering = run_query_phase(chan, log)?;
+                run_respond_phase(chan, log)?;
                 Ok(clustering)
             }
             Party::Bob => {
-                run_respond_phase(chan, rng, log)?;
-                run_query_phase(chan, rng, log)
+                run_respond_phase(chan, log)?;
+                run_query_phase(chan, log)
             }
         }
     }
@@ -245,20 +255,21 @@ impl ModeDriver for HorizontalDriver<'_> {
     since = "0.2.0",
     note = "use ppdbscan::session::Participant with PartyData::Horizontal"
 )]
-pub fn horizontal_party<C: Channel, R: Rng + ?Sized>(
+pub fn horizontal_party<C: Channel>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     my_points: &[Point],
     role: Party,
-    rng: &mut R,
+    rng: rand::rngs::StdRng,
 ) -> Result<PartyOutput, CoreError> {
+    let mut rng = rng;
     run_two_party(
         chan,
         cfg,
         &HorizontalDriver { points: my_points },
         role,
         None,
-        rng,
+        &ProtocolContext::from_rng(&mut rng),
     )
     .map(|outcome| outcome.output)
 }
@@ -268,20 +279,21 @@ pub fn horizontal_party<C: Channel, R: Rng + ?Sized>(
     since = "0.2.0",
     note = "use ppdbscan::session::Participant with PartyData::Enhanced"
 )]
-pub fn enhanced_party<C: Channel, R: Rng + ?Sized>(
+pub fn enhanced_party<C: Channel>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     my_points: &[Point],
     role: Party,
-    rng: &mut R,
+    rng: rand::rngs::StdRng,
 ) -> Result<PartyOutput, CoreError> {
+    let mut rng = rng;
     run_two_party(
         chan,
         cfg,
         &crate::enhanced::EnhancedDriver { points: my_points },
         role,
         None,
-        rng,
+        &ProtocolContext::from_rng(&mut rng),
     )
     .map(|outcome| outcome.output)
 }

@@ -35,9 +35,8 @@ use ppds_dbscan::{dist_sq, Clustering, Label, Point};
 use ppds_paillier::{Keypair, PublicKey};
 use ppds_smc::compare::{compare_alice, compare_bob, CmpOp};
 use ppds_smc::multiplication::{mul_batch_keyholder, mul_batch_peer, zero_sum_masks};
-use ppds_smc::{LeakageEvent, LeakageLog, Party, SmcError};
+use ppds_smc::{LeakageEvent, LeakageLog, Party, ProtocolContext, SmcError};
 use ppds_transport::Channel;
-use rand::Rng;
 use std::collections::{BTreeMap, VecDeque};
 
 const TAG_DONE: u8 = 0;
@@ -53,7 +52,7 @@ enum State {
 /// Querier side of one linkable neighborhood query (the [14]-style leak:
 /// the query carries a stable id).
 #[allow(clippy::too_many_arguments)]
-fn kumar_query<C: Channel, R: Rng + ?Sized>(
+fn kumar_query<C: Channel>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     my_keypair: &Keypair,
@@ -61,7 +60,7 @@ fn kumar_query<C: Channel, R: Rng + ?Sized>(
     query: &Point,
     query_id: u64,
     responder_count: usize,
-    rng: &mut R,
+    ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
 ) -> Result<usize, SmcError> {
     chan.send(&query_id)?; // the deliberate weakness
@@ -73,10 +72,11 @@ fn kumar_query<C: Channel, R: Rng + ?Sized>(
         .iter()
         .map(|&c| BigInt::from_i64(c))
         .collect();
+    let (mask_ctx, mul_ctx, cmp_ctx) = (ctx.narrow("mask"), ctx.narrow("mul"), ctx.narrow("cmp"));
     let mut count = 0usize;
-    for _ in 0..responder_count {
-        let masks = zero_sum_masks(rng, dim, &cfg.mul_mask_bound());
-        mul_batch_peer(chan, responder_pk, &ys, &masks, rng)?;
+    for pos in 0..responder_count {
+        let masks = zero_sum_masks(mask_ctx.rng_for(pos as u64), dim, &cfg.mul_mask_bound());
+        mul_batch_peer(chan, responder_pk, &ys, &masks, &mul_ctx.at(pos as u64))?;
         ledger.record(cfg.key_bits, domain.n0());
         count += compare_alice(
             cfg.comparator,
@@ -85,7 +85,7 @@ fn kumar_query<C: Channel, R: Rng + ?Sized>(
             i_val,
             CmpOp::Leq,
             &domain,
-            rng,
+            &cmp_ctx.at(pos as u64),
         )? as usize;
     }
     Ok(count)
@@ -93,13 +93,13 @@ fn kumar_query<C: Channel, R: Rng + ?Sized>(
 
 /// Responder side: fixed point order, bits recorded against the query id.
 #[allow(clippy::too_many_arguments)]
-fn kumar_respond<C: Channel, R: Rng + ?Sized>(
+fn kumar_respond<C: Channel>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     my_keypair: &Keypair,
     querier_pk: &PublicKey,
     my_points: &[Point],
-    rng: &mut R,
+    ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
     leakage: &mut LeakageLog,
 ) -> Result<(), SmcError> {
@@ -107,13 +107,14 @@ fn kumar_respond<C: Channel, R: Rng + ?Sized>(
     let dim = my_points.first().map_or(0, Point::dim);
     let domain = crate::domain::hdp_domain(cfg, dim);
     let eps = cfg.params.eps_sq as i64;
+    let (mul_ctx, cmp_ctx) = (ctx.narrow("mul"), ctx.narrow("cmp"));
     for (idx, point) in my_points.iter().enumerate() {
         let xs: Vec<BigInt> = point
             .coords()
             .iter()
             .map(|&c| BigInt::from_i64(c))
             .collect();
-        let ws = mul_batch_keyholder(chan, my_keypair, &xs, rng)?;
+        let ws = mul_batch_keyholder(chan, my_keypair, &xs, &mul_ctx.at(idx as u64))?;
         let inner: i64 = ws
             .iter()
             .fold(BigInt::zero(), |acc, w| &acc + w)
@@ -128,7 +129,7 @@ fn kumar_respond<C: Channel, R: Rng + ?Sized>(
             j_val,
             CmpOp::Leq,
             &domain,
-            rng,
+            &cmp_ctx.at(idx as u64),
         )?;
         leakage.record(LeakageEvent::LinkedNeighborBit {
             query_id,
@@ -141,17 +142,17 @@ fn kumar_respond<C: Channel, R: Rng + ?Sized>(
 
 /// One party's full run of the Kumar-style baseline (structure identical to
 /// the honest horizontal protocol; only the linkability differs).
-pub fn kumar_party<C: Channel, R: Rng + ?Sized>(
+pub fn kumar_party<C: Channel>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     my_points: &[Point],
     role: Party,
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<PartyOutput, CoreError> {
     let dim = my_points.first().map_or(0, Point::dim);
     cfg.validate(dim.max(1))?;
     crate::horizontal::check_points(cfg, my_points)?;
-    let keypair = Keypair::generate(cfg.key_bits, rng);
+    let keypair = Keypair::generate(cfg.key_bits, &mut ctx.narrow("keygen").rng());
     let session = establish(
         chan,
         cfg,
@@ -169,115 +170,124 @@ pub fn kumar_party<C: Channel, R: Rng + ?Sized>(
     let mut ledger = YaoLedger::default();
     let clustering;
 
-    let run_query_phase =
-        |chan: &mut C, rng: &mut R, leakage: &mut LeakageLog, ledger: &mut YaoLedger| {
-            let index = LinearIndex::new(my_points, cfg.params.eps_sq);
-            let mut states = vec![State::Unclassified; my_points.len()];
-            let mut next_cluster = 0usize;
-            let core_test = |chan: &mut C,
-                             rng: &mut R,
+    let query_ctx = ctx.narrow("query");
+    let serve_ctx = ctx.narrow("serve");
+    let run_query_phase = |chan: &mut C, leakage: &mut LeakageLog, ledger: &mut YaoLedger| {
+        let index = LinearIndex::new(my_points, cfg.params.eps_sq);
+        let mut states = vec![State::Unclassified; my_points.len()];
+        let mut next_cluster = 0usize;
+        let mut issued = 0u64;
+        let mut core_test = |chan: &mut C,
                              leakage: &mut LeakageLog,
                              ledger: &mut YaoLedger,
                              idx: usize,
                              own: usize|
-             -> Result<bool, CoreError> {
-                chan.send(&TAG_QUERY)?;
-                let count = kumar_query(
-                    chan,
-                    cfg,
-                    &session.my_keypair,
-                    &session.peer_pk,
-                    &my_points[idx],
-                    idx as u64,
-                    session.peer_n,
-                    rng,
-                    ledger,
-                )?;
-                leakage.record(LeakageEvent::NeighborCount {
-                    query: format!("own#{idx}"),
-                    count: count as u64,
-                });
-                Ok(own + count >= cfg.params.min_pts)
-            };
-            for i in 0..my_points.len() {
-                if states[i] != State::Unclassified {
-                    continue;
+         -> Result<bool, CoreError> {
+            chan.send(&TAG_QUERY)?;
+            let qctx = query_ctx.at(issued);
+            issued += 1;
+            let count = kumar_query(
+                chan,
+                cfg,
+                &session.my_keypair,
+                &session.peer_pk,
+                &my_points[idx],
+                idx as u64,
+                session.peer_n,
+                &qctx,
+                ledger,
+            )?;
+            leakage.record(LeakageEvent::NeighborCount {
+                query: format!("own#{idx}"),
+                count: count as u64,
+            });
+            Ok(own + count >= cfg.params.min_pts)
+        };
+        for i in 0..my_points.len() {
+            if states[i] != State::Unclassified {
+                continue;
+            }
+            let seeds = index.region_query(&my_points[i]);
+            if !core_test(chan, leakage, ledger, i, seeds.len())? {
+                states[i] = State::Noise;
+                continue;
+            }
+            let cluster_id = next_cluster;
+            next_cluster += 1;
+            let mut queue: VecDeque<usize> = VecDeque::new();
+            for &s in &seeds {
+                states[s] = State::Cluster(cluster_id);
+                if s != i {
+                    queue.push_back(s);
                 }
-                let seeds = index.region_query(&my_points[i]);
-                if !core_test(chan, rng, leakage, ledger, i, seeds.len())? {
-                    states[i] = State::Noise;
-                    continue;
-                }
-                let cluster_id = next_cluster;
-                next_cluster += 1;
-                let mut queue: VecDeque<usize> = VecDeque::new();
-                for &s in &seeds {
-                    states[s] = State::Cluster(cluster_id);
-                    if s != i {
-                        queue.push_back(s);
-                    }
-                }
-                while let Some(current) = queue.pop_front() {
-                    let result = index.region_query(&my_points[current]);
-                    if core_test(chan, rng, leakage, ledger, current, result.len())? {
-                        for &neighbor in &result {
-                            match states[neighbor] {
-                                State::Unclassified => {
-                                    queue.push_back(neighbor);
-                                    states[neighbor] = State::Cluster(cluster_id);
-                                }
-                                State::Noise => states[neighbor] = State::Cluster(cluster_id),
-                                State::Cluster(_) => {}
+            }
+            while let Some(current) = queue.pop_front() {
+                let result = index.region_query(&my_points[current]);
+                if core_test(chan, leakage, ledger, current, result.len())? {
+                    for &neighbor in &result {
+                        match states[neighbor] {
+                            State::Unclassified => {
+                                queue.push_back(neighbor);
+                                states[neighbor] = State::Cluster(cluster_id);
                             }
+                            State::Noise => states[neighbor] = State::Cluster(cluster_id),
+                            State::Cluster(_) => {}
                         }
                     }
                 }
             }
-            chan.send(&TAG_DONE)?;
-            let labels = states
-                .into_iter()
-                .map(|s| match s {
-                    State::Unclassified => unreachable!("all classified"),
-                    State::Noise => Label::Noise,
-                    State::Cluster(id) => Label::Cluster(id),
-                })
-                .collect();
-            Ok::<_, CoreError>(Clustering {
-                labels,
-                num_clusters: next_cluster,
+        }
+        chan.send(&TAG_DONE)?;
+        let labels = states
+            .into_iter()
+            .map(|s| match s {
+                State::Unclassified => unreachable!("all classified"),
+                State::Noise => Label::Noise,
+                State::Cluster(id) => Label::Cluster(id),
             })
-        };
-    let run_respond_phase =
-        |chan: &mut C, rng: &mut R, leakage: &mut LeakageLog, ledger: &mut YaoLedger| loop {
+            .collect();
+        Ok::<_, CoreError>(Clustering {
+            labels,
+            num_clusters: next_cluster,
+        })
+    };
+    let run_respond_phase = |chan: &mut C, leakage: &mut LeakageLog, ledger: &mut YaoLedger| {
+        let mut served = 0u64;
+        loop {
             let tag: u8 = chan.recv()?;
             match tag {
                 TAG_DONE => return Ok::<_, CoreError>(()),
-                TAG_QUERY => kumar_respond(
-                    chan,
-                    cfg,
-                    &session.my_keypair,
-                    &session.peer_pk,
-                    my_points,
-                    rng,
-                    ledger,
-                    leakage,
-                )?,
+                TAG_QUERY => {
+                    let qctx = serve_ctx.at(served);
+                    served += 1;
+                    kumar_respond(
+                        chan,
+                        cfg,
+                        &session.my_keypair,
+                        &session.peer_pk,
+                        my_points,
+                        &qctx,
+                        ledger,
+                        leakage,
+                    )?
+                }
                 other => {
                     return Err(CoreError::Smc(SmcError::protocol(format!(
                         "unexpected control tag {other}"
                     ))))
                 }
             }
-        };
+        }
+    };
 
     match role {
         Party::Alice => {
-            clustering = Some(run_query_phase(chan, rng, &mut leakage, &mut ledger)?);
-            run_respond_phase(chan, rng, &mut leakage, &mut ledger)?;
+            clustering = Some(run_query_phase(chan, &mut leakage, &mut ledger)?);
+            run_respond_phase(chan, &mut leakage, &mut ledger)?;
         }
         Party::Bob => {
-            run_respond_phase(chan, rng, &mut leakage, &mut ledger)?;
-            clustering = Some(run_query_phase(chan, rng, &mut leakage, &mut ledger)?);
+            run_respond_phase(chan, &mut leakage, &mut ledger)?;
+            clustering = Some(run_query_phase(chan, &mut leakage, &mut ledger)?);
         }
     }
     Ok(PartyOutput {
@@ -296,9 +306,13 @@ pub fn run_kumar_pair(
     mut rng_a: rand::rngs::StdRng,
     mut rng_b: rand::rngs::StdRng,
 ) -> Result<(PartyOutput, PartyOutput), CoreError> {
+    let (ctx_a, ctx_b) = (
+        ProtocolContext::from_rng(&mut rng_a),
+        ProtocolContext::from_rng(&mut rng_b),
+    );
     crate::driver::run_pair(
-        |mut chan| kumar_party(&mut chan, cfg, alice_points, Party::Alice, &mut rng_a),
-        |mut chan| kumar_party(&mut chan, cfg, bob_points, Party::Bob, &mut rng_b),
+        |mut chan| kumar_party(&mut chan, cfg, alice_points, Party::Alice, &ctx_a),
+        |mut chan| kumar_party(&mut chan, cfg, bob_points, Party::Bob, &ctx_b),
     )
 }
 

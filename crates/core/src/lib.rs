@@ -107,6 +107,7 @@ pub use error::CoreError;
 #[allow(deprecated)]
 pub use multiparty::run_multiparty_horizontal;
 pub use partition::{ArbitraryPartition, VerticalPartition};
+pub use ppds_smc::{ProtocolContext, RecordId};
 pub use session::{
     run_data_pair, run_participants, Hello, Mode, Participant, PartyData, SessionMeta,
     SessionOutcome, WIRE_VERSION,
@@ -114,10 +115,15 @@ pub use session::{
 
 #[cfg(test)]
 pub(crate) mod test_helpers {
+    use ppds_smc::ProtocolContext;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     pub fn rng(seed: u64) -> StdRng {
         StdRng::seed_from_u64(seed)
+    }
+
+    pub fn ctx(seed: u64) -> ProtocolContext {
+        ProtocolContext::new(seed)
     }
 }

@@ -41,9 +41,8 @@ use crate::session::{
 use ppds_dbscan::index::{LinearIndex, NeighborIndex};
 use ppds_dbscan::{Clustering, Label, Point};
 use ppds_paillier::Keypair;
-use ppds_smc::{LeakageEvent, Party};
+use ppds_smc::{LeakageEvent, Party, ProtocolContext};
 use ppds_transport::Channel;
-use rand::Rng;
 use std::collections::VecDeque;
 
 const TAG_DONE: u8 = 0;
@@ -59,14 +58,21 @@ enum State {
 /// One node's full run of the multi-party horizontal protocol: the shared
 /// implementation behind [`crate::session::Participant::run_mesh`] and the
 /// deprecated free function.
-pub(crate) fn run_mesh_node<C: Channel, R: Rng + ?Sized>(
+///
+/// Randomness: each pairwise session draws from
+/// `ctx.narrow("mesh").at(peer_id)` — keyed by the *peer's global id*, not
+/// by traffic order — so adding, removing, or resizing one peer never
+/// shifts the streams (masks, nonces, Figure-1 permutations) this node
+/// uses with any other peer. Pinned by the
+/// `mesh_streams_are_keyed_per_peer` integration test.
+pub(crate) fn run_mesh_node<C: Channel>(
     peers: &mut [(usize, C)],
     my_id: usize,
     k_parties: usize,
     cfg: &ProtocolConfig,
     my_points: &[Point],
     keypair: Option<Keypair>,
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<SessionOutcome, CoreError> {
     if k_parties < 2 {
         return Err(CoreError::config("need at least two parties"));
@@ -93,7 +99,7 @@ pub(crate) fn run_mesh_node<C: Channel, R: Rng + ?Sized>(
     // plays the Alice role of the key exchange ordering.
     let keypair = match keypair {
         Some(kp) => kp,
-        None => Keypair::generate(cfg.key_bits, rng),
+        None => Keypair::generate(cfg.key_bits, &mut ctx.narrow("keygen").rng()),
     };
     let profile = HandshakeProfile {
         mode: Mode::Multiparty,
@@ -114,12 +120,13 @@ pub(crate) fn run_mesh_node<C: Channel, R: Rng + ?Sized>(
 
     let mut log = SessionLog::new();
     let mut clustering = None;
+    let mesh_ctx = ctx.narrow("mesh");
 
     // K deterministic phases; ids give every party the same schedule.
     for phase in 0..k_parties {
         if phase == my_id {
             clustering = Some(query_phase(
-                peers, &sessions, cfg, my_points, rng, &mut log,
+                peers, &sessions, cfg, my_points, &mesh_ctx, &mut log,
             )?);
         } else {
             // Serve the querying party on the channel that leads to it.
@@ -129,7 +136,8 @@ pub(crate) fn run_mesh_node<C: Channel, R: Rng + ?Sized>(
                 .expect("phase party is a peer");
             let (_, session) = &sessions[idx];
             let (_, chan) = &mut peers[idx];
-            respond_phase(chan, session, cfg, my_points, rng, &mut log)?;
+            let peer_ctx = mesh_ctx.at(phase as u64);
+            respond_phase(chan, session, cfg, my_points, &peer_ctx, &mut log)?;
         }
     }
 
@@ -167,41 +175,47 @@ pub(crate) fn run_mesh_node<C: Channel, R: Rng + ?Sized>(
     since = "0.2.0",
     note = "use ppdbscan::session::Participant::run_mesh with PartyData::Multiparty"
 )]
-pub fn multiparty_horizontal_party<C: Channel, R: Rng + ?Sized>(
+pub fn multiparty_horizontal_party<C: Channel>(
     peers: &mut [(usize, C)],
     my_id: usize,
     k_parties: usize,
     cfg: &ProtocolConfig,
     my_points: &[Point],
-    rng: &mut R,
+    rng: rand::rngs::StdRng,
 ) -> Result<PartyOutput, CoreError> {
-    run_mesh_node(peers, my_id, k_parties, cfg, my_points, None, rng).map(|outcome| outcome.output)
+    let mut rng = rng;
+    let ctx = ProtocolContext::from_rng(&mut rng);
+    run_mesh_node(peers, my_id, k_parties, cfg, my_points, None, &ctx).map(|outcome| outcome.output)
 }
 
 /// The querier's DBSCAN loop: like the two-party engine, but each core test
-/// fans out one HDP neighborhood query to every peer.
-fn query_phase<C: Channel, R: Rng + ?Sized>(
+/// fans out one HDP neighborhood query to every peer, each drawing from
+/// that peer's own keyed context.
+fn query_phase<C: Channel>(
     peers: &mut [(usize, C)],
     sessions: &[(usize, Session)],
     cfg: &ProtocolConfig,
     points: &[Point],
-    rng: &mut R,
+    mesh_ctx: &ProtocolContext,
     log: &mut SessionLog,
 ) -> Result<Clustering, CoreError> {
     let index = LinearIndex::new(points, cfg.params.eps_sq);
     let mut states = vec![State::Unclassified; points.len()];
     let mut next_cluster = 0usize;
+    let mut issued = 0u64;
 
-    let core_test = |peers: &mut [(usize, C)],
-                     rng: &mut R,
-                     log: &mut SessionLog,
-                     idx: usize,
-                     own_count: usize|
+    let mut core_test = |peers: &mut [(usize, C)],
+                         log: &mut SessionLog,
+                         idx: usize,
+                         own_count: usize|
      -> Result<bool, CoreError> {
         let mut total = own_count;
+        let query_no = issued;
+        issued += 1;
         for (pos, (peer_id, chan)) in peers.iter_mut().enumerate() {
             chan.send(&TAG_QUERY)?;
             let session = &sessions[pos].1;
+            let qctx = mesh_ctx.at(*peer_id as u64).narrow("query").at(query_no);
             let count = hdp_query(
                 chan,
                 cfg,
@@ -209,7 +223,7 @@ fn query_phase<C: Channel, R: Rng + ?Sized>(
                 &session.peer_pk,
                 &points[idx],
                 session.peer_n,
-                rng,
+                &qctx,
                 &mut log.ledger,
             )?;
             log.leakage.record(LeakageEvent::NeighborCount {
@@ -226,7 +240,7 @@ fn query_phase<C: Channel, R: Rng + ?Sized>(
             continue;
         }
         let seeds = index.region_query(&points[i]);
-        if !core_test(peers, rng, log, i, seeds.len())? {
+        if !core_test(peers, log, i, seeds.len())? {
             states[i] = State::Noise;
             continue;
         }
@@ -241,7 +255,7 @@ fn query_phase<C: Channel, R: Rng + ?Sized>(
         }
         while let Some(current) = queue.pop_front() {
             let result = index.region_query(&points[current]);
-            if core_test(peers, rng, log, current, result.len())? {
+            if core_test(peers, log, current, result.len())? {
                 for &neighbor in &result {
                     match states[neighbor] {
                         State::Unclassified => {
@@ -275,26 +289,30 @@ fn query_phase<C: Channel, R: Rng + ?Sized>(
     })
 }
 
-fn respond_phase<C: Channel, R: Rng + ?Sized>(
+fn respond_phase<C: Channel>(
     chan: &mut C,
     session: &Session,
     cfg: &ProtocolConfig,
     my_points: &[Point],
-    rng: &mut R,
+    peer_ctx: &ProtocolContext,
     log: &mut SessionLog,
 ) -> Result<(), CoreError> {
+    let serve_ctx = peer_ctx.narrow("serve");
+    let mut served = 0u64;
     loop {
         let tag: u8 = chan.recv()?;
         match tag {
             TAG_DONE => return Ok(()),
             TAG_QUERY => {
+                let qctx = serve_ctx.at(served);
+                served += 1;
                 hdp_serve(
                     chan,
                     cfg,
                     &session.my_keypair,
                     &session.peer_pk,
                     my_points,
-                    rng,
+                    &qctx,
                     &mut log.ledger,
                     &mut log.leakage,
                 )?;

@@ -61,11 +61,11 @@ use ppds_dbscan::{Clustering, Point};
 use ppds_paillier::{Keypair, PublicKey};
 use ppds_smc::compare::Comparator;
 use ppds_smc::kth::SelectionMethod;
-use ppds_smc::{setup, LeakageLog, Party};
+use ppds_smc::{setup, LeakageLog, Party, ProtocolContext};
 use ppds_transport::wire::{Reader, WireDecode, WireEncode};
 use ppds_transport::{duplex, Channel, MemoryChannel, TransportError};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 /// Version of the session handshake wire format. Bumped whenever the
 /// [`Hello`] frame layout or the meaning of a negotiated field changes;
@@ -405,48 +405,50 @@ pub(crate) trait ModeDriver {
     /// Cross-checks after the handshake (e.g. equal record counts).
     fn check_session(&self, cfg: &ProtocolConfig, session: &Session) -> Result<(), CoreError>;
 
-    /// The protocol body: returns this party's clustering.
-    fn execute<C: Channel, R: Rng + ?Sized>(
+    /// The protocol body: returns this party's clustering. `ctx` is the
+    /// session's root [`ProtocolContext`]; the driver narrows it per
+    /// protocol step and query instance, so every draw site owns a keyed
+    /// substream independent of execution order.
+    fn execute<C: Channel>(
         &self,
         chan: &mut C,
-        ctx: &ModeContext<'_>,
-        rng: &mut R,
+        mctx: &ModeContext<'_>,
+        ctx: &ProtocolContext,
         log: &mut SessionLog,
     ) -> Result<Clustering, CoreError>;
 }
 
 /// Runs one two-party mode end to end on this side of `chan`: validate,
-/// establish (generating a keypair from `rng` unless one is supplied),
-/// cross-check, execute, assemble the outcome.
-pub(crate) fn run_two_party<C, R, D>(
+/// establish (generating a keypair from the context's `"keygen"` substream
+/// unless one is supplied), cross-check, execute, assemble the outcome.
+pub(crate) fn run_two_party<C, D>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     driver: &D,
     role: Party,
     keypair: Option<Keypair>,
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<SessionOutcome, CoreError>
 where
     C: Channel,
-    R: Rng + ?Sized,
     D: ModeDriver,
 {
     driver.validate(cfg)?;
     let keypair = match keypair {
         Some(kp) => kp,
-        None => Keypair::generate(cfg.key_bits, rng),
+        None => Keypair::generate(cfg.key_bits, &mut ctx.narrow("keygen").rng()),
     };
     let profile = driver.profile();
     let session = establish(chan, cfg, keypair, role, &profile)?;
     driver.check_session(cfg, &session)?;
 
     let mut log = SessionLog::new();
-    let ctx = ModeContext {
+    let mctx = ModeContext {
         cfg,
         role,
         session: &session,
     };
-    let clustering = driver.execute(chan, &ctx, rng, &mut log)?;
+    let clustering = driver.execute(chan, &mctx, ctx, &mut log)?;
     let mode = profile.mode;
     Ok(SessionOutcome {
         output: PartyOutput {
@@ -565,7 +567,7 @@ pub struct Participant {
     role: Option<Party>,
     data: Option<PartyData>,
     keypair: Option<Keypair>,
-    rng: Option<StdRng>,
+    ctx: Option<ProtocolContext>,
 }
 
 impl Participant {
@@ -576,7 +578,7 @@ impl Participant {
             role: None,
             data: None,
             keypair: None,
-            rng: None,
+            ctx: None,
         }
     }
 
@@ -616,21 +618,36 @@ impl Participant {
         Ok(self)
     }
 
-    /// Seeds the session's deterministic RNG stream. Equivalent to
+    /// Seeds the session's deterministic randomness. The seed becomes the
+    /// root of a [`ProtocolContext`] derivation tree (session seed → mode
+    /// → protocol step → query instance → record), so every draw site owns
+    /// a keyed substream that is independent of execution order — batched,
+    /// unbatched, and parallel evaluations of the same session draw
+    /// byte-identical randomness. Equivalent to
     /// `rng(StdRng::seed_from_u64(seed))`.
     pub fn seed(self, seed: u64) -> Self {
         self.rng(StdRng::seed_from_u64(seed))
     }
 
-    /// Supplies the session RNG directly (the stream the legacy drivers
-    /// took by value, so seed-for-seed outputs are identical).
-    pub fn rng(mut self, rng: StdRng) -> Self {
-        self.rng = Some(rng);
+    /// Supplies the session randomness as a generator: one `next_u64` draw
+    /// becomes the context root seed (see [`Participant::seed`]). Kept so
+    /// `StdRng`-valued call sites (the legacy drivers, the bench harness)
+    /// stay source-compatible; legacy and typed entry points derive the
+    /// same context from the same generator, so their outputs remain
+    /// byte-identical (pinned by `tests/api_parity.rs`).
+    pub fn rng(mut self, mut rng: StdRng) -> Self {
+        self.ctx = Some(ProtocolContext::from_rng(&mut rng));
         self
     }
 
-    fn take_rng(rng: Option<StdRng>) -> Result<StdRng, CoreError> {
-        rng.ok_or_else(|| {
+    /// Supplies the session's [`ProtocolContext`] root directly.
+    pub fn context(mut self, ctx: ProtocolContext) -> Self {
+        self.ctx = Some(ctx);
+        self
+    }
+
+    fn take_ctx(ctx: Option<ProtocolContext>) -> Result<ProtocolContext, CoreError> {
+        ctx.ok_or_else(|| {
             CoreError::config("participant needs a randomness source: call .seed(..) or .rng(..)")
         })
     }
@@ -649,7 +666,7 @@ impl Participant {
         let data = self
             .data
             .ok_or_else(|| CoreError::config("participant needs data: call .data(..)"))?;
-        let mut rng = Self::take_rng(self.rng)?;
+        let ctx = Self::take_ctx(self.ctx)?;
         let cfg = self.cfg;
         match &data {
             PartyData::Horizontal(points) => run_two_party(
@@ -658,7 +675,7 @@ impl Participant {
                 &crate::horizontal::HorizontalDriver { points },
                 role,
                 self.keypair,
-                &mut rng,
+                &ctx,
             ),
             PartyData::Enhanced(points) => run_two_party(
                 chan,
@@ -666,7 +683,7 @@ impl Participant {
                 &crate::enhanced::EnhancedDriver { points },
                 role,
                 self.keypair,
-                &mut rng,
+                &ctx,
             ),
             PartyData::Vertical(attrs) => run_two_party(
                 chan,
@@ -674,7 +691,7 @@ impl Participant {
                 &crate::vertical::VerticalDriver { attrs },
                 role,
                 self.keypair,
-                &mut rng,
+                &ctx,
             ),
             PartyData::Arbitrary(values) => run_two_party(
                 chan,
@@ -682,7 +699,7 @@ impl Participant {
                 &crate::arbitrary::ArbitraryDriver { values },
                 role,
                 self.keypair,
-                &mut rng,
+                &ctx,
             ),
             PartyData::Multiparty(_) => Err(CoreError::config(
                 "multiparty data runs over a mesh: call .run_mesh(..) instead of .run(..)",
@@ -709,7 +726,7 @@ impl Participant {
                 "run_mesh needs PartyData::Multiparty; two-party data runs via .run(..)",
             ));
         };
-        let mut rng = Self::take_rng(self.rng)?;
+        let ctx = Self::take_ctx(self.ctx)?;
         crate::multiparty::run_mesh_node(
             peers,
             my_id,
@@ -717,7 +734,7 @@ impl Participant {
             &self.cfg,
             &points,
             self.keypair,
-            &mut rng,
+            &ctx,
         )
     }
 }

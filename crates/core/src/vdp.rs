@@ -13,9 +13,8 @@ use ppds_paillier::{Keypair, PublicKey};
 use ppds_smc::compare::{
     compare_alice, compare_batch_alice, compare_batch_bob, compare_bob, CmpOp,
 };
-use ppds_smc::SmcError;
+use ppds_smc::{ProtocolContext, SmcError};
 use ppds_transport::Channel;
-use rand::Rng;
 
 /// Local squared-delta sum between two attribute slices (each party calls
 /// this on its own slice of records `x` and `y`).
@@ -25,15 +24,15 @@ pub fn local_delta_sq(x: &ppds_dbscan::Point, y: &ppds_dbscan::Point) -> u64 {
 
 /// Alice's side of one VDP comparison. `alpha` is her local squared-delta
 /// sum; `total_dim` is the full record dimension `m` (needed to agree on
-/// the comparison domain). Returns `dist² ≤ Eps²`.
-#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
-pub fn vdp_compare_alice<C: Channel, R: Rng + ?Sized>(
+/// the comparison domain); `ctx` is this comparison's record scope
+/// (`step_ctx.at(record)`). Returns `dist² ≤ Eps²`.
+pub fn vdp_compare_alice<C: Channel>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     my_keypair: &Keypair,
     alpha: u64,
     total_dim: usize,
-    rng: &mut R,
+    ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
 ) -> Result<bool, SmcError> {
     let domain = vdp_domain(cfg, total_dim);
@@ -45,19 +44,18 @@ pub fn vdp_compare_alice<C: Channel, R: Rng + ?Sized>(
         i64::try_from(alpha).expect("α fits i64 on a validated lattice"),
         CmpOp::Leq,
         &domain,
-        rng,
+        ctx,
     )
 }
 
 /// Bob's side: `beta` is his local squared-delta sum.
-#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
-pub fn vdp_compare_bob<C: Channel, R: Rng + ?Sized>(
+pub fn vdp_compare_bob<C: Channel>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     alice_pk: &PublicKey,
     beta: u64,
     total_dim: usize,
-    rng: &mut R,
+    ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
 ) -> Result<bool, SmcError> {
     let domain = vdp_domain(cfg, total_dim);
@@ -70,7 +68,7 @@ pub fn vdp_compare_bob<C: Channel, R: Rng + ?Sized>(
         j_val,
         CmpOp::Leq,
         &domain,
-        rng,
+        ctx,
     )
 }
 
@@ -79,40 +77,62 @@ pub fn vdp_compare_bob<C: Channel, R: Rng + ?Sized>(
 /// mode packs the set into a constant number of wire rounds, reference
 /// mode runs one [`vdp_compare_alice`] ping-pong per entry. Outcomes are
 /// identical either way.
-pub fn vdp_compare_set_alice<C: Channel, R: Rng + ?Sized>(
+pub fn vdp_compare_set_alice<C: Channel>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     my_keypair: &Keypair,
     alphas: &[u64],
     total_dim: usize,
-    rng: &mut R,
+    ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
 ) -> Result<Vec<bool>, SmcError> {
     if cfg.batching {
-        return vdp_compare_batch_alice(chan, cfg, my_keypair, alphas, total_dim, rng, ledger);
+        return vdp_compare_batch_alice(chan, cfg, my_keypair, alphas, total_dim, ctx, ledger);
     }
     alphas
         .iter()
-        .map(|&alpha| vdp_compare_alice(chan, cfg, my_keypair, alpha, total_dim, rng, ledger))
+        .enumerate()
+        .map(|(i, &alpha)| {
+            vdp_compare_alice(
+                chan,
+                cfg,
+                my_keypair,
+                alpha,
+                total_dim,
+                &ctx.at(i as u64),
+                ledger,
+            )
+        })
         .collect()
 }
 
 /// Bob's side of [`vdp_compare_set_alice`].
-pub fn vdp_compare_set_bob<C: Channel, R: Rng + ?Sized>(
+pub fn vdp_compare_set_bob<C: Channel>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     alice_pk: &PublicKey,
     betas: &[u64],
     total_dim: usize,
-    rng: &mut R,
+    ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
 ) -> Result<Vec<bool>, SmcError> {
     if cfg.batching {
-        return vdp_compare_batch_bob(chan, cfg, alice_pk, betas, total_dim, rng, ledger);
+        return vdp_compare_batch_bob(chan, cfg, alice_pk, betas, total_dim, ctx, ledger);
     }
     betas
         .iter()
-        .map(|&beta| vdp_compare_bob(chan, cfg, alice_pk, beta, total_dim, rng, ledger))
+        .enumerate()
+        .map(|(i, &beta)| {
+            vdp_compare_bob(
+                chan,
+                cfg,
+                alice_pk,
+                beta,
+                total_dim,
+                &ctx.at(i as u64),
+                ledger,
+            )
+        })
         .collect()
 }
 
@@ -120,13 +140,13 @@ pub fn vdp_compare_set_bob<C: Channel, R: Rng + ?Sized>(
 /// local squared-delta sums for a whole candidate set), all packed into a
 /// constant number of wire rounds. Outcome `r[i]` equals what
 /// [`vdp_compare_alice`] would return for `alphas[i]`.
-pub fn vdp_compare_batch_alice<C: Channel, R: Rng + ?Sized>(
+pub fn vdp_compare_batch_alice<C: Channel>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     my_keypair: &Keypair,
     alphas: &[u64],
     total_dim: usize,
-    rng: &mut R,
+    ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
 ) -> Result<Vec<bool>, SmcError> {
     let domain = vdp_domain(cfg, total_dim);
@@ -144,19 +164,19 @@ pub fn vdp_compare_batch_alice<C: Channel, R: Rng + ?Sized>(
         &values,
         CmpOp::Leq,
         &domain,
-        rng,
+        ctx,
     )
 }
 
 /// Round-batched Bob side of [`vdp_compare_batch_alice`]; `betas` are his
 /// local squared-delta sums for the same candidate set, in the same order.
-pub fn vdp_compare_batch_bob<C: Channel, R: Rng + ?Sized>(
+pub fn vdp_compare_batch_bob<C: Channel>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     alice_pk: &PublicKey,
     betas: &[u64],
     total_dim: usize,
-    rng: &mut R,
+    ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
 ) -> Result<Vec<bool>, SmcError> {
     let domain = vdp_domain(cfg, total_dim);
@@ -174,14 +194,14 @@ pub fn vdp_compare_batch_bob<C: Channel, R: Rng + ?Sized>(
         &values,
         CmpOp::Leq,
         &domain,
-        rng,
+        ctx,
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_helpers::rng;
+    use crate::test_helpers::{ctx, rng};
     use ppds_dbscan::{dist_sq, DbscanParams, Point};
     use ppds_smc::compare::Comparator;
     use ppds_transport::duplex;
@@ -195,7 +215,6 @@ mod tests {
     fn run(cfg: ProtocolConfig, alpha: u64, beta: u64, dim: usize) -> bool {
         let (mut achan, mut bchan) = duplex();
         let a = std::thread::spawn(move || {
-            let mut r = rng(1);
             let mut ledger = YaoLedger::default();
             vdp_compare_alice(
                 &mut achan,
@@ -203,12 +222,11 @@ mod tests {
                 alice_kp(),
                 alpha,
                 dim,
-                &mut r,
+                &ctx(1),
                 &mut ledger,
             )
             .unwrap()
         });
-        let mut r = rng(2);
         let mut ledger = YaoLedger::default();
         let bob = vdp_compare_bob(
             &mut bchan,
@@ -216,7 +234,7 @@ mod tests {
             &alice_kp().public,
             beta,
             dim,
-            &mut r,
+            &ctx(2),
             &mut ledger,
         )
         .unwrap();
@@ -267,7 +285,6 @@ mod tests {
         let (mut achan, mut bchan) = duplex();
         let alphas2 = alphas.clone();
         let a = std::thread::spawn(move || {
-            let mut r = rng(3);
             let mut ledger = YaoLedger::default();
             let out = vdp_compare_batch_alice(
                 &mut achan,
@@ -275,13 +292,12 @@ mod tests {
                 alice_kp(),
                 &alphas2,
                 2,
-                &mut r,
+                &ctx(3),
                 &mut ledger,
             )
             .unwrap();
             (out, ledger, achan.metrics())
         });
-        let mut r = rng(4);
         let mut ledger = YaoLedger::default();
         let bob = vdp_compare_batch_bob(
             &mut bchan,
@@ -289,7 +305,7 @@ mod tests {
             &alice_kp().public,
             &betas,
             2,
-            &mut r,
+            &ctx(4),
             &mut ledger,
         )
         .unwrap();

@@ -20,9 +20,8 @@ use crate::session::{
 };
 use crate::vdp::{local_delta_sq, vdp_compare_set_alice, vdp_compare_set_bob};
 use ppds_dbscan::{Clustering, DbscanParams, Label, Point};
-use ppds_smc::{LeakageEvent, LeakageLog, Party};
+use ppds_smc::{LeakageEvent, LeakageLog, Party, ProtocolContext};
 use ppds_transport::Channel;
-use rand::Rng;
 use std::collections::VecDeque;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -159,30 +158,36 @@ impl ModeDriver for VerticalDriver<'_> {
         cfg.validate(my_dim + session.peer_dim)
     }
 
-    fn execute<C: Channel, R: Rng + ?Sized>(
+    fn execute<C: Channel>(
         &self,
         chan: &mut C,
-        ctx: &ModeContext<'_>,
-        rng: &mut R,
+        mctx: &ModeContext<'_>,
+        ctx: &ProtocolContext,
         log: &mut SessionLog,
     ) -> Result<Clustering, CoreError> {
-        let (cfg, session, attrs) = (ctx.cfg, ctx.session, self.attrs);
+        let (cfg, session, attrs) = (mctx.cfg, mctx.session, self.attrs);
         let my_dim = attrs.first().map_or(1, Point::dim);
         let total_dim = my_dim + session.peer_dim;
         let ledger = &mut log.ledger;
+        // One context instance per region query; candidate i of query q
+        // draws from region.at(q).at(i) in both framings.
+        let region_ctx = ctx.narrow("region");
+        let mut q = 0u64;
         let dist_leq_set = |x: usize, ys: &[usize]| -> Result<Vec<bool>, CoreError> {
+            let qctx = region_ctx.at(q);
+            q += 1;
             let locals: Vec<u64> = ys
                 .iter()
                 .map(|&y| local_delta_sq(&attrs[x], &attrs[y]))
                 .collect();
-            let result = match ctx.role {
+            let result = match mctx.role {
                 Party::Alice => vdp_compare_set_alice(
                     chan,
                     cfg,
                     &session.my_keypair,
                     &locals,
                     total_dim,
-                    rng,
+                    &qctx,
                     ledger,
                 )?,
                 Party::Bob => vdp_compare_set_bob(
@@ -191,7 +196,7 @@ impl ModeDriver for VerticalDriver<'_> {
                     &session.peer_pk,
                     &locals,
                     total_dim,
-                    rng,
+                    &qctx,
                     ledger,
                 )?,
             };
@@ -208,20 +213,21 @@ impl ModeDriver for VerticalDriver<'_> {
     since = "0.2.0",
     note = "use ppdbscan::session::Participant with PartyData::Vertical"
 )]
-pub fn vertical_party<C: Channel, R: Rng + ?Sized>(
+pub fn vertical_party<C: Channel>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     my_attrs: &[Point],
     role: Party,
-    rng: &mut R,
+    rng: rand::rngs::StdRng,
 ) -> Result<PartyOutput, CoreError> {
+    let mut rng = rng;
     run_two_party(
         chan,
         cfg,
         &VerticalDriver { attrs: my_attrs },
         role,
         None,
-        rng,
+        &ProtocolContext::from_rng(&mut rng),
     )
     .map(|outcome| outcome.output)
 }

@@ -22,8 +22,20 @@
 //! Algorithm 1's `n0` residues and `n0` decryptions. Both parties learn
 //! exactly the comparison outcome, so the leakage profile (and therefore
 //! every theorem downstream) is unchanged.
+//!
+//! Randomness: the mask scalars are value-rejection sampled and the
+//! permutation is value-dependent, so under the old threaded-`StdRng`
+//! discipline the *stream position* after a DGK call depended on the
+//! inputs — the root cause of the batched-HDP leakage-order divergence.
+//! Every entry point now takes a record-scoped [`ProtocolContext`]; batch
+//! forms key item `i` as `ctx.rng_for(i)`, which by construction equals
+//! the stream a sequential caller scoping with `ctx.at(i)` would draw, so
+//! the batched items are order-independent and evaluated on the
+//! [`crate::parallel`] worker pool.
 
+use crate::context::ProtocolContext;
 use crate::error::SmcError;
+use crate::parallel::par_map;
 use ppds_bigint::{random, BigUint};
 use ppds_paillier::{Ciphertext, Keypair, PublicKey};
 use ppds_transport::Channel;
@@ -36,11 +48,11 @@ fn bit_width(value: u64) -> usize {
 }
 
 /// Step 1 worker: Alice's `ell` encrypted input bits, MSB first.
-fn encrypt_bits<R: Rng + ?Sized>(
+fn encrypt_bits<R: Rng>(
     keypair: &Keypair,
     x: u64,
     ell: usize,
-    rng: &mut R,
+    mut rng: R,
 ) -> Result<Vec<BigUint>, SmcError> {
     let bits: Vec<BigUint> = (0..ell)
         .rev()
@@ -48,7 +60,7 @@ fn encrypt_bits<R: Rng + ?Sized>(
             let bit = BigUint::from_u64((x >> i) & 1);
             keypair
                 .public
-                .encrypt(&bit, rng)
+                .encrypt(&bit, &mut rng)
                 .map(|c| c.as_biguint().clone())
         })
         .collect::<Result<_, _>>()?;
@@ -57,7 +69,7 @@ fn encrypt_bits<R: Rng + ?Sized>(
 
 /// Step 3 worker: decrypt one masked, permuted comparison vector and report
 /// whether a zero (the unique `x < y` witness) occurs.
-fn scan_masked(keypair: &Keypair, masked: Vec<BigUint>, ell: usize) -> Result<bool, SmcError> {
+fn scan_masked(keypair: &Keypair, masked: &[BigUint], ell: usize) -> Result<bool, SmcError> {
     if masked.len() != ell {
         return Err(SmcError::protocol(format!(
             "expected {ell} comparison values, got {}",
@@ -68,7 +80,7 @@ fn scan_masked(keypair: &Keypair, masked: Vec<BigUint>, ell: usize) -> Result<bo
     for raw in masked {
         let value = keypair
             .private
-            .decrypt_crt(&Ciphertext::from_biguint(raw))?;
+            .decrypt_crt(&Ciphertext::from_biguint(raw.clone()))?;
         if value.is_zero() {
             x_lt_y = true; // the unique witnessing position
         }
@@ -77,12 +89,12 @@ fn scan_masked(keypair: &Keypair, masked: Vec<BigUint>, ell: usize) -> Result<bo
 }
 
 /// Step 2 worker: Bob's masked, permuted comparison vector for one input.
-fn masked_comparison_vector<R: Rng + ?Sized>(
+fn masked_comparison_vector<R: Rng>(
     alice_pk: &PublicKey,
-    raw_bits: Vec<BigUint>,
+    raw_bits: &[BigUint],
     y: u64,
     ell: usize,
-    rng: &mut R,
+    mut rng: R,
 ) -> Result<Vec<BigUint>, SmcError> {
     if raw_bits.len() != ell {
         return Err(SmcError::protocol(format!(
@@ -91,9 +103,9 @@ fn masked_comparison_vector<R: Rng + ?Sized>(
         )));
     }
     let x_bits: Vec<Ciphertext> = raw_bits
-        .into_iter()
+        .iter()
         .map(|raw| {
-            let c = Ciphertext::from_biguint(raw);
+            let c = Ciphertext::from_biguint(raw.clone());
             alice_pk.validate(&c).map(|()| c)
         })
         .collect::<Result<_, _>>()?;
@@ -122,12 +134,12 @@ fn masked_comparison_vector<R: Rng + ?Sized>(
         // a zero. Keys of ≥ 32 bits leave plenty of room.
         let r_bits = alice_pk.bits().saturating_sub(16).clamp(8, 64);
         let r = loop {
-            let candidate = random::gen_biguint_bits(rng, r_bits);
+            let candidate = random::gen_biguint_bits(&mut rng, r_bits);
             if !candidate.is_zero() {
                 break candidate;
             }
         };
-        out.push(alice_pk.rerandomize(&alice_pk.mul_plain(&c, &r), rng));
+        out.push(alice_pk.rerandomize(&alice_pk.mul_plain(&c, &r), &mut rng));
 
         // Update the prefix XOR: x ⊕ y = x when y = 0, 1 − x when y = 1.
         let xor = if y_bit == 0 {
@@ -139,41 +151,43 @@ fn masked_comparison_vector<R: Rng + ?Sized>(
     }
 
     // Permute so Alice cannot see which position witnessed the comparison.
-    out.shuffle(rng);
+    out.shuffle(&mut rng);
     Ok(out.iter().map(|c| c.as_biguint().clone()).collect())
 }
 
 /// Alice's side: inputs `x`, learns whether `x < y`. Both inputs must be
 /// `< 2^63` (they are domain-encoded comparison operands, far smaller).
-pub fn dgk_alice<C: Channel, R: Rng + ?Sized>(
+/// `ctx` is the record scope of this comparison.
+pub fn dgk_alice<C: Channel>(
     chan: &mut C,
     keypair: &Keypair,
     x: u64,
     domain_bound: u64,
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<bool, SmcError> {
     let ell = bit_width(domain_bound);
     // Step 1: encrypted bits, MSB first.
-    chan.send(&encrypt_bits(keypair, x, ell, rng)?)?;
+    chan.send(&encrypt_bits(keypair, x, ell, ctx.rng())?)?;
     // Step 3: decrypt the masked, permuted c_i values.
     let masked: Vec<BigUint> = chan.recv()?;
-    let x_lt_y = scan_masked(keypair, masked, ell)?;
+    let x_lt_y = scan_masked(keypair, &masked, ell)?;
     // Step 4: tell Bob, mirroring Algorithm 1's final message.
     chan.send(&x_lt_y)?;
     Ok(x_lt_y)
 }
 
-/// Bob's side: inputs `y`, learns whether `x < y`.
-pub fn dgk_bob<C: Channel, R: Rng + ?Sized>(
+/// Bob's side: inputs `y`, learns whether `x < y`. `ctx` is the record
+/// scope of this comparison.
+pub fn dgk_bob<C: Channel>(
     chan: &mut C,
     alice_pk: &PublicKey,
     y: u64,
     domain_bound: u64,
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<bool, SmcError> {
     let ell = bit_width(domain_bound);
     let raw_bits: Vec<BigUint> = chan.recv()?;
-    let wire = masked_comparison_vector(alice_pk, raw_bits, y, ell, rng)?;
+    let wire = masked_comparison_vector(alice_pk, &raw_bits, y, ell, ctx.rng())?;
     chan.send(&wire)?;
     Ok(chan.recv()?)
 }
@@ -183,25 +197,25 @@ pub fn dgk_bob<C: Channel, R: Rng + ?Sized>(
 /// frame of masked vectors back, one frame of conclusions out), versus
 /// `3k` rounds for `k` sequential [`dgk_alice`] calls.
 ///
-/// Per comparison the ciphertexts, masking, permutation, and RNG draw order
-/// are exactly those of the sequential protocol — only the framing changes —
-/// so outcomes and the leakage profile (one mutually-known bit per
-/// comparison) are identical.
-pub fn dgk_batch_alice<C: Channel, R: Rng + ?Sized>(
+/// Comparison `i` draws from `ctx.rng_for(i)` — exactly the stream a
+/// sequential caller scoping [`dgk_alice`] with `ctx.at(i)` would use — so
+/// outcomes, ciphertexts, and the leakage profile are identical to the
+/// unbatched run regardless of evaluation order, and the `k·ℓ` ciphertext
+/// encryptions/decryptions run on the [`crate::parallel`] pool.
+pub fn dgk_batch_alice<C: Channel>(
     chan: &mut C,
     keypair: &Keypair,
     xs: &[u64],
     domain_bound: u64,
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<Vec<bool>, SmcError> {
     if xs.is_empty() {
         return Ok(Vec::new());
     }
     let ell = bit_width(domain_bound);
-    let bit_groups: Vec<Vec<BigUint>> = xs
-        .iter()
-        .map(|&x| encrypt_bits(keypair, x, ell, rng))
-        .collect::<Result<_, _>>()?;
+    let bit_groups: Vec<Vec<BigUint>> = par_map(xs, |i, &x| {
+        encrypt_bits(keypair, x, ell, ctx.rng_for(i as u64))
+    })?;
     chan.send_batch(&bit_groups)?;
 
     let masked_groups: Vec<Vec<BigUint>> = chan.recv_batch()?;
@@ -212,21 +226,24 @@ pub fn dgk_batch_alice<C: Channel, R: Rng + ?Sized>(
             masked_groups.len()
         )));
     }
-    let results: Vec<bool> = masked_groups
-        .into_iter()
-        .map(|masked| scan_masked(keypair, masked, ell))
-        .collect::<Result<_, _>>()?;
+    let results: Vec<bool> = par_map(&masked_groups, |_, masked| {
+        scan_masked(keypair, masked, ell)
+    })?;
     chan.send_batch(&results)?;
     Ok(results)
 }
 
-/// Round-batched Bob side of [`dgk_batch_alice`].
-pub fn dgk_batch_bob<C: Channel, R: Rng + ?Sized>(
+/// Round-batched Bob side of [`dgk_batch_alice`]: comparison `i` draws its
+/// mask scalars and permutation from `ctx.rng_for(i)`, so each masked
+/// vector is independent of every other item's value-dependent rejection
+/// sampling — the property that closes the old batched-HDP leakage-order
+/// gap and lets the vectors be computed in parallel.
+pub fn dgk_batch_bob<C: Channel>(
     chan: &mut C,
     alice_pk: &PublicKey,
     ys: &[u64],
     domain_bound: u64,
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<Vec<bool>, SmcError> {
     if ys.is_empty() {
         return Ok(Vec::new());
@@ -240,11 +257,9 @@ pub fn dgk_batch_bob<C: Channel, R: Rng + ?Sized>(
             bit_groups.len()
         )));
     }
-    let out_groups: Vec<Vec<BigUint>> = bit_groups
-        .into_iter()
-        .zip(ys)
-        .map(|(raw_bits, &y)| masked_comparison_vector(alice_pk, raw_bits, y, ell, rng))
-        .collect::<Result<_, _>>()?;
+    let out_groups: Vec<Vec<BigUint>> = par_map(&bit_groups, |i, raw_bits| {
+        masked_comparison_vector(alice_pk, raw_bits, ys[i], ell, ctx.rng_for(i as u64))
+    })?;
     chan.send_batch(&out_groups)?;
 
     let results: Vec<bool> = chan.recv_batch()?;
@@ -261,17 +276,23 @@ pub fn dgk_batch_bob<C: Channel, R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_helpers::{alice_keypair, rng};
+    use crate::parallel::force_workers;
+    use crate::test_helpers::{alice_keypair, ctx, rng};
     use ppds_transport::duplex;
 
     fn run(x: u64, y: u64, bound: u64, seed: u64) -> bool {
         let (mut achan, mut bchan) = duplex();
         let alice = std::thread::spawn(move || {
-            let mut r = rng(seed);
-            dgk_alice(&mut achan, alice_keypair(), x, bound, &mut r).unwrap()
+            dgk_alice(&mut achan, alice_keypair(), x, bound, &ctx(seed)).unwrap()
         });
-        let mut r = rng(seed + 1);
-        let bob_view = dgk_bob(&mut bchan, &alice_keypair().public, y, bound, &mut r).unwrap();
+        let bob_view = dgk_bob(
+            &mut bchan,
+            &alice_keypair().public,
+            y,
+            bound,
+            &ctx(seed + 1),
+        )
+        .unwrap();
         let alice_view = alice.join().unwrap();
         assert_eq!(alice_view, bob_view, "views must agree");
         alice_view
@@ -327,8 +348,33 @@ mod tests {
             .as_biguint()
             .clone()];
         achan.send(&short).unwrap();
-        let err = dgk_bob(&mut bchan, &kp.public, 3, 7, &mut r).unwrap_err();
+        let err = dgk_bob(&mut bchan, &kp.public, 3, 7, &ctx(1)).unwrap_err();
         assert!(matches!(err, SmcError::Protocol(_)));
+    }
+
+    fn run_batch(
+        xs: Vec<u64>,
+        ys: Vec<u64>,
+        bound: u64,
+        seeds: (u64, u64),
+    ) -> (Vec<bool>, ppds_transport::MetricsSnapshot) {
+        let (mut achan, mut bchan) = duplex();
+        let alice = std::thread::spawn(move || {
+            let out =
+                dgk_batch_alice(&mut achan, alice_keypair(), &xs, bound, &ctx(seeds.0)).unwrap();
+            (out, achan.metrics())
+        });
+        let bob_view = dgk_batch_bob(
+            &mut bchan,
+            &alice_keypair().public,
+            &ys,
+            bound,
+            &ctx(seeds.1),
+        )
+        .unwrap();
+        let (alice_view, metrics) = alice.join().unwrap();
+        assert_eq!(alice_view, bob_view);
+        (alice_view, metrics)
     }
 
     #[test]
@@ -336,18 +382,7 @@ mod tests {
         let bound = 1023u64;
         let xs: Vec<u64> = vec![0, 1, 400, 700, 1023, 512];
         let ys: Vec<u64> = vec![1, 0, 700, 700, 0, 513];
-        let (mut achan, mut bchan) = duplex();
-        let xs2 = xs.clone();
-        let alice = std::thread::spawn(move || {
-            let mut r = rng(40);
-            let out = dgk_batch_alice(&mut achan, alice_keypair(), &xs2, bound, &mut r).unwrap();
-            (out, achan.metrics())
-        });
-        let mut r = rng(41);
-        let bob_view =
-            dgk_batch_bob(&mut bchan, &alice_keypair().public, &ys, bound, &mut r).unwrap();
-        let (alice_view, metrics) = alice.join().unwrap();
-        assert_eq!(alice_view, bob_view);
+        let (alice_view, metrics) = run_batch(xs.clone(), ys.clone(), bound, (40, 41));
         for i in 0..xs.len() {
             assert_eq!(alice_view[i], xs[i] < ys[i], "{} < {}", xs[i], ys[i]);
         }
@@ -358,11 +393,66 @@ mod tests {
     }
 
     #[test]
+    fn batch_items_equal_scoped_sequential_calls() {
+        // Keyed substreams: batch item i must produce exactly the bytes of
+        // a sequential dgk run scoped at(i) — the invariant that makes
+        // batched and unbatched protocol framings transcript-identical.
+        let bound = 255u64;
+        let xs: Vec<u64> = vec![3, 200, 77];
+        let ys: Vec<u64> = vec![4, 100, 77];
+        let (batch_view, _) = run_batch(xs.clone(), ys.clone(), bound, (50, 51));
+        for (i, (&x, &y)) in xs.iter().zip(&ys).enumerate() {
+            let (mut achan, mut bchan) = duplex();
+            let alice = std::thread::spawn(move || {
+                dgk_alice(&mut achan, alice_keypair(), x, bound, &ctx(50).at(i as u64)).unwrap()
+            });
+            let bob_view = dgk_bob(
+                &mut bchan,
+                &alice_keypair().public,
+                y,
+                bound,
+                &ctx(51).at(i as u64),
+            )
+            .unwrap();
+            assert_eq!(alice.join().unwrap(), batch_view[i]);
+            assert_eq!(bob_view, batch_view[i]);
+        }
+    }
+
+    #[test]
+    fn parallel_batch_is_byte_identical_to_sequential_batch() {
+        let bound = 1023u64;
+        let xs: Vec<u64> = (0..12).map(|i| i * 85).collect();
+        let ys: Vec<u64> = (0..12).map(|i| 1020 - i * 85).collect();
+        let run_with = |workers| {
+            let _guard = force_workers(workers);
+            let (mut achan, mut bchan) = duplex();
+            let xs = xs.clone();
+            let alice = std::thread::spawn(move || {
+                let out =
+                    dgk_batch_alice(&mut achan, alice_keypair(), &xs, bound, &ctx(60)).unwrap();
+                (out, achan.metrics())
+            });
+            let bob =
+                dgk_batch_bob(&mut bchan, &alice_keypair().public, &ys, bound, &ctx(61)).unwrap();
+            let (a, metrics) = alice.join().unwrap();
+            (a, bob, metrics.total_bytes())
+        };
+        let (a1, b1, bytes1) = run_with(1);
+        let (a4, b4, bytes4) = run_with(4);
+        assert_eq!(a1, a4);
+        assert_eq!(b1, b4);
+        assert_eq!(
+            bytes1, bytes4,
+            "every wire byte identical under parallelism"
+        );
+    }
+
+    #[test]
     fn empty_batch_touches_no_wire() {
         let (mut achan, mut bchan) = duplex();
-        let mut r = rng(42);
-        let a = dgk_batch_alice(&mut achan, alice_keypair(), &[], 7, &mut r).unwrap();
-        let b = dgk_batch_bob(&mut bchan, &alice_keypair().public, &[], 7, &mut r).unwrap();
+        let a = dgk_batch_alice(&mut achan, alice_keypair(), &[], 7, &ctx(42)).unwrap();
+        let b = dgk_batch_bob(&mut bchan, &alice_keypair().public, &[], 7, &ctx(42)).unwrap();
         assert!(a.is_empty() && b.is_empty());
         assert_eq!(achan.metrics().total_rounds(), 0);
     }
@@ -374,12 +464,10 @@ mod tests {
         let bound = 1023u64;
         let (mut achan, mut bchan) = duplex();
         let alice = std::thread::spawn(move || {
-            let mut r = rng(2);
-            dgk_alice(&mut achan, alice_keypair(), 400, bound, &mut r).unwrap();
+            dgk_alice(&mut achan, alice_keypair(), 400, bound, &ctx(2)).unwrap();
             achan.metrics().total_bytes()
         });
-        let mut r = rng(3);
-        dgk_bob(&mut bchan, &alice_keypair().public, 700, bound, &mut r).unwrap();
+        dgk_bob(&mut bchan, &alice_keypair().public, 700, bound, &ctx(3)).unwrap();
         let dgk_bytes = alice.join().unwrap();
         let (m1, m2, m3) = crate::millionaires::modeled_message_sizes(256, bound + 1);
         let yao_bytes = m1 + m2 + m3;

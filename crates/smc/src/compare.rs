@@ -18,11 +18,11 @@
 //!   CPU-years, while still reporting the traffic the faithful protocol
 //!   would have produced.
 
+use crate::context::ProtocolContext;
 use crate::error::SmcError;
 use crate::millionaires::{self, YaoConfig};
 use ppds_paillier::{Keypair, PublicKey};
 use ppds_transport::Channel;
-use rand::Rng;
 
 /// Which secure-comparison backend to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -100,33 +100,35 @@ impl ComparisonDomain {
 }
 
 /// Alice's side of one secure comparison; returns `alice_value OP bob_value`.
-/// Alice must hold the Paillier keypair used by the Yao backend.
-pub fn compare_alice<C: Channel, R: Rng + ?Sized>(
+/// Alice must hold the Paillier keypair used by the Yao backend. `ctx` is
+/// the record scope of this comparison (`step_ctx.at(record)`); the batch
+/// entry points derive the same scopes per item, so framings agree.
+pub fn compare_alice<C: Channel>(
     comparator: Comparator,
     chan: &mut C,
     keypair: &Keypair,
     value: i64,
     op: CmpOp,
     domain: &ComparisonDomain,
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<bool, SmcError> {
     let i = domain.encode(value)?;
     match comparator {
-        Comparator::Yao => millionaires::yao_alice(chan, keypair, i, &domain.yao_config(), rng),
+        Comparator::Yao => millionaires::yao_alice(chan, keypair, i, &domain.yao_config(), ctx),
         Comparator::Ideal => ideal_alice(chan, keypair.public.bits(), i, op, domain),
-        Comparator::Dgk => crate::bitwise::dgk_alice(chan, keypair, i, domain.n0(), rng),
+        Comparator::Dgk => crate::bitwise::dgk_alice(chan, keypair, i, domain.n0(), ctx),
     }
 }
 
 /// Bob's side of one secure comparison; returns `alice_value OP bob_value`.
-pub fn compare_bob<C: Channel, R: Rng + ?Sized>(
+pub fn compare_bob<C: Channel>(
     comparator: Comparator,
     chan: &mut C,
     alice_pk: &PublicKey,
     value: i64,
     op: CmpOp,
     domain: &ComparisonDomain,
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<bool, SmcError> {
     let j = domain.encode(value)?;
     // `i ≤ j` is evaluated as `i < j + 1`; the domain reserves the headroom.
@@ -135,9 +137,9 @@ pub fn compare_bob<C: Channel, R: Rng + ?Sized>(
         CmpOp::Leq => j + 1,
     };
     match comparator {
-        Comparator::Yao => millionaires::yao_bob(chan, alice_pk, j_eff, &domain.yao_config(), rng),
+        Comparator::Yao => millionaires::yao_bob(chan, alice_pk, j_eff, &domain.yao_config(), ctx),
         Comparator::Ideal => ideal_bob(chan, alice_pk.bits(), j_eff, domain),
-        Comparator::Dgk => crate::bitwise::dgk_bob(chan, alice_pk, j_eff, domain.n0(), rng),
+        Comparator::Dgk => crate::bitwise::dgk_bob(chan, alice_pk, j_eff, domain.n0(), ctx),
     }
 }
 
@@ -154,15 +156,18 @@ pub fn compare_bob<C: Channel, R: Rng + ?Sized>(
 /// z-sequence is per-comparison interactive state), so it degrades to the
 /// sequential loop with identical results and no round win.
 ///
+/// Comparison `i` of the batch draws from `ctx.rng_for(i)` — the stream a
+/// sequential caller would get from [`compare_alice`] scoped `ctx.at(i)`.
+///
 /// [`Batch`]: ppds_transport::Batch
-pub fn compare_batch_alice<C: Channel, R: Rng + ?Sized>(
+pub fn compare_batch_alice<C: Channel>(
     comparator: Comparator,
     chan: &mut C,
     keypair: &Keypair,
     values: &[i64],
     op: CmpOp,
     domain: &ComparisonDomain,
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<Vec<bool>, SmcError> {
     if values.is_empty() {
         return Ok(Vec::new());
@@ -174,22 +179,25 @@ pub fn compare_batch_alice<C: Channel, R: Rng + ?Sized>(
     match comparator {
         Comparator::Yao => is
             .iter()
-            .map(|&i| millionaires::yao_alice(chan, keypair, i, &domain.yao_config(), rng))
+            .enumerate()
+            .map(|(idx, &i)| {
+                millionaires::yao_alice(chan, keypair, i, &domain.yao_config(), &ctx.at(idx as u64))
+            })
             .collect(),
         Comparator::Ideal => ideal_batch_alice(chan, keypair.public.bits(), &is, op, domain),
-        Comparator::Dgk => crate::bitwise::dgk_batch_alice(chan, keypair, &is, domain.n0(), rng),
+        Comparator::Dgk => crate::bitwise::dgk_batch_alice(chan, keypair, &is, domain.n0(), ctx),
     }
 }
 
 /// Round-batched Bob side of [`compare_batch_alice`].
-pub fn compare_batch_bob<C: Channel, R: Rng + ?Sized>(
+pub fn compare_batch_bob<C: Channel>(
     comparator: Comparator,
     chan: &mut C,
     alice_pk: &PublicKey,
     values: &[i64],
     op: CmpOp,
     domain: &ComparisonDomain,
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<Vec<bool>, SmcError> {
     if values.is_empty() {
         return Ok(Vec::new());
@@ -206,49 +214,52 @@ pub fn compare_batch_bob<C: Channel, R: Rng + ?Sized>(
     match comparator {
         Comparator::Yao => j_effs
             .iter()
-            .map(|&j| millionaires::yao_bob(chan, alice_pk, j, &domain.yao_config(), rng))
+            .enumerate()
+            .map(|(idx, &j)| {
+                millionaires::yao_bob(chan, alice_pk, j, &domain.yao_config(), &ctx.at(idx as u64))
+            })
             .collect(),
         Comparator::Ideal => ideal_batch_bob(chan, alice_pk.bits(), &j_effs, domain),
-        Comparator::Dgk => crate::bitwise::dgk_batch_bob(chan, alice_pk, &j_effs, domain.n0(), rng),
+        Comparator::Dgk => crate::bitwise::dgk_batch_bob(chan, alice_pk, &j_effs, domain.n0(), ctx),
     }
 }
 
 /// Share comparison (§5): Alice holds `u_a, u_b`, Bob holds `v_a, v_b`,
 /// shares of `dist_a = u_a - v_a` and `dist_b = u_b - v_b`. Both learn
 /// whether `dist_a < dist_b`, via `u_a - u_b < v_a - v_b`.
-pub fn share_less_than_alice<C: Channel, R: Rng + ?Sized>(
+pub fn share_less_than_alice<C: Channel>(
     comparator: Comparator,
     chan: &mut C,
     keypair: &Keypair,
     u_a: i64,
     u_b: i64,
     domain: &ComparisonDomain,
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<bool, SmcError> {
     let diff = u_a.checked_sub(u_b).ok_or(SmcError::DomainViolation {
         value: i64::MAX,
         lo: domain.lo,
         hi: domain.hi,
     })?;
-    compare_alice(comparator, chan, keypair, diff, CmpOp::Lt, domain, rng)
+    compare_alice(comparator, chan, keypair, diff, CmpOp::Lt, domain, ctx)
 }
 
 /// Bob's half of [`share_less_than_alice`].
-pub fn share_less_than_bob<C: Channel, R: Rng + ?Sized>(
+pub fn share_less_than_bob<C: Channel>(
     comparator: Comparator,
     chan: &mut C,
     alice_pk: &PublicKey,
     v_a: i64,
     v_b: i64,
     domain: &ComparisonDomain,
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<bool, SmcError> {
     let diff = v_a.checked_sub(v_b).ok_or(SmcError::DomainViolation {
         value: i64::MAX,
         lo: domain.lo,
         hi: domain.hi,
     })?;
-    compare_bob(comparator, chan, alice_pk, diff, CmpOp::Lt, domain, rng)
+    compare_bob(comparator, chan, alice_pk, diff, CmpOp::Lt, domain, ctx)
 }
 
 fn share_diffs(pairs: &[(i64, i64)], domain: &ComparisonDomain) -> Result<Vec<i64>, SmcError> {
@@ -268,29 +279,29 @@ fn share_diffs(pairs: &[(i64, i64)], domain: &ComparisonDomain) -> Result<Vec<i6
 /// `(v_a, v_b)` decides `dist_a < dist_b`, all in a constant number of wire
 /// rounds (see [`compare_batch_alice`]). Used by the enhanced protocol's
 /// batched quickselect partitions.
-pub fn share_less_than_batch_alice<C: Channel, R: Rng + ?Sized>(
+pub fn share_less_than_batch_alice<C: Channel>(
     comparator: Comparator,
     chan: &mut C,
     keypair: &Keypair,
     pairs: &[(i64, i64)],
     domain: &ComparisonDomain,
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<Vec<bool>, SmcError> {
     let diffs = share_diffs(pairs, domain)?;
-    compare_batch_alice(comparator, chan, keypair, &diffs, CmpOp::Lt, domain, rng)
+    compare_batch_alice(comparator, chan, keypair, &diffs, CmpOp::Lt, domain, ctx)
 }
 
 /// Bob's half of [`share_less_than_batch_alice`].
-pub fn share_less_than_batch_bob<C: Channel, R: Rng + ?Sized>(
+pub fn share_less_than_batch_bob<C: Channel>(
     comparator: Comparator,
     chan: &mut C,
     alice_pk: &PublicKey,
     pairs: &[(i64, i64)],
     domain: &ComparisonDomain,
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<Vec<bool>, SmcError> {
     let diffs = share_diffs(pairs, domain)?;
-    compare_batch_bob(comparator, chan, alice_pk, &diffs, CmpOp::Lt, domain, rng)
+    compare_batch_bob(comparator, chan, alice_pk, &diffs, CmpOp::Lt, domain, ctx)
 }
 
 // ---------------------------------------------------------------------------
@@ -415,13 +426,12 @@ fn ideal_batch_bob<C: Channel>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_helpers::{alice_keypair, rng};
+    use crate::test_helpers::{alice_keypair, ctx};
     use ppds_transport::duplex;
 
     fn run(comparator: Comparator, a: i64, b: i64, op: CmpOp, domain: ComparisonDomain) -> bool {
         let (mut achan, mut bchan) = duplex();
         let alice = std::thread::spawn(move || {
-            let mut r = rng(500);
             compare_alice(
                 comparator,
                 &mut achan,
@@ -429,11 +439,10 @@ mod tests {
                 a,
                 op,
                 &domain,
-                &mut r,
+                &ctx(500),
             )
             .unwrap()
         });
-        let mut r = rng(501);
         let bob_view = compare_bob(
             comparator,
             &mut bchan,
@@ -441,7 +450,7 @@ mod tests {
             b,
             op,
             &domain,
-            &mut r,
+            &ctx(501),
         )
         .unwrap();
         let alice_view = alice.join().unwrap();
@@ -482,7 +491,6 @@ mod tests {
     fn out_of_domain_is_error() {
         let domain = ComparisonDomain::symmetric(5);
         let (mut achan, _b) = duplex();
-        let mut r = rng(1);
         assert!(matches!(
             compare_alice(
                 Comparator::Ideal,
@@ -491,7 +499,7 @@ mod tests {
                 6,
                 CmpOp::Lt,
                 &domain,
-                &mut r
+                &ctx(1)
             ),
             Err(SmcError::DomainViolation { value: 6, .. })
         ));
@@ -514,7 +522,6 @@ mod tests {
         let (u_b, v_b) = (20i64, 8i64);
         let (mut achan, mut bchan) = duplex();
         let alice = std::thread::spawn(move || {
-            let mut r = rng(2);
             share_less_than_alice(
                 Comparator::Yao,
                 &mut achan,
@@ -522,11 +529,10 @@ mod tests {
                 u_a,
                 u_b,
                 &domain,
-                &mut r,
+                &ctx(2),
             )
             .unwrap()
         });
-        let mut r = rng(3);
         let bob_view = share_less_than_bob(
             Comparator::Yao,
             &mut bchan,
@@ -534,7 +540,7 @@ mod tests {
             v_a,
             v_b,
             &domain,
-            &mut r,
+            &ctx(3),
         )
         .unwrap();
         let alice_view = alice.join().unwrap();
@@ -551,7 +557,6 @@ mod tests {
         for comparator in [Comparator::Yao, Comparator::Ideal] {
             let (mut achan, mut bchan) = duplex();
             let alice = std::thread::spawn(move || {
-                let mut r = rng(7);
                 compare_alice(
                     comparator,
                     &mut achan,
@@ -559,12 +564,11 @@ mod tests {
                     3,
                     CmpOp::Lt,
                     &domain,
-                    &mut r,
+                    &ctx(7),
                 )
                 .unwrap();
                 achan.metrics().total_bytes()
             });
-            let mut r = rng(8);
             compare_bob(
                 comparator,
                 &mut bchan,
@@ -572,7 +576,7 @@ mod tests {
                 5,
                 CmpOp::Lt,
                 &domain,
-                &mut r,
+                &ctx(8),
             )
             .unwrap();
             totals.push(alice.join().unwrap() as f64);
@@ -592,7 +596,6 @@ mod tests {
         let a_vals: Vec<i64> = pairs.iter().map(|p| p.0).collect();
         let b_vals: Vec<i64> = pairs.iter().map(|p| p.1).collect();
         let alice = std::thread::spawn(move || {
-            let mut r = rng(600);
             let out = compare_batch_alice(
                 comparator,
                 &mut achan,
@@ -600,12 +603,11 @@ mod tests {
                 &a_vals,
                 op,
                 &domain,
-                &mut r,
+                &ctx(600),
             )
             .unwrap();
             (out, achan.metrics())
         });
-        let mut r = rng(601);
         let bob_view = compare_batch_bob(
             comparator,
             &mut bchan,
@@ -613,7 +615,7 @@ mod tests {
             &b_vals,
             op,
             &domain,
-            &mut r,
+            &ctx(601),
         )
         .unwrap();
         let (alice_view, metrics) = alice.join().unwrap();
@@ -657,7 +659,6 @@ mod tests {
     #[test]
     fn empty_batch_is_wire_silent() {
         let (mut achan, _b) = duplex();
-        let mut r = rng(1);
         let domain = ComparisonDomain::symmetric(5);
         let out = compare_batch_alice(
             Comparator::Ideal,
@@ -666,7 +667,7 @@ mod tests {
             &[],
             CmpOp::Lt,
             &domain,
-            &mut r,
+            &ctx(1),
         )
         .unwrap();
         assert!(out.is_empty());
@@ -681,25 +682,23 @@ mod tests {
         let vs = [(43i64, 8i64), (2, 0), (0, 1)];
         let (mut achan, mut bchan) = duplex();
         let alice = std::thread::spawn(move || {
-            let mut r = rng(2);
             share_less_than_batch_alice(
                 Comparator::Ideal,
                 &mut achan,
                 alice_keypair(),
                 &us,
                 &domain,
-                &mut r,
+                &ctx(2),
             )
             .unwrap()
         });
-        let mut r = rng(3);
         let bob_view = share_less_than_batch_bob(
             Comparator::Ideal,
             &mut bchan,
             &alice_keypair().public,
             &vs,
             &domain,
-            &mut r,
+            &ctx(3),
         )
         .unwrap();
         let alice_view = alice.join().unwrap();

@@ -22,10 +22,10 @@ use crate::compare::{
     share_less_than_alice, share_less_than_batch_alice, share_less_than_batch_bob,
     share_less_than_bob, Comparator, ComparisonDomain,
 };
+use crate::context::ProtocolContext;
 use crate::error::SmcError;
 use ppds_paillier::{Keypair, PublicKey};
 use ppds_transport::Channel;
-use rand::Rng;
 
 /// Which of the paper's two k-th-smallest algorithms to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -48,8 +48,11 @@ pub struct SelectionOutcome {
 }
 
 /// Alice's side: her shares are `u_i`; returns the k-th smallest (1-based).
+/// `ctx` is the selection step's context; the engine scopes every
+/// comparison by its (level, pair) position, so batched and unbatched
+/// executions draw identical streams.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
-pub fn kth_smallest_alice<C: Channel, R: Rng + ?Sized>(
+pub fn kth_smallest_alice<C: Channel>(
     method: SelectionMethod,
     comparator: Comparator,
     chan: &mut C,
@@ -57,10 +60,10 @@ pub fn kth_smallest_alice<C: Channel, R: Rng + ?Sized>(
     shares: &[i64],
     k: usize,
     domain: &ComparisonDomain,
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<SelectionOutcome, SmcError> {
     kth_alice_impl(
-        method, comparator, chan, keypair, shares, k, domain, rng, false,
+        method, comparator, chan, keypair, shares, k, domain, ctx, false,
     )
 }
 
@@ -73,7 +76,7 @@ pub fn kth_smallest_alice<C: Channel, R: Rng + ?Sized>(
 /// identical either way: the same comparisons run with the same operands,
 /// only the framing changes.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
-pub fn kth_smallest_alice_batched<C: Channel, R: Rng + ?Sized>(
+pub fn kth_smallest_alice_batched<C: Channel>(
     method: SelectionMethod,
     comparator: Comparator,
     chan: &mut C,
@@ -81,16 +84,16 @@ pub fn kth_smallest_alice_batched<C: Channel, R: Rng + ?Sized>(
     shares: &[i64],
     k: usize,
     domain: &ComparisonDomain,
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<SelectionOutcome, SmcError> {
     kth_alice_impl(
-        method, comparator, chan, keypair, shares, k, domain, rng, true,
+        method, comparator, chan, keypair, shares, k, domain, ctx, true,
     )
 }
 
 /// Bob's side: his shares are `v_i`.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
-pub fn kth_smallest_bob<C: Channel, R: Rng + ?Sized>(
+pub fn kth_smallest_bob<C: Channel>(
     method: SelectionMethod,
     comparator: Comparator,
     chan: &mut C,
@@ -98,16 +101,16 @@ pub fn kth_smallest_bob<C: Channel, R: Rng + ?Sized>(
     shares: &[i64],
     k: usize,
     domain: &ComparisonDomain,
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<SelectionOutcome, SmcError> {
     kth_bob_impl(
-        method, comparator, chan, alice_pk, shares, k, domain, rng, false,
+        method, comparator, chan, alice_pk, shares, k, domain, ctx, false,
     )
 }
 
 /// Round-batched Bob side; see [`kth_smallest_alice_batched`].
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
-pub fn kth_smallest_bob_batched<C: Channel, R: Rng + ?Sized>(
+pub fn kth_smallest_bob_batched<C: Channel>(
     method: SelectionMethod,
     comparator: Comparator,
     chan: &mut C,
@@ -115,15 +118,15 @@ pub fn kth_smallest_bob_batched<C: Channel, R: Rng + ?Sized>(
     shares: &[i64],
     k: usize,
     domain: &ComparisonDomain,
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<SelectionOutcome, SmcError> {
     kth_bob_impl(
-        method, comparator, chan, alice_pk, shares, k, domain, rng, true,
+        method, comparator, chan, alice_pk, shares, k, domain, ctx, true,
     )
 }
 
 #[allow(clippy::too_many_arguments)]
-fn kth_alice_impl<C: Channel, R: Rng + ?Sized>(
+fn kth_alice_impl<C: Channel>(
     method: SelectionMethod,
     comparator: Comparator,
     chan: &mut C,
@@ -131,26 +134,27 @@ fn kth_alice_impl<C: Channel, R: Rng + ?Sized>(
     shares: &[i64],
     k: usize,
     domain: &ComparisonDomain,
-    rng: &mut R,
+    ctx: &ProtocolContext,
     batched: bool,
 ) -> Result<SelectionOutcome, SmcError> {
-    let mut less_many = |pairs: &[(usize, usize)], chan: &mut C, rng: &mut R| {
+    let mut less_many = |pairs: &[(usize, usize)], chan: &mut C, scope: &ProtocolContext| {
         if let [(a, b)] = pairs {
-            // Single-pair calls keep the unbatched wire format byte-exact.
+            // Single-pair calls keep the unbatched wire format byte-exact;
+            // `scope` is already record-scoped by the engine.
             return share_less_than_alice(
-                comparator, chan, keypair, shares[*a], shares[*b], domain, rng,
+                comparator, chan, keypair, shares[*a], shares[*b], domain, scope,
             )
             .map(|r| vec![r]);
         }
         let share_pairs: Vec<(i64, i64)> =
             pairs.iter().map(|&(a, b)| (shares[a], shares[b])).collect();
-        share_less_than_batch_alice(comparator, chan, keypair, &share_pairs, domain, rng)
+        share_less_than_batch_alice(comparator, chan, keypair, &share_pairs, domain, scope)
     };
-    kth_engine(shares.len(), k, method, batched, chan, rng, &mut less_many)
+    kth_engine(shares.len(), k, method, batched, chan, ctx, &mut less_many)
 }
 
 #[allow(clippy::too_many_arguments)]
-fn kth_bob_impl<C: Channel, R: Rng + ?Sized>(
+fn kth_bob_impl<C: Channel>(
     method: SelectionMethod,
     comparator: Comparator,
     chan: &mut C,
@@ -158,40 +162,40 @@ fn kth_bob_impl<C: Channel, R: Rng + ?Sized>(
     shares: &[i64],
     k: usize,
     domain: &ComparisonDomain,
-    rng: &mut R,
+    ctx: &ProtocolContext,
     batched: bool,
 ) -> Result<SelectionOutcome, SmcError> {
-    let mut less_many = |pairs: &[(usize, usize)], chan: &mut C, rng: &mut R| {
+    let mut less_many = |pairs: &[(usize, usize)], chan: &mut C, scope: &ProtocolContext| {
         if let [(a, b)] = pairs {
             return share_less_than_bob(
-                comparator, chan, alice_pk, shares[*a], shares[*b], domain, rng,
+                comparator, chan, alice_pk, shares[*a], shares[*b], domain, scope,
             )
             .map(|r| vec![r]);
         }
         let share_pairs: Vec<(i64, i64)> =
             pairs.iter().map(|&(a, b)| (shares[a], shares[b])).collect();
-        share_less_than_batch_bob(comparator, chan, alice_pk, &share_pairs, domain, rng)
+        share_less_than_batch_bob(comparator, chan, alice_pk, &share_pairs, domain, scope)
     };
-    kth_engine(shares.len(), k, method, batched, chan, rng, &mut less_many)
+    kth_engine(shares.len(), k, method, batched, chan, ctx, &mut less_many)
 }
 
 /// Role-neutral engine: identical deterministic control flow on both sides,
 /// parameterized by the party-specific comparison call. `less_many` runs a
 /// slice of independent share comparisons and returns one outcome per pair;
-/// sequential call sites pass single-pair slices.
-fn kth_engine<C, R, F>(
+/// sequential call sites receive a record-scoped context per single pair,
+/// batch call sites the level context (items key themselves by index).
+fn kth_engine<C, F>(
     n: usize,
     k: usize,
     method: SelectionMethod,
     batched: bool,
     chan: &mut C,
-    rng: &mut R,
+    ctx: &ProtocolContext,
     less_many: &mut F,
 ) -> Result<SelectionOutcome, SmcError>
 where
     C: Channel,
-    R: Rng + ?Sized,
-    F: FnMut(&[(usize, usize)], &mut C, &mut R) -> Result<Vec<bool>, SmcError>,
+    F: FnMut(&[(usize, usize)], &mut C, &ProtocolContext) -> Result<Vec<bool>, SmcError>,
 {
     assert!(n > 0, "cannot select from an empty share vector");
     assert!(
@@ -199,31 +203,32 @@ where
         "k = {k} out of range for {n} elements"
     );
     match method {
-        SelectionMethod::RepeatedMin => repeated_min(n, k, chan, rng, less_many),
-        SelectionMethod::QuickSelect => quick_select(n, k, batched, chan, rng, less_many),
+        SelectionMethod::RepeatedMin => repeated_min(n, k, chan, ctx, less_many),
+        SelectionMethod::QuickSelect => quick_select(n, k, batched, chan, ctx, less_many),
     }
 }
 
-fn repeated_min<C, R, F>(
+fn repeated_min<C, F>(
     n: usize,
     k: usize,
     chan: &mut C,
-    rng: &mut R,
+    ctx: &ProtocolContext,
     less_many: &mut F,
 ) -> Result<SelectionOutcome, SmcError>
 where
     C: Channel,
-    R: Rng + ?Sized,
-    F: FnMut(&[(usize, usize)], &mut C, &mut R) -> Result<Vec<bool>, SmcError>,
+    F: FnMut(&[(usize, usize)], &mut C, &ProtocolContext) -> Result<Vec<bool>, SmcError>,
 {
     let mut active: Vec<usize> = (0..n).collect();
     let mut comparisons = 0;
     for round in 0..k {
         let mut min_pos = 0;
         for pos in 1..active.len() {
+            // Inherently sequential control flow, but each comparison's
+            // randomness is keyed by its ordinal, not by stream position.
+            let scope = ctx.at(comparisons as u64);
             comparisons += 1;
-            // Inherently sequential: the next operand is the running min.
-            if less_many(&[(active[pos], active[min_pos])], chan, rng)?[0] {
+            if less_many(&[(active[pos], active[min_pos])], chan, &scope)?[0] {
                 min_pos = pos;
             }
         }
@@ -238,22 +243,22 @@ where
     unreachable!("loop returns on round k-1")
 }
 
-fn quick_select<C, R, F>(
+fn quick_select<C, F>(
     n: usize,
     k: usize,
     batched: bool,
     chan: &mut C,
-    rng: &mut R,
+    ctx: &ProtocolContext,
     less_many: &mut F,
 ) -> Result<SelectionOutcome, SmcError>
 where
     C: Channel,
-    R: Rng + ?Sized,
-    F: FnMut(&[(usize, usize)], &mut C, &mut R) -> Result<Vec<bool>, SmcError>,
+    F: FnMut(&[(usize, usize)], &mut C, &ProtocolContext) -> Result<Vec<bool>, SmcError>,
 {
     let mut items: Vec<usize> = (0..n).collect();
     let mut k = k; // 1-based rank within `items`
     let mut comparisons = 0;
+    let mut level = 0u64;
     loop {
         if items.len() == 1 {
             return Ok(SelectionOutcome {
@@ -266,14 +271,17 @@ where
         let pivot = items[items.len() / 2];
         let others: Vec<usize> = items.iter().copied().filter(|&i| i != pivot).collect();
         // Every pivot comparison of one partition level is independent, so
-        // a batched run ships them as one frame set.
-        let outcomes: Vec<bool> = if batched {
+        // a batched run ships them as one frame set. Comparison `i` of
+        // level `ℓ` draws from `ctx.at(ℓ).at(i)` in both framings.
+        let level_ctx = ctx.at(level);
+        level += 1;
+        let outcomes: Vec<bool> = if batched && others.len() > 1 {
             let pairs: Vec<(usize, usize)> = others.iter().map(|&i| (i, pivot)).collect();
-            less_many(&pairs, chan, rng)?
+            less_many(&pairs, chan, &level_ctx)?
         } else {
             let mut out = Vec::with_capacity(others.len());
-            for &idx in &others {
-                out.push(less_many(&[(idx, pivot)], chan, rng)?[0]);
+            for (i, &idx) in others.iter().enumerate() {
+                out.push(less_many(&[(idx, pivot)], chan, &level_ctx.at(i as u64))?[0]);
             }
             out
         };
@@ -307,8 +315,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_helpers::{alice_keypair, rng};
+    use crate::test_helpers::{alice_keypair, ctx, rng};
     use ppds_transport::duplex;
+    use rand::Rng;
 
     /// Splits `dists` into shares (u_i = d_i + v_i for random v_i), runs the
     /// selection on two threads, and returns the outcome both sides agree on.
@@ -327,7 +336,6 @@ mod tests {
 
         let (mut achan, mut bchan) = duplex();
         let alice = std::thread::spawn(move || {
-            let mut ar = rng(seed + 1);
             kth_smallest_alice(
                 method,
                 comparator,
@@ -336,11 +344,10 @@ mod tests {
                 &us,
                 k,
                 &domain,
-                &mut ar,
+                &ctx(seed + 1),
             )
             .unwrap()
         });
-        let mut br = rng(seed + 2);
         let bob = kth_smallest_bob(
             method,
             comparator,
@@ -349,7 +356,7 @@ mod tests {
             &vs,
             k,
             &domain,
-            &mut br,
+            &ctx(seed + 2),
         )
         .unwrap();
         let alice = alice.join().unwrap();
@@ -464,7 +471,6 @@ mod tests {
 
         let (mut achan, mut bchan) = duplex();
         let alice = std::thread::spawn(move || {
-            let mut ar = rng(seed + 1);
             let out = kth_smallest_alice_batched(
                 method,
                 Comparator::Ideal,
@@ -473,12 +479,11 @@ mod tests {
                 &us,
                 k,
                 &domain,
-                &mut ar,
+                &ctx(seed + 1),
             )
             .unwrap();
             (out, achan.metrics())
         });
-        let mut br = rng(seed + 2);
         let bob = kth_smallest_bob_batched(
             method,
             Comparator::Ideal,
@@ -487,7 +492,7 @@ mod tests {
             &vs,
             k,
             &domain,
-            &mut br,
+            &ctx(seed + 2),
         )
         .unwrap();
         let (alice, metrics) = alice.join().unwrap();

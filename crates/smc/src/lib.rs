@@ -33,21 +33,33 @@
 //! [`leakage::LeakageLog`] captures each value a protocol deliberately
 //! reveals, so callers can assert an execution leaked exactly what the
 //! paper's theorems permit.
+//!
+//! Randomness is supplied through [`context::ProtocolContext`]: every
+//! entry point takes a record-scoped context and derives keyed substreams
+//! (session seed → step → instance → record) instead of threading one
+//! sequential generator, so draws are independent of execution order —
+//! batched and unbatched framings produce byte-identical transcripts, and
+//! batch items evaluate in parallel on the [`parallel`] worker pool
+//! without changing a single output byte.
 
 pub mod bitwise;
 pub mod compare;
+pub mod context;
 pub mod error;
 pub mod kth;
 pub mod leakage;
 pub mod millionaires;
 pub mod multiplication;
+pub mod parallel;
 pub mod setup;
 
+pub use context::{ProtocolContext, RecordId};
 pub use error::SmcError;
 pub use leakage::{LeakageEvent, LeakageLog, Party};
 
 #[cfg(test)]
 pub(crate) mod test_helpers {
+    use crate::context::ProtocolContext;
     use ppds_paillier::Keypair;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -55,6 +67,10 @@ pub(crate) mod test_helpers {
 
     pub fn rng(seed: u64) -> StdRng {
         StdRng::seed_from_u64(seed)
+    }
+
+    pub fn ctx(seed: u64) -> ProtocolContext {
+        ProtocolContext::new(seed)
     }
 
     pub fn alice_keypair() -> &'static Keypair {

@@ -19,11 +19,11 @@
 //! Paillier decryptions — the cost the paper's complexity analyses charge
 //! per comparison, reproduced by experiment E7.
 
+use crate::context::ProtocolContext;
 use crate::error::SmcError;
 use ppds_bigint::{prime, random, BigUint};
 use ppds_paillier::{Ciphertext, Keypair, PublicKey};
 use ppds_transport::Channel;
-use rand::Rng;
 
 /// Parameters agreed by both parties before running the protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,15 +59,18 @@ fn check_input(value: u64, config: &YaoConfig) -> Result<(), SmcError> {
     Ok(())
 }
 
-/// Alice's side: inputs `i`, learns whether `i < j`.
-pub fn yao_alice<C: Channel, R: Rng + ?Sized>(
+/// Alice's side: inputs `i`, learns whether `i < j`. `ctx` is the
+/// record scope of this comparison (the prime search draws from its leaf
+/// stream).
+pub fn yao_alice<C: Channel>(
     chan: &mut C,
     keypair: &Keypair,
     i: u64,
     config: &YaoConfig,
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<bool, SmcError> {
     check_input(i, config)?;
+    let mut rng = ctx.rng();
     let n0 = config.n0;
 
     // Step 2-3: receive k - j + 1, decrypt the n0 consecutive candidates.
@@ -82,7 +85,7 @@ pub fn yao_alice<C: Channel, R: Rng + ?Sized>(
     let half_bits = (keypair.public.bits() / 2).max(16);
     let mut p = None;
     for _ in 0..MAX_PRIME_ATTEMPTS {
-        let candidate = prime::gen_prime(rng, half_bits);
+        let candidate = prime::gen_prime(&mut rng, half_bits);
         let zs: Vec<BigUint> = ys.iter().map(|y| y % &candidate).collect();
         if all_spaced_by_two(&zs, &candidate) {
             p = Some((candidate, zs));
@@ -108,23 +111,25 @@ pub fn yao_alice<C: Channel, R: Rng + ?Sized>(
     Ok(chan.recv()?)
 }
 
-/// Bob's side: inputs `j`, learns whether `i < j`.
-pub fn yao_bob<C: Channel, R: Rng + ?Sized>(
+/// Bob's side: inputs `j`, learns whether `i < j`. `ctx` is the record
+/// scope of this comparison.
+pub fn yao_bob<C: Channel>(
     chan: &mut C,
     alice_pk: &PublicKey,
     j: u64,
     config: &YaoConfig,
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<bool, SmcError> {
     check_input(j, config)?;
+    let mut rng = ctx.rng();
     let n0 = config.n0;
 
     // Step 1: pick x, compute k = Ea(x); retry until every probe index
     // k - j + u stays inside (0, n²) so Alice can treat them uniformly.
     let n0_big = BigUint::from_u64(n0);
     let (x, k) = loop {
-        let x = random::gen_biguint_below(rng, alice_pk.n());
-        let k = alice_pk.encrypt(&x, rng)?;
+        let x = random::gen_biguint_below(&mut rng, alice_pk.n());
+        let k = alice_pk.encrypt(&x, &mut rng)?;
         let k_val = k.as_biguint();
         let upper = alice_pk.n_squared().checked_sub(&n0_big);
         if k_val > &n0_big && upper.is_some_and(|up| k_val < &up) {
@@ -208,7 +213,7 @@ pub fn modeled_message_sizes(key_bits: usize, n0: u64) -> (u64, u64, u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_helpers::{alice_keypair, rng};
+    use crate::test_helpers::{alice_keypair, ctx};
     use ppds_transport::duplex;
 
     /// Runs one YMPP execution on two threads; returns (alice_view, bob_view).
@@ -216,11 +221,23 @@ mod tests {
         let config = YaoConfig { n0 };
         let (mut achan, mut bchan) = duplex();
         let alice = std::thread::spawn(move || {
-            let mut r = rng(1000 + i * 31 + j);
-            yao_alice(&mut achan, alice_keypair(), i, &config, &mut r).unwrap()
+            yao_alice(
+                &mut achan,
+                alice_keypair(),
+                i,
+                &config,
+                &ctx(1000 + i * 31 + j),
+            )
+            .unwrap()
         });
-        let mut r = rng(2000 + i * 17 + j);
-        let bob_view = yao_bob(&mut bchan, &alice_keypair().public, j, &config, &mut r).unwrap();
+        let bob_view = yao_bob(
+            &mut bchan,
+            &alice_keypair().public,
+            j,
+            &config,
+            &ctx(2000 + i * 17 + j),
+        )
+        .unwrap();
         let alice_view = alice.join().unwrap();
         (alice_view, bob_view)
     }
@@ -252,18 +269,17 @@ mod tests {
     fn out_of_domain_inputs_rejected() {
         let config = YaoConfig { n0: 10 };
         let (mut achan, _b) = duplex();
-        let mut r = rng(1);
         assert!(matches!(
-            yao_alice(&mut achan, alice_keypair(), 0, &config, &mut r),
+            yao_alice(&mut achan, alice_keypair(), 0, &config, &ctx(1)),
             Err(SmcError::DomainViolation { .. })
         ));
         assert!(matches!(
-            yao_alice(&mut achan, alice_keypair(), 11, &config, &mut r),
+            yao_alice(&mut achan, alice_keypair(), 11, &config, &ctx(1)),
             Err(SmcError::DomainViolation { .. })
         ));
         let (_a, mut bchan) = duplex();
         assert!(matches!(
-            yao_bob(&mut bchan, &alice_keypair().public, 0, &config, &mut r),
+            yao_bob(&mut bchan, &alice_keypair().public, 0, &config, &ctx(1)),
             Err(SmcError::DomainViolation { .. })
         ));
     }
@@ -274,9 +290,8 @@ mod tests {
             n0: MAX_YAO_DOMAIN + 1,
         };
         let (mut achan, _b) = duplex();
-        let mut r = rng(2);
         assert!(matches!(
-            yao_alice(&mut achan, alice_keypair(), 1, &config, &mut r),
+            yao_alice(&mut achan, alice_keypair(), 1, &config, &ctx(2)),
             Err(SmcError::Protocol(_))
         ));
     }
@@ -310,12 +325,10 @@ mod tests {
         let config = YaoConfig { n0 };
         let (mut achan, mut bchan) = duplex();
         let alice = std::thread::spawn(move || {
-            let mut r = rng(77);
-            yao_alice(&mut achan, alice_keypair(), 10, &config, &mut r).unwrap();
+            yao_alice(&mut achan, alice_keypair(), 10, &config, &ctx(77)).unwrap();
             achan.metrics()
         });
-        let mut r = rng(78);
-        yao_bob(&mut bchan, &alice_keypair().public, 20, &config, &mut r).unwrap();
+        yao_bob(&mut bchan, &alice_keypair().public, 20, &config, &ctx(78)).unwrap();
         let a_metrics = alice.join().unwrap();
         let (m1, m2, m3) = modeled_message_sizes(alice_keypair().public.bits(), n0);
         let frame = ppds_transport::FRAME_OVERHEAD_BYTES;

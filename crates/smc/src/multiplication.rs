@@ -18,33 +18,46 @@
 //! from `ppds-paillier`; callers must keep `|x·y + v|` below `(n-1)/2`,
 //! which every caller in this workspace guarantees by construction (lattice
 //! coordinates and masks are tiny relative to ≥ 2^255).
+//!
+//! Randomness: every entry point takes a record-scoped
+//! [`ProtocolContext`] instead of a threaded generator. A single-group
+//! call draws from `ctx.rng()`; the `mul_batches_*` forms key each group
+//! through a caller-supplied scope (`scopes(g)`), so the batched run
+//! derives exactly the streams the per-group sequential calls would — and
+//! the per-group ciphertext work can run on the [`crate::parallel`] pool
+//! without changing a byte.
 
+use crate::context::ProtocolContext;
 use crate::error::SmcError;
+use crate::parallel::par_map;
 use ppds_bigint::{random, BigInt, BigUint};
 use ppds_paillier::{Ciphertext, Keypair, PublicKey};
 use ppds_transport::Channel;
 use rand::Rng;
 
-/// Samples a mask uniformly from `[-bound, bound]`.
-pub fn sample_mask<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigInt {
+/// Samples a mask uniformly from `[-bound, bound]`. The generator is taken
+/// by value so call sites pass a keyed leaf stream (`ctx.rng_for(i)`) or a
+/// borrowed local (`&mut rng`).
+pub fn sample_mask<R: Rng>(mut rng: R, bound: &BigUint) -> BigInt {
     if bound.is_zero() {
         return BigInt::zero();
     }
     let width = &(bound << 1usize) + 1u64; // 2·bound + 1 values
-    let raw = random::gen_biguint_below(rng, &width);
+    let raw = random::gen_biguint_below(&mut rng, &width);
     &BigInt::from(raw) - &BigInt::from(bound.clone())
 }
 
 /// Keyholder side of Algorithm 2: inputs `x`, learns `u = x·y + v`.
-pub fn mul_keyholder<C: Channel, R: Rng + ?Sized>(
+pub fn mul_keyholder<C: Channel>(
     chan: &mut C,
     keypair: &Keypair,
     x: &BigInt,
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<BigInt, SmcError> {
+    let mut rng = ctx.rng();
     // Step 3: send E_A(x). (Fresh secret nonce; see crate docs of
     // ppds-paillier for why the printed protocol's shared-r is not followed.)
-    let cx = keypair.public.encrypt_signed(x, rng)?;
+    let cx = keypair.public.encrypt_signed(x, &mut rng)?;
     chan.send(cx.as_biguint())?;
     // Step 6-7: receive u' and decrypt.
     let u_prime = Ciphertext::from_biguint(chan.recv()?);
@@ -53,19 +66,20 @@ pub fn mul_keyholder<C: Channel, R: Rng + ?Sized>(
 
 /// Peer side of Algorithm 2: inputs `y`, draws `v` uniform in
 /// `[-mask_bound, mask_bound]`, returns the `v` it used.
-pub fn mul_peer<C: Channel, R: Rng + ?Sized>(
+pub fn mul_peer<C: Channel>(
     chan: &mut C,
     keyholder_pk: &PublicKey,
     y: &BigInt,
     mask_bound: &BigUint,
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<BigInt, SmcError> {
+    let mut rng = ctx.rng();
     let cx = Ciphertext::from_biguint(chan.recv()?);
     keyholder_pk.validate(&cx)?;
     // Step 4-5: v random; u' = E(x)^y · E(v).
-    let v = sample_mask(rng, mask_bound);
+    let v = sample_mask(&mut rng, mask_bound);
     let xy = keyholder_pk.mul_plain_signed(&cx, y);
-    let u_prime = keyholder_pk.add(&xy, &keyholder_pk.encrypt_signed(&v, rng)?);
+    let u_prime = keyholder_pk.add(&xy, &keyholder_pk.encrypt_signed(&v, &mut rng)?);
     chan.send(u_prime.as_biguint())?;
     Ok(v)
 }
@@ -74,19 +88,22 @@ pub fn mul_peer<C: Channel, R: Rng + ?Sized>(
 /// `x_1, …, x_m`, learns `u_i = x_i·y_i + v_i` for each `i`.
 ///
 /// This is protocol HDP's usage: `m` runs of Algorithm 2 fused into one
-/// message round-trip (same ciphertext count, fewer frames).
-pub fn mul_batch_keyholder<C: Channel, R: Rng + ?Sized>(
+/// message round-trip (same ciphertext count, fewer frames). `ctx` is the
+/// record scope of this group — all `m` elements draw sequentially from
+/// its leaf stream.
+pub fn mul_batch_keyholder<C: Channel>(
     chan: &mut C,
     keypair: &Keypair,
     xs: &[BigInt],
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<Vec<BigInt>, SmcError> {
+    let mut rng = ctx.rng();
     let cts: Vec<BigUint> = xs
         .iter()
         .map(|x| {
             keypair
                 .public
-                .encrypt_signed(x, rng)
+                .encrypt_signed(x, &mut rng)
                 .map(|c| c.as_biguint().clone())
         })
         .collect::<Result<_, _>>()?;
@@ -111,14 +128,15 @@ pub fn mul_batch_keyholder<C: Channel, R: Rng + ?Sized>(
 
 /// Peer side of [`mul_batch_keyholder`]: inputs `y_i` and caller-chosen
 /// masks `v_i` (HDP passes blinding terms with `Σ v_i = 0`).
-pub fn mul_batch_peer<C: Channel, R: Rng + ?Sized>(
+pub fn mul_batch_peer<C: Channel>(
     chan: &mut C,
     keyholder_pk: &PublicKey,
     ys: &[BigInt],
     masks: &[BigInt],
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<(), SmcError> {
     assert_eq!(ys.len(), masks.len(), "one mask per multiplicand");
+    let mut rng = ctx.rng();
     let cts: Vec<BigUint> = chan.recv()?;
     if cts.len() != ys.len() {
         return Err(SmcError::protocol(format!(
@@ -132,7 +150,7 @@ pub fn mul_batch_peer<C: Channel, R: Rng + ?Sized>(
         let cx = Ciphertext::from_biguint(ct);
         keyholder_pk.validate(&cx)?;
         let xy = keyholder_pk.mul_plain_signed(&cx, y);
-        let masked = keyholder_pk.add(&xy, &keyholder_pk.encrypt_signed(v, rng)?);
+        let masked = keyholder_pk.add(&xy, &keyholder_pk.encrypt_signed(v, &mut rng)?);
         responses.push(masked.as_biguint().clone());
     }
     chan.send(&responses)?;
@@ -145,32 +163,34 @@ pub fn mul_batch_peer<C: Channel, R: Rng + ?Sized>(
 /// into **one** wire frame each direction instead of one frame pair per
 /// group. Returns `u_{g,i} = x_{g,i}·y_{g,i} + v_{g,i}` per group.
 ///
-/// Per group, ciphertexts are produced in exactly the order the sequential
-/// protocol would produce them (group by group, element by element), so the
-/// keyholder's RNG stream — and therefore every transcript byte except the
-/// framing — matches the unbatched run.
-pub fn mul_batches_keyholder<C: Channel, R: Rng + ?Sized>(
+/// `scopes(g)` is the record scope of group `g` — the same context a
+/// sequential caller would hand the `g`-th [`mul_batch_keyholder`] call —
+/// so the batched run draws byte-identical randomness, and the per-group
+/// encryption/decryption work runs on the [`crate::parallel`] pool.
+pub fn mul_batches_keyholder<C, S>(
     chan: &mut C,
     keypair: &Keypair,
     xs_groups: &[Vec<BigInt>],
-    rng: &mut R,
-) -> Result<Vec<Vec<BigInt>>, SmcError> {
+    scopes: S,
+) -> Result<Vec<Vec<BigInt>>, SmcError>
+where
+    C: Channel,
+    S: Fn(usize) -> ProtocolContext + Sync,
+{
     if xs_groups.is_empty() {
         return Ok(Vec::new());
     }
-    let cts_groups: Vec<Vec<BigUint>> = xs_groups
-        .iter()
-        .map(|xs| {
-            xs.iter()
-                .map(|x| {
-                    keypair
-                        .public
-                        .encrypt_signed(x, rng)
-                        .map(|c| c.as_biguint().clone())
-                })
-                .collect::<Result<Vec<_>, _>>()
-        })
-        .collect::<Result<_, _>>()?;
+    let cts_groups: Vec<Vec<BigUint>> = par_map(xs_groups, |g, xs| {
+        let mut rng = scopes(g).rng();
+        xs.iter()
+            .map(|x| {
+                keypair
+                    .public
+                    .encrypt_signed(x, &mut rng)
+                    .map(|c| c.as_biguint().clone())
+            })
+            .collect::<Result<Vec<_>, _>>()
+    })?;
     chan.send_batch(&cts_groups)?;
     let responses: Vec<Vec<BigUint>> = chan.recv_batch()?;
     if responses.len() != xs_groups.len() {
@@ -180,48 +200,49 @@ pub fn mul_batches_keyholder<C: Channel, R: Rng + ?Sized>(
             responses.len()
         )));
     }
-    responses
-        .into_iter()
-        .zip(xs_groups)
-        .map(|(group, xs)| {
-            if group.len() != xs.len() {
-                return Err(SmcError::protocol(format!(
-                    "expected {} masked products in group, got {}",
-                    xs.len(),
-                    group.len()
-                )));
-            }
-            group
-                .into_iter()
-                .map(|c| {
-                    Ok(keypair
-                        .private
-                        .decrypt_signed(&Ciphertext::from_biguint(c))?)
-                })
-                .collect()
-        })
-        .collect()
+    par_map(&responses, |g, group| {
+        if group.len() != xs_groups[g].len() {
+            return Err(SmcError::protocol(format!(
+                "expected {} masked products in group, got {}",
+                xs_groups[g].len(),
+                group.len()
+            )));
+        }
+        group
+            .iter()
+            .map(|c| {
+                Ok(keypair
+                    .private
+                    .decrypt_signed(&Ciphertext::from_biguint(c.clone()))?)
+            })
+            .collect()
+    })
 }
 
 /// Round-batched peer side of [`mul_batches_keyholder`]: one coefficient
-/// group per logical batch, with `draw_masks(rng, group_index)` producing
-/// that group's masks **at the same point in the RNG stream** the
-/// sequential protocol would draw them (mask draws and mask encryptions
-/// interleave group by group). Returns the masks drawn per group.
+/// group per logical batch. `draw_masks(g)` produces group `g`'s masks
+/// from the caller's own keyed streams, and `scopes(g)` is the record
+/// scope whose leaf stream encrypts them — identical to what the
+/// sequential [`mul_batch_peer`] call for group `g` would use, so batched
+/// and unbatched transcripts match byte for byte while the homomorphic
+/// work fans out on the [`crate::parallel`] pool. Returns the masks drawn
+/// per group.
 ///
 /// Groups are any slice-like coefficient vectors, so a caller multiplying
 /// one vector against many peer groups (HDP's neighborhood query) can pass
 /// `&[&[BigInt]]` borrowing a single allocation.
-pub fn mul_batches_peer<C: Channel, R: Rng + ?Sized, F, G>(
+pub fn mul_batches_peer<C, F, G, S>(
     chan: &mut C,
     keyholder_pk: &PublicKey,
     ys_groups: &[G],
     mut draw_masks: F,
-    rng: &mut R,
+    scopes: S,
 ) -> Result<Vec<Vec<BigInt>>, SmcError>
 where
-    F: FnMut(&mut R, usize) -> Vec<BigInt>,
-    G: AsRef<[BigInt]>,
+    C: Channel,
+    F: FnMut(usize) -> Vec<BigInt>,
+    G: AsRef<[BigInt]> + Sync,
+    S: Fn(usize) -> ProtocolContext + Sync,
 {
     if ys_groups.is_empty() {
         return Ok(Vec::new());
@@ -234,30 +255,39 @@ where
             cts_groups.len()
         )));
     }
-    let mut responses: Vec<Vec<BigUint>> = Vec::with_capacity(ys_groups.len());
-    let mut all_masks: Vec<Vec<BigInt>> = Vec::with_capacity(ys_groups.len());
-    for (g, (cts, ys)) in cts_groups.into_iter().zip(ys_groups).enumerate() {
-        let ys = ys.as_ref();
-        if cts.len() != ys.len() {
+    for (g, (cts, ys)) in cts_groups.iter().zip(ys_groups).enumerate() {
+        if cts.len() != ys.as_ref().len() {
             return Err(SmcError::protocol(format!(
                 "expected {} ciphertexts in group {g}, got {}",
-                ys.len(),
+                ys.as_ref().len(),
                 cts.len()
             )));
         }
-        let masks = draw_masks(rng, g);
-        assert_eq!(masks.len(), ys.len(), "one mask per multiplicand");
+    }
+    let all_masks: Vec<Vec<BigInt>> = (0..ys_groups.len())
+        .map(|g| {
+            let masks = draw_masks(g);
+            assert_eq!(
+                masks.len(),
+                ys_groups[g].as_ref().len(),
+                "one mask per multiplicand"
+            );
+            masks
+        })
+        .collect();
+    let responses: Vec<Vec<BigUint>> = par_map(&cts_groups, |g, cts| {
+        let mut rng = scopes(g).rng();
+        let ys = ys_groups[g].as_ref();
         let mut group_out = Vec::with_capacity(cts.len());
-        for ((ct, y), v) in cts.into_iter().zip(ys).zip(&masks) {
-            let cx = Ciphertext::from_biguint(ct);
+        for ((ct, y), v) in cts.iter().zip(ys).zip(&all_masks[g]) {
+            let cx = Ciphertext::from_biguint(ct.clone());
             keyholder_pk.validate(&cx)?;
             let xy = keyholder_pk.mul_plain_signed(&cx, y);
-            let masked = keyholder_pk.add(&xy, &keyholder_pk.encrypt_signed(v, rng)?);
+            let masked = keyholder_pk.add(&xy, &keyholder_pk.encrypt_signed(v, &mut rng)?);
             group_out.push(masked.as_biguint().clone());
         }
-        responses.push(group_out);
-        all_masks.push(masks);
-    }
+        Ok::<_, SmcError>(group_out)
+    })?;
     chan.send_batch(&responses)?;
     Ok(all_masks)
 }
@@ -267,18 +297,19 @@ where
 ///
 /// The enhanced protocol calls this with Alice's vector
 /// `(ΣA_k², -2A_1, …, -2A_m, 1)` so that `u = Dist²(A, B_i) + v_i`.
-pub fn dot_keyholder<C: Channel, R: Rng + ?Sized>(
+pub fn dot_keyholder<C: Channel>(
     chan: &mut C,
     keypair: &Keypair,
     xs: &[BigInt],
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<BigInt, SmcError> {
+    let mut rng = ctx.rng();
     let cts: Vec<BigUint> = xs
         .iter()
         .map(|x| {
             keypair
                 .public
-                .encrypt_signed(x, rng)
+                .encrypt_signed(x, &mut rng)
                 .map(|c| c.as_biguint().clone())
         })
         .collect::<Result<_, _>>()?;
@@ -289,13 +320,14 @@ pub fn dot_keyholder<C: Channel, R: Rng + ?Sized>(
 
 /// Peer side of [`dot_keyholder`]: inputs `y_1, …, y_m` and the mask bound;
 /// returns the `v` it drew.
-pub fn dot_peer<C: Channel, R: Rng + ?Sized>(
+pub fn dot_peer<C: Channel>(
     chan: &mut C,
     keyholder_pk: &PublicKey,
     ys: &[BigInt],
     mask_bound: &BigUint,
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<BigInt, SmcError> {
+    let mut rng = ctx.rng();
     let cts: Vec<BigUint> = chan.recv()?;
     if cts.len() != ys.len() {
         return Err(SmcError::protocol(format!(
@@ -304,9 +336,9 @@ pub fn dot_peer<C: Channel, R: Rng + ?Sized>(
             ys.len()
         )));
     }
-    let v = sample_mask(rng, mask_bound);
+    let v = sample_mask(&mut rng, mask_bound);
     // Accumulate Π E(x_i)^{y_i} · E(v) = E(Σ x_i y_i + v).
-    let mut acc = keyholder_pk.encrypt_signed(&v, rng)?;
+    let mut acc = keyholder_pk.encrypt_signed(&v, &mut rng)?;
     for (ct, y) in cts.into_iter().zip(ys) {
         if y.is_zero() {
             continue; // E(x)^0 contributes nothing
@@ -323,19 +355,20 @@ pub fn dot_peer<C: Channel, R: Rng + ?Sized>(
 /// enhanced protocol (§5): Alice's coefficient vector
 /// `(ΣA², -2A_1, …, -2A_m, 1)` is encrypted **once**, and the peer answers
 /// with one masked dot product per point of his: `u_j = Dist²(A, B_j) + v_j`.
-pub fn dot_many_keyholder<C: Channel, R: Rng + ?Sized>(
+pub fn dot_many_keyholder<C: Channel>(
     chan: &mut C,
     keypair: &Keypair,
     xs: &[BigInt],
     expected_responses: usize,
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<Vec<BigInt>, SmcError> {
+    let mut rng = ctx.rng();
     let cts: Vec<BigUint> = xs
         .iter()
         .map(|x| {
             keypair
                 .public
-                .encrypt_signed(x, rng)
+                .encrypt_signed(x, &mut rng)
                 .map(|c| c.as_biguint().clone())
         })
         .collect::<Result<_, _>>()?;
@@ -359,13 +392,15 @@ pub fn dot_many_keyholder<C: Channel, R: Rng + ?Sized>(
 
 /// Peer side of [`dot_many_keyholder`]: one coefficient row per response,
 /// each dotted against the keyholder's single encrypted vector. Returns the
-/// masks `v_j` drawn (uniform in `[-mask_bound, mask_bound]`).
-pub fn dot_many_peer<C: Channel, R: Rng + ?Sized>(
+/// masks `v_j` drawn (uniform in `[-mask_bound, mask_bound]`); row `j`
+/// draws from `ctx.rng_for(j)`, so rows are order-independent and the
+/// homomorphic accumulation fans out on the [`crate::parallel`] pool.
+pub fn dot_many_peer<C: Channel>(
     chan: &mut C,
     keyholder_pk: &PublicKey,
     ys_rows: &[Vec<BigInt>],
     mask_bound: &BigUint,
-    rng: &mut R,
+    ctx: &ProtocolContext,
 ) -> Result<Vec<BigInt>, SmcError> {
     let cts_raw: Vec<BigUint> = chan.recv()?;
     let mut cts = Vec::with_capacity(cts_raw.len());
@@ -374,9 +409,7 @@ pub fn dot_many_peer<C: Channel, R: Rng + ?Sized>(
         keyholder_pk.validate(&c)?;
         cts.push(c);
     }
-    let mut responses = Vec::with_capacity(ys_rows.len());
-    let mut masks = Vec::with_capacity(ys_rows.len());
-    for ys in ys_rows {
+    let per_row: Vec<(BigUint, BigInt)> = par_map(ys_rows, |j, ys| {
         if cts.len() != ys.len() {
             return Err(SmcError::protocol(format!(
                 "dot product arity mismatch: {} ciphertexts vs {} coefficients",
@@ -384,29 +417,34 @@ pub fn dot_many_peer<C: Channel, R: Rng + ?Sized>(
                 ys.len()
             )));
         }
-        let v = sample_mask(rng, mask_bound);
-        let mut acc = keyholder_pk.encrypt_signed(&v, rng)?;
+        let mut rng = ctx.rng_for(j as u64);
+        let v = sample_mask(&mut rng, mask_bound);
+        let mut acc = keyholder_pk.encrypt_signed(&v, &mut rng)?;
         for (ct, y) in cts.iter().zip(ys) {
             if y.is_zero() {
                 continue;
             }
             acc = keyholder_pk.add(&acc, &keyholder_pk.mul_plain_signed(ct, y));
         }
-        responses.push(acc.as_biguint().clone());
-        masks.push(v);
-    }
+        Ok((acc.as_biguint().clone(), v))
+    })?;
+    let (responses, masks): (Vec<BigUint>, Vec<BigInt>) = per_row.into_iter().unzip();
     chan.send(&responses)?;
     Ok(masks)
 }
 
 /// Generates `count` blinding terms that sum to zero, each component
 /// uniform in `[-bound, bound]` except the last, which balances the sum —
-/// the `r_1 + r_2 + … + r_m = 0` construction of protocol HDP.
-pub fn zero_sum_masks<R: Rng + ?Sized>(rng: &mut R, count: usize, bound: &BigUint) -> Vec<BigInt> {
+/// the `r_1 + r_2 + … + r_m = 0` construction of protocol HDP. The
+/// generator is taken by value: pass a keyed leaf stream
+/// (`ctx.rng_for(record)`) so the draw is order-independent.
+pub fn zero_sum_masks<R: Rng>(mut rng: R, count: usize, bound: &BigUint) -> Vec<BigInt> {
     if count == 0 {
         return Vec::new();
     }
-    let mut masks: Vec<BigInt> = (0..count - 1).map(|_| sample_mask(rng, bound)).collect();
+    let mut masks: Vec<BigInt> = (0..count - 1)
+        .map(|_| sample_mask(&mut rng, bound))
+        .collect();
     let sum = masks.iter().fold(BigInt::zero(), |acc, m| &acc + m);
     masks.push(-&sum);
     masks
@@ -422,7 +460,8 @@ pub fn dot_product_bound(len: usize, x_bound: u64, y_bound: u64, mask_bound: &Bi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_helpers::{bob_keypair, rng};
+    use crate::parallel::force_workers;
+    use crate::test_helpers::{bob_keypair, ctx, rng};
     use ppds_transport::duplex;
 
     fn bi(v: i64) -> BigInt {
@@ -433,16 +472,14 @@ mod tests {
     fn run_single(x: i64, y: i64, mask_bound: u64) -> (BigInt, BigInt) {
         let (mut kchan, mut pchan) = duplex();
         let keyholder = std::thread::spawn(move || {
-            let mut r = rng(1);
-            mul_keyholder(&mut kchan, bob_keypair(), &bi(x), &mut r).unwrap()
+            mul_keyholder(&mut kchan, bob_keypair(), &bi(x), &ctx(1)).unwrap()
         });
-        let mut r = rng(2);
         let v = mul_peer(
             &mut pchan,
             &bob_keypair().public,
             &bi(y),
             &BigUint::from_u64(mask_bound),
-            &mut r,
+            &ctx(2),
         )
         .unwrap();
         (keyholder.join().unwrap(), v)
@@ -480,6 +517,12 @@ mod tests {
         let a = sample_mask(&mut r, &bound);
         let b = sample_mask(&mut r, &bound);
         assert_ne!(a, b);
+        // Keyed leaf streams vary across records too.
+        let step = ctx(9).narrow("mask");
+        assert_ne!(
+            sample_mask(step.rng_for(0), &bound),
+            sample_mask(step.rng_for(1), &bound)
+        );
     }
 
     #[test]
@@ -490,11 +533,9 @@ mod tests {
         let (mut kchan, mut pchan) = duplex();
         let xs2 = xs.clone();
         let keyholder = std::thread::spawn(move || {
-            let mut r = rng(4);
-            mul_batch_keyholder(&mut kchan, bob_keypair(), &xs2, &mut r).unwrap()
+            mul_batch_keyholder(&mut kchan, bob_keypair(), &xs2, &ctx(4)).unwrap()
         });
-        let mut r = rng(5);
-        mul_batch_peer(&mut pchan, &bob_keypair().public, &ys, &masks, &mut r).unwrap();
+        mul_batch_peer(&mut pchan, &bob_keypair().public, &ys, &masks, &ctx(5)).unwrap();
         let us = keyholder.join().unwrap();
         for i in 0..xs.len() {
             let expect = &(&xs[i] * &ys[i]) + &masks[i];
@@ -506,6 +547,46 @@ mod tests {
         assert_eq!(sum, bi(3 * 5 - 5 + 24));
     }
 
+    fn run_batched_groups(
+        xs_groups: &[Vec<BigInt>],
+        ys_groups: &[Vec<BigInt>],
+        seed_k: u64,
+        seed_p: u64,
+    ) -> (
+        Vec<Vec<BigInt>>,
+        Vec<Vec<BigInt>>,
+        ppds_transport::MetricsSnapshot,
+    ) {
+        let (mut kchan, mut pchan) = duplex();
+        let xs2 = xs_groups.to_vec();
+        let keyholder = std::thread::spawn(move || {
+            let kctx = ctx(seed_k).narrow("mul");
+            let us = mul_batches_keyholder(&mut kchan, bob_keypair(), &xs2, |g| kctx.at(g as u64))
+                .unwrap();
+            (us, kchan.metrics())
+        });
+        let pctx = ctx(seed_p);
+        let mask_ctx = pctx.narrow("mask");
+        let mul_ctx = pctx.narrow("mul");
+        let sizes: Vec<usize> = ys_groups.iter().map(Vec::len).collect();
+        let masks = mul_batches_peer(
+            &mut pchan,
+            &bob_keypair().public,
+            ys_groups,
+            |g| {
+                zero_sum_masks(
+                    mask_ctx.rng_for(g as u64),
+                    sizes[g],
+                    &BigUint::from_u64(1000),
+                )
+            },
+            |g| mul_ctx.at(g as u64),
+        )
+        .unwrap();
+        let (us, metrics) = keyholder.join().unwrap();
+        (us, masks, metrics)
+    }
+
     #[test]
     fn batched_groups_match_singles_in_two_rounds() {
         // Three logical multiplication batches of different sizes, one wire
@@ -514,24 +595,7 @@ mod tests {
             vec![vec![bi(3), bi(-1)], vec![], vec![bi(12), bi(0), bi(-7)]];
         let ys_groups: Vec<Vec<BigInt>> =
             vec![vec![bi(5), bi(5)], vec![], vec![bi(2), bi(-9), bi(4)]];
-        let (mut kchan, mut pchan) = duplex();
-        let xs2 = xs_groups.clone();
-        let keyholder = std::thread::spawn(move || {
-            let mut r = rng(20);
-            let us = mul_batches_keyholder(&mut kchan, bob_keypair(), &xs2, &mut r).unwrap();
-            (us, kchan.metrics())
-        });
-        let mut r = rng(21);
-        let sizes: Vec<usize> = ys_groups.iter().map(Vec::len).collect();
-        let masks = mul_batches_peer(
-            &mut pchan,
-            &bob_keypair().public,
-            &ys_groups,
-            |rng, g| zero_sum_masks(rng, sizes[g], &BigUint::from_u64(1000)),
-            &mut r,
-        )
-        .unwrap();
-        let (us, metrics) = keyholder.join().unwrap();
+        let (us, masks, metrics) = run_batched_groups(&xs_groups, &ys_groups, 20, 21);
         assert_eq!(metrics.total_rounds(), 2, "one frame each direction");
         for g in 0..xs_groups.len() {
             assert_eq!(us[g].len(), xs_groups[g].len());
@@ -550,25 +614,96 @@ mod tests {
     }
 
     #[test]
+    fn batched_groups_equal_sequential_group_calls_byte_for_byte() {
+        // The keyed-substream discipline's core promise at this layer: the
+        // batched run and per-group sequential calls with the same scopes
+        // produce identical ciphertext streams — masks and all.
+        let xs_groups: Vec<Vec<BigInt>> =
+            vec![vec![bi(3), bi(-1)], vec![bi(7)], vec![bi(0), bi(2)]];
+        let ys_groups: Vec<Vec<BigInt>> =
+            vec![vec![bi(5), bi(5)], vec![bi(-2)], vec![bi(1), bi(4)]];
+        let (us_b, masks_b, _) = run_batched_groups(&xs_groups, &ys_groups, 30, 31);
+
+        // Sequential: one mul_batch_* exchange per group, scoped at(g).
+        let (mut kchan, mut pchan) = duplex();
+        let xs2 = xs_groups.clone();
+        let keyholder = std::thread::spawn(move || {
+            let kctx = ctx(30).narrow("mul");
+            xs2.iter()
+                .enumerate()
+                .map(|(g, xs)| {
+                    mul_batch_keyholder(&mut kchan, bob_keypair(), xs, &kctx.at(g as u64)).unwrap()
+                })
+                .collect::<Vec<_>>()
+        });
+        let pctx = ctx(31);
+        let mask_ctx = pctx.narrow("mask");
+        let mul_ctx = pctx.narrow("mul");
+        let mut masks_s = Vec::new();
+        for (g, ys) in ys_groups.iter().enumerate() {
+            let masks = zero_sum_masks(
+                mask_ctx.rng_for(g as u64),
+                ys.len(),
+                &BigUint::from_u64(1000),
+            );
+            mul_batch_peer(
+                &mut pchan,
+                &bob_keypair().public,
+                ys,
+                &masks,
+                &mul_ctx.at(g as u64),
+            )
+            .unwrap();
+            masks_s.push(masks);
+        }
+        let us_s = keyholder.join().unwrap();
+        assert_eq!(us_b, us_s, "masked products identical across framings");
+        assert_eq!(masks_b, masks_s, "mask draws identical across framings");
+    }
+
+    #[test]
+    fn parallel_batches_are_byte_identical() {
+        // Same batched exchange with 1 worker and with 4: every wire byte
+        // (and thus every mask and nonce) must match.
+        let xs_groups: Vec<Vec<BigInt>> = (0..6).map(|g| vec![bi(g), bi(-g), bi(2 * g)]).collect();
+        let ys_groups: Vec<Vec<BigInt>> = (0..6).map(|g| vec![bi(1), bi(g), bi(-3)]).collect();
+        let (us_1, masks_1, _) = {
+            let _guard = force_workers(1);
+            run_batched_groups(&xs_groups, &ys_groups, 40, 41)
+        };
+        let (us_4, masks_4, _) = {
+            let _guard = force_workers(4);
+            run_batched_groups(&xs_groups, &ys_groups, 40, 41)
+        };
+        assert_eq!(us_1, us_4);
+        assert_eq!(masks_1, masks_4);
+    }
+
+    #[test]
     fn batched_group_arity_mismatch_is_protocol_error() {
         let (mut kchan, mut pchan) = duplex();
         let keyholder = std::thread::spawn(move || {
-            let mut r = rng(22);
+            let kctx = ctx(22);
             // Two groups sent; peer expects three.
             let _ = mul_batches_keyholder(
                 &mut kchan,
                 bob_keypair(),
                 &[vec![bi(1)], vec![bi(2)]],
-                &mut r,
+                |g| kctx.at(g as u64),
             );
         });
-        let mut r = rng(23);
+        let pctx = ctx(23);
         let err = mul_batches_peer(
             &mut pchan,
             &bob_keypair().public,
             &[vec![bi(1)], vec![bi(2)], vec![bi(3)]],
-            |rng, _| vec![sample_mask(rng, &BigUint::from_u64(5))],
-            &mut r,
+            |g| {
+                vec![sample_mask(
+                    pctx.narrow("mask").rng_for(g as u64),
+                    &BigUint::from_u64(5),
+                )]
+            },
+            |g| pctx.narrow("mul").at(g as u64),
         )
         .unwrap_err();
         assert!(matches!(err, SmcError::Protocol(_)));
@@ -583,16 +718,14 @@ mod tests {
         let (mut kchan, mut pchan) = duplex();
         let xs2 = xs.clone();
         let keyholder = std::thread::spawn(move || {
-            let mut r = rng(6);
-            dot_keyholder(&mut kchan, bob_keypair(), &xs2, &mut r).unwrap()
+            dot_keyholder(&mut kchan, bob_keypair(), &xs2, &ctx(6)).unwrap()
         });
-        let mut r = rng(7);
         let v = dot_peer(
             &mut pchan,
             &bob_keypair().public,
             &ys,
             &BigUint::from_u64(1 << 20),
-            &mut r,
+            &ctx(7),
         )
         .unwrap();
         let u = keyholder.join().unwrap();
@@ -603,17 +736,15 @@ mod tests {
     fn dot_arity_mismatch_is_protocol_error() {
         let (mut kchan, mut pchan) = duplex();
         let keyholder = std::thread::spawn(move || {
-            let mut r = rng(8);
             // Keyholder sends 2 ciphertexts; peer expects 3.
-            let _ = dot_keyholder(&mut kchan, bob_keypair(), &[bi(1), bi(2)], &mut r);
+            let _ = dot_keyholder(&mut kchan, bob_keypair(), &[bi(1), bi(2)], &ctx(8));
         });
-        let mut r = rng(9);
         let err = dot_peer(
             &mut pchan,
             &bob_keypair().public,
             &[bi(1), bi(2), bi(3)],
             &BigUint::from_u64(10),
-            &mut r,
+            &ctx(9),
         )
         .unwrap_err();
         assert!(matches!(err, SmcError::Protocol(_)));
@@ -643,16 +774,14 @@ mod tests {
         let (mut kchan, mut pchan) = duplex();
         let xs2 = xs.clone();
         let keyholder = std::thread::spawn(move || {
-            let mut r = rng(12);
-            dot_many_keyholder(&mut kchan, bob_keypair(), &xs2, 3, &mut r).unwrap()
+            dot_many_keyholder(&mut kchan, bob_keypair(), &xs2, 3, &ctx(12)).unwrap()
         });
-        let mut r = rng(13);
         let masks = dot_many_peer(
             &mut pchan,
             &bob_keypair().public,
             &ys_rows,
             &BigUint::from_u64(1 << 16),
-            &mut r,
+            &ctx(13),
         )
         .unwrap();
         let us = keyholder.join().unwrap();
@@ -686,13 +815,12 @@ mod tests {
         let (mut kchan, mut pchan) = duplex();
         // Hand-inject an invalid "ciphertext" (zero).
         kchan.send(&BigUint::zero()).unwrap();
-        let mut r = rng(11);
         let err = mul_peer(
             &mut pchan,
             &bob_keypair().public,
             &bi(1),
             &BigUint::from_u64(10),
-            &mut r,
+            &ctx(11),
         )
         .unwrap_err();
         assert!(matches!(err, SmcError::Crypto(_)));

@@ -1,0 +1,211 @@
+//! Deterministic per-record parallelism for batched protocol stages.
+//!
+//! Keyed randomness ([`crate::context::ProtocolContext`]) makes every
+//! record's draws independent of evaluation order, so the expensive
+//! per-record ciphertext work of a batch — DGK bit encryption, masked
+//! comparison vectors, Paillier encryption/decryption groups — can run on
+//! a worker pool without changing a single output byte. [`par_map`] is
+//! that pool: a crossbeam-channel work queue feeding scoped worker
+//! threads, with results stitched back **by index**, so the output (and
+//! any error surfaced) is byte-identical to the sequential loop. The
+//! `parallel_batches_are_byte_identical` tests in `bitwise`/
+//! `multiplication` pin that equivalence at the wire level.
+//!
+//! Threading policy: items fan out only when the host has more than one
+//! CPU and the batch is big enough to amortize thread startup; tests can
+//! force a worker count with [`force_workers`] to exercise both shapes on
+//! any machine.
+
+use crossbeam::channel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Worker-count override: 0 = auto (available parallelism), n ≥ 1 = exactly
+/// n workers. Test hook; production callers leave it at auto.
+static FORCED_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Serializes [`force_workers`] users: the override is process-global, so
+/// two concurrently running tests forcing different counts would silently
+/// clobber each other's sequential-vs-parallel contrast.
+static FORCE_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+
+/// Batches smaller than this always run inline — thread startup would
+/// dominate the ciphertext work they carry.
+const MIN_ITEMS_PER_WORKER: usize = 4;
+
+/// Exclusive hold on the worker-count override: every subsequent
+/// [`par_map`] in the process uses exactly `n` workers (`1` = sequential)
+/// until the guard drops, which restores the auto policy. Concurrent
+/// callers block until the current guard is released, so parallel test
+/// threads cannot clobber each other's override mid-comparison.
+pub struct ForcedWorkers {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl Drop for ForcedWorkers {
+    fn drop(&mut self) {
+        FORCED_WORKERS.store(0, Ordering::SeqCst);
+    }
+}
+
+/// Forces every [`par_map`] to use exactly `n` workers for the lifetime of
+/// the returned guard. Test/bench hook for pinning that parallel and
+/// sequential evaluation are byte-identical on any machine.
+pub fn force_workers(n: usize) -> ForcedWorkers {
+    let guard = FORCE_LOCK
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    FORCED_WORKERS.store(n.max(1), Ordering::SeqCst);
+    ForcedWorkers { _guard: guard }
+}
+
+fn worker_count(items: usize) -> usize {
+    let forced = FORCED_WORKERS.load(Ordering::SeqCst);
+    if forced != 0 {
+        return forced.min(items.max(1));
+    }
+    let cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    cpus.min(items / MIN_ITEMS_PER_WORKER).max(1)
+}
+
+/// Applies `f` to every item of `items`, in parallel when worthwhile, and
+/// returns the outputs in item order. `f` must derive any randomness it
+/// needs from per-record keys (a `ProtocolContext`), never from shared
+/// mutable state — that is what makes the output independent of
+/// scheduling.
+///
+/// Error semantics match the sequential loop: the error for the **lowest**
+/// failing index is returned, and once a failure is known, queued items
+/// *above* it are skipped (every index below a failure is still evaluated,
+/// so which error surfaces does not depend on scheduling — a malformed
+/// batch cannot force the pool to burn ciphertext work on all the items
+/// behind the failure).
+pub fn par_map<T, O, E, F>(items: &[T], f: F) -> Result<Vec<O>, E>
+where
+    T: Sync,
+    O: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<O, E> + Sync,
+{
+    let workers = worker_count(items.len());
+    if workers <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    // Crossbeam-channel work queue: one MPMC index feed, results collected
+    // under a mutex into their slots. Slot order — not completion order —
+    // defines the output, so scheduling cannot influence a single byte.
+    let (job_tx, job_rx) = channel::unbounded::<usize>();
+    for i in 0..items.len() {
+        job_tx.send(i).expect("queue open while filling");
+    }
+    drop(job_tx);
+
+    // Lowest failing index seen so far; items above it are cancelled.
+    let min_err = AtomicUsize::new(usize::MAX);
+    let slots: Mutex<Vec<Option<Result<O, E>>>> =
+        Mutex::new((0..items.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let (slots, min_err) = (&slots, &min_err);
+            let f = &f;
+            scope.spawn(move || {
+                while let Ok(i) = job_rx.recv() {
+                    // Indices beyond a known failure can never influence
+                    // the result (the lowest error wins); indices below it
+                    // always run, so the surfaced error is deterministic.
+                    if i > min_err.load(Ordering::SeqCst) {
+                        continue;
+                    }
+                    let out = f(i, &items[i]);
+                    if out.is_err() {
+                        min_err.fetch_min(i, Ordering::SeqCst);
+                    }
+                    slots.lock().unwrap()[i] = Some(out);
+                }
+            });
+        }
+    });
+
+    let first_err = min_err.into_inner();
+    let mut slots = slots.into_inner().unwrap();
+    if first_err != usize::MAX {
+        match slots[first_err].take() {
+            Some(Err(e)) => return Err(e),
+            _ => unreachable!("min_err points at a recorded failure"),
+        }
+    }
+    let mut out = Vec::with_capacity(items.len());
+    for slot in slots {
+        match slot.expect("every index was processed") {
+            Ok(v) => out.push(v),
+            Err(_) => unreachable!("failures route through min_err"),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ProtocolContext;
+    use rand::RngCore;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn outputs_are_in_item_order_for_any_worker_count() {
+        let items: Vec<u64> = (0..64).collect();
+        let ctx = ProtocolContext::new(9).narrow("par");
+        let run = |workers| {
+            let _guard = force_workers(workers);
+            par_map(&items, |i, &x| {
+                Ok::<u64, ()>(ctx.rng_for(i as u64).next_u64() ^ x)
+            })
+            .unwrap()
+        };
+        let seq = run(1);
+        for workers in [2, 3, 8] {
+            assert_eq!(run(workers), seq, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn first_error_by_index_wins_and_cancels_later_items() {
+        let items: Vec<usize> = (0..64).collect();
+        let evaluated = AtomicUsize::new(0);
+        let _guard = force_workers(4);
+        let err = par_map(&items, |i, _| {
+            evaluated.fetch_add(1, Ordering::SeqCst);
+            if i >= 10 {
+                // Failing items record min_err immediately (no sleep), so
+                // the skip threshold is set long before slow successful
+                // items could let the queue drain — every worker that
+                // evaluates a failure publishes it before its next recv.
+                Err(i)
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                Ok(i)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, 10, "lowest failing index, like the sequential loop");
+        // Cancellation: once a failure is known, the tail of the queue is
+        // skipped (bounded in-flight overshoot is fine; a full drain is not).
+        assert!(
+            evaluated.load(Ordering::SeqCst) < items.len(),
+            "queue should not be fully drained after a failure"
+        );
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u8> = par_map::<u8, u8, (), _>(&[], |_, &x| Ok(x)).unwrap();
+        assert!(out.is_empty());
+    }
+}

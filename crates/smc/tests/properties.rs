@@ -10,6 +10,7 @@ use ppds_smc::millionaires::{yao_alice, yao_bob, YaoConfig};
 use ppds_smc::multiplication::{
     dot_keyholder, dot_peer, mul_batch_keyholder, mul_batch_peer, zero_sum_masks,
 };
+use ppds_smc::ProtocolContext;
 use ppds_transport::duplex;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -36,11 +37,16 @@ proptest! {
         let config = YaoConfig { n0 };
         let (mut achan, mut bchan) = duplex();
         let alice = std::thread::spawn(move || {
-            let mut r = StdRng::seed_from_u64(seed);
-            yao_alice(&mut achan, keypair(), i, &config, &mut r).unwrap()
+            yao_alice(&mut achan, keypair(), i, &config, &ProtocolContext::new(seed)).unwrap()
         });
-        let mut r = StdRng::seed_from_u64(seed.wrapping_add(1));
-        let bob_view = yao_bob(&mut bchan, &keypair().public, j, &config, &mut r).unwrap();
+        let bob_view = yao_bob(
+            &mut bchan,
+            &keypair().public,
+            j,
+            &config,
+            &ProtocolContext::new(seed.wrapping_add(1)),
+        )
+        .unwrap();
         let alice_view = alice.join().unwrap();
         prop_assert_eq!(alice_view, i < j);
         prop_assert_eq!(bob_view, i < j);
@@ -64,13 +70,13 @@ proptest! {
         for comparator in [Comparator::Yao, Comparator::Ideal] {
             let (mut achan, mut bchan) = duplex();
             let alice = std::thread::spawn(move || {
-                let mut r = StdRng::seed_from_u64(seed);
-                compare_alice(comparator, &mut achan, keypair(), a, op, &domain, &mut r)
+                let actx = ProtocolContext::new(seed);
+                compare_alice(comparator, &mut achan, keypair(), a, op, &domain, &actx)
                     .unwrap()
             });
-            let mut r = StdRng::seed_from_u64(seed.wrapping_add(1));
+            let bctx = ProtocolContext::new(seed.wrapping_add(1));
             let bob_view =
-                compare_bob(comparator, &mut bchan, &keypair().public, b, op, &domain, &mut r)
+                compare_bob(comparator, &mut bchan, &keypair().public, b, op, &domain, &bctx)
                     .unwrap();
             let alice_view = alice.join().unwrap();
             prop_assert_eq!(alice_view, expect, "{:?} {} vs {}", comparator, a, b);
@@ -96,11 +102,11 @@ proptest! {
         let (mut kchan, mut pchan) = duplex();
         let xs2 = xs_big.clone();
         let keyholder = std::thread::spawn(move || {
-            let mut r = StdRng::seed_from_u64(seed.wrapping_add(1));
-            mul_batch_keyholder(&mut kchan, keypair(), &xs2, &mut r).unwrap()
+            let kctx = ProtocolContext::new(seed.wrapping_add(1));
+            mul_batch_keyholder(&mut kchan, keypair(), &xs2, &kctx).unwrap()
         });
-        let mut r2 = StdRng::seed_from_u64(seed.wrapping_add(2));
-        mul_batch_peer(&mut pchan, &keypair().public, &ys_big, &masks, &mut r2).unwrap();
+        let pctx = ProtocolContext::new(seed.wrapping_add(2));
+        mul_batch_peer(&mut pchan, &keypair().public, &ys_big, &masks, &pctx).unwrap();
         let ws = keyholder.join().unwrap();
 
         // Σ w_i = Σ x_i·y_i exactly (zero-sum masks cancel).
@@ -124,16 +130,14 @@ proptest! {
         let (mut kchan, mut pchan) = duplex();
         let xs2 = xs_big.clone();
         let keyholder = std::thread::spawn(move || {
-            let mut r = StdRng::seed_from_u64(seed);
-            dot_keyholder(&mut kchan, keypair(), &xs2, &mut r).unwrap()
+            dot_keyholder(&mut kchan, keypair(), &xs2, &ProtocolContext::new(seed)).unwrap()
         });
-        let mut r2 = StdRng::seed_from_u64(seed.wrapping_add(1));
         let v = dot_peer(
             &mut pchan,
             &keypair().public,
             &ys_big,
             &BigUint::from_u64(1 << 24),
-            &mut r2,
+            &ProtocolContext::new(seed.wrapping_add(1)),
         )
         .unwrap();
         let u = keyholder.join().unwrap();

@@ -225,17 +225,15 @@ fn dgk_backend_parity_on_vertical() {
     assert_parity("vertical/dgk", &unbatched, &batched, 5.0);
 }
 
-/// KNOWN DEFECT (pre-existing in the round-batching pipeline, surfaced by
-/// review): with the DGK comparator the batched HDP responder performs all
-/// multiplication-stage encryptions first and all DGK draws after, instead
-/// of interleaving them per point like the sequential path. Rejection
-/// sampling makes those draws value-dependent, so the RNG stream position
-/// of each later query's Figure-1-defense permutation shifts and the
-/// responder's `own#idx` leakage order diverges from the unbatched run
-/// (labels still match). Un-ignore once the batched path draws randomness
-/// in sequential order; see DESIGN.md §7.
+/// Historically the hardest parity case: DGK's mask scalars are
+/// value-rejection sampled, so under the old threaded-`StdRng` discipline
+/// the batched HDP responder (all multiplications first, all comparisons
+/// after) shifted every later query's Figure-1-defense permutation and the
+/// `own#idx` leakage order diverged. Keyed substreams
+/// (`ProtocolContext`) make every record's draws independent of execution
+/// order, so batched and unbatched runs are identical by construction —
+/// this test used to be `#[ignore]`d red and now pins the fix.
 #[test]
-#[ignore = "known defect: batched DGK horizontal run reorders RNG draws, so leakage order diverges"]
 fn dgk_backend_parity_on_horizontal() {
     let (alice, bob) = split_alternating(&blobs(24, 321));
     let mut cfg = base_cfg();

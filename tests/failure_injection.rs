@@ -11,7 +11,7 @@ use ppds_paillier::Keypair;
 use ppds_smc::compare::{compare_bob, CmpOp, Comparator, ComparisonDomain};
 use ppds_smc::millionaires::{yao_bob, YaoConfig};
 use ppds_smc::multiplication::mul_peer;
-use ppds_smc::{setup, Party, SmcError};
+use ppds_smc::{setup, Party, ProtocolContext, SmcError};
 use ppds_transport::{duplex, Channel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -37,13 +37,12 @@ fn zero_ciphertext_in_multiplication_is_crypto_error() {
     let kp = test_keypair();
     let (mut a, mut b) = duplex();
     a.send(&BigUint::zero()).unwrap();
-    let mut r = rng(1);
     let err = mul_peer(
         &mut b,
         &kp.public,
         &ppds_bigint::BigInt::from_i64(1),
         &BigUint::from_u64(8),
-        &mut r,
+        &ProtocolContext::new(1),
     )
     .unwrap_err();
     assert!(matches!(err, SmcError::Crypto(_)));
@@ -62,8 +61,14 @@ fn truncated_yao_sequence_is_protocol_error() {
         alice_side.send(&(p, seq)).unwrap();
         // Bob errors out before step 7; nothing else to do.
     });
-    let mut r = rng(2);
-    let err = yao_bob(&mut bob_side, &kp.public, 4, &config, &mut r).unwrap_err();
+    let err = yao_bob(
+        &mut bob_side,
+        &kp.public,
+        4,
+        &config,
+        &ProtocolContext::new(2),
+    )
+    .unwrap_err();
     assert!(matches!(err, SmcError::Protocol(_)));
     handle.join().unwrap();
 }
@@ -79,8 +84,14 @@ fn degenerate_yao_modulus_is_protocol_error() {
         let seq = vec![BigUint::zero(); 4];
         alice_side.send(&(p, seq)).unwrap();
     });
-    let mut r = rng(3);
-    let err = yao_bob(&mut bob_side, &kp.public, 2, &config, &mut r).unwrap_err();
+    let err = yao_bob(
+        &mut bob_side,
+        &kp.public,
+        2,
+        &config,
+        &ProtocolContext::new(3),
+    )
+    .unwrap_err();
     assert!(matches!(err, SmcError::Protocol(_)));
     handle.join().unwrap();
 }
@@ -91,7 +102,6 @@ fn peer_disconnect_mid_protocol_is_transport_error() {
     let domain = ComparisonDomain::symmetric(10);
     let (alice_side, mut bob_side) = duplex();
     drop(alice_side); // peer vanishes before the first message
-    let mut r = rng(4);
     let err = compare_bob(
         Comparator::Ideal,
         &mut bob_side,
@@ -99,7 +109,7 @@ fn peer_disconnect_mid_protocol_is_transport_error() {
         3,
         CmpOp::Lt,
         &domain,
-        &mut r,
+        &ProtocolContext::new(4),
     )
     .unwrap_err();
     assert!(matches!(err, SmcError::Transport(_)));
@@ -111,13 +121,12 @@ fn wrong_typed_message_is_decode_error_not_panic() {
     let (mut a, mut b) = duplex();
     // The responder expects a ciphertext (BigUint); send a bool payload.
     a.send(&true).unwrap();
-    let mut r = rng(5);
     let err = mul_peer(
         &mut b,
         &kp.public,
         &ppds_bigint::BigInt::from_i64(1),
         &BigUint::from_u64(8),
-        &mut r,
+        &ProtocolContext::new(5),
     )
     .unwrap_err();
     assert!(matches!(err, SmcError::Transport(_)));
