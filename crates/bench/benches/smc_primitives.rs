@@ -91,6 +91,7 @@ fn bench_yao(c: &mut Criterion) {
                         2,
                         CmpOp::Lt,
                         &domain,
+                        false,
                         &ProtocolContext::new(5),
                     )
                     .unwrap()
@@ -102,6 +103,7 @@ fn bench_yao(c: &mut Criterion) {
                     5,
                     CmpOp::Lt,
                     &domain,
+                    false,
                     &ProtocolContext::new(6),
                 )
                 .unwrap();
@@ -125,6 +127,7 @@ fn bench_ideal_compare(c: &mut Criterion) {
                     123,
                     CmpOp::Leq,
                     &domain,
+                    false,
                     &ProtocolContext::new(7),
                 )
                 .unwrap()
@@ -136,6 +139,7 @@ fn bench_ideal_compare(c: &mut Criterion) {
                 456,
                 CmpOp::Leq,
                 &domain,
+                false,
                 &ProtocolContext::new(8),
             )
             .unwrap();
@@ -171,6 +175,7 @@ fn bench_kth_selection(c: &mut Criterion) {
                         &us2,
                         k,
                         &domain,
+                        false,
                         &ProtocolContext::new(10),
                     )
                     .unwrap()
@@ -183,6 +188,7 @@ fn bench_kth_selection(c: &mut Criterion) {
                     &vs,
                     k,
                     &domain,
+                    false,
                     &ProtocolContext::new(11),
                 )
                 .unwrap();
@@ -239,7 +245,8 @@ fn bench_batching_ablation(c: &mut Criterion) {
             let (mut kchan, mut pchan) = duplex();
             let xs2 = xs.clone();
             let handle = std::thread::spawn(move || {
-                mul_batch_keyholder(&mut kchan, keypair(), &xs2, &ProtocolContext::new(22)).unwrap()
+                mul_batch_keyholder(&mut kchan, keypair(), &xs2, None, &ProtocolContext::new(22))
+                    .unwrap()
             });
             let pctx = ProtocolContext::new(23);
             let masks = zero_sum_masks(
@@ -247,7 +254,7 @@ fn bench_batching_ablation(c: &mut Criterion) {
                 ys.len(),
                 &BigUint::from_u64(1 << 20),
             );
-            mul_batch_peer(&mut pchan, &keypair().public, &ys, &masks, &pctx).unwrap();
+            mul_batch_peer(&mut pchan, &keypair().public, &ys, &masks, None, &pctx).unwrap();
             handle.join().unwrap()
         });
     });
@@ -310,9 +317,13 @@ fn bench_parallel_batch_encryption(c: &mut Criterion) {
                     let groups2 = groups.clone();
                     let handle = std::thread::spawn(move || {
                         let kctx = ProtocolContext::new(30).narrow("mul");
-                        mul_batches_keyholder(&mut kchan, keypair(), &groups2, |g| {
-                            kctx.at(g as u64)
-                        })
+                        mul_batches_keyholder(
+                            &mut kchan,
+                            keypair(),
+                            &groups2,
+                            |g| kctx.at(g as u64),
+                            None,
+                        )
                         .unwrap()
                     });
                     // Absorb and answer with the ciphertexts unchanged so the
@@ -328,6 +339,119 @@ fn bench_parallel_batch_encryption(c: &mut Criterion) {
     group.finish();
 }
 
+/// Packed vs unpacked DGK reply: one comparison over a 10-bit domain at
+/// 256-bit keys. Unpacked, Bob ships ℓ = 10 masked ciphertexts and Alice
+/// decrypts all 10; packed, the verdict vector rides one word and Alice
+/// decrypts once — the reply-leg cost drops by the layout capacity.
+fn bench_dgk_reply_packing(c: &mut Criterion) {
+    use ppds_smc::bitwise::{dgk_alice, dgk_bob, dgk_packed_alice, dgk_packed_bob};
+    let bound = 1023u64; // ℓ = 10
+    let mut group = c.benchmark_group("dgk_compare_256bit_l10");
+    group.sample_size(10);
+    group.bench_function("unpacked", |b| {
+        b.iter(|| {
+            let (mut achan, mut bchan) = duplex();
+            let handle = std::thread::spawn(move || {
+                dgk_alice(&mut achan, keypair(), 400, bound, &ProtocolContext::new(1)).unwrap()
+            });
+            dgk_bob(
+                &mut bchan,
+                &keypair().public,
+                700,
+                bound,
+                &ProtocolContext::new(2),
+            )
+            .unwrap();
+            handle.join().unwrap()
+        });
+    });
+    group.bench_function("packed", |b| {
+        b.iter(|| {
+            let (mut achan, mut bchan) = duplex();
+            let handle = std::thread::spawn(move || {
+                dgk_packed_alice(&mut achan, keypair(), 400, bound, &ProtocolContext::new(1))
+                    .unwrap()
+            });
+            dgk_packed_bob(
+                &mut bchan,
+                &keypair().public,
+                700,
+                bound,
+                &ProtocolContext::new(2),
+            )
+            .unwrap();
+            handle.join().unwrap()
+        });
+    });
+    group.finish();
+}
+
+/// Packed vs unpacked dot-many response: one enhanced-protocol
+/// neighborhood answer (24 masked distances) at 256-bit keys. Unpacked:
+/// 24 response ciphertexts, 24 keyholder decryptions. Packed: the
+/// responses share words (~6 slots each here), so both the response bytes
+/// and the decryption count drop by the packing factor.
+fn bench_dot_many_packing(c: &mut Criterion) {
+    use ppds_paillier::SlotLayout;
+    use ppds_smc::multiplication::{dot_many_keyholder, dot_many_peer, ResponsePacking};
+    let rows: Vec<Vec<BigInt>> = (0..24)
+        .map(|j| {
+            vec![
+                BigInt::from_i64(1),
+                BigInt::from_i64(j % 7),
+                BigInt::from_i64(j % 5),
+                BigInt::from_i64((j % 7) * (j % 7) + (j % 5) * (j % 5)),
+            ]
+        })
+        .collect();
+    let xs: Vec<BigInt> = [25i64, -6, -8, 1]
+        .iter()
+        .map(|&v| BigInt::from_i64(v))
+        .collect();
+    let mask_bound = ppds_bigint::BigUint::from_u64(1 << 20);
+    let packing = ResponsePacking {
+        layout: SlotLayout::new(keypair().public.bits(), 24).unwrap(),
+        offset: ppds_bigint::BigUint::from_u64((1 << 20) + 200),
+    };
+    let mut group = c.benchmark_group("dot_many_24rows_256bit");
+    group.sample_size(10);
+    for (label, packed) in [("unpacked", false), ("packed", true)] {
+        let packing = packed.then(|| packing.clone());
+        let rows = rows.clone();
+        let xs = xs.clone();
+        let mask_bound = mask_bound.clone();
+        group.bench_function(label, move |b| {
+            b.iter(|| {
+                let (mut kchan, mut pchan) = duplex();
+                let xs2 = xs.clone();
+                let p2 = packing.clone();
+                let handle = std::thread::spawn(move || {
+                    dot_many_keyholder(
+                        &mut kchan,
+                        keypair(),
+                        &xs2,
+                        24,
+                        p2.as_ref(),
+                        &ProtocolContext::new(3),
+                    )
+                    .unwrap()
+                });
+                dot_many_peer(
+                    &mut pchan,
+                    &keypair().public,
+                    &rows,
+                    &mask_bound,
+                    packing.as_ref(),
+                    &ProtocolContext::new(4),
+                )
+                .unwrap();
+                handle.join().unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_multiplication,
@@ -336,6 +460,8 @@ criterion_group!(
     bench_kth_selection,
     bench_batching_ablation,
     bench_keyed_derivation,
-    bench_parallel_batch_encryption
+    bench_parallel_batch_encryption,
+    bench_dgk_reply_packing,
+    bench_dot_many_packing
 );
 criterion_main!(benches);

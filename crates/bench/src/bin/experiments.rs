@@ -5,13 +5,14 @@
 //! experiment here measures one of those analytical claims.
 //!
 //! Usage:
-//! `cargo run -p ppds-bench --bin experiments --release -- [e1..e10|f1|all]`
+//! `cargo run -p ppds-bench --bin experiments --release -- [e1..e11|f1|all]`
 //! `cargo run -p ppds-bench --bin experiments --release -- --json <path>`
 //!
-//! `--json <path>` runs the round-batching protocol sweep (E10) and writes
-//! per-protocol `{rounds, messages, bytes, modeled_lan_ms, modeled_wan_ms}`
-//! records for both framings — the bench trajectory future PRs diff against
-//! (the repo keeps one run as `BENCH_protocols.json`).
+//! `--json <path>` runs the round-batching (E10) and slot-packing (E11)
+//! protocol sweeps and writes per-protocol `{batching, packing, rounds,
+//! messages, bytes, modeled_lan_ms, modeled_wan_ms}` records — the bench
+//! trajectory future PRs diff against (the repo keeps one run as
+//! `BENCH_protocols.json`).
 
 use ppdbscan::config::ProtocolConfig;
 use ppdbscan::{ArbitraryPartition, PartyOutput, VerticalPartition};
@@ -417,6 +418,7 @@ fn e7() {
                 2,
                 CmpOp::Lt,
                 &domain,
+                false,
                 &ProtocolContext::new(51),
             )
             .unwrap();
@@ -430,6 +432,7 @@ fn e7() {
             5.min(n0 as i64 - 2),
             CmpOp::Lt,
             &domain,
+            false,
             &ProtocolContext::new(52),
         )
         .unwrap();
@@ -479,6 +482,7 @@ fn e8() {
                         &us,
                         k,
                         &domain,
+                        false,
                         &ProtocolContext::new(62),
                     )
                     .unwrap()
@@ -491,6 +495,7 @@ fn e8() {
                     &vs,
                     k,
                     &domain,
+                    false,
                     &ProtocolContext::new(63),
                 )
                 .unwrap();
@@ -560,9 +565,11 @@ fn e9() {
 
 /// One row of the round-batching sweep: a protocol family under one
 /// framing, with the measured wire figures and modeled link times.
+#[derive(Clone)]
 struct BatchBenchRow {
     protocol: &'static str,
     batching: bool,
+    packing: bool,
     rounds: u64,
     messages: u64,
     bytes: u64,
@@ -570,20 +577,18 @@ struct BatchBenchRow {
     wan_ms: f64,
 }
 
-/// Runs every two-party protocol family batched and unbatched on the
-/// canonical n = 36 blob workload and returns one row per (protocol,
-/// framing). The per-protocol outputs are asserted label- and
-/// leakage-identical across framings before any number is reported.
-fn batching_sweep() -> Vec<BatchBenchRow> {
-    let w = blob_workload(36, 2, 9_100);
-    let vp = VerticalPartition::split(&w.all, 1);
-    let ap = ArbitraryPartition::random(&mut rng(9_101), &w.all);
-    let mut rows = Vec::new();
-    #[allow(clippy::type_complexity)]
-    let runs: Vec<(
-        &'static str,
-        Box<dyn Fn(&ProtocolConfig) -> (PartyOutput, PartyOutput) + '_>,
-    )> = vec![
+/// Runs one closure per two-party protocol family on the canonical n = 36
+/// blob workload (shared by the batching and packing sweeps).
+#[allow(clippy::type_complexity)]
+fn protocol_runs<'a>(
+    w: &'a ppds_bench::Workload,
+    vp: &'a VerticalPartition,
+    ap: &'a ArbitraryPartition,
+) -> Vec<(
+    &'static str,
+    Box<dyn Fn(&ProtocolConfig) -> (PartyOutput, PartyOutput) + 'a>,
+)> {
+    vec![
         (
             "horizontal",
             Box::new(|cfg| run_horizontal_pair(cfg, &w.alice, &w.bob, rng(81), rng(82)).unwrap()),
@@ -606,30 +611,68 @@ fn batching_sweep() -> Vec<BatchBenchRow> {
         ),
         (
             "vertical",
-            Box::new(|cfg| run_vertical_pair(cfg, &vp, rng(85), rng(86)).unwrap()),
+            Box::new(|cfg| run_vertical_pair(cfg, vp, rng(85), rng(86)).unwrap()),
         ),
         (
             "arbitrary",
-            Box::new(|cfg| run_arbitrary_pair(cfg, &ap, rng(87), rng(88)).unwrap()),
+            Box::new(|cfg| run_arbitrary_pair(cfg, ap, rng(87), rng(88)).unwrap()),
         ),
-    ];
-    for (protocol, run) in &runs {
-        let plain = run(&w.cfg);
-        let batched = run(&w.cfg.with_batching(true));
+    ]
+}
+
+fn row_from(protocol: &'static str, cfg: &ProtocolConfig, out: &PartyOutput) -> BatchBenchRow {
+    let t = out.traffic;
+    BatchBenchRow {
+        protocol,
+        batching: cfg.batching,
+        packing: cfg.packing,
+        rounds: t.total_rounds(),
+        messages: t.total_messages(),
+        bytes: t.total_bytes(),
+        lan_ms: CostModel::lan().estimate(&t).as_secs_f64() * 1e3,
+        wan_ms: CostModel::wan().estimate(&t).as_secs_f64() * 1e3,
+    }
+}
+
+/// Runs every two-party protocol family batched and unbatched on the
+/// canonical n = 36 blob workload and returns one row per (protocol,
+/// framing). The per-protocol outputs are asserted label- and
+/// leakage-identical across framings before any number is reported.
+fn batching_sweep() -> Vec<BatchBenchRow> {
+    let w = blob_workload(36, 2, 9_100);
+    let vp = VerticalPartition::split(&w.all, 1);
+    let ap = ArbitraryPartition::random(&mut rng(9_101), &w.all);
+    let mut rows = Vec::new();
+    for (protocol, run) in &protocol_runs(&w, &vp, &ap) {
+        let plain_cfg = w.cfg;
+        let batched_cfg = w.cfg.with_batching(true);
+        let plain = run(&plain_cfg);
+        let batched = run(&batched_cfg);
         assert_eq!(plain.0.clustering, batched.0.clustering, "{protocol}");
         assert_eq!(plain.0.leakage, batched.0.leakage, "{protocol}");
-        for (on, out) in [(false, &plain), (true, &batched)] {
-            let t = out.0.traffic;
-            rows.push(BatchBenchRow {
-                protocol,
-                batching: on,
-                rounds: t.total_rounds(),
-                messages: t.total_messages(),
-                bytes: t.total_bytes(),
-                lan_ms: CostModel::lan().estimate(&t).as_secs_f64() * 1e3,
-                wan_ms: CostModel::wan().estimate(&t).as_secs_f64() * 1e3,
-            });
-        }
+        rows.push(row_from(protocol, &plain_cfg, &plain.0));
+        rows.push(row_from(protocol, &batched_cfg, &batched.0));
+    }
+    rows
+}
+
+/// Runs every two-party protocol family with plaintext-slot packing on and
+/// off (round batching on in both, so the delta isolates packing) on the
+/// same workload and seeds as [`batching_sweep`]. Labels, leakage, and the
+/// Yao ledger are asserted identical before any number is reported.
+fn packing_sweep() -> Vec<BatchBenchRow> {
+    let w = blob_workload(36, 2, 9_100);
+    let vp = VerticalPartition::split(&w.all, 1);
+    let ap = ArbitraryPartition::random(&mut rng(9_101), &w.all);
+    let mut rows = Vec::new();
+    for (protocol, run) in &protocol_runs(&w, &vp, &ap) {
+        let packed_cfg = w.cfg.with_batching(true).with_packing(true);
+        let plain = run(&w.cfg.with_batching(true));
+        let packed = run(&packed_cfg);
+        assert_eq!(plain.0.clustering, packed.0.clustering, "{protocol}");
+        assert_eq!(plain.0.leakage, packed.0.leakage, "{protocol}");
+        assert_eq!(plain.0.yao, packed.0.yao, "{protocol}");
+        rows.push(row_from(protocol, &packed_cfg, &packed.0));
     }
     rows
 }
@@ -674,6 +717,60 @@ fn e10() -> Vec<BatchBenchRow> {
     rows
 }
 
+/// E11 — plaintext-slot packing: the ciphertext-heavy response legs (DGK
+/// verdict vectors, masked-distance and masked-product replies, the Ideal
+/// comparator's verdict-sized padding) ride packed Paillier words, so
+/// bytes — and keyholder decryptions — drop by roughly the packing factor
+/// while labels, leakage, and the Yao ledger are unchanged (asserted).
+fn e11(baseline: &[BatchBenchRow]) -> Vec<BatchBenchRow> {
+    section("E11  Slot packing: wire bytes with packed response words (n = 36)");
+    let packed = packing_sweep();
+    let widths = [20, 5, 11, 11, 7, 10];
+    print_header(
+        &widths,
+        &[
+            "protocol",
+            "pack",
+            "wire bytes",
+            "WAN ms",
+            "bytes x",
+            "rounds",
+        ],
+    );
+    let mut rows = Vec::new();
+    for row in packed {
+        let unpacked = baseline
+            .iter()
+            .find(|r| r.protocol == row.protocol && r.batching)
+            .expect("baseline row exists");
+        for (r, factor) in [
+            (unpacked, String::new()),
+            (
+                &row,
+                format!("{:.1}x", unpacked.bytes as f64 / row.bytes as f64),
+            ),
+        ] {
+            print_row(
+                &widths,
+                &[
+                    r.protocol.into(),
+                    if r.packing { "on" } else { "off" }.into(),
+                    fmt_bytes(r.bytes),
+                    format!("{:.0}", r.wan_ms),
+                    factor.clone(),
+                    format!("{}", r.rounds),
+                ],
+            );
+        }
+        rows.push(row);
+    }
+    println!("\nLabels, leakage, and the Yao ledger are identical packed vs unpacked");
+    println!("(asserted); only the transport of masked responses changes. The DGK");
+    println!("request leg (per-bit ciphertexts) cannot pack, which bounds that");
+    println!("backend's end-to-end cut at ~2x; reply legs cut by the full capacity.");
+    rows
+}
+
 /// Serializes the sweep as the machine-readable bench trajectory. The
 /// top-level `wire_version` records the session-handshake format and
 /// `randomness` the RNG discipline (`keyed-v1` = `ProtocolContext`
@@ -685,16 +782,18 @@ fn e10() -> Vec<BatchBenchRow> {
 /// vertical, arbitrary rounds/messages) are stable across both.
 fn write_bench_json(path: &str, rows: &[BatchBenchRow]) {
     let mut out = format!(
-        "{{\n  \"wire_version\": {},\n  \"randomness\": \"{}\",\n  \"workload\": {{\"n\": 36, \"dim\": 2, \"generator\": \"standard_blobs\"}},\n  \"protocols\": [\n",
+        "{{\n  \"wire_version\": {},\n  \"randomness\": \"{}\",\n  \"packing\": \"{}\",\n  \"workload\": {{\"n\": 36, \"dim\": 2, \"generator\": \"standard_blobs\"}},\n  \"protocols\": [\n",
         ppdbscan::session::WIRE_VERSION,
-        ppds_smc::context::RANDOMNESS_DISCIPLINE
+        ppds_smc::context::RANDOMNESS_DISCIPLINE,
+        ppds_paillier::PACKING_DISCIPLINE
     );
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"protocol\": \"{}\", \"batching\": {}, \"rounds\": {}, \"messages\": {}, \
-             \"bytes\": {}, \"modeled_lan_ms\": {:.3}, \"modeled_wan_ms\": {:.3}}}{}\n",
+            "    {{\"protocol\": \"{}\", \"batching\": {}, \"packing\": {}, \"rounds\": {}, \
+             \"messages\": {}, \"bytes\": {}, \"modeled_lan_ms\": {:.3}, \"modeled_wan_ms\": {:.3}}}{}\n",
             row.protocol,
             row.batching,
+            row.packing,
             row.rounds,
             row.messages,
             row.bytes,
@@ -774,11 +873,11 @@ fn main() {
             selector = Some(arg);
         }
     }
-    // `--json` alone runs just the batching sweep; a selector (or nothing)
-    // runs the printed experiments as before.
+    // `--json` alone runs the batching + packing sweeps; a selector (or
+    // nothing) runs the printed experiments as before.
     let selector = selector.unwrap_or_else(|| {
         if json_path.is_some() {
-            "e10".into()
+            "sweeps".into()
         } else {
             "all".into()
         }
@@ -798,6 +897,18 @@ fn main() {
         "e8" => e8(),
         "e9" => e9(),
         "e10" => sweep_rows = Some(e10()),
+        "e11" => {
+            let mut rows = batching_sweep();
+            let packed = e11(&rows);
+            rows.extend(packed);
+            sweep_rows = Some(rows);
+        }
+        "sweeps" => {
+            let mut rows = e10();
+            let packed = e11(&rows);
+            rows.extend(packed);
+            sweep_rows = Some(rows);
+        }
         "f1" => f1(),
         "all" => {
             e1();
@@ -809,16 +920,23 @@ fn main() {
             e7();
             e8();
             e9();
-            sweep_rows = Some(e10());
+            let mut rows = e10();
+            let packed = e11(&rows);
+            rows.extend(packed);
+            sweep_rows = Some(rows);
             f1();
         }
         other => {
-            eprintln!("unknown experiment {other}; use e1..e10, f1 or all");
+            eprintln!("unknown experiment {other}; use e1..e11, f1 or all");
             std::process::exit(2);
         }
     }
     if let Some(path) = json_path {
-        let rows = sweep_rows.unwrap_or_else(batching_sweep);
+        let rows = sweep_rows.unwrap_or_else(|| {
+            let mut rows = batching_sweep();
+            rows.extend(packing_sweep());
+            rows
+        });
         write_bench_json(&path, &rows);
     }
     println!("\n(total runtime {:.1?})", t0.elapsed());

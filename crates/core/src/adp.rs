@@ -19,6 +19,7 @@
 
 use crate::config::{ProtocolConfig, YaoLedger};
 use crate::domain::adp_domain;
+use crate::hdp::mul_packing;
 use ppds_bigint::BigInt;
 use ppds_paillier::{Keypair, PublicKey};
 use ppds_smc::compare::{
@@ -99,7 +100,14 @@ pub fn adp_compare_alice<C: Channel>(
             ys.len(),
             &cfg.mul_mask_bound(),
         );
-        mul_batch_peer(chan, bob_pk, &ys, &masks, &ctx.narrow("mul").at(record))?;
+        mul_batch_peer(
+            chan,
+            bob_pk,
+            &ys,
+            &masks,
+            mul_packing(cfg, total_dim).as_ref(),
+            &ctx.narrow("mul").at(record),
+        )?;
     }
     let i_val = parts.both_owned + parts.split_endpoints.iter().map(|&v| v * v).sum::<i64>();
     let domain = adp_domain(cfg, total_dim);
@@ -111,6 +119,7 @@ pub fn adp_compare_alice<C: Channel>(
         i_val,
         CmpOp::Leq,
         &domain,
+        cfg.packing,
         &ctx.narrow("cmp").at(record),
     )
 }
@@ -136,7 +145,13 @@ pub fn adp_compare_bob<C: Channel>(
             .iter()
             .map(|&v| BigInt::from_i64(v))
             .collect();
-        let ws = mul_batch_keyholder(chan, my_keypair, &xs, &ctx.narrow("mul").at(record))?;
+        let ws = mul_batch_keyholder(
+            chan,
+            my_keypair,
+            &xs,
+            mul_packing(cfg, total_dim).as_ref(),
+            &ctx.narrow("mul").at(record),
+        )?;
         cross = ws
             .iter()
             .fold(BigInt::zero(), |acc, w| &acc + w)
@@ -154,6 +169,7 @@ pub fn adp_compare_bob<C: Channel>(
         j_val,
         CmpOp::Leq,
         &domain,
+        cfg.packing,
         &ctx.narrow("cmp").at(record),
     )
 }
@@ -261,6 +277,7 @@ pub fn adp_compare_batch_alice<C: Channel>(
                 )
             },
             |g| mul_ctx.at(split_pairs[g] as u64),
+            mul_packing(cfg, total_dim).as_ref(),
         )?;
     }
     let domain = adp_domain(cfg, total_dim);
@@ -278,6 +295,7 @@ pub fn adp_compare_batch_alice<C: Channel>(
         &i_vals,
         CmpOp::Leq,
         &domain,
+        cfg.packing,
         &ctx.narrow("cmp"),
     )
 }
@@ -313,9 +331,13 @@ pub fn adp_compare_batch_bob<C: Channel>(
             })
             .collect();
         let mul_ctx = ctx.narrow("mul");
-        let ws_groups = mul_batches_keyholder(chan, my_keypair, &xs_groups, |g| {
-            mul_ctx.at(split_pairs[g] as u64)
-        })?;
+        let ws_groups = mul_batches_keyholder(
+            chan,
+            my_keypair,
+            &xs_groups,
+            |g| mul_ctx.at(split_pairs[g] as u64),
+            mul_packing(cfg, total_dim).as_ref(),
+        )?;
         for (&i, ws) in split_pairs.iter().zip(&ws_groups) {
             crosses[i] = ws
                 .iter()
@@ -341,6 +363,7 @@ pub fn adp_compare_batch_bob<C: Channel>(
         &j_vals,
         CmpOp::Leq,
         &domain,
+        cfg.packing,
         &ctx.narrow("cmp"),
     )
 }

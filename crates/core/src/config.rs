@@ -38,6 +38,20 @@ pub struct ProtocolConfig {
     /// `batching_parity` integration tests); only the framing changes. See
     /// DESIGN.md §7.
     pub batching: bool,
+    /// Plaintext-slot packing: when `true`, the ciphertext-heavy *response*
+    /// legs ride packed Paillier words (`ppds_paillier::SlotLayout`)
+    /// instead of one ciphertext per value — the DGK masked verdict vector
+    /// ships `⌈ℓ/capacity⌉` words per comparison, masked-product and
+    /// masked-distance replies pack `capacity` slots per word, and the
+    /// Ideal comparator pads its verdict-sized message to the packed
+    /// transcript size — cutting response bytes and the keyholder's
+    /// decryption count by roughly the packing factor (~20× at 1024-bit
+    /// keys with 48-bit slots). Orthogonal to `batching` (any of the four
+    /// combinations runs); labels, leakage, and the Yao ledger are
+    /// byte-identical to unpacked runs under the same seeds (pinned by the
+    /// `packing_parity` integration tests). Both parties must agree — the
+    /// handshake rejects a mismatch by name. See DESIGN.md §10.
+    pub packing: bool,
 }
 
 impl ProtocolConfig {
@@ -52,6 +66,7 @@ impl ProtocolConfig {
             selection: SelectionMethod::RepeatedMin,
             mask_bits: 20,
             batching: false,
+            packing: false,
         }
     }
 
@@ -59,6 +74,13 @@ impl ProtocolConfig {
     /// must agree; the handshake rejects a mismatch).
     pub fn with_batching(self, batching: bool) -> Self {
         ProtocolConfig { batching, ..self }
+    }
+
+    /// Returns a copy with plaintext-slot packing switched on or off (both
+    /// parties must agree; the handshake rejects a mismatch). See
+    /// [`ProtocolConfig::packing`].
+    pub fn with_packing(self, packing: bool) -> Self {
+        ProtocolConfig { packing, ..self }
     }
 
     /// Same defaults but with the faithful Yao comparator and σ = 2 (the
@@ -119,6 +141,16 @@ impl ProtocolConfig {
                     millionaires::MAX_YAO_DOMAIN
                 )));
             }
+        }
+        if self.packing
+            && (crate::domain::mul_response_packing(self, dim).is_none()
+                || crate::domain::dot_response_packing(self, dim).is_none())
+        {
+            return Err(CoreError::config(format!(
+                "key_bits = {} cannot fit one packed response slot for this \
+                 coord_bound/mask_bits; raise key_bits or disable packing",
+                self.key_bits
+            )));
         }
         Ok(())
     }

@@ -7,7 +7,10 @@
 //! once, exactly, and tested against brute-force enumeration.
 
 use crate::config::ProtocolConfig;
+use ppds_bigint::BigUint;
+use ppds_paillier::SlotLayout;
 use ppds_smc::compare::ComparisonDomain;
+use ppds_smc::ResponsePacking;
 
 fn mc2(dim: usize, coord_bound: i64) -> i64 {
     let c2 = (coord_bound as i128) * (coord_bound as i128);
@@ -56,6 +59,43 @@ pub fn enhanced_share_domain(cfg: &ProtocolConfig, dim: usize) -> ComparisonDoma
     let v = cfg.enhanced_mask_bound(dim) as i64;
     let eps = cfg.params.eps_sq as i64;
     ComparisonDomain::symmetric(d_max + 2 * v + eps + 1)
+}
+
+/// Builds a [`ResponsePacking`] whose slots hold `value + offset` for
+/// signed values of magnitude at most `offset`: slot width
+/// `bits(2·offset) + 1` (the carry guard), capacity from `key_bits`.
+fn response_packing(key_bits: usize, offset: BigUint) -> Option<ResponsePacking> {
+    let max_slot = &offset << 1usize;
+    let layout = SlotLayout::new(key_bits, max_slot.bit_length() + 1)?;
+    Some(ResponsePacking { layout, offset })
+}
+
+/// Packing for Multiplication Protocol responses (`ProtocolConfig::packing`
+/// on the HDP/ADP legs): each slot holds `x·y + r + offset` with
+/// `|x·y| ≤ C²` and `r` one of a group's zero-sum blinding terms. The
+/// first `dim − 1` terms are bounded by
+/// [`ProtocolConfig::mul_mask_bound`], but the *closing* term balances
+/// their sum and can reach `(dim − 1)·mask_bound`, so the offset budgets
+/// `C² + dim·mask_bound` (covering both shapes with a term to spare).
+/// `None` when `key_bits` cannot fit one slot —
+/// [`ProtocolConfig::validate`] rejects such configs up front.
+pub fn mul_response_packing(cfg: &ProtocolConfig, dim: usize) -> Option<ResponsePacking> {
+    let c2 = BigUint::from_u128((cfg.coord_bound as u128) * (cfg.coord_bound as u128));
+    let mask_budget = &cfg.mul_mask_bound() * dim.max(1) as u64;
+    response_packing(cfg.key_bits, &c2 + &mask_budget)
+}
+
+/// Packing for the enhanced protocol's masked-distance responses: each
+/// slot holds `dist² + v + offset` with `dist² ≤ Dmax` and `|v| ≤ V`
+/// ([`ProtocolConfig::enhanced_mask_bound`]), so `offset = Dmax + V` —
+/// derived on both sides from the public config and dimension alone.
+pub fn dot_response_packing(cfg: &ProtocolConfig, dim: usize) -> Option<ResponsePacking> {
+    let d_max = cfg.max_dist_sq(dim.max(1));
+    let v = cfg.enhanced_mask_bound(dim.max(1));
+    response_packing(
+        cfg.key_bits,
+        &BigUint::from_u64(d_max) + &BigUint::from_u64(v),
+    )
 }
 
 #[cfg(test)]

@@ -24,7 +24,7 @@
 //! flag (strictly less than it learns from a full selection).
 
 use crate::config::{ProtocolConfig, YaoLedger};
-use crate::domain::enhanced_share_domain;
+use crate::domain::{dot_response_packing, enhanced_share_domain};
 use crate::error::CoreError;
 use crate::session::{HandshakeProfile, Mode, ModeContext, ModeDriver, Session, SessionLog};
 use ppds_bigint::{BigInt, BigUint};
@@ -35,9 +35,20 @@ use ppds_smc::kth::{
     kth_smallest_alice, kth_smallest_alice_batched, kth_smallest_bob, kth_smallest_bob_batched,
 };
 use ppds_smc::multiplication::{dot_many_keyholder, dot_many_peer};
+use ppds_smc::ResponsePacking;
 use ppds_smc::{LeakageEvent, LeakageLog, Party, ProtocolContext, SmcError};
 use ppds_transport::Channel;
 use rand::seq::SliceRandom;
+
+/// The masked-distance response packing this config selects: `Some` when
+/// `cfg.packing` is on (validated configs always have a layout).
+fn dot_packing(cfg: &ProtocolConfig, dim: usize) -> Option<ResponsePacking> {
+    if cfg.packing {
+        dot_response_packing(cfg, dim)
+    } else {
+        None
+    }
+}
 
 fn share_to_i64(v: &BigInt) -> Result<i64, SmcError> {
     v.to_i64()
@@ -81,7 +92,15 @@ pub fn enhanced_core_test_querier<C: Channel>(
         xs.push(BigInt::from_i64(-2 * a));
     }
     xs.push(BigInt::from_i64(1));
-    let raw = dot_many_keyholder(chan, my_keypair, &xs, responder_count, &ctx.narrow("dot"))?;
+    let packing = dot_packing(cfg, dim);
+    let raw = dot_many_keyholder(
+        chan,
+        my_keypair,
+        &xs,
+        responder_count,
+        packing.as_ref(),
+        &ctx.narrow("dot"),
+    )?;
     let shares: Vec<i64> = raw.iter().map(share_to_i64).collect::<Result<_, _>>()?;
 
     // Phase 2: k-th smallest shared distance. Batching runs quickselect
@@ -98,6 +117,7 @@ pub fn enhanced_core_test_querier<C: Channel>(
             &shares,
             k_needed,
             &domain,
+            cfg.packing,
             &sel_ctx,
         )?
     } else {
@@ -109,6 +129,7 @@ pub fn enhanced_core_test_querier<C: Channel>(
             &shares,
             k_needed,
             &domain,
+            cfg.packing,
             &sel_ctx,
         )?
     };
@@ -125,6 +146,7 @@ pub fn enhanced_core_test_querier<C: Channel>(
         shares[outcome.index],
         CmpOp::Leq,
         &domain,
+        cfg.packing,
         &ctx.narrow("cmp"),
     )?;
     leakage.record(LeakageEvent::CorePointBit {
@@ -179,7 +201,15 @@ pub fn enhanced_core_respond<C: Channel>(
         })
         .collect();
     let mask_bound = BigUint::from_u64(cfg.enhanced_mask_bound(dim));
-    let masks = dot_many_peer(chan, querier_pk, &rows, &mask_bound, &ctx.narrow("dot"))?;
+    let packing = dot_packing(cfg, dim);
+    let masks = dot_many_peer(
+        chan,
+        querier_pk,
+        &rows,
+        &mask_bound,
+        packing.as_ref(),
+        &ctx.narrow("dot"),
+    )?;
     let shares: Vec<i64> = masks.iter().map(share_to_i64).collect::<Result<_, _>>()?;
 
     // Phase 2: mirror the selection (batched partitions when enabled).
@@ -194,6 +224,7 @@ pub fn enhanced_core_respond<C: Channel>(
             &shares,
             k,
             &domain,
+            cfg.packing,
             &sel_ctx,
         )?
     } else {
@@ -205,6 +236,7 @@ pub fn enhanced_core_respond<C: Channel>(
             &shares,
             k,
             &domain,
+            cfg.packing,
             &sel_ctx,
         )?
     };
@@ -221,6 +253,7 @@ pub fn enhanced_core_respond<C: Channel>(
         cfg.params.eps_sq as i64 + shares[outcome.index],
         CmpOp::Leq,
         &domain,
+        cfg.packing,
         &ctx.narrow("cmp"),
     )?;
     if is_core {

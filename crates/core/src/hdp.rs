@@ -33,6 +33,7 @@ use ppds_smc::compare::{
 use ppds_smc::multiplication::{
     mul_batch_keyholder, mul_batch_peer, mul_batches_keyholder, mul_batches_peer, zero_sum_masks,
 };
+use ppds_smc::ResponsePacking;
 use ppds_smc::{LeakageEvent, LeakageLog, ProtocolContext, SmcError};
 use ppds_transport::Channel;
 use rand::seq::SliceRandom;
@@ -67,7 +68,14 @@ pub fn hdp_query_querier<C: Channel>(
     for pos in 0..responder_count {
         // Stage 1: responder (keyholder) gets a_k·b_k + r_k per attribute.
         let masks = zero_sum_masks(mask_ctx.rng_for(pos as u64), dim, &cfg.mul_mask_bound());
-        mul_batch_peer(chan, responder_pk, &ys, &masks, &mul_ctx.at(pos as u64))?;
+        mul_batch_peer(
+            chan,
+            responder_pk,
+            &ys,
+            &masks,
+            mul_packing(cfg, dim).as_ref(),
+            &mul_ctx.at(pos as u64),
+        )?;
         // Stage 2: one Yao comparison under the querier's key.
         ledger.record(cfg.key_bits, domain.n0());
         let within = compare_alice(
@@ -77,6 +85,7 @@ pub fn hdp_query_querier<C: Channel>(
             i_val,
             CmpOp::Leq,
             &domain,
+            cfg.packing,
             &cmp_ctx.at(pos as u64),
         )?;
         count += within as usize;
@@ -114,7 +123,13 @@ pub fn hdp_respond<C: Channel>(
     for (pos, &idx) in order.iter().enumerate() {
         let point = &my_points[idx];
         let xs = coords_as_bigint(point);
-        let ws = mul_batch_keyholder(chan, my_keypair, &xs, &mul_ctx.at(pos as u64))?;
+        let ws = mul_batch_keyholder(
+            chan,
+            my_keypair,
+            &xs,
+            mul_packing(cfg, dim).as_ref(),
+            &mul_ctx.at(pos as u64),
+        )?;
         let inner_product: i64 = ws
             .iter()
             .fold(BigInt::zero(), |acc, w| &acc + w)
@@ -129,6 +144,7 @@ pub fn hdp_respond<C: Channel>(
             j_val,
             CmpOp::Leq,
             &domain,
+            cfg.packing,
             &cmp_ctx.at(pos as u64),
         )?;
         if within {
@@ -244,6 +260,7 @@ pub fn hdp_query_querier_batch<C: Channel>(
         &ys_groups,
         |g| zero_sum_masks(mask_ctx.rng_for(g as u64), dim, &bound),
         |g| mul_ctx.at(g as u64),
+        mul_packing(cfg, dim).as_ref(),
     )?;
     // Stage 2: one batched comparison run for the whole candidate set.
     let values = vec![i_val; responder_count];
@@ -257,6 +274,7 @@ pub fn hdp_query_querier_batch<C: Channel>(
         &values,
         CmpOp::Leq,
         &domain,
+        cfg.packing,
         &cmp_ctx,
     )?;
     Ok(within.into_iter().filter(|&b| b).count())
@@ -296,7 +314,13 @@ pub fn hdp_respond_batch<C: Channel>(
         .iter()
         .map(|&idx| coords_as_bigint(&my_points[idx]))
         .collect();
-    let ws_groups = mul_batches_keyholder(chan, my_keypair, &xs_groups, |g| mul_ctx.at(g as u64))?;
+    let ws_groups = mul_batches_keyholder(
+        chan,
+        my_keypair,
+        &xs_groups,
+        |g| mul_ctx.at(g as u64),
+        mul_packing(cfg, dim).as_ref(),
+    )?;
     let mut j_vals = Vec::with_capacity(order.len());
     for (&idx, ws) in order.iter().zip(&ws_groups) {
         let inner_product: i64 = ws
@@ -314,6 +338,7 @@ pub fn hdp_respond_batch<C: Channel>(
         &j_vals,
         CmpOp::Leq,
         &domain,
+        cfg.packing,
         &cmp_ctx,
     )?;
     let mut count = 0usize;
@@ -326,6 +351,17 @@ pub fn hdp_respond_batch<C: Channel>(
         }
     }
     Ok(count)
+}
+
+/// The Multiplication Protocol response packing this config selects for
+/// `dim`-attribute groups: `Some` when `cfg.packing` is on (validated
+/// configs always have a layout), `None` otherwise.
+pub(crate) fn mul_packing(cfg: &ProtocolConfig, dim: usize) -> Option<ResponsePacking> {
+    if cfg.packing {
+        crate::domain::mul_response_packing(cfg, dim)
+    } else {
+        None
+    }
 }
 
 impl ProtocolConfig {

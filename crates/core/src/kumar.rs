@@ -76,7 +76,14 @@ fn kumar_query<C: Channel>(
     let mut count = 0usize;
     for pos in 0..responder_count {
         let masks = zero_sum_masks(mask_ctx.rng_for(pos as u64), dim, &cfg.mul_mask_bound());
-        mul_batch_peer(chan, responder_pk, &ys, &masks, &mul_ctx.at(pos as u64))?;
+        mul_batch_peer(
+            chan,
+            responder_pk,
+            &ys,
+            &masks,
+            None,
+            &mul_ctx.at(pos as u64),
+        )?;
         ledger.record(cfg.key_bits, domain.n0());
         count += compare_alice(
             cfg.comparator,
@@ -85,6 +92,7 @@ fn kumar_query<C: Channel>(
             i_val,
             CmpOp::Leq,
             &domain,
+            false,
             &cmp_ctx.at(pos as u64),
         )? as usize;
     }
@@ -114,7 +122,7 @@ fn kumar_respond<C: Channel>(
             .iter()
             .map(|&c| BigInt::from_i64(c))
             .collect();
-        let ws = mul_batch_keyholder(chan, my_keypair, &xs, &mul_ctx.at(idx as u64))?;
+        let ws = mul_batch_keyholder(chan, my_keypair, &xs, None, &mul_ctx.at(idx as u64))?;
         let inner: i64 = ws
             .iter()
             .fold(BigInt::zero(), |acc, w| &acc + w)
@@ -129,6 +137,7 @@ fn kumar_respond<C: Channel>(
             j_val,
             CmpOp::Leq,
             &domain,
+            false,
             &cmp_ctx.at(idx as u64),
         )?;
         leakage.record(LeakageEvent::LinkedNeighborBit {

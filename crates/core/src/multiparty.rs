@@ -161,6 +161,7 @@ pub(crate) fn run_mesh_node<C: Channel>(
             wire_version: WIRE_VERSION,
             mode: Mode::Multiparty,
             batching: cfg.batching,
+            packing: cfg.packing,
             peers: peer_meta,
         },
     })

@@ -58,14 +58,14 @@ use crate::config::{ProtocolConfig, YaoLedger};
 use crate::driver::{run_pair, PartyOutput};
 use crate::error::CoreError;
 use ppds_dbscan::{Clustering, Point};
-use ppds_paillier::{Keypair, PublicKey};
+use ppds_paillier::{FillerHandle, Keypair, PublicKey, RandomizerPool};
 use ppds_smc::compare::Comparator;
 use ppds_smc::kth::SelectionMethod;
 use ppds_smc::{setup, LeakageLog, Party, ProtocolContext};
 use ppds_transport::wire::{Reader, WireDecode, WireEncode};
 use ppds_transport::{duplex, Channel, MemoryChannel, TransportError};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 /// Version of the session handshake wire format. Bumped whenever the
 /// [`Hello`] frame layout or the meaning of a negotiated field changes;
@@ -73,8 +73,9 @@ use rand::SeedableRng;
 /// [`CoreError::HandshakeMismatch`] on `wire_version`).
 ///
 /// Version history: `1` was the unversioned `Vec<u64>` metadata frame of
-/// the original drivers; `2` is the tagged-field `Hello` frame.
-pub const WIRE_VERSION: u32 = 2;
+/// the original drivers; `2` is the tagged-field `Hello` frame; `3` adds
+/// the required `packing` field (plaintext-slot packing negotiation).
+pub const WIRE_VERSION: u32 = 3;
 
 /// Protocol family tag, negotiated during the handshake.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -139,10 +140,11 @@ const F_COMPARATOR: u8 = 8;
 const F_SELECTION: u8 = 9;
 const F_MASK_BITS: u8 = 10;
 const F_BATCHING: u8 = 11;
+const F_PACKING: u8 = 12;
 
 /// Fields that must be byte-equal between the two halves (record count and
 /// dimension are informational / mode-dependent and checked separately).
-const AGREED_FIELDS: [(u8, &str); 9] = [
+const AGREED_FIELDS: [(u8, &str); 10] = [
     (F_MODE, "mode"),
     (F_COORD_BOUND, "coord_bound"),
     (F_EPS_SQ, "eps_sq"),
@@ -152,6 +154,7 @@ const AGREED_FIELDS: [(u8, &str); 9] = [
     (F_SELECTION, "selection"),
     (F_MASK_BITS, "mask_bits"),
     (F_BATCHING, "batching"),
+    (F_PACKING, "packing"),
 ];
 
 fn comparator_tag(c: Comparator) -> u64 {
@@ -206,6 +209,7 @@ impl Hello {
                 (F_SELECTION, selection_tag(cfg.selection)),
                 (F_MASK_BITS, cfg.mask_bits as u64),
                 (F_BATCHING, cfg.batching as u64),
+                (F_PACKING, cfg.packing as u64),
             ],
         }
     }
@@ -418,6 +422,52 @@ pub(crate) trait ModeDriver {
     ) -> Result<Clustering, CoreError>;
 }
 
+/// Opt-in randomizer precomputation for a session: after the handshake,
+/// both session keys (own and peer) get a [`RandomizerPool`] of `capacity`
+/// randomizers — prefilled synchronously, then topped up by `fillers`
+/// background threads (0 = prefill only) for the lifetime of the protocol
+/// body. Every hot-path encryption under either key (protocol `encrypt`
+/// calls, DGK re-randomization, packed-word nonces) then consumes pooled
+/// `r^n` factors instead of exponentiating inline.
+///
+/// Trade-off: pooled nonces come from the pool's own streams, so wire
+/// *bytes* are no longer reproducible from the session seed (outputs,
+/// leakage, and ledgers still are — pinned by the `pooled_sessions_*`
+/// integration test). Use for throughput; leave off where transcript
+/// reproducibility matters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolSetup {
+    /// Randomizers buffered per key.
+    pub capacity: usize,
+    /// Background filler threads per key (0 = synchronous prefill only).
+    pub fillers: usize,
+}
+
+/// Attaches fresh randomizer pools to both session keys (see
+/// [`PoolSetup`]); returns the filler guards that keep the background
+/// threads alive for the protocol body.
+fn attach_pools(
+    session: &mut Session,
+    setup: PoolSetup,
+    ctx: &ProtocolContext,
+) -> Vec<FillerHandle> {
+    let mut seeds = ctx.narrow("pool").rng();
+    let mut guards = Vec::new();
+    let mut pooled = |pk: PublicKey| {
+        let pool = RandomizerPool::new(pk.clone(), setup.capacity.max(1));
+        let mut prefill_rng = StdRng::seed_from_u64(seeds.next_u64());
+        pool.prefill(setup.capacity, &mut prefill_rng);
+        if setup.fillers > 0 {
+            guards.push(pool.spawn_fillers(setup.fillers, seeds.next_u64()));
+        }
+        pk.with_randomizer_pool(pool)
+            .expect("pool was built for this key")
+    };
+    session.my_keypair.public = pooled(session.my_keypair.public.clone());
+    session.peer_pk = pooled(session.peer_pk.clone());
+    guards
+}
+
 /// Runs one two-party mode end to end on this side of `chan`: validate,
 /// establish (generating a keypair from the context's `"keygen"` substream
 /// unless one is supplied), cross-check, execute, assemble the outcome.
@@ -433,14 +483,32 @@ where
     C: Channel,
     D: ModeDriver,
 {
+    run_two_party_pooled(chan, cfg, driver, role, keypair, ctx, None)
+}
+
+/// [`run_two_party`] with optional randomizer-pool precomputation.
+pub(crate) fn run_two_party_pooled<C, D>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    driver: &D,
+    role: Party,
+    keypair: Option<Keypair>,
+    ctx: &ProtocolContext,
+    pools: Option<PoolSetup>,
+) -> Result<SessionOutcome, CoreError>
+where
+    C: Channel,
+    D: ModeDriver,
+{
     driver.validate(cfg)?;
     let keypair = match keypair {
         Some(kp) => kp,
         None => Keypair::generate(cfg.key_bits, &mut ctx.narrow("keygen").rng()),
     };
     let profile = driver.profile();
-    let session = establish(chan, cfg, keypair, role, &profile)?;
+    let mut session = establish(chan, cfg, keypair, role, &profile)?;
     driver.check_session(cfg, &session)?;
+    let _filler_guards = pools.map(|setup| attach_pools(&mut session, setup, ctx));
 
     let mut log = SessionLog::new();
     let mctx = ModeContext {
@@ -461,6 +529,7 @@ where
             wire_version: WIRE_VERSION,
             mode,
             batching: cfg.batching,
+            packing: cfg.packing,
             peers: vec![PeerInfo {
                 id: match role {
                     Party::Alice => 1,
@@ -526,6 +595,8 @@ pub struct SessionMeta {
     pub mode: Mode,
     /// Whether round batching was active (both sides must agree).
     pub batching: bool,
+    /// Whether plaintext-slot packing was active (both sides must agree).
+    pub packing: bool,
     /// One entry per peer session (one for two-party modes, `K − 1` for a
     /// mesh), in peer-id order.
     pub peers: Vec<PeerInfo>,
@@ -568,6 +639,7 @@ pub struct Participant {
     data: Option<PartyData>,
     keypair: Option<Keypair>,
     ctx: Option<ProtocolContext>,
+    pools: Option<PoolSetup>,
 }
 
 impl Participant {
@@ -579,7 +651,21 @@ impl Participant {
             data: None,
             keypair: None,
             ctx: None,
+            pools: None,
         }
+    }
+
+    /// Enables randomizer precomputation for this session (see
+    /// [`PoolSetup`]): both session keys get a prefilled
+    /// [`ppds_paillier::RandomizerPool`], optionally topped up by
+    /// background filler threads, so hot-path encryptions collapse to two
+    /// modular multiplications when the pool has stock. Protocol outputs,
+    /// leakage, and ledgers are unchanged; wire bytes stop being a pure
+    /// function of the seed. Two-party sessions only (a mesh node runs
+    /// many pairwise sessions and manages its own keys).
+    pub fn pooled_randomizers(mut self, capacity: usize, fillers: usize) -> Self {
+        self.pools = Some(PoolSetup { capacity, fillers });
+        self
     }
 
     /// Sets this party's role (who sends first in the key exchange, who
@@ -669,37 +755,41 @@ impl Participant {
         let ctx = Self::take_ctx(self.ctx)?;
         let cfg = self.cfg;
         match &data {
-            PartyData::Horizontal(points) => run_two_party(
+            PartyData::Horizontal(points) => run_two_party_pooled(
                 chan,
                 &cfg,
                 &crate::horizontal::HorizontalDriver { points },
                 role,
                 self.keypair,
                 &ctx,
+                self.pools,
             ),
-            PartyData::Enhanced(points) => run_two_party(
+            PartyData::Enhanced(points) => run_two_party_pooled(
                 chan,
                 &cfg,
                 &crate::enhanced::EnhancedDriver { points },
                 role,
                 self.keypair,
                 &ctx,
+                self.pools,
             ),
-            PartyData::Vertical(attrs) => run_two_party(
+            PartyData::Vertical(attrs) => run_two_party_pooled(
                 chan,
                 &cfg,
                 &crate::vertical::VerticalDriver { attrs },
                 role,
                 self.keypair,
                 &ctx,
+                self.pools,
             ),
-            PartyData::Arbitrary(values) => run_two_party(
+            PartyData::Arbitrary(values) => run_two_party_pooled(
                 chan,
                 &cfg,
                 &crate::arbitrary::ArbitraryDriver { values },
                 role,
                 self.keypair,
                 &ctx,
+                self.pools,
             ),
             PartyData::Multiparty(_) => Err(CoreError::config(
                 "multiparty data runs over a mesh: call .run_mesh(..) instead of .run(..)",

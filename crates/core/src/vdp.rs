@@ -44,6 +44,7 @@ pub fn vdp_compare_alice<C: Channel>(
         i64::try_from(alpha).expect("α fits i64 on a validated lattice"),
         CmpOp::Leq,
         &domain,
+        cfg.packing,
         ctx,
     )
 }
@@ -68,6 +69,7 @@ pub fn vdp_compare_bob<C: Channel>(
         j_val,
         CmpOp::Leq,
         &domain,
+        cfg.packing,
         ctx,
     )
 }
@@ -164,6 +166,7 @@ pub fn vdp_compare_batch_alice<C: Channel>(
         &values,
         CmpOp::Leq,
         &domain,
+        cfg.packing,
         ctx,
     )
 }
@@ -194,6 +197,7 @@ pub fn vdp_compare_batch_bob<C: Channel>(
         &values,
         CmpOp::Leq,
         &domain,
+        cfg.packing,
         ctx,
     )
 }

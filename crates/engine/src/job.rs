@@ -47,6 +47,16 @@ impl ClusteringJob {
         self.cfg = self.cfg.with_batching(batching);
         self
     }
+
+    /// Returns the job with plaintext-slot packing switched on or off (see
+    /// [`ProtocolConfig::with_packing`]): ciphertext-heavy response legs
+    /// ride packed Paillier words, cutting response bytes and keyholder
+    /// decryptions by roughly the packing factor while labels, leakage,
+    /// and the Yao ledger stay identical under the same seed.
+    pub fn with_packing(mut self, packing: bool) -> Self {
+        self.cfg = self.cfg.with_packing(packing);
+        self
+    }
 }
 
 /// A finished job: the per-party outputs (or the error), plus the rollups

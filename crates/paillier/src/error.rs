@@ -22,6 +22,21 @@ pub enum PaillierError {
     /// was computed under (the ciphertext would silently decrypt to
     /// garbage).
     RandomizerKeyMismatch,
+    /// A packed-slot value needs more bits than the slot layout provides
+    /// (it would bleed into the neighboring slot).
+    SlotOverflow {
+        /// The layout's slot width.
+        slot_bits: usize,
+        /// Bits the offending value actually needs.
+        value_bits: usize,
+    },
+    /// A packed word vector cannot carry the expected number of slots.
+    SlotCountMismatch {
+        /// Words received.
+        words: usize,
+        /// Words the layout requires for the slot count.
+        expected: usize,
+    },
 }
 
 impl fmt::Display for PaillierError {
@@ -44,6 +59,21 @@ impl fmt::Display for PaillierError {
             }
             PaillierError::RandomizerKeyMismatch => {
                 write!(f, "randomizer was precomputed under a different key")
+            }
+            PaillierError::SlotOverflow {
+                slot_bits,
+                value_bits,
+            } => {
+                write!(
+                    f,
+                    "packed value needs {value_bits} bits but slots are {slot_bits} bits wide"
+                )
+            }
+            PaillierError::SlotCountMismatch { words, expected } => {
+                write!(
+                    f,
+                    "packed response has {words} words but the layout requires {expected}"
+                )
             }
         }
     }

@@ -1,8 +1,10 @@
 //! Key generation, encryption and decryption.
 
 use crate::error::PaillierError;
+use crate::precompute::RandomizerPool;
 use ppds_bigint::{modular, prime, random, BigUint, MontgomeryCtx};
 use rand::Rng;
+use std::sync::Arc;
 
 /// Smallest accepted key size (bits of `n`). Far below cryptographic
 /// strength — the floor only guards against degenerate message spaces in
@@ -43,6 +45,12 @@ pub struct PublicKey {
     /// `(n - 1) / 2`: largest magnitude representable in the signed encoding.
     half_n: BigUint,
     mont_nn: MontgomeryCtx,
+    /// Optional precomputed-randomizer source (see
+    /// [`PublicKey::with_randomizer_pool`]): when attached, every
+    /// [`PublicKey::encrypt`] — and with it re-randomization, signed
+    /// encryption, and packed-word encryption — consumes a pooled `r^n`
+    /// when one is buffered instead of exponentiating inline.
+    pool: Option<Arc<RandomizerPool>>,
 }
 
 /// The private half: `(λ, μ)` from §3.7, plus the factorization and CRT
@@ -158,6 +166,7 @@ impl Keypair {
             g,
             n: n.clone(),
             mont_nn,
+            pool: None,
         };
         let crt = CrtContext::new(&public, &p, &q)?;
         Some(Keypair {
@@ -238,7 +247,43 @@ impl PublicKey {
             n,
             n_squared,
             mont_nn,
+            pool: None,
         })
+    }
+
+    /// Returns a copy of this key that draws encryption randomizers from
+    /// `pool` whenever the pool has one buffered, falling back to inline
+    /// nonce exponentiation on a dry pool. This routes **every** hot-path
+    /// encryption under the key — protocol-layer `encrypt`/`encrypt_signed`
+    /// calls, [`PublicKey::rerandomize`], packed-word nonces — through the
+    /// precompute path without any signature changes at the call sites.
+    ///
+    /// Determinism note: a pool hit consumes a randomizer produced by the
+    /// pool's own RNG instead of drawing a nonce from the caller's stream,
+    /// so ciphertext *bytes* are no longer a pure function of the session
+    /// seed (protocol outputs, leakage, and ledgers are unaffected —
+    /// nonces never influence outcomes). Attach pools for throughput;
+    /// leave them off where transcript reproducibility is pinned.
+    ///
+    /// # Errors
+    /// [`PaillierError::RandomizerKeyMismatch`] if the pool was built for a
+    /// different modulus.
+    pub fn with_randomizer_pool(
+        mut self,
+        pool: Arc<RandomizerPool>,
+    ) -> Result<PublicKey, PaillierError> {
+        if pool.public_key().n() != self.n() {
+            return Err(PaillierError::RandomizerKeyMismatch);
+        }
+        self.pool = Some(pool);
+        Ok(self)
+    }
+
+    /// Drops any attached randomizer pool (used by the pool itself to avoid
+    /// a reference cycle when it stores its key).
+    pub(crate) fn without_pool(mut self) -> PublicKey {
+        self.pool = None;
+        self
     }
 
     /// The modulus `n` (the message space is `Z_n`).
@@ -276,12 +321,21 @@ impl PublicKey {
         }
     }
 
-    /// Encrypts `m ∈ Z_n` with a fresh nonce: `c = g^m · r^n mod n²`.
+    /// Encrypts `m ∈ Z_n` with a fresh nonce: `c = g^m · r^n mod n²`. When
+    /// a [`RandomizerPool`] is attached (see
+    /// [`PublicKey::with_randomizer_pool`]) and has a randomizer buffered,
+    /// the `r^n` exponentiation is served from the pool and the encryption
+    /// collapses to two modular multiplications.
     pub fn encrypt<R: Rng + ?Sized>(
         &self,
         m: &BigUint,
         rng: &mut R,
     ) -> Result<Ciphertext, PaillierError> {
+        if let Some(pool) = &self.pool {
+            if let Some(randomizer) = pool.take() {
+                return self.encrypt_with_randomizer(m, randomizer);
+            }
+        }
         let r = self.sample_nonce(rng);
         self.encrypt_with_nonce(m, &r)
     }

@@ -19,6 +19,11 @@
 //!   [`PrivateKey::decrypt_signed`]) mapping `[-(n-1)/2, (n-1)/2]` into
 //!   `Z_n`, which the DBSCAN protocols rely on because masked distances and
 //!   Bob's random offsets can be negative,
+//! * plaintext-slot packing ([`SlotLayout`], [`PublicKey::pack_encrypt`],
+//!   [`PublicKey::pack_ciphertexts`], [`PrivateKey::unpack_decrypt`]):
+//!   many small protocol values ride one ciphertext, cutting the
+//!   ciphertext-heavy response legs (DGK verdict vectors, masked-distance
+//!   replies) and the keyholder's decryption count by the packing factor,
 //! * randomizer precomputation ([`RandomizerPool`],
 //!   [`PublicKey::precompute_randomizer`],
 //!   [`PublicKey::encrypt_with_randomizer`]): the message-independent
@@ -41,10 +46,12 @@ mod encoding;
 mod error;
 mod homomorphic;
 mod keys;
+mod packing;
 mod precompute;
 
 pub use error::PaillierError;
 pub use keys::{Ciphertext, Keypair, PrivateKey, PublicKey, MIN_KEY_BITS};
+pub use packing::{SlotLayout, PACKING_DISCIPLINE};
 pub use precompute::{FillerHandle, PoolStats, Randomizer, RandomizerPool};
 
 #[cfg(test)]

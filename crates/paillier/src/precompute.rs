@@ -147,7 +147,10 @@ impl RandomizerPool {
     pub fn new(public_key: PublicKey, capacity: usize) -> Arc<RandomizerPool> {
         assert!(capacity > 0, "a zero-capacity pool can never serve");
         Arc::new(RandomizerPool {
-            public_key,
+            // Strip any attached pool from the stored key: a pool holding a
+            // key holding this pool would be an Arc cycle (and pooled
+            // randomizer production never encrypts anyway).
+            public_key: public_key.without_pool(),
             capacity,
             queue: Mutex::new(VecDeque::with_capacity(capacity)),
             not_full: Condvar::new(),

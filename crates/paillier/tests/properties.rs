@@ -5,7 +5,7 @@
 //! plaintexts and scalars.
 
 use ppds_bigint::{BigInt, BigUint};
-use ppds_paillier::Keypair;
+use ppds_paillier::{Keypair, PaillierError, SlotLayout};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -14,6 +14,21 @@ use std::sync::OnceLock;
 fn keypair() -> &'static Keypair {
     static KP: OnceLock<Keypair> = OnceLock::new();
     KP.get_or_init(|| Keypair::generate(256, &mut StdRng::seed_from_u64(99)))
+}
+
+/// A second, smaller key so the packing codec is exercised at more than
+/// one modulus size (capacity depends on the key).
+fn small_keypair() -> &'static Keypair {
+    static KP: OnceLock<Keypair> = OnceLock::new();
+    KP.get_or_init(|| Keypair::generate(128, &mut StdRng::seed_from_u64(98)))
+}
+
+fn key_for(use_small: bool) -> &'static Keypair {
+    if use_small {
+        small_keypair()
+    } else {
+        keypair()
+    }
 }
 
 proptest! {
@@ -110,5 +125,91 @@ proptest! {
         let cb = kp.public.encrypt_i64(b as i64, &mut rng).unwrap();
         let diff = kp.private.decrypt_i64(&kp.public.sub(&ca, &cb)).unwrap();
         prop_assert_eq!(diff, Some(a as i64 - b as i64));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Packing codec roundtrip across random slot widths, slot counts, and
+    /// two key sizes: pack_encrypt → unpack_decrypt is the identity.
+    #[test]
+    fn packing_roundtrip(
+        slot_bits in 8usize..48,
+        count in 1usize..40,
+        use_small in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let kp = key_for(use_small);
+        let layout = SlotLayout::new(kp.public.bits(), slot_bits).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng as _;
+        let limit = 1u64 << slot_bits.min(63);
+        let slots: Vec<BigUint> = (0..count)
+            .map(|_| BigUint::from_u64(rng.random_range(0..limit)))
+            .collect();
+        let words = kp.public.pack_encrypt(&layout, &slots, &mut rng).unwrap();
+        prop_assert_eq!(words.len(), layout.words_for(count));
+        let back = kp.private.unpack_decrypt(&layout, &words, count).unwrap();
+        prop_assert_eq!(back, slots);
+    }
+
+    /// A slot value at or above 2^slot_bits must be rejected, not silently
+    /// bleed into the neighboring slot.
+    #[test]
+    fn packing_rejects_slot_overflow(
+        slot_bits in 8usize..40,
+        excess in 0u64..1000,
+        seed in any::<u64>(),
+    ) {
+        let kp = keypair();
+        let layout = SlotLayout::new(kp.public.bits(), slot_bits).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let too_big = BigUint::from_u64((1u64 << slot_bits) + excess);
+        let err = kp
+            .public
+            .pack_encrypt(&layout, &[too_big], &mut rng)
+            .unwrap_err();
+        prop_assert!(matches!(err, PaillierError::SlotOverflow { .. }));
+    }
+
+    /// Slot-wise homomorphic packing agrees with scalar Paillier: slot i of
+    /// pack_ciphertexts(items, plain) decrypts to exactly what the scalar
+    /// pipeline add(items[i], E(plain[i])) decrypts to.
+    #[test]
+    fn packed_add_matches_scalar_paillier(
+        slot_bits in 20usize..40,
+        count in 1usize..12,
+        use_small in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let kp = key_for(use_small);
+        let layout = SlotLayout::new(kp.public.bits(), slot_bits).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng as _;
+        // Halve the budget per side so value + addend stays in the slot.
+        let limit = 1u64 << (slot_bits - 1).min(62);
+        let values: Vec<u64> = (0..count).map(|_| rng.random_range(0..limit)).collect();
+        let addends: Vec<u64> = (0..count).map(|_| rng.random_range(0..limit)).collect();
+        let items: Vec<_> = values
+            .iter()
+            .map(|&v| kp.public.encrypt(&BigUint::from_u64(v), &mut rng).unwrap())
+            .collect();
+        let plain: Vec<BigUint> = addends.iter().map(|&v| BigUint::from_u64(v)).collect();
+        let words = kp
+            .public
+            .pack_ciphertexts(&layout, &items, &plain, &mut rng)
+            .unwrap();
+        let packed = kp.private.unpack_decrypt(&layout, &words, count).unwrap();
+        for i in 0..count {
+            let scalar = kp.public.add(
+                &items[i],
+                &kp.public
+                    .encrypt(&BigUint::from_u64(addends[i]), &mut rng)
+                    .unwrap(),
+            );
+            let scalar_plain = kp.private.decrypt_crt(&scalar).unwrap();
+            prop_assert_eq!(&packed[i], &scalar_plain, "slot {}", i);
+        }
     }
 }

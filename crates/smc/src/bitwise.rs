@@ -37,10 +37,31 @@ use crate::context::ProtocolContext;
 use crate::error::SmcError;
 use crate::parallel::par_map;
 use ppds_bigint::{random, BigUint};
-use ppds_paillier::{Ciphertext, Keypair, PublicKey};
+use ppds_paillier::{Ciphertext, Keypair, PublicKey, SlotLayout};
 use ppds_transport::Channel;
 use rand::seq::SliceRandom;
 use rand::Rng;
+
+/// Mask width for packed verdict slots: each masked cell `c·r` hides its
+/// magnitude behind a uniform nonzero `r < 2^16`. The unpacked reply sizes
+/// its scalars from the key instead (up to 64 bits) because a whole `Z_n`
+/// plaintext is available per cell; a packed slot budgets its width, and 16
+/// bits keeps the layout capacity high while staying in the same
+/// multiplicative-masking class — Alice learns only whether a zero slot
+/// exists either way (a zero survives any nonzero scalar, a non-zero never
+/// becomes one).
+pub const DGK_PACK_MASK_BITS: usize = 16;
+
+/// Packed-reply layout for a DGK comparison over `domain_bound`: slots hold
+/// `c·r` with `c ≤ 3ℓ+2` and `r < 2^16`, derived from public data only
+/// (Alice's key size and the agreed domain), so both parties compute it
+/// locally. `None` when the key is too small for even one slot — the
+/// packed entry points then degrade to the unpacked reply, symmetrically.
+pub fn dgk_pack_layout(key_bits: usize, domain_bound: u64) -> Option<SlotLayout> {
+    let ell = bit_width(domain_bound);
+    let max_cell = 3 * ell as u64 + 2;
+    SlotLayout::for_masked_values(key_bits, bit_width(max_cell), DGK_PACK_MASK_BITS)
+}
 
 /// Bit width needed to represent `value` (at least 1).
 fn bit_width(value: u64) -> usize {
@@ -88,14 +109,16 @@ fn scan_masked(keypair: &Keypair, masked: &[BigUint], ell: usize) -> Result<bool
     Ok(x_lt_y)
 }
 
-/// Step 2 worker: Bob's masked, permuted comparison vector for one input.
-fn masked_comparison_vector<R: Rng>(
+/// Step 2 core: the unmasked comparison cells
+/// `c_i = x_i − y_i + 1 + 3·Σ_{j<i} (x_j ⊕ y_j)` under Alice's key, in bit
+/// order — zero exactly at the unique position witnessing `x < y`. Shared
+/// by the per-cell (unpacked) and packed-word reply builders.
+fn comparison_cells(
     alice_pk: &PublicKey,
     raw_bits: &[BigUint],
     y: u64,
     ell: usize,
-    mut rng: R,
-) -> Result<Vec<BigUint>, SmcError> {
+) -> Result<Vec<Ciphertext>, SmcError> {
     if raw_bits.len() != ell {
         return Err(SmcError::protocol(format!(
             "expected {ell} encrypted bits, got {}",
@@ -111,14 +134,14 @@ fn masked_comparison_vector<R: Rng>(
         .collect::<Result<_, _>>()?;
 
     let one = BigUint::one();
-    let enc_one = alice_pk.encrypt_with_nonce(&one, &one).expect("1 < n"); // deterministic E(1); re-randomized before sending
+    let enc_one = alice_pk.encrypt_with_nonce(&one, &one).expect("1 < n"); // deterministic E(1); masked before sending
     let three = BigUint::from_u64(3);
 
     // Running Σ (x_j ⊕ y_j) over the more-significant prefix, encrypted.
     let mut prefix_xor = alice_pk
         .encrypt_with_nonce(&BigUint::zero(), &one)
         .expect("0 < n");
-    let mut out = Vec::with_capacity(ell);
+    let mut cells = Vec::with_capacity(ell);
     for (pos, enc_x) in x_bits.iter().enumerate() {
         let y_bit = (y >> (ell - 1 - pos)) & 1;
         // c = x − y + 1 + 3·prefix  (all arithmetic under Alice's key)
@@ -129,6 +152,31 @@ fn masked_comparison_vector<R: Rng>(
         } else {
             c = alice_pk.add(&c, &enc_one); // −y + 1 = 1
         }
+        cells.push(c);
+
+        // Update the prefix XOR: x ⊕ y = x when y = 0, 1 − x when y = 1.
+        let xor = if y_bit == 0 {
+            enc_x.clone()
+        } else {
+            alice_pk.sub(&enc_one, enc_x)
+        };
+        prefix_xor = alice_pk.add(&prefix_xor, &xor);
+    }
+    Ok(cells)
+}
+
+/// Step 2 worker: Bob's masked, permuted comparison vector for one input —
+/// one ciphertext per cell.
+fn masked_comparison_vector<R: Rng>(
+    alice_pk: &PublicKey,
+    raw_bits: &[BigUint],
+    y: u64,
+    ell: usize,
+    mut rng: R,
+) -> Result<Vec<BigUint>, SmcError> {
+    let cells = comparison_cells(alice_pk, raw_bits, y, ell)?;
+    let mut out = Vec::with_capacity(ell);
+    for c in &cells {
         // Mask with a fresh nonzero scalar and re-randomize. The scalar is
         // sized so c·r (c ≤ 3ℓ+2) can never wrap mod n — a wrap could fake
         // a zero. Keys of ≥ 32 bits leave plenty of room.
@@ -139,20 +187,63 @@ fn masked_comparison_vector<R: Rng>(
                 break candidate;
             }
         };
-        out.push(alice_pk.rerandomize(&alice_pk.mul_plain(&c, &r), &mut rng));
-
-        // Update the prefix XOR: x ⊕ y = x when y = 0, 1 − x when y = 1.
-        let xor = if y_bit == 0 {
-            enc_x.clone()
-        } else {
-            alice_pk.sub(&enc_one, enc_x)
-        };
-        prefix_xor = alice_pk.add(&prefix_xor, &xor);
+        out.push(alice_pk.rerandomize(&alice_pk.mul_plain(c, &r), &mut rng));
     }
 
     // Permute so Alice cannot see which position witnessed the comparison.
     out.shuffle(&mut rng);
     Ok(out.iter().map(|c| c.as_biguint().clone()).collect())
+}
+
+/// Step 2 worker, packed form: the same masked cells, but permuted over
+/// **slot positions** and packed `capacity` per word —
+/// `⌈ℓ/capacity⌉` ciphertexts instead of `ℓ`. Cell `i` is masked by a
+/// fresh nonzero `r_i` drawn from `ctx.rng_for(i)` (independently keyed
+/// per cell, so the masks never depend on the permutation or on each
+/// other), then cells and masks travel *together* through the permutation:
+/// reply slot `s` holds `c_{σ(s)}·r_{σ(s)}`. The permutation `σ` draws
+/// from the `"perm"` substream and each word is re-randomized by its
+/// single packed-nonce encryption. Alice still learns exactly "a zero
+/// slot exists" and nothing about its position.
+fn masked_packed_vector(
+    alice_pk: &PublicKey,
+    raw_bits: &[BigUint],
+    y: u64,
+    ell: usize,
+    layout: &SlotLayout,
+    ctx: &ProtocolContext,
+) -> Result<Vec<BigUint>, SmcError> {
+    let cells = comparison_cells(alice_pk, raw_bits, y, ell)?;
+    let masked: Vec<Ciphertext> = cells
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let r = SlotLayout::sample_slot_mask(&mut ctx.rng_for(i as u64), DGK_PACK_MASK_BITS);
+            alice_pk.mul_plain(c, &r)
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..ell).collect();
+    order.shuffle(&mut ctx.narrow("perm").rng());
+    let permuted: Vec<Ciphertext> = order.into_iter().map(|i| masked[i].clone()).collect();
+    let zeros = vec![BigUint::zero(); ell];
+    let words =
+        alice_pk.pack_ciphertexts(layout, &permuted, &zeros, &mut ctx.narrow("pack").rng())?;
+    Ok(words.iter().map(|c| c.as_biguint().clone()).collect())
+}
+
+/// Step 3 worker, packed form: one CRT decryption per word, then a bit
+/// split — `⌈ℓ/capacity⌉` decryptions instead of `ℓ`. Words are decrypted
+/// on the [`crate::parallel`] pool via the shared
+/// [`crate::multiplication::unpack_words`].
+fn scan_packed(
+    keypair: &Keypair,
+    words: &[BigUint],
+    ell: usize,
+    layout: &SlotLayout,
+) -> Result<bool, SmcError> {
+    let slots = crate::multiplication::unpack_words(keypair, layout, words, ell)?;
+    // A zero slot is the unique witnessing position.
+    Ok(slots.iter().any(BigUint::is_zero))
 }
 
 /// Alice's side: inputs `x`, learns whether `x < y`. Both inputs must be
@@ -259,6 +350,126 @@ pub fn dgk_batch_bob<C: Channel>(
     }
     let out_groups: Vec<Vec<BigUint>> = par_map(&bit_groups, |i, raw_bits| {
         masked_comparison_vector(alice_pk, raw_bits, ys[i], ell, ctx.rng_for(i as u64))
+    })?;
+    chan.send_batch(&out_groups)?;
+
+    let results: Vec<bool> = chan.recv_batch()?;
+    if results.len() != ys.len() {
+        return Err(SmcError::protocol(format!(
+            "expected {} conclusions, got {}",
+            ys.len(),
+            results.len()
+        )));
+    }
+    Ok(results)
+}
+
+/// Packed-reply Alice side: identical to [`dgk_alice`] except step 3 — the
+/// masked verdict vector arrives as `⌈ℓ/capacity⌉` packed words instead of
+/// `ℓ` ciphertexts, so both the reply bytes and Alice's decryption count
+/// shrink by the packing factor. Falls back to the unpacked protocol
+/// (symmetrically — the layout is a function of public data) when the key
+/// cannot fit even one slot.
+pub fn dgk_packed_alice<C: Channel>(
+    chan: &mut C,
+    keypair: &Keypair,
+    x: u64,
+    domain_bound: u64,
+    ctx: &ProtocolContext,
+) -> Result<bool, SmcError> {
+    let Some(layout) = dgk_pack_layout(keypair.public.bits(), domain_bound) else {
+        return dgk_alice(chan, keypair, x, domain_bound, ctx);
+    };
+    let ell = bit_width(domain_bound);
+    chan.send(&encrypt_bits(keypair, x, ell, ctx.rng())?)?;
+    let words: Vec<BigUint> = chan.recv()?;
+    let x_lt_y = scan_packed(keypair, &words, ell, &layout)?;
+    chan.send(&x_lt_y)?;
+    Ok(x_lt_y)
+}
+
+/// Packed-reply Bob side of [`dgk_packed_alice`].
+pub fn dgk_packed_bob<C: Channel>(
+    chan: &mut C,
+    alice_pk: &PublicKey,
+    y: u64,
+    domain_bound: u64,
+    ctx: &ProtocolContext,
+) -> Result<bool, SmcError> {
+    let Some(layout) = dgk_pack_layout(alice_pk.bits(), domain_bound) else {
+        return dgk_bob(chan, alice_pk, y, domain_bound, ctx);
+    };
+    let ell = bit_width(domain_bound);
+    let raw_bits: Vec<BigUint> = chan.recv()?;
+    let wire = masked_packed_vector(alice_pk, &raw_bits, y, ell, &layout, ctx)?;
+    chan.send(&wire)?;
+    Ok(chan.recv()?)
+}
+
+/// Round-batched, packed-reply Alice side: the wire shape of
+/// [`dgk_batch_alice`] with every reply group packed — `k·⌈ℓ/capacity⌉`
+/// reply ciphertexts (and decryptions) for `k` comparisons instead of
+/// `k·ℓ`. Comparison `i` scopes its packed reply under `ctx.at(i)`,
+/// matching a sequential [`dgk_packed_alice`] caller.
+pub fn dgk_batch_packed_alice<C: Channel>(
+    chan: &mut C,
+    keypair: &Keypair,
+    xs: &[u64],
+    domain_bound: u64,
+    ctx: &ProtocolContext,
+) -> Result<Vec<bool>, SmcError> {
+    let Some(layout) = dgk_pack_layout(keypair.public.bits(), domain_bound) else {
+        return dgk_batch_alice(chan, keypair, xs, domain_bound, ctx);
+    };
+    if xs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let ell = bit_width(domain_bound);
+    let bit_groups: Vec<Vec<BigUint>> = par_map(xs, |i, &x| {
+        encrypt_bits(keypair, x, ell, ctx.rng_for(i as u64))
+    })?;
+    chan.send_batch(&bit_groups)?;
+
+    let word_groups: Vec<Vec<BigUint>> = chan.recv_batch()?;
+    if word_groups.len() != xs.len() {
+        return Err(SmcError::protocol(format!(
+            "expected {} packed comparison groups, got {}",
+            xs.len(),
+            word_groups.len()
+        )));
+    }
+    let results: Vec<bool> = par_map(&word_groups, |_, words| {
+        scan_packed(keypair, words, ell, &layout)
+    })?;
+    chan.send_batch(&results)?;
+    Ok(results)
+}
+
+/// Round-batched, packed-reply Bob side of [`dgk_batch_packed_alice`].
+pub fn dgk_batch_packed_bob<C: Channel>(
+    chan: &mut C,
+    alice_pk: &PublicKey,
+    ys: &[u64],
+    domain_bound: u64,
+    ctx: &ProtocolContext,
+) -> Result<Vec<bool>, SmcError> {
+    let Some(layout) = dgk_pack_layout(alice_pk.bits(), domain_bound) else {
+        return dgk_batch_bob(chan, alice_pk, ys, domain_bound, ctx);
+    };
+    if ys.is_empty() {
+        return Ok(Vec::new());
+    }
+    let ell = bit_width(domain_bound);
+    let bit_groups: Vec<Vec<BigUint>> = chan.recv_batch()?;
+    if bit_groups.len() != ys.len() {
+        return Err(SmcError::protocol(format!(
+            "expected {} encrypted bit groups, got {}",
+            ys.len(),
+            bit_groups.len()
+        )));
+    }
+    let out_groups: Vec<Vec<BigUint>> = par_map(&bit_groups, |i, raw_bits| {
+        masked_packed_vector(alice_pk, raw_bits, ys[i], ell, &layout, &ctx.at(i as u64))
     })?;
     chan.send_batch(&out_groups)?;
 
@@ -455,6 +666,179 @@ mod tests {
         let b = dgk_batch_bob(&mut bchan, &alice_keypair().public, &[], 7, &ctx(42)).unwrap();
         assert!(a.is_empty() && b.is_empty());
         assert_eq!(achan.metrics().total_rounds(), 0);
+    }
+
+    fn run_packed(x: u64, y: u64, bound: u64, seed: u64) -> bool {
+        let (mut achan, mut bchan) = duplex();
+        let alice = std::thread::spawn(move || {
+            dgk_packed_alice(&mut achan, alice_keypair(), x, bound, &ctx(seed)).unwrap()
+        });
+        let bob_view = dgk_packed_bob(
+            &mut bchan,
+            &alice_keypair().public,
+            y,
+            bound,
+            &ctx(seed + 1),
+        )
+        .unwrap();
+        let alice_view = alice.join().unwrap();
+        assert_eq!(alice_view, bob_view, "views must agree");
+        alice_view
+    }
+
+    #[test]
+    fn packed_exhaustive_small_domain() {
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                assert_eq!(run_packed(x, y, 7, 400 + x * 8 + y), x < y, "{x} < {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_wide_values() {
+        let bound = (1 << 40) - 1;
+        for (x, y) in [
+            (0u64, 1u64),
+            (1, 0),
+            (123_456_789, 123_456_790),
+            ((1 << 40) - 1, (1 << 40) - 1),
+            (0, (1 << 40) - 1),
+            (1 << 39, (1 << 39) + 1),
+        ] {
+            assert_eq!(
+                run_packed(x, y, bound, 17_000 + x % 97 + y % 89),
+                x < y,
+                "{x} < {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_reply_ships_fewer_ciphertexts_and_decryptions() {
+        // The tentpole claim at this layer: the reply leg collapses from ℓ
+        // ciphertexts to ⌈ℓ/capacity⌉ words (with ℓ = 10 and 256-bit keys,
+        // one word), so Alice's received bytes shrink accordingly.
+        let bound = 1023u64; // ℓ = 10
+        let layout = dgk_pack_layout(alice_keypair().public.bits(), bound).unwrap();
+        assert!(layout.capacity() >= 10, "layout {layout:?}");
+        let measure = |packed: bool| {
+            let (mut achan, mut bchan) = duplex();
+            let alice = std::thread::spawn(move || {
+                let out = if packed {
+                    dgk_packed_alice(&mut achan, alice_keypair(), 400, bound, &ctx(2))
+                } else {
+                    dgk_alice(&mut achan, alice_keypair(), 400, bound, &ctx(2))
+                }
+                .unwrap();
+                (out, achan.metrics().bytes_received)
+            });
+            let bob = if packed {
+                dgk_packed_bob(&mut bchan, &alice_keypair().public, 700, bound, &ctx(3))
+            } else {
+                dgk_bob(&mut bchan, &alice_keypair().public, 700, bound, &ctx(3))
+            }
+            .unwrap();
+            let (a, reply_bytes) = alice.join().unwrap();
+            assert_eq!(a, bob);
+            reply_bytes
+        };
+        let unpacked = measure(false);
+        let packed = measure(true);
+        assert!(
+            unpacked as f64 >= 5.0 * packed as f64,
+            "reply bytes {unpacked} unpacked vs {packed} packed"
+        );
+    }
+
+    #[test]
+    fn packed_batch_agrees_with_unpacked_batch() {
+        let bound = 1023u64;
+        let xs: Vec<u64> = vec![0, 1, 400, 700, 1023, 512, 88];
+        let ys: Vec<u64> = vec![1, 0, 700, 700, 0, 513, 88];
+        let (plain, _) = run_batch(xs.clone(), ys.clone(), bound, (40, 41));
+        let (mut achan, mut bchan) = duplex();
+        let xs2 = xs.clone();
+        let alice = std::thread::spawn(move || {
+            dgk_batch_packed_alice(&mut achan, alice_keypair(), &xs2, bound, &ctx(40)).unwrap()
+        });
+        let bob = dgk_batch_packed_bob(&mut bchan, &alice_keypair().public, &ys, bound, &ctx(41))
+            .unwrap();
+        let packed = alice.join().unwrap();
+        assert_eq!(packed, plain, "packed batch outcomes match unpacked");
+        assert_eq!(bob, plain);
+    }
+
+    #[test]
+    fn packed_batch_items_equal_scoped_sequential_packed_calls() {
+        let bound = 255u64;
+        let xs: Vec<u64> = vec![3, 200, 77];
+        let ys: Vec<u64> = vec![4, 100, 77];
+        let (mut achan, mut bchan) = duplex();
+        let xs2 = xs.clone();
+        let alice = std::thread::spawn(move || {
+            dgk_batch_packed_alice(&mut achan, alice_keypair(), &xs2, bound, &ctx(50)).unwrap()
+        });
+        let ys2 = ys.clone();
+        let batch_view =
+            dgk_batch_packed_bob(&mut bchan, &alice_keypair().public, &ys2, bound, &ctx(51))
+                .unwrap();
+        alice.join().unwrap();
+        for (i, (&x, &y)) in xs.iter().zip(&ys).enumerate() {
+            let (mut achan, mut bchan) = duplex();
+            let alice = std::thread::spawn(move || {
+                dgk_packed_alice(&mut achan, alice_keypair(), x, bound, &ctx(50).at(i as u64))
+                    .unwrap()
+            });
+            let bob_view = dgk_packed_bob(
+                &mut bchan,
+                &alice_keypair().public,
+                y,
+                bound,
+                &ctx(51).at(i as u64),
+            )
+            .unwrap();
+            assert_eq!(alice.join().unwrap(), batch_view[i]);
+            assert_eq!(bob_view, batch_view[i]);
+        }
+    }
+
+    #[test]
+    fn packed_parallel_batch_is_byte_identical_to_sequential_batch() {
+        let bound = 1023u64;
+        let xs: Vec<u64> = (0..12).map(|i| i * 85).collect();
+        let ys: Vec<u64> = (0..12).map(|i| 1020 - i * 85).collect();
+        let run_with = |workers| {
+            let _guard = force_workers(workers);
+            let (mut achan, mut bchan) = duplex();
+            let xs = xs.clone();
+            let alice = std::thread::spawn(move || {
+                let out = dgk_batch_packed_alice(&mut achan, alice_keypair(), &xs, bound, &ctx(60))
+                    .unwrap();
+                (out, achan.metrics())
+            });
+            let bob =
+                dgk_batch_packed_bob(&mut bchan, &alice_keypair().public, &ys, bound, &ctx(61))
+                    .unwrap();
+            let (a, metrics) = alice.join().unwrap();
+            (a, bob, metrics.total_bytes())
+        };
+        let (a1, b1, bytes1) = run_with(1);
+        let (a4, b4, bytes4) = run_with(4);
+        assert_eq!(a1, a4);
+        assert_eq!(b1, b4);
+        assert_eq!(
+            bytes1, bytes4,
+            "every wire byte identical under parallelism"
+        );
+    }
+
+    #[test]
+    fn tiny_keys_fall_back_to_unpacked_symmetrically() {
+        // ℓ = 40 needs 24-bit slots: a 16-bit key has no layout, so both
+        // sides degrade to the unpacked protocol and still agree.
+        assert!(dgk_pack_layout(16, (1 << 40) - 1).is_none());
+        assert!(dgk_pack_layout(256, (1 << 40) - 1).is_some());
     }
 
     #[test]

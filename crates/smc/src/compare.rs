@@ -103,6 +103,15 @@ impl ComparisonDomain {
 /// Alice must hold the Paillier keypair used by the Yao backend. `ctx` is
 /// the record scope of this comparison (`step_ctx.at(record)`); the batch
 /// entry points derive the same scopes per item, so framings agree.
+///
+/// `packed` selects the plaintext-slot-packed transport
+/// (`ProtocolConfig::packing`): the DGK backend ships its masked verdict
+/// vector as `⌈ℓ/capacity⌉` packed words, and the Ideal backend pads its
+/// verdict-sized message to the packed transcript size (see
+/// [`IDEAL_PADDING_CAP`]). Outcomes are identical either way; the faithful
+/// Yao backend has no packed form (its message 2 is plaintext residues)
+/// and ignores the flag, exactly as it ignores batching.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
 pub fn compare_alice<C: Channel>(
     comparator: Comparator,
     chan: &mut C,
@@ -110,17 +119,22 @@ pub fn compare_alice<C: Channel>(
     value: i64,
     op: CmpOp,
     domain: &ComparisonDomain,
+    packed: bool,
     ctx: &ProtocolContext,
 ) -> Result<bool, SmcError> {
     let i = domain.encode(value)?;
     match comparator {
         Comparator::Yao => millionaires::yao_alice(chan, keypair, i, &domain.yao_config(), ctx),
-        Comparator::Ideal => ideal_alice(chan, keypair.public.bits(), i, op, domain),
+        Comparator::Ideal => ideal_alice(chan, keypair.public.bits(), i, op, domain, packed),
+        Comparator::Dgk if packed => {
+            crate::bitwise::dgk_packed_alice(chan, keypair, i, domain.n0(), ctx)
+        }
         Comparator::Dgk => crate::bitwise::dgk_alice(chan, keypair, i, domain.n0(), ctx),
     }
 }
 
 /// Bob's side of one secure comparison; returns `alice_value OP bob_value`.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
 pub fn compare_bob<C: Channel>(
     comparator: Comparator,
     chan: &mut C,
@@ -128,6 +142,7 @@ pub fn compare_bob<C: Channel>(
     value: i64,
     op: CmpOp,
     domain: &ComparisonDomain,
+    packed: bool,
     ctx: &ProtocolContext,
 ) -> Result<bool, SmcError> {
     let j = domain.encode(value)?;
@@ -138,7 +153,10 @@ pub fn compare_bob<C: Channel>(
     };
     match comparator {
         Comparator::Yao => millionaires::yao_bob(chan, alice_pk, j_eff, &domain.yao_config(), ctx),
-        Comparator::Ideal => ideal_bob(chan, alice_pk.bits(), j_eff, domain),
+        Comparator::Ideal => ideal_bob(chan, alice_pk.bits(), j_eff, domain, packed),
+        Comparator::Dgk if packed => {
+            crate::bitwise::dgk_packed_bob(chan, alice_pk, j_eff, domain.n0(), ctx)
+        }
         Comparator::Dgk => crate::bitwise::dgk_bob(chan, alice_pk, j_eff, domain.n0(), ctx),
     }
 }
@@ -160,6 +178,7 @@ pub fn compare_bob<C: Channel>(
 /// sequential caller would get from [`compare_alice`] scoped `ctx.at(i)`.
 ///
 /// [`Batch`]: ppds_transport::Batch
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
 pub fn compare_batch_alice<C: Channel>(
     comparator: Comparator,
     chan: &mut C,
@@ -167,6 +186,7 @@ pub fn compare_batch_alice<C: Channel>(
     values: &[i64],
     op: CmpOp,
     domain: &ComparisonDomain,
+    packed: bool,
     ctx: &ProtocolContext,
 ) -> Result<Vec<bool>, SmcError> {
     if values.is_empty() {
@@ -184,12 +204,18 @@ pub fn compare_batch_alice<C: Channel>(
                 millionaires::yao_alice(chan, keypair, i, &domain.yao_config(), &ctx.at(idx as u64))
             })
             .collect(),
-        Comparator::Ideal => ideal_batch_alice(chan, keypair.public.bits(), &is, op, domain),
+        Comparator::Ideal => {
+            ideal_batch_alice(chan, keypair.public.bits(), &is, op, domain, packed)
+        }
+        Comparator::Dgk if packed => {
+            crate::bitwise::dgk_batch_packed_alice(chan, keypair, &is, domain.n0(), ctx)
+        }
         Comparator::Dgk => crate::bitwise::dgk_batch_alice(chan, keypair, &is, domain.n0(), ctx),
     }
 }
 
 /// Round-batched Bob side of [`compare_batch_alice`].
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
 pub fn compare_batch_bob<C: Channel>(
     comparator: Comparator,
     chan: &mut C,
@@ -197,6 +223,7 @@ pub fn compare_batch_bob<C: Channel>(
     values: &[i64],
     op: CmpOp,
     domain: &ComparisonDomain,
+    packed: bool,
     ctx: &ProtocolContext,
 ) -> Result<Vec<bool>, SmcError> {
     if values.is_empty() {
@@ -219,7 +246,10 @@ pub fn compare_batch_bob<C: Channel>(
                 millionaires::yao_bob(chan, alice_pk, j, &domain.yao_config(), &ctx.at(idx as u64))
             })
             .collect(),
-        Comparator::Ideal => ideal_batch_bob(chan, alice_pk.bits(), &j_effs, domain),
+        Comparator::Ideal => ideal_batch_bob(chan, alice_pk.bits(), &j_effs, domain, packed),
+        Comparator::Dgk if packed => {
+            crate::bitwise::dgk_batch_packed_bob(chan, alice_pk, &j_effs, domain.n0(), ctx)
+        }
         Comparator::Dgk => crate::bitwise::dgk_batch_bob(chan, alice_pk, &j_effs, domain.n0(), ctx),
     }
 }
@@ -227,6 +257,7 @@ pub fn compare_batch_bob<C: Channel>(
 /// Share comparison (§5): Alice holds `u_a, u_b`, Bob holds `v_a, v_b`,
 /// shares of `dist_a = u_a - v_a` and `dist_b = u_b - v_b`. Both learn
 /// whether `dist_a < dist_b`, via `u_a - u_b < v_a - v_b`.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
 pub fn share_less_than_alice<C: Channel>(
     comparator: Comparator,
     chan: &mut C,
@@ -234,6 +265,7 @@ pub fn share_less_than_alice<C: Channel>(
     u_a: i64,
     u_b: i64,
     domain: &ComparisonDomain,
+    packed: bool,
     ctx: &ProtocolContext,
 ) -> Result<bool, SmcError> {
     let diff = u_a.checked_sub(u_b).ok_or(SmcError::DomainViolation {
@@ -241,10 +273,20 @@ pub fn share_less_than_alice<C: Channel>(
         lo: domain.lo,
         hi: domain.hi,
     })?;
-    compare_alice(comparator, chan, keypair, diff, CmpOp::Lt, domain, ctx)
+    compare_alice(
+        comparator,
+        chan,
+        keypair,
+        diff,
+        CmpOp::Lt,
+        domain,
+        packed,
+        ctx,
+    )
 }
 
 /// Bob's half of [`share_less_than_alice`].
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
 pub fn share_less_than_bob<C: Channel>(
     comparator: Comparator,
     chan: &mut C,
@@ -252,6 +294,7 @@ pub fn share_less_than_bob<C: Channel>(
     v_a: i64,
     v_b: i64,
     domain: &ComparisonDomain,
+    packed: bool,
     ctx: &ProtocolContext,
 ) -> Result<bool, SmcError> {
     let diff = v_a.checked_sub(v_b).ok_or(SmcError::DomainViolation {
@@ -259,7 +302,16 @@ pub fn share_less_than_bob<C: Channel>(
         lo: domain.lo,
         hi: domain.hi,
     })?;
-    compare_bob(comparator, chan, alice_pk, diff, CmpOp::Lt, domain, ctx)
+    compare_bob(
+        comparator,
+        chan,
+        alice_pk,
+        diff,
+        CmpOp::Lt,
+        domain,
+        packed,
+        ctx,
+    )
 }
 
 fn share_diffs(pairs: &[(i64, i64)], domain: &ComparisonDomain) -> Result<Vec<i64>, SmcError> {
@@ -279,29 +331,51 @@ fn share_diffs(pairs: &[(i64, i64)], domain: &ComparisonDomain) -> Result<Vec<i6
 /// `(v_a, v_b)` decides `dist_a < dist_b`, all in a constant number of wire
 /// rounds (see [`compare_batch_alice`]). Used by the enhanced protocol's
 /// batched quickselect partitions.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
 pub fn share_less_than_batch_alice<C: Channel>(
     comparator: Comparator,
     chan: &mut C,
     keypair: &Keypair,
     pairs: &[(i64, i64)],
     domain: &ComparisonDomain,
+    packed: bool,
     ctx: &ProtocolContext,
 ) -> Result<Vec<bool>, SmcError> {
     let diffs = share_diffs(pairs, domain)?;
-    compare_batch_alice(comparator, chan, keypair, &diffs, CmpOp::Lt, domain, ctx)
+    compare_batch_alice(
+        comparator,
+        chan,
+        keypair,
+        &diffs,
+        CmpOp::Lt,
+        domain,
+        packed,
+        ctx,
+    )
 }
 
 /// Bob's half of [`share_less_than_batch_alice`].
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
 pub fn share_less_than_batch_bob<C: Channel>(
     comparator: Comparator,
     chan: &mut C,
     alice_pk: &PublicKey,
     pairs: &[(i64, i64)],
     domain: &ComparisonDomain,
+    packed: bool,
     ctx: &ProtocolContext,
 ) -> Result<Vec<bool>, SmcError> {
     let diffs = share_diffs(pairs, domain)?;
-    compare_batch_bob(comparator, chan, alice_pk, &diffs, CmpOp::Lt, domain, ctx)
+    compare_batch_bob(
+        comparator,
+        chan,
+        alice_pk,
+        &diffs,
+        CmpOp::Lt,
+        domain,
+        packed,
+        ctx,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -324,19 +398,45 @@ fn padding(modeled: u64, used: u64) -> Vec<u8> {
     vec![0u8; modeled.saturating_sub(used).min(IDEAL_PADDING_CAP) as usize]
 }
 
+/// Packing factor the Ideal backend charges its verdict-sized message
+/// under `packing`: the capacity of the packed-DGK verdict layout at this
+/// key size and domain (1 — no reduction — when the key fits no layout, or
+/// when packing is off). Derived from public data only, so both sides pad
+/// identically.
+fn ideal_packing_factor(key_bits: usize, domain: &ComparisonDomain, packed: bool) -> u64 {
+    if !packed {
+        return 1;
+    }
+    crate::bitwise::dgk_pack_layout(key_bits, domain.n0())
+        .map_or(1, |layout| layout.capacity() as u64)
+}
+
+/// Padding for the verdict-sized message (YMPP message 2): under packing,
+/// each shipped byte stands for `factor` slot bytes of the faithful
+/// backend's packed verdict words, so the *physical* padding shrinks by
+/// the layout capacity while the [`crate::millionaires`] model — and with
+/// it the caller's `YaoLedger` — keeps charging the canonical unpacked
+/// cost, invariant across framings and packings.
+fn verdict_padding(modeled: u64, used: u64, factor: u64) -> Vec<u8> {
+    vec![0u8; (modeled.saturating_sub(used).min(IDEAL_PADDING_CAP) / factor.max(1)) as usize]
+}
+
 fn ideal_alice<C: Channel>(
     chan: &mut C,
     key_bits: usize,
     i: u64,
     _op: CmpOp,
     domain: &ComparisonDomain,
+    packed: bool,
 ) -> Result<bool, SmcError> {
     let (m1, m2, m3) = millionaires::modeled_message_sizes(key_bits, domain.n0());
+    let factor = ideal_packing_factor(key_bits, domain, packed);
     // Message 1 (Bob→Alice in YMPP): Bob's effective input.
     let (j_eff, _pad): (u64, Vec<u8>) = chan.recv()?;
-    // Message 2 (Alice→Bob): the result, padded to the z-sequence size.
+    // Message 2 (Alice→Bob): the result, padded to the z-sequence size
+    // (packed: to its packed-word share).
     let result = i < j_eff;
-    chan.send(&(result, padding(m2, 5)))?;
+    chan.send(&(result, verdict_padding(m2, 5, factor)))?;
     // Message 3 (Bob→Alice): conclusion echo, as in Algorithm 1 step 7.
     let (echoed, _pad): (bool, Vec<u8>) = chan.recv()?;
     if echoed != result {
@@ -351,8 +451,10 @@ fn ideal_bob<C: Channel>(
     key_bits: usize,
     j_eff: u64,
     domain: &ComparisonDomain,
+    packed: bool,
 ) -> Result<bool, SmcError> {
     let (m1, _m2, m3) = millionaires::modeled_message_sizes(key_bits, domain.n0());
+    let _ = packed; // Bob's messages model single values; nothing to pack.
     chan.send(&(j_eff, padding(m1, 12)))?;
     let (result, _pad): (bool, Vec<u8>) = chan.recv()?;
     chan.send(&(result, padding(m3, 5)))?;
@@ -372,8 +474,10 @@ fn ideal_batch_alice<C: Channel>(
     is: &[u64],
     _op: CmpOp,
     domain: &ComparisonDomain,
+    packed: bool,
 ) -> Result<Vec<bool>, SmcError> {
     let (m1, m2, m3) = millionaires::modeled_message_sizes(key_bits, domain.n0());
+    let factor = ideal_packing_factor(key_bits, domain, packed);
     // Round 1 (Bob→Alice): Bob's effective inputs.
     let incoming: Vec<(u64, Vec<u8>)> = chan.recv_batch()?;
     if incoming.len() != is.len() {
@@ -388,8 +492,12 @@ fn ideal_batch_alice<C: Channel>(
         .zip(&incoming)
         .map(|(&i, &(j_eff, _))| i < j_eff)
         .collect();
-    // Round 2 (Alice→Bob): the results, each padded to the z-sequence size.
-    let reply: Vec<(bool, Vec<u8>)> = results.iter().map(|&r| (r, padding(m2, 5))).collect();
+    // Round 2 (Alice→Bob): the results, each padded to the z-sequence size
+    // (packed: to its packed-word share).
+    let reply: Vec<(bool, Vec<u8>)> = results
+        .iter()
+        .map(|&r| (r, verdict_padding(m2, 5, factor)))
+        .collect();
     chan.send_batch(&reply)?;
     // Round 3 (Bob→Alice): conclusion echoes, as in Algorithm 1 step 7.
     let echoed: Vec<(bool, Vec<u8>)> = chan.recv_batch()?;
@@ -405,8 +513,10 @@ fn ideal_batch_bob<C: Channel>(
     key_bits: usize,
     j_effs: &[u64],
     domain: &ComparisonDomain,
+    packed: bool,
 ) -> Result<Vec<bool>, SmcError> {
     let (m1, _m2, m3) = millionaires::modeled_message_sizes(key_bits, domain.n0());
+    let _ = packed; // Bob's messages model single values; nothing to pack.
     let out: Vec<(u64, Vec<u8>)> = j_effs.iter().map(|&j| (j, padding(m1, 12))).collect();
     chan.send_batch(&out)?;
     let replies: Vec<(bool, Vec<u8>)> = chan.recv_batch()?;
@@ -439,6 +549,7 @@ mod tests {
                 a,
                 op,
                 &domain,
+                false,
                 &ctx(500),
             )
             .unwrap()
@@ -450,6 +561,7 @@ mod tests {
             b,
             op,
             &domain,
+            false,
             &ctx(501),
         )
         .unwrap();
@@ -499,6 +611,7 @@ mod tests {
                 6,
                 CmpOp::Lt,
                 &domain,
+                false,
                 &ctx(1)
             ),
             Err(SmcError::DomainViolation { value: 6, .. })
@@ -529,6 +642,7 @@ mod tests {
                 u_a,
                 u_b,
                 &domain,
+                false,
                 &ctx(2),
             )
             .unwrap()
@@ -540,6 +654,7 @@ mod tests {
             v_a,
             v_b,
             &domain,
+            false,
             &ctx(3),
         )
         .unwrap();
@@ -564,6 +679,7 @@ mod tests {
                     3,
                     CmpOp::Lt,
                     &domain,
+                    false,
                     &ctx(7),
                 )
                 .unwrap();
@@ -576,6 +692,7 @@ mod tests {
                 5,
                 CmpOp::Lt,
                 &domain,
+                false,
                 &ctx(8),
             )
             .unwrap();
@@ -603,6 +720,7 @@ mod tests {
                 &a_vals,
                 op,
                 &domain,
+                false,
                 &ctx(600),
             )
             .unwrap();
@@ -615,6 +733,7 @@ mod tests {
             &b_vals,
             op,
             &domain,
+            false,
             &ctx(601),
         )
         .unwrap();
@@ -667,6 +786,7 @@ mod tests {
             &[],
             CmpOp::Lt,
             &domain,
+            false,
             &ctx(1),
         )
         .unwrap();
@@ -688,6 +808,7 @@ mod tests {
                 alice_keypair(),
                 &us,
                 &domain,
+                false,
                 &ctx(2),
             )
             .unwrap()
@@ -698,6 +819,7 @@ mod tests {
             &alice_keypair().public,
             &vs,
             &domain,
+            false,
             &ctx(3),
         )
         .unwrap();

@@ -60,10 +60,11 @@ pub fn kth_smallest_alice<C: Channel>(
     shares: &[i64],
     k: usize,
     domain: &ComparisonDomain,
+    packed: bool,
     ctx: &ProtocolContext,
 ) -> Result<SelectionOutcome, SmcError> {
     kth_alice_impl(
-        method, comparator, chan, keypair, shares, k, domain, ctx, false,
+        method, comparator, chan, keypair, shares, k, domain, packed, ctx, false,
     )
 }
 
@@ -84,10 +85,11 @@ pub fn kth_smallest_alice_batched<C: Channel>(
     shares: &[i64],
     k: usize,
     domain: &ComparisonDomain,
+    packed: bool,
     ctx: &ProtocolContext,
 ) -> Result<SelectionOutcome, SmcError> {
     kth_alice_impl(
-        method, comparator, chan, keypair, shares, k, domain, ctx, true,
+        method, comparator, chan, keypair, shares, k, domain, packed, ctx, true,
     )
 }
 
@@ -101,10 +103,11 @@ pub fn kth_smallest_bob<C: Channel>(
     shares: &[i64],
     k: usize,
     domain: &ComparisonDomain,
+    packed: bool,
     ctx: &ProtocolContext,
 ) -> Result<SelectionOutcome, SmcError> {
     kth_bob_impl(
-        method, comparator, chan, alice_pk, shares, k, domain, ctx, false,
+        method, comparator, chan, alice_pk, shares, k, domain, packed, ctx, false,
     )
 }
 
@@ -118,10 +121,11 @@ pub fn kth_smallest_bob_batched<C: Channel>(
     shares: &[i64],
     k: usize,
     domain: &ComparisonDomain,
+    packed: bool,
     ctx: &ProtocolContext,
 ) -> Result<SelectionOutcome, SmcError> {
     kth_bob_impl(
-        method, comparator, chan, alice_pk, shares, k, domain, ctx, true,
+        method, comparator, chan, alice_pk, shares, k, domain, packed, ctx, true,
     )
 }
 
@@ -134,6 +138,7 @@ fn kth_alice_impl<C: Channel>(
     shares: &[i64],
     k: usize,
     domain: &ComparisonDomain,
+    packed: bool,
     ctx: &ProtocolContext,
     batched: bool,
 ) -> Result<SelectionOutcome, SmcError> {
@@ -142,13 +147,21 @@ fn kth_alice_impl<C: Channel>(
             // Single-pair calls keep the unbatched wire format byte-exact;
             // `scope` is already record-scoped by the engine.
             return share_less_than_alice(
-                comparator, chan, keypair, shares[*a], shares[*b], domain, scope,
+                comparator, chan, keypair, shares[*a], shares[*b], domain, packed, scope,
             )
             .map(|r| vec![r]);
         }
         let share_pairs: Vec<(i64, i64)> =
             pairs.iter().map(|&(a, b)| (shares[a], shares[b])).collect();
-        share_less_than_batch_alice(comparator, chan, keypair, &share_pairs, domain, scope)
+        share_less_than_batch_alice(
+            comparator,
+            chan,
+            keypair,
+            &share_pairs,
+            domain,
+            packed,
+            scope,
+        )
     };
     kth_engine(shares.len(), k, method, batched, chan, ctx, &mut less_many)
 }
@@ -162,19 +175,28 @@ fn kth_bob_impl<C: Channel>(
     shares: &[i64],
     k: usize,
     domain: &ComparisonDomain,
+    packed: bool,
     ctx: &ProtocolContext,
     batched: bool,
 ) -> Result<SelectionOutcome, SmcError> {
     let mut less_many = |pairs: &[(usize, usize)], chan: &mut C, scope: &ProtocolContext| {
         if let [(a, b)] = pairs {
             return share_less_than_bob(
-                comparator, chan, alice_pk, shares[*a], shares[*b], domain, scope,
+                comparator, chan, alice_pk, shares[*a], shares[*b], domain, packed, scope,
             )
             .map(|r| vec![r]);
         }
         let share_pairs: Vec<(i64, i64)> =
             pairs.iter().map(|&(a, b)| (shares[a], shares[b])).collect();
-        share_less_than_batch_bob(comparator, chan, alice_pk, &share_pairs, domain, scope)
+        share_less_than_batch_bob(
+            comparator,
+            chan,
+            alice_pk,
+            &share_pairs,
+            domain,
+            packed,
+            scope,
+        )
     };
     kth_engine(shares.len(), k, method, batched, chan, ctx, &mut less_many)
 }
@@ -344,6 +366,7 @@ mod tests {
                 &us,
                 k,
                 &domain,
+                false,
                 &ctx(seed + 1),
             )
             .unwrap()
@@ -356,6 +379,7 @@ mod tests {
             &vs,
             k,
             &domain,
+            false,
             &ctx(seed + 2),
         )
         .unwrap();
@@ -479,6 +503,7 @@ mod tests {
                 &us,
                 k,
                 &domain,
+                false,
                 &ctx(seed + 1),
             )
             .unwrap();
@@ -492,6 +517,7 @@ mod tests {
             &vs,
             k,
             &domain,
+            false,
             &ctx(seed + 2),
         )
         .unwrap();

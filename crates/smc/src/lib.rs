@@ -56,6 +56,7 @@ pub mod setup;
 pub use context::{ProtocolContext, RecordId};
 pub use error::SmcError;
 pub use leakage::{LeakageEvent, LeakageLog, Party};
+pub use multiplication::ResponsePacking;
 
 #[cfg(test)]
 pub(crate) mod test_helpers {

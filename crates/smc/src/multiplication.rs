@@ -31,9 +31,91 @@ use crate::context::ProtocolContext;
 use crate::error::SmcError;
 use crate::parallel::par_map;
 use ppds_bigint::{random, BigInt, BigUint};
-use ppds_paillier::{Ciphertext, Keypair, PublicKey};
+use ppds_paillier::{Ciphertext, Keypair, PublicKey, SlotLayout};
 use ppds_transport::Channel;
 use rand::Rng;
+
+/// How a response leg packs its masked values into shared Paillier words
+/// (`ProtocolConfig::packing`): the peer's replies — masked products
+/// `x·y + v`, masked distances `dist² + v` — are signed, so every slot
+/// value is shifted by the public `offset` into `[0, 2^{slot_bits})`
+/// before packing and shifted back after unpacking. The protocol layer
+/// derives both fields from public bounds (coordinate bound, mask bound,
+/// key size), so the two parties always agree without negotiation.
+///
+/// Carry-guard argument: with `offset ≥ |value|_max + |mask|_max` and
+/// `slot_bits > bits(2·offset)`, every shifted slot value is strictly
+/// below the slot boundary, so packed slots can never bleed into their
+/// neighbors (see `ppds_paillier::packing`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponsePacking {
+    /// Slot layout under the keyholder's modulus.
+    pub layout: SlotLayout,
+    /// Public non-negative shift making signed slot values non-negative.
+    pub offset: BigUint,
+}
+
+impl ResponsePacking {
+    /// The plaintext slot addend for a signed mask/value `v`: `v + offset`.
+    fn slot_plain(&self, v: &BigInt) -> Result<BigUint, SmcError> {
+        let shifted = v + &BigInt::from(self.offset.clone());
+        if shifted.is_negative() {
+            return Err(SmcError::protocol(
+                "mask below the packing offset; offset must bound the mask magnitude",
+            ));
+        }
+        Ok(shifted.into_magnitude())
+    }
+
+    /// Recovers the signed value from an unpacked slot: `slot − offset`.
+    fn recover(&self, slot: &BigUint) -> BigInt {
+        &BigInt::from(slot.clone()) - &BigInt::from(self.offset.clone())
+    }
+
+    /// Decrypts packed response words on the [`crate::parallel`] pool and
+    /// recovers the `count` signed slot values.
+    fn unpack_signed(
+        &self,
+        keypair: &Keypair,
+        words: &[BigUint],
+        count: usize,
+    ) -> Result<Vec<BigInt>, SmcError> {
+        let slots = unpack_words(keypair, &self.layout, words, count)?;
+        Ok(slots.iter().map(|slot| self.recover(slot)).collect())
+    }
+}
+
+/// Decrypts packed wire words — one CRT decryption each, fanned out on the
+/// [`crate::parallel`] pool — and splits them into `count` raw slot
+/// values. Shared by the signed response unpack above and the DGK verdict
+/// scan in [`crate::bitwise`].
+pub(crate) fn unpack_words(
+    keypair: &Keypair,
+    layout: &SlotLayout,
+    words: &[BigUint],
+    count: usize,
+) -> Result<Vec<BigUint>, SmcError> {
+    if words.len() != layout.words_for(count) {
+        return Err(SmcError::protocol(format!(
+            "expected {} packed response words for {count} slots, got {}",
+            layout.words_for(count),
+            words.len()
+        )));
+    }
+    let plains: Vec<BigUint> = par_map(words, |_, raw| {
+        Ok::<_, SmcError>(
+            keypair
+                .private
+                .decrypt_crt(&Ciphertext::from_biguint(raw.clone()))?,
+        )
+    })?;
+    let mut out = Vec::with_capacity(count);
+    for (w, plain) in plains.iter().enumerate() {
+        let remaining = count - w * layout.capacity();
+        out.extend(layout.split_word(plain, remaining));
+    }
+    Ok(out)
+}
 
 /// Samples a mask uniformly from `[-bound, bound]`. The generator is taken
 /// by value so call sites pass a keyed leaf stream (`ctx.rng_for(i)`) or a
@@ -95,6 +177,7 @@ pub fn mul_batch_keyholder<C: Channel>(
     chan: &mut C,
     keypair: &Keypair,
     xs: &[BigInt],
+    packing: Option<&ResponsePacking>,
     ctx: &ProtocolContext,
 ) -> Result<Vec<BigInt>, SmcError> {
     let mut rng = ctx.rng();
@@ -109,6 +192,10 @@ pub fn mul_batch_keyholder<C: Channel>(
         .collect::<Result<_, _>>()?;
     chan.send(&cts)?;
     let responses: Vec<BigUint> = chan.recv()?;
+    if let Some(packing) = packing {
+        // Packed reply: ⌈m/capacity⌉ words, one CRT decryption each.
+        return packing.unpack_signed(keypair, &responses, xs.len());
+    }
     if responses.len() != xs.len() {
         return Err(SmcError::protocol(format!(
             "expected {} masked products, got {}",
@@ -133,10 +220,10 @@ pub fn mul_batch_peer<C: Channel>(
     keyholder_pk: &PublicKey,
     ys: &[BigInt],
     masks: &[BigInt],
+    packing: Option<&ResponsePacking>,
     ctx: &ProtocolContext,
 ) -> Result<(), SmcError> {
     assert_eq!(ys.len(), masks.len(), "one mask per multiplicand");
-    let mut rng = ctx.rng();
     let cts: Vec<BigUint> = chan.recv()?;
     if cts.len() != ys.len() {
         return Err(SmcError::protocol(format!(
@@ -145,6 +232,31 @@ pub fn mul_batch_peer<C: Channel>(
             cts.len()
         )));
     }
+    if let Some(packing) = packing {
+        // Packed reply: the products E(x·y) ride shifted slots and the
+        // masks travel as the packed word's plaintext addends — one fresh
+        // nonce per word instead of one encryption per element.
+        let mut products = Vec::with_capacity(cts.len());
+        for (ct, y) in cts.into_iter().zip(ys) {
+            let cx = Ciphertext::from_biguint(ct);
+            keyholder_pk.validate(&cx)?;
+            products.push(keyholder_pk.mul_plain_signed(&cx, y));
+        }
+        let plains: Vec<BigUint> = masks
+            .iter()
+            .map(|v| packing.slot_plain(v))
+            .collect::<Result<_, _>>()?;
+        let words = keyholder_pk.pack_ciphertexts(
+            &packing.layout,
+            &products,
+            &plains,
+            &mut ctx.narrow("pack").rng(),
+        )?;
+        let wire: Vec<BigUint> = words.iter().map(|c| c.as_biguint().clone()).collect();
+        chan.send(&wire)?;
+        return Ok(());
+    }
+    let mut rng = ctx.rng();
     let mut responses = Vec::with_capacity(cts.len());
     for ((ct, y), v) in cts.into_iter().zip(ys).zip(masks) {
         let cx = Ciphertext::from_biguint(ct);
@@ -172,6 +284,7 @@ pub fn mul_batches_keyholder<C, S>(
     keypair: &Keypair,
     xs_groups: &[Vec<BigInt>],
     scopes: S,
+    packing: Option<&ResponsePacking>,
 ) -> Result<Vec<Vec<BigInt>>, SmcError>
 where
     C: Channel,
@@ -192,6 +305,19 @@ where
             .collect::<Result<Vec<_>, _>>()
     })?;
     chan.send_batch(&cts_groups)?;
+    if let Some(packing) = packing {
+        // Packed reply: all groups' responses ride one flat word vector
+        // (slots in group order), so small groups share words instead of
+        // wasting one ciphertext per element.
+        let words: Vec<BigUint> = chan.recv()?;
+        let total: usize = xs_groups.iter().map(Vec::len).sum();
+        let flat = packing.unpack_signed(keypair, &words, total)?;
+        let mut flat = flat.into_iter();
+        return Ok(xs_groups
+            .iter()
+            .map(|xs| (&mut flat).take(xs.len()).collect())
+            .collect());
+    }
     let responses: Vec<Vec<BigUint>> = chan.recv_batch()?;
     if responses.len() != xs_groups.len() {
         return Err(SmcError::protocol(format!(
@@ -200,7 +326,7 @@ where
             responses.len()
         )));
     }
-    par_map(&responses, |g, group| {
+    for (g, group) in responses.iter().enumerate() {
         if group.len() != xs_groups[g].len() {
             return Err(SmcError::protocol(format!(
                 "expected {} masked products in group, got {}",
@@ -208,13 +334,17 @@ where
                 group.len()
             )));
         }
+    }
+    // Take ownership of the batch items so each ciphertext is wrapped in
+    // place instead of cloned before decryption.
+    let response_groups: Vec<Vec<Ciphertext>> = responses
+        .into_iter()
+        .map(|group| group.into_iter().map(Ciphertext::from_biguint).collect())
+        .collect();
+    par_map(&response_groups, |_, group| {
         group
             .iter()
-            .map(|c| {
-                Ok(keypair
-                    .private
-                    .decrypt_signed(&Ciphertext::from_biguint(c.clone()))?)
-            })
+            .map(|c| Ok(keypair.private.decrypt_signed(c)?))
             .collect()
     })
 }
@@ -237,6 +367,7 @@ pub fn mul_batches_peer<C, F, G, S>(
     ys_groups: &[G],
     mut draw_masks: F,
     scopes: S,
+    packing: Option<&ResponsePacking>,
 ) -> Result<Vec<Vec<BigInt>>, SmcError>
 where
     C: Channel,
@@ -275,6 +406,38 @@ where
             masks
         })
         .collect();
+    if let Some(packing) = packing {
+        // Packed reply: every group's products as shifted slots of one
+        // flat word vector; masks ride as plaintext addends and each word
+        // is re-randomized by its single packed-nonce encryption (group 0's
+        // scope hosts the word-nonce substream).
+        let product_groups: Vec<Vec<Ciphertext>> = par_map(&cts_groups, |g, cts| {
+            let ys = ys_groups[g].as_ref();
+            cts.iter()
+                .zip(ys)
+                .map(|(ct, y)| {
+                    let cx = Ciphertext::from_biguint(ct.clone());
+                    keyholder_pk.validate(&cx)?;
+                    Ok(keyholder_pk.mul_plain_signed(&cx, y))
+                })
+                .collect::<Result<Vec<_>, SmcError>>()
+        })?;
+        let products: Vec<Ciphertext> = product_groups.into_iter().flatten().collect();
+        let plains: Vec<BigUint> = all_masks
+            .iter()
+            .flatten()
+            .map(|v| packing.slot_plain(v))
+            .collect::<Result<_, _>>()?;
+        let words = keyholder_pk.pack_ciphertexts(
+            &packing.layout,
+            &products,
+            &plains,
+            &mut scopes(0).narrow("pack").rng(),
+        )?;
+        let wire: Vec<BigUint> = words.iter().map(|c| c.as_biguint().clone()).collect();
+        chan.send(&wire)?;
+        return Ok(all_masks);
+    }
     let responses: Vec<Vec<BigUint>> = par_map(&cts_groups, |g, cts| {
         let mut rng = scopes(g).rng();
         let ys = ys_groups[g].as_ref();
@@ -360,6 +523,7 @@ pub fn dot_many_keyholder<C: Channel>(
     keypair: &Keypair,
     xs: &[BigInt],
     expected_responses: usize,
+    packing: Option<&ResponsePacking>,
     ctx: &ProtocolContext,
 ) -> Result<Vec<BigInt>, SmcError> {
     let mut rng = ctx.rng();
@@ -374,6 +538,11 @@ pub fn dot_many_keyholder<C: Channel>(
         .collect::<Result<_, _>>()?;
     chan.send(&cts)?;
     let responses: Vec<BigUint> = chan.recv()?;
+    if let Some(packing) = packing {
+        // Packed reply: ⌈count/capacity⌉ words — the querier's decryption
+        // bill scales with neighborhoods, not with candidate points.
+        return packing.unpack_signed(keypair, &responses, expected_responses);
+    }
     if responses.len() != expected_responses {
         return Err(SmcError::protocol(format!(
             "expected {expected_responses} dot products, got {}",
@@ -400,6 +569,7 @@ pub fn dot_many_peer<C: Channel>(
     keyholder_pk: &PublicKey,
     ys_rows: &[Vec<BigInt>],
     mask_bound: &BigUint,
+    packing: Option<&ResponsePacking>,
     ctx: &ProtocolContext,
 ) -> Result<Vec<BigInt>, SmcError> {
     let cts_raw: Vec<BigUint> = chan.recv()?;
@@ -408,6 +578,47 @@ pub fn dot_many_peer<C: Channel>(
         let c = Ciphertext::from_biguint(raw);
         keyholder_pk.validate(&c)?;
         cts.push(c);
+    }
+    if let Some(packing) = packing {
+        // Packed reply: row j's homomorphic dot product rides slot j; its
+        // mask v_j (drawn from the same keyed stream as the unpacked form,
+        // so shares agree across transports) travels as the word's
+        // plaintext addend, and one packed-nonce encryption re-randomizes
+        // each word.
+        let per_row: Vec<(Ciphertext, BigInt)> = par_map(ys_rows, |j, ys| {
+            if cts.len() != ys.len() {
+                return Err(SmcError::protocol(format!(
+                    "dot product arity mismatch: {} ciphertexts vs {} coefficients",
+                    cts.len(),
+                    ys.len()
+                )));
+            }
+            let v = sample_mask(ctx.rng_for(j as u64), mask_bound);
+            // Neutral E(0) with nonce 1; the word's packed-nonce encryption
+            // re-randomizes the whole slot vector before it ships.
+            let mut acc = Ciphertext::from_biguint(BigUint::one());
+            for (ct, y) in cts.iter().zip(ys) {
+                if y.is_zero() {
+                    continue;
+                }
+                acc = keyholder_pk.add(&acc, &keyholder_pk.mul_plain_signed(ct, y));
+            }
+            Ok((acc, v))
+        })?;
+        let (products, masks): (Vec<Ciphertext>, Vec<BigInt>) = per_row.into_iter().unzip();
+        let plains: Vec<BigUint> = masks
+            .iter()
+            .map(|v| packing.slot_plain(v))
+            .collect::<Result<_, _>>()?;
+        let words = keyholder_pk.pack_ciphertexts(
+            &packing.layout,
+            &products,
+            &plains,
+            &mut ctx.narrow("pack").rng(),
+        )?;
+        let wire: Vec<BigUint> = words.iter().map(|c| c.as_biguint().clone()).collect();
+        chan.send(&wire)?;
+        return Ok(masks);
     }
     let per_row: Vec<(BigUint, BigInt)> = par_map(ys_rows, |j, ys| {
         if cts.len() != ys.len() {
@@ -533,9 +744,17 @@ mod tests {
         let (mut kchan, mut pchan) = duplex();
         let xs2 = xs.clone();
         let keyholder = std::thread::spawn(move || {
-            mul_batch_keyholder(&mut kchan, bob_keypair(), &xs2, &ctx(4)).unwrap()
+            mul_batch_keyholder(&mut kchan, bob_keypair(), &xs2, None, &ctx(4)).unwrap()
         });
-        mul_batch_peer(&mut pchan, &bob_keypair().public, &ys, &masks, &ctx(5)).unwrap();
+        mul_batch_peer(
+            &mut pchan,
+            &bob_keypair().public,
+            &ys,
+            &masks,
+            None,
+            &ctx(5),
+        )
+        .unwrap();
         let us = keyholder.join().unwrap();
         for i in 0..xs.len() {
             let expect = &(&xs[i] * &ys[i]) + &masks[i];
@@ -561,8 +780,9 @@ mod tests {
         let xs2 = xs_groups.to_vec();
         let keyholder = std::thread::spawn(move || {
             let kctx = ctx(seed_k).narrow("mul");
-            let us = mul_batches_keyholder(&mut kchan, bob_keypair(), &xs2, |g| kctx.at(g as u64))
-                .unwrap();
+            let us =
+                mul_batches_keyholder(&mut kchan, bob_keypair(), &xs2, |g| kctx.at(g as u64), None)
+                    .unwrap();
             (us, kchan.metrics())
         });
         let pctx = ctx(seed_p);
@@ -581,6 +801,7 @@ mod tests {
                 )
             },
             |g| mul_ctx.at(g as u64),
+            None,
         )
         .unwrap();
         let (us, metrics) = keyholder.join().unwrap();
@@ -632,7 +853,8 @@ mod tests {
             xs2.iter()
                 .enumerate()
                 .map(|(g, xs)| {
-                    mul_batch_keyholder(&mut kchan, bob_keypair(), xs, &kctx.at(g as u64)).unwrap()
+                    mul_batch_keyholder(&mut kchan, bob_keypair(), xs, None, &kctx.at(g as u64))
+                        .unwrap()
                 })
                 .collect::<Vec<_>>()
         });
@@ -651,6 +873,7 @@ mod tests {
                 &bob_keypair().public,
                 ys,
                 &masks,
+                None,
                 &mul_ctx.at(g as u64),
             )
             .unwrap();
@@ -690,6 +913,7 @@ mod tests {
                 bob_keypair(),
                 &[vec![bi(1)], vec![bi(2)]],
                 |g| kctx.at(g as u64),
+                None,
             );
         });
         let pctx = ctx(23);
@@ -704,6 +928,7 @@ mod tests {
                 )]
             },
             |g| pctx.narrow("mul").at(g as u64),
+            None,
         )
         .unwrap_err();
         assert!(matches!(err, SmcError::Protocol(_)));
@@ -774,13 +999,14 @@ mod tests {
         let (mut kchan, mut pchan) = duplex();
         let xs2 = xs.clone();
         let keyholder = std::thread::spawn(move || {
-            dot_many_keyholder(&mut kchan, bob_keypair(), &xs2, 3, &ctx(12)).unwrap()
+            dot_many_keyholder(&mut kchan, bob_keypair(), &xs2, 3, None, &ctx(12)).unwrap()
         });
         let masks = dot_many_peer(
             &mut pchan,
             &bob_keypair().public,
             &ys_rows,
             &BigUint::from_u64(1 << 16),
+            None,
             &ctx(13),
         )
         .unwrap();
@@ -789,6 +1015,187 @@ mod tests {
         for j in 0..3 {
             assert_eq!(&us[j] - &masks[j], bi(expect[j]), "point {j}");
         }
+    }
+
+    fn test_packing(offset: u64) -> ResponsePacking {
+        // Slot wide enough for |value| + |mask| ≤ offset on each side.
+        let bits = BigUint::from_u64(2 * offset).bit_length() + 1;
+        ResponsePacking {
+            layout: SlotLayout::new(bob_keypair().public.bits(), bits).unwrap(),
+            offset: BigUint::from_u64(offset),
+        }
+    }
+
+    #[test]
+    fn packed_batch_matches_unpacked_values_with_fewer_ciphertexts() {
+        let xs: Vec<BigInt> = [3i64, -1, 0, 12, 7, -9].iter().map(|&v| bi(v)).collect();
+        let ys: Vec<BigInt> = [5i64, 5, -9, 2, -2, 4].iter().map(|&v| bi(v)).collect();
+        let masks = vec![bi(10), bi(-4), bi(0), bi(-6), bi(3), bi(-3)]; // Σ = 0
+        let packing = test_packing(1 << 12);
+        assert!(
+            packing.layout.capacity() >= xs.len(),
+            "{:?}",
+            packing.layout
+        );
+        let (mut kchan, mut pchan) = duplex();
+        let xs2 = xs.clone();
+        let p2 = packing.clone();
+        let keyholder = std::thread::spawn(move || {
+            let out =
+                mul_batch_keyholder(&mut kchan, bob_keypair(), &xs2, Some(&p2), &ctx(4)).unwrap();
+            (out, kchan.metrics().messages_received)
+        });
+        mul_batch_peer(
+            &mut pchan,
+            &bob_keypair().public,
+            &ys,
+            &masks,
+            Some(&packing),
+            &ctx(5),
+        )
+        .unwrap();
+        let (us, replies) = keyholder.join().unwrap();
+        for i in 0..xs.len() {
+            let expect = &(&xs[i] * &ys[i]) + &masks[i];
+            assert_eq!(us[i], expect, "element {i}");
+        }
+        // All six masked products rode one packed word.
+        assert_eq!(replies, 1, "one reply message carrying one word");
+    }
+
+    #[test]
+    fn packed_batched_groups_match_unpacked_groups() {
+        let xs_groups: Vec<Vec<BigInt>> =
+            vec![vec![bi(3), bi(-1)], vec![bi(7)], vec![bi(0), bi(2), bi(5)]];
+        let ys_groups: Vec<Vec<BigInt>> =
+            vec![vec![bi(5), bi(5)], vec![bi(-2)], vec![bi(1), bi(4), bi(-6)]];
+        let (us_plain, masks_plain, _) = run_batched_groups(&xs_groups, &ys_groups, 30, 31);
+
+        let packing = test_packing(1 << 12);
+        let (mut kchan, mut pchan) = duplex();
+        let xs2 = xs_groups.clone();
+        let p2 = packing.clone();
+        let keyholder = std::thread::spawn(move || {
+            let kctx = ctx(30).narrow("mul");
+            mul_batches_keyholder(
+                &mut kchan,
+                bob_keypair(),
+                &xs2,
+                |g| kctx.at(g as u64),
+                Some(&p2),
+            )
+            .unwrap()
+        });
+        let pctx = ctx(31);
+        let mask_ctx = pctx.narrow("mask");
+        let mul_ctx = pctx.narrow("mul");
+        let sizes: Vec<usize> = ys_groups.iter().map(Vec::len).collect();
+        let masks = mul_batches_peer(
+            &mut pchan,
+            &bob_keypair().public,
+            &ys_groups,
+            |g| {
+                zero_sum_masks(
+                    mask_ctx.rng_for(g as u64),
+                    sizes[g],
+                    &BigUint::from_u64(1000),
+                )
+            },
+            |g| mul_ctx.at(g as u64),
+            Some(&packing),
+        )
+        .unwrap();
+        let us = keyholder.join().unwrap();
+        // Identical mask draws (same keyed streams) and identical masked
+        // products — only the transport changed.
+        assert_eq!(masks, masks_plain);
+        assert_eq!(us, us_plain);
+    }
+
+    #[test]
+    fn packed_dot_many_matches_unpacked_shares() {
+        let a = [3i64, 4i64];
+        let bobs = [[0i64, 0i64], [3, 0], [6, 8], [1, 2], [5, 5]];
+        let a_norm = a.iter().map(|x| x * x).sum::<i64>();
+        let xs: Vec<BigInt> = [a_norm, -2 * a[0], -2 * a[1], 1]
+            .iter()
+            .map(|&v| bi(v))
+            .collect();
+        let ys_rows: Vec<Vec<BigInt>> = bobs
+            .iter()
+            .map(|b| {
+                let b_norm = b.iter().map(|x| x * x).sum::<i64>();
+                vec![bi(1), bi(b[0]), bi(b[1]), bi(b_norm)]
+            })
+            .collect();
+        let mask_bound = BigUint::from_u64(1 << 16);
+        // Offset must cover dist² + mask: dist² ≤ 200 here, mask ≤ 2^16.
+        let packing = test_packing((1 << 16) + 200);
+
+        let run = |packing: Option<ResponsePacking>| {
+            let (mut kchan, mut pchan) = duplex();
+            let xs2 = xs.clone();
+            let p2 = packing.clone();
+            let keyholder = std::thread::spawn(move || {
+                let out =
+                    dot_many_keyholder(&mut kchan, bob_keypair(), &xs2, 5, p2.as_ref(), &ctx(12))
+                        .unwrap();
+                (out, kchan.metrics().bytes_received)
+            });
+            let masks = dot_many_peer(
+                &mut pchan,
+                &bob_keypair().public,
+                &ys_rows,
+                &mask_bound,
+                packing.as_ref(),
+                &ctx(13),
+            )
+            .unwrap();
+            let (us, reply_bytes) = keyholder.join().unwrap();
+            (us, masks, reply_bytes)
+        };
+        let (us_plain, masks_plain, bytes_plain) = run(None);
+        let (us_packed, masks_packed, bytes_packed) = run(Some(packing));
+        // Same keyed mask streams → identical shares on both sides.
+        assert_eq!(masks_packed, masks_plain);
+        assert_eq!(us_packed, us_plain);
+        let expect = [25i64, 16, 25, 8, 5]; // dist²((3,4), ·)
+        for j in 0..5 {
+            assert_eq!(&us_packed[j] - &masks_packed[j], bi(expect[j]), "point {j}");
+        }
+        assert!(
+            bytes_plain as f64 >= 4.0 * bytes_packed as f64,
+            "reply bytes {bytes_plain} unpacked vs {bytes_packed} packed"
+        );
+    }
+
+    #[test]
+    fn packed_mask_below_offset_is_protocol_error() {
+        // offset 4 cannot absorb a mask of magnitude up to 1000.
+        let packing = ResponsePacking {
+            layout: SlotLayout::new(bob_keypair().public.bits(), 24).unwrap(),
+            offset: BigUint::from_u64(4),
+        };
+        let (mut kchan, mut pchan) = duplex();
+        let keyholder = std::thread::spawn(move || {
+            let _ = kchan.send(&vec![bob_keypair()
+                .public
+                .encrypt_signed(&bi(1), &mut crate::test_helpers::rng(7))
+                .unwrap()
+                .as_biguint()
+                .clone()]);
+        });
+        let err = mul_batch_peer(
+            &mut pchan,
+            &bob_keypair().public,
+            &[bi(1)],
+            &[bi(-1000)],
+            Some(&packing),
+            &ctx(9),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SmcError::Protocol(_)));
+        keyholder.join().unwrap();
     }
 
     #[test]

@@ -71,13 +71,21 @@ proptest! {
             let (mut achan, mut bchan) = duplex();
             let alice = std::thread::spawn(move || {
                 let actx = ProtocolContext::new(seed);
-                compare_alice(comparator, &mut achan, keypair(), a, op, &domain, &actx)
+                compare_alice(comparator, &mut achan, keypair(), a, op, &domain, false, &actx)
                     .unwrap()
             });
             let bctx = ProtocolContext::new(seed.wrapping_add(1));
-            let bob_view =
-                compare_bob(comparator, &mut bchan, &keypair().public, b, op, &domain, &bctx)
-                    .unwrap();
+            let bob_view = compare_bob(
+                comparator,
+                &mut bchan,
+                &keypair().public,
+                b,
+                op,
+                &domain,
+                false,
+                &bctx,
+            )
+            .unwrap();
             let alice_view = alice.join().unwrap();
             prop_assert_eq!(alice_view, expect, "{:?} {} vs {}", comparator, a, b);
             prop_assert_eq!(bob_view, expect);
@@ -103,10 +111,10 @@ proptest! {
         let xs2 = xs_big.clone();
         let keyholder = std::thread::spawn(move || {
             let kctx = ProtocolContext::new(seed.wrapping_add(1));
-            mul_batch_keyholder(&mut kchan, keypair(), &xs2, &kctx).unwrap()
+            mul_batch_keyholder(&mut kchan, keypair(), &xs2, None, &kctx).unwrap()
         });
         let pctx = ProtocolContext::new(seed.wrapping_add(2));
-        mul_batch_peer(&mut pchan, &keypair().public, &ys_big, &masks, &pctx).unwrap();
+        mul_batch_peer(&mut pchan, &keypair().public, &ys_big, &masks, None, &pctx).unwrap();
         let ws = keyholder.join().unwrap();
 
         // Σ w_i = Σ x_i·y_i exactly (zero-sum masks cancel).

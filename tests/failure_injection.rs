@@ -109,6 +109,7 @@ fn peer_disconnect_mid_protocol_is_transport_error() {
         3,
         CmpOp::Lt,
         &domain,
+        false,
         &ProtocolContext::new(4),
     )
     .unwrap_err();

@@ -89,6 +89,28 @@ fn batching_mismatch_fails_on_both_sides_naming_the_field() {
 }
 
 #[test]
+fn packing_mismatch_fails_on_both_sides_naming_the_field() {
+    let (a, b) = run_both(
+        horizontal(cfg(4), 13).role(Party::Alice),
+        horizontal(cfg(4).with_packing(true), 14).role(Party::Bob),
+    );
+    assert_eq!(expect_mismatch("alice", a, "packing"), (0, 1));
+    assert_eq!(expect_mismatch("bob", b, "packing"), (1, 0));
+}
+
+#[test]
+fn packing_and_batching_disagreements_name_their_own_fields() {
+    // Both knobs differ: the handshake reports the first disagreeing field
+    // in tag order (batching precedes packing), on both sides.
+    let (a, b) = run_both(
+        horizontal(cfg(4).with_batching(true), 15).role(Party::Alice),
+        horizontal(cfg(4).with_packing(true), 16).role(Party::Bob),
+    );
+    assert_eq!(expect_mismatch("alice", a, "batching"), (1, 0));
+    assert_eq!(expect_mismatch("bob", b, "batching"), (0, 1));
+}
+
+#[test]
 fn comparator_mismatch_fails_on_both_sides_naming_the_field() {
     let mut dgk = cfg(4);
     dgk.comparator = ppds_smc::compare::Comparator::Dgk;
