@@ -452,6 +452,72 @@ fn bench_dot_many_packing(c: &mut Criterion) {
     group.finish();
 }
 
+/// Flight-recorder overhead on the hottest SMC primitive: the same
+/// `dot_many` exchange with the recorder off (no sink installed — spans
+/// compile down to an `enabled()` check) and on (lock-free slot claims per
+/// span edge). The delta is the tracing tax a production operator pays.
+fn bench_trace_overhead(c: &mut Criterion) {
+    use ppds_observe::{trace, SpanRecorder, TraceSink};
+    use ppds_smc::multiplication::{dot_many_keyholder, dot_many_peer};
+    use std::sync::Arc;
+    let rows: Vec<Vec<BigInt>> = (0..24)
+        .map(|j| {
+            vec![
+                BigInt::from_i64(1),
+                BigInt::from_i64(j % 7),
+                BigInt::from_i64(j % 5),
+                BigInt::from_i64((j % 7) * (j % 7) + (j % 5) * (j % 5)),
+            ]
+        })
+        .collect();
+    let xs: Vec<BigInt> = [25i64, -6, -8, 1]
+        .iter()
+        .map(|&v| BigInt::from_i64(v))
+        .collect();
+    let mask_bound = ppds_bigint::BigUint::from_u64(1 << 20);
+    let mut group = c.benchmark_group("dot_many_trace_overhead");
+    group.sample_size(10);
+    for (label, traced) in [("untraced", false), ("traced", true)] {
+        let rows = rows.clone();
+        let xs = xs.clone();
+        let mask_bound = mask_bound.clone();
+        group.bench_function(label, move |b| {
+            b.iter(|| {
+                let recorder = traced.then(SpanRecorder::new);
+                let _guard = recorder
+                    .clone()
+                    .map(|r| trace::install(r as Arc<dyn TraceSink>));
+                let (mut kchan, mut pchan) = duplex();
+                let xs2 = xs.clone();
+                let rec2 = recorder.clone();
+                let handle = std::thread::spawn(move || {
+                    let _guard = rec2.map(|r| trace::install(r as Arc<dyn TraceSink>));
+                    dot_many_keyholder(
+                        &mut kchan,
+                        keypair(),
+                        &xs2,
+                        24,
+                        None,
+                        &ProtocolContext::new(3),
+                    )
+                    .unwrap()
+                });
+                dot_many_peer(
+                    &mut pchan,
+                    &keypair().public,
+                    &rows,
+                    &mask_bound,
+                    None,
+                    &ProtocolContext::new(4),
+                )
+                .unwrap();
+                handle.join().unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_multiplication,
@@ -462,6 +528,7 @@ criterion_group!(
     bench_keyed_derivation,
     bench_parallel_batch_encryption,
     bench_dgk_reply_packing,
-    bench_dot_many_packing
+    bench_dot_many_packing,
+    bench_trace_overhead
 );
 criterion_main!(benches);

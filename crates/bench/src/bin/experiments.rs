@@ -15,6 +15,7 @@
 //! `BENCH_protocols.json`).
 
 use ppdbscan::config::ProtocolConfig;
+use ppdbscan::session::{run_participants, Participant, PartyData};
 use ppdbscan::{ArbitraryPartition, PartyOutput, VerticalPartition};
 use ppds_bench::{
     blob_workload, fmt_bytes, print_header, print_row, rng, run_arbitrary_pair, run_enhanced_pair,
@@ -23,13 +24,15 @@ use ppds_bench::{
 use ppds_bigint::{BigInt, BigUint};
 use ppds_dbscan::datagen::{cluster_in_ring, split_alternating, two_moons};
 use ppds_dbscan::{dbscan, dbscan_with_external_density, eval, DbscanParams, Point, Quantizer};
+use ppds_observe::{chrome_trace, SessionTrace, SpanRecorder};
 use ppds_paillier::Keypair;
 use ppds_smc::compare::{compare_alice, compare_bob, CmpOp, Comparator, ComparisonDomain};
 use ppds_smc::kth::{kth_smallest_alice, kth_smallest_bob, SelectionMethod};
 use ppds_smc::millionaires;
 use ppds_smc::multiplication::{mul_keyholder, mul_peer};
-use ppds_smc::ProtocolContext;
+use ppds_smc::{Party, ProtocolContext};
 use ppds_transport::{duplex, Channel, CostModel};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn section(title: &str) {
@@ -771,6 +774,117 @@ fn e11(baseline: &[BatchBenchRow]) -> Vec<BatchBenchRow> {
     rows
 }
 
+/// One flight-recorded session per protocol mode on the canonical n = 36
+/// workload (round batching on — the production framing). Each trace is
+/// schema-validated before it is returned, so downstream serializers can
+/// unwrap rollups.
+fn traced_runs() -> Vec<(&'static str, SessionTrace)> {
+    let w = blob_workload(36, 2, 9_100);
+    let vp = VerticalPartition::split(&w.all, 1);
+    let ap = ArbitraryPartition::random(&mut rng(9_101), &w.all);
+    let cfg = w.cfg.with_batching(true);
+    let mut out: Vec<(&'static str, SessionTrace)> = Vec::new();
+
+    let mut two_party = |mode: &'static str, alice: PartyData, bob: PartyData| {
+        let recorder = SpanRecorder::new();
+        let (a, _) = run_participants(
+            Participant::new(cfg)
+                .role(Party::Alice)
+                .data(alice)
+                .rng(rng(81))
+                .trace(Arc::clone(&recorder)),
+            Participant::new(cfg)
+                .role(Party::Bob)
+                .data(bob)
+                .rng(rng(82)),
+        )
+        .unwrap_or_else(|e| panic!("traced {mode} session failed: {e}"));
+        let trace = a.trace.expect("traced participant returns a trace");
+        trace
+            .validate()
+            .unwrap_or_else(|e| panic!("{mode} trace schema: {e}"));
+        out.push((mode, trace));
+    };
+    two_party(
+        "horizontal",
+        PartyData::Horizontal(w.alice.clone()),
+        PartyData::Horizontal(w.bob.clone()),
+    );
+    two_party(
+        "enhanced",
+        PartyData::Enhanced(w.alice.clone()),
+        PartyData::Enhanced(w.bob.clone()),
+    );
+    two_party(
+        "vertical",
+        PartyData::Vertical(vp.alice.clone()),
+        PartyData::Vertical(vp.bob.clone()),
+    );
+    two_party(
+        "arbitrary",
+        PartyData::Arbitrary(ap.alice_values.clone()),
+        PartyData::Arbitrary(ap.bob_values.clone()),
+    );
+    out.push(("multiparty", traced_mesh(&cfg, &w.all, 42)));
+    out
+}
+
+/// Runs a 3-party mesh session (points dealt round-robin) with the flight
+/// recorder attached to node 0 and returns node 0's validated trace.
+fn traced_mesh(cfg: &ProtocolConfig, all: &[Point], seed: u64) -> SessionTrace {
+    let k = 3usize;
+    let mut parties: Vec<Vec<Point>> = vec![Vec::new(); k];
+    for (i, p) in all.iter().enumerate() {
+        parties[i % k].push(p.clone());
+    }
+    let mut channels: Vec<Vec<(usize, _)>> = (0..k).map(|_| Vec::new()).collect();
+    for i in 0..k {
+        for j in i + 1..k {
+            let (a, b) = duplex();
+            channels[i].push((j, a));
+            channels[j].push((i, b));
+        }
+    }
+    let recorder = SpanRecorder::new();
+    let mut trace = None;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (my_id, (mut peers, points)) in channels.drain(..).zip(&parties).enumerate() {
+            let mut participant = Participant::new(*cfg)
+                .data(PartyData::Multiparty(points.clone()))
+                .seed(seed.wrapping_add(my_id as u64));
+            if my_id == 0 {
+                participant = participant.trace(Arc::clone(&recorder));
+            }
+            handles.push(scope.spawn(move || participant.run_mesh(&mut peers, my_id, k)));
+        }
+        for (i, handle) in handles.into_iter().enumerate() {
+            let outcome = handle
+                .join()
+                .expect("mesh node thread")
+                .unwrap_or_else(|e| panic!("traced mesh node {i} failed: {e}"));
+            if i == 0 {
+                trace = outcome.trace;
+            }
+        }
+    });
+    let trace = trace.expect("traced node 0 returns a trace");
+    trace
+        .validate()
+        .unwrap_or_else(|e| panic!("multiparty trace schema: {e}"));
+    trace
+}
+
+/// Writes the Chrome trace-event file (`chrome://tracing` /
+/// <https://ui.perfetto.dev> loadable): one process per protocol mode, one
+/// track per recorder thread.
+fn write_trace_json(path: &str, runs: &[(&'static str, SessionTrace)]) {
+    let sessions: Vec<(&str, &SessionTrace)> = runs.iter().map(|(mode, t)| (*mode, t)).collect();
+    std::fs::write(path, chrome_trace(&sessions))
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("\nwrote Chrome trace ({} sessions) to {path}", runs.len());
+}
+
 /// Serializes the sweep as the machine-readable bench trajectory. The
 /// top-level `wire_version` records the session-handshake format and
 /// `randomness` the RNG discipline (`keyed-v1` = `ProtocolContext`
@@ -780,13 +894,42 @@ fn e11(baseline: &[BatchBenchRow]) -> Vec<BatchBenchRow> {
 /// quickselect partition paths depend on the masks) shift when the
 /// derivation scheme changes. Data-independent counts (horizontal,
 /// vertical, arbitrary rounds/messages) are stable across both.
-fn write_bench_json(path: &str, rows: &[BatchBenchRow]) {
+/// Per-phase wire attribution from the flight-recorded runs, as the
+/// top-level `"phases"` key: one row per (mode, normalized step path) with
+/// span count and bytes/messages/rounds deltas. Wall times are deliberately
+/// omitted — every field here is a deterministic function of the seeds, so
+/// the trajectory stays diffable across machines.
+fn phases_json(runs: &[(&'static str, SessionTrace)]) -> String {
+    let mut out = String::from("  \"phases\": [\n");
+    let mut rows = Vec::new();
+    for (mode, trace) in runs {
+        for r in trace.rollup().expect("validated upstream") {
+            rows.push(format!(
+                "    {{\"mode\": \"{}\", \"path\": \"{}\", \"count\": {}, \"bytes\": {}, \
+                 \"messages\": {}, \"rounds\": {}}}",
+                mode,
+                r.path,
+                r.count,
+                r.traffic.total_bytes(),
+                r.traffic.total_messages(),
+                r.traffic.total_rounds(),
+            ));
+        }
+    }
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ],\n");
+    out
+}
+
+fn write_bench_json(path: &str, rows: &[BatchBenchRow], runs: &[(&'static str, SessionTrace)]) {
     let mut out = format!(
-        "{{\n  \"wire_version\": {},\n  \"randomness\": \"{}\",\n  \"packing\": \"{}\",\n  \"workload\": {{\"n\": 36, \"dim\": 2, \"generator\": \"standard_blobs\"}},\n  \"protocols\": [\n",
+        "{{\n  \"wire_version\": {},\n  \"randomness\": \"{}\",\n  \"packing\": \"{}\",\n  \"workload\": {{\"n\": 36, \"dim\": 2, \"generator\": \"standard_blobs\"}},\n",
         ppdbscan::session::WIRE_VERSION,
         ppds_smc::context::RANDOMNESS_DISCIPLINE,
         ppds_paillier::PACKING_DISCIPLINE
     );
+    out.push_str(&phases_json(runs));
+    out.push_str("  \"protocols\": [\n");
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"protocol\": \"{}\", \"batching\": {}, \"packing\": {}, \"rounds\": {}, \
@@ -855,6 +998,7 @@ fn f1() {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut selector: Option<String> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -866,6 +1010,14 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+        } else if arg == "--trace" {
+            match iter.next() {
+                Some(path) => trace_path = Some(path),
+                None => {
+                    eprintln!("--trace requires a path argument");
+                    std::process::exit(2);
+                }
+            }
         } else if let Some(first) = &selector {
             eprintln!("at most one experiment selector (got {first} and {arg})");
             std::process::exit(2);
@@ -873,10 +1025,10 @@ fn main() {
             selector = Some(arg);
         }
     }
-    // `--json` alone runs the batching + packing sweeps; a selector (or
-    // nothing) runs the printed experiments as before.
+    // `--json` or `--trace` alone runs the batching + packing sweeps; a
+    // selector (or nothing) runs the printed experiments as before.
     let selector = selector.unwrap_or_else(|| {
-        if json_path.is_some() {
+        if json_path.is_some() || trace_path.is_some() {
             "sweeps".into()
         } else {
             "all".into()
@@ -931,13 +1083,22 @@ fn main() {
             std::process::exit(2);
         }
     }
-    if let Some(path) = json_path {
-        let rows = sweep_rows.unwrap_or_else(|| {
-            let mut rows = batching_sweep();
-            rows.extend(packing_sweep());
-            rows
-        });
-        write_bench_json(&path, &rows);
+    if json_path.is_some() || trace_path.is_some() {
+        // One flight-recorded run per mode feeds both outputs: the Chrome
+        // trace file and the deterministic per-phase table in the
+        // trajectory JSON.
+        let runs = traced_runs();
+        if let Some(path) = &trace_path {
+            write_trace_json(path, &runs);
+        }
+        if let Some(path) = &json_path {
+            let rows = sweep_rows.unwrap_or_else(|| {
+                let mut rows = batching_sweep();
+                rows.extend(packing_sweep());
+                rows
+            });
+            write_bench_json(path, &rows, &runs);
+        }
     }
     println!("\n(total runtime {:.1?})", t0.elapsed());
 }

@@ -21,6 +21,7 @@ use crate::session::{
 };
 use crate::vertical::lockstep_dbscan;
 use ppds_dbscan::Clustering;
+use ppds_observe::trace;
 use ppds_smc::{Party, ProtocolContext};
 use ppds_transport::Channel;
 
@@ -94,6 +95,7 @@ impl ModeDriver for ArbitraryDriver<'_> {
         let mut q = 0u64;
         let dist_leq_set = |x: usize, ys: &[usize]| -> Result<Vec<bool>, CoreError> {
             let qctx = region_ctx.at(q);
+            let span = trace::span_with(|| format!("region#{q}"), || chan.metrics());
             q += 1;
             let views: Vec<PairView<'_>> = ys
                 .iter()
@@ -122,6 +124,7 @@ impl ModeDriver for ArbitraryDriver<'_> {
                     ledger,
                 )?,
             };
+            span.end(|| chan.metrics());
             Ok(result)
         };
         lockstep_dbscan(values.len(), cfg.params, dist_leq_set, &mut log.leakage)

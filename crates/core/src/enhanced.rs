@@ -29,6 +29,7 @@ use crate::error::CoreError;
 use crate::session::{HandshakeProfile, Mode, ModeContext, ModeDriver, Session, SessionLog};
 use ppds_bigint::{BigInt, BigUint};
 use ppds_dbscan::{Clustering, Point};
+use ppds_observe::trace;
 use ppds_paillier::{Keypair, PublicKey};
 use ppds_smc::compare::{compare_alice, compare_bob, CmpOp};
 use ppds_smc::kth::{
@@ -93,6 +94,7 @@ pub fn enhanced_core_test_querier<C: Channel>(
     }
     xs.push(BigInt::from_i64(1));
     let packing = dot_packing(cfg, dim);
+    let dot_span = trace::span("dot", || chan.metrics());
     let raw = dot_many_keyholder(
         chan,
         my_keypair,
@@ -101,6 +103,7 @@ pub fn enhanced_core_test_querier<C: Channel>(
         packing.as_ref(),
         &ctx.narrow("dot"),
     )?;
+    dot_span.end(|| chan.metrics());
     let shares: Vec<i64> = raw.iter().map(share_to_i64).collect::<Result<_, _>>()?;
 
     // Phase 2: k-th smallest shared distance. Batching runs quickselect
@@ -108,6 +111,7 @@ pub fn enhanced_core_test_querier<C: Channel>(
     // inherently sequential and executes identically either way).
     let domain = enhanced_share_domain(cfg, dim);
     let sel_ctx = ctx.narrow("sel");
+    let sel_span = trace::span("sel", || chan.metrics());
     let outcome = if cfg.batching {
         kth_smallest_alice_batched(
             cfg.selection,
@@ -133,12 +137,14 @@ pub fn enhanced_core_test_querier<C: Channel>(
             &sel_ctx,
         )?
     };
+    sel_span.end(|| chan.metrics());
     for _ in 0..outcome.comparisons {
         ledger.record(cfg.key_bits, domain.n0());
     }
 
     // Phase 3: u_k ≤ Eps² + v_k.
     ledger.record(cfg.key_bits, domain.n0());
+    let cmp_span = trace::span("cmp", || chan.metrics());
     let is_core = compare_alice(
         cfg.comparator,
         chan,
@@ -149,6 +155,7 @@ pub fn enhanced_core_test_querier<C: Channel>(
         cfg.packing,
         &ctx.narrow("cmp"),
     )?;
+    cmp_span.end(|| chan.metrics());
     leakage.record(LeakageEvent::CorePointBit {
         query: "joint".into(),
         is_core,
@@ -202,6 +209,7 @@ pub fn enhanced_core_respond<C: Channel>(
         .collect();
     let mask_bound = BigUint::from_u64(cfg.enhanced_mask_bound(dim));
     let packing = dot_packing(cfg, dim);
+    let dot_span = trace::span("dot", || chan.metrics());
     let masks = dot_many_peer(
         chan,
         querier_pk,
@@ -210,11 +218,13 @@ pub fn enhanced_core_respond<C: Channel>(
         packing.as_ref(),
         &ctx.narrow("dot"),
     )?;
+    dot_span.end(|| chan.metrics());
     let shares: Vec<i64> = masks.iter().map(share_to_i64).collect::<Result<_, _>>()?;
 
     // Phase 2: mirror the selection (batched partitions when enabled).
     let domain = enhanced_share_domain(cfg, dim);
     let sel_ctx = ctx.narrow("sel");
+    let sel_span = trace::span("sel", || chan.metrics());
     let outcome = if cfg.batching {
         kth_smallest_bob_batched(
             cfg.selection,
@@ -240,12 +250,14 @@ pub fn enhanced_core_respond<C: Channel>(
             &sel_ctx,
         )?
     };
+    sel_span.end(|| chan.metrics());
     for _ in 0..outcome.comparisons {
         ledger.record(cfg.key_bits, domain.n0());
     }
 
     // Phase 3: Eps² + v_k vs the querier's u_k.
     ledger.record(cfg.key_bits, domain.n0());
+    let cmp_span = trace::span("cmp", || chan.metrics());
     let is_core = compare_bob(
         cfg.comparator,
         chan,
@@ -256,6 +268,7 @@ pub fn enhanced_core_respond<C: Channel>(
         cfg.packing,
         &ctx.narrow("cmp"),
     )?;
+    cmp_span.end(|| chan.metrics());
     if is_core {
         // The responder knows which of *his own* points ranked k-th and
         // that it sits within Eps of some unidentifiable query point.
@@ -300,8 +313,9 @@ impl ModeDriver for EnhancedDriver<'_> {
             let mut q = 0u64;
             crate::horizontal::querier_phase(chan, cfg.params, points, |chan, idx, own_count| {
                 let test_ctx = query_ctx.at(q);
+                let span = trace::span_with(|| format!("query#{q}"), || chan.metrics());
                 q += 1;
-                Ok(enhanced_core_test_querier(
+                let is_core = enhanced_core_test_querier(
                     chan,
                     cfg,
                     &session.my_keypair,
@@ -311,13 +325,16 @@ impl ModeDriver for EnhancedDriver<'_> {
                     &test_ctx,
                     &mut log.ledger,
                     &mut log.leakage,
-                )?)
+                )?;
+                span.end(|| chan.metrics());
+                Ok(is_core)
             })
         };
         let run_respond_phase = |chan: &mut C, log: &mut SessionLog| {
             let mut q = 0u64;
             crate::horizontal::responder_phase(chan, |chan| {
                 let test_ctx = serve_ctx.at(q);
+                let span = trace::span_with(|| format!("serve#{q}"), || chan.metrics());
                 q += 1;
                 enhanced_core_respond(
                     chan,
@@ -329,6 +346,7 @@ impl ModeDriver for EnhancedDriver<'_> {
                     &mut log.ledger,
                     &mut log.leakage,
                 )?;
+                span.end(|| chan.metrics());
                 Ok(())
             })
         };

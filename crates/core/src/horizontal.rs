@@ -26,6 +26,7 @@ use crate::session::{
 };
 use ppds_dbscan::index::{LinearIndex, NeighborIndex};
 use ppds_dbscan::{Clustering, DbscanParams, Label, Point};
+use ppds_observe::trace;
 use ppds_smc::{LeakageEvent, Party, ProtocolContext};
 use ppds_transport::Channel;
 use std::collections::VecDeque;
@@ -196,6 +197,7 @@ impl ModeDriver for HorizontalDriver<'_> {
                 // One HDP query per core test: batched mode ships the whole
                 // responder set in O(1) wire rounds.
                 let qctx = query_ctx.at(q);
+                let span = trace::span_with(|| format!("query#{q}"), || chan.metrics());
                 q += 1;
                 let peer_count = hdp_query(
                     chan,
@@ -207,6 +209,7 @@ impl ModeDriver for HorizontalDriver<'_> {
                     &qctx,
                     &mut log.ledger,
                 )?;
+                span.end(|| chan.metrics());
                 log.leakage.record(LeakageEvent::NeighborCount {
                     query: format!("own#{idx}"),
                     count: peer_count as u64,
@@ -218,6 +221,7 @@ impl ModeDriver for HorizontalDriver<'_> {
             let mut q = 0u64;
             responder_phase(chan, |chan| {
                 let qctx = serve_ctx.at(q);
+                let span = trace::span_with(|| format!("serve#{q}"), || chan.metrics());
                 q += 1;
                 hdp_serve(
                     chan,
@@ -229,6 +233,7 @@ impl ModeDriver for HorizontalDriver<'_> {
                     &mut log.ledger,
                     &mut log.leakage,
                 )?;
+                span.end(|| chan.metrics());
                 Ok(())
             })
         };

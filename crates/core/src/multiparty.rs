@@ -40,6 +40,7 @@ use crate::session::{
 };
 use ppds_dbscan::index::{LinearIndex, NeighborIndex};
 use ppds_dbscan::{Clustering, Label, Point};
+use ppds_observe::{trace, MetricsSnapshot};
 use ppds_paillier::Keypair;
 use ppds_smc::{LeakageEvent, Party, ProtocolContext};
 use ppds_transport::Channel;
@@ -97,16 +98,19 @@ pub(crate) fn run_mesh_node<C: Channel>(
 
     // One keypair per node, one pairwise session per peer. The lower id
     // plays the Alice role of the key exchange ordering.
+    let keygen_span = trace::span("keygen", MetricsSnapshot::default);
     let keypair = match keypair {
         Some(kp) => kp,
         None => Keypair::generate(cfg.key_bits, &mut ctx.narrow("keygen").rng()),
     };
+    keygen_span.end(MetricsSnapshot::default);
     let profile = HandshakeProfile {
         mode: Mode::Multiparty,
         n: my_points.len(),
         dim,
         dim_must_match: true,
     };
+    let establish_span = trace::span("establish", || mesh_metrics(peers));
     let mut sessions: Vec<(usize, Session)> = Vec::with_capacity(peers.len());
     for (peer_id, chan) in peers.iter_mut() {
         let role = if my_id < *peer_id {
@@ -114,15 +118,19 @@ pub(crate) fn run_mesh_node<C: Channel>(
         } else {
             Party::Bob
         };
+        let peer_span = trace::span_with(|| format!("peer#{peer_id}"), || chan.metrics());
         let session = establish(chan, cfg, keypair.clone(), role, &profile)?;
+        peer_span.end(|| chan.metrics());
         sessions.push((*peer_id, session));
     }
+    establish_span.end(|| mesh_metrics(peers));
 
     let mut log = SessionLog::new();
     let mut clustering = None;
     let mesh_ctx = ctx.narrow("mesh");
 
     // K deterministic phases; ids give every party the same schedule.
+    let execute_span = trace::span("execute", || mesh_metrics(peers));
     for phase in 0..k_parties {
         if phase == my_id {
             clustering = Some(query_phase(
@@ -140,7 +148,9 @@ pub(crate) fn run_mesh_node<C: Channel>(
             respond_phase(chan, session, cfg, my_points, &peer_ctx, &mut log)?;
         }
     }
+    execute_span.end(|| mesh_metrics(peers));
 
+    let assemble_span = trace::span("assemble", || mesh_metrics(peers));
     let traffic = peers.iter().map(|(_, chan)| chan.metrics()).sum();
     let peer_meta = sessions
         .iter()
@@ -150,13 +160,14 @@ pub(crate) fn run_mesh_node<C: Channel>(
             dim: session.peer_dim,
         })
         .collect();
-    Ok(SessionOutcome {
+    let outcome = SessionOutcome {
         output: PartyOutput {
             clustering: clustering.expect("own phase ran"),
             leakage: log.leakage,
             traffic,
             yao: log.ledger,
         },
+        trace: None,
         meta: SessionMeta {
             wire_version: WIRE_VERSION,
             mode: Mode::Multiparty,
@@ -164,7 +175,16 @@ pub(crate) fn run_mesh_node<C: Channel>(
             packing: cfg.packing,
             peers: peer_meta,
         },
-    })
+    };
+    assemble_span.end(|| outcome.output.traffic);
+    Ok(outcome)
+}
+
+/// Summed traffic across every pairwise channel — the snapshot a mesh-level
+/// span edge carries (componentwise sums of monotone counters are still
+/// monotone, so span deltas stay well-defined).
+fn mesh_metrics<C: Channel>(peers: &[(usize, C)]) -> MetricsSnapshot {
+    peers.iter().map(|(_, chan)| chan.metrics()).sum()
 }
 
 /// One node's full run of the multi-party horizontal protocol.
@@ -213,6 +233,7 @@ fn query_phase<C: Channel>(
         let mut total = own_count;
         let query_no = issued;
         issued += 1;
+        let query_span = trace::span_with(|| format!("query#{query_no}"), || mesh_metrics(peers));
         for (pos, (peer_id, chan)) in peers.iter_mut().enumerate() {
             chan.send(&TAG_QUERY)?;
             let session = &sessions[pos].1;
@@ -233,6 +254,7 @@ fn query_phase<C: Channel>(
             });
             total += count;
         }
+        query_span.end(|| mesh_metrics(peers));
         Ok(total >= cfg.params.min_pts)
     };
 
@@ -306,6 +328,7 @@ fn respond_phase<C: Channel>(
             TAG_DONE => return Ok(()),
             TAG_QUERY => {
                 let qctx = serve_ctx.at(served);
+                let serve_span = trace::span_with(|| format!("serve#{served}"), || chan.metrics());
                 served += 1;
                 hdp_serve(
                     chan,
@@ -317,6 +340,7 @@ fn respond_phase<C: Channel>(
                     &mut log.ledger,
                     &mut log.leakage,
                 )?;
+                serve_span.end(|| chan.metrics());
             }
             other => {
                 return Err(CoreError::Smc(ppds_smc::SmcError::protocol(format!(

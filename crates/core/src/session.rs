@@ -58,6 +58,7 @@ use crate::config::{ProtocolConfig, YaoLedger};
 use crate::driver::{run_pair, PartyOutput};
 use crate::error::CoreError;
 use ppds_dbscan::{Clustering, Point};
+use ppds_observe::{trace, SessionTrace, SpanRecorder, TraceSink};
 use ppds_paillier::{FillerHandle, Keypair, PublicKey, RandomizerPool};
 use ppds_smc::compare::Comparator;
 use ppds_smc::kth::SelectionMethod;
@@ -66,6 +67,7 @@ use ppds_transport::wire::{Reader, WireDecode, WireEncode};
 use ppds_transport::{duplex, Channel, MemoryChannel, TransportError};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
+use std::sync::Arc;
 
 /// Version of the session handshake wire format. Bumped whenever the
 /// [`Hello`] frame layout or the meaning of a negotiated field changes;
@@ -353,14 +355,18 @@ pub(crate) fn establish<C: Channel>(
     role: Party,
     profile: &HandshakeProfile,
 ) -> Result<Session, CoreError> {
+    let keys_span = trace::span("keys", || chan.metrics());
     let peer_pk = match role {
         Party::Alice => setup::exchange_keys_alice(chan, &my_keypair)?,
         Party::Bob => setup::exchange_keys_bob(chan, &my_keypair)?,
     };
+    keys_span.end(|| chan.metrics());
+    let hello_span = trace::span("hello", || chan.metrics());
     let mine = Hello::for_session(cfg, profile.mode, profile.n, profile.dim);
     chan.send(&mine)?;
     let theirs: Hello = chan.recv()?;
     mine.check_compatible(&theirs, profile.dim_must_match)?;
+    hello_span.end(|| chan.metrics());
     Ok(Session {
         my_keypair,
         peer_pk,
@@ -501,13 +507,17 @@ where
     D: ModeDriver,
 {
     driver.validate(cfg)?;
+    let keygen_span = trace::span("keygen", || chan.metrics());
     let keypair = match keypair {
         Some(kp) => kp,
         None => Keypair::generate(cfg.key_bits, &mut ctx.narrow("keygen").rng()),
     };
+    keygen_span.end(|| chan.metrics());
     let profile = driver.profile();
+    let establish_span = trace::span("establish", || chan.metrics());
     let mut session = establish(chan, cfg, keypair, role, &profile)?;
     driver.check_session(cfg, &session)?;
+    establish_span.end(|| chan.metrics());
     let _filler_guards = pools.map(|setup| attach_pools(&mut session, setup, ctx));
 
     let mut log = SessionLog::new();
@@ -516,15 +526,19 @@ where
         role,
         session: &session,
     };
+    let execute_span = trace::span("execute", || chan.metrics());
     let clustering = driver.execute(chan, &mctx, ctx, &mut log)?;
+    execute_span.end(|| chan.metrics());
     let mode = profile.mode;
-    Ok(SessionOutcome {
+    let assemble_span = trace::span("assemble", || chan.metrics());
+    let outcome = SessionOutcome {
         output: PartyOutput {
             clustering,
             leakage: log.leakage,
             traffic: chan.metrics(),
             yao: log.ledger,
         },
+        trace: None,
         meta: SessionMeta {
             wire_version: WIRE_VERSION,
             mode,
@@ -539,7 +553,9 @@ where
                 dim: session.peer_dim,
             }],
         },
-    })
+    };
+    assemble_span.end(|| outcome.output.traffic);
+    Ok(outcome)
 }
 
 /// One party's private view of the session data — the mode selector of the
@@ -611,6 +627,11 @@ pub struct SessionOutcome {
     pub output: PartyOutput,
     /// Negotiated session metadata.
     pub meta: SessionMeta,
+    /// The flight-recorder trace, present iff the participant opted in
+    /// with [`Participant::trace`]. Tracing observes the session without
+    /// participating: outputs, leakage, ledgers, and wire bytes are
+    /// byte-identical with or without it (pinned by `tests/trace_parity.rs`).
+    pub trace: Option<SessionTrace>,
 }
 
 /// Builder for one party of a clustering session.
@@ -640,6 +661,7 @@ pub struct Participant {
     keypair: Option<Keypair>,
     ctx: Option<ProtocolContext>,
     pools: Option<PoolSetup>,
+    recorder: Option<Arc<SpanRecorder>>,
 }
 
 impl Participant {
@@ -652,7 +674,24 @@ impl Participant {
             keypair: None,
             ctx: None,
             pools: None,
+            recorder: None,
         }
+    }
+
+    /// Turns on the flight recorder for this session: every protocol phase
+    /// (handshake, per-query exchanges, the SMC primitives underneath)
+    /// records begin/end span edges into `recorder`, each stamped with a
+    /// wall-clock time and a channel [`ppds_observe::MetricsSnapshot`]. The
+    /// finished trace rides back on [`SessionOutcome::trace`], ready for
+    /// [`SessionTrace::rollup`] or Chrome/Perfetto export via
+    /// [`SessionTrace::to_chrome_json`].
+    ///
+    /// Tracing is observational only — protocol outputs, leakage logs, Yao
+    /// ledgers, and wire bytes are byte-identical with and without it.
+    /// Untraced sessions pay one thread-local read per would-be span.
+    pub fn trace(mut self, recorder: Arc<SpanRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Enables randomizer precomputation for this session (see
@@ -754,7 +793,11 @@ impl Participant {
             .ok_or_else(|| CoreError::config("participant needs data: call .data(..)"))?;
         let ctx = Self::take_ctx(self.ctx)?;
         let cfg = self.cfg;
-        match &data {
+        let recorder = self.recorder;
+        let guard = recorder
+            .clone()
+            .map(|rec| trace::install(rec as Arc<dyn TraceSink>));
+        let result = match &data {
             PartyData::Horizontal(points) => run_two_party_pooled(
                 chan,
                 &cfg,
@@ -794,7 +837,13 @@ impl Participant {
             PartyData::Multiparty(_) => Err(CoreError::config(
                 "multiparty data runs over a mesh: call .run_mesh(..) instead of .run(..)",
             )),
+        };
+        drop(guard);
+        let mut outcome = result?;
+        if let Some(rec) = recorder {
+            outcome.trace = Some(rec.finish());
         }
+        Ok(outcome)
     }
 
     /// Runs this participant as node `my_id` of a `k_parties`-node mesh.
@@ -817,7 +866,11 @@ impl Participant {
             ));
         };
         let ctx = Self::take_ctx(self.ctx)?;
-        crate::multiparty::run_mesh_node(
+        let recorder = self.recorder;
+        let guard = recorder
+            .clone()
+            .map(|rec| trace::install(rec as Arc<dyn TraceSink>));
+        let result = crate::multiparty::run_mesh_node(
             peers,
             my_id,
             k_parties,
@@ -825,7 +878,13 @@ impl Participant {
             &points,
             self.keypair,
             &ctx,
-        )
+        );
+        drop(guard);
+        let mut outcome = result?;
+        if let Some(rec) = recorder {
+            outcome.trace = Some(rec.finish());
+        }
+        Ok(outcome)
     }
 }
 

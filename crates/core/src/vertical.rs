@@ -20,6 +20,7 @@ use crate::session::{
 };
 use crate::vdp::{local_delta_sq, vdp_compare_set_alice, vdp_compare_set_bob};
 use ppds_dbscan::{Clustering, DbscanParams, Label, Point};
+use ppds_observe::trace;
 use ppds_smc::{LeakageEvent, LeakageLog, Party, ProtocolContext};
 use ppds_transport::Channel;
 use std::collections::VecDeque;
@@ -175,6 +176,7 @@ impl ModeDriver for VerticalDriver<'_> {
         let mut q = 0u64;
         let dist_leq_set = |x: usize, ys: &[usize]| -> Result<Vec<bool>, CoreError> {
             let qctx = region_ctx.at(q);
+            let span = trace::span_with(|| format!("region#{q}"), || chan.metrics());
             q += 1;
             let locals: Vec<u64> = ys
                 .iter()
@@ -200,6 +202,7 @@ impl ModeDriver for VerticalDriver<'_> {
                     ledger,
                 )?,
             };
+            span.end(|| chan.metrics());
             Ok(result)
         };
         lockstep_dbscan(attrs.len(), cfg.params, dist_leq_set, &mut log.leakage)

@@ -4,6 +4,7 @@ use crate::job::{ClusteringJob, JobId, JobResult};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use ppdbscan::config::YaoLedger;
 use ppdbscan::run_session;
+use ppds_observe::MetricsRegistry;
 use ppds_paillier::{FillerHandle, Keypair, PoolStats, RandomizerPool};
 use ppds_transport::MetricsSnapshot;
 use rand::rngs::StdRng;
@@ -100,6 +101,8 @@ struct EngineShared {
     completed: AtomicU64,
     failed: AtomicU64,
     rollup: Mutex<Rollup>,
+    /// Operator-facing gauges and counters; see [`Engine::registry`].
+    registry: Arc<MetricsRegistry>,
 }
 
 #[derive(Default)]
@@ -137,6 +140,7 @@ impl Engine {
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             rollup: Mutex::new(Rollup::default()),
+            registry: Arc::new(MetricsRegistry::new()),
         });
 
         let workers = (0..config.workers)
@@ -176,6 +180,8 @@ impl Engine {
     pub fn submit(&self, job: ClusteringJob) -> JobId {
         let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.registry.counter("engine_jobs_submitted").inc();
+        self.shared.registry.gauge("engine_queue_depth").inc();
         self.sender
             .as_ref()
             .expect("engine not shut down")
@@ -256,6 +262,16 @@ impl Engine {
         self.service_keypair.as_ref()
     }
 
+    /// The operator metrics registry: scheduler gauges
+    /// (`engine_queue_depth`, `engine_in_flight`), job counters
+    /// (`engine_jobs_submitted` / `_completed` / `_failed`), and per-mode
+    /// traffic rollups. Cheap to clone and safe to scrape from any thread
+    /// while jobs run; see [`ppds_observe::MetricsRegistry::render_text`]
+    /// for the exposition format.
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.shared.registry)
+    }
+
     /// Point-in-time aggregated rollups.
     pub fn report(&self) -> EngineReport {
         let rollup = self.shared.rollup.lock().unwrap();
@@ -296,7 +312,13 @@ impl Drop for Engine {
 }
 
 fn worker_loop(rx: &Receiver<(JobId, ClusteringJob)>, shared: &EngineShared) {
+    let queue_depth = shared.registry.gauge("engine_queue_depth");
+    let in_flight = shared.registry.gauge("engine_in_flight");
+    let jobs_completed = shared.registry.counter("engine_jobs_completed");
+    let jobs_failed = shared.registry.counter("engine_jobs_failed");
     while let Ok((id, job)) = rx.recv() {
+        queue_depth.dec();
+        in_flight.inc();
         let mode = job.request.mode_name();
         let start = Instant::now();
         let outcome = run_session(&job.cfg, &job.request, job.seed);
@@ -320,6 +342,7 @@ fn worker_loop(rx: &Receiver<(JobId, ClusteringJob)>, shared: &EngineShared) {
             rollup.yao.absorb(yao);
             rollup.busy += wall_time;
         }
+        shared.registry.record_traffic(mode, traffic);
 
         let succeeded = outcome.is_ok();
         let result = Arc::new(JobResult {
@@ -338,9 +361,14 @@ fn worker_loop(rx: &Receiver<(JobId, ClusteringJob)>, shared: &EngineShared) {
             results.insert(id.0, result);
             if succeeded {
                 shared.completed.fetch_add(1, Ordering::Relaxed);
+                jobs_completed.inc();
             } else {
                 shared.failed.fetch_add(1, Ordering::Relaxed);
+                jobs_failed.inc();
             }
+            // Under the same lock as the finished counters: a waiter that
+            // observes the drain also observes in-flight back at zero.
+            in_flight.dec();
         }
         shared.job_done.notify_all();
     }

@@ -290,6 +290,31 @@ fn report_rolls_up_exactly_the_sum_of_job_results() {
 }
 
 #[test]
+fn registry_gauges_converge_to_zero_at_drain() {
+    let engine = Engine::start(EngineConfig::with_workers(3));
+    let registry = engine.registry();
+    engine.submit_all((0..6).map(horizontal_job));
+    assert_eq!(registry.counter("engine_jobs_submitted").get(), 6);
+    let results = engine.wait_all();
+    assert_eq!(results.len(), 6);
+    // Drained: every queued job was picked up and every picked-up job
+    // finished, so both scheduler gauges are back at zero.
+    assert_eq!(registry.gauge("engine_queue_depth").get(), 0);
+    assert_eq!(registry.gauge("engine_in_flight").get(), 0);
+    assert_eq!(registry.counter("engine_jobs_completed").get(), 6);
+    assert_eq!(registry.counter("engine_jobs_failed").get(), 0);
+    // Per-mode traffic rollup matches the per-job sum the report carries.
+    let expected: MetricsSnapshot = results.iter().map(|r| r.traffic).sum();
+    assert_eq!(registry.traffic("horizontal"), Some(expected));
+    let text = registry.render_text();
+    assert!(text.contains("engine_jobs_completed 6"), "{text}");
+    // The registry outlives the engine handle: scraping after shutdown
+    // still sees the final counters.
+    engine.shutdown();
+    assert_eq!(registry.counter("engine_jobs_completed").get(), 6);
+}
+
+#[test]
 fn take_removes_results_but_keeps_rollups() {
     let engine = Engine::start(EngineConfig::with_workers(2));
     let ids = engine.submit_all((0..3).map(horizontal_job));

@@ -1,0 +1,428 @@
+//! Finished traces: schema validation, per-phase rollups, Chrome export.
+
+use crate::sink::{SpanKind, TraceEvent};
+use ppds_transport::MetricsSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Everything a [`crate::SpanRecorder`] captured for one session.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SessionTrace {
+    /// Recorded span edges, in slot-claim order (per-thread program order).
+    pub events: Vec<TraceEvent>,
+    /// Edges discarded because the recorder's buffer filled.
+    pub dropped: u64,
+}
+
+/// A malformed span structure, found by [`SessionTrace::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// An end edge arrived on a thread with no span open.
+    OrphanEnd {
+        /// The offending end label.
+        label: String,
+        /// The thread it arrived on.
+        thread: u64,
+    },
+    /// An end edge closed a different label than the innermost open span.
+    MismatchedEnd {
+        /// The innermost open span's label.
+        expected: String,
+        /// The label the end edge carried.
+        got: String,
+        /// The thread it arrived on.
+        thread: u64,
+    },
+    /// A span was still open when the trace ended.
+    UnclosedSpan {
+        /// The unclosed span's label.
+        label: String,
+        /// The thread it was opened on.
+        thread: u64,
+    },
+    /// The recorder dropped edges, so nesting cannot be verified.
+    Dropped(u64),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::OrphanEnd { label, thread } => {
+                write!(f, "end of \"{label}\" on thread {thread} with no span open")
+            }
+            TraceError::MismatchedEnd {
+                expected,
+                got,
+                thread,
+            } => write!(
+                f,
+                "end of \"{got}\" on thread {thread} while \"{expected}\" is innermost"
+            ),
+            TraceError::UnclosedSpan { label, thread } => {
+                write!(f, "span \"{label}\" on thread {thread} never ended")
+            }
+            TraceError::Dropped(n) => write!(f, "{n} events dropped (recorder buffer full)"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// One row of the flat per-phase table: every occurrence of one normalized
+/// step path, aggregated.
+///
+/// Paths are the `/`-joined span labels from the root, with per-instance
+/// `#index` suffixes stripped (`execute/query#3/cmp_batch` and
+/// `execute/query#7/cmp_batch` both roll up under
+/// `execute/query/cmp_batch`). A parent span's figures *include* its
+/// children — the table attributes each quantity at every depth, it does
+/// not partition it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseRollup {
+    /// Normalized step path.
+    pub path: String,
+    /// Spans aggregated into this row.
+    pub count: u64,
+    /// Summed wall time between begin and end edges, nanoseconds.
+    pub wall_ns: u64,
+    /// Summed traffic deltas (end snapshot minus begin snapshot).
+    pub traffic: MetricsSnapshot,
+}
+
+/// `"query#3"` → `"query"`: strips one trailing `#<digits>` instance
+/// index so per-query spans aggregate per step.
+fn normalize(label: &str) -> &str {
+    match label.rsplit_once('#') {
+        Some((head, idx)) if !idx.is_empty() && idx.bytes().all(|b| b.is_ascii_digit()) => head,
+        _ => label,
+    }
+}
+
+/// A span paired with its full path, produced by the replay.
+struct ClosedSpan {
+    /// Normalized `/`-joined path from the thread's span root.
+    path: String,
+    /// Depth 0 = no enclosing span on its thread.
+    depth: usize,
+    wall_ns: u64,
+    delta: MetricsSnapshot,
+}
+
+impl SessionTrace {
+    /// Number of recorded edges.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Replays the per-thread event sequences into closed spans, enforcing
+    /// the schema along the way (every end matches the innermost begin on
+    /// its thread; nothing left open; nothing dropped).
+    fn replay(&self) -> Result<Vec<ClosedSpan>, TraceError> {
+        if self.dropped > 0 {
+            return Err(TraceError::Dropped(self.dropped));
+        }
+        let mut stacks: BTreeMap<u64, Vec<&TraceEvent>> = BTreeMap::new();
+        let mut closed = Vec::new();
+        for event in &self.events {
+            let stack = stacks.entry(event.thread).or_default();
+            match event.kind {
+                SpanKind::Begin => stack.push(event),
+                SpanKind::End => {
+                    let Some(begin) = stack.pop() else {
+                        return Err(TraceError::OrphanEnd {
+                            label: event.label.clone(),
+                            thread: event.thread,
+                        });
+                    };
+                    if begin.label != event.label {
+                        return Err(TraceError::MismatchedEnd {
+                            expected: begin.label.clone(),
+                            got: event.label.clone(),
+                            thread: event.thread,
+                        });
+                    }
+                    let mut path = String::new();
+                    for ancestor in stack.iter() {
+                        path.push_str(normalize(&ancestor.label));
+                        path.push('/');
+                    }
+                    path.push_str(normalize(&event.label));
+                    closed.push(ClosedSpan {
+                        path,
+                        depth: stack.len(),
+                        wall_ns: event.t_ns.saturating_sub(begin.t_ns),
+                        delta: begin.metrics.delta(&event.metrics),
+                    });
+                }
+            }
+        }
+        for (thread, stack) in &stacks {
+            if let Some(open) = stack.last() {
+                return Err(TraceError::UnclosedSpan {
+                    label: open.label.clone(),
+                    thread: *thread,
+                });
+            }
+        }
+        Ok(closed)
+    }
+
+    /// Checks the span schema: every end edge closes the innermost open
+    /// begin on its thread, no span is left open, and no edge was dropped.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        self.replay().map(|_| ())
+    }
+
+    /// The flat per-phase table: one [`PhaseRollup`] per normalized step
+    /// path, sorted by path.
+    pub fn rollup(&self) -> Result<Vec<PhaseRollup>, TraceError> {
+        let mut rows: BTreeMap<String, PhaseRollup> = BTreeMap::new();
+        for span in self.replay()? {
+            let row = rows
+                .entry(span.path.clone())
+                .or_insert_with(|| PhaseRollup {
+                    path: span.path,
+                    count: 0,
+                    wall_ns: 0,
+                    traffic: MetricsSnapshot::default(),
+                });
+            row.count += 1;
+            row.wall_ns += span.wall_ns;
+            row.traffic += span.delta;
+        }
+        Ok(rows.into_values().collect())
+    }
+
+    /// Sum of the traffic deltas of every *top-level* span (depth 0 on its
+    /// thread). For a session traced by the driver dispatch — where every
+    /// wire byte flows inside a top-level phase span — this equals the
+    /// session's total [`MetricsSnapshot`]; the `trace_parity` integration
+    /// test pins that identity.
+    pub fn top_level_traffic(&self) -> Result<MetricsSnapshot, TraceError> {
+        Ok(self
+            .replay()?
+            .into_iter()
+            .filter(|span| span.depth == 0)
+            .map(|span| span.delta)
+            .sum())
+    }
+
+    /// This trace as a self-contained Chrome trace-event JSON document
+    /// (`{"traceEvents": [...]}`), loadable in `chrome://tracing` or
+    /// Perfetto. `process` names the pid-0 process (conventionally the
+    /// protocol mode).
+    pub fn to_chrome_json(&self, process: &str) -> String {
+        chrome_trace(&[(process, self)])
+    }
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Several traces as one Chrome trace-event JSON document, one process
+/// (pid) per named trace — the shape `experiments --trace` writes, with
+/// every protocol mode side by side on one timeline.
+pub fn chrome_trace(sessions: &[(&str, &SessionTrace)]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut emit = |line: String, out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&line);
+    };
+    for (pid, (name, trace)) in sessions.iter().enumerate() {
+        let mut line = format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\""
+        );
+        escape_json(name, &mut line);
+        line.push_str("\"}}");
+        emit(line, &mut out);
+        for event in &trace.events {
+            let ph = match event.kind {
+                SpanKind::Begin => "B",
+                SpanKind::End => "E",
+            };
+            let m = &event.metrics;
+            let mut line = String::from("{\"name\":\"");
+            escape_json(&event.label, &mut line);
+            let _ = write!(
+                line,
+                "\",\"ph\":\"{ph}\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts:.3},\"args\":{{\
+                 \"bytes_sent\":{bs},\"bytes_received\":{br},\"messages_sent\":{ms},\
+                 \"messages_received\":{mr},\"rounds_sent\":{rs},\"rounds_received\":{rr}}}}}",
+                tid = event.thread,
+                ts = event.t_ns as f64 / 1_000.0,
+                bs = m.bytes_sent,
+                br = m.bytes_received,
+                ms = m.messages_sent,
+                mr = m.messages_received,
+                rs = m.rounds_sent,
+                rr = m.rounds_received,
+            );
+            emit(line, &mut out);
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: SpanKind, label: &str, thread: u64, t_ns: u64, bytes: u64) -> TraceEvent {
+        TraceEvent {
+            kind,
+            label: label.into(),
+            thread,
+            t_ns,
+            metrics: MetricsSnapshot {
+                bytes_sent: bytes,
+                ..Default::default()
+            },
+        }
+    }
+
+    fn well_formed() -> SessionTrace {
+        SessionTrace {
+            events: vec![
+                ev(SpanKind::Begin, "establish", 0, 0, 0),
+                ev(SpanKind::End, "establish", 0, 100, 40),
+                ev(SpanKind::Begin, "execute", 0, 110, 40),
+                ev(SpanKind::Begin, "query#0", 0, 120, 40),
+                ev(SpanKind::End, "query#0", 0, 200, 90),
+                ev(SpanKind::Begin, "query#1", 0, 210, 90),
+                ev(SpanKind::End, "query#1", 0, 300, 140),
+                ev(SpanKind::End, "execute", 0, 310, 140),
+            ],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn validates_and_rolls_up() {
+        let trace = well_formed();
+        trace.validate().unwrap();
+        let rows = trace.rollup().unwrap();
+        let paths: Vec<&str> = rows.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(paths, ["establish", "execute", "execute/query"]);
+        let query = &rows[2];
+        assert_eq!(query.count, 2, "indexes stripped, instances aggregated");
+        assert_eq!(query.wall_ns, 80 + 90);
+        assert_eq!(query.traffic.bytes_sent, 50 + 50);
+        assert_eq!(rows[1].traffic.bytes_sent, 100, "parent includes children");
+    }
+
+    #[test]
+    fn top_level_deltas_sum() {
+        let total = well_formed().top_level_traffic().unwrap();
+        assert_eq!(total.bytes_sent, 140);
+    }
+
+    #[test]
+    fn schema_errors_are_caught() {
+        let orphan = SessionTrace {
+            events: vec![ev(SpanKind::End, "x", 0, 0, 0)],
+            dropped: 0,
+        };
+        assert!(matches!(
+            orphan.validate(),
+            Err(TraceError::OrphanEnd { .. })
+        ));
+
+        let mismatched = SessionTrace {
+            events: vec![
+                ev(SpanKind::Begin, "a", 0, 0, 0),
+                ev(SpanKind::End, "b", 0, 1, 0),
+            ],
+            dropped: 0,
+        };
+        assert!(matches!(
+            mismatched.validate(),
+            Err(TraceError::MismatchedEnd { .. })
+        ));
+
+        let unclosed = SessionTrace {
+            events: vec![ev(SpanKind::Begin, "a", 0, 0, 0)],
+            dropped: 0,
+        };
+        assert!(matches!(
+            unclosed.validate(),
+            Err(TraceError::UnclosedSpan { .. })
+        ));
+
+        let dropped = SessionTrace {
+            events: vec![],
+            dropped: 3,
+        };
+        assert_eq!(dropped.validate(), Err(TraceError::Dropped(3)));
+    }
+
+    #[test]
+    fn threads_have_independent_stacks() {
+        let trace = SessionTrace {
+            events: vec![
+                ev(SpanKind::Begin, "main", 0, 0, 0),
+                ev(SpanKind::Begin, "worker", 1, 5, 0),
+                ev(SpanKind::End, "worker", 1, 10, 0),
+                ev(SpanKind::End, "main", 0, 20, 7),
+            ],
+            dropped: 0,
+        };
+        trace.validate().unwrap();
+        let total = trace.top_level_traffic().unwrap();
+        assert_eq!(total.bytes_sent, 7, "worker spans contribute zero deltas");
+    }
+
+    #[test]
+    fn chrome_export_is_json_with_all_events() {
+        let trace = well_formed();
+        let json = trace.to_chrome_json("vertical");
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"vertical\""));
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 4);
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 4);
+        assert!(json.contains("\"ts\":0.120"), "ns rendered as µs");
+        // Balanced braces — cheap structural sanity without a JSON parser.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let trace = SessionTrace {
+            events: vec![
+                ev(SpanKind::Begin, "we\"ird\\label", 0, 0, 0),
+                ev(SpanKind::End, "we\"ird\\label", 0, 1, 0),
+            ],
+            dropped: 0,
+        };
+        let json = trace.to_chrome_json("m");
+        assert!(json.contains("we\\\"ird\\\\label"));
+    }
+
+    #[test]
+    fn normalization_strips_only_numeric_suffixes() {
+        assert_eq!(normalize("query#12"), "query");
+        assert_eq!(normalize("query#"), "query#");
+        assert_eq!(normalize("c#mp#3"), "c#mp");
+        assert_eq!(normalize("plain"), "plain");
+    }
+}

@@ -1,0 +1,251 @@
+//! Trace events, the sink trait, and the lock-free [`SpanRecorder`].
+
+use crate::export::SessionTrace;
+use ppds_transport::MetricsSnapshot;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Whether an event opens or closes a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Span begin: the snapshot is the channel state *entering* the phase.
+    Begin,
+    /// Span end: the snapshot is the channel state *leaving* the phase.
+    End,
+}
+
+/// One recorded span edge.
+///
+/// Events on the same thread are strictly ordered (a thread's `record`
+/// calls are sequential), so per-thread begin/end sequences replay into a
+/// well-formed span tree — [`SessionTrace::validate`] checks exactly that.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Begin or end.
+    pub kind: SpanKind,
+    /// Step label, from the same vocabulary as `ProtocolContext::narrow`
+    /// (`"establish"`, `"query#3"`, `"cmp_batch"`, …).
+    pub label: String,
+    /// Recorder-local thread id (dense, starting at 0 in stamp order — not
+    /// the OS thread id).
+    pub thread: u64,
+    /// Nanoseconds since the recorder's epoch.
+    pub t_ns: u64,
+    /// Channel traffic counters at this edge. Spans opened off the session
+    /// thread (e.g. `par_map` workers) have no channel and carry the
+    /// default (all-zero) snapshot on both edges — a zero delta.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Where span edges go. Implementations must be cheap and non-blocking:
+/// the sink is called from the protocol hot path (albeit per *phase*, not
+/// per record) and from `par_map` worker threads concurrently.
+///
+/// The sink is an observer, never a participant: implementations must not
+/// touch the channel, the randomness tree, or any protocol state. The
+/// workspace's trace-parity tests treat any wire or output divergence
+/// between sink-on and sink-off runs as a bug.
+pub trait TraceSink: Send + Sync {
+    /// Records one span edge. `label` is borrowed so disabled or
+    /// discarding sinks never force an allocation.
+    fn record(&self, kind: SpanKind, label: &str, metrics: MetricsSnapshot);
+}
+
+/// The no-op default sink: discards every event. Installing this is
+/// equivalent to (but marginally more expensive than) installing nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn record(&self, _kind: SpanKind, _label: &str, _metrics: MetricsSnapshot) {}
+}
+
+/// Dense per-process thread numbering for trace events. `std`'s `ThreadId`
+/// has no stable integer accessor, and trace viewers want small tids
+/// anyway, so the recorder hands out its own: first thread to record gets
+/// 0, the next 1, and so on.
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// This thread's dense trace id.
+pub(crate) fn current_thread_id() -> u64 {
+    THREAD_ID.with(|id| *id)
+}
+
+/// A lock-free, bounded event buffer: the [`TraceSink`] a traced session
+/// records into.
+///
+/// Appending claims a slot with one `fetch_add` and publishes the event
+/// through a [`OnceLock`] — no mutex anywhere on the record path, so the
+/// session thread and any `par_map` workers never contend. The buffer is
+/// bounded (capacity fixed at construction); events past the end are
+/// counted in [`SpanRecorder::dropped_events`] rather than blocking or
+/// reallocating. Slot order is the global event order; each thread's own
+/// events are claimed in program order, which is all the span-tree replay
+/// needs.
+///
+/// One recorder traces one session: [`SpanRecorder::finish`] snapshots the
+/// buffer into a [`SessionTrace`] for export.
+pub struct SpanRecorder {
+    epoch: Instant,
+    slots: Box<[OnceLock<TraceEvent>]>,
+    next: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+impl SpanRecorder {
+    /// Default slot count — generous for any workload in this repo (a
+    /// traced n = 36 session records a few thousand edges).
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// A recorder with [`SpanRecorder::DEFAULT_CAPACITY`] slots, ready to
+    /// hand to `Participant::trace`.
+    pub fn new() -> Arc<SpanRecorder> {
+        SpanRecorder::with_capacity(SpanRecorder::DEFAULT_CAPACITY)
+    }
+
+    /// A recorder with exactly `capacity` event slots.
+    pub fn with_capacity(capacity: usize) -> Arc<SpanRecorder> {
+        Arc::new(SpanRecorder {
+            epoch: Instant::now(),
+            slots: (0..capacity).map(|_| OnceLock::new()).collect(),
+            next: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// Events recorded so far (clamped to capacity).
+    pub fn len(&self) -> usize {
+        self.next.load(Ordering::Acquire).min(self.slots.len())
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events that arrived after the buffer filled and were discarded.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots the recorded events into an exportable [`SessionTrace`].
+    /// Call after the traced session completes (concurrent recording is
+    /// safe but still-in-flight events may be missed).
+    pub fn finish(&self) -> SessionTrace {
+        let events = self.slots[..self.len()]
+            .iter()
+            .filter_map(|slot| slot.get().cloned())
+            .collect();
+        SessionTrace {
+            events,
+            dropped: self.dropped_events(),
+        }
+    }
+}
+
+impl TraceSink for SpanRecorder {
+    fn record(&self, kind: SpanKind, label: &str, metrics: MetricsSnapshot) {
+        let slot = self.next.fetch_add(1, Ordering::AcqRel);
+        let Some(cell) = self.slots.get(slot) else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let event = TraceEvent {
+            kind,
+            label: label.to_owned(),
+            thread: current_thread_id(),
+            t_ns: self.epoch.elapsed().as_nanos() as u64,
+            metrics,
+        };
+        cell.set(event).expect("slot claimed exclusively");
+    }
+}
+
+impl std::fmt::Debug for SpanRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRecorder")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.len())
+            .field("dropped", &self.dropped_events())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_keeps_claim_order_and_counts_drops() {
+        let rec = SpanRecorder::with_capacity(4);
+        for i in 0..6u64 {
+            rec.record(
+                SpanKind::Begin,
+                &format!("s{i}"),
+                MetricsSnapshot::default(),
+            );
+        }
+        assert_eq!(rec.len(), 4);
+        assert_eq!(rec.dropped_events(), 2);
+        let trace = rec.finish();
+        let labels: Vec<&str> = trace.events.iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, ["s0", "s1", "s2", "s3"]);
+        assert_eq!(trace.dropped, 2);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing_under_capacity() {
+        let rec = SpanRecorder::with_capacity(1024);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let rec = Arc::clone(&rec);
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        rec.record(
+                            SpanKind::Begin,
+                            &format!("t{t}.{i}"),
+                            MetricsSnapshot::default(),
+                        );
+                        rec.record(
+                            SpanKind::End,
+                            &format!("t{t}.{i}"),
+                            MetricsSnapshot::default(),
+                        );
+                    }
+                });
+            }
+        });
+        let trace = rec.finish();
+        assert_eq!(trace.events.len(), 800);
+        assert_eq!(trace.dropped, 0);
+        // Each thread's own events stay in program order.
+        for t in 0..4 {
+            let thread_events: Vec<&TraceEvent> = trace
+                .events
+                .iter()
+                .filter(|e| e.label.starts_with(&format!("t{t}.")))
+                .collect();
+            assert_eq!(thread_events.len(), 200);
+            for pair in thread_events.chunks(2) {
+                assert_eq!(pair[0].kind, SpanKind::Begin);
+                assert_eq!(pair[1].kind, SpanKind::End);
+                assert_eq!(pair[0].label, pair[1].label);
+            }
+        }
+    }
+
+    #[test]
+    fn timestamps_are_monotonic_per_thread() {
+        let rec = SpanRecorder::new();
+        rec.record(SpanKind::Begin, "a", MetricsSnapshot::default());
+        rec.record(SpanKind::End, "a", MetricsSnapshot::default());
+        let trace = rec.finish();
+        assert!(trace.events[0].t_ns <= trace.events[1].t_ns);
+        assert_eq!(trace.events[0].thread, trace.events[1].thread);
+    }
+}

@@ -21,6 +21,7 @@
 use crate::context::ProtocolContext;
 use crate::error::SmcError;
 use crate::millionaires::{self, YaoConfig};
+use ppds_observe::trace;
 use ppds_paillier::{Keypair, PublicKey};
 use ppds_transport::Channel;
 
@@ -192,11 +193,12 @@ pub fn compare_batch_alice<C: Channel>(
     if values.is_empty() {
         return Ok(Vec::new());
     }
+    let span = trace::span("cmp_batch", || chan.metrics());
     let is: Vec<u64> = values
         .iter()
         .map(|&v| domain.encode(v))
         .collect::<Result<_, _>>()?;
-    match comparator {
+    let out = match comparator {
         Comparator::Yao => is
             .iter()
             .enumerate()
@@ -211,7 +213,9 @@ pub fn compare_batch_alice<C: Channel>(
             crate::bitwise::dgk_batch_packed_alice(chan, keypair, &is, domain.n0(), ctx)
         }
         Comparator::Dgk => crate::bitwise::dgk_batch_alice(chan, keypair, &is, domain.n0(), ctx),
-    }
+    }?;
+    span.end(|| chan.metrics());
+    Ok(out)
 }
 
 /// Round-batched Bob side of [`compare_batch_alice`].
@@ -229,6 +233,7 @@ pub fn compare_batch_bob<C: Channel>(
     if values.is_empty() {
         return Ok(Vec::new());
     }
+    let span = trace::span("cmp_batch", || chan.metrics());
     let j_effs: Vec<u64> = values
         .iter()
         .map(|&v| {
@@ -238,7 +243,7 @@ pub fn compare_batch_bob<C: Channel>(
             })
         })
         .collect::<Result<_, _>>()?;
-    match comparator {
+    let out = match comparator {
         Comparator::Yao => j_effs
             .iter()
             .enumerate()
@@ -251,7 +256,9 @@ pub fn compare_batch_bob<C: Channel>(
             crate::bitwise::dgk_batch_packed_bob(chan, alice_pk, &j_effs, domain.n0(), ctx)
         }
         Comparator::Dgk => crate::bitwise::dgk_batch_bob(chan, alice_pk, &j_effs, domain.n0(), ctx),
-    }
+    }?;
+    span.end(|| chan.metrics());
+    Ok(out)
 }
 
 /// Share comparison (§5): Alice holds `u_a, u_b`, Bob holds `v_a, v_b`,

@@ -24,6 +24,7 @@ use crate::compare::{
 };
 use crate::context::ProtocolContext;
 use crate::error::SmcError;
+use ppds_observe::trace;
 use ppds_paillier::{Keypair, PublicKey};
 use ppds_transport::Channel;
 
@@ -142,6 +143,7 @@ fn kth_alice_impl<C: Channel>(
     ctx: &ProtocolContext,
     batched: bool,
 ) -> Result<SelectionOutcome, SmcError> {
+    let span = trace::span("kth", || chan.metrics());
     let mut less_many = |pairs: &[(usize, usize)], chan: &mut C, scope: &ProtocolContext| {
         if let [(a, b)] = pairs {
             // Single-pair calls keep the unbatched wire format byte-exact;
@@ -163,7 +165,9 @@ fn kth_alice_impl<C: Channel>(
             scope,
         )
     };
-    kth_engine(shares.len(), k, method, batched, chan, ctx, &mut less_many)
+    let out = kth_engine(shares.len(), k, method, batched, chan, ctx, &mut less_many)?;
+    span.end(|| chan.metrics());
+    Ok(out)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -179,6 +183,7 @@ fn kth_bob_impl<C: Channel>(
     ctx: &ProtocolContext,
     batched: bool,
 ) -> Result<SelectionOutcome, SmcError> {
+    let span = trace::span("kth", || chan.metrics());
     let mut less_many = |pairs: &[(usize, usize)], chan: &mut C, scope: &ProtocolContext| {
         if let [(a, b)] = pairs {
             return share_less_than_bob(
@@ -198,7 +203,9 @@ fn kth_bob_impl<C: Channel>(
             scope,
         )
     };
-    kth_engine(shares.len(), k, method, batched, chan, ctx, &mut less_many)
+    let out = kth_engine(shares.len(), k, method, batched, chan, ctx, &mut less_many)?;
+    span.end(|| chan.metrics());
+    Ok(out)
 }
 
 /// Role-neutral engine: identical deterministic control flow on both sides,

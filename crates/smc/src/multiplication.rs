@@ -31,6 +31,7 @@ use crate::context::ProtocolContext;
 use crate::error::SmcError;
 use crate::parallel::par_map;
 use ppds_bigint::{random, BigInt, BigUint};
+use ppds_observe::{trace, MetricsSnapshot};
 use ppds_paillier::{Ciphertext, Keypair, PublicKey, SlotLayout};
 use ppds_transport::Channel;
 use rand::Rng;
@@ -102,6 +103,9 @@ pub(crate) fn unpack_words(
             words.len()
         )));
     }
+    // CPU-only phase: the span attributes wall time; its traffic delta is
+    // structurally zero (no channel in scope).
+    let span = trace::span("unpack", MetricsSnapshot::default);
     let plains: Vec<BigUint> = par_map(words, |_, raw| {
         Ok::<_, SmcError>(
             keypair
@@ -114,6 +118,7 @@ pub(crate) fn unpack_words(
         let remaining = count - w * layout.capacity();
         out.extend(layout.split_word(plain, remaining));
     }
+    span.end(MetricsSnapshot::default);
     Ok(out)
 }
 
@@ -293,6 +298,7 @@ where
     if xs_groups.is_empty() {
         return Ok(Vec::new());
     }
+    let span = trace::span("mul_batch", || chan.metrics());
     let cts_groups: Vec<Vec<BigUint>> = par_map(xs_groups, |g, xs| {
         let mut rng = scopes(g).rng();
         xs.iter()
@@ -313,10 +319,12 @@ where
         let total: usize = xs_groups.iter().map(Vec::len).sum();
         let flat = packing.unpack_signed(keypair, &words, total)?;
         let mut flat = flat.into_iter();
-        return Ok(xs_groups
+        let out = xs_groups
             .iter()
             .map(|xs| (&mut flat).take(xs.len()).collect())
-            .collect());
+            .collect();
+        span.end(|| chan.metrics());
+        return Ok(out);
     }
     let responses: Vec<Vec<BigUint>> = chan.recv_batch()?;
     if responses.len() != xs_groups.len() {
@@ -341,12 +349,14 @@ where
         .into_iter()
         .map(|group| group.into_iter().map(Ciphertext::from_biguint).collect())
         .collect();
-    par_map(&response_groups, |_, group| {
+    let out: Vec<Vec<BigInt>> = par_map(&response_groups, |_, group| {
         group
             .iter()
-            .map(|c| Ok(keypair.private.decrypt_signed(c)?))
+            .map(|c| Ok::<_, SmcError>(keypair.private.decrypt_signed(c)?))
             .collect()
-    })
+    })?;
+    span.end(|| chan.metrics());
+    Ok(out)
 }
 
 /// Round-batched peer side of [`mul_batches_keyholder`]: one coefficient
@@ -378,6 +388,7 @@ where
     if ys_groups.is_empty() {
         return Ok(Vec::new());
     }
+    let span = trace::span("mul_batch", || chan.metrics());
     let cts_groups: Vec<Vec<BigUint>> = chan.recv_batch()?;
     if cts_groups.len() != ys_groups.len() {
         return Err(SmcError::protocol(format!(
@@ -436,6 +447,7 @@ where
         )?;
         let wire: Vec<BigUint> = words.iter().map(|c| c.as_biguint().clone()).collect();
         chan.send(&wire)?;
+        span.end(|| chan.metrics());
         return Ok(all_masks);
     }
     let responses: Vec<Vec<BigUint>> = par_map(&cts_groups, |g, cts| {
@@ -452,6 +464,7 @@ where
         Ok::<_, SmcError>(group_out)
     })?;
     chan.send_batch(&responses)?;
+    span.end(|| chan.metrics());
     Ok(all_masks)
 }
 
@@ -526,6 +539,7 @@ pub fn dot_many_keyholder<C: Channel>(
     packing: Option<&ResponsePacking>,
     ctx: &ProtocolContext,
 ) -> Result<Vec<BigInt>, SmcError> {
+    let span = trace::span("dot_many", || chan.metrics());
     let mut rng = ctx.rng();
     let cts: Vec<BigUint> = xs
         .iter()
@@ -541,7 +555,9 @@ pub fn dot_many_keyholder<C: Channel>(
     if let Some(packing) = packing {
         // Packed reply: ⌈count/capacity⌉ words — the querier's decryption
         // bill scales with neighborhoods, not with candidate points.
-        return packing.unpack_signed(keypair, &responses, expected_responses);
+        let out = packing.unpack_signed(keypair, &responses, expected_responses)?;
+        span.end(|| chan.metrics());
+        return Ok(out);
     }
     if responses.len() != expected_responses {
         return Err(SmcError::protocol(format!(
@@ -549,14 +565,16 @@ pub fn dot_many_keyholder<C: Channel>(
             responses.len()
         )));
     }
-    responses
+    let out = responses
         .into_iter()
         .map(|c| {
             Ok(keypair
                 .private
                 .decrypt_signed(&Ciphertext::from_biguint(c))?)
         })
-        .collect()
+        .collect::<Result<Vec<_>, SmcError>>()?;
+    span.end(|| chan.metrics());
+    Ok(out)
 }
 
 /// Peer side of [`dot_many_keyholder`]: one coefficient row per response,
@@ -572,6 +590,7 @@ pub fn dot_many_peer<C: Channel>(
     packing: Option<&ResponsePacking>,
     ctx: &ProtocolContext,
 ) -> Result<Vec<BigInt>, SmcError> {
+    let span = trace::span("dot_many", || chan.metrics());
     let cts_raw: Vec<BigUint> = chan.recv()?;
     let mut cts = Vec::with_capacity(cts_raw.len());
     for raw in cts_raw {
@@ -618,6 +637,7 @@ pub fn dot_many_peer<C: Channel>(
         )?;
         let wire: Vec<BigUint> = words.iter().map(|c| c.as_biguint().clone()).collect();
         chan.send(&wire)?;
+        span.end(|| chan.metrics());
         return Ok(masks);
     }
     let per_row: Vec<(BigUint, BigInt)> = par_map(ys_rows, |j, ys| {
@@ -641,6 +661,7 @@ pub fn dot_many_peer<C: Channel>(
     })?;
     let (responses, masks): (Vec<BigUint>, Vec<BigInt>) = per_row.into_iter().unzip();
     chan.send(&responses)?;
+    span.end(|| chan.metrics());
     Ok(masks)
 }
 

@@ -17,6 +17,7 @@
 //! any machine.
 
 use crossbeam::channel;
+use ppds_observe::{trace, MetricsSnapshot};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
@@ -110,12 +111,19 @@ where
     let min_err = AtomicUsize::new(usize::MAX);
     let slots: Mutex<Vec<Option<Result<O, E>>>> =
         Mutex::new((0..items.len()).map(|_| None).collect());
+    // Worker threads inherit the caller's trace sink (the TLS install is
+    // per-thread), so span events emitted inside `f` land in the same
+    // recorder as the protocol phase that spawned the batch.
+    let sink = trace::current();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let job_rx = job_rx.clone();
             let (slots, min_err) = (&slots, &min_err);
             let f = &f;
+            let sink = sink.clone();
             scope.spawn(move || {
+                let _guard = sink.map(trace::install);
+                let worker_span = trace::span("par_worker", MetricsSnapshot::default);
                 while let Ok(i) = job_rx.recv() {
                     // Indices beyond a known failure can never influence
                     // the result (the lowest error wins); indices below it
@@ -129,6 +137,8 @@ where
                     }
                     slots.lock().unwrap()[i] = Some(out);
                 }
+                // CPU-only span: attributes worker wall time, zero traffic.
+                worker_span.end(MetricsSnapshot::default);
             });
         }
     });

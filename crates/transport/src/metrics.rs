@@ -126,14 +126,34 @@ impl MetricsSnapshot {
 
     /// Difference between two snapshots of the same counters
     /// (`later - self`), for scoping traffic to a protocol phase.
+    ///
+    /// Subtraction saturates at zero per field: if the counters were reset
+    /// (see [`ChannelMetrics::reset`]) between the two snapshots, the
+    /// "later" values can be smaller than the earlier ones, and a phase
+    /// delta of zero is the honest answer — not a debug-build panic or a
+    /// wrapped astronomically large figure. Debug builds additionally
+    /// assert the snapshots are ordered, since a reset mid-phase almost
+    /// always indicates a measurement bug.
     pub fn delta(&self, later: &MetricsSnapshot) -> MetricsSnapshot {
+        debug_assert!(
+            later.bytes_sent >= self.bytes_sent
+                && later.bytes_received >= self.bytes_received
+                && later.messages_sent >= self.messages_sent
+                && later.messages_received >= self.messages_received
+                && later.rounds_sent >= self.rounds_sent
+                && later.rounds_received >= self.rounds_received,
+            "metrics went backwards between snapshots — was ChannelMetrics::reset \
+             called mid-phase?"
+        );
         MetricsSnapshot {
-            bytes_sent: later.bytes_sent - self.bytes_sent,
-            bytes_received: later.bytes_received - self.bytes_received,
-            messages_sent: later.messages_sent - self.messages_sent,
-            messages_received: later.messages_received - self.messages_received,
-            rounds_sent: later.rounds_sent - self.rounds_sent,
-            rounds_received: later.rounds_received - self.rounds_received,
+            bytes_sent: later.bytes_sent.saturating_sub(self.bytes_sent),
+            bytes_received: later.bytes_received.saturating_sub(self.bytes_received),
+            messages_sent: later.messages_sent.saturating_sub(self.messages_sent),
+            messages_received: later
+                .messages_received
+                .saturating_sub(self.messages_received),
+            rounds_sent: later.rounds_sent.saturating_sub(self.rounds_sent),
+            rounds_received: later.rounds_received.saturating_sub(self.rounds_received),
         }
     }
 
@@ -326,6 +346,23 @@ mod tests {
         assert_eq!(d.bytes_sent, 20 + crate::FRAME_OVERHEAD_BYTES);
         assert_eq!(d.messages_received, 1);
         assert_eq!(d.rounds_received, 1);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "metrics went backwards"))]
+    fn delta_across_a_reset_saturates_instead_of_wrapping() {
+        let m = ChannelMetrics::new_shared();
+        m.record_send(100);
+        let before = m.snapshot();
+        m.reset();
+        m.record_send(5);
+        let after = m.snapshot();
+        // Debug builds flag the mid-phase reset loudly; release builds
+        // saturate to zero rather than wrapping to ~u64::MAX.
+        let d = before.delta(&after);
+        assert_eq!(d.bytes_sent, 0);
+        assert_eq!(d.messages_sent, 0);
+        assert_eq!(d.rounds_sent, 0);
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //!   comparison and k-th order statistic,
 //! * [`ppds_paillier`] — the Paillier cryptosystem with randomizer
 //!   precomputation pools,
+//! * [`ppds_observe`] — the protocol flight recorder: per-phase span
+//!   tracing with traffic attribution, Chrome trace export, and the
+//!   operator metrics registry,
 //! * [`ppds_transport`] — measured two-party channels (in-memory and TCP),
 //! * [`ppds_bigint`] — arbitrary-precision integer substrate.
 
@@ -31,6 +34,7 @@ pub use ppdbscan;
 pub use ppds_bigint;
 pub use ppds_dbscan;
 pub use ppds_engine;
+pub use ppds_observe;
 pub use ppds_paillier;
 pub use ppds_smc;
 pub use ppds_transport;
