@@ -3,7 +3,7 @@
 //! generation — the primitives every protocol cost decomposes into.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ppds_bigint::{modular, prime, random, BigUint};
+use ppds_bigint::{modular, multi_exp, prime, random, BigUint, FixedBaseTable, MontgomeryCtx};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -38,6 +38,92 @@ fn bench_mod_pow(c: &mut Criterion) {
         let exp = random::gen_biguint_exact_bits(&mut r, bits);
         group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bench, _| {
             bench.iter(|| modular::mod_pow(black_box(&base), black_box(&exp), &modulus));
+        });
+    }
+    group.finish();
+}
+
+/// Straus/Pippenger multi-exponentiation against the per-operand ladder it
+/// replaces on the packed-aggregation and dot-product response legs. The
+/// k sweep crosses the Straus→Pippenger cutoff (32).
+fn bench_multi_exp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bigint_multi_exp");
+    group.sample_size(10);
+    let mut r = rng(8);
+    let mut modulus = random::gen_biguint_exact_bits(&mut r, 512);
+    modulus.set_bit(0, true);
+    let ctx = MontgomeryCtx::new(&modulus).unwrap();
+    for k in [4usize, 16, 64, 256] {
+        let operands: Vec<(BigUint, BigUint)> = (0..k)
+            .map(|_| {
+                (
+                    random::gen_biguint_below(&mut r, &modulus),
+                    random::gen_biguint_exact_bits(&mut r, 128),
+                )
+            })
+            .collect();
+        let pairs: Vec<(&BigUint, &BigUint)> = operands.iter().map(|(b, e)| (b, e)).collect();
+        group.bench_with_input(BenchmarkId::new("multi_exp", k), &k, |bench, _| {
+            bench.iter(|| multi_exp(&ctx, black_box(&pairs)));
+        });
+        group.bench_with_input(BenchmarkId::new("naive", k), &k, |bench, _| {
+            bench.iter(|| {
+                operands.iter().fold(BigUint::one(), |acc, (b, e)| {
+                    modular::mod_mul(&acc, &modular::mod_pow(b, e, &modulus), &modulus)
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Fixed-base comb (key-lifetime table, zero squarings at eval) against the
+/// plain windowed ladder, at the modulus sizes the general-`g` Paillier
+/// path actually exponentiates over.
+fn bench_fixed_base(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bigint_fixed_base");
+    group.sample_size(20);
+    let mut r = rng(9);
+    for bits in [512usize, 1024, 2048] {
+        let mut modulus = random::gen_biguint_exact_bits(&mut r, bits);
+        modulus.set_bit(0, true);
+        let ctx = MontgomeryCtx::new(&modulus).unwrap();
+        let base = random::gen_biguint_below(&mut r, &modulus);
+        let exp = random::gen_biguint_exact_bits(&mut r, bits);
+        let table = FixedBaseTable::new(&ctx, &base, 4, bits);
+        group.bench_with_input(BenchmarkId::new("fixed_base", bits), &bits, |bench, _| {
+            bench.iter(|| table.pow(black_box(&exp)));
+        });
+        group.bench_with_input(BenchmarkId::new("plain", bits), &bits, |bench, _| {
+            bench.iter(|| modular::mod_pow(black_box(&base), black_box(&exp), &modulus));
+        });
+    }
+    group.finish();
+}
+
+/// Montgomery batch inversion (one inversion + 3(k−1) multiplications)
+/// against k independent `mod_inverse` calls — the CRT-unpacking and
+/// batch-validation kernel.
+fn bench_batch_inverse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bigint_batch_inverse");
+    let mut r = rng(10);
+    let mut modulus = random::gen_biguint_exact_bits(&mut r, 512);
+    modulus.set_bit(0, true);
+    let ctx = MontgomeryCtx::new(&modulus).unwrap();
+    for k in [4usize, 16, 64] {
+        let values: Vec<BigUint> = (0..k)
+            .map(|_| random::gen_biguint_below(&mut r, &modulus))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("batch", k), &k, |bench, _| {
+            bench.iter(|| modular::batch_mod_inverse_with(&ctx, black_box(&values)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("per_element", k), &k, |bench, _| {
+            bench.iter(|| {
+                values
+                    .iter()
+                    .map(|v| modular::mod_inverse(v, &modulus).unwrap())
+                    .collect::<Vec<_>>()
+            });
         });
     }
     group.finish();
@@ -102,6 +188,9 @@ criterion_group!(
     benches,
     bench_mul,
     bench_mod_pow,
+    bench_multi_exp,
+    bench_fixed_base,
+    bench_batch_inverse,
     bench_div_rem,
     bench_prime_gen,
     bench_miller_rabin,

@@ -2,9 +2,9 @@
 //! both decryption paths (standard vs CRT), and the homomorphic operations
 //! the Multiplication Protocol is built from.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ppds_bigint::{random, BigUint};
-use ppds_paillier::Keypair;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use ppds_bigint::{modular, random, BigUint};
+use ppds_paillier::{Keypair, PublicKey, SlotLayout};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -78,10 +78,90 @@ fn bench_homomorphic_ops(c: &mut Criterion) {
     group.finish();
 }
 
+/// General-`g` encryption with pool-served randomizers (the protocol
+/// hot-path configuration): the `g^m` leg runs through the fixed-base comb
+/// when kernels are attached, through the plain windowed ladder otherwise.
+fn bench_general_g_kernels(c: &mut Criterion) {
+    let keypair = Keypair::generate(512, &mut rng(8));
+    let n = keypair.public.n().clone();
+    let nn = keypair.public.n_squared().clone();
+    // (n+1)² is a valid general generator without the (1+n)^m shortcut.
+    let np1 = &n + 1u64;
+    let g = modular::mod_mul(&np1, &np1, &nn);
+    let pk_off = PublicKey::with_generator(n.clone(), g).unwrap();
+    let pk_on = pk_off.clone().with_exp_kernels();
+    let m = random::gen_biguint_below(&mut rng(9), &n);
+
+    let mut group = c.benchmark_group("paillier_general_g_512");
+    group.sample_size(20);
+    for (label, pk) in [
+        ("encrypt_pooled_kernels_off", &pk_off),
+        ("encrypt_pooled_kernels_on", &pk_on),
+    ] {
+        group.bench_function(label, |b| {
+            let mut r = rng(10);
+            b.iter_batched(
+                || pk.precompute_randomizers(1, &mut r).pop().unwrap(),
+                |rand| pk.encrypt_with_randomizer(black_box(&m), rand).unwrap(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// Unpacking k packed words: the batch-inversion validation path against
+/// the former per-word validate + decrypt loop.
+fn bench_unpack_words(c: &mut Criterion) {
+    use rand::Rng as _;
+    let kp = Keypair::generate(512, &mut rng(11));
+    let layout = SlotLayout::new(kp.public.bits(), 32).unwrap();
+    let mut group = c.benchmark_group("paillier_unpack_512");
+    group.sample_size(10);
+    for words_n in [4usize, 16] {
+        let count = layout.capacity() * words_n;
+        let mut r = rng(12);
+        let slots: Vec<BigUint> = (0..count)
+            .map(|_| BigUint::from_u64(r.random_range(0..1u64 << 32)))
+            .collect();
+        let words = kp.public.pack_encrypt(&layout, &slots, &mut r).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("batch_validate", words_n),
+            &words_n,
+            |bench, _| {
+                bench.iter(|| {
+                    kp.private
+                        .unpack_decrypt(&layout, black_box(&words), count)
+                        .unwrap()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("per_word_validate", words_n),
+            &words_n,
+            |bench, _| {
+                bench.iter(|| {
+                    words
+                        .iter()
+                        .flat_map(|w| {
+                            let word = kp.private.decrypt_crt(w).unwrap();
+                            layout.split_word(&word, layout.capacity())
+                        })
+                        .take(count)
+                        .collect::<Vec<_>>()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_keygen,
     bench_encrypt_decrypt,
-    bench_homomorphic_ops
+    bench_homomorphic_ops,
+    bench_general_g_kernels,
+    bench_unpack_words
 );
 criterion_main!(benches);

@@ -518,6 +518,103 @@ fn bench_trace_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The two multi-exp response legs against the per-operand loops they
+/// replaced (kernel on vs off, same inputs, same output bytes):
+/// slot aggregation in `pack_ciphertexts` and the `dot_many` response
+/// row fold via precomputed scaled bases.
+fn bench_kernel_legs(c: &mut Criterion) {
+    use ppds_paillier::SlotLayout;
+    let kp = keypair();
+    let mut r = rng(40);
+    let layout = SlotLayout::new(kp.public.bits(), 24).unwrap();
+    let k = layout.capacity();
+    let items: Vec<_> = (0..k)
+        .map(|i| {
+            kp.public
+                .encrypt(&BigUint::from_u64(i as u64 + 1), &mut r)
+                .unwrap()
+        })
+        .collect();
+    let plain: Vec<BigUint> = (0..k).map(|i| BigUint::from_u64(i as u64)).collect();
+
+    let mut group = c.benchmark_group("kernel_legs_256bit");
+    group.sample_size(10);
+    // Time only the slot-aggregation leg (the plain word is encrypted the
+    // same way on both paths): Π itemsᵢ^(2^{w·i}) folded into the word.
+    let word = {
+        let mut r = rng(41);
+        kp.public
+            .pack_encrypt(&layout, &plain, &mut r)
+            .unwrap()
+            .remove(0)
+    };
+    group.bench_function("pack_aggregation_multi_exp", |b| {
+        let ctx = ppds_bigint::MontgomeryCtx::new(kp.public.n_squared()).unwrap();
+        let shifts: Vec<BigUint> = (0..k).map(|i| layout.slot_shift(i)).collect();
+        b.iter(|| {
+            let pairs: Vec<(&BigUint, &BigUint)> = items
+                .iter()
+                .map(|c| c.as_biguint())
+                .zip(shifts.iter())
+                .collect();
+            let shifted = ppds_bigint::multi_exp(&ctx, &pairs);
+            &(word.as_biguint() * &shifted) % kp.public.n_squared()
+        });
+    });
+    group.bench_function("pack_aggregation_per_operand", |b| {
+        // The pre-kernel path: one mul_plain (shift) + add per item.
+        b.iter(|| {
+            items
+                .iter()
+                .enumerate()
+                .fold(word.clone(), |acc, (i, item)| {
+                    let shifted = kp.public.mul_plain(item, &layout.slot_shift(i));
+                    kp.public.add(&acc, &shifted)
+                })
+        });
+    });
+
+    // dot_many response fold: 24 rows × 4 shared ciphertext bases.
+    let cts: Vec<_> = (0..4u64)
+        .map(|i| {
+            kp.public
+                .encrypt(&BigUint::from_u64(i + 2), &mut r)
+                .unwrap()
+        })
+        .collect();
+    let rows: Vec<Vec<BigInt>> = (0..24)
+        .map(|j: i64| {
+            vec![
+                BigInt::from_i64(j - 11),
+                BigInt::from_i64(j % 7),
+                BigInt::from_i64(-(j % 5)),
+                BigInt::from_i64(j * j),
+            ]
+        })
+        .collect();
+    let acc = kp.public.encrypt(&BigUint::from_u64(99), &mut r).unwrap();
+    group.bench_function("dot_response_scaled_bases", |b| {
+        b.iter(|| {
+            let bases = kp.public.scaled_bases(&cts);
+            rows.iter()
+                .map(|ys| bases.combine_signed(&kp.public, &acc, ys))
+                .collect::<Vec<_>>()
+        });
+    });
+    group.bench_function("dot_response_per_operand", |b| {
+        b.iter(|| {
+            rows.iter()
+                .map(|ys| {
+                    cts.iter().zip(ys).fold(acc.clone(), |a, (ct, y)| {
+                        kp.public.add(&a, &kp.public.mul_plain_signed(ct, y))
+                    })
+                })
+                .collect::<Vec<_>>()
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_multiplication,
@@ -529,6 +626,7 @@ criterion_group!(
     bench_parallel_batch_encryption,
     bench_dgk_reply_packing,
     bench_dot_many_packing,
+    bench_kernel_legs,
     bench_trace_overhead
 );
 criterion_main!(benches);

@@ -923,10 +923,11 @@ fn phases_json(runs: &[(&'static str, SessionTrace)]) -> String {
 
 fn write_bench_json(path: &str, rows: &[BatchBenchRow], runs: &[(&'static str, SessionTrace)]) {
     let mut out = format!(
-        "{{\n  \"wire_version\": {},\n  \"randomness\": \"{}\",\n  \"packing\": \"{}\",\n  \"workload\": {{\"n\": 36, \"dim\": 2, \"generator\": \"standard_blobs\"}},\n",
+        "{{\n  \"wire_version\": {},\n  \"randomness\": \"{}\",\n  \"packing\": \"{}\",\n  \"kernels\": \"{}\",\n  \"workload\": {{\"n\": 36, \"dim\": 2, \"generator\": \"standard_blobs\"}},\n",
         ppdbscan::session::WIRE_VERSION,
         ppds_smc::context::RANDOMNESS_DISCIPLINE,
-        ppds_paillier::PACKING_DISCIPLINE
+        ppds_paillier::PACKING_DISCIPLINE,
+        ppds_bigint::KERNEL_DISCIPLINE
     );
     out.push_str(&phases_json(runs));
     out.push_str("  \"protocols\": [\n");

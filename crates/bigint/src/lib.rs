@@ -13,7 +13,12 @@
 //!   signed plaintext encodings, and the arithmetic inside Yao's protocol),
 //! * [`MontgomeryCtx`] — CIOS Montgomery multiplication and windowed modular
 //!   exponentiation for odd moduli (Paillier's `n` and `n²` are always odd),
-//! * [`modular`] — GCD/LCM, modular inverse, and a `mod_pow` entry point,
+//! * [`multiexp`] — exponentiation kernels: [`FixedBaseTable`] windowed
+//!   fixed-base combs and Straus/Pippenger simultaneous [`multi_exp`],
+//!   all value-equal to the naive ladders they replace,
+//! * [`modular`] — GCD/LCM, modular inverse (single and
+//!   [`modular::batch_mod_inverse`] Montgomery-batched), and a `mod_pow`
+//!   entry point,
 //! * [`prime`] — Miller–Rabin probable-prime testing and random prime
 //!   generation,
 //! * [`random`] — uniform sampling of big integers from any [`rand::Rng`].
@@ -29,6 +34,7 @@ mod fmt;
 pub mod modular;
 mod montgomery;
 mod mul;
+pub mod multiexp;
 pub mod prime;
 pub mod random;
 
@@ -36,6 +42,7 @@ pub use bigint::{BigInt, Sign};
 pub use biguint::BigUint;
 pub use fmt::ParseBigIntError;
 pub use montgomery::MontgomeryCtx;
+pub use multiexp::{multi_exp, FixedBaseTable, KERNEL_DISCIPLINE};
 
 #[cfg(test)]
 mod test_helpers {

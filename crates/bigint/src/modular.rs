@@ -6,9 +6,16 @@ use crate::montgomery::MontgomeryCtx;
 
 /// `base^exp mod modulus`.
 ///
-/// Uses Montgomery exponentiation for odd moduli (the only case Paillier
-/// needs) and falls back to square-and-multiply with plain reduction for
-/// even moduli so the function is total.
+/// Uses Montgomery exponentiation for odd moduli (the only case the
+/// Paillier hot path needs — `n` and `n²` are always odd) and falls back
+/// to square-and-multiply with a shared Barrett reduction for even moduli
+/// so the function is total. The fallback triggers only outside the
+/// ciphertext pipeline: power-of-two moduli in tests, DGK-style `u`
+/// values, and other even-modulus callers. It precomputes
+/// `μ = ⌊2^{2k}/m⌋` once and reduces each step with two multiplies and at
+/// most two correction subtractions instead of a full long division, so
+/// even-modulus exponentiation costs the same per-step work shape as the
+/// Montgomery path.
 ///
 /// # Panics
 /// Panics if `modulus` is zero.
@@ -20,16 +27,64 @@ pub fn mod_pow(base: &BigUint, exp: &BigUint, modulus: &BigUint) -> BigUint {
     if let Some(ctx) = MontgomeryCtx::new(modulus) {
         return ctx.pow_mod(base, exp);
     }
-    // Even modulus fallback.
+    // Even modulus fallback: Barrett square-and-multiply.
+    let barrett = BarrettCtx::new(modulus);
     let mut acc = BigUint::one();
     let base = base % modulus;
     for i in (0..exp.bit_length()).rev() {
-        acc = &acc.square() % modulus;
+        acc = barrett.reduce(&acc.square());
         if exp.bit(i) {
-            acc = &(&acc * &base) % modulus;
+            acc = barrett.reduce(&(&acc * &base));
         }
     }
     acc
+}
+
+/// Barrett reduction state for a fixed modulus of any parity.
+///
+/// Montgomery form needs an odd modulus; Barrett does not, which makes it
+/// the right reduction for `mod_pow`'s even-modulus fallback. With
+/// `k = bit_length(m)` and `μ = ⌊2^{2k}/m⌋` precomputed once,
+/// `reduce(x)` for `x < m²` estimates the quotient as
+/// `q̂ = ⌊⌊x/2^{k−1}⌋ · μ / 2^{k+1}⌋ ≤ ⌊x/m⌋`, subtracts `q̂·m`, and
+/// corrects with at most two conditional subtractions — two big
+/// multiplies per reduction in place of a full division.
+struct BarrettCtx {
+    modulus: BigUint,
+    /// `bit_length(modulus)`.
+    k: usize,
+    /// `⌊2^{2k} / modulus⌋`.
+    mu: BigUint,
+}
+
+impl BarrettCtx {
+    /// Precomputes `μ` for `modulus > 1`.
+    fn new(modulus: &BigUint) -> Self {
+        debug_assert!(!modulus.is_zero() && !modulus.is_one());
+        let k = modulus.bit_length();
+        let mu = &(&BigUint::one() << (2 * k)) / modulus;
+        BarrettCtx {
+            modulus: modulus.clone(),
+            k,
+            mu,
+        }
+    }
+
+    /// `x mod modulus` for `x < modulus²` (hence `x < 2^{2k}`).
+    fn reduce(&self, x: &BigUint) -> BigUint {
+        debug_assert!(x.bit_length() <= 2 * self.k);
+        let q_hat = &(&(x >> (self.k - 1)) * &self.mu) >> (self.k + 1);
+        let mut r = x
+            .checked_sub(&(&q_hat * &self.modulus))
+            .expect("Barrett quotient estimate never exceeds the true quotient");
+        while r >= self.modulus {
+            r = r
+                .checked_sub(&self.modulus)
+                .expect("r >= modulus just checked");
+        }
+        debug_assert_eq!(&r, &(x % &self.modulus));
+        r
+    }
 }
 
 /// Greatest common divisor (binary GCD).
@@ -112,6 +167,82 @@ pub fn mod_inverse(a: &BigUint, modulus: &BigUint) -> Option<BigUint> {
 /// `(a * b) mod modulus` without intermediate growth beyond one product.
 pub fn mod_mul(a: &BigUint, b: &BigUint, modulus: &BigUint) -> BigUint {
     &(a * b) % modulus
+}
+
+/// Montgomery's batch-inversion trick: inverts every element of `values`
+/// modulo `modulus` with **one** extended-GCD inversion plus `3(k−1)`
+/// modular multiplications, instead of `k` extended GCDs.
+///
+/// Prefix products `p_i = v_0·…·v_i` are built left to right, the single
+/// inverse `(p_{k-1})^{-1}` is computed, and each `v_i^{-1}` is recovered
+/// by back-substitution (`v_i^{-1} = p_{k-1}^{-1}·…` running product).
+/// For odd moduli the multiplications run in the Montgomery domain, so a
+/// batch of `k` costs ≈ `4k` Montgomery products + one inversion.
+///
+/// Returns `None` when **any** element is zero or shares a factor with
+/// the modulus — exactly the elements for which [`mod_inverse`] returns
+/// `None` — because a single non-unit poisons the chained product. Each
+/// returned inverse is the canonical residue [`mod_inverse`] produces.
+///
+/// # Panics
+/// Panics if `modulus` is zero.
+pub fn batch_mod_inverse(values: &[BigUint], modulus: &BigUint) -> Option<Vec<BigUint>> {
+    assert!(!modulus.is_zero(), "batch_mod_inverse with zero modulus");
+    if modulus.is_one() {
+        return Some(vec![BigUint::zero(); values.len()]);
+    }
+    if values.is_empty() {
+        return Some(Vec::new());
+    }
+    if let Some(ctx) = MontgomeryCtx::new(modulus) {
+        batch_mod_inverse_with(&ctx, values)
+    } else {
+        // Even modulus: same chain with plain reductions.
+        let vals: Vec<BigUint> = values.iter().map(|v| v % modulus).collect();
+        let mut prefix = Vec::with_capacity(vals.len());
+        prefix.push(vals[0].clone());
+        for v in &vals[1..] {
+            let next = mod_mul(prefix.last().expect("nonempty"), v, modulus);
+            prefix.push(next);
+        }
+        let inv_total = mod_inverse(prefix.last().expect("nonempty"), modulus)?;
+        let mut inv_running = inv_total;
+        let mut out = vec![BigUint::zero(); vals.len()];
+        for i in (1..vals.len()).rev() {
+            out[i] = mod_mul(&inv_running, &prefix[i - 1], modulus);
+            inv_running = mod_mul(&inv_running, &vals[i], modulus);
+        }
+        out[0] = inv_running;
+        Some(out)
+    }
+}
+
+/// [`batch_mod_inverse`] against a caller-held [`MontgomeryCtx`], so
+/// repeat batches under one fixed odd modulus (a Paillier key's `n`)
+/// skip rebuilding the context's `R²` table on every call.
+pub fn batch_mod_inverse_with(ctx: &MontgomeryCtx, values: &[BigUint]) -> Option<Vec<BigUint>> {
+    let modulus = ctx.modulus();
+    if values.is_empty() {
+        return Some(Vec::new());
+    }
+    // Montgomery chain: to_mont each value once, multiply in-domain.
+    let vals: Vec<BigUint> = values.iter().map(|v| ctx.to_mont(&(v % modulus))).collect();
+    let mut prefix = Vec::with_capacity(vals.len());
+    prefix.push(vals[0].clone());
+    for v in &vals[1..] {
+        let next = ctx.mont_mul(prefix.last().expect("nonempty"), v);
+        prefix.push(next);
+    }
+    let total = ctx.from_mont(prefix.last().expect("nonempty"));
+    let inv_total = mod_inverse(&total, modulus)?;
+    let mut inv_running = ctx.to_mont(&inv_total);
+    let mut out = vec![BigUint::zero(); vals.len()];
+    for i in (1..vals.len()).rev() {
+        out[i] = ctx.from_mont(&ctx.mont_mul(&inv_running, &prefix[i - 1]));
+        inv_running = ctx.mont_mul(&inv_running, &vals[i]);
+    }
+    out[0] = ctx.from_mont(&inv_running);
+    Some(out)
 }
 
 #[cfg(test)]
@@ -233,6 +364,88 @@ mod tests {
                 None => assert!(!gcd(&a, &m).is_one()),
             }
         }
+    }
+
+    #[test]
+    fn mod_pow_even_modulus_matches_plain_reduction() {
+        // The Barrett fallback must be value-identical to full division.
+        let mut r = rng(35);
+        for bits in [16usize, 64, 256] {
+            let mut m = gen_biguint_bits(&mut r, bits);
+            m.set_bit(0, false); // force even
+            if m.is_zero() || m.is_one() {
+                continue;
+            }
+            for _ in 0..6 {
+                let base = gen_biguint_bits(&mut r, bits + 8);
+                let exp = gen_biguint_bits(&mut r, 48);
+                let got = mod_pow(&base, &exp, &m);
+                let mut want = BigUint::one();
+                for i in (0..exp.bit_length()).rev() {
+                    want = &want.square() % &m;
+                    if exp.bit(i) {
+                        want = &(&want * &base) % &m;
+                    }
+                }
+                assert_eq!(got, want, "{bits}-bit even modulus");
+            }
+        }
+    }
+
+    #[test]
+    fn barrett_reduce_matches_division() {
+        let mut r = rng(36);
+        for bits in [8usize, 64, 300] {
+            let mut m = gen_biguint_bits(&mut r, bits);
+            m.set_bit(bits - 1, true);
+            if m.is_one() {
+                continue;
+            }
+            let ctx = BarrettCtx::new(&m);
+            for _ in 0..20 {
+                let x = &gen_biguint_below(&mut r, &m) * &gen_biguint_below(&mut r, &m);
+                assert_eq!(ctx.reduce(&x), &x % &m);
+            }
+            // Boundary cases.
+            assert_eq!(ctx.reduce(&BigUint::zero()), BigUint::zero());
+            assert_eq!(ctx.reduce(&(&m - &BigUint::one())), &m - &BigUint::one());
+        }
+    }
+
+    #[test]
+    fn batch_mod_inverse_matches_per_element() {
+        let mut r = rng(37);
+        for (bits, odd) in [(256usize, true), (128, false)] {
+            let mut m = gen_biguint_bits(&mut r, bits);
+            m.set_bit(0, odd);
+            m.set_bit(bits - 1, true);
+            for k in [1usize, 2, 7, 33] {
+                let values: Vec<BigUint> = (0..k).map(|_| gen_biguint_below(&mut r, &m)).collect();
+                let per: Option<Vec<BigUint>> = values.iter().map(|v| mod_inverse(v, &m)).collect();
+                assert_eq!(batch_mod_inverse(&values, &m), per, "{bits} bits, k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_mod_inverse_rejects_zero_and_shared_factor() {
+        let m = b(1_000_000_007);
+        let good = [b(2), b(3), b(5)];
+        assert!(batch_mod_inverse(&good, &m).is_some());
+        let with_zero = [b(2), b(0), b(5)];
+        assert_eq!(batch_mod_inverse(&with_zero, &m), None);
+        let composite = b(91); // 7 · 13
+        let shared = [b(2), b(26), b(5)]; // gcd(26, 91) = 13
+        assert_eq!(batch_mod_inverse(&shared, &composite), None);
+    }
+
+    #[test]
+    fn batch_mod_inverse_edges() {
+        let m = b(101);
+        assert_eq!(batch_mod_inverse(&[], &m), Some(vec![]));
+        assert_eq!(batch_mod_inverse(&[b(7)], &b(1)), Some(vec![b(0)]));
+        let single = batch_mod_inverse(&[b(7)], &m).unwrap();
+        assert_eq!(single, vec![mod_inverse(&b(7), &m).unwrap()]);
     }
 
     #[test]

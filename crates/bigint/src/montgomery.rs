@@ -18,6 +18,10 @@ pub struct MontgomeryCtx {
     n0_inv: u64,
     /// `R² mod m`, used to convert into Montgomery form.
     r2: BigUint,
+    /// `R mod m` — the unit element of the Montgomery domain
+    /// (`to_mont(1 mod m)`), kept so every exponentiation and every
+    /// multi-exponentiation kernel starts without a conversion multiply.
+    one_mont: BigUint,
 }
 
 impl MontgomeryCtx {
@@ -31,7 +35,7 @@ impl MontgomeryCtx {
         // R² mod m computed by repeated doubling: start from R mod m
         // (obtained by shifting) and double 64k times.
         let r_mod_m = &(&BigUint::one() << (64 * k)) % modulus;
-        let mut r2 = r_mod_m;
+        let mut r2 = r_mod_m.clone();
         for _ in 0..64 * k {
             r2 = r2.add_mod(&r2.clone(), modulus);
         }
@@ -40,6 +44,7 @@ impl MontgomeryCtx {
             k,
             n0_inv,
             r2,
+            one_mont: r_mod_m,
         })
     }
 
@@ -110,6 +115,74 @@ impl MontgomeryCtx {
         result
     }
 
+    /// `R mod m` — the multiplicative identity of the Montgomery domain.
+    ///
+    /// Equal to `to_mont(1 mod m)`; exposed so exponentiation kernels can
+    /// seed their accumulators without a conversion multiply.
+    pub fn one_mont(&self) -> &BigUint {
+        &self.one_mont
+    }
+
+    /// Reduces `base` below the modulus (no-op clone when already reduced).
+    pub(crate) fn reduce(&self, base: &BigUint) -> BigUint {
+        if base >= &self.modulus {
+            base % &self.modulus
+        } else {
+            base.clone()
+        }
+    }
+
+    /// Odd powers are not enough for interleaved window scans, so the
+    /// window tables hold every power `base^0 ..= base^max_index` in
+    /// Montgomery form (`table[j] = base^j · R mod m`).
+    pub(crate) fn window_table(&self, base_mont: &BigUint, max_index: usize) -> Vec<BigUint> {
+        let mut table = Vec::with_capacity(max_index + 1);
+        table.push(self.one_mont.clone());
+        if max_index >= 1 {
+            table.push(base_mont.clone());
+        }
+        for i in 2..=max_index {
+            table.push(self.mont_mul(&table[i - 1], base_mont));
+        }
+        table
+    }
+
+    /// MSB-first 4-bit digits of `exp` (no leading zero digit for
+    /// `exp > 0`; empty for `exp = 0`).
+    pub(crate) fn exp_windows4(exp: &BigUint) -> Vec<u8> {
+        let bits = exp.bit_length();
+        let windows = bits.div_ceil(4);
+        let mut digits = Vec::with_capacity(windows);
+        for w in (0..windows).rev() {
+            let mut idx = 0u8;
+            for bit in 0..4 {
+                let pos = w * 4 + bit;
+                if pos < bits && exp.bit(pos) {
+                    idx |= 1 << bit;
+                }
+            }
+            digits.push(idx);
+        }
+        digits
+    }
+
+    /// Square-and-multiply over precomputed 4-bit window digits; the
+    /// shared inner loop of [`Self::pow_mod`] and [`Self::pow_many`].
+    fn pow_windows(&self, table: &[BigUint], digits: &[u8]) -> BigUint {
+        let mut acc = self.one_mont.clone();
+        for (i, &d) in digits.iter().enumerate() {
+            if i > 0 {
+                for _ in 0..4 {
+                    acc = self.mont_mul(&acc, &acc);
+                }
+            }
+            if d != 0 {
+                acc = self.mont_mul(&acc, &table[d as usize]);
+            }
+        }
+        self.from_mont(&acc)
+    }
+
     /// `base^exp mod m` using a 4-bit fixed window.
     ///
     /// `base` may be ≥ m; it is reduced first.
@@ -117,43 +190,32 @@ impl MontgomeryCtx {
         if exp.is_zero() {
             return &BigUint::one() % &self.modulus;
         }
-        let base = if base >= &self.modulus {
-            base % &self.modulus
-        } else {
-            base.clone()
-        };
+        let base_mont = self.to_mont(&self.reduce(base));
+        let table = self.window_table(&base_mont, 15);
+        self.pow_windows(&table, &Self::exp_windows4(exp))
+    }
 
-        let one_mont = self.to_mont(&(&BigUint::one() % &self.modulus));
-        let base_mont = self.to_mont(&base);
-
-        // Precompute base^0..base^15 in Montgomery form.
-        let mut table = Vec::with_capacity(16);
-        table.push(one_mont.clone());
-        for i in 1..16 {
-            table.push(self.mont_mul(&table[i - 1], &base_mont));
+    /// Raises many bases to one shared exponent: `[b^exp mod m; bases]`.
+    ///
+    /// The exponent's window decomposition is computed once and the
+    /// Montgomery context (R², one) is shared, so a batch costs strictly
+    /// less than independent [`Self::pow_mod`] calls while producing
+    /// limb-identical results. This is the randomizer-pool refill kernel:
+    /// every pooled `r^n mod n²` rides one decomposition of `n`.
+    pub fn pow_many(&self, bases: &[BigUint], exp: &BigUint) -> Vec<BigUint> {
+        if exp.is_zero() {
+            let one = &BigUint::one() % &self.modulus;
+            return vec![one; bases.len()];
         }
-
-        let bits = exp.bit_length();
-        let windows = bits.div_ceil(4);
-        let mut acc = one_mont;
-        for w in (0..windows).rev() {
-            if w + 1 < windows {
-                for _ in 0..4 {
-                    acc = self.mont_mul(&acc, &acc);
-                }
-            }
-            let mut idx = 0usize;
-            for bit in 0..4 {
-                let pos = w * 4 + bit;
-                if pos < bits && exp.bit(pos) {
-                    idx |= 1 << bit;
-                }
-            }
-            if idx != 0 {
-                acc = self.mont_mul(&acc, &table[idx]);
-            }
-        }
-        self.from_mont(&acc)
+        let digits = Self::exp_windows4(exp);
+        bases
+            .iter()
+            .map(|base| {
+                let base_mont = self.to_mont(&self.reduce(base));
+                let table = self.window_table(&base_mont, 15);
+                self.pow_windows(&table, &digits)
+            })
+            .collect()
     }
 }
 
@@ -263,6 +325,35 @@ mod tests {
             }
             assert_eq!(ctx.pow_mod(&base, &exp), acc);
         }
+    }
+
+    #[test]
+    fn pow_many_matches_individual_pow_mod() {
+        let mut r = rng(78);
+        let mut m = gen_biguint_bits(&mut r, 512);
+        m.set_bit(0, true);
+        m.set_bit(511, true);
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let exp = gen_biguint_bits(&mut r, 256);
+        let bases: Vec<BigUint> = (0..5).map(|_| gen_biguint_below(&mut r, &m)).collect();
+        let got = ctx.pow_many(&bases, &exp);
+        for (base, g) in bases.iter().zip(&got) {
+            assert_eq!(g, &ctx.pow_mod(base, &exp));
+        }
+        // Zero exponent: everything is 1 mod m.
+        assert_eq!(
+            ctx.pow_many(&bases, &BigUint::zero()),
+            vec![BigUint::one(); 5]
+        );
+    }
+
+    #[test]
+    fn one_mont_is_montgomery_unit() {
+        let m = b(1_000_000_007);
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        assert_eq!(ctx.one_mont(), &ctx.to_mont(&BigUint::one()));
+        let x = ctx.to_mont(&b(12345));
+        assert_eq!(ctx.mont_mul(&x, ctx.one_mont()), x);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! check algebraic laws plus agreement with `u128` native arithmetic on the
 //! embeddable range.
 
-use ppds_bigint::{modular, BigInt, BigUint, MontgomeryCtx};
+use ppds_bigint::{modular, multi_exp, BigInt, BigUint, FixedBaseTable, MontgomeryCtx};
 use proptest::prelude::*;
 
 fn biguint_strategy(max_bytes: usize) -> impl Strategy<Value = BigUint> {
@@ -196,5 +196,89 @@ proptest! {
             std::cmp::Ordering::Less => prop_assert!(a.checked_sub(&b).is_none()),
             _ => prop_assert!(a.checked_sub(&b).is_some()),
         }
+    }
+}
+
+/// Odd modulus > 1, so a [`MontgomeryCtx`] always exists.
+fn odd_modulus_strategy(max_bytes: usize) -> impl Strategy<Value = BigUint> {
+    biguint_strategy(max_bytes).prop_map(|mut m| {
+        m.set_bit(0, true);
+        if m.is_one() {
+            m.set_bit(2, true); // lift 1 → 5
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `multi_exp` ≡ the naive product of per-operand `mod_pow` ladders.
+    /// The pair count crosses the Straus→Pippenger cutoff (32), so both
+    /// kernels are exercised by the same law.
+    #[test]
+    fn multi_exp_matches_naive_product(
+        m in odd_modulus_strategy(24),
+        operands in proptest::collection::vec(
+            (biguint_strategy(24), biguint_strategy(12)),
+            0..=40,
+        ),
+    ) {
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let pairs: Vec<(&BigUint, &BigUint)> =
+            operands.iter().map(|(b, e)| (b, e)).collect();
+        let got = multi_exp(&ctx, &pairs);
+        let naive = operands.iter().fold(&BigUint::one() % &m, |acc, (b, e)| {
+            modular::mod_mul(&acc, &modular::mod_pow(b, e, &m), &m)
+        });
+        prop_assert_eq!(got, naive);
+    }
+
+    /// `FixedBaseTable::pow` ≡ `mod_pow` across every window size, for
+    /// exponents both inside the comb's width (table path) and beyond it
+    /// (fallback path).
+    #[test]
+    fn fixed_base_table_matches_mod_pow(
+        m in odd_modulus_strategy(24),
+        base in biguint_strategy(24),
+        window in 1usize..=8,
+        max_exp_bits in 1usize..160,
+        exp in biguint_strategy(24),
+    ) {
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let table = FixedBaseTable::new(&ctx, &base, window, max_exp_bits);
+        prop_assert_eq!(table.pow(&exp), modular::mod_pow(&base, &exp, &m));
+        // pow_mont coverage contract: Some iff the exponent fits the comb.
+        prop_assert_eq!(
+            table.pow_mont(&exp).is_some(),
+            exp.bit_length() <= max_exp_bits
+        );
+    }
+
+    /// Batch inversion ≡ per-element `mod_inverse`: same inverses when all
+    /// elements are units, `None` as soon as any element is not.
+    #[test]
+    fn batch_inverse_matches_per_element(
+        m in odd_modulus_strategy(20),
+        values in proptest::collection::vec(biguint_strategy(20), 0..=24),
+    ) {
+        let per_element: Option<Vec<BigUint>> =
+            values.iter().map(|v| modular::mod_inverse(v, &m)).collect();
+        prop_assert_eq!(modular::batch_mod_inverse(&values, &m), per_element.clone());
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        prop_assert_eq!(modular::batch_mod_inverse_with(&ctx, &values), per_element);
+    }
+
+    /// A single zero poisons the whole batch, wherever it sits.
+    #[test]
+    fn batch_inverse_rejects_zero_element(
+        m in odd_modulus_strategy(20),
+        values in proptest::collection::vec(biguint_strategy(20), 1..=12),
+        at in any::<usize>(),
+    ) {
+        let mut values = values;
+        let at = at % values.len();
+        values[at] = BigUint::zero();
+        prop_assert_eq!(modular::batch_mod_inverse(&values, &m), None);
     }
 }

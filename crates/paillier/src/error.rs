@@ -22,6 +22,9 @@ pub enum PaillierError {
     /// was computed under (the ciphertext would silently decrypt to
     /// garbage).
     RandomizerKeyMismatch,
+    /// A custom generator `g` is not usable: zero, not below `n²`, or not
+    /// invertible modulo `n`.
+    InvalidGenerator,
     /// A packed-slot value needs more bits than the slot layout provides
     /// (it would bleed into the neighboring slot).
     SlotOverflow {
@@ -59,6 +62,9 @@ impl fmt::Display for PaillierError {
             }
             PaillierError::RandomizerKeyMismatch => {
                 write!(f, "randomizer was precomputed under a different key")
+            }
+            PaillierError::InvalidGenerator => {
+                write!(f, "generator is not an invertible element of Z*_{{n²}}")
             }
             PaillierError::SlotOverflow {
                 slot_bits,

@@ -7,8 +7,87 @@
 //! * plaintext mul:   `D(E(m1)^m2  mod n²) = m1 · m2 mod n`
 
 use crate::keys::{Ciphertext, PublicKey};
-use ppds_bigint::{BigInt, BigUint};
+use ppds_bigint::{BigInt, BigUint, FixedBaseTable};
 use rand::Rng;
+
+/// Fixed-base comb tables for a set of ciphertexts that are each raised to
+/// many (or large) scalars — the `Π cᵢ^{yᵢ}` response legs of the
+/// multiplication and dot-product protocols.
+///
+/// Built once per request via [`PublicKey::scaled_bases`], then consumed by
+/// [`ScaledBases::combine_signed`], which accumulates the whole product in
+/// the Montgomery domain: each `cᵢ^{kᵢ}` costs table lookups and
+/// multiplications only (combs spend **zero** squarings at evaluation
+/// time), versus a full square-and-multiply ladder per ciphertext.
+///
+/// Value-equality: every exponent is reduced `k mod n` exactly as
+/// [`PublicKey::mul_plain_signed`] reduces it, each comb evaluation returns
+/// the canonical residue the plain ladder returns, and the product mod `n²`
+/// is the same group element in any association order — so protocol bytes
+/// are unchanged.
+pub struct ScaledBases {
+    tables: Vec<FixedBaseTable>,
+}
+
+impl ScaledBases {
+    /// Number of base ciphertexts.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the base set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// `acc · Π cᵢ^{coeffs[i] mod n} mod n²`, equal byte-for-byte to
+    /// folding [`PublicKey::mul_plain_signed`] + [`PublicKey::add`] over
+    /// the same pairs. Zero coefficients contribute the identity and are
+    /// skipped.
+    ///
+    /// # Panics
+    /// Panics if `coeffs.len()` differs from the number of bases.
+    pub fn combine_signed(
+        &self,
+        pk: &PublicKey,
+        acc: &Ciphertext,
+        coeffs: &[BigInt],
+    ) -> Ciphertext {
+        assert_eq!(
+            coeffs.len(),
+            self.tables.len(),
+            "one coefficient per scaled base"
+        );
+        let mont = pk.mont_nn();
+        let mut product = mont.to_mont(&acc.0);
+        for (table, k) in self.tables.iter().zip(coeffs) {
+            let k_reduced = k.rem_euclid(pk.n());
+            if k_reduced.is_zero() {
+                continue;
+            }
+            let factor = table
+                .pow_mont(&k_reduced)
+                .expect("exponent reduced mod n always fits the comb");
+            product = mont.mont_mul(&product, &factor);
+        }
+        Ciphertext(mont.from_mont(&product))
+    }
+}
+
+impl PublicKey {
+    /// Builds fixed-base comb tables over `cts` for repeated/large-scalar
+    /// use (see [`ScaledBases`]). Worth it whenever each ciphertext is
+    /// raised to a full-width scalar — the comb trades the ladder's
+    /// `bits` squarings for a one-time table build of comparable cost that
+    /// is then amortized across the whole product.
+    pub fn scaled_bases(&self, cts: &[Ciphertext]) -> ScaledBases {
+        let tables = cts
+            .iter()
+            .map(|c| FixedBaseTable::new(self.mont_nn(), &c.0, 4, self.bits()))
+            .collect();
+        ScaledBases { tables }
+    }
+}
 
 impl PublicKey {
     /// `E(m1 + m2)` from `E(m1)` and `E(m2)`: ciphertext product mod `n²`.
@@ -185,6 +264,41 @@ mod tests {
             let c2 = kp.public.encrypt(&m2, &mut r).unwrap();
             let got = kp.private.decrypt_crt(&kp.public.add(&c1, &c2)).unwrap();
             assert_eq!(got, m1.add_mod(&m2, kp.public.n()));
+        }
+    }
+
+    #[test]
+    fn scaled_bases_match_mul_plain_signed_fold() {
+        let kp = shared_keypair();
+        let mut r = rng(21);
+        for trial in 0..4u64 {
+            let cts: Vec<Ciphertext> = (0..6)
+                .map(|_| {
+                    let m = gen_biguint_below(&mut r, kp.public.n());
+                    kp.public.encrypt(&m, &mut r).unwrap()
+                })
+                .collect();
+            let coeffs: Vec<BigInt> = (0..6)
+                .map(|i| match (trial + i) % 4 {
+                    0 => BigInt::zero(),
+                    1 => BigInt::from_i64(-(17 + i as i64)),
+                    2 => BigInt::from_biguint(
+                        ppds_bigint::Sign::Positive,
+                        gen_biguint_below(&mut r, kp.public.n()),
+                    ),
+                    _ => BigInt::from_i64(1 + i as i64),
+                })
+                .collect();
+            let acc = kp.public.encrypt(&b(5), &mut r).unwrap();
+
+            let naive = cts.iter().zip(&coeffs).fold(acc.clone(), |acc, (c, k)| {
+                kp.public.add(&acc, &kp.public.mul_plain_signed(c, k))
+            });
+            let kernel = kp
+                .public
+                .scaled_bases(&cts)
+                .combine_signed(&kp.public, &acc, &coeffs);
+            assert_eq!(kernel, naive, "trial {trial}: bytes must be identical");
         }
     }
 

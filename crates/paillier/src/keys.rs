@@ -2,7 +2,7 @@
 
 use crate::error::PaillierError;
 use crate::precompute::RandomizerPool;
-use ppds_bigint::{modular, prime, random, BigUint, MontgomeryCtx};
+use ppds_bigint::{modular, prime, random, BigUint, FixedBaseTable, MontgomeryCtx};
 use rand::Rng;
 use std::sync::Arc;
 
@@ -45,12 +45,41 @@ pub struct PublicKey {
     /// `(n - 1) / 2`: largest magnitude representable in the signed encoding.
     half_n: BigUint,
     mont_nn: MontgomeryCtx,
+    /// Montgomery state for the *message-space* modulus `n`, shared by
+    /// batch ciphertext validation (one batch inversion mod `n` instead of
+    /// one GCD per ciphertext).
+    mont_n: MontgomeryCtx,
     /// Optional precomputed-randomizer source (see
     /// [`PublicKey::with_randomizer_pool`]): when attached, every
     /// [`PublicKey::encrypt`] — and with it re-randomization, signed
     /// encryption, and packed-word encryption — consumes a pooled `r^n`
     /// when one is buffered instead of exponentiating inline.
     pool: Option<Arc<RandomizerPool>>,
+    /// Optional key-lifetime exponentiation tables (see
+    /// [`PublicKey::with_exp_kernels`]); like the randomizer pool, these
+    /// ride along with key clones and never change any ciphertext byte.
+    kernels: Option<Arc<ExpKernels>>,
+}
+
+/// Key-lifetime exponentiation-kernel tables attached to a [`PublicKey`]
+/// by [`PublicKey::with_exp_kernels`].
+///
+/// Today this holds the windowed fixed-base comb for the general-`g`
+/// encryption path (`g ≠ n+1`, see [`PublicKey::with_generator`]); keys
+/// with the standard generator already beat any table via the
+/// `(1+n)^m = 1 + mn` shortcut and carry no tables.
+pub struct ExpKernels {
+    /// Comb table for `g^m mod n²` covering exponents up to `n`'s width.
+    g_table: FixedBaseTable,
+}
+
+impl std::fmt::Debug for ExpKernels {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExpKernels")
+            .field("g_window", &self.g_table.window())
+            .field("g_max_exp_bits", &self.g_table.max_exp_bits())
+            .finish()
+    }
 }
 
 /// The private half: `(λ, μ)` from §3.7, plus the factorization and CRT
@@ -151,6 +180,7 @@ impl Keypair {
         let n_squared = n.square();
         let g = &n + 1u64;
         let mont_nn = MontgomeryCtx::new(&n_squared).expect("n² is odd > 1");
+        let mont_n = MontgomeryCtx::new(&n).expect("n is odd > 1");
 
         // μ = (L(g^λ mod n²))^{-1} mod n. For g = n+1 this equals λ^{-1},
         // but compute it generically so the math matches the paper line by
@@ -166,7 +196,9 @@ impl Keypair {
             g,
             n: n.clone(),
             mont_nn,
+            mont_n,
             pool: None,
+            kernels: None,
         };
         let crt = CrtContext::new(&public, &p, &q)?;
         Some(Keypair {
@@ -240,6 +272,7 @@ impl PublicKey {
         }
         let n_squared = n.square();
         let mont_nn = MontgomeryCtx::new(&n_squared).expect("n² odd > 1");
+        let mont_n = MontgomeryCtx::new(&n).expect("n odd > 1");
         Ok(PublicKey {
             half_n: &(&n - &BigUint::one()) >> 1usize,
             g: &n + 1u64,
@@ -247,8 +280,59 @@ impl PublicKey {
             n,
             n_squared,
             mont_nn,
+            mont_n,
             pool: None,
+            kernels: None,
         })
+    }
+
+    /// Reconstructs a public key from a modulus `n` and an explicit
+    /// generator `g ∈ Z*_{n²}` (Paillier §3.7 allows any `g` whose order is
+    /// a nonzero multiple of `n`; the standard `g = n+1` is merely the
+    /// cheapest choice). Keys built this way support encryption and all
+    /// homomorphic operations; decryption requires the matching private key,
+    /// which always embeds its own generator.
+    ///
+    /// This is the one path where `g^m mod n²` is a full modular
+    /// exponentiation rather than the `(1+n)^m = 1 + mn` shortcut, so it is
+    /// also the path that benefits from [`PublicKey::with_exp_kernels`].
+    ///
+    /// # Errors
+    /// [`PaillierError::KeyTooSmall`] for a bad modulus, and
+    /// [`PaillierError::InvalidGenerator`] when `g` is zero, not below `n²`,
+    /// or not invertible (`gcd(g, n) ≠ 1`).
+    pub fn with_generator(n: BigUint, g: BigUint) -> Result<PublicKey, PaillierError> {
+        let mut public = PublicKey::from_modulus(n)?;
+        if g.is_zero() || g >= public.n_squared {
+            return Err(PaillierError::InvalidGenerator);
+        }
+        if !modular::gcd(&(&g % &public.n), &public.n).is_one() {
+            return Err(PaillierError::InvalidGenerator);
+        }
+        public.g_is_n_plus_one = g == public.g;
+        public.g = g;
+        Ok(public)
+    }
+
+    /// Returns a copy of this key carrying precomputed exponentiation
+    /// tables (currently: a windowed fixed-base comb for `g^m mod n²`).
+    /// Purely a speed lever — every ciphertext byte is identical with and
+    /// without kernels, so the tables are protocol-invisible.
+    ///
+    /// For keys with the standard generator `g = n+1` the `(1+n)^m`
+    /// shortcut already beats any table and this is a no-op.
+    pub fn with_exp_kernels(mut self) -> PublicKey {
+        if !self.g_is_n_plus_one && self.kernels.is_none() {
+            let g_table = FixedBaseTable::new(&self.mont_nn, &self.g, 4, self.n.bit_length());
+            self.kernels = Some(Arc::new(ExpKernels { g_table }));
+        }
+        self
+    }
+
+    /// Whether exponentiation-kernel tables are attached (always `false`
+    /// for standard-generator keys, where the shortcut wins).
+    pub fn has_exp_kernels(&self) -> bool {
+        self.kernels.is_some()
     }
 
     /// Returns a copy of this key that draws encryption randomizers from
@@ -340,6 +424,50 @@ impl PublicKey {
         self.encrypt_with_nonce(m, &r)
     }
 
+    /// Encrypts a batch of plaintexts, amortizing the `r^n` exponentiations
+    /// through one shared-exponent kernel pass ([`MontgomeryCtx::pow_many`]).
+    ///
+    /// Byte-identical to calling [`PublicKey::encrypt`] once per element
+    /// with the same `rng`: pool randomizers are consumed in the same order,
+    /// nonces are rejection-sampled from the identical stream positions, and
+    /// `pow_many` shares only the exponent recoding — every `r^n` value
+    /// matches the one-at-a-time ladder bit for bit.
+    pub fn encrypt_many<R: Rng + ?Sized>(
+        &self,
+        ms: &[BigUint],
+        rng: &mut R,
+    ) -> Result<Vec<Ciphertext>, PaillierError> {
+        let mut out: Vec<Option<Ciphertext>> = vec![None; ms.len()];
+        // (index, message, freshly sampled nonce) for elements the pool
+        // could not serve; their r^n values are batched below.
+        let mut deferred: Vec<(usize, &BigUint, BigUint)> = Vec::with_capacity(ms.len());
+        for (i, m) in ms.iter().enumerate() {
+            if let Some(pool) = &self.pool {
+                if let Some(randomizer) = pool.take() {
+                    out[i] = Some(self.encrypt_with_randomizer(m, randomizer)?);
+                    continue;
+                }
+            }
+            let r = self.sample_nonce(rng);
+            if m >= &self.n {
+                return Err(PaillierError::MessageOutOfRange);
+            }
+            deferred.push((i, m, r));
+        }
+        if !deferred.is_empty() {
+            let nonces: Vec<BigUint> = deferred.iter().map(|(_, _, r)| r.clone()).collect();
+            let powers = self.mont_nn.pow_many(&nonces, &self.n);
+            for ((i, m, _), r_to_n) in deferred.into_iter().zip(powers) {
+                let g_to_m = self.g_pow(m);
+                out[i] = Some(Ciphertext(self.mul_mod_nn(&g_to_m, &r_to_n)));
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|c| c.expect("every slot filled"))
+            .collect())
+    }
+
     /// Encrypts with a caller-chosen nonce (deterministic; used by tests and
     /// by re-randomization).
     pub fn encrypt_with_nonce(
@@ -355,12 +483,16 @@ impl PublicKey {
         Ok(Ciphertext(self.mul_mod_nn(&g_to_m, &r_to_n)))
     }
 
-    /// `g^m mod n²`, using the `g = n+1` shortcut when applicable.
+    /// `g^m mod n²`, using the `g = n+1` shortcut when applicable, then
+    /// the fixed-base comb when kernels are attached, then a plain windowed
+    /// ladder. All three branches return the same canonical residue.
     pub(crate) fn g_pow(&self, m: &BigUint) -> BigUint {
         if self.g_is_n_plus_one {
             // (1+n)^m = 1 + m·n (mod n²)
             let mn = &(m * &self.n) % &self.n_squared;
             (&mn + 1u64).div_rem(&self.n_squared).1
+        } else if let Some(kernels) = &self.kernels {
+            kernels.g_table.pow(m)
         } else {
             self.mont_nn.pow_mod(&self.g, m)
         }
@@ -374,6 +506,13 @@ impl PublicKey {
         self.mont_nn.pow_mod(base, exp)
     }
 
+    /// The Montgomery context for `n²`, shared with the packing and
+    /// homomorphic modules so kernel code accumulates products in one
+    /// domain instead of rebuilding per-call state.
+    pub(crate) fn mont_nn(&self) -> &MontgomeryCtx {
+        &self.mont_nn
+    }
+
     /// Checks that a ciphertext received from outside is an element of
     /// `Z*_{n²}` under this key.
     pub fn validate(&self, c: &Ciphertext) -> Result<(), PaillierError> {
@@ -382,6 +521,30 @@ impl PublicKey {
         }
         if !modular::gcd(&c.0, &self.n).is_one() {
             return Err(PaillierError::InvalidCiphertext);
+        }
+        Ok(())
+    }
+
+    /// Validates a batch of ciphertexts with one Montgomery batch inversion
+    /// modulo `n` in place of one binary GCD per ciphertext (a residue is
+    /// invertible mod `n` exactly when `gcd(c, n) = 1`, which is what
+    /// [`PublicKey::validate`] tests).
+    ///
+    /// Accepts exactly the batches where every individual
+    /// [`PublicKey::validate`] call would succeed. On a failing batch it
+    /// falls back to per-element validation *in order*, so the returned
+    /// error is byte-identical to what a sequential validation loop would
+    /// have produced.
+    pub fn validate_many(&self, cts: &[Ciphertext]) -> Result<(), PaillierError> {
+        let in_range = cts.iter().all(|c| c.0 < self.n_squared && !c.0.is_zero());
+        if in_range {
+            let residues: Vec<BigUint> = cts.iter().map(|c| &c.0 % &self.n).collect();
+            if modular::batch_mod_inverse_with(&self.mont_n, &residues).is_some() {
+                return Ok(());
+            }
+        }
+        for c in cts {
+            self.validate(c)?;
         }
         Ok(())
     }
@@ -405,6 +568,16 @@ impl PrivateKey {
     /// roughly 4× faster than [`PrivateKey::decrypt`] at equal key size.
     pub fn decrypt_crt(&self, c: &Ciphertext) -> Result<BigUint, PaillierError> {
         self.public.validate(c)?;
+        self.decrypt_crt_prevalidated(c)
+    }
+
+    /// CRT decryption for a ciphertext already checked by
+    /// [`PublicKey::validate`] or [`PublicKey::validate_many`] — skips the
+    /// per-ciphertext GCD so batch callers pay one batch inversion up front
+    /// instead of `k` GCDs. The math still rejects malformed inputs (the
+    /// `L` functions fail), but the error *position* within a batch is only
+    /// guaranteed to match sequential decryption when validation ran first.
+    pub fn decrypt_crt_prevalidated(&self, c: &Ciphertext) -> Result<BigUint, PaillierError> {
         let crt = &self.crt;
         let one = BigUint::one();
 
@@ -572,5 +745,140 @@ mod tests {
         let kp1 = Keypair::generate(64, &mut r);
         let kp2 = Keypair::generate(64, &mut r);
         assert_ne!(kp1.public.n(), kp2.public.n());
+    }
+
+    /// A general-`g` key encrypting under `g = (n+1)^2 · r₀^n` (a valid
+    /// generator: its order is a multiple of `n`) must decrypt under the
+    /// standard private key to `2m` — because `g^m = (n+1)^{2m} · (r₀^m)^n`
+    /// is a standard-generator encryption of `2m mod n`.
+    #[test]
+    fn with_generator_encrypts_decryptably() {
+        let kp = shared_keypair();
+        let mut r = rng(41);
+        let n = kp.public.n().clone();
+        let r0 = kp.public.sample_nonce(&mut r);
+        let g = {
+            let np1_sq = kp.public.mul_mod_nn(kp.public.g(), kp.public.g());
+            let r0_n = kp.public.pow_mod_nn(&r0, &n);
+            kp.public.mul_mod_nn(&np1_sq, &r0_n)
+        };
+        let custom = PublicKey::with_generator(n.clone(), g).unwrap();
+        assert!(!custom.g_is_n_plus_one);
+
+        let m = BigUint::from_u64(12345);
+        let c = custom.encrypt(&m, &mut r).unwrap();
+        let two_m = &(&m * &BigUint::from_u64(2)) % &n;
+        assert_eq!(kp.private.decrypt_crt(&c).unwrap(), two_m);
+    }
+
+    #[test]
+    fn with_generator_rejects_bad_g() {
+        let kp = shared_keypair();
+        let n = kp.public.n().clone();
+        assert_eq!(
+            PublicKey::with_generator(n.clone(), BigUint::zero()).unwrap_err(),
+            PaillierError::InvalidGenerator
+        );
+        assert_eq!(
+            PublicKey::with_generator(n.clone(), kp.public.n_squared().clone()).unwrap_err(),
+            PaillierError::InvalidGenerator
+        );
+        // g sharing a factor with n: use n itself (gcd(n mod n, n) = n).
+        assert_eq!(
+            PublicKey::with_generator(n.clone(), n).unwrap_err(),
+            PaillierError::InvalidGenerator
+        );
+    }
+
+    #[test]
+    fn exp_kernels_are_byte_invisible() {
+        let kp = shared_keypair();
+        let mut r = rng(42);
+        let n = kp.public.n().clone();
+        let r0 = kp.public.sample_nonce(&mut r);
+        let g = {
+            let np1_sq = kp.public.mul_mod_nn(kp.public.g(), kp.public.g());
+            let r0_n = kp.public.pow_mod_nn(&r0, &n);
+            kp.public.mul_mod_nn(&np1_sq, &r0_n)
+        };
+        let plain = PublicKey::with_generator(n.clone(), g).unwrap();
+        let fast = plain.clone().with_exp_kernels();
+        assert!(fast.has_exp_kernels());
+
+        for seed in 0..8u64 {
+            let m = random::gen_biguint_below(&mut rng(100 + seed), &n);
+            let nonce = plain.sample_nonce(&mut rng(200 + seed));
+            assert_eq!(
+                plain.encrypt_with_nonce(&m, &nonce).unwrap(),
+                fast.encrypt_with_nonce(&m, &nonce).unwrap(),
+                "kernels must not change ciphertext bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn encrypt_many_matches_sequential_encrypt() {
+        let kp = shared_keypair();
+        let n = kp.public.n().clone();
+        let ms: Vec<BigUint> = (0..7u64)
+            .map(|i| random::gen_biguint_below(&mut rng(300 + i), &n))
+            .collect();
+        let mut seq_rng = rng(77);
+        let mut batch_rng = rng(77);
+        let seq: Vec<Ciphertext> = ms
+            .iter()
+            .map(|m| kp.public.encrypt(m, &mut seq_rng).unwrap())
+            .collect();
+        let batch = kp.public.encrypt_many(&ms, &mut batch_rng).unwrap();
+        assert_eq!(seq, batch, "batched r^n must not change ciphertext bytes");
+        // Both paths must also leave the rng at the same stream position.
+        assert_eq!(
+            random::gen_biguint_bits(&mut seq_rng, 64),
+            random::gen_biguint_bits(&mut batch_rng, 64)
+        );
+    }
+
+    #[test]
+    fn exp_kernels_noop_for_standard_generator() {
+        let kp = shared_keypair();
+        let fast = kp.public.clone().with_exp_kernels();
+        assert!(!fast.has_exp_kernels(), "(1+n)^m shortcut already optimal");
+    }
+
+    #[test]
+    fn validate_many_matches_sequential_validation() {
+        let kp = shared_keypair();
+        let mut r = rng(43);
+        let good: Vec<Ciphertext> = (0..20)
+            .map(|i| kp.public.encrypt(&BigUint::from_u64(i), &mut r).unwrap())
+            .collect();
+        assert!(kp.public.validate_many(&good).is_ok());
+        assert!(kp.public.validate_many(&[]).is_ok());
+
+        // Any bad element fails the batch with the same error a sequential
+        // loop reports.
+        for bad in [
+            Ciphertext::from_biguint(BigUint::zero()),
+            Ciphertext::from_biguint(kp.public.n_squared().clone()),
+            Ciphertext::from_biguint(kp.public.n().clone()), // gcd(c, n) = n
+        ] {
+            let mut batch = good.clone();
+            batch[7] = bad;
+            assert_eq!(
+                kp.public.validate_many(&batch).unwrap_err(),
+                PaillierError::InvalidCiphertext
+            );
+        }
+    }
+
+    #[test]
+    fn decrypt_crt_prevalidated_matches_decrypt_crt() {
+        let kp = shared_keypair();
+        let mut r = rng(44);
+        for _ in 0..10 {
+            let m = random::gen_biguint_below(&mut r, kp.public.n());
+            let c = kp.public.encrypt(&m, &mut r).unwrap();
+            assert_eq!(kp.private.decrypt_crt_prevalidated(&c).unwrap(), m);
+        }
     }
 }

@@ -30,7 +30,13 @@
 //!   `r^n mod n²` factor is computed ahead of time (optionally by
 //!   background threads), so a hot-path encryption collapses to two
 //!   modular multiplications. The `ppds-engine` crate shares one pool
-//!   across all concurrent sessions encrypting under a key.
+//!   across all concurrent sessions encrypting under a key,
+//! * exponentiation kernels ([`PublicKey::with_exp_kernels`],
+//!   [`ScaledBases`], [`PublicKey::validate_many`]): windowed fixed-base
+//!   combs for general-generator keys, multi-exponentiation for packed-slot
+//!   aggregation, and Montgomery batch inversion for batch ciphertext
+//!   validation — all value-equal to the ladders they replace, so every
+//!   ciphertext byte and protocol transcript is unchanged.
 //!
 //! ## Deviation from the paper's Algorithm 2 narration
 //!
@@ -50,7 +56,8 @@ mod packing;
 mod precompute;
 
 pub use error::PaillierError;
-pub use keys::{Ciphertext, Keypair, PrivateKey, PublicKey, MIN_KEY_BITS};
+pub use homomorphic::ScaledBases;
+pub use keys::{Ciphertext, ExpKernels, Keypair, PrivateKey, PublicKey, MIN_KEY_BITS};
 pub use packing::{SlotLayout, PACKING_DISCIPLINE};
 pub use precompute::{FillerHandle, PoolStats, Randomizer, RandomizerPool};
 

@@ -49,7 +49,7 @@
 
 use crate::error::PaillierError;
 use crate::keys::{Ciphertext, PrivateKey, PublicKey};
-use ppds_bigint::{random, BigUint};
+use ppds_bigint::{multi_exp, random, BigUint};
 use rand::Rng;
 
 /// Version tag of the slot-packing discipline, stamped into benchmark
@@ -232,11 +232,24 @@ impl PublicKey {
                 let word_plain = layout.assemble_word(plain_chunk)?;
                 // One fresh encryption per word: carries the plaintext
                 // addends and re-randomizes every slot at once.
-                let mut word = self.encrypt(&word_plain, rng)?;
-                for (i, item) in item_chunk.iter().enumerate() {
-                    word = self.add(&word, &self.mul_plain(item, &layout.slot_shift(i)));
+                let word = self.encrypt(&word_plain, rng)?;
+                if item_chunk.is_empty() {
+                    return Ok(word);
                 }
-                Ok(word)
+                // Π items[i]^{2^{i·slot_bits}} in one interleaved
+                // multi-exponentiation: the squaring chain is shared across
+                // all slots instead of re-walked per slot. Slot shifts are
+                // always < n (capacity·slot_bits ≤ key_bits−1), so the
+                // `mod n` reduction in the per-slot `mul_plain` path was the
+                // identity and the product is the same group element —
+                // word bytes are unchanged.
+                let shifts: Vec<BigUint> = (0..item_chunk.len())
+                    .map(|i| layout.slot_shift(i))
+                    .collect();
+                let pairs: Vec<(&BigUint, &BigUint)> =
+                    item_chunk.iter().map(|c| &c.0).zip(shifts.iter()).collect();
+                let shifted = multi_exp(self.mont_nn(), &pairs);
+                Ok(Ciphertext(self.mul_mod_nn(&word.0, &shifted)))
             })
             .collect()
     }
@@ -264,9 +277,13 @@ impl PrivateKey {
                 expected: layout.words_for(count),
             });
         }
+        // One Montgomery batch inversion validates the whole word vector
+        // (same accept/reject set and error as per-word validation), so the
+        // decryption loop can skip the per-ciphertext GCD.
+        self.public().validate_many(words)?;
         let mut out = Vec::with_capacity(count);
         for (w, word) in words.iter().enumerate() {
-            let plain = self.decrypt_crt(word)?;
+            let plain = self.decrypt_crt_prevalidated(word)?;
             let remaining = count - w * layout.capacity();
             out.extend(layout.split_word(&plain, remaining));
         }
@@ -362,6 +379,43 @@ mod tests {
         for i in 0..values.len() {
             assert_eq!(back[i], b(values[i] + addends[i]), "slot {i}");
         }
+    }
+
+    #[test]
+    fn pack_ciphertexts_matches_naive_shift_fold() {
+        // The multi-exp kernel must reproduce the per-slot shift-and-multiply
+        // fold byte for byte. Drive both from identically-seeded RNGs so the
+        // word encryptions use the same nonces.
+        let kp = shared_keypair();
+        let mut setup = rng(95);
+        let layout = SlotLayout::new(kp.public.bits(), 30).unwrap();
+        let items: Vec<Ciphertext> = (0..13u64)
+            .map(|i| kp.public.encrypt(&b(i * 7 + 1), &mut setup).unwrap())
+            .collect();
+        let plain: Vec<BigUint> = (0..13u64).map(b).collect();
+
+        let mut r_kernel = rng(96);
+        let packed = kp
+            .public
+            .pack_ciphertexts(&layout, &items, &plain, &mut r_kernel)
+            .unwrap();
+
+        let mut r_naive = rng(96);
+        let naive: Vec<Ciphertext> = items
+            .chunks(layout.capacity())
+            .zip(plain.chunks(layout.capacity()))
+            .map(|(item_chunk, plain_chunk)| {
+                let word_plain = layout.assemble_word(plain_chunk).unwrap();
+                let mut word = kp.public.encrypt(&word_plain, &mut r_naive).unwrap();
+                for (i, item) in item_chunk.iter().enumerate() {
+                    word = kp
+                        .public
+                        .add(&word, &kp.public.mul_plain(item, &layout.slot_shift(i)));
+                }
+                word
+            })
+            .collect();
+        assert_eq!(packed, naive, "kernel and fold must agree byte-for-byte");
     }
 
     #[test]

@@ -34,11 +34,12 @@
 use crate::error::PaillierError;
 use crate::keys::{Ciphertext, PublicKey};
 use ppds_bigint::BigUint;
+use ppds_observe::Counter;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 /// A precomputed `r^n mod n²` for one specific public key.
@@ -70,6 +71,28 @@ impl PublicKey {
             r_to_n: self.pow_mod_nn(&r, self.n()),
             n: self.n().clone(),
         }
+    }
+
+    /// Batch form of [`PublicKey::precompute_randomizer`]: samples `count`
+    /// fresh nonces, then raises them all to the `n`-th power over the
+    /// key's one Montgomery context with a single shared decomposition of
+    /// the (fixed) exponent `n`. Each returned randomizer is exactly what
+    /// the one-at-a-time path computes for the same nonce; only the
+    /// per-call setup is amortized.
+    pub fn precompute_randomizers<R: Rng + ?Sized>(
+        &self,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<Randomizer> {
+        let nonces: Vec<BigUint> = (0..count).map(|_| self.sample_nonce(rng)).collect();
+        self.mont_nn()
+            .pow_many(&nonces, self.n())
+            .into_iter()
+            .map(|r_to_n| Randomizer {
+                r_to_n,
+                n: self.n().clone(),
+            })
+            .collect()
     }
 
     /// Encrypts `m` using a precomputed randomizer: `c = g^m · (r^n) mod n²`.
@@ -126,6 +149,10 @@ pub struct RandomizerPool {
     produced: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Optional operator metric mirroring `produced` (see
+    /// [`RandomizerPool::observe_fills`]); a live fill-rate signal without
+    /// polling [`RandomizerPool::stats`].
+    fill_counter: OnceLock<Counter>,
 }
 
 impl std::fmt::Debug for RandomizerPool {
@@ -158,7 +185,28 @@ impl RandomizerPool {
             produced: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            fill_counter: OnceLock::new(),
         })
+    }
+
+    /// Mirrors every buffered randomizer this pool produces into `counter`
+    /// (an operator metric from a `ppds_observe::MetricsRegistry`), giving
+    /// a scrapeable fill-rate signal. First registration wins; later calls
+    /// are ignored.
+    pub fn observe_fills(&self, counter: Counter) {
+        let _ = self.fill_counter.set(counter);
+    }
+
+    /// Records `count` randomizers pushed into the buffer, mirroring into
+    /// the fill metric when one is registered.
+    fn note_produced(&self, count: usize) {
+        if count == 0 {
+            return;
+        }
+        self.produced.fetch_add(count as u64, Ordering::Relaxed);
+        if let Some(counter) = self.fill_counter.get() {
+            counter.add(count as u64);
+        }
     }
 
     /// The key every randomizer in this pool is bound to.
@@ -186,17 +234,38 @@ impl RandomizerPool {
     }
 
     /// Synchronously computes and buffers `count` randomizers (subject to
-    /// capacity).
+    /// capacity). Randomizers are produced in batches sized to the room
+    /// currently available, so the `r^n` exponentiations share one
+    /// decomposition of the exponent and the lock is only held to push.
     pub fn prefill<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) {
-        for _ in 0..count {
-            let randomizer = self.public_key.precompute_randomizer(rng);
-            let mut queue = self.queue.lock().unwrap();
-            if queue.len() >= self.capacity {
+        let mut remaining = count;
+        while remaining > 0 {
+            let room = self.capacity.saturating_sub(self.len());
+            if room == 0 {
                 return;
             }
-            queue.push_back(randomizer);
-            self.produced.fetch_add(1, Ordering::Relaxed);
+            let batch = self
+                .public_key
+                .precompute_randomizers(remaining.min(room), rng);
+            remaining -= batch.len();
+            self.push_batch(batch);
         }
+    }
+
+    /// Pushes a computed batch, dropping any overflow past capacity (a
+    /// concurrent filler may have refilled while we computed).
+    fn push_batch(&self, batch: Vec<Randomizer>) {
+        let mut queue = self.queue.lock().unwrap();
+        let mut pushed = 0;
+        for randomizer in batch {
+            if queue.len() >= self.capacity {
+                break;
+            }
+            queue.push_back(randomizer);
+            pushed += 1;
+        }
+        drop(queue);
+        self.note_produced(pushed);
     }
 
     /// Pops a buffered randomizer, if any.
@@ -257,8 +326,13 @@ impl RandomizerPool {
     }
 
     fn fill_until_shutdown(&self, rng: &mut StdRng) {
+        /// Upper bound on one refill batch: large enough to amortize the
+        /// shared exponent decomposition, small enough that shutdown is
+        /// never more than a few exponentiations away.
+        const MAX_FILL_BATCH: usize = 8;
         loop {
             // Wait (off-CPU) while full; bail promptly on shutdown.
+            let room;
             {
                 let mut queue = self.queue.lock().unwrap();
                 while queue.len() >= self.capacity {
@@ -271,17 +345,17 @@ impl RandomizerPool {
                         .unwrap();
                     queue = guard;
                 }
+                room = self.capacity - queue.len();
             }
             if self.shutdown.load(Ordering::Relaxed) {
                 return;
             }
-            // The expensive exponentiation happens outside the lock.
-            let randomizer = self.public_key.precompute_randomizer(rng);
-            let mut queue = self.queue.lock().unwrap();
-            if queue.len() < self.capacity {
-                queue.push_back(randomizer);
-                self.produced.fetch_add(1, Ordering::Relaxed);
-            }
+            // The expensive exponentiations happen outside the lock, as a
+            // batch over one shared decomposition of the fixed exponent n.
+            let batch = self
+                .public_key
+                .precompute_randomizers(room.min(MAX_FILL_BATCH), rng);
+            self.push_batch(batch);
         }
     }
 }
@@ -394,6 +468,44 @@ mod tests {
         assert_eq!(stats.hits, 4);
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.produced, 5);
+    }
+
+    #[test]
+    fn batch_precompute_matches_individual() {
+        // pow_many shares the exponent decomposition but must return the
+        // exact r^n the one-at-a-time path computes for the same nonces.
+        let kp = shared_keypair();
+        let batch: Vec<BigUint> = kp
+            .public
+            .precompute_randomizers(5, &mut rng(30))
+            .into_iter()
+            .map(Randomizer::into_biguint)
+            .collect();
+        let individual: Vec<BigUint> = {
+            let mut r = rng(30);
+            (0..5)
+                .map(|_| kp.public.precompute_randomizer(&mut r).into_biguint())
+                .collect()
+        };
+        assert_eq!(batch, individual);
+    }
+
+    #[test]
+    fn fill_counter_tracks_buffered_production() {
+        let kp = shared_keypair();
+        let registry = ppds_observe::MetricsRegistry::new();
+        let pool = RandomizerPool::new(kp.public.clone(), 4);
+        pool.observe_fills(registry.counter("paillier_pool_fills"));
+        let mut r = rng(31);
+        pool.prefill(3, &mut r);
+        assert_eq!(registry.counter("paillier_pool_fills").get(), 3);
+        // Inline fallback production is not a fill.
+        for _ in 0..3 {
+            pool.take();
+        }
+        let _ = pool.take_or_compute(&mut r);
+        assert_eq!(registry.counter("paillier_pool_fills").get(), 3);
+        assert_eq!(pool.stats().produced, 4);
     }
 
     #[test]

@@ -212,4 +212,48 @@ proptest! {
             prop_assert_eq!(&packed[i], &scalar_plain, "slot {}", i);
         }
     }
+
+    /// The batched encryption kernel is byte-invisible at both key sizes:
+    /// `encrypt_many` produces exactly the ciphertexts a sequential
+    /// `encrypt` loop over the same rng would.
+    #[test]
+    fn encrypt_many_matches_sequential(
+        count in 0usize..10,
+        use_small in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let kp = key_for(use_small);
+        let ms: Vec<BigUint> = (0..count as u64).map(BigUint::from_u64).collect();
+        let mut seq_rng = StdRng::seed_from_u64(seed);
+        let mut batch_rng = StdRng::seed_from_u64(seed);
+        let seq: Vec<_> = ms
+            .iter()
+            .map(|m| kp.public.encrypt(m, &mut seq_rng).unwrap())
+            .collect();
+        prop_assert_eq!(kp.public.encrypt_many(&ms, &mut batch_rng).unwrap(), seq);
+    }
+
+    /// Batch validation accepts exactly what per-element validation accepts,
+    /// at both key sizes — including batches poisoned by a non-unit.
+    #[test]
+    fn validate_many_matches_per_element(
+        count in 1usize..10,
+        poison in any::<bool>(),
+        use_small in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let kp = key_for(use_small);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cts: Vec<_> = (0..count as u64)
+            .map(|i| kp.public.encrypt(&BigUint::from_u64(i), &mut rng).unwrap())
+            .collect();
+        if poison {
+            use rand::Rng as _;
+            let at = rng.random_range(0..cts.len());
+            // n shares every factor with n, so gcd(n, n) ≠ 1.
+            cts[at] = ppds_paillier::Ciphertext::from_biguint(kp.public.n().clone());
+        }
+        let per_element: Result<(), _> = cts.iter().try_for_each(|c| kp.public.validate(c));
+        prop_assert_eq!(kp.public.validate_many(&cts), per_element);
+    }
 }

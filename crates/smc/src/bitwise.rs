@@ -77,15 +77,13 @@ fn encrypt_bits<R: Rng>(
 ) -> Result<Vec<BigUint>, SmcError> {
     let bits: Vec<BigUint> = (0..ell)
         .rev()
-        .map(|i| {
-            let bit = BigUint::from_u64((x >> i) & 1);
-            keypair
-                .public
-                .encrypt(&bit, &mut rng)
-                .map(|c| c.as_biguint().clone())
-        })
-        .collect::<Result<_, _>>()?;
-    Ok(bits)
+        .map(|i| BigUint::from_u64((x >> i) & 1))
+        .collect();
+    // One shared-exponent kernel pass over all ℓ nonce exponentiations;
+    // byte-identical to the former per-bit `encrypt` loop (same rng draws,
+    // same pool interaction, same ladder values).
+    let cts = keypair.public.encrypt_many(&bits, &mut rng)?;
+    Ok(cts.into_iter().map(|c| c.as_biguint().clone()).collect())
 }
 
 /// Step 3 worker: decrypt one masked, permuted comparison vector and report
@@ -97,11 +95,15 @@ fn scan_masked(keypair: &Keypair, masked: &[BigUint], ell: usize) -> Result<bool
             masked.len()
         )));
     }
+    let cts: Vec<Ciphertext> = masked
+        .iter()
+        .map(|raw| Ciphertext::from_biguint(raw.clone()))
+        .collect();
+    // One batch inversion validates all ℓ cells before the CRT decryptions.
+    keypair.public.validate_many(&cts)?;
     let mut x_lt_y = false;
-    for raw in masked {
-        let value = keypair
-            .private
-            .decrypt_crt(&Ciphertext::from_biguint(raw.clone()))?;
+    for ct in &cts {
+        let value = keypair.private.decrypt_crt_prevalidated(ct)?;
         if value.is_zero() {
             x_lt_y = true; // the unique witnessing position
         }
@@ -127,11 +129,11 @@ fn comparison_cells(
     }
     let x_bits: Vec<Ciphertext> = raw_bits
         .iter()
-        .map(|raw| {
-            let c = Ciphertext::from_biguint(raw.clone());
-            alice_pk.validate(&c).map(|()| c)
-        })
-        .collect::<Result<_, _>>()?;
+        .map(|raw| Ciphertext::from_biguint(raw.clone()))
+        .collect();
+    // Batch membership check: one Montgomery batch inversion mod n in place
+    // of ℓ binary GCDs, accepting/rejecting exactly as the per-bit loop did.
+    alice_pk.validate_many(&x_bits)?;
 
     let one = BigUint::one();
     let enc_one = alice_pk.encrypt_with_nonce(&one, &one).expect("1 < n"); // deterministic E(1); masked before sending

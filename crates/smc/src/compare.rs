@@ -37,7 +37,12 @@ pub enum Comparator {
     /// Bitwise DGK-style comparison: `O(log n0)` ciphertexts per
     /// comparison, same one-bit output to both parties (see
     /// [`crate::bitwise`]). The practical backend for the enhanced
-    /// protocol's `2^σ`-wide share domains.
+    /// protocol's `2^σ`-wide share domains. Rides the exponentiation
+    /// kernels (DESIGN.md §12): bit encryptions share one exponent
+    /// recoding, ciphertext validation batches `ℓ` GCDs into one
+    /// Montgomery batch inversion, and the packed reply aggregates slots
+    /// with one Straus/Pippenger multi-exponentiation — all byte-identical
+    /// to the per-element ladders they replace.
     Dgk,
 }
 

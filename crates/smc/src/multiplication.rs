@@ -106,12 +106,16 @@ pub(crate) fn unpack_words(
     // CPU-only phase: the span attributes wall time; its traffic delta is
     // structurally zero (no channel in scope).
     let span = trace::span("unpack", MetricsSnapshot::default);
-    let plains: Vec<BigUint> = par_map(words, |_, raw| {
-        Ok::<_, SmcError>(
-            keypair
-                .private
-                .decrypt_crt(&Ciphertext::from_biguint(raw.clone()))?,
-        )
+    // One Montgomery batch inversion validates the whole word vector up
+    // front (same accept set and error as per-word validation), so each
+    // parallel decryption skips its per-ciphertext GCD.
+    let cts: Vec<Ciphertext> = words
+        .iter()
+        .map(|raw| Ciphertext::from_biguint(raw.clone()))
+        .collect();
+    keypair.public.validate_many(&cts)?;
+    let plains: Vec<BigUint> = par_map(&cts, |_, ct| {
+        Ok::<_, SmcError>(keypair.private.decrypt_crt_prevalidated(ct)?)
     })?;
     let mut out = Vec::with_capacity(count);
     for (w, plain) in plains.iter().enumerate() {
@@ -237,16 +241,19 @@ pub fn mul_batch_peer<C: Channel>(
             cts.len()
         )));
     }
+    let cxs: Vec<Ciphertext> = cts.into_iter().map(Ciphertext::from_biguint).collect();
+    // Batch validation: one Montgomery batch inversion over the group
+    // instead of one GCD per ciphertext.
+    keyholder_pk.validate_many(&cxs)?;
     if let Some(packing) = packing {
         // Packed reply: the products E(x·y) ride shifted slots and the
         // masks travel as the packed word's plaintext addends — one fresh
         // nonce per word instead of one encryption per element.
-        let mut products = Vec::with_capacity(cts.len());
-        for (ct, y) in cts.into_iter().zip(ys) {
-            let cx = Ciphertext::from_biguint(ct);
-            keyholder_pk.validate(&cx)?;
-            products.push(keyholder_pk.mul_plain_signed(&cx, y));
-        }
+        let products: Vec<Ciphertext> = cxs
+            .iter()
+            .zip(ys)
+            .map(|(cx, y)| keyholder_pk.mul_plain_signed(cx, y))
+            .collect();
         let plains: Vec<BigUint> = masks
             .iter()
             .map(|v| packing.slot_plain(v))
@@ -262,11 +269,9 @@ pub fn mul_batch_peer<C: Channel>(
         return Ok(());
     }
     let mut rng = ctx.rng();
-    let mut responses = Vec::with_capacity(cts.len());
-    for ((ct, y), v) in cts.into_iter().zip(ys).zip(masks) {
-        let cx = Ciphertext::from_biguint(ct);
-        keyholder_pk.validate(&cx)?;
-        let xy = keyholder_pk.mul_plain_signed(&cx, y);
+    let mut responses = Vec::with_capacity(cxs.len());
+    for ((cx, y), v) in cxs.iter().zip(ys).zip(masks) {
+        let xy = keyholder_pk.mul_plain_signed(cx, y);
         let masked = keyholder_pk.add(&xy, &keyholder_pk.encrypt_signed(v, &mut rng)?);
         responses.push(masked.as_biguint().clone());
     }
@@ -424,14 +429,18 @@ where
         // scope hosts the word-nonce substream).
         let product_groups: Vec<Vec<Ciphertext>> = par_map(&cts_groups, |g, cts| {
             let ys = ys_groups[g].as_ref();
-            cts.iter()
-                .zip(ys)
-                .map(|(ct, y)| {
-                    let cx = Ciphertext::from_biguint(ct.clone());
-                    keyholder_pk.validate(&cx)?;
-                    Ok(keyholder_pk.mul_plain_signed(&cx, y))
-                })
-                .collect::<Result<Vec<_>, SmcError>>()
+            let cxs: Vec<Ciphertext> = cts
+                .iter()
+                .map(|ct| Ciphertext::from_biguint(ct.clone()))
+                .collect();
+            // One batch inversion validates the whole group.
+            keyholder_pk.validate_many(&cxs)?;
+            Ok::<_, SmcError>(
+                cxs.iter()
+                    .zip(ys)
+                    .map(|(cx, y)| keyholder_pk.mul_plain_signed(cx, y))
+                    .collect(),
+            )
         })?;
         let products: Vec<Ciphertext> = product_groups.into_iter().flatten().collect();
         let plains: Vec<BigUint> = all_masks
@@ -453,11 +462,15 @@ where
     let responses: Vec<Vec<BigUint>> = par_map(&cts_groups, |g, cts| {
         let mut rng = scopes(g).rng();
         let ys = ys_groups[g].as_ref();
-        let mut group_out = Vec::with_capacity(cts.len());
-        for ((ct, y), v) in cts.iter().zip(ys).zip(&all_masks[g]) {
-            let cx = Ciphertext::from_biguint(ct.clone());
-            keyholder_pk.validate(&cx)?;
-            let xy = keyholder_pk.mul_plain_signed(&cx, y);
+        let cxs: Vec<Ciphertext> = cts
+            .iter()
+            .map(|ct| Ciphertext::from_biguint(ct.clone()))
+            .collect();
+        // One batch inversion validates the whole group.
+        keyholder_pk.validate_many(&cxs)?;
+        let mut group_out = Vec::with_capacity(cxs.len());
+        for ((cx, y), v) in cxs.iter().zip(ys).zip(&all_masks[g]) {
+            let xy = keyholder_pk.mul_plain_signed(cx, y);
             let masked = keyholder_pk.add(&xy, &keyholder_pk.encrypt_signed(v, &mut rng)?);
             group_out.push(masked.as_biguint().clone());
         }
@@ -592,12 +605,15 @@ pub fn dot_many_peer<C: Channel>(
 ) -> Result<Vec<BigInt>, SmcError> {
     let span = trace::span("dot_many", || chan.metrics());
     let cts_raw: Vec<BigUint> = chan.recv()?;
-    let mut cts = Vec::with_capacity(cts_raw.len());
-    for raw in cts_raw {
-        let c = Ciphertext::from_biguint(raw);
-        keyholder_pk.validate(&c)?;
-        cts.push(c);
-    }
+    let cts: Vec<Ciphertext> = cts_raw.into_iter().map(Ciphertext::from_biguint).collect();
+    // Batch validation: one Montgomery batch inversion instead of one GCD
+    // per ciphertext, with the same accept set and error.
+    keyholder_pk.validate_many(&cts)?;
+    // Every row raises the same few ciphertexts to full-width scalars, so
+    // build one fixed-base comb per ciphertext and share it across all
+    // rows — evaluation then spends zero squarings per row, and the bytes
+    // match the per-row mul_plain_signed/add fold exactly.
+    let bases = keyholder_pk.scaled_bases(&cts);
     if let Some(packing) = packing {
         // Packed reply: row j's homomorphic dot product rides slot j; its
         // mask v_j (drawn from the same keyed stream as the unpacked form,
@@ -615,14 +631,8 @@ pub fn dot_many_peer<C: Channel>(
             let v = sample_mask(ctx.rng_for(j as u64), mask_bound);
             // Neutral E(0) with nonce 1; the word's packed-nonce encryption
             // re-randomizes the whole slot vector before it ships.
-            let mut acc = Ciphertext::from_biguint(BigUint::one());
-            for (ct, y) in cts.iter().zip(ys) {
-                if y.is_zero() {
-                    continue;
-                }
-                acc = keyholder_pk.add(&acc, &keyholder_pk.mul_plain_signed(ct, y));
-            }
-            Ok((acc, v))
+            let acc = Ciphertext::from_biguint(BigUint::one());
+            Ok((bases.combine_signed(keyholder_pk, &acc, ys), v))
         })?;
         let (products, masks): (Vec<Ciphertext>, Vec<BigInt>) = per_row.into_iter().unzip();
         let plains: Vec<BigUint> = masks
@@ -650,13 +660,8 @@ pub fn dot_many_peer<C: Channel>(
         }
         let mut rng = ctx.rng_for(j as u64);
         let v = sample_mask(&mut rng, mask_bound);
-        let mut acc = keyholder_pk.encrypt_signed(&v, &mut rng)?;
-        for (ct, y) in cts.iter().zip(ys) {
-            if y.is_zero() {
-                continue;
-            }
-            acc = keyholder_pk.add(&acc, &keyholder_pk.mul_plain_signed(ct, y));
-        }
+        let acc = keyholder_pk.encrypt_signed(&v, &mut rng)?;
+        let acc = bases.combine_signed(keyholder_pk, &acc, ys);
         Ok((acc.as_biguint().clone(), v))
     })?;
     let (responses, masks): (Vec<BigUint>, Vec<BigInt>) = per_row.into_iter().unzip();
