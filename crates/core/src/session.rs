@@ -98,6 +98,19 @@ pub enum Mode {
 }
 
 impl Mode {
+    /// The mode for a handshake tag, if the tag is known.
+    pub(crate) fn from_tag(tag: u64) -> Option<Mode> {
+        Some(match tag {
+            1 => Mode::Horizontal,
+            2 => Mode::Vertical,
+            3 => Mode::Arbitrary,
+            4 => Mode::Enhanced,
+            5 => Mode::Multiparty,
+            6 => Mode::KumarBaseline,
+            _ => return None,
+        })
+    }
+
     /// Stable numeric tag carried in the handshake.
     pub(crate) fn tag(self) -> u64 {
         match self {
@@ -143,6 +156,12 @@ const F_SELECTION: u8 = 9;
 const F_MASK_BITS: u8 = 10;
 const F_BATCHING: u8 = 11;
 const F_PACKING: u8 = 12;
+/// Optional session-id field (server deployments): a client *proposes* an
+/// id in its preamble `Hello` (0 or absent = "assign me one") and the
+/// server's accept reply carries the id actually granted. Not in
+/// [`AGREED_FIELDS`] — the in-session handshake ignores it, so frames with
+/// and without it interoperate within one wire version.
+const F_SESSION_ID: u8 = 13;
 
 /// Fields that must be byte-equal between the two halves (record count and
 /// dimension are informational / mode-dependent and checked separately).
@@ -224,6 +243,17 @@ impl Hello {
         self
     }
 
+    /// Returns a copy carrying a session-id field: the id this side
+    /// proposes (client preamble) or grants (server). `0` means "assign me
+    /// one". The in-session handshake ignores the field entirely — it
+    /// exists for the `ppds-server` connection preamble, where one `Hello`
+    /// classifies the connection before the protocol handshake proper.
+    pub fn with_session_id(mut self, id: u64) -> Self {
+        self.fields.retain(|(fid, _)| *fid != F_SESSION_ID);
+        self.fields.push((F_SESSION_ID, id));
+        self
+    }
+
     /// The value of field `id`, if the sender included it.
     fn field(&self, id: u8) -> Option<u64> {
         self.fields
@@ -232,10 +262,52 @@ impl Hello {
             .map(|(_, v)| *v)
     }
 
-    /// Cross-checks a peer's `Hello` against ours. `dim_must_match` is
-    /// false for vertical data (the parties own different attribute
-    /// slices); dimension 0 means "this side has no points" and matches
-    /// anything.
+    /// The session id the sender proposed or granted, if any (see
+    /// [`Hello::with_session_id`]).
+    pub fn session_id(&self) -> Option<u64> {
+        self.field(F_SESSION_ID)
+    }
+
+    /// The protocol family the sender advertised, if present and known.
+    pub fn mode(&self) -> Option<Mode> {
+        self.field(F_MODE).and_then(Mode::from_tag)
+    }
+
+    /// The record count the sender advertised.
+    pub fn records(&self) -> Option<u64> {
+        self.field(F_RECORDS)
+    }
+
+    /// The attribute count the sender advertised (0 = no points).
+    pub fn dim(&self) -> Option<u64> {
+        self.field(F_DIM)
+    }
+
+    /// Whether the sender wants round batching, if advertised.
+    pub fn batching(&self) -> Option<bool> {
+        self.field(F_BATCHING).map(|v| v != 0)
+    }
+
+    /// Whether the sender wants plaintext-slot packing, if advertised.
+    pub fn packing(&self) -> Option<bool> {
+        self.field(F_PACKING).map(|v| v != 0)
+    }
+
+    /// Cross-checks a peer's `Hello` against ours: every agreed field must
+    /// be byte-equal, and a version or field disagreement is reported as a
+    /// typed [`CoreError::HandshakeMismatch`] naming the field.
+    /// `dim_must_match` is false for vertical data (the parties own
+    /// different attribute slices); dimension 0 means "this side has no
+    /// points" and matches anything.
+    ///
+    /// This is the check both halves of [`Participant::run`] apply after
+    /// exchanging frames; a server front-end applies the same check to the
+    /// connection preamble (with its negotiable knobs already adopted into
+    /// `self`) so incompatibilities are rejected before a worker is tied up.
+    pub fn check_against(&self, theirs: &Hello, dim_must_match: bool) -> Result<(), CoreError> {
+        self.check_compatible(theirs, dim_must_match)
+    }
+
     fn check_compatible(&self, theirs: &Hello, dim_must_match: bool) -> Result<(), CoreError> {
         if self.wire_version != theirs.wire_version {
             return Err(CoreError::HandshakeMismatch {
@@ -587,6 +659,21 @@ impl PartyData {
             PartyData::Multiparty(_) => Mode::Multiparty,
         }
     }
+
+    /// `(record count, dimension)` as this data view advertises them in the
+    /// handshake (dimension 0 = no points). A server preamble reuses this
+    /// to describe the client's side before the session handshake proper.
+    pub fn shape(&self) -> (usize, usize) {
+        match self {
+            PartyData::Horizontal(points)
+            | PartyData::Enhanced(points)
+            | PartyData::Multiparty(points) => (points.len(), points.first().map_or(0, Point::dim)),
+            PartyData::Vertical(attrs) => (attrs.len(), attrs.first().map_or(1, Point::dim)),
+            PartyData::Arbitrary(values) => {
+                (values.len(), values.first().map_or(0, |row| row.len()))
+            }
+        }
+    }
 }
 
 /// Metadata about one peer session negotiated during the handshake.
@@ -721,6 +808,18 @@ impl Participant {
     pub fn data(mut self, data: PartyData) -> Self {
         self.data = Some(data);
         self
+    }
+
+    /// The publicly agreed protocol configuration this builder carries.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.cfg
+    }
+
+    /// This party's data view, if one was set — what a connection preamble
+    /// needs to describe the session (mode, record count, dimension)
+    /// without consuming the builder.
+    pub fn party_data(&self) -> Option<&PartyData> {
+        self.data.as_ref()
     }
 
     /// Supplies a pre-generated Paillier keypair instead of generating one
@@ -1001,6 +1100,43 @@ mod tests {
         let back = Hello::decode_exact(&bytes).unwrap();
         assert_eq!(back, mine);
         assert!(mine.check_compatible(&back, true).is_ok());
+    }
+
+    #[test]
+    fn hello_session_id_rides_without_affecting_agreement() {
+        let mine = Hello::for_session(&cfg(), Mode::Vertical, 5, 2);
+        assert_eq!(mine.session_id(), None);
+        let tagged = mine.clone().with_session_id(42);
+        assert_eq!(tagged.session_id(), Some(42));
+        // Replacing an existing id keeps exactly one field.
+        let retagged = tagged.clone().with_session_id(7);
+        assert_eq!(retagged.session_id(), Some(7));
+        // The id is not an agreed field: frames with and without it match.
+        assert!(mine.check_against(&tagged, false).is_ok());
+        assert!(tagged.check_against(&mine, false).is_ok());
+        // And it survives the wire.
+        let back = Hello::decode_exact(&tagged.encode_to_vec()).unwrap();
+        assert_eq!(back.session_id(), Some(42));
+        assert_eq!(back.mode(), Some(Mode::Vertical));
+        assert_eq!(back.records(), Some(5));
+        assert_eq!(back.dim(), Some(2));
+        assert_eq!(back.batching(), Some(false));
+        assert_eq!(back.packing(), Some(false));
+    }
+
+    #[test]
+    fn party_data_shape_matches_driver_profiles() {
+        use ppds_dbscan::Point;
+        let pts = vec![Point::new(vec![0, 0]), Point::new(vec![1, 2])];
+        assert_eq!(PartyData::Horizontal(pts.clone()).shape(), (2, 2));
+        assert_eq!(PartyData::Enhanced(pts.clone()).shape(), (2, 2));
+        assert_eq!(PartyData::Multiparty(pts.clone()).shape(), (2, 2));
+        assert_eq!(PartyData::Vertical(pts).shape(), (2, 2));
+        assert_eq!(PartyData::Vertical(vec![]).shape(), (0, 1));
+        assert_eq!(
+            PartyData::Arbitrary(vec![vec![Some(1), None, Some(3)]]).shape(),
+            (1, 3)
+        );
     }
 
     #[test]

@@ -82,4 +82,4 @@ pub mod job;
 pub mod scheduler;
 
 pub use job::{ClusteringJob, JobId, JobResult};
-pub use scheduler::{Engine, EngineConfig, EngineReport, PrecomputeConfig};
+pub use scheduler::{Engine, EngineConfig, EngineError, EngineReport, PrecomputeConfig, TaskFn};

@@ -25,6 +25,14 @@ pub struct EngineConfig {
     /// Optional shared Paillier randomizer pool (layer 2); `None` runs the
     /// scheduler without a precomputation service.
     pub precompute: Option<PrecomputeConfig>,
+    /// Bounded-queue mode: when `Some(cap)`, a submission that would leave
+    /// more than `cap` jobs waiting (not yet picked up by a worker) is
+    /// refused with [`EngineError::QueueFull`] instead of growing the queue
+    /// without limit — the load-shedding contract a network front-end needs
+    /// to answer "busy" instead of accepting work it cannot start. `None`
+    /// (the default) keeps the historical unbounded queue. The admitted
+    /// depth is the `engine_queue_depth` gauge in [`Engine::registry`].
+    pub queue_cap: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -34,6 +42,7 @@ impl Default for EngineConfig {
                 .map(|n| n.get().div_ceil(2))
                 .unwrap_or(4),
             precompute: None,
+            queue_cap: None,
         }
     }
 }
@@ -43,9 +52,58 @@ impl EngineConfig {
     pub fn with_workers(workers: usize) -> Self {
         EngineConfig {
             workers,
-            precompute: None,
+            ..Default::default()
         }
     }
+
+    /// Returns the config with the bounded-queue cap set (see
+    /// [`EngineConfig::queue_cap`]).
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = Some(cap);
+        self
+    }
+}
+
+/// Typed scheduler errors surfaced to submitters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// The bounded queue ([`EngineConfig::queue_cap`]) is full: `depth`
+    /// jobs are already waiting against a cap of `cap`. The job was **not**
+    /// accepted; the caller sheds load (a server replies `ServerBusy`) or
+    /// retries later.
+    QueueFull {
+        /// Jobs waiting when the submission was refused.
+        depth: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::QueueFull { depth, cap } => {
+                write!(f, "engine queue full: {depth} waiting, cap {cap}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A generic unit of work for [`Engine::try_submit_task`]: runs on a worker
+/// thread, reports success or a failure description. Unlike a
+/// [`ClusteringJob`] it deposits nothing in the results store — completion
+/// is visible through the report counters and whatever state the closure
+/// updates itself (a server's session registry, for instance).
+pub type TaskFn = Box<dyn FnOnce() -> Result<(), String> + Send + 'static>;
+
+/// What travels down the worker queue.
+enum Work {
+    /// A clustering session job (results land in the store).
+    Clustering(JobId, ClusteringJob),
+    /// A generic task with a label for the failure counters.
+    Task(JobId, &'static str, TaskFn),
 }
 
 /// Parameters of the engine-hosted [`RandomizerPool`].
@@ -103,6 +161,11 @@ struct EngineShared {
     rollup: Mutex<Rollup>,
     /// Operator-facing gauges and counters; see [`Engine::registry`].
     registry: Arc<MetricsRegistry>,
+    /// Serializes bounded-queue admission: the depth check and the enqueue
+    /// must be atomic with respect to other submitters, or two racing
+    /// submissions could both pass a `cap - 1` check. Uncontended in
+    /// practice — submissions happen per session, not per message.
+    admission: Mutex<()>,
 }
 
 #[derive(Default)]
@@ -116,10 +179,11 @@ struct Rollup {
 /// [`Engine::shutdown`]) closes the queue, drains in-flight jobs, and joins
 /// the workers.
 pub struct Engine {
-    sender: Option<Sender<(JobId, ClusteringJob)>>,
+    sender: Option<Sender<Work>>,
     workers: Vec<JoinHandle<()>>,
     shared: Arc<EngineShared>,
     next_id: AtomicU64,
+    queue_cap: Option<usize>,
     pool: Option<Arc<RandomizerPool>>,
     fillers: Option<FillerHandle>,
     service_keypair: Option<Keypair>,
@@ -132,7 +196,7 @@ impl Engine {
     /// Panics if `config.workers` is zero.
     pub fn start(config: EngineConfig) -> Engine {
         assert!(config.workers > 0, "engine needs at least one worker");
-        let (sender, receiver): (Sender<(JobId, ClusteringJob)>, Receiver<_>) = unbounded();
+        let (sender, receiver): (Sender<Work>, Receiver<_>) = unbounded();
         let shared = Arc::new(EngineShared {
             results: Mutex::new(HashMap::new()),
             job_done: Condvar::new(),
@@ -141,6 +205,7 @@ impl Engine {
             failed: AtomicU64::new(0),
             rollup: Mutex::new(Rollup::default()),
             registry: Arc::new(MetricsRegistry::new()),
+            admission: Mutex::new(()),
         });
 
         let workers = (0..config.workers)
@@ -170,27 +235,85 @@ impl Engine {
             workers,
             shared,
             next_id: AtomicU64::new(0),
+            queue_cap: config.queue_cap,
             pool,
             fillers,
             service_keypair,
         }
     }
 
-    /// Queues a job and returns its handle immediately.
-    pub fn submit(&self, job: ClusteringJob) -> JobId {
+    /// Admission control + enqueue, shared by every submit path. Holds the
+    /// admission lock across the depth check and the send so the cap is
+    /// race-free.
+    fn admit(&self, work: impl FnOnce(JobId) -> Work) -> Result<JobId, EngineError> {
+        let _admission = self.shared.admission.lock().unwrap();
+        let depth_gauge = self.shared.registry.gauge("engine_queue_depth");
+        if let Some(cap) = self.queue_cap {
+            let depth = depth_gauge.get().max(0) as usize;
+            if depth >= cap {
+                self.shared
+                    .registry
+                    .counter("engine_jobs_rejected_full")
+                    .inc();
+                return Err(EngineError::QueueFull { depth, cap });
+            }
+        }
         let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         self.shared.registry.counter("engine_jobs_submitted").inc();
-        self.shared.registry.gauge("engine_queue_depth").inc();
+        depth_gauge.inc();
         self.sender
             .as_ref()
             .expect("engine not shut down")
-            .send((id, job))
+            .send(work(id))
             .expect("workers alive while engine handle exists");
-        id
+        Ok(id)
+    }
+
+    /// Queues a job and returns its handle immediately.
+    ///
+    /// # Panics
+    /// Panics when a [`EngineConfig::queue_cap`] is configured and the
+    /// queue is full — bounded-queue callers must use [`Engine::try_submit`]
+    /// and handle [`EngineError::QueueFull`]. Without a cap (the default)
+    /// this never panics.
+    pub fn submit(&self, job: ClusteringJob) -> JobId {
+        self.try_submit(job)
+            .expect("bounded engine queue overflowed; use try_submit to shed load")
+    }
+
+    /// Queues a job, refusing with [`EngineError::QueueFull`] when the
+    /// bounded queue ([`EngineConfig::queue_cap`]) is at capacity. Without
+    /// a configured cap this never fails.
+    pub fn try_submit(&self, job: ClusteringJob) -> Result<JobId, EngineError> {
+        self.admit(|id| Work::Clustering(id, job))
+    }
+
+    /// Queues a generic task (same queue, same workers, same backpressure
+    /// as clustering jobs). `label` names the task kind in failure logs.
+    /// The task's completion shows up in [`Engine::report`] counters and
+    /// the registry, **not** in the results store — [`Engine::wait`] /
+    /// [`Engine::take`] do not apply to task ids. This is the hook a
+    /// network front-end uses to schedule protocol sessions whose I/O it
+    /// owns itself.
+    pub fn try_submit_task(&self, label: &'static str, task: TaskFn) -> Result<JobId, EngineError> {
+        self.admit(|id| Work::Task(id, label, task))
+    }
+
+    /// Jobs admitted but not yet picked up by a worker (the
+    /// `engine_queue_depth` gauge).
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .registry
+            .gauge("engine_queue_depth")
+            .get()
+            .max(0) as usize
     }
 
     /// Queues several jobs, returning their handles in order.
+    ///
+    /// # Panics
+    /// Like [`Engine::submit`], panics if a bounded queue overflows.
     pub fn submit_all(&self, jobs: impl IntoIterator<Item = ClusteringJob>) -> Vec<JobId> {
         jobs.into_iter().map(|j| self.submit(j)).collect()
     }
@@ -311,12 +434,41 @@ impl Drop for Engine {
     }
 }
 
-fn worker_loop(rx: &Receiver<(JobId, ClusteringJob)>, shared: &EngineShared) {
+fn worker_loop(rx: &Receiver<Work>, shared: &EngineShared) {
     let queue_depth = shared.registry.gauge("engine_queue_depth");
     let in_flight = shared.registry.gauge("engine_in_flight");
     let jobs_completed = shared.registry.counter("engine_jobs_completed");
     let jobs_failed = shared.registry.counter("engine_jobs_failed");
-    while let Ok((id, job)) = rx.recv() {
+    while let Ok(work) = rx.recv() {
+        let (id, job) = match work {
+            Work::Clustering(id, job) => (id, job),
+            Work::Task(_id, _label, task) => {
+                // Generic task: run it, account it, deposit nothing.
+                queue_depth.dec();
+                in_flight.inc();
+                let start = Instant::now();
+                let outcome = task();
+                let wall_time = start.elapsed();
+                shared.rollup.lock().unwrap().busy += wall_time;
+                let succeeded = outcome.is_ok();
+                {
+                    // Same lock discipline as clustering jobs: a drain
+                    // waiter that observes finished == submitted also
+                    // observes in-flight back at zero.
+                    let _results = shared.results.lock().unwrap();
+                    if succeeded {
+                        shared.completed.fetch_add(1, Ordering::Relaxed);
+                        jobs_completed.inc();
+                    } else {
+                        shared.failed.fetch_add(1, Ordering::Relaxed);
+                        jobs_failed.inc();
+                    }
+                    in_flight.dec();
+                }
+                shared.job_done.notify_all();
+                continue;
+            }
+        };
         queue_depth.dec();
         in_flight.inc();
         let mode = job.request.mode_name();

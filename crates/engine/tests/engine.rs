@@ -382,6 +382,7 @@ fn shared_randomizer_pool_serves_concurrent_encryptors() {
             fillers: 2,
             seed: 5,
         }),
+        queue_cap: None,
     });
     let pool = engine.randomizer_pool().expect("pool configured").clone();
     let keypair = engine.service_keypair().expect("service keypair").clone();
@@ -409,4 +410,86 @@ fn shared_randomizer_pool_serves_concurrent_encryptors() {
     let stats = report.pool.expect("pool stats in report");
     assert_eq!(stats.hits + stats.misses, 100);
     assert!(stats.hits > 0, "background fillers never served a hit");
+}
+
+#[test]
+fn bounded_queue_sheds_load_with_typed_error() {
+    use ppds_engine::EngineError;
+    use std::sync::mpsc;
+
+    let engine = Engine::start(EngineConfig::with_workers(1).with_queue_cap(1));
+
+    // Occupy the single worker with a task that blocks until released, so
+    // queue depth is fully under test control.
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    engine
+        .try_submit_task(
+            "blocker",
+            Box::new(move || {
+                release_rx.recv().expect("released");
+                Ok(())
+            }),
+        )
+        .expect("empty queue admits the blocker");
+
+    // Wait until the worker picked the blocker up (depth back to 0).
+    while engine.queue_depth() > 0 {
+        std::thread::yield_now();
+    }
+
+    // One slot: first queued job admitted, second refused by name.
+    engine
+        .try_submit(horizontal_job(1))
+        .expect("one slot available");
+    assert_eq!(engine.queue_depth(), 1);
+    let err = engine.try_submit(horizontal_job(2)).unwrap_err();
+    assert_eq!(err, EngineError::QueueFull { depth: 1, cap: 1 });
+    assert!(err.to_string().contains("queue full"), "{err}");
+
+    // The gauge backs the decision and the rejection is counted.
+    let registry = engine.registry();
+    assert_eq!(registry.gauge("engine_queue_depth").get(), 1);
+    assert_eq!(registry.counter("engine_jobs_rejected_full").get(), 1);
+
+    // Release the worker: the queue drains and capacity returns.
+    release_tx.send(()).expect("worker waiting");
+    let results = engine.wait_all();
+    assert_eq!(results.len(), 1, "one clustering job ran");
+    assert!(results[0].is_ok());
+    engine
+        .try_submit(horizontal_job(3))
+        .expect("capacity returned after drain");
+    let report = engine.shutdown();
+    // blocker task + two admitted clustering jobs; the refused one is gone.
+    assert_eq!(report.submitted, 3);
+    assert_eq!(report.completed, 3);
+}
+
+#[test]
+fn tasks_share_queue_accounting_with_jobs() {
+    let engine = Engine::start(EngineConfig::with_workers(2));
+    let hits = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    for _ in 0..4 {
+        let hits = std::sync::Arc::clone(&hits);
+        engine
+            .try_submit_task(
+                "bump",
+                Box::new(move || {
+                    hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    Ok(())
+                }),
+            )
+            .expect("unbounded");
+    }
+    engine
+        .try_submit_task("fails", Box::new(|| Err("intentional".into())))
+        .expect("unbounded");
+    let _ = engine.try_submit(horizontal_job(9));
+    let results = engine.wait_all();
+    assert_eq!(results.len(), 1, "only clustering jobs deposit results");
+    let report = engine.shutdown();
+    assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 4);
+    assert_eq!(report.submitted, 6);
+    assert_eq!(report.completed, 5);
+    assert_eq!(report.failed, 1, "task failure counted, not lost");
 }

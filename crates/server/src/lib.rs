@@ -1,0 +1,34 @@
+//! `ppds-server`: the long-running front-end for the privacy-preserving
+//! DBSCAN protocols.
+//!
+//! A [`Server`] listens on two ports: a protocol port where each
+//! connection speaks a one-frame wire-v3 preamble (an ordinary
+//! [`ppdbscan::session::Hello`] plus a session-id field) and, when
+//! admitted, runs an untouched [`ppdbscan::session::Participant`] session
+//! against the server's hosted data; and an operator port serving plain
+//! HTTP/1.0 text (`/metrics`, `/healthz`, `/sessions`, `/trace/<id>`,
+//! `/shutdown`).
+//!
+//! Concurrency comes from the `ppds-engine` worker pool: each admitted
+//! session is one engine task, so the engine's `engine_queue_depth` gauge
+//! doubles as the server's admission signal — connections arriving above
+//! [`ServerConfig::queue_cap`] are refused with a typed
+//! [`proto::ServerReply::Busy`] before any protocol work starts. Each
+//! session derives its own seed via [`session_seed`], so sessions are
+//! isolated and individually reproducible: a direct in-process run with
+//! the same seeds produces byte-identical labels, leakage, and ledgers
+//! (pinned by `tests/server_e2e.rs`).
+
+pub mod client;
+pub mod config;
+pub mod http;
+pub mod proto;
+pub mod registry;
+pub mod server;
+
+pub use client::{open_session, run_session, ClientError, ServerSession};
+pub use config::{session_seed, HostedMode, ServerConfig};
+pub use http::ops_get;
+pub use proto::ServerReply;
+pub use registry::{SessionInfo, SessionRegistry, SessionState};
+pub use server::{hosted, DrainReport, Server};

@@ -1,0 +1,167 @@
+//! The `ppds-server` binary: hosts the demo datasets over TCP, serves the
+//! operator endpoint, and drains cleanly when `/shutdown` is hit.
+//!
+//! ```text
+//! ppds-server --listen 127.0.0.1:7401 --ops 127.0.0.1:7402
+//! ppds-server --client 127.0.0.1:7401        # run one demo session and exit
+//! curl http://127.0.0.1:7402/metrics
+//! curl http://127.0.0.1:7402/shutdown        # graceful drain
+//! ```
+
+use ppdbscan::session::{Participant, PartyData};
+use ppdbscan::{ProtocolConfig, VerticalPartition};
+use ppds_dbscan::datagen::{split_alternating, standard_blobs};
+use ppds_dbscan::{DbscanParams, Quantizer};
+use ppds_server::{hosted, open_session, ServerConfig};
+use ppds_smc::Party;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+struct Opts {
+    listen: String,
+    ops: String,
+    workers: usize,
+    queue_cap: usize,
+    seed: u64,
+    client: Option<String>,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        listen: "127.0.0.1:7401".into(),
+        ops: "127.0.0.1:7402".into(),
+        workers: 4,
+        queue_cap: 16,
+        seed: 0x5E55_10D5,
+        client: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--listen" => opts.listen = value("--listen")?,
+            "--ops" => opts.ops = value("--ops")?,
+            "--workers" => {
+                opts.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--queue-cap" => {
+                opts.queue_cap = value("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--client" => opts.client = Some(value("--client")?),
+            "--help" | "-h" => {
+                println!(
+                    "ppds-server [--listen ADDR] [--ops ADDR] [--workers N] \
+                     [--queue-cap N] [--seed N] [--client ADDR]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn demo_cfg() -> ProtocolConfig {
+    ProtocolConfig::new(
+        DbscanParams {
+            eps_sq: 81,
+            min_pts: 3,
+        },
+        60,
+    )
+}
+
+/// The demo dataset both the hosted halves and the `--client` mode derive
+/// their views from — fixed seed so server and client agree on shapes.
+fn demo_points() -> Vec<ppds_dbscan::Point> {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let (points, _) = standard_blobs(&mut rng, 6, 3, 2, Quantizer::new(1.0, 60));
+    points
+}
+
+fn run_server(opts: &Opts) -> Result<(), String> {
+    let cfg = demo_cfg();
+    let points = demo_points();
+    let (_, horizontal_bob) = split_alternating(&points);
+    let vertical = VerticalPartition::split(&points, 1);
+    let hosted_modes = vec![
+        hosted(
+            cfg,
+            Party::Bob,
+            PartyData::Horizontal(horizontal_bob.clone()),
+        ),
+        hosted(cfg, Party::Bob, PartyData::Enhanced(horizontal_bob)),
+        hosted(cfg, Party::Bob, PartyData::Vertical(vertical.bob)),
+    ];
+    let server = ppds_server::Server::start(
+        ServerConfig::new(hosted_modes)
+            .with_listen(opts.listen.clone())
+            .with_ops(opts.ops.clone())
+            .with_workers(opts.workers)
+            .with_queue_cap(opts.queue_cap)
+            .with_base_seed(opts.seed),
+    )
+    .map_err(|e| format!("failed to start: {e}"))?;
+    println!(
+        "ppds-server listening on {} (ops on {})",
+        server.local_addr(),
+        server.ops_addr()
+    );
+    while !server.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    println!("shutdown requested, draining...");
+    let report = server.shutdown(Duration::from_secs(10));
+    println!(
+        "drained: {} completed, {} failed, {} dropped, {} refused while draining",
+        report.completed, report.failed, report.dropped, report.rejected_draining
+    );
+    Ok(())
+}
+
+fn run_client(addr: &str) -> Result<(), String> {
+    let addr = addr
+        .parse()
+        .map_err(|e| format!("bad server address: {e}"))?;
+    let points = demo_points();
+    let (horizontal_alice, _) = split_alternating(&points);
+    let participant = Participant::new(demo_cfg())
+        .role(Party::Alice)
+        .data(PartyData::Horizontal(horizontal_alice))
+        .seed(1001);
+    let session = open_session(&addr, &participant, 0, Duration::from_secs(10))
+        .map_err(|e| format!("preamble failed: {e}"))?;
+    let id = session.session_id();
+    let outcome = session
+        .run(participant)
+        .map_err(|e| format!("session failed: {e}"))?;
+    println!(
+        "session {id}: mode {} found {} clusters over {} records ({} bytes on the wire)",
+        outcome.meta.mode,
+        outcome.output.clustering.num_clusters,
+        outcome.output.clustering.labels.len(),
+        outcome.output.traffic.bytes_sent + outcome.output.traffic.bytes_received,
+    );
+    Ok(())
+}
+
+fn main() {
+    let result = parse_args().and_then(|opts| match &opts.client {
+        Some(addr) => run_client(addr),
+        None => run_server(&opts),
+    });
+    if let Err(msg) = result {
+        eprintln!("ppds-server: {msg}");
+        std::process::exit(1);
+    }
+}

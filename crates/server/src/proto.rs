@@ -1,0 +1,152 @@
+//! The connection preamble the server speaks before the protocol proper.
+//!
+//! A client opens a TCP connection, sends one ordinary wire-v3
+//! [`ppdbscan::session::Hello`] carrying an extra session-id field (0 =
+//! "assign me one"), and reads back one [`ServerReply`]. On
+//! [`ServerReply::Accept`] the connection is handed to an engine worker and
+//! the untouched [`ppdbscan::session::Participant`] handshake runs next on
+//! the same channel — the preamble classifies and admits, it never changes
+//! a byte of the session itself, which is how server-mediated sessions stay
+//! byte-identical to direct in-process runs.
+//!
+//! Every rejection is typed: the client can distinguish "retry later"
+//! ([`ServerReply::Busy`], [`ServerReply::Draining`]) from "fix your
+//! config" ([`ServerReply::Incompatible`] names the offending handshake
+//! field) from "wrong door" ([`ServerReply::Unsupported`]).
+
+use ppds_transport::wire::{Reader, WireDecode, WireEncode};
+use ppds_transport::TransportError;
+
+const T_ACCEPT: u8 = 1;
+const T_BUSY: u8 = 2;
+const T_DRAINING: u8 = 3;
+const T_INCOMPATIBLE: u8 = 4;
+const T_UNSUPPORTED: u8 = 5;
+
+/// The server's one-frame answer to a connection preamble.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerReply {
+    /// Session admitted under `session_id`; the protocol handshake runs
+    /// next on this connection.
+    Accept {
+        /// The id granted (the client's proposal when it was free).
+        session_id: u64,
+    },
+    /// The engine queue is at capacity; the session was not admitted.
+    Busy {
+        /// Sessions waiting when the connection was refused.
+        depth: u64,
+        /// The server's configured queue cap.
+        cap: u64,
+    },
+    /// The server is shutting down and no longer admits sessions.
+    Draining,
+    /// A protocol-semantic field disagrees; reconfigure and reconnect.
+    Incompatible {
+        /// Name of the offending handshake field (e.g. `eps_sq`).
+        field: String,
+        /// The server's value.
+        ours: u64,
+        /// The client's value.
+        theirs: u64,
+    },
+    /// The request cannot be served at all (unknown mode, mode not
+    /// hosted, malformed preamble).
+    Unsupported {
+        /// Human-readable reason.
+        detail: String,
+    },
+}
+
+impl WireEncode for ServerReply {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ServerReply::Accept { session_id } => {
+                T_ACCEPT.encode(out);
+                session_id.encode(out);
+            }
+            ServerReply::Busy { depth, cap } => {
+                T_BUSY.encode(out);
+                depth.encode(out);
+                cap.encode(out);
+            }
+            ServerReply::Draining => T_DRAINING.encode(out),
+            ServerReply::Incompatible {
+                field,
+                ours,
+                theirs,
+            } => {
+                T_INCOMPATIBLE.encode(out);
+                field.as_bytes().to_vec().encode(out);
+                ours.encode(out);
+                theirs.encode(out);
+            }
+            ServerReply::Unsupported { detail } => {
+                T_UNSUPPORTED.encode(out);
+                detail.as_bytes().to_vec().encode(out);
+            }
+        }
+    }
+}
+
+impl WireDecode for ServerReply {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, TransportError> {
+        let tag = u8::decode(reader)?;
+        Ok(match tag {
+            T_ACCEPT => ServerReply::Accept {
+                session_id: u64::decode(reader)?,
+            },
+            T_BUSY => ServerReply::Busy {
+                depth: u64::decode(reader)?,
+                cap: u64::decode(reader)?,
+            },
+            T_DRAINING => ServerReply::Draining,
+            T_INCOMPATIBLE => ServerReply::Incompatible {
+                field: String::from_utf8_lossy(&Vec::<u8>::decode(reader)?).into_owned(),
+                ours: u64::decode(reader)?,
+                theirs: u64::decode(reader)?,
+            },
+            T_UNSUPPORTED => ServerReply::Unsupported {
+                detail: String::from_utf8_lossy(&Vec::<u8>::decode(reader)?).into_owned(),
+            },
+            other => {
+                return Err(TransportError::decode(
+                    "ServerReply",
+                    format!("unknown reply tag {other}"),
+                ))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_reply_roundtrips() {
+        let replies = [
+            ServerReply::Accept { session_id: 42 },
+            ServerReply::Busy { depth: 3, cap: 2 },
+            ServerReply::Draining,
+            ServerReply::Incompatible {
+                field: "eps_sq".into(),
+                ours: 81,
+                theirs: 4,
+            },
+            ServerReply::Unsupported {
+                detail: "mode multiparty is not hosted".into(),
+            },
+        ];
+        for reply in replies {
+            let bytes = reply.encode_to_vec();
+            assert_eq!(ServerReply::decode_exact(&bytes).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_a_typed_decode_error() {
+        let err = ServerReply::decode_exact(&[99]).unwrap_err();
+        assert!(matches!(err, TransportError::Decode { .. }), "{err}");
+    }
+}

@@ -9,8 +9,9 @@ use crate::channel::{Channel, MAX_FRAME_BYTES};
 use crate::error::TransportError;
 use crate::metrics::{ChannelMetrics, MetricsSnapshot};
 use std::io::{BufReader, BufWriter, Read, Write};
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// One endpoint of a framed TCP connection.
 pub struct TcpChannel {
@@ -23,6 +24,17 @@ impl TcpChannel {
     /// Connects to a listening peer.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<TcpChannel, TransportError> {
         let stream = TcpStream::connect(addr)?;
+        TcpChannel::from_stream(stream)
+    }
+
+    /// Connects to a listening peer, giving up with
+    /// [`TransportError::Timeout`] after `timeout` instead of waiting for
+    /// the OS connect deadline (minutes on a black-holed route).
+    pub fn connect_timeout(
+        addr: &SocketAddr,
+        timeout: Duration,
+    ) -> Result<TcpChannel, TransportError> {
+        let stream = TcpStream::connect_timeout(addr, timeout).map_err(map_io_timeout)?;
         TcpChannel::from_stream(stream)
     }
 
@@ -44,9 +56,37 @@ impl TcpChannel {
         })
     }
 
+    /// Bounds every subsequent blocking read: once no byte arrives for
+    /// `timeout`, [`Channel::recv_bytes`] returns
+    /// [`TransportError::Timeout`] instead of hanging forever on a dead or
+    /// stalled peer. `None` restores unbounded blocking reads.
+    ///
+    /// A fired timeout is **connection-fatal** — it may strike mid-frame,
+    /// after part of a payload was consumed, so the stream position is no
+    /// longer trustworthy. Callers must drop the channel; the server's
+    /// handshake and session legs do exactly that.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), TransportError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// The remote endpoint's address.
+    pub fn peer_addr(&self) -> Result<SocketAddr, TransportError> {
+        Ok(self.reader.get_ref().peer_addr()?)
+    }
+
     /// Shared handle to this endpoint's counters.
     pub fn metrics_handle(&self) -> Arc<ChannelMetrics> {
         Arc::clone(&self.metrics)
+    }
+}
+
+/// Maps the two io error kinds the platforms use for expired read/connect
+/// deadlines onto the typed [`TransportError::Timeout`].
+fn map_io_timeout(e: std::io::Error) -> TransportError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => TransportError::Timeout,
+        _ => TransportError::Io(e),
     }
 }
 
@@ -71,7 +111,7 @@ impl Channel for TcpChannel {
         if let Err(e) = self.reader.read_exact(&mut len_bytes) {
             return Err(match e.kind() {
                 std::io::ErrorKind::UnexpectedEof => TransportError::Disconnected,
-                _ => TransportError::Io(e),
+                _ => map_io_timeout(e),
             });
         }
         let len = u32::from_le_bytes(len_bytes) as u64;
@@ -82,7 +122,13 @@ impl Channel for TcpChannel {
             });
         }
         let mut payload = vec![0u8; len as usize];
-        self.reader.read_exact(&mut payload)?;
+        self.reader.read_exact(&mut payload).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                TransportError::Disconnected
+            } else {
+                map_io_timeout(e)
+            }
+        })?;
         self.metrics.record_recv(len);
         Ok(payload)
     }
@@ -163,6 +209,49 @@ mod tests {
         let big = vec![0xCD; 1 << 20];
         client.send_bytes(&big).unwrap();
         assert_eq!(server.recv_bytes().unwrap(), big);
+    }
+
+    #[test]
+    fn silent_peer_times_out_with_typed_error() {
+        let (mut server, client) = loopback_pair();
+        server
+            .set_read_timeout(Some(std::time::Duration::from_millis(60)))
+            .unwrap();
+        let start = std::time::Instant::now();
+        assert!(matches!(server.recv_bytes(), Err(TransportError::Timeout)));
+        assert!(start.elapsed() < std::time::Duration::from_secs(5));
+        // A live peer after clearing the deadline still gets through.
+        server.set_read_timeout(None).unwrap();
+        let mut client = client;
+        client.send(&7u64).unwrap();
+        assert_eq!(server.recv::<u64>().unwrap(), 7);
+    }
+
+    #[test]
+    fn timeout_mid_frame_is_detected() {
+        let (mut server, mut client) = loopback_pair();
+        server
+            .set_read_timeout(Some(std::time::Duration::from_millis(60)))
+            .unwrap();
+        // Send only the length header: the payload read must time out, not
+        // hang and not report a clean disconnect.
+        client.writer.write_all(&8u32.to_le_bytes()).unwrap();
+        client.writer.flush().unwrap();
+        assert!(matches!(server.recv_bytes(), Err(TransportError::Timeout)));
+    }
+
+    #[test]
+    fn connect_timeout_reaches_live_listener() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client_thread = std::thread::spawn(move || {
+            TcpChannel::connect_timeout(&addr, std::time::Duration::from_secs(5)).expect("connect")
+        });
+        let mut server = TcpChannel::accept(&listener).expect("accept");
+        let mut client = client_thread.join().expect("join");
+        assert_eq!(client.peer_addr().unwrap(), addr);
+        client.send(&1u64).unwrap();
+        assert_eq!(server.recv::<u64>().unwrap(), 1);
     }
 
     #[test]

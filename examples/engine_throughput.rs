@@ -37,6 +37,7 @@ fn main() {
             fillers: 1,
             seed: 42,
         }),
+        queue_cap: None,
     });
 
     println!("submitting 12 horizontal clustering jobs to a 4-worker engine...");

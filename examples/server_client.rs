@@ -1,0 +1,104 @@
+//! Drive the `ppds-server` subsystem end to end in one process: start a
+//! server hosting two protocol modes, run two concurrent client sessions
+//! against it over real TCP, scrape the operator endpoint mid-flight, and
+//! print the rollup.
+//!
+//! ```text
+//! cargo run --release --example server_client
+//! ```
+
+use ppdbscan::config::ProtocolConfig;
+use ppdbscan::session::{Participant, PartyData};
+use ppds_dbscan::datagen::{split_alternating, standard_blobs};
+use ppds_dbscan::{DbscanParams, Quantizer};
+use ppds_server::{hosted, open_session, ops_get, Server, ServerConfig};
+use ppds_smc::Party;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn main() {
+    let cfg = ProtocolConfig::new(
+        DbscanParams {
+            eps_sq: 81,
+            min_pts: 3,
+        },
+        60,
+    );
+    let mut rng = StdRng::seed_from_u64(4242);
+    let (points, _) = standard_blobs(&mut rng, 8, 3, 2, Quantizer::new(1.0, 60));
+    let (alice, bob) = split_alternating(&points);
+
+    let server = Server::start(
+        ServerConfig::new(vec![
+            hosted(cfg, Party::Bob, PartyData::Horizontal(bob.clone())),
+            hosted(cfg, Party::Bob, PartyData::Enhanced(bob)),
+        ])
+        .with_workers(2)
+        .with_base_seed(0xD0D0),
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+    let ops = server.ops_addr();
+    println!("server up: protocol {addr}, ops {ops}\n");
+
+    // Two concurrent sessions, one per hosted mode. Opening both before
+    // running either pins two engine workers at once.
+    let timeout = Duration::from_secs(30);
+    let horizontal = Participant::new(cfg)
+        .role(Party::Alice)
+        .data(PartyData::Horizontal(alice.clone()))
+        .seed(11);
+    let enhanced = Participant::new(cfg)
+        .role(Party::Alice)
+        .data(PartyData::Enhanced(alice))
+        .seed(22);
+    let s1 = open_session(&addr, &horizontal, 0, timeout).expect("horizontal admitted");
+    let s2 = open_session(&addr, &enhanced, 0, timeout).expect("enhanced admitted");
+    println!(
+        "admitted session {} (horizontal) and session {} (enhanced)",
+        s1.session_id(),
+        s2.session_id()
+    );
+
+    // Both sessions are live right now — scrape the operator endpoint.
+    let metrics = ops_get(&ops, "/metrics").expect("metrics scrape");
+    println!("\n--- /metrics while both sessions are active ---");
+    for line in metrics.lines().filter(|l| {
+        l.starts_with("server_") || l.starts_with("engine_queue") || l.starts_with("engine_in")
+    }) {
+        println!("{line}");
+    }
+
+    let (o1, o2) = std::thread::scope(|scope| {
+        let h1 = scope.spawn(move || s1.run(horizontal).expect("horizontal session"));
+        let h2 = scope.spawn(move || s2.run(enhanced).expect("enhanced session"));
+        (h1.join().unwrap(), h2.join().unwrap())
+    });
+
+    println!("\n--- outcomes ---");
+    for outcome in [&o1, &o2] {
+        println!(
+            "{}: {} clusters / {} records, {} noise, {} KiB on the wire",
+            outcome.meta.mode,
+            outcome.output.clustering.num_clusters,
+            outcome.output.clustering.labels.len(),
+            outcome.output.clustering.noise_count(),
+            (outcome.output.traffic.bytes_sent + outcome.output.traffic.bytes_received) / 1024,
+        );
+    }
+
+    // The client returns a beat before the worker finishes its
+    // accounting; wait for the server-side view to settle.
+    while server.metrics().counter("server_sessions_completed").get() < 2 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    println!("\n--- /sessions after completion ---");
+    print!("{}", ops_get(&ops, "/sessions").expect("sessions scrape"));
+
+    let report = server.shutdown(Duration::from_secs(5));
+    println!(
+        "\ndrained: {} completed, {} failed, {} dropped; engine busy {:?}",
+        report.completed, report.failed, report.dropped, report.engine.busy_time
+    );
+}

@@ -18,6 +18,10 @@
 //! * [`ppds_engine`] — the parallel protocol-execution engine: worker-pool
 //!   job scheduler, shared Paillier randomizer precomputation, rollup
 //!   reports,
+//! * [`ppds_server`] — the long-running protocol service: Hello-preamble
+//!   session admission, session registry with per-session seed isolation,
+//!   bounded-queue load shedding, graceful drain, and the operator HTTP
+//!   endpoint,
 //! * [`ppds_dbscan`] — plaintext DBSCAN baseline (sequential and
 //!   grid-sharded parallel), workload generators, clustering metrics,
 //! * [`ppds_smc`] — Multiplication Protocol, Yao's millionaires, secure
@@ -36,5 +40,6 @@ pub use ppds_dbscan;
 pub use ppds_engine;
 pub use ppds_observe;
 pub use ppds_paillier;
+pub use ppds_server;
 pub use ppds_smc;
 pub use ppds_transport;
