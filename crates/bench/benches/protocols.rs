@@ -127,6 +127,40 @@ fn bench_config_validate(c: &mut Criterion) {
     c.bench_function("config_validate", |b| b.iter(|| cfg.validate(4).unwrap()));
 }
 
+/// The vertical protocol end to end on both SMC substrates (n = 12,
+/// round-batched; packing on for the Paillier row — its best framing).
+/// Criterion measures wall time; the wire bytes each substrate moves are
+/// printed once per row, since the byte cut is the backend's headline
+/// delta (the full-size figures live in E12 / BENCH_protocols.json).
+fn bench_backend_vertical_e2e(c: &mut Criterion) {
+    use ppds_smc::BackendKind;
+    let mut w = blob_workload(12, 2, 7);
+    w.cfg.key_bits = 128;
+    let vertical = VerticalPartition::split(&w.all, 1);
+    let mut group = c.benchmark_group("vertical_e2e_backends_n12");
+    group.sample_size(10);
+    for (label, cfg) in [
+        (
+            "paillier_packed",
+            w.cfg.with_batching(true).with_packing(true),
+        ),
+        (
+            "sharing",
+            w.cfg.with_batching(true).with_backend(BackendKind::Sharing),
+        ),
+    ] {
+        let (out, _) = run_vertical_pair(&cfg, &vertical, rng(5), rng(6)).unwrap();
+        println!(
+            "vertical_e2e_backends_n12/{label}: {} bytes on the wire",
+            out.traffic.total_bytes()
+        );
+        group.bench_function(label, |b| {
+            b.iter(|| run_vertical_pair(&cfg, &vertical, rng(5), rng(6)).unwrap());
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_full_runs,
@@ -134,6 +168,7 @@ criterion_group!(
     bench_plaintext_reference,
     bench_key_size_ablation,
     bench_region_query_index,
-    bench_config_validate
+    bench_config_validate,
+    bench_backend_vertical_e2e
 );
 criterion_main!(benches);

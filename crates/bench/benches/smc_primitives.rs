@@ -615,6 +615,178 @@ fn bench_kernel_legs(c: &mut Criterion) {
     group.finish();
 }
 
+/// The two batched SMC workhorses on both substrates (DESIGN.md §14), at
+/// k ∈ {4, 16, 64, 256}: `dot_many` with k responder rows (one
+/// neighborhood answer) against the packed-Paillier variant, and
+/// `mul_batches` with k four-element groups (one fused Algorithm 2
+/// sweep). Same dataflow and channel round trips either way — the delta
+/// is 8-byte ring elements plus dealer-tape derivation versus 256-bit
+/// ciphertext legs plus encrypt/decrypt work.
+fn bench_backend_workhorses(c: &mut Criterion) {
+    use ppds_paillier::SlotLayout;
+    use ppds_smc::multiplication::{
+        dot_many_keyholder, dot_many_peer, mul_batches_keyholder, mul_batches_peer, zero_sum_masks,
+        ResponsePacking,
+    };
+    use ppds_smc::sharing::{
+        sharing_dot_querier, sharing_dot_responder, sharing_fold_keyholder_batch,
+        sharing_fold_peer_batch, DealerTape, Fe, SharingLedger,
+    };
+
+    let packing = ResponsePacking {
+        layout: SlotLayout::new(keypair().public.bits(), 24).unwrap(),
+        offset: ppds_bigint::BigUint::from_u64((1 << 20) + 200),
+    };
+    let mask_bound = BigUint::from_u64(1 << 20);
+    let xs: [i64; 4] = [25, -6, -8, 1];
+
+    let mut group = c.benchmark_group("backend_dot_many");
+    group.sample_size(10);
+    for k in [4usize, 16, 64, 256] {
+        let rows: Vec<Vec<i64>> = (0..k as i64)
+            .map(|j| vec![1, j % 7, j % 5, (j % 7) * (j % 7) + (j % 5) * (j % 5)])
+            .collect();
+        let rows_big: Vec<Vec<BigInt>> = rows
+            .iter()
+            .map(|r| r.iter().map(|&v| BigInt::from_i64(v)).collect())
+            .collect();
+        let rows_fe: Vec<Vec<Fe>> = rows
+            .iter()
+            .map(|r| r.iter().map(|&v| Fe::embed(v)).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("paillier_packed", k), &k, |b, &k| {
+            b.iter(|| {
+                let (mut kchan, mut pchan) = duplex();
+                let xs2: Vec<BigInt> = xs.iter().map(|&v| BigInt::from_i64(v)).collect();
+                let p2 = packing.clone();
+                let handle = std::thread::spawn(move || {
+                    dot_many_keyholder(
+                        &mut kchan,
+                        keypair(),
+                        &xs2,
+                        k,
+                        Some(&p2),
+                        &ProtocolContext::new(3),
+                    )
+                    .unwrap()
+                });
+                dot_many_peer(
+                    &mut pchan,
+                    &keypair().public,
+                    &rows_big,
+                    &mask_bound,
+                    Some(&packing),
+                    &ProtocolContext::new(4),
+                )
+                .unwrap();
+                handle.join().unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sharing", k), &k, |b, &k| {
+            // Both sides must share the tape seed and walk the same
+            // context path — the path-symmetry contract of DESIGN.md §14.
+            let tape = DealerTape::from_seed(0xD07 + k as u64);
+            let ctx = ProtocolContext::new(5).at(k as u64);
+            b.iter(|| {
+                let (mut qchan, mut rchan) = duplex();
+                let xs2: Vec<Fe> = xs.iter().map(|&v| Fe::embed(v)).collect();
+                let handle = std::thread::spawn(move || {
+                    let mut acct = SharingLedger::default();
+                    sharing_dot_querier(&tape, &mut qchan, &xs2, k, &ctx, &mut acct).unwrap()
+                });
+                let mut masks_rng = ctx.narrow("bench_mask").rng();
+                let masks: Vec<Fe> = (0..k).map(|_| Fe::random(&mut masks_rng)).collect();
+                let mut acct = SharingLedger::default();
+                sharing_dot_responder(&tape, &mut rchan, &rows_fe, &masks, &ctx, &mut acct)
+                    .unwrap();
+                handle.join().unwrap()
+            });
+        });
+    }
+    group.finish();
+
+    // Zero-sum masks concentrate up to (len-1)·bound in the closing mask,
+    // so the fold packing needs a wider offset than the dot-product one.
+    let fold_packing = ResponsePacking {
+        layout: SlotLayout::new(keypair().public.bits(), 24).unwrap(),
+        offset: ppds_bigint::BigUint::from_u64(4 << 20),
+    };
+    let mut group = c.benchmark_group("backend_mul_batches");
+    group.sample_size(10);
+    for k in [4usize, 16, 64, 256] {
+        let groups: Vec<Vec<i64>> = (0..k as i64)
+            .map(|g| (0..4).map(|i| (g * 4 + i) % 97).collect())
+            .collect();
+        let groups_big: Vec<Vec<BigInt>> = groups
+            .iter()
+            .map(|r| r.iter().map(|&v| BigInt::from_i64(v)).collect())
+            .collect();
+        let groups_fe: Vec<Vec<Fe>> = groups
+            .iter()
+            .map(|r| r.iter().map(|&v| Fe::embed(v)).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("paillier_packed", k), &k, |b, _| {
+            b.iter(|| {
+                let (mut kchan, mut pchan) = duplex();
+                let g2 = groups_big.clone();
+                let p2 = fold_packing.clone();
+                let handle = std::thread::spawn(move || {
+                    let kctx = ProtocolContext::new(20).narrow("mul");
+                    mul_batches_keyholder(
+                        &mut kchan,
+                        keypair(),
+                        &g2,
+                        |g| kctx.at(g as u64),
+                        Some(&p2),
+                    )
+                    .unwrap()
+                });
+                let pctx = ProtocolContext::new(21).narrow("mul");
+                mul_batches_peer(
+                    &mut pchan,
+                    &keypair().public,
+                    &groups_big,
+                    |g| zero_sum_masks(pctx.narrow("mask").at(g as u64).rng(), 4, &mask_bound),
+                    |g| pctx.at(g as u64),
+                    Some(&fold_packing),
+                )
+                .unwrap();
+                handle.join().unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sharing", k), &k, |b, _| {
+            let tape = DealerTape::from_seed(0xF01D + k as u64);
+            let ctx = ProtocolContext::new(22).narrow("mul");
+            b.iter(|| {
+                let (mut kchan, mut pchan) = duplex();
+                let g2 = groups_fe.clone();
+                let handle = std::thread::spawn(move || {
+                    let mut acct = SharingLedger::default();
+                    sharing_fold_keyholder_batch(
+                        &tape,
+                        &mut kchan,
+                        &g2,
+                        |g| ctx.at(g as u64),
+                        &mut acct,
+                    )
+                    .unwrap()
+                });
+                let mut acct = SharingLedger::default();
+                sharing_fold_peer_batch(
+                    &tape,
+                    &mut pchan,
+                    &groups_fe,
+                    |g| ctx.at(g as u64),
+                    &mut acct,
+                )
+                .unwrap();
+                handle.join().unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_multiplication,
@@ -627,6 +799,7 @@ criterion_group!(
     bench_dgk_reply_packing,
     bench_dot_many_packing,
     bench_kernel_legs,
-    bench_trace_overhead
+    bench_trace_overhead,
+    bench_backend_workhorses
 );
 criterion_main!(benches);

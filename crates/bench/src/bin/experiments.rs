@@ -5,14 +5,21 @@
 //! experiment here measures one of those analytical claims.
 //!
 //! Usage:
-//! `cargo run -p ppds-bench --bin experiments --release -- [e1..e11|f1|all]`
+//! `cargo run -p ppds-bench --bin experiments --release -- [e1..e12|f1|all]`
 //! `cargo run -p ppds-bench --bin experiments --release -- --json <path>`
 //!
-//! `--json <path>` runs the round-batching (E10) and slot-packing (E11)
-//! protocol sweeps and writes per-protocol `{batching, packing, rounds,
-//! messages, bytes, modeled_lan_ms, modeled_wan_ms}` records — the bench
-//! trajectory future PRs diff against (the repo keeps one run as
-//! `BENCH_protocols.json`).
+//! `--json <path>` runs the round-batching (E10), slot-packing (E11) and
+//! sharing-backend (E12) protocol sweeps and writes per-protocol
+//! `{backend, batching, packing, rounds, messages, bytes, modeled_lan_ms,
+//! modeled_wan_ms}` records — the bench trajectory future PRs diff against
+//! (the repo keeps one run as `BENCH_protocols.json`).
+//!
+//! `--backend <paillier|sharing>` restricts the sweeps (and the trajectory)
+//! to one SMC substrate; by default both are swept so the trajectory carries
+//! per-backend rows. E11 (slot packing) and E12 (the cross-backend
+//! comparison) are Paillier-anchored and are skipped under
+//! `--backend sharing`, which instead prints the batching sweep on the
+//! sharing substrate.
 
 use ppdbscan::config::ProtocolConfig;
 use ppdbscan::session::{run_participants, Participant, PartyData};
@@ -30,7 +37,7 @@ use ppds_smc::compare::{compare_alice, compare_bob, CmpOp, Comparator, Compariso
 use ppds_smc::kth::{kth_smallest_alice, kth_smallest_bob, SelectionMethod};
 use ppds_smc::millionaires;
 use ppds_smc::multiplication::{mul_keyholder, mul_peer};
-use ppds_smc::{Party, ProtocolContext};
+use ppds_smc::{BackendKind, Party, ProtocolContext};
 use ppds_transport::{duplex, Channel, CostModel};
 use std::sync::Arc;
 use std::time::Instant;
@@ -571,6 +578,7 @@ fn e9() {
 #[derive(Clone)]
 struct BatchBenchRow {
     protocol: &'static str,
+    backend: &'static str,
     batching: bool,
     packing: bool,
     rounds: u64,
@@ -627,6 +635,7 @@ fn row_from(protocol: &'static str, cfg: &ProtocolConfig, out: &PartyOutput) -> 
     let t = out.traffic;
     BatchBenchRow {
         protocol,
+        backend: cfg.backend.name(),
         batching: cfg.batching,
         packing: cfg.packing,
         rounds: t.total_rounds(),
@@ -639,16 +648,17 @@ fn row_from(protocol: &'static str, cfg: &ProtocolConfig, out: &PartyOutput) -> 
 
 /// Runs every two-party protocol family batched and unbatched on the
 /// canonical n = 36 blob workload and returns one row per (protocol,
-/// framing). The per-protocol outputs are asserted label- and
-/// leakage-identical across framings before any number is reported.
-fn batching_sweep() -> Vec<BatchBenchRow> {
+/// framing), all on the given SMC substrate. The per-protocol outputs are
+/// asserted label- and leakage-identical across framings before any number
+/// is reported.
+fn batching_sweep(backend: BackendKind) -> Vec<BatchBenchRow> {
     let w = blob_workload(36, 2, 9_100);
     let vp = VerticalPartition::split(&w.all, 1);
     let ap = ArbitraryPartition::random(&mut rng(9_101), &w.all);
     let mut rows = Vec::new();
     for (protocol, run) in &protocol_runs(&w, &vp, &ap) {
-        let plain_cfg = w.cfg;
-        let batched_cfg = w.cfg.with_batching(true);
+        let plain_cfg = w.cfg.with_backend(backend);
+        let batched_cfg = plain_cfg.with_batching(true);
         let plain = run(&plain_cfg);
         let batched = run(&batched_cfg);
         assert_eq!(plain.0.clustering, batched.0.clustering, "{protocol}");
@@ -664,6 +674,8 @@ fn batching_sweep() -> Vec<BatchBenchRow> {
 /// same workload and seeds as [`batching_sweep`]. Labels, leakage, and the
 /// Yao ledger are asserted identical before any number is reported.
 fn packing_sweep() -> Vec<BatchBenchRow> {
+    // Slot packing is a Paillier transport concern, so this sweep always
+    // runs on the default (Paillier) substrate.
     let w = blob_workload(36, 2, 9_100);
     let vp = VerticalPartition::split(&w.all, 1);
     let ap = ArbitraryPartition::random(&mut rng(9_101), &w.all);
@@ -684,9 +696,12 @@ fn packing_sweep() -> Vec<BatchBenchRow> {
 /// of one per comparison; wire rounds (and with them modeled WAN latency)
 /// collapse while bytes, logical messages, outputs, and leakage are
 /// unchanged.
-fn e10() -> Vec<BatchBenchRow> {
-    section("E10  Round batching: wire rounds and modeled link time (n = 36)");
-    let rows = batching_sweep();
+fn e10(backend: BackendKind) -> Vec<BatchBenchRow> {
+    section(&format!(
+        "E10  Round batching: wire rounds and modeled link time (n = 36, {})",
+        backend.name()
+    ));
+    let rows = batching_sweep(backend);
     let widths = [11, 6, 8, 9, 11, 9, 10];
     print_header(
         &widths,
@@ -771,6 +786,74 @@ fn e11(baseline: &[BatchBenchRow]) -> Vec<BatchBenchRow> {
     println!("(asserted); only the transport of masked responses changes. The DGK");
     println!("request leg (per-bit ciphertexts) cannot pack, which bounds that");
     println!("backend's end-to-end cut at ~2x; reply legs cut by the full capacity.");
+    rows
+}
+
+/// E12 — DESIGN.md §14: the additive-sharing backend replaces every
+/// ciphertext leg of the three SMC workhorses with 8-byte ring elements.
+/// Each protocol family is run on packed Paillier (its best framing) and on
+/// the sharing substrate; labels and leakage logs are asserted identical
+/// before any number is reported, and the vertical protocol must cut wire
+/// bytes by at least 10x (the PR's acceptance bar). The dealer-tape
+/// precomputation the online run consumes is ledgered per row.
+fn e12() -> Vec<BatchBenchRow> {
+    section("E12  Secret-sharing backend vs packed Paillier (n = 36)");
+    let w = blob_workload(36, 2, 9_100);
+    let vp = VerticalPartition::split(&w.all, 1);
+    let ap = ArbitraryPartition::random(&mut rng(9_101), &w.all);
+    let widths = [20, 11, 11, 7, 8, 9, 11];
+    print_header(
+        &widths,
+        &[
+            "protocol",
+            "paillier B",
+            "sharing B",
+            "cut",
+            "triples",
+            "compares",
+            "offline B",
+        ],
+    );
+    let mut rows = Vec::new();
+    for (protocol, run) in &protocol_runs(&w, &vp, &ap) {
+        let paillier_cfg = w.cfg.with_batching(true).with_packing(true);
+        let sharing_plain_cfg = w.cfg.with_backend(BackendKind::Sharing);
+        let sharing_cfg = sharing_plain_cfg.with_batching(true);
+        let p = run(&paillier_cfg);
+        let plain = run(&sharing_plain_cfg);
+        let s = run(&sharing_cfg);
+        assert_eq!(p.0.clustering, s.0.clustering, "{protocol}: backend parity");
+        assert_eq!(p.0.leakage, s.0.leakage, "{protocol}: backend parity");
+        assert_eq!(plain.0.clustering, s.0.clustering, "{protocol}: framing");
+        assert_eq!(plain.0.leakage, s.0.leakage, "{protocol}: framing");
+        let (pb, sb) = (p.0.traffic.total_bytes(), s.0.traffic.total_bytes());
+        if *protocol == "vertical" {
+            assert!(
+                sb * 10 <= pb,
+                "vertical sharing run must move >=10x fewer bytes ({sb} vs {pb})"
+            );
+        }
+        let ledger = &s.0.sharing;
+        print_row(
+            &widths,
+            &[
+                (*protocol).into(),
+                fmt_bytes(pb),
+                fmt_bytes(sb),
+                format!("{:.1}x", pb as f64 / sb as f64),
+                format!("{}", ledger.triples),
+                format!("{}", ledger.compares),
+                fmt_bytes(ledger.modeled_offline_bytes),
+            ],
+        );
+        rows.push(row_from(protocol, &sharing_plain_cfg, &plain.0));
+        rows.push(row_from(protocol, &sharing_cfg, &s.0));
+    }
+    println!("\nEvery ciphertext leg (DGK bit vectors, masked-distance and masked-");
+    println!("product replies) becomes one or two ring elements per item, so the");
+    println!("byte cut tracks the ciphertext width / 8 B ratio. The \"offline B\"");
+    println!("column models the Beaver-triple material a dealer would ship ahead");
+    println!("of time — the classic online/offline trade the backend makes.");
     rows
 }
 
@@ -886,10 +969,11 @@ fn write_trace_json(path: &str, runs: &[(&'static str, SessionTrace)]) {
 }
 
 /// Serializes the sweep as the machine-readable bench trajectory. The
-/// top-level `wire_version` records the session-handshake format and
+/// top-level `wire_version` records the session-handshake format,
 /// `randomness` the RNG discipline (`keyed-v1` = `ProtocolContext`
-/// substreams) the run used, so a reader knows which builds a trajectory
-/// is comparable with: frame sizes shift slightly between wire versions,
+/// substreams) and `sharing` the secret-sharing discipline (ring width and
+/// share convention of the E12 rows) the run used, so a reader knows which
+/// builds a trajectory is comparable with: frame sizes shift slightly between wire versions,
 /// and counts that depend on drawn values (the enhanced protocol's
 /// quickselect partition paths depend on the masks) shift when the
 /// derivation scheme changes. Data-independent counts (horizontal,
@@ -923,19 +1007,22 @@ fn phases_json(runs: &[(&'static str, SessionTrace)]) -> String {
 
 fn write_bench_json(path: &str, rows: &[BatchBenchRow], runs: &[(&'static str, SessionTrace)]) {
     let mut out = format!(
-        "{{\n  \"wire_version\": {},\n  \"randomness\": \"{}\",\n  \"packing\": \"{}\",\n  \"kernels\": \"{}\",\n  \"workload\": {{\"n\": 36, \"dim\": 2, \"generator\": \"standard_blobs\"}},\n",
+        "{{\n  \"wire_version\": {},\n  \"randomness\": \"{}\",\n  \"packing\": \"{}\",\n  \"kernels\": \"{}\",\n  \"sharing\": \"{}\",\n  \"workload\": {{\"n\": 36, \"dim\": 2, \"generator\": \"standard_blobs\"}},\n",
         ppdbscan::session::WIRE_VERSION,
         ppds_smc::context::RANDOMNESS_DISCIPLINE,
         ppds_paillier::PACKING_DISCIPLINE,
-        ppds_bigint::KERNEL_DISCIPLINE
+        ppds_bigint::KERNEL_DISCIPLINE,
+        ppds_smc::SHARING_DISCIPLINE
     );
     out.push_str(&phases_json(runs));
     out.push_str("  \"protocols\": [\n");
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"protocol\": \"{}\", \"batching\": {}, \"packing\": {}, \"rounds\": {}, \
-             \"messages\": {}, \"bytes\": {}, \"modeled_lan_ms\": {:.3}, \"modeled_wan_ms\": {:.3}}}{}\n",
+            "    {{\"protocol\": \"{}\", \"backend\": \"{}\", \"batching\": {}, \"packing\": {}, \
+             \"rounds\": {}, \"messages\": {}, \"bytes\": {}, \"modeled_lan_ms\": {:.3}, \
+             \"modeled_wan_ms\": {:.3}}}{}\n",
             row.protocol,
+            row.backend,
             row.batching,
             row.packing,
             row.rounds,
@@ -996,14 +1083,48 @@ fn f1() {
     println!("See `cargo run --release --example figure1_attack` for the full demo.");
 }
 
+/// The full sweep chain (E10 → E11 → E12), honouring the `--backend`
+/// restriction: `Some(Paillier)` drops the sharing rows, `Some(Sharing)`
+/// drops the Paillier rows (and with them the Paillier-anchored E11/E12,
+/// printing the batching sweep on the sharing substrate instead), `None`
+/// emits per-backend rows for the full trajectory.
+fn run_sweeps(backend: Option<BackendKind>) -> Vec<BatchBenchRow> {
+    let mut rows = Vec::new();
+    if backend != Some(BackendKind::Sharing) {
+        rows = e10(BackendKind::Paillier);
+        let packed = e11(&rows);
+        rows.extend(packed);
+    }
+    match backend {
+        Some(BackendKind::Paillier) => {}
+        Some(BackendKind::Sharing) => rows.extend(e10(BackendKind::Sharing)),
+        None => rows.extend(e12()),
+    }
+    rows
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut selector: Option<String> = None;
+    let mut backend: Option<BackendKind> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
-        if arg == "--json" {
+        if arg == "--backend" {
+            match iter.next().as_deref() {
+                Some("paillier") => backend = Some(BackendKind::Paillier),
+                Some("sharing") => backend = Some(BackendKind::Sharing),
+                Some(other) => {
+                    eprintln!("unknown backend {other}; use paillier or sharing");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("--backend requires paillier or sharing");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--json" {
             match iter.next() {
                 Some(path) => json_path = Some(path),
                 None => {
@@ -1049,19 +1170,15 @@ fn main() {
         "e7" => e7(),
         "e8" => e8(),
         "e9" => e9(),
-        "e10" => sweep_rows = Some(e10()),
+        "e10" => sweep_rows = Some(e10(backend.unwrap_or_default())),
         "e11" => {
-            let mut rows = batching_sweep();
+            let mut rows = batching_sweep(BackendKind::Paillier);
             let packed = e11(&rows);
             rows.extend(packed);
             sweep_rows = Some(rows);
         }
-        "sweeps" => {
-            let mut rows = e10();
-            let packed = e11(&rows);
-            rows.extend(packed);
-            sweep_rows = Some(rows);
-        }
+        "e12" => sweep_rows = Some(e12()),
+        "sweeps" => sweep_rows = Some(run_sweeps(backend)),
         "f1" => f1(),
         "all" => {
             e1();
@@ -1073,14 +1190,11 @@ fn main() {
             e7();
             e8();
             e9();
-            let mut rows = e10();
-            let packed = e11(&rows);
-            rows.extend(packed);
-            sweep_rows = Some(rows);
+            sweep_rows = Some(run_sweeps(backend));
             f1();
         }
         other => {
-            eprintln!("unknown experiment {other}; use e1..e11, f1 or all");
+            eprintln!("unknown experiment {other}; use e1..e12, f1 or all");
             std::process::exit(2);
         }
     }
@@ -1094,7 +1208,7 @@ fn main() {
         }
         if let Some(path) = &json_path {
             let rows = sweep_rows.unwrap_or_else(|| {
-                let mut rows = batching_sweep();
+                let mut rows = batching_sweep(BackendKind::Paillier);
                 rows.extend(packing_sweep());
                 rows
             });

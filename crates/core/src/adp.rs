@@ -16,19 +16,15 @@
 //! One Yao comparison then decides
 //! `V_A + Σ_H a_k²  ≤  Eps² − V_B − Σ_H b_k² + 2·Σ_H a_k·b_k`,
 //! which is `dist²(x, y) ≤ Eps²`.
+//!
+//! Both the multiplication stage and the comparison dispatch through the
+//! session's [`SmcBackend`], so the same dataflow runs over Paillier
+//! ciphertexts or 8-byte ring shares (DESIGN.md §14).
 
 use crate::config::{ProtocolConfig, YaoLedger};
 use crate::domain::adp_domain;
-use crate::hdp::mul_packing;
-use ppds_bigint::BigInt;
-use ppds_paillier::{Keypair, PublicKey};
-use ppds_smc::compare::{
-    compare_alice, compare_batch_alice, compare_batch_bob, compare_bob, CmpOp,
-};
-use ppds_smc::multiplication::{
-    mul_batch_keyholder, mul_batch_peer, mul_batches_keyholder, mul_batches_peer, zero_sum_masks,
-};
-use ppds_smc::{ProtocolContext, SmcError};
+use ppds_smc::compare::CmpOp;
+use ppds_smc::{Party, ProtocolContext, SharingLedger, SmcBackend, SmcError};
 use ppds_transport::Channel;
 
 /// One party's view of a record pair: its own values (`Some`) per
@@ -76,101 +72,78 @@ fn classify(view: &PairView<'_>) -> LocalParts {
 /// keys the batched form derives for the same pair). Returns
 /// `dist²(x, y) ≤ Eps²`.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
-pub fn adp_compare_alice<C: Channel>(
+pub fn adp_compare_alice<C: Channel, B: SmcBackend>(
     chan: &mut C,
     cfg: &ProtocolConfig,
-    my_keypair: &Keypair,
-    bob_pk: &PublicKey,
+    backend: &B,
     view: PairView<'_>,
     ctx: &ProtocolContext,
     record: u64,
     ledger: &mut YaoLedger,
+    acct: &mut SharingLedger,
 ) -> Result<bool, SmcError> {
     let total_dim = view.x.len();
     let parts = classify(&view);
     // Cross terms through the Multiplication Protocol (Bob keyholder).
     if !parts.split_endpoints.is_empty() {
-        let ys: Vec<BigInt> = parts
-            .split_endpoints
-            .iter()
-            .map(|&v| BigInt::from_i64(v))
-            .collect();
-        let masks = zero_sum_masks(
-            ctx.narrow("mask").rng_for(record),
-            ys.len(),
-            &cfg.mul_mask_bound(),
-        );
-        mul_batch_peer(
+        backend.mul_fold_peer(
             chan,
-            bob_pk,
-            &ys,
-            &masks,
-            mul_packing(cfg, total_dim).as_ref(),
-            &ctx.narrow("mul").at(record),
+            std::slice::from_ref(&parts.split_endpoints),
+            &[record],
+            ctx,
+            acct,
         )?;
     }
     let i_val = parts.both_owned + parts.split_endpoints.iter().map(|&v| v * v).sum::<i64>();
     let domain = adp_domain(cfg, total_dim);
     ledger.record(cfg.key_bits, domain.n0());
-    compare_alice(
-        cfg.comparator,
+    backend.compare(
         chan,
-        my_keypair,
+        Party::Alice,
         i_val,
         CmpOp::Leq,
         &domain,
-        cfg.packing,
         &ctx.narrow("cmp").at(record),
+        acct,
     )
 }
 
 /// Bob's side of one arbitrary-partition comparison.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
-pub fn adp_compare_bob<C: Channel>(
+pub fn adp_compare_bob<C: Channel, B: SmcBackend>(
     chan: &mut C,
     cfg: &ProtocolConfig,
-    my_keypair: &Keypair,
-    alice_pk: &PublicKey,
+    backend: &B,
     view: PairView<'_>,
     ctx: &ProtocolContext,
     record: u64,
     ledger: &mut YaoLedger,
+    acct: &mut SharingLedger,
 ) -> Result<bool, SmcError> {
     let total_dim = view.x.len();
     let parts = classify(&view);
     let mut cross = 0i64;
     if !parts.split_endpoints.is_empty() {
-        let xs: Vec<BigInt> = parts
-            .split_endpoints
-            .iter()
-            .map(|&v| BigInt::from_i64(v))
-            .collect();
-        let ws = mul_batch_keyholder(
+        cross = backend.mul_fold_keyholder(
             chan,
-            my_keypair,
-            &xs,
-            mul_packing(cfg, total_dim).as_ref(),
-            &ctx.narrow("mul").at(record),
-        )?;
-        cross = ws
-            .iter()
-            .fold(BigInt::zero(), |acc, w| &acc + w)
-            .to_i64()
-            .ok_or_else(|| SmcError::protocol("ADP cross term overflows i64"))?;
+            std::slice::from_ref(&parts.split_endpoints),
+            &[record],
+            ctx,
+            acct,
+        )?[0];
     }
     let squares: i64 = parts.split_endpoints.iter().map(|&v| v * v).sum();
     let j_val = cfg.params.eps_sq as i64 - parts.both_owned - squares + 2 * cross;
     let domain = adp_domain(cfg, total_dim);
     ledger.record(cfg.key_bits, domain.n0());
-    compare_bob(
-        cfg.comparator,
+    backend.compare(
         chan,
-        alice_pk,
+        Party::Bob,
         j_val,
         CmpOp::Leq,
         &domain,
-        cfg.packing,
         &ctx.narrow("cmp").at(record),
+        acct,
     )
 }
 
@@ -178,46 +151,42 @@ pub fn adp_compare_bob<C: Channel>(
 /// `cfg.batching`: batched mode runs [`adp_compare_batch_alice`],
 /// reference mode one [`adp_compare_alice`] ping-pong per pair. Outcomes
 /// are identical either way.
-pub fn adp_compare_set_alice<C: Channel>(
+pub fn adp_compare_set_alice<C: Channel, B: SmcBackend>(
     chan: &mut C,
     cfg: &ProtocolConfig,
-    my_keypair: &Keypair,
-    bob_pk: &PublicKey,
+    backend: &B,
     views: &[PairView<'_>],
     ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
+    acct: &mut SharingLedger,
 ) -> Result<Vec<bool>, SmcError> {
     if cfg.batching {
-        return adp_compare_batch_alice(chan, cfg, my_keypair, bob_pk, views, ctx, ledger);
+        return adp_compare_batch_alice(chan, cfg, backend, views, ctx, ledger, acct);
     }
     views
         .iter()
         .enumerate()
-        .map(|(i, &view)| {
-            adp_compare_alice(chan, cfg, my_keypair, bob_pk, view, ctx, i as u64, ledger)
-        })
+        .map(|(i, &view)| adp_compare_alice(chan, cfg, backend, view, ctx, i as u64, ledger, acct))
         .collect()
 }
 
 /// Bob's side of [`adp_compare_set_alice`].
-pub fn adp_compare_set_bob<C: Channel>(
+pub fn adp_compare_set_bob<C: Channel, B: SmcBackend>(
     chan: &mut C,
     cfg: &ProtocolConfig,
-    my_keypair: &Keypair,
-    alice_pk: &PublicKey,
+    backend: &B,
     views: &[PairView<'_>],
     ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
+    acct: &mut SharingLedger,
 ) -> Result<Vec<bool>, SmcError> {
     if cfg.batching {
-        return adp_compare_batch_bob(chan, cfg, my_keypair, alice_pk, views, ctx, ledger);
+        return adp_compare_batch_bob(chan, cfg, backend, views, ctx, ledger, acct);
     }
     views
         .iter()
         .enumerate()
-        .map(|(i, &view)| {
-            adp_compare_bob(chan, cfg, my_keypair, alice_pk, view, ctx, i as u64, ledger)
-        })
+        .map(|(i, &view)| adp_compare_bob(chan, cfg, backend, view, ctx, i as u64, ledger, acct))
         .collect()
 }
 
@@ -227,14 +196,14 @@ pub fn adp_compare_set_bob<C: Channel>(
 /// decides all pairs — 5 rounds per neighborhood instead of 5 per pair.
 /// Outcome `r[i]` equals [`adp_compare_alice`] on `views[i]`; the per-pair
 /// zero-sum masks cancel exactly as in the sequential run.
-pub fn adp_compare_batch_alice<C: Channel>(
+pub fn adp_compare_batch_alice<C: Channel, B: SmcBackend>(
     chan: &mut C,
     cfg: &ProtocolConfig,
-    my_keypair: &Keypair,
-    bob_pk: &PublicKey,
+    backend: &B,
     views: &[PairView<'_>],
     ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
+    acct: &mut SharingLedger,
 ) -> Result<Vec<bool>, SmcError> {
     if views.is_empty() {
         return Ok(Vec::new());
@@ -251,34 +220,13 @@ pub fn adp_compare_batch_alice<C: Channel>(
     let split_pairs: Vec<usize> = (0..parts.len())
         .filter(|&i| !parts[i].split_endpoints.is_empty())
         .collect();
-    let ys_groups: Vec<Vec<BigInt>> = split_pairs
-        .iter()
-        .map(|&i| {
-            parts[i]
-                .split_endpoints
-                .iter()
-                .map(|&v| BigInt::from_i64(v))
-                .collect()
-        })
-        .collect();
-    if !ys_groups.is_empty() {
-        let bound = cfg.mul_mask_bound();
-        let mask_ctx = ctx.narrow("mask");
-        let mul_ctx = ctx.narrow("mul");
-        mul_batches_peer(
-            chan,
-            bob_pk,
-            &ys_groups,
-            |g| {
-                zero_sum_masks(
-                    mask_ctx.rng_for(split_pairs[g] as u64),
-                    ys_groups[g].len(),
-                    &bound,
-                )
-            },
-            |g| mul_ctx.at(split_pairs[g] as u64),
-            mul_packing(cfg, total_dim).as_ref(),
-        )?;
+    if !split_pairs.is_empty() {
+        let ys_groups: Vec<Vec<i64>> = split_pairs
+            .iter()
+            .map(|&i| parts[i].split_endpoints.clone())
+            .collect();
+        let records: Vec<u64> = split_pairs.iter().map(|&i| i as u64).collect();
+        backend.mul_fold_peer(chan, &ys_groups, &records, ctx, acct)?;
     }
     let domain = adp_domain(cfg, total_dim);
     let i_vals: Vec<i64> = parts
@@ -288,27 +236,26 @@ pub fn adp_compare_batch_alice<C: Channel>(
             p.both_owned + p.split_endpoints.iter().map(|&v| v * v).sum::<i64>()
         })
         .collect();
-    compare_batch_alice(
-        cfg.comparator,
+    backend.compare_batch(
         chan,
-        my_keypair,
+        Party::Alice,
         &i_vals,
         CmpOp::Leq,
         &domain,
-        cfg.packing,
         &ctx.narrow("cmp"),
+        acct,
     )
 }
 
 /// Round-batched Bob side of [`adp_compare_batch_alice`].
-pub fn adp_compare_batch_bob<C: Channel>(
+pub fn adp_compare_batch_bob<C: Channel, B: SmcBackend>(
     chan: &mut C,
     cfg: &ProtocolConfig,
-    my_keypair: &Keypair,
-    alice_pk: &PublicKey,
+    backend: &B,
     views: &[PairView<'_>],
     ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
+    acct: &mut SharingLedger,
 ) -> Result<Vec<bool>, SmcError> {
     if views.is_empty() {
         return Ok(Vec::new());
@@ -320,30 +267,14 @@ pub fn adp_compare_batch_bob<C: Channel>(
         .filter(|&i| !parts[i].split_endpoints.is_empty())
         .collect();
     if !split_pairs.is_empty() {
-        let xs_groups: Vec<Vec<BigInt>> = split_pairs
+        let xs_groups: Vec<Vec<i64>> = split_pairs
             .iter()
-            .map(|&i| {
-                parts[i]
-                    .split_endpoints
-                    .iter()
-                    .map(|&v| BigInt::from_i64(v))
-                    .collect()
-            })
+            .map(|&i| parts[i].split_endpoints.clone())
             .collect();
-        let mul_ctx = ctx.narrow("mul");
-        let ws_groups = mul_batches_keyholder(
-            chan,
-            my_keypair,
-            &xs_groups,
-            |g| mul_ctx.at(split_pairs[g] as u64),
-            mul_packing(cfg, total_dim).as_ref(),
-        )?;
-        for (&i, ws) in split_pairs.iter().zip(&ws_groups) {
-            crosses[i] = ws
-                .iter()
-                .fold(BigInt::zero(), |acc, w| &acc + w)
-                .to_i64()
-                .ok_or_else(|| SmcError::protocol("ADP cross term overflows i64"))?;
+        let records: Vec<u64> = split_pairs.iter().map(|&i| i as u64).collect();
+        let folds = backend.mul_fold_keyholder(chan, &xs_groups, &records, ctx, acct)?;
+        for (&i, &fold) in split_pairs.iter().zip(&folds) {
+            crosses[i] = fold;
         }
     }
     let domain = adp_domain(cfg, total_dim);
@@ -356,24 +287,25 @@ pub fn adp_compare_batch_bob<C: Channel>(
             cfg.params.eps_sq as i64 - p.both_owned - squares + 2 * cross
         })
         .collect();
-    compare_batch_bob(
-        cfg.comparator,
+    backend.compare_batch(
         chan,
-        alice_pk,
+        Party::Bob,
         &j_vals,
         CmpOp::Leq,
         &domain,
-        cfg.packing,
         &ctx.narrow("cmp"),
+        acct,
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::paillier_backend;
     use crate::partition::ArbitraryPartition;
     use crate::test_helpers::{ctx, rng};
     use ppds_dbscan::{dist_sq, DbscanParams, Point};
+    use ppds_paillier::Keypair;
     use ppds_transport::duplex;
     use std::sync::OnceLock;
 
@@ -392,26 +324,30 @@ mod tests {
         let (mut achan, mut bchan) = duplex();
         let ax = part.alice_values[x].clone();
         let ay = part.alice_values[y].clone();
+        let dim = ax.len();
         let a = std::thread::spawn(move || {
+            let backend = paillier_backend(&cfg, alice_kp(), &bob_kp().public, dim);
             let mut ledger = YaoLedger::default();
+            let mut acct = SharingLedger::default();
             adp_compare_alice(
                 &mut achan,
                 &cfg,
-                alice_kp(),
-                &bob_kp().public,
+                &backend,
                 PairView { x: &ax, y: &ay },
                 &ctx(600 + x as u64),
                 0,
                 &mut ledger,
+                &mut acct,
             )
             .unwrap()
         });
+        let backend = paillier_backend(&cfg, bob_kp(), &alice_kp().public, dim);
         let mut ledger = YaoLedger::default();
+        let mut acct = SharingLedger::default();
         let bob_view = adp_compare_bob(
             &mut bchan,
             &cfg,
-            bob_kp(),
-            &alice_kp().public,
+            &backend,
             PairView {
                 x: &part.bob_values[x],
                 y: &part.bob_values[y],
@@ -419,6 +355,7 @@ mod tests {
             &ctx(700 + y as u64),
             0,
             &mut ledger,
+            &mut acct,
         )
         .unwrap();
         let alice_view = a.join().unwrap();
@@ -463,7 +400,8 @@ mod tests {
                 min_pts: 2,
             },
             4,
-        );
+        )
+        .with_batching(true);
         let records = vec![
             Point::new(vec![1, -2, 3, 0]),
             Point::new(vec![0, -2, 1, 2]),
@@ -481,15 +419,17 @@ mod tests {
             .collect();
         let a = std::thread::spawn(move || {
             let views: Vec<PairView<'_>> = a_views.iter().map(|(x, y)| PairView { x, y }).collect();
+            let backend = paillier_backend(&cfg, alice_kp(), &bob_kp().public, 4);
             let mut ledger = YaoLedger::default();
+            let mut acct = SharingLedger::default();
             let out = adp_compare_batch_alice(
                 &mut achan,
                 &cfg,
-                alice_kp(),
-                &bob_kp().public,
+                &backend,
                 &views,
                 &ctx(800),
                 &mut ledger,
+                &mut acct,
             )
             .unwrap();
             (out, achan.metrics())
@@ -501,15 +441,17 @@ mod tests {
                 y: &part.bob_values[y],
             })
             .collect();
+        let backend = paillier_backend(&cfg, bob_kp(), &alice_kp().public, 4);
         let mut ledger = YaoLedger::default();
+        let mut acct = SharingLedger::default();
         let bob = adp_compare_batch_bob(
             &mut bchan,
             &cfg,
-            bob_kp(),
-            &alice_kp().public,
+            &backend,
             &b_views,
             &ctx(900),
             &mut ledger,
+            &mut acct,
         )
         .unwrap();
         let (alice, metrics) = a.join().unwrap();
@@ -524,6 +466,82 @@ mod tests {
             "rounds = {}",
             metrics.total_rounds()
         );
+    }
+
+    #[test]
+    fn sharing_backend_matches_plain_distance() {
+        use ppds_smc::{DealerTape, SharingBackend};
+        let records = vec![
+            Point::new(vec![1, -2, 3, 0]),
+            Point::new(vec![0, -2, 1, 2]),
+            Point::new(vec![4, 4, -4, -4]),
+            Point::new(vec![0, 0, 0, 0]),
+        ];
+        let part = ArbitraryPartition::random(&mut rng(78), &records);
+        let ys: Vec<usize> = vec![1, 2, 3];
+        let expect: Vec<bool> = ys
+            .iter()
+            .map(|&y| dist_sq(&records[0], &records[y]) <= 20)
+            .collect();
+        for batching in [false, true] {
+            let cfg = ProtocolConfig::new(
+                DbscanParams {
+                    eps_sq: 20,
+                    min_pts: 2,
+                },
+                4,
+            )
+            .with_batching(batching);
+            let mk = move || SharingBackend {
+                tape: DealerTape::from_seed(909),
+                batching,
+                dot_mask_bound: 1 << 20,
+            };
+            let (mut achan, mut bchan) = duplex();
+            type OwnedView = (Vec<Option<i64>>, Vec<Option<i64>>);
+            let a_views: Vec<OwnedView> = ys
+                .iter()
+                .map(|&y| (part.alice_values[0].clone(), part.alice_values[y].clone()))
+                .collect();
+            let a = std::thread::spawn(move || {
+                let views: Vec<PairView<'_>> =
+                    a_views.iter().map(|(x, y)| PairView { x, y }).collect();
+                let mut ledger = YaoLedger::default();
+                let mut acct = SharingLedger::default();
+                adp_compare_set_alice(
+                    &mut achan,
+                    &cfg,
+                    &mk(),
+                    &views,
+                    &ctx(800),
+                    &mut ledger,
+                    &mut acct,
+                )
+                .unwrap()
+            });
+            let b_views: Vec<PairView<'_>> = ys
+                .iter()
+                .map(|&y| PairView {
+                    x: &part.bob_values[0],
+                    y: &part.bob_values[y],
+                })
+                .collect();
+            let mut ledger = YaoLedger::default();
+            let mut acct = SharingLedger::default();
+            let bob = adp_compare_set_bob(
+                &mut bchan,
+                &cfg,
+                &mk(),
+                &b_views,
+                &ctx(900),
+                &mut ledger,
+                &mut acct,
+            )
+            .unwrap();
+            let alice = a.join().unwrap();
+            assert_eq!(alice, expect, "batching={batching}");
+            assert_eq!(bob, expect, "batching={batching}");
+        }
     }
 
     #[test]

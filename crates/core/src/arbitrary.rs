@@ -88,8 +88,10 @@ impl ModeDriver for ArbitraryDriver<'_> {
         ctx: &ProtocolContext,
         log: &mut SessionLog,
     ) -> Result<Clustering, CoreError> {
-        let (cfg, session, values) = (mctx.cfg, mctx.session, self.values);
+        let (cfg, values) = (mctx.cfg, self.values);
+        let backend = mctx.backend(self.dim());
         let ledger = &mut log.ledger;
+        let sharing = &mut log.sharing;
         // One context instance per region query (see the vertical driver).
         let region_ctx = ctx.narrow("region");
         let mut q = 0u64;
@@ -105,24 +107,12 @@ impl ModeDriver for ArbitraryDriver<'_> {
                 })
                 .collect();
             let result = match mctx.role {
-                Party::Alice => adp_compare_set_alice(
-                    chan,
-                    cfg,
-                    &session.my_keypair,
-                    &session.peer_pk,
-                    &views,
-                    &qctx,
-                    ledger,
-                )?,
-                Party::Bob => adp_compare_set_bob(
-                    chan,
-                    cfg,
-                    &session.my_keypair,
-                    &session.peer_pk,
-                    &views,
-                    &qctx,
-                    ledger,
-                )?,
+                Party::Alice => {
+                    adp_compare_set_alice(chan, cfg, &backend, &views, &qctx, ledger, sharing)?
+                }
+                Party::Bob => {
+                    adp_compare_set_bob(chan, cfg, &backend, &views, &qctx, ledger, sharing)?
+                }
             };
             span.end(|| chan.metrics());
             Ok(result)

@@ -5,6 +5,7 @@ use ppds_dbscan::DbscanParams;
 use ppds_smc::compare::Comparator;
 use ppds_smc::kth::SelectionMethod;
 use ppds_smc::millionaires;
+use ppds_smc::BackendKind;
 
 /// Everything both parties must agree on before a run. All of it is public
 /// metadata in the paper's model: the density parameters (Eps, MinPts), the
@@ -52,6 +53,15 @@ pub struct ProtocolConfig {
     /// `packing_parity` integration tests). Both parties must agree — the
     /// handshake rejects a mismatch by name. See DESIGN.md §10.
     pub packing: bool,
+    /// Cryptographic substrate for the three SMC workhorses (comparison /
+    /// share-comparison, masked multiplication folds, masked dot products):
+    /// [`BackendKind::Paillier`] runs the paper's homomorphic protocols;
+    /// [`BackendKind::Sharing`] substitutes additive-sharing equivalents
+    /// over `Z_2^64` (Beaver triples, masked opens) with the same driver
+    /// dataflow and byte-identical labels/leakage, trading ciphertexts for
+    /// 8-byte field elements. Both parties must agree — the handshake
+    /// rejects a mismatch by name. See DESIGN.md §14.
+    pub backend: BackendKind,
 }
 
 impl ProtocolConfig {
@@ -67,6 +77,7 @@ impl ProtocolConfig {
             mask_bits: 20,
             batching: false,
             packing: false,
+            backend: BackendKind::Paillier,
         }
     }
 
@@ -81,6 +92,13 @@ impl ProtocolConfig {
     /// [`ProtocolConfig::packing`].
     pub fn with_packing(self, packing: bool) -> Self {
         ProtocolConfig { packing, ..self }
+    }
+
+    /// Returns a copy running on the given SMC substrate (both parties must
+    /// agree; the handshake rejects a mismatch). See
+    /// [`ProtocolConfig::backend`].
+    pub fn with_backend(self, backend: BackendKind) -> Self {
+        ProtocolConfig { backend, ..self }
     }
 
     /// Same defaults but with the faithful Yao comparator and σ = 2 (the
@@ -213,6 +231,14 @@ mod tests {
         assert!(!cfg.batching, "batching defaults off (reference mode)");
         assert!(cfg.with_batching(true).batching);
         assert!(cfg.with_batching(true).validate(2).is_ok());
+        assert_eq!(
+            cfg.backend,
+            BackendKind::Paillier,
+            "Paillier is the default"
+        );
+        let sharing = cfg.with_backend(BackendKind::Sharing);
+        assert_eq!(sharing.backend, BackendKind::Sharing);
+        assert!(sharing.validate(2).is_ok());
     }
 
     #[test]

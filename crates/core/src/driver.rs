@@ -13,7 +13,7 @@ use crate::error::CoreError;
 use crate::partition::{ArbitraryPartition, VerticalPartition};
 use crate::session::{run_data_pair, PartyData};
 use ppds_dbscan::{Clustering, Point};
-use ppds_smc::LeakageLog;
+use ppds_smc::{LeakageLog, SharingLedger};
 use ppds_transport::{duplex, MemoryChannel, MetricsSnapshot};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -30,6 +30,10 @@ pub struct PartyOutput {
     pub traffic: MetricsSnapshot,
     /// Modeled cost of the faithful Yao protocol for every comparison run.
     pub yao: YaoLedger,
+    /// Sharing-backend substitution accounting (all zero under Paillier):
+    /// exact counts of masked-open comparisons, Beaver triples consumed,
+    /// opened field elements, and modeled offline-phase bytes.
+    pub sharing: SharingLedger,
 }
 
 /// A mode-tagged, self-contained description of one clustering session:

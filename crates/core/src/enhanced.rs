@@ -22,28 +22,30 @@
 //! knows A is core, and when `k > n_b` it cannot possibly be; both are
 //! decided locally, and the responder only sees a one-bit "not engaging"
 //! flag (strictly less than it learns from a full selection).
+//!
+//! All three phases dispatch through the session's [`SmcBackend`]: the
+//! Paillier substrate reproduces the homomorphic dot products and Yao
+//! comparisons byte-for-byte; the sharing substrate answers with one
+//! masked-share exchange per phase over `Z_2^64` (DESIGN.md §14).
 
 use crate::config::{ProtocolConfig, YaoLedger};
 use crate::domain::{dot_response_packing, enhanced_share_domain};
 use crate::error::CoreError;
 use crate::session::{HandshakeProfile, Mode, ModeContext, ModeDriver, Session, SessionLog};
-use ppds_bigint::{BigInt, BigUint};
 use ppds_dbscan::{Clustering, Point};
 use ppds_observe::trace;
-use ppds_paillier::{Keypair, PublicKey};
-use ppds_smc::compare::{compare_alice, compare_bob, CmpOp};
-use ppds_smc::kth::{
-    kth_smallest_alice, kth_smallest_alice_batched, kth_smallest_bob, kth_smallest_bob_batched,
-};
-use ppds_smc::multiplication::{dot_many_keyholder, dot_many_peer};
+use ppds_smc::compare::CmpOp;
+use ppds_smc::kth::kth_smallest_with;
 use ppds_smc::ResponsePacking;
-use ppds_smc::{LeakageEvent, LeakageLog, Party, ProtocolContext, SmcError};
+use ppds_smc::{
+    LeakageEvent, LeakageLog, Party, ProtocolContext, SharingLedger, SmcBackend, SmcError,
+};
 use ppds_transport::Channel;
 use rand::seq::SliceRandom;
 
 /// The masked-distance response packing this config selects: `Some` when
 /// `cfg.packing` is on (validated configs always have a layout).
-fn dot_packing(cfg: &ProtocolConfig, dim: usize) -> Option<ResponsePacking> {
+pub(crate) fn dot_packing(cfg: &ProtocolConfig, dim: usize) -> Option<ResponsePacking> {
     if cfg.packing {
         dot_response_packing(cfg, dim)
     } else {
@@ -51,25 +53,21 @@ fn dot_packing(cfg: &ProtocolConfig, dim: usize) -> Option<ResponsePacking> {
     }
 }
 
-fn share_to_i64(v: &BigInt) -> Result<i64, SmcError> {
-    v.to_i64()
-        .ok_or_else(|| SmcError::protocol("distance share overflows i64"))
-}
-
 /// Querier side of one enhanced core-point test. `own_count` is the size of
 /// the querier's *local* Eps-neighborhood of `query` (including the point
 /// itself); `ctx` is this core test's context (the driver narrows per
 /// query). Returns whether `query` is a core point of the joint data.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
-pub fn enhanced_core_test_querier<C: Channel>(
+pub fn enhanced_core_test_querier<C: Channel, B: SmcBackend>(
     chan: &mut C,
     cfg: &ProtocolConfig,
-    my_keypair: &Keypair,
+    backend: &B,
     query: &Point,
     own_count: usize,
     responder_count: usize,
     ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
+    acct: &mut SharingLedger,
     leakage: &mut LeakageLog,
 ) -> Result<bool, SmcError> {
     let k_needed = cfg.params.min_pts.saturating_sub(own_count);
@@ -87,24 +85,15 @@ pub fn enhanced_core_test_querier<C: Channel>(
 
     // Phase 1: shares u_j = Dist²(A, B_j) + v_j.
     let dim = query.dim();
-    let mut xs: Vec<BigInt> = Vec::with_capacity(dim + 2);
-    xs.push(BigInt::from(BigUint::from_u64(query.norm_sq())));
+    let mut xs: Vec<i64> = Vec::with_capacity(dim + 2);
+    xs.push(i64::try_from(query.norm_sq()).expect("ΣA² fits i64 on a validated lattice"));
     for &a in query.coords() {
-        xs.push(BigInt::from_i64(-2 * a));
+        xs.push(-2 * a);
     }
-    xs.push(BigInt::from_i64(1));
-    let packing = dot_packing(cfg, dim);
+    xs.push(1);
     let dot_span = trace::span("dot", || chan.metrics());
-    let raw = dot_many_keyholder(
-        chan,
-        my_keypair,
-        &xs,
-        responder_count,
-        packing.as_ref(),
-        &ctx.narrow("dot"),
-    )?;
+    let shares = backend.dot_many_querier(chan, &xs, responder_count, &ctx.narrow("dot"), acct)?;
     dot_span.end(|| chan.metrics());
-    let shares: Vec<i64> = raw.iter().map(share_to_i64).collect::<Result<_, _>>()?;
 
     // Phase 2: k-th smallest shared distance. Batching runs quickselect
     // partitions as one comparison frame set per level (repeated-min is
@@ -112,31 +101,18 @@ pub fn enhanced_core_test_querier<C: Channel>(
     let domain = enhanced_share_domain(cfg, dim);
     let sel_ctx = ctx.narrow("sel");
     let sel_span = trace::span("sel", || chan.metrics());
-    let outcome = if cfg.batching {
-        kth_smallest_alice_batched(
-            cfg.selection,
-            cfg.comparator,
-            chan,
-            my_keypair,
-            &shares,
-            k_needed,
-            &domain,
-            cfg.packing,
-            &sel_ctx,
-        )?
-    } else {
-        kth_smallest_alice(
-            cfg.selection,
-            cfg.comparator,
-            chan,
-            my_keypair,
-            &shares,
-            k_needed,
-            &domain,
-            cfg.packing,
-            &sel_ctx,
-        )?
-    };
+    let outcome = kth_smallest_with(
+        cfg.selection,
+        backend,
+        chan,
+        Party::Alice,
+        &shares,
+        k_needed,
+        &domain,
+        cfg.batching,
+        &sel_ctx,
+        acct,
+    )?;
     sel_span.end(|| chan.metrics());
     for _ in 0..outcome.comparisons {
         ledger.record(cfg.key_bits, domain.n0());
@@ -145,15 +121,14 @@ pub fn enhanced_core_test_querier<C: Channel>(
     // Phase 3: u_k ≤ Eps² + v_k.
     ledger.record(cfg.key_bits, domain.n0());
     let cmp_span = trace::span("cmp", || chan.metrics());
-    let is_core = compare_alice(
-        cfg.comparator,
+    let is_core = backend.compare(
         chan,
-        my_keypair,
+        Party::Alice,
         shares[outcome.index],
         CmpOp::Leq,
         &domain,
-        cfg.packing,
         &ctx.narrow("cmp"),
+        acct,
     )?;
     cmp_span.end(|| chan.metrics());
     leakage.record(LeakageEvent::CorePointBit {
@@ -165,14 +140,15 @@ pub fn enhanced_core_test_querier<C: Channel>(
 
 /// Responder side of one enhanced core-point test over `my_points`.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
-pub fn enhanced_core_respond<C: Channel>(
+pub fn enhanced_core_respond<C: Channel, B: SmcBackend>(
     chan: &mut C,
     cfg: &ProtocolConfig,
-    querier_pk: &PublicKey,
+    backend: &B,
     my_points: &[Point],
     dim: usize,
     ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
+    acct: &mut SharingLedger,
     leakage: &mut LeakageLog,
 ) -> Result<(), SmcError> {
     let (engage, k): (bool, u64) = chan.recv()?;
@@ -194,62 +170,37 @@ pub fn enhanced_core_respond<C: Channel>(
     // Phase 1: masked dot products over a fresh permutation.
     let mut order: Vec<usize> = (0..my_points.len()).collect();
     order.shuffle(&mut ctx.narrow("perm").rng());
-    let rows: Vec<Vec<BigInt>> = order
+    let rows: Vec<Vec<i64>> = order
         .iter()
         .map(|&idx| {
             let p = &my_points[idx];
-            let mut row: Vec<BigInt> = Vec::with_capacity(p.dim() + 2);
-            row.push(BigInt::from_i64(1));
-            for &b in p.coords() {
-                row.push(BigInt::from_i64(b));
-            }
-            row.push(BigInt::from(BigUint::from_u64(p.norm_sq())));
+            let mut row: Vec<i64> = Vec::with_capacity(p.dim() + 2);
+            row.push(1);
+            row.extend_from_slice(p.coords());
+            row.push(i64::try_from(p.norm_sq()).expect("ΣB² fits i64 on a validated lattice"));
             row
         })
         .collect();
-    let mask_bound = BigUint::from_u64(cfg.enhanced_mask_bound(dim));
-    let packing = dot_packing(cfg, dim);
     let dot_span = trace::span("dot", || chan.metrics());
-    let masks = dot_many_peer(
-        chan,
-        querier_pk,
-        &rows,
-        &mask_bound,
-        packing.as_ref(),
-        &ctx.narrow("dot"),
-    )?;
+    let shares = backend.dot_many_responder(chan, &rows, &ctx.narrow("dot"), acct)?;
     dot_span.end(|| chan.metrics());
-    let shares: Vec<i64> = masks.iter().map(share_to_i64).collect::<Result<_, _>>()?;
 
     // Phase 2: mirror the selection (batched partitions when enabled).
     let domain = enhanced_share_domain(cfg, dim);
     let sel_ctx = ctx.narrow("sel");
     let sel_span = trace::span("sel", || chan.metrics());
-    let outcome = if cfg.batching {
-        kth_smallest_bob_batched(
-            cfg.selection,
-            cfg.comparator,
-            chan,
-            querier_pk,
-            &shares,
-            k,
-            &domain,
-            cfg.packing,
-            &sel_ctx,
-        )?
-    } else {
-        kth_smallest_bob(
-            cfg.selection,
-            cfg.comparator,
-            chan,
-            querier_pk,
-            &shares,
-            k,
-            &domain,
-            cfg.packing,
-            &sel_ctx,
-        )?
-    };
+    let outcome = kth_smallest_with(
+        cfg.selection,
+        backend,
+        chan,
+        Party::Bob,
+        &shares,
+        k,
+        &domain,
+        cfg.batching,
+        &sel_ctx,
+        acct,
+    )?;
     sel_span.end(|| chan.metrics());
     for _ in 0..outcome.comparisons {
         ledger.record(cfg.key_bits, domain.n0());
@@ -258,15 +209,14 @@ pub fn enhanced_core_respond<C: Channel>(
     // Phase 3: Eps² + v_k vs the querier's u_k.
     ledger.record(cfg.key_bits, domain.n0());
     let cmp_span = trace::span("cmp", || chan.metrics());
-    let is_core = compare_bob(
-        cfg.comparator,
+    let is_core = backend.compare(
         chan,
-        querier_pk,
+        Party::Bob,
         cfg.params.eps_sq as i64 + shares[outcome.index],
         CmpOp::Leq,
         &domain,
-        cfg.packing,
         &ctx.narrow("cmp"),
+        acct,
     )?;
     cmp_span.end(|| chan.metrics());
     if is_core {
@@ -305,10 +255,18 @@ impl ModeDriver for EnhancedDriver<'_> {
         ctx: &ProtocolContext,
         log: &mut SessionLog,
     ) -> Result<Clustering, CoreError> {
-        let (cfg, session, points) = (mctx.cfg, mctx.session, self.points);
+        let (cfg, points) = (mctx.cfg, self.points);
         let dim = points.first().map_or(0, Point::dim);
-        let query_ctx = ctx.narrow("query");
-        let serve_ctx = ctx.narrow("serve");
+        let backend = mctx.backend(dim);
+        // Direction-keyed paths, for the same reason as the horizontal
+        // driver: both halves of one core test must share a context path
+        // so the sharing backend's tape draws stay correlated.
+        let (my_queries, peer_queries) = match mctx.role {
+            Party::Alice => ("enh_a", "enh_b"),
+            Party::Bob => ("enh_b", "enh_a"),
+        };
+        let query_ctx = ctx.narrow(my_queries);
+        let serve_ctx = ctx.narrow(peer_queries);
         let run_query_phase = |chan: &mut C, log: &mut SessionLog| {
             let mut q = 0u64;
             crate::horizontal::querier_phase(chan, cfg.params, points, |chan, idx, own_count| {
@@ -318,12 +276,13 @@ impl ModeDriver for EnhancedDriver<'_> {
                 let is_core = enhanced_core_test_querier(
                     chan,
                     cfg,
-                    &session.my_keypair,
+                    &backend,
                     &points[idx],
                     own_count,
-                    session.peer_n,
+                    mctx.session.peer_n,
                     &test_ctx,
                     &mut log.ledger,
+                    &mut log.sharing,
                     &mut log.leakage,
                 )?;
                 span.end(|| chan.metrics());
@@ -339,11 +298,12 @@ impl ModeDriver for EnhancedDriver<'_> {
                 enhanced_core_respond(
                     chan,
                     cfg,
-                    &session.peer_pk,
+                    &backend,
                     points,
                     dim,
                     &test_ctx,
                     &mut log.ledger,
+                    &mut log.sharing,
                     &mut log.leakage,
                 )?;
                 span.end(|| chan.metrics());
@@ -368,14 +328,21 @@ impl ModeDriver for EnhancedDriver<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::paillier_backend;
     use crate::test_helpers::{ctx, rng};
     use ppds_dbscan::{dist_sq, DbscanParams};
+    use ppds_paillier::Keypair;
     use ppds_transport::duplex;
     use std::sync::OnceLock;
 
     fn querier_kp() -> &'static Keypair {
         static KP: OnceLock<Keypair> = OnceLock::new();
         KP.get_or_init(|| Keypair::generate(256, &mut rng(66)))
+    }
+
+    fn responder_kp() -> &'static Keypair {
+        static KP: OnceLock<Keypair> = OnceLock::new();
+        KP.get_or_init(|| Keypair::generate(256, &mut rng(67)))
     }
 
     fn run_test(
@@ -389,32 +356,38 @@ mod tests {
         let nb = responder_points.len();
         let (mut qchan, mut rchan) = duplex();
         let q = std::thread::spawn(move || {
+            let backend = paillier_backend(&cfg, querier_kp(), &responder_kp().public, dim);
             let mut ledger = YaoLedger::default();
+            let mut acct = SharingLedger::default();
             let mut leakage = LeakageLog::new();
             let is_core = enhanced_core_test_querier(
                 &mut qchan,
                 &cfg,
-                querier_kp(),
+                &backend,
                 &query,
                 own_count,
                 nb,
                 &ctx(seed),
                 &mut ledger,
+                &mut acct,
                 &mut leakage,
             )
             .unwrap();
             (is_core, leakage)
         });
+        let backend = paillier_backend(&cfg, responder_kp(), &querier_kp().public, dim);
         let mut ledger = YaoLedger::default();
+        let mut acct = SharingLedger::default();
         let mut r_leakage = LeakageLog::new();
         enhanced_core_respond(
             &mut rchan,
             &cfg,
-            &querier_kp().public,
+            &backend,
             &responder_points,
             dim,
             &ctx(seed + 1),
             &mut ledger,
+            &mut acct,
             &mut r_leakage,
         )
         .unwrap();
@@ -451,6 +424,76 @@ mod tests {
                     1000 + (min_pts * 10 + own_count) as u64,
                 );
                 assert_eq!(got, expect, "min_pts={min_pts} own={own_count}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharing_backend_core_decision_matches() {
+        use ppds_smc::{DealerTape, SharingBackend};
+        let responder_points = vec![
+            Point::new(vec![1, 0]),
+            Point::new(vec![0, 2]),
+            Point::new(vec![5, 5]),
+            Point::new(vec![-1, -1]),
+        ];
+        let query = Point::new(vec![0, 0]);
+        let peer_in = responder_points
+            .iter()
+            .filter(|p| dist_sq(p, &query) <= 4)
+            .count();
+        for batching in [false, true] {
+            for own_count in [0usize, 1, 2] {
+                let run_cfg = cfg(4, 3).with_batching(batching);
+                let expect = own_count + peer_in >= 3;
+                let mk = move || SharingBackend {
+                    tape: DealerTape::from_seed(3131),
+                    batching,
+                    dot_mask_bound: 1 << 20,
+                };
+                let nb = responder_points.len();
+                let (mut qchan, mut rchan) = duplex();
+                let q_query = query.clone();
+                let q = std::thread::spawn(move || {
+                    let mut ledger = YaoLedger::default();
+                    let mut acct = SharingLedger::default();
+                    let mut leakage = LeakageLog::new();
+                    let is_core = enhanced_core_test_querier(
+                        &mut qchan,
+                        &run_cfg,
+                        &mk(),
+                        &q_query,
+                        own_count,
+                        nb,
+                        &ctx(2000 + own_count as u64),
+                        &mut ledger,
+                        &mut acct,
+                        &mut leakage,
+                    )
+                    .unwrap();
+                    (is_core, acct)
+                });
+                let mut ledger = YaoLedger::default();
+                let mut acct = SharingLedger::default();
+                let mut r_leakage = LeakageLog::new();
+                enhanced_core_respond(
+                    &mut rchan,
+                    &run_cfg,
+                    &mk(),
+                    &responder_points,
+                    2,
+                    &ctx(2001 + own_count as u64),
+                    &mut ledger,
+                    &mut acct,
+                    &mut r_leakage,
+                )
+                .unwrap();
+                let (is_core, q_acct) = q.join().unwrap();
+                assert_eq!(is_core, expect, "batching={batching} own={own_count}");
+                assert!(
+                    q_acct.opened_elements > 0,
+                    "dot product opens masked elements"
+                );
             }
         }
     }

@@ -15,6 +15,11 @@
 //!    `j = Eps² − Σ b_k² + 2⟨a, b⟩`. One Yao comparison decides
 //!    `i ≤ j ⟺ dist²(a, b) ≤ Eps²`.
 //!
+//! Both stages run through the session's [`SmcBackend`] — the Paillier
+//! substrate reproduces the direct homomorphic calls byte-for-byte, the
+//! sharing substrate replaces them with Beaver folds and masked opens over
+//! `Z_2^64` (same dataflow, 8-byte elements; see DESIGN.md §14).
+//!
 //! The querier ends with the *count* of matching responder points (the
 //! Theorem 9 leakage); because the responder permutes his points per query,
 //! the querier cannot link matches across queries, which defeats the
@@ -24,23 +29,14 @@
 
 use crate::config::{ProtocolConfig, YaoLedger};
 use crate::domain::hdp_domain;
-use ppds_bigint::BigInt;
 use ppds_dbscan::Point;
-use ppds_paillier::{Keypair, PublicKey};
-use ppds_smc::compare::{
-    compare_alice, compare_batch_alice, compare_batch_bob, compare_bob, CmpOp,
-};
-use ppds_smc::multiplication::{
-    mul_batch_keyholder, mul_batch_peer, mul_batches_keyholder, mul_batches_peer, zero_sum_masks,
-};
+use ppds_smc::compare::CmpOp;
 use ppds_smc::ResponsePacking;
-use ppds_smc::{LeakageEvent, LeakageLog, ProtocolContext, SmcError};
+use ppds_smc::{
+    LeakageEvent, LeakageLog, Party, ProtocolContext, SharingLedger, SmcBackend, SmcError,
+};
 use ppds_transport::Channel;
 use rand::seq::SliceRandom;
-
-fn coords_as_bigint(p: &Point) -> Vec<BigInt> {
-    p.coords().iter().map(|&c| BigInt::from_i64(c)).collect()
-}
 
 /// Querier side of one neighborhood query: returns how many of the
 /// responder's `responder_count` points lie within `Eps` of `query`.
@@ -49,44 +45,35 @@ fn coords_as_bigint(p: &Point) -> Vec<BigInt> {
 /// comparison randomness from substreams keyed by `i`, so the batched
 /// framing derives identical bytes.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
-pub fn hdp_query_querier<C: Channel>(
+pub fn hdp_query_querier<C: Channel, B: SmcBackend>(
     chan: &mut C,
     cfg: &ProtocolConfig,
-    my_keypair: &Keypair,
-    responder_pk: &PublicKey,
+    backend: &B,
     query: &Point,
     responder_count: usize,
     ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
+    acct: &mut SharingLedger,
 ) -> Result<usize, SmcError> {
     let dim = query.dim();
     let domain = hdp_domain(cfg, dim);
     let i_val = i64::try_from(query.norm_sq()).expect("ΣA² fits i64 on a validated lattice");
-    let ys = coords_as_bigint(query);
-    let (mask_ctx, mul_ctx, cmp_ctx) = (ctx.narrow("mask"), ctx.narrow("mul"), ctx.narrow("cmp"));
+    let ys_group = vec![query.coords().to_vec()];
+    let cmp_ctx = ctx.narrow("cmp");
     let mut count = 0usize;
     for pos in 0..responder_count {
         // Stage 1: responder (keyholder) gets a_k·b_k + r_k per attribute.
-        let masks = zero_sum_masks(mask_ctx.rng_for(pos as u64), dim, &cfg.mul_mask_bound());
-        mul_batch_peer(
-            chan,
-            responder_pk,
-            &ys,
-            &masks,
-            mul_packing(cfg, dim).as_ref(),
-            &mul_ctx.at(pos as u64),
-        )?;
+        backend.mul_fold_peer(chan, &ys_group, &[pos as u64], ctx, acct)?;
         // Stage 2: one Yao comparison under the querier's key.
         ledger.record(cfg.key_bits, domain.n0());
-        let within = compare_alice(
-            cfg.comparator,
+        let within = backend.compare(
             chan,
-            my_keypair,
+            Party::Alice,
             i_val,
             CmpOp::Leq,
             &domain,
-            cfg.packing,
             &cmp_ctx.at(pos as u64),
+            acct,
         )?;
         count += within as usize;
     }
@@ -99,14 +86,14 @@ pub fn hdp_query_querier<C: Channel>(
 /// `"perm"` substream; the point at permuted position `i` keys its
 /// multiplication and comparison randomness by `i`.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
-pub fn hdp_respond<C: Channel>(
+pub fn hdp_respond<C: Channel, B: SmcBackend>(
     chan: &mut C,
     cfg: &ProtocolConfig,
-    my_keypair: &Keypair,
-    querier_pk: &PublicKey,
+    backend: &B,
     my_points: &[Point],
     ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
+    acct: &mut SharingLedger,
     leakage: &mut LeakageLog,
 ) -> Result<usize, SmcError> {
     let dim = my_points.first().map_or(0, Point::dim);
@@ -117,35 +104,24 @@ pub fn hdp_respond<C: Channel>(
     // it cannot link to any previous query (Figure 1 defense).
     let mut order: Vec<usize> = (0..my_points.len()).collect();
     order.shuffle(&mut ctx.narrow("perm").rng());
-    let (mul_ctx, cmp_ctx) = (ctx.narrow("mul"), ctx.narrow("cmp"));
+    let cmp_ctx = ctx.narrow("cmp");
 
     let mut count = 0usize;
     for (pos, &idx) in order.iter().enumerate() {
         let point = &my_points[idx];
-        let xs = coords_as_bigint(point);
-        let ws = mul_batch_keyholder(
-            chan,
-            my_keypair,
-            &xs,
-            mul_packing(cfg, dim).as_ref(),
-            &mul_ctx.at(pos as u64),
-        )?;
-        let inner_product: i64 = ws
-            .iter()
-            .fold(BigInt::zero(), |acc, w| &acc + w)
-            .to_i64()
-            .ok_or_else(|| SmcError::protocol("inner product overflows i64"))?;
+        let xs_group = vec![point.coords().to_vec()];
+        let inner_product =
+            backend.mul_fold_keyholder(chan, &xs_group, &[pos as u64], ctx, acct)?[0];
         let j_val = eps - point.norm_sq() as i64 + 2 * inner_product;
         ledger.record(cfg.key_bits, domain.n0());
-        let within = compare_bob(
-            cfg.comparator,
+        let within = backend.compare(
             chan,
-            querier_pk,
+            Party::Bob,
             j_val,
             CmpOp::Leq,
             &domain,
-            cfg.packing,
             &cmp_ctx.at(pos as u64),
+            acct,
         )?;
         if within {
             count += 1;
@@ -161,61 +137,57 @@ pub fn hdp_respond<C: Channel>(
 /// [`hdp_query_querier_batch`] when on, [`hdp_query_querier`] when off.
 /// The count returned is identical either way.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
-pub fn hdp_query<C: Channel>(
+pub fn hdp_query<C: Channel, B: SmcBackend>(
     chan: &mut C,
     cfg: &ProtocolConfig,
-    my_keypair: &Keypair,
-    responder_pk: &PublicKey,
+    backend: &B,
     query: &Point,
     responder_count: usize,
     ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
+    acct: &mut SharingLedger,
 ) -> Result<usize, SmcError> {
     if cfg.batching {
         hdp_query_querier_batch(
             chan,
             cfg,
-            my_keypair,
-            responder_pk,
+            backend,
             query,
             responder_count,
             ctx,
             ledger,
+            acct,
         )
     } else {
         hdp_query_querier(
             chan,
             cfg,
-            my_keypair,
-            responder_pk,
+            backend,
             query,
             responder_count,
             ctx,
             ledger,
+            acct,
         )
     }
 }
 
 /// Responder side of [`hdp_query`], dispatched the same way.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
-pub fn hdp_serve<C: Channel>(
+pub fn hdp_serve<C: Channel, B: SmcBackend>(
     chan: &mut C,
     cfg: &ProtocolConfig,
-    my_keypair: &Keypair,
-    querier_pk: &PublicKey,
+    backend: &B,
     my_points: &[Point],
     ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
+    acct: &mut SharingLedger,
     leakage: &mut LeakageLog,
 ) -> Result<usize, SmcError> {
     if cfg.batching {
-        hdp_respond_batch(
-            chan, cfg, my_keypair, querier_pk, my_points, ctx, ledger, leakage,
-        )
+        hdp_respond_batch(chan, cfg, backend, my_points, ctx, ledger, acct, leakage)
     } else {
-        hdp_respond(
-            chan, cfg, my_keypair, querier_pk, my_points, ctx, ledger, leakage,
-        )
+        hdp_respond(chan, cfg, backend, my_points, ctx, ledger, acct, leakage)
     }
 }
 
@@ -232,15 +204,15 @@ pub fn hdp_serve<C: Channel>(
 /// leakage logs are identical to the unbatched run — and the per-point
 /// ciphertext work parallelizes (see [`ppds_smc::parallel`]).
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
-pub fn hdp_query_querier_batch<C: Channel>(
+pub fn hdp_query_querier_batch<C: Channel, B: SmcBackend>(
     chan: &mut C,
     cfg: &ProtocolConfig,
-    my_keypair: &Keypair,
-    responder_pk: &PublicKey,
+    backend: &B,
     query: &Point,
     responder_count: usize,
     ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
+    acct: &mut SharingLedger,
 ) -> Result<usize, SmcError> {
     if responder_count == 0 {
         return Ok(0);
@@ -248,34 +220,25 @@ pub fn hdp_query_querier_batch<C: Channel>(
     let dim = query.dim();
     let domain = hdp_domain(cfg, dim);
     let i_val = i64::try_from(query.norm_sq()).expect("ΣA² fits i64 on a validated lattice");
-    let ys = coords_as_bigint(query);
-    let (mask_ctx, mul_ctx, cmp_ctx) = (ctx.narrow("mask"), ctx.narrow("mul"), ctx.narrow("cmp"));
+    let cmp_ctx = ctx.narrow("cmp");
     // Stage 1: every responder point's masked products in one frame pair.
-    // Every group is the same query vector, borrowed — not cloned — per point.
-    let ys_groups: Vec<&[BigInt]> = vec![ys.as_slice(); responder_count];
-    let bound = cfg.mul_mask_bound();
-    mul_batches_peer(
-        chan,
-        responder_pk,
-        &ys_groups,
-        |g| zero_sum_masks(mask_ctx.rng_for(g as u64), dim, &bound),
-        |g| mul_ctx.at(g as u64),
-        mul_packing(cfg, dim).as_ref(),
-    )?;
+    // Every group is the same query vector, once per responder point.
+    let ys_groups: Vec<Vec<i64>> = vec![query.coords().to_vec(); responder_count];
+    let records: Vec<u64> = (0..responder_count as u64).collect();
+    backend.mul_fold_peer(chan, &ys_groups, &records, ctx, acct)?;
     // Stage 2: one batched comparison run for the whole candidate set.
     let values = vec![i_val; responder_count];
     for _ in 0..responder_count {
         ledger.record(cfg.key_bits, domain.n0());
     }
-    let within = compare_batch_alice(
-        cfg.comparator,
+    let within = backend.compare_batch(
         chan,
-        my_keypair,
+        Party::Alice,
         &values,
         CmpOp::Leq,
         &domain,
-        cfg.packing,
         &cmp_ctx,
+        acct,
     )?;
     Ok(within.into_iter().filter(|&b| b).count())
 }
@@ -289,14 +252,14 @@ pub fn hdp_query_querier_batch<C: Channel>(
 /// stream — the divergence that used to be pinned red by
 /// `dgk_backend_parity_on_horizontal` is gone by construction.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
-pub fn hdp_respond_batch<C: Channel>(
+pub fn hdp_respond_batch<C: Channel, B: SmcBackend>(
     chan: &mut C,
     cfg: &ProtocolConfig,
-    my_keypair: &Keypair,
-    querier_pk: &PublicKey,
+    backend: &B,
     my_points: &[Point],
     ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
+    acct: &mut SharingLedger,
     leakage: &mut LeakageLog,
 ) -> Result<usize, SmcError> {
     let dim = my_points.first().map_or(0, Point::dim);
@@ -305,41 +268,30 @@ pub fn hdp_respond_batch<C: Channel>(
 
     let mut order: Vec<usize> = (0..my_points.len()).collect();
     order.shuffle(&mut ctx.narrow("perm").rng());
-    let (mul_ctx, cmp_ctx) = (ctx.narrow("mul"), ctx.narrow("cmp"));
+    let cmp_ctx = ctx.narrow("cmp");
     if my_points.is_empty() {
         return Ok(0);
     }
 
-    let xs_groups: Vec<Vec<BigInt>> = order
+    let xs_groups: Vec<Vec<i64>> = order
         .iter()
-        .map(|&idx| coords_as_bigint(&my_points[idx]))
+        .map(|&idx| my_points[idx].coords().to_vec())
         .collect();
-    let ws_groups = mul_batches_keyholder(
-        chan,
-        my_keypair,
-        &xs_groups,
-        |g| mul_ctx.at(g as u64),
-        mul_packing(cfg, dim).as_ref(),
-    )?;
+    let records: Vec<u64> = (0..order.len() as u64).collect();
+    let inner_products = backend.mul_fold_keyholder(chan, &xs_groups, &records, ctx, acct)?;
     let mut j_vals = Vec::with_capacity(order.len());
-    for (&idx, ws) in order.iter().zip(&ws_groups) {
-        let inner_product: i64 = ws
-            .iter()
-            .fold(BigInt::zero(), |acc, w| &acc + w)
-            .to_i64()
-            .ok_or_else(|| SmcError::protocol("inner product overflows i64"))?;
+    for (&idx, &inner_product) in order.iter().zip(&inner_products) {
         ledger.record(cfg.key_bits, domain.n0());
         j_vals.push(eps - my_points[idx].norm_sq() as i64 + 2 * inner_product);
     }
-    let within = compare_batch_bob(
-        cfg.comparator,
+    let within = backend.compare_batch(
         chan,
-        querier_pk,
+        Party::Bob,
         &j_vals,
         CmpOp::Leq,
         &domain,
-        cfg.packing,
         &cmp_ctx,
+        acct,
     )?;
     let mut count = 0usize;
     for (pos, &matched) in within.iter().enumerate() {
@@ -378,6 +330,7 @@ impl ProtocolConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::paillier_backend;
     use crate::test_helpers::{ctx, rng};
     use ppds_dbscan::{dist_sq, DbscanParams};
     use ppds_paillier::Keypair;
@@ -403,29 +356,33 @@ mod tests {
         let nb = responder_points.len();
         let cfg_q = *cfg;
         let q = std::thread::spawn(move || {
+            let backend = paillier_backend(&cfg_q, querier_kp(), &responder_kp().public, 2);
             let mut ledger = YaoLedger::default();
+            let mut acct = SharingLedger::default();
             hdp_query_querier(
                 &mut qchan,
                 &cfg_q,
-                querier_kp(),
-                &responder_kp().public,
+                &backend,
                 &query,
                 nb,
                 &ctx(100),
                 &mut ledger,
+                &mut acct,
             )
             .unwrap()
         });
+        let backend = paillier_backend(cfg, responder_kp(), &querier_kp().public, 2);
         let mut ledger = YaoLedger::default();
+        let mut acct = SharingLedger::default();
         let mut leakage = LeakageLog::new();
         let responder_count = hdp_respond(
             &mut rchan,
             cfg,
-            responder_kp(),
-            &querier_kp().public,
+            &backend,
             &responder_points,
             &ctx(200),
             &mut ledger,
+            &mut acct,
             &mut leakage,
         )
         .unwrap();
@@ -469,30 +426,34 @@ mod tests {
         let nb = responder_points.len();
         let cfg_q = *cfg;
         let q = std::thread::spawn(move || {
+            let backend = paillier_backend(&cfg_q, querier_kp(), &responder_kp().public, 2);
             let mut ledger = YaoLedger::default();
+            let mut acct = SharingLedger::default();
             let count = hdp_query_querier_batch(
                 &mut qchan,
                 &cfg_q,
-                querier_kp(),
-                &responder_kp().public,
+                &backend,
                 &query,
                 nb,
                 &ctx(seeds.0),
                 &mut ledger,
+                &mut acct,
             )
             .unwrap();
             (count, qchan.metrics())
         });
+        let backend = paillier_backend(cfg, responder_kp(), &querier_kp().public, 2);
         let mut ledger = YaoLedger::default();
+        let mut acct = SharingLedger::default();
         let mut leakage = LeakageLog::new();
         let responder_count = hdp_respond_batch(
             &mut rchan,
             cfg,
-            responder_kp(),
-            &querier_kp().public,
+            &backend,
             &responder_points,
             &ctx(seeds.1),
             &mut ledger,
+            &mut acct,
             &mut leakage,
         )
         .unwrap();
@@ -520,14 +481,86 @@ mod tests {
         // Same seeds as the sequential run: count AND leakage must match
         // (the responder's permutation is drawn at the same stream point).
         let (seq_q, seq_r, seq_leak) = run_query(&cfg, query.clone(), responder_points.clone());
+        let batched = cfg.with_batching(true);
         let (bat_q, bat_r, bat_leak, metrics) =
-            run_query_batch(&cfg, query, responder_points, (100, 200));
+            run_query_batch(&batched, query, responder_points, (100, 200));
         assert_eq!(bat_q, seq_q);
         assert_eq!(bat_r, seq_r);
         assert_eq!(bat_leak, seq_leak, "identical permuted leakage order");
         // 5 rounds per query (2 mul + 3 compare) instead of 5 per point.
         assert_eq!(metrics.total_rounds(), 5);
         assert!(metrics.total_messages() > metrics.total_rounds());
+    }
+
+    #[test]
+    fn sharing_backend_matches_paillier_counts() {
+        use ppds_smc::{DealerTape, SharingBackend};
+        let cfg = ProtocolConfig::new(
+            DbscanParams {
+                eps_sq: 9,
+                min_pts: 3,
+            },
+            10,
+        );
+        let query = Point::new(vec![0, 0]);
+        let responder_points = vec![
+            Point::new(vec![1, 1]),
+            Point::new(vec![3, 0]),
+            Point::new(vec![3, 1]),
+            Point::new(vec![-2, -2]),
+            Point::new(vec![10, 10]),
+        ];
+        let expected = responder_points
+            .iter()
+            .filter(|p| dist_sq(p, &query) <= 9)
+            .count();
+        for batching in [false, true] {
+            let run_cfg = cfg.with_batching(batching);
+            let mk = move || SharingBackend {
+                tape: DealerTape::from_seed(4242),
+                batching,
+                dot_mask_bound: 1 << 20,
+            };
+            let (mut qchan, mut rchan) = duplex();
+            let nb = responder_points.len();
+            let q_points = query.clone();
+            let q = std::thread::spawn(move || {
+                let mut ledger = YaoLedger::default();
+                let mut acct = SharingLedger::default();
+                let count = hdp_query(
+                    &mut qchan,
+                    &run_cfg,
+                    &mk(),
+                    &q_points,
+                    nb,
+                    &ctx(100),
+                    &mut ledger,
+                    &mut acct,
+                )
+                .unwrap();
+                (count, acct)
+            });
+            let mut ledger = YaoLedger::default();
+            let mut acct = SharingLedger::default();
+            let mut leakage = LeakageLog::new();
+            let rc = hdp_serve(
+                &mut rchan,
+                &run_cfg,
+                &mk(),
+                &responder_points,
+                &ctx(200),
+                &mut ledger,
+                &mut acct,
+                &mut leakage,
+            )
+            .unwrap();
+            let (qc, q_acct) = q.join().unwrap();
+            assert_eq!(qc, expected, "batching={batching}");
+            assert_eq!(rc, expected, "batching={batching}");
+            assert_eq!(leakage.count_kind("own_point_matched"), expected);
+            assert_eq!(q_acct.compares, nb as u64);
+            assert!(q_acct.triples > 0, "folds consume Beaver triples");
+        }
     }
 
     #[test]
@@ -589,21 +622,25 @@ mod tests {
         );
         let (mut qchan, mut rchan) = duplex();
         let q = std::thread::spawn(move || {
+            let backend = paillier_backend(&cfg, querier_kp(), &responder_kp().public, 2);
             let mut ledger = YaoLedger::default();
+            let mut acct = SharingLedger::default();
             let c = hdp_query_querier(
                 &mut qchan,
                 &cfg,
-                querier_kp(),
-                &responder_kp().public,
+                &backend,
                 &Point::new(vec![0, 0]),
                 3,
                 &ctx(7),
                 &mut ledger,
+                &mut acct,
             )
             .unwrap();
-            (c, ledger)
+            (c, ledger, acct)
         });
+        let backend = paillier_backend(&cfg, responder_kp(), &querier_kp().public, 2);
         let mut ledger = YaoLedger::default();
+        let mut acct = SharingLedger::default();
         let mut leakage = LeakageLog::new();
         let pts = vec![
             Point::new(vec![0, 1]),
@@ -613,17 +650,22 @@ mod tests {
         hdp_respond(
             &mut rchan,
             &cfg,
-            responder_kp(),
-            &querier_kp().public,
+            &backend,
             &pts,
             &ctx(8),
             &mut ledger,
+            &mut acct,
             &mut leakage,
         )
         .unwrap();
-        let (_, q_ledger) = q.join().unwrap();
+        let (_, q_ledger, q_acct) = q.join().unwrap();
         assert_eq!(q_ledger.comparisons, 3);
         assert_eq!(ledger.comparisons, 3);
         assert!(q_ledger.modeled_bytes > 0);
+        assert_eq!(
+            q_acct,
+            SharingLedger::default(),
+            "Paillier substrate leaves the sharing ledger untouched"
+        );
     }
 }

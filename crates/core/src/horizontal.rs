@@ -186,11 +186,20 @@ impl ModeDriver for HorizontalDriver<'_> {
         log: &mut SessionLog,
     ) -> Result<Clustering, CoreError> {
         let (cfg, session, points) = (mctx.cfg, mctx.session, self.points);
-        // One context instance per issued/served query: the q-th query of
-        // either phase draws from `query`/`serve` at index q, so the
-        // batched framing (same query sequence) derives identical streams.
-        let query_ctx = ctx.narrow("query");
-        let serve_ctx = ctx.narrow("serve");
+        let backend = mctx.backend(points.first().map_or(0, Point::dim));
+        // One context instance per issued/served query, keyed by querying
+        // *direction* rather than local phase: the querier's q-th query and
+        // the responder's q-th serve are two halves of the same protocol
+        // instance and must walk identical context paths — the sharing
+        // backend re-keys this path onto the shared dealer seed, so a path
+        // mismatch would decorrelate the two sides' tape draws. The batched
+        // framing (same query sequence) derives identical streams too.
+        let (my_queries, peer_queries) = match mctx.role {
+            Party::Alice => ("hdp_a", "hdp_b"),
+            Party::Bob => ("hdp_b", "hdp_a"),
+        };
+        let query_ctx = ctx.narrow(my_queries);
+        let serve_ctx = ctx.narrow(peer_queries);
         let run_query_phase = |chan: &mut C, log: &mut SessionLog| {
             let mut q = 0u64;
             querier_phase(chan, cfg.params, points, |chan, idx, own_count| {
@@ -202,12 +211,12 @@ impl ModeDriver for HorizontalDriver<'_> {
                 let peer_count = hdp_query(
                     chan,
                     cfg,
-                    &session.my_keypair,
-                    &session.peer_pk,
+                    &backend,
                     &points[idx],
                     session.peer_n,
                     &qctx,
                     &mut log.ledger,
+                    &mut log.sharing,
                 )?;
                 span.end(|| chan.metrics());
                 log.leakage.record(LeakageEvent::NeighborCount {
@@ -226,11 +235,11 @@ impl ModeDriver for HorizontalDriver<'_> {
                 hdp_serve(
                     chan,
                     cfg,
-                    &session.my_keypair,
-                    &session.peer_pk,
+                    &backend,
                     points,
                     &qctx,
                     &mut log.ledger,
+                    &mut log.sharing,
                     &mut log.leakage,
                 )?;
                 span.end(|| chan.metrics());

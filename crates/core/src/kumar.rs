@@ -173,6 +173,7 @@ pub fn kumar_party<C: Channel>(
             dim,
             dim_must_match: true,
         },
+        ctx,
     )?;
 
     let mut leakage = LeakageLog::new();
@@ -304,6 +305,7 @@ pub fn kumar_party<C: Channel>(
         leakage,
         traffic: chan.metrics(),
         yao: ledger,
+        sharing: Default::default(),
     })
 }
 

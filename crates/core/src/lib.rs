@@ -83,6 +83,7 @@
 
 pub mod adp;
 pub mod arbitrary;
+pub(crate) mod backend;
 pub mod config;
 pub mod domain;
 pub mod driver;

@@ -60,12 +60,14 @@ enum State {
 /// implementation behind [`crate::session::Participant::run_mesh`] and the
 /// deprecated free function.
 ///
-/// Randomness: each pairwise session draws from
-/// `ctx.narrow("mesh").at(peer_id)` — keyed by the *peer's global id*, not
-/// by traffic order — so adding, removing, or resizing one peer never
-/// shifts the streams (masks, nonces, Figure-1 permutations) this node
-/// uses with any other peer. Pinned by the
-/// `mesh_streams_are_keyed_per_peer` integration test.
+/// Randomness: each pairwise exchange draws from
+/// `ctx.narrow("mesh").at(querier_id).at(responder_id)` — keyed by the
+/// *ordered pair of global ids*, not by traffic order — so adding,
+/// removing, or resizing one peer never shifts the streams (masks,
+/// nonces, Figure-1 permutations) this node uses with any other peer,
+/// and both halves of an exchange walk the same path (which the sharing
+/// backend's dealer tape re-keys onto the pair's shared seed). Pinned by
+/// the `mesh_streams_are_keyed_per_peer` integration test.
 pub(crate) fn run_mesh_node<C: Channel>(
     peers: &mut [(usize, C)],
     my_id: usize,
@@ -119,7 +121,7 @@ pub(crate) fn run_mesh_node<C: Channel>(
             Party::Bob
         };
         let peer_span = trace::span_with(|| format!("peer#{peer_id}"), || chan.metrics());
-        let session = establish(chan, cfg, keypair.clone(), role, &profile)?;
+        let session = establish(chan, cfg, keypair.clone(), role, &profile, ctx)?;
         peer_span.end(|| chan.metrics());
         sessions.push((*peer_id, session));
     }
@@ -133,8 +135,18 @@ pub(crate) fn run_mesh_node<C: Channel>(
     let execute_span = trace::span("execute", || mesh_metrics(peers));
     for phase in 0..k_parties {
         if phase == my_id {
+            // Both halves of a pairwise exchange walk the path
+            // `mesh → at(querier) → at(responder)`, so the sharing
+            // backend's tape draws stay correlated across the pair while
+            // every ordered pair still gets its own independent streams.
+            let querier_ctx = mesh_ctx.at(my_id as u64);
             clustering = Some(query_phase(
-                peers, &sessions, cfg, my_points, &mesh_ctx, &mut log,
+                peers,
+                &sessions,
+                cfg,
+                my_points,
+                &querier_ctx,
+                &mut log,
             )?);
         } else {
             // Serve the querying party on the channel that leads to it.
@@ -144,8 +156,8 @@ pub(crate) fn run_mesh_node<C: Channel>(
                 .expect("phase party is a peer");
             let (_, session) = &sessions[idx];
             let (_, chan) = &mut peers[idx];
-            let peer_ctx = mesh_ctx.at(phase as u64);
-            respond_phase(chan, session, cfg, my_points, &peer_ctx, &mut log)?;
+            let pair_ctx = mesh_ctx.at(phase as u64).at(my_id as u64);
+            respond_phase(chan, session, cfg, my_points, &pair_ctx, &mut log)?;
         }
     }
     execute_span.end(|| mesh_metrics(peers));
@@ -166,6 +178,7 @@ pub(crate) fn run_mesh_node<C: Channel>(
             leakage: log.leakage,
             traffic,
             yao: log.ledger,
+            sharing: log.sharing,
         },
         trace: None,
         meta: SessionMeta {
@@ -173,6 +186,7 @@ pub(crate) fn run_mesh_node<C: Channel>(
             mode: Mode::Multiparty,
             batching: cfg.batching,
             packing: cfg.packing,
+            backend: cfg.backend,
             peers: peer_meta,
         },
     };
@@ -211,13 +225,13 @@ pub fn multiparty_horizontal_party<C: Channel>(
 
 /// The querier's DBSCAN loop: like the two-party engine, but each core test
 /// fans out one HDP neighborhood query to every peer, each drawing from
-/// that peer's own keyed context.
+/// the ordered-pair context `querier_ctx.at(peer_id)`.
 fn query_phase<C: Channel>(
     peers: &mut [(usize, C)],
     sessions: &[(usize, Session)],
     cfg: &ProtocolConfig,
     points: &[Point],
-    mesh_ctx: &ProtocolContext,
+    querier_ctx: &ProtocolContext,
     log: &mut SessionLog,
 ) -> Result<Clustering, CoreError> {
     let index = LinearIndex::new(points, cfg.params.eps_sq);
@@ -237,16 +251,18 @@ fn query_phase<C: Channel>(
         for (pos, (peer_id, chan)) in peers.iter_mut().enumerate() {
             chan.send(&TAG_QUERY)?;
             let session = &sessions[pos].1;
-            let qctx = mesh_ctx.at(*peer_id as u64).narrow("query").at(query_no);
+            let backend =
+                crate::backend::backend_for(cfg, session, points.first().map_or(0, Point::dim));
+            let qctx = querier_ctx.at(*peer_id as u64).narrow("hdp").at(query_no);
             let count = hdp_query(
                 chan,
                 cfg,
-                &session.my_keypair,
-                &session.peer_pk,
+                &backend,
                 &points[idx],
                 session.peer_n,
                 &qctx,
                 &mut log.ledger,
+                &mut log.sharing,
             )?;
             log.leakage.record(LeakageEvent::NeighborCount {
                 query: format!("own#{idx}/peer#{peer_id}"),
@@ -317,10 +333,12 @@ fn respond_phase<C: Channel>(
     session: &Session,
     cfg: &ProtocolConfig,
     my_points: &[Point],
-    peer_ctx: &ProtocolContext,
+    pair_ctx: &ProtocolContext,
     log: &mut SessionLog,
 ) -> Result<(), CoreError> {
-    let serve_ctx = peer_ctx.narrow("serve");
+    let serve_ctx = pair_ctx.narrow("hdp");
+    let backend =
+        crate::backend::backend_for(cfg, session, my_points.first().map_or(0, Point::dim));
     let mut served = 0u64;
     loop {
         let tag: u8 = chan.recv()?;
@@ -333,11 +351,11 @@ fn respond_phase<C: Channel>(
                 hdp_serve(
                     chan,
                     cfg,
-                    &session.my_keypair,
-                    &session.peer_pk,
+                    &backend,
                     my_points,
                     &qctx,
                     &mut log.ledger,
+                    &mut log.sharing,
                     &mut log.leakage,
                 )?;
                 serve_span.end(|| chan.metrics());

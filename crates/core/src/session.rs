@@ -62,7 +62,7 @@ use ppds_observe::{trace, SessionTrace, SpanRecorder, TraceSink};
 use ppds_paillier::{FillerHandle, Keypair, PublicKey, RandomizerPool};
 use ppds_smc::compare::Comparator;
 use ppds_smc::kth::SelectionMethod;
-use ppds_smc::{setup, LeakageLog, Party, ProtocolContext};
+use ppds_smc::{setup, BackendKind, DealerTape, LeakageLog, Party, ProtocolContext, SharingLedger};
 use ppds_transport::wire::{Reader, WireDecode, WireEncode};
 use ppds_transport::{duplex, Channel, MemoryChannel, TransportError};
 use rand::rngs::StdRng;
@@ -76,8 +76,11 @@ use std::sync::Arc;
 ///
 /// Version history: `1` was the unversioned `Vec<u64>` metadata frame of
 /// the original drivers; `2` is the tagged-field `Hello` frame; `3` adds
-/// the required `packing` field (plaintext-slot packing negotiation).
-pub const WIRE_VERSION: u32 = 3;
+/// the required `packing` field (plaintext-slot packing negotiation); `4`
+/// adds the required `backend` field (Paillier vs additive-sharing SMC
+/// substrate) and, when sharing is negotiated, a dealer-seed contribution
+/// exchange immediately after the `Hello` frames.
+pub const WIRE_VERSION: u32 = 4;
 
 /// Protocol family tag, negotiated during the handshake.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -162,10 +165,11 @@ const F_PACKING: u8 = 12;
 /// [`AGREED_FIELDS`] — the in-session handshake ignores it, so frames with
 /// and without it interoperate within one wire version.
 const F_SESSION_ID: u8 = 13;
+const F_BACKEND: u8 = 14;
 
 /// Fields that must be byte-equal between the two halves (record count and
 /// dimension are informational / mode-dependent and checked separately).
-const AGREED_FIELDS: [(u8, &str); 10] = [
+const AGREED_FIELDS: [(u8, &str); 11] = [
     (F_MODE, "mode"),
     (F_COORD_BOUND, "coord_bound"),
     (F_EPS_SQ, "eps_sq"),
@@ -176,6 +180,7 @@ const AGREED_FIELDS: [(u8, &str); 10] = [
     (F_MASK_BITS, "mask_bits"),
     (F_BATCHING, "batching"),
     (F_PACKING, "packing"),
+    (F_BACKEND, "backend"),
 ];
 
 fn comparator_tag(c: Comparator) -> u64 {
@@ -231,6 +236,7 @@ impl Hello {
                 (F_MASK_BITS, cfg.mask_bits as u64),
                 (F_BATCHING, cfg.batching as u64),
                 (F_PACKING, cfg.packing as u64),
+                (F_BACKEND, u64::from(cfg.backend.tag())),
             ],
         }
     }
@@ -291,6 +297,13 @@ impl Hello {
     /// Whether the sender wants plaintext-slot packing, if advertised.
     pub fn packing(&self) -> Option<bool> {
         self.field(F_PACKING).map(|v| v != 0)
+    }
+
+    /// The SMC substrate the sender advertised, if present and known.
+    pub fn backend(&self) -> Option<BackendKind> {
+        self.field(F_BACKEND)
+            .and_then(|v| u8::try_from(v).ok())
+            .and_then(BackendKind::from_tag)
     }
 
     /// Cross-checks a peer's `Hello` against ours: every agreed field must
@@ -407,6 +420,10 @@ pub(crate) struct Session {
     pub peer_n: usize,
     /// Peer's attribute count (differs from ours only for vertical data).
     pub peer_dim: usize,
+    /// Shared dealer tape for correlated randomness — `Some` exactly when
+    /// the sharing backend was negotiated (seeded by XOR of one keyed
+    /// contribution from each side, so neither party picks it alone).
+    pub tape: Option<DealerTape>,
 }
 
 /// What one mode advertises in (and requires of) the handshake.
@@ -426,6 +443,7 @@ pub(crate) fn establish<C: Channel>(
     my_keypair: Keypair,
     role: Party,
     profile: &HandshakeProfile,
+    ctx: &ProtocolContext,
 ) -> Result<Session, CoreError> {
     let keys_span = trace::span("keys", || chan.metrics());
     let peer_pk = match role {
@@ -438,6 +456,21 @@ pub(crate) fn establish<C: Channel>(
     chan.send(&mine)?;
     let theirs: Hello = chan.recv()?;
     mine.check_compatible(&theirs, profile.dim_must_match)?;
+    // The sharing backend needs one shared dealer seed; both sides
+    // contribute a keyed draw and XOR, so the tape is agreed without either
+    // party choosing it unilaterally. Both send before either receives —
+    // the exchange cannot deadlock and adds exactly one frame each way.
+    let tape = if cfg.backend == BackendKind::Sharing {
+        let my_contribution = DealerTape::contribution(ctx);
+        chan.send(&my_contribution)?;
+        let their_contribution: u64 = chan.recv()?;
+        Some(DealerTape::from_contributions(
+            my_contribution,
+            their_contribution,
+        ))
+    } else {
+        None
+    };
     hello_span.end(|| chan.metrics());
     Ok(Session {
         my_keypair,
@@ -448,13 +481,16 @@ pub(crate) fn establish<C: Channel>(
         peer_dim: theirs
             .field(F_DIM)
             .expect("check_compatible requires the field") as usize,
+        tape,
     })
 }
 
-/// Running record of one party's leakage and modeled Yao cost.
+/// Running record of one party's leakage, modeled Yao cost, and
+/// sharing-backend substitution accounting.
 pub(crate) struct SessionLog {
     pub leakage: LeakageLog,
     pub ledger: YaoLedger,
+    pub sharing: SharingLedger,
 }
 
 impl SessionLog {
@@ -462,6 +498,7 @@ impl SessionLog {
         SessionLog {
             leakage: LeakageLog::new(),
             ledger: YaoLedger::default(),
+            sharing: SharingLedger::default(),
         }
     }
 }
@@ -587,7 +624,7 @@ where
     keygen_span.end(|| chan.metrics());
     let profile = driver.profile();
     let establish_span = trace::span("establish", || chan.metrics());
-    let mut session = establish(chan, cfg, keypair, role, &profile)?;
+    let mut session = establish(chan, cfg, keypair, role, &profile, ctx)?;
     driver.check_session(cfg, &session)?;
     establish_span.end(|| chan.metrics());
     let _filler_guards = pools.map(|setup| attach_pools(&mut session, setup, ctx));
@@ -609,6 +646,7 @@ where
             leakage: log.leakage,
             traffic: chan.metrics(),
             yao: log.ledger,
+            sharing: log.sharing,
         },
         trace: None,
         meta: SessionMeta {
@@ -616,6 +654,7 @@ where
             mode,
             batching: cfg.batching,
             packing: cfg.packing,
+            backend: cfg.backend,
             peers: vec![PeerInfo {
                 id: match role {
                     Party::Alice => 1,
@@ -700,6 +739,8 @@ pub struct SessionMeta {
     pub batching: bool,
     /// Whether plaintext-slot packing was active (both sides must agree).
     pub packing: bool,
+    /// The negotiated SMC substrate (both sides must agree).
+    pub backend: BackendKind,
     /// One entry per peer session (one for two-party modes, `K − 1` for a
     /// mesh), in peer-id order.
     pub peers: Vec<PeerInfo>,
@@ -1122,6 +1163,7 @@ mod tests {
         assert_eq!(back.dim(), Some(2));
         assert_eq!(back.batching(), Some(false));
         assert_eq!(back.packing(), Some(false));
+        assert_eq!(back.backend(), Some(BackendKind::Paillier));
     }
 
     #[test]
@@ -1199,6 +1241,24 @@ mod tests {
         let theirs = Hello::for_session(&cfg().with_batching(true), Mode::Horizontal, 3, 2);
         match mine.check_compatible(&theirs, true).unwrap_err() {
             CoreError::HandshakeMismatch { field, .. } => assert_eq!(field, "batching"),
+            other => panic!("wanted HandshakeMismatch, got {other:?}"),
+        }
+
+        let theirs = Hello::for_session(
+            &cfg().with_backend(BackendKind::Sharing),
+            Mode::Horizontal,
+            3,
+            2,
+        );
+        match mine.check_compatible(&theirs, true).unwrap_err() {
+            CoreError::HandshakeMismatch {
+                field,
+                ours,
+                theirs,
+            } => {
+                assert_eq!(field, "backend");
+                assert_eq!((ours, theirs), (0, 1));
+            }
             other => panic!("wanted HandshakeMismatch, got {other:?}"),
         }
     }

@@ -6,14 +6,16 @@
 //! `β = Σ_{k > l} (d_{x,k} − d_{y,k})²` — and a single Yao comparison
 //! decides `α ≤ Eps² − β`. No homomorphic encryption is needed at all;
 //! the whole cost is the comparison (the paper's `O(c2·n0·n²)` bound).
+//!
+//! The comparison itself runs through the session's [`SmcBackend`], so a
+//! sharing-backend session replaces the garbled-circuit stand-in with a
+//! shared-bit `share_less_than` over `Z_2^64` without touching this module's
+//! dataflow.
 
 use crate::config::{ProtocolConfig, YaoLedger};
 use crate::domain::vdp_domain;
-use ppds_paillier::{Keypair, PublicKey};
-use ppds_smc::compare::{
-    compare_alice, compare_batch_alice, compare_batch_bob, compare_bob, CmpOp,
-};
-use ppds_smc::{ProtocolContext, SmcError};
+use ppds_smc::compare::CmpOp;
+use ppds_smc::{Party, ProtocolContext, SharingLedger, SmcBackend, SmcError};
 use ppds_transport::Channel;
 
 /// Local squared-delta sum between two attribute slices (each party calls
@@ -26,52 +28,46 @@ pub fn local_delta_sq(x: &ppds_dbscan::Point, y: &ppds_dbscan::Point) -> u64 {
 /// sum; `total_dim` is the full record dimension `m` (needed to agree on
 /// the comparison domain); `ctx` is this comparison's record scope
 /// (`step_ctx.at(record)`). Returns `dist² ≤ Eps²`.
-pub fn vdp_compare_alice<C: Channel>(
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
+pub fn vdp_compare_alice<C: Channel, B: SmcBackend>(
     chan: &mut C,
     cfg: &ProtocolConfig,
-    my_keypair: &Keypair,
+    backend: &B,
     alpha: u64,
     total_dim: usize,
     ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
+    acct: &mut SharingLedger,
 ) -> Result<bool, SmcError> {
     let domain = vdp_domain(cfg, total_dim);
     ledger.record(cfg.key_bits, domain.n0());
-    compare_alice(
-        cfg.comparator,
+    backend.compare(
         chan,
-        my_keypair,
+        Party::Alice,
         i64::try_from(alpha).expect("α fits i64 on a validated lattice"),
         CmpOp::Leq,
         &domain,
-        cfg.packing,
         ctx,
+        acct,
     )
 }
 
 /// Bob's side: `beta` is his local squared-delta sum.
-pub fn vdp_compare_bob<C: Channel>(
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
+pub fn vdp_compare_bob<C: Channel, B: SmcBackend>(
     chan: &mut C,
     cfg: &ProtocolConfig,
-    alice_pk: &PublicKey,
+    backend: &B,
     beta: u64,
     total_dim: usize,
     ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
+    acct: &mut SharingLedger,
 ) -> Result<bool, SmcError> {
     let domain = vdp_domain(cfg, total_dim);
     ledger.record(cfg.key_bits, domain.n0());
     let j_val = cfg.params.eps_sq as i64 - i64::try_from(beta).expect("β fits i64");
-    compare_bob(
-        cfg.comparator,
-        chan,
-        alice_pk,
-        j_val,
-        CmpOp::Leq,
-        &domain,
-        cfg.packing,
-        ctx,
-    )
+    backend.compare(chan, Party::Bob, j_val, CmpOp::Leq, &domain, ctx, acct)
 }
 
 /// One VDP decision per entry of `alphas` (Alice's local squared-delta
@@ -79,17 +75,19 @@ pub fn vdp_compare_bob<C: Channel>(
 /// mode packs the set into a constant number of wire rounds, reference
 /// mode runs one [`vdp_compare_alice`] ping-pong per entry. Outcomes are
 /// identical either way.
-pub fn vdp_compare_set_alice<C: Channel>(
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
+pub fn vdp_compare_set_alice<C: Channel, B: SmcBackend>(
     chan: &mut C,
     cfg: &ProtocolConfig,
-    my_keypair: &Keypair,
+    backend: &B,
     alphas: &[u64],
     total_dim: usize,
     ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
+    acct: &mut SharingLedger,
 ) -> Result<Vec<bool>, SmcError> {
     if cfg.batching {
-        return vdp_compare_batch_alice(chan, cfg, my_keypair, alphas, total_dim, ctx, ledger);
+        return vdp_compare_batch_alice(chan, cfg, backend, alphas, total_dim, ctx, ledger, acct);
     }
     alphas
         .iter()
@@ -98,28 +96,31 @@ pub fn vdp_compare_set_alice<C: Channel>(
             vdp_compare_alice(
                 chan,
                 cfg,
-                my_keypair,
+                backend,
                 alpha,
                 total_dim,
                 &ctx.at(i as u64),
                 ledger,
+                acct,
             )
         })
         .collect()
 }
 
 /// Bob's side of [`vdp_compare_set_alice`].
-pub fn vdp_compare_set_bob<C: Channel>(
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
+pub fn vdp_compare_set_bob<C: Channel, B: SmcBackend>(
     chan: &mut C,
     cfg: &ProtocolConfig,
-    alice_pk: &PublicKey,
+    backend: &B,
     betas: &[u64],
     total_dim: usize,
     ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
+    acct: &mut SharingLedger,
 ) -> Result<Vec<bool>, SmcError> {
     if cfg.batching {
-        return vdp_compare_batch_bob(chan, cfg, alice_pk, betas, total_dim, ctx, ledger);
+        return vdp_compare_batch_bob(chan, cfg, backend, betas, total_dim, ctx, ledger, acct);
     }
     betas
         .iter()
@@ -128,11 +129,12 @@ pub fn vdp_compare_set_bob<C: Channel>(
             vdp_compare_bob(
                 chan,
                 cfg,
-                alice_pk,
+                backend,
                 beta,
                 total_dim,
                 &ctx.at(i as u64),
                 ledger,
+                acct,
             )
         })
         .collect()
@@ -142,14 +144,16 @@ pub fn vdp_compare_set_bob<C: Channel>(
 /// local squared-delta sums for a whole candidate set), all packed into a
 /// constant number of wire rounds. Outcome `r[i]` equals what
 /// [`vdp_compare_alice`] would return for `alphas[i]`.
-pub fn vdp_compare_batch_alice<C: Channel>(
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
+pub fn vdp_compare_batch_alice<C: Channel, B: SmcBackend>(
     chan: &mut C,
     cfg: &ProtocolConfig,
-    my_keypair: &Keypair,
+    backend: &B,
     alphas: &[u64],
     total_dim: usize,
     ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
+    acct: &mut SharingLedger,
 ) -> Result<Vec<bool>, SmcError> {
     let domain = vdp_domain(cfg, total_dim);
     let values: Vec<i64> = alphas
@@ -159,28 +163,21 @@ pub fn vdp_compare_batch_alice<C: Channel>(
             i64::try_from(alpha).expect("α fits i64 on a validated lattice")
         })
         .collect();
-    compare_batch_alice(
-        cfg.comparator,
-        chan,
-        my_keypair,
-        &values,
-        CmpOp::Leq,
-        &domain,
-        cfg.packing,
-        ctx,
-    )
+    backend.compare_batch(chan, Party::Alice, &values, CmpOp::Leq, &domain, ctx, acct)
 }
 
 /// Round-batched Bob side of [`vdp_compare_batch_alice`]; `betas` are his
 /// local squared-delta sums for the same candidate set, in the same order.
-pub fn vdp_compare_batch_bob<C: Channel>(
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
+pub fn vdp_compare_batch_bob<C: Channel, B: SmcBackend>(
     chan: &mut C,
     cfg: &ProtocolConfig,
-    alice_pk: &PublicKey,
+    backend: &B,
     betas: &[u64],
     total_dim: usize,
     ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
+    acct: &mut SharingLedger,
 ) -> Result<Vec<bool>, SmcError> {
     let domain = vdp_domain(cfg, total_dim);
     let values: Vec<i64> = betas
@@ -190,23 +187,16 @@ pub fn vdp_compare_batch_bob<C: Channel>(
             cfg.params.eps_sq as i64 - i64::try_from(beta).expect("β fits i64")
         })
         .collect();
-    compare_batch_bob(
-        cfg.comparator,
-        chan,
-        alice_pk,
-        &values,
-        CmpOp::Leq,
-        &domain,
-        cfg.packing,
-        ctx,
-    )
+    backend.compare_batch(chan, Party::Bob, &values, CmpOp::Leq, &domain, ctx, acct)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::paillier_backend;
     use crate::test_helpers::{ctx, rng};
     use ppds_dbscan::{dist_sq, DbscanParams, Point};
+    use ppds_paillier::Keypair;
     use ppds_smc::compare::Comparator;
     use ppds_transport::duplex;
     use std::sync::OnceLock;
@@ -216,30 +206,41 @@ mod tests {
         KP.get_or_init(|| Keypair::generate(256, &mut rng(33)))
     }
 
+    fn bob_kp() -> &'static Keypair {
+        static KP: OnceLock<Keypair> = OnceLock::new();
+        KP.get_or_init(|| Keypair::generate(256, &mut rng(34)))
+    }
+
     fn run(cfg: ProtocolConfig, alpha: u64, beta: u64, dim: usize) -> bool {
         let (mut achan, mut bchan) = duplex();
         let a = std::thread::spawn(move || {
+            let backend = paillier_backend(&cfg, alice_kp(), &bob_kp().public, dim);
             let mut ledger = YaoLedger::default();
+            let mut acct = SharingLedger::default();
             vdp_compare_alice(
                 &mut achan,
                 &cfg,
-                alice_kp(),
+                &backend,
                 alpha,
                 dim,
                 &ctx(1),
                 &mut ledger,
+                &mut acct,
             )
             .unwrap()
         });
+        let backend = paillier_backend(&cfg, bob_kp(), &alice_kp().public, dim);
         let mut ledger = YaoLedger::default();
+        let mut acct = SharingLedger::default();
         let bob = vdp_compare_bob(
             &mut bchan,
             &cfg,
-            &alice_kp().public,
+            &backend,
             beta,
             dim,
             &ctx(2),
             &mut ledger,
+            &mut acct,
         )
         .unwrap();
         let alice = a.join().unwrap();
@@ -289,28 +290,34 @@ mod tests {
         let (mut achan, mut bchan) = duplex();
         let alphas2 = alphas.clone();
         let a = std::thread::spawn(move || {
+            let backend = paillier_backend(&cfg, alice_kp(), &bob_kp().public, 2);
             let mut ledger = YaoLedger::default();
+            let mut acct = SharingLedger::default();
             let out = vdp_compare_batch_alice(
                 &mut achan,
                 &cfg,
-                alice_kp(),
+                &backend,
                 &alphas2,
                 2,
                 &ctx(3),
                 &mut ledger,
+                &mut acct,
             )
             .unwrap();
             (out, ledger, achan.metrics())
         });
+        let backend = paillier_backend(&cfg, bob_kp(), &alice_kp().public, 2);
         let mut ledger = YaoLedger::default();
+        let mut acct = SharingLedger::default();
         let bob = vdp_compare_batch_bob(
             &mut bchan,
             &cfg,
-            &alice_kp().public,
+            &backend,
             &betas,
             2,
             &ctx(4),
             &mut ledger,
+            &mut acct,
         )
         .unwrap();
         let (alice, a_ledger, metrics) = a.join().unwrap();
@@ -343,5 +350,71 @@ mod tests {
         let expect = dist_sq(&full_x, &full_y) <= 9;
         assert_eq!(run(cfg, alpha, beta, 4), expect);
         assert!(matches!(cfg.comparator, Comparator::Yao));
+    }
+
+    #[test]
+    fn sharing_backend_matches_plain_comparisons() {
+        use ppds_smc::{DealerTape, SharingBackend};
+        let cfg = ProtocolConfig::new(
+            DbscanParams {
+                eps_sq: 10,
+                min_pts: 2,
+            },
+            3,
+        );
+        let alphas: Vec<u64> = vec![0, 5, 5, 10, 0, 11, 3];
+        let betas: Vec<u64> = vec![0, 5, 6, 0, 10, 0, 4];
+        let expect: Vec<bool> = alphas
+            .iter()
+            .zip(&betas)
+            .map(|(&a, &b)| a + b <= 10)
+            .collect();
+        for batching in [false, true] {
+            let run_cfg = cfg.with_batching(batching);
+            let mk = move || SharingBackend {
+                tape: DealerTape::from_seed(77),
+                batching,
+                dot_mask_bound: 1 << 20,
+            };
+            let (mut achan, mut bchan) = duplex();
+            let alphas2 = alphas.clone();
+            let a = std::thread::spawn(move || {
+                let mut ledger = YaoLedger::default();
+                let mut acct = SharingLedger::default();
+                let out = vdp_compare_set_alice(
+                    &mut achan,
+                    &run_cfg,
+                    &mk(),
+                    &alphas2,
+                    2,
+                    &ctx(3),
+                    &mut ledger,
+                    &mut acct,
+                )
+                .unwrap();
+                (out, acct)
+            });
+            let mut ledger = YaoLedger::default();
+            let mut acct = SharingLedger::default();
+            let bob = vdp_compare_set_bob(
+                &mut bchan,
+                &run_cfg,
+                &mk(),
+                &betas,
+                2,
+                &ctx(4),
+                &mut ledger,
+                &mut acct,
+            )
+            .unwrap();
+            let (alice, a_acct) = a.join().unwrap();
+            assert_eq!(alice, expect, "batching={batching}");
+            assert_eq!(bob, expect, "batching={batching}");
+            assert_eq!(a_acct.compares, alphas.len() as u64);
+            assert!(
+                a_acct.bit_triples > 0,
+                "shared-bit compares consume triples"
+            );
+        }
     }
 }

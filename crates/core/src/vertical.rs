@@ -169,7 +169,9 @@ impl ModeDriver for VerticalDriver<'_> {
         let (cfg, session, attrs) = (mctx.cfg, mctx.session, self.attrs);
         let my_dim = attrs.first().map_or(1, Point::dim);
         let total_dim = my_dim + session.peer_dim;
+        let backend = mctx.backend(total_dim);
         let ledger = &mut log.ledger;
+        let sharing = &mut log.sharing;
         // One context instance per region query; candidate i of query q
         // draws from region.at(q).at(i) in both framings.
         let region_ctx = ctx.narrow("region");
@@ -184,22 +186,10 @@ impl ModeDriver for VerticalDriver<'_> {
                 .collect();
             let result = match mctx.role {
                 Party::Alice => vdp_compare_set_alice(
-                    chan,
-                    cfg,
-                    &session.my_keypair,
-                    &locals,
-                    total_dim,
-                    &qctx,
-                    ledger,
+                    chan, cfg, &backend, &locals, total_dim, &qctx, ledger, sharing,
                 )?,
                 Party::Bob => vdp_compare_set_bob(
-                    chan,
-                    cfg,
-                    &session.peer_pk,
-                    &locals,
-                    total_dim,
-                    &qctx,
-                    ledger,
+                    chan, cfg, &backend, &locals, total_dim, &qctx, ledger, sharing,
                 )?,
             };
             span.end(|| chan.metrics());

@@ -30,9 +30,13 @@ use ppdbscan::CoreError;
 use ppdbscan::ProtocolConfig;
 use ppds_engine::{Engine, EngineConfig, EngineReport};
 use ppds_observe::{MetricsRegistry, SpanRecorder};
+use ppds_paillier::Keypair;
 use ppds_smc::Party;
 use ppds_transport::tcp::TcpChannel;
 use ppds_transport::{Channel, TransportError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -70,6 +74,10 @@ pub(crate) struct Shared {
     pub(crate) shutdown_requested: AtomicBool,
     /// Serializes depth-check → Accept → submit across greeters.
     admission: Mutex<()>,
+    /// Long-lived Paillier keypairs keyed by modulus size: a hosted
+    /// session reuses the server's hot key (with its fixed-base comb
+    /// tables already attached) instead of paying keygen per connection.
+    keypairs: Mutex<HashMap<usize, Keypair>>,
 }
 
 /// A running protocol service. Construct with [`Server::start`]; tear down
@@ -118,6 +126,8 @@ impl Server {
             "server_sessions_rejected_incompatible",
             "server_sessions_dropped_drain",
             "server_handshake_timeouts",
+            "server_keypair_cache_hits",
+            "server_keypair_cache_misses",
         ] {
             metrics.counter(name);
         }
@@ -133,6 +143,7 @@ impl Server {
             stop_ops: AtomicBool::new(false),
             shutdown_requested: AtomicBool::new(false),
             admission: Mutex::new(()),
+            keypairs: Mutex::new(HashMap::new()),
         });
 
         let greeters: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -459,10 +470,13 @@ fn run_hosted(
     }
     shared.registry.set_state(sid, SessionState::Running);
     let mode = data.mode();
+    let keypair = hot_keypair(shared, cfg.key_bits);
     let mut participant = Participant::new(cfg)
         .role(role)
         .data(data)
-        .seed(session_seed(shared.cfg.base_seed, sid));
+        .seed(session_seed(shared.cfg.base_seed, sid))
+        .keypair(keypair)
+        .expect("hot keypair is generated at cfg.key_bits");
     if shared.cfg.record_traces {
         participant = participant.trace(SpanRecorder::new());
     }
@@ -485,6 +499,40 @@ fn run_hosted(
             Err(format!("session {sid} ({mode}): {err}"))
         }
     }
+}
+
+/// Returns the server's long-lived keypair for `key_bits`, generating it
+/// (and attaching the fixed-base exponentiation combs) on first use. Every
+/// later session at the same security parameter skips keygen entirely —
+/// the dominant per-connection setup cost for realistic key sizes.
+///
+/// The cache lock is held across generation on purpose: two racing first
+/// sessions would otherwise both pay keygen, and one result would be
+/// discarded. Hits and misses surface as
+/// `server_keypair_cache_hits` / `server_keypair_cache_misses`.
+///
+/// Determinism: the key derives from `base_seed` and `key_bits` only, so a
+/// restarted server with the same config reuses the same key material —
+/// session outcomes never depend on key bytes, but operators diffing
+/// traces across restarts appreciate stable moduli.
+fn hot_keypair(shared: &Shared, key_bits: usize) -> Keypair {
+    let mut cache = shared.keypairs.lock().unwrap();
+    if let Some(kp) = cache.get(&key_bits) {
+        shared.metrics.counter("server_keypair_cache_hits").inc();
+        return kp.clone();
+    }
+    shared.metrics.counter("server_keypair_cache_misses").inc();
+    let mut rng = StdRng::seed_from_u64(session_seed(
+        shared.cfg.base_seed ^ 0x4B45_5947_454E_2121, // "KEYGEN!!"
+        key_bits as u64,
+    ));
+    let mut keypair = Keypair::generate(key_bits, &mut rng);
+    // No-op for standard-generator keys (the `(1+n)^m` shortcut wins), but
+    // general-generator deployments get their comb tables warmed once here
+    // instead of per session.
+    keypair.public = keypair.public.clone().with_exp_kernels();
+    cache.insert(key_bits, keypair.clone());
+    keypair
 }
 
 /// A ready-made [`HostedMode`] helper for demos and the binary: hosts

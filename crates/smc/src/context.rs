@@ -145,6 +145,22 @@ impl ProtocolContext {
     pub fn rng_for(&self, record: RecordId) -> StdRng {
         self.at(record).rng()
     }
+
+    /// Re-base this derivation point onto a different session seed while
+    /// keeping the accumulated step path. The path component accumulates
+    /// independently of the seed, so two parties that walked the same
+    /// `narrow`/`at` steps hold identical paths; rekeying both onto a
+    /// *shared* seed (e.g. the sharing backend's dealer seed, combined
+    /// from one contribution per party) yields the same streams on both
+    /// sides — which is exactly what correlated-randomness generation
+    /// needs, without threading a second context through every driver.
+    #[must_use]
+    pub fn rekey(&self, seed: u64) -> Self {
+        ProtocolContext {
+            seed,
+            path: self.path,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +224,23 @@ mod tests {
         let mut r2 = StdRng::seed_from_u64(5);
         let ctx = ProtocolContext::from_rng(&mut r1);
         assert_eq!(ctx, ProtocolContext::new(r2.next_u64()));
+    }
+
+    #[test]
+    fn rekey_keeps_path_swaps_seed() {
+        // Two parties with different session seeds but the same protocol
+        // position converge once rekeyed onto a shared dealer seed.
+        let alice = ProtocolContext::new(1).narrow("mul").at(3);
+        let bob = ProtocolContext::new(2).narrow("mul").at(3);
+        assert_ne!(draws(alice.rng_for(0), 16), draws(bob.rng_for(0), 16));
+        assert_eq!(
+            draws(alice.rekey(7).rng_for(0), 16),
+            draws(bob.rekey(7).rng_for(0), 16)
+        );
+        assert_ne!(
+            draws(alice.rekey(7).rng_for(0), 16),
+            draws(alice.rng_for(0), 16)
+        );
     }
 
     #[test]

@@ -18,12 +18,15 @@
 //! reveals to both parties anyway, so both sides replay the identical
 //! decision sequence and stay in lockstep with zero additional messages.
 
+use crate::backend::SmcBackend;
 use crate::compare::{
     share_less_than_alice, share_less_than_batch_alice, share_less_than_batch_bob,
     share_less_than_bob, Comparator, ComparisonDomain,
 };
 use crate::context::ProtocolContext;
 use crate::error::SmcError;
+use crate::leakage::Party;
+use crate::sharing::SharingLedger;
 use ppds_observe::trace;
 use ppds_paillier::{Keypair, PublicKey};
 use ppds_transport::Channel;
@@ -46,6 +49,45 @@ pub struct SelectionOutcome {
     pub index: usize,
     /// Number of secure comparisons executed.
     pub comparisons: usize,
+}
+
+/// Backend-dispatched selection: the session path. Runs the same engine as
+/// the role-named entry points below but reaches every share comparison
+/// through [`SmcBackend`], so one call site serves both the Paillier and
+/// the sharing substrate. With a [`crate::backend::PaillierBackend`] the
+/// wire transcript is byte-identical to the matching
+/// [`kth_smallest_alice`] / [`kth_smallest_bob`] call. `role` is the
+/// comparison role ([`Party::Alice`] holds the compare keypair);
+/// `batched` selects the round-batched partition framing.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
+pub fn kth_smallest_with<C: Channel, B: SmcBackend>(
+    method: SelectionMethod,
+    backend: &B,
+    chan: &mut C,
+    role: Party,
+    shares: &[i64],
+    k: usize,
+    domain: &ComparisonDomain,
+    batched: bool,
+    ctx: &ProtocolContext,
+    acct: &mut SharingLedger,
+) -> Result<SelectionOutcome, SmcError> {
+    let span = trace::span("kth", || chan.metrics());
+    let mut less_many = |pairs: &[(usize, usize)], chan: &mut C, scope: &ProtocolContext| {
+        if let [(a, b)] = pairs {
+            // Single-pair calls keep the unbatched wire format byte-exact;
+            // `scope` is already record-scoped by the engine.
+            return backend
+                .share_less_than(chan, role, (shares[*a], shares[*b]), domain, scope, acct)
+                .map(|r| vec![r]);
+        }
+        let share_pairs: Vec<(i64, i64)> =
+            pairs.iter().map(|&(a, b)| (shares[a], shares[b])).collect();
+        backend.share_less_than_batch(chan, role, &share_pairs, domain, scope, acct)
+    };
+    let out = kth_engine(shares.len(), k, method, batched, chan, ctx, &mut less_many)?;
+    span.end(|| chan.metrics());
+    Ok(out)
 }
 
 /// Alice's side: her shares are `u_i`; returns the k-th smallest (1-based).
@@ -582,6 +624,112 @@ mod tests {
             );
             let yao = run(&dists, k, SelectionMethod::RepeatedMin, Comparator::Yao, 61);
             assert_eq!(ideal.index, yao.index, "k={k}");
+        }
+    }
+
+    #[test]
+    fn backend_dispatch_agrees_across_substrates() {
+        use crate::backend::{PaillierBackend, SharingBackend, SmcBackend};
+        use crate::leakage::Party;
+        use crate::sharing::{DealerTape, SharingLedger};
+        use ppds_bigint::BigUint;
+
+        fn run_with<B: SmcBackend + Send + Sync>(
+            alice_backend: &B,
+            bob_backend: &B,
+            dists: &[i64],
+            k: usize,
+            batched: bool,
+            seed: u64,
+        ) -> (SelectionOutcome, SharingLedger) {
+            let mut r = rng(seed);
+            let vs: Vec<i64> = dists.iter().map(|_| r.random_range(-50..=50)).collect();
+            let us: Vec<i64> = dists.iter().zip(&vs).map(|(d, v)| d + v).collect();
+            let bound = 2 * (dists.iter().map(|d| d.abs()).max().unwrap_or(0) + 50);
+            let domain = ComparisonDomain::symmetric(bound);
+            let (mut achan, mut bchan) = duplex();
+            let out = std::thread::scope(|s| {
+                let alice = s.spawn(|| {
+                    let mut acct = SharingLedger::default();
+                    let out = kth_smallest_with(
+                        SelectionMethod::QuickSelect,
+                        alice_backend,
+                        &mut achan,
+                        Party::Alice,
+                        &us,
+                        k,
+                        &domain,
+                        batched,
+                        &ctx(seed + 1),
+                        &mut acct,
+                    )
+                    .unwrap();
+                    (out, acct)
+                });
+                let mut acct = SharingLedger::default();
+                let bob = kth_smallest_with(
+                    SelectionMethod::QuickSelect,
+                    bob_backend,
+                    &mut bchan,
+                    Party::Bob,
+                    &vs,
+                    k,
+                    &domain,
+                    batched,
+                    &ctx(seed + 2),
+                    &mut acct,
+                )
+                .unwrap();
+                let (aout, aacct) = alice.join().unwrap();
+                assert_eq!(aout, bob);
+                (aout, aacct)
+            });
+            out
+        }
+
+        let dists = [9i64, 2, 14, 5, 0, 7, 3, 11];
+        let tape = DealerTape::from_seed(77);
+        let mk_sharing = |batching| SharingBackend {
+            tape,
+            batching,
+            dot_mask_bound: 1 << 20,
+        };
+        let mk_paillier = |batching| PaillierBackend {
+            my_keypair: alice_keypair(),
+            peer_pk: &alice_keypair().public,
+            comparator: Comparator::Ideal,
+            packed: false,
+            batching,
+            mul_packing: None,
+            dot_packing: None,
+            mul_mask_bound: BigUint::from_u64(1 << 20),
+            dot_mask_bound: BigUint::from_u64(1 << 20),
+        };
+        for k in [1, 4, 8] {
+            for batched in [false, true] {
+                let (p, pacct) = run_with(
+                    &mk_paillier(batched),
+                    &mk_paillier(batched),
+                    &dists,
+                    k,
+                    batched,
+                    500 + k as u64,
+                );
+                let (sh, sacct) = run_with(
+                    &mk_sharing(batched),
+                    &mk_sharing(batched),
+                    &dists,
+                    k,
+                    batched,
+                    500 + k as u64,
+                );
+                assert_eq!(p.index, sh.index, "k={k} batched={batched}");
+                assert_eq!(p.comparisons, sh.comparisons);
+                // Paillier leaves the sharing ledger untouched; sharing
+                // accounts one substitution per comparison.
+                assert_eq!(pacct, SharingLedger::default());
+                assert_eq!(sacct.compares as usize, sh.comparisons);
+            }
         }
     }
 

@@ -42,6 +42,7 @@
 //! batch items evaluate in parallel on the [`parallel`] worker pool
 //! without changing a single output byte.
 
+pub mod backend;
 pub mod bitwise;
 pub mod compare;
 pub mod context;
@@ -52,11 +53,14 @@ pub mod millionaires;
 pub mod multiplication;
 pub mod parallel;
 pub mod setup;
+pub mod sharing;
 
+pub use backend::{AnyBackend, BackendKind, PaillierBackend, SharingBackend, SmcBackend};
 pub use context::{ProtocolContext, RecordId};
 pub use error::SmcError;
 pub use leakage::{LeakageEvent, LeakageLog, Party};
 pub use multiplication::ResponsePacking;
+pub use sharing::{DealerTape, SharingLedger, SHARING_DISCIPLINE};
 
 #[cfg(test)]
 pub(crate) mod test_helpers {

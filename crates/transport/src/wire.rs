@@ -161,6 +161,32 @@ impl WireDecode for i64 {
     }
 }
 
+impl WireEncode for u128 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl WireDecode for u128 {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, TransportError> {
+        let bytes = reader.take(16)?;
+        Ok(u128::from_le_bytes(bytes.try_into().expect("len 16")))
+    }
+}
+
+impl WireEncode for i128 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl WireDecode for i128 {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, TransportError> {
+        let bytes = reader.take(16)?;
+        Ok(i128::from_le_bytes(bytes.try_into().expect("len 16")))
+    }
+}
+
 impl WireEncode for usize {
     fn encode(&self, out: &mut Vec<u8>) {
         (*self as u64).encode(out);
@@ -361,6 +387,19 @@ mod tests {
         roundtrip(-42i64);
         roundtrip(i64::MIN);
         roundtrip(12345usize);
+        roundtrip(u128::MAX);
+        roundtrip(0u128);
+        roundtrip(i128::MIN);
+        roundtrip(-7i128);
+    }
+
+    #[test]
+    fn wide_integers_are_fixed_width() {
+        // Field-element frames rely on a fixed 16-byte encoding with no
+        // length prefix — a k-element vector is exactly 4 + 16k bytes.
+        assert_eq!(1u128.encode_to_vec().len(), 16);
+        assert_eq!((-1i128).encode_to_vec().len(), 16);
+        assert_eq!(vec![1u128; 8].encode_to_vec().len(), 4 + 16 * 8);
     }
 
     #[test]

@@ -433,6 +433,43 @@ fn handshake_timeout_reaps_silent_connection_without_harming_neighbors() {
 }
 
 #[test]
+fn hot_keypair_is_generated_once_and_reused_across_sessions() {
+    let records = blobs(12, 67);
+    let (alice, bob) = split_alternating(&records);
+    let server = start_server(
+        vec![PartyData::Horizontal(bob.clone()), PartyData::Enhanced(bob)],
+        2,
+        4,
+    );
+    let addr = server.local_addr();
+
+    // Three sessions — two modes — at the same security parameter: keygen
+    // runs exactly once, every later session takes the cache hit.
+    for (seed, data) in [
+        (701, PartyData::Horizontal(alice.clone())),
+        (702, PartyData::Horizontal(alice.clone())),
+        (703, PartyData::Enhanced(alice)),
+    ] {
+        let participant = Participant::new(base_cfg())
+            .role(Party::Alice)
+            .data(data)
+            .seed(seed);
+        run_session(&addr, participant, 0, TIMEOUT).expect("session completes");
+    }
+    let misses = server
+        .metrics()
+        .counter("server_keypair_cache_misses")
+        .get();
+    let hits = server.metrics().counter("server_keypair_cache_hits").get();
+    assert_eq!(misses, 1, "one keygen for the shared security parameter");
+    assert_eq!(hits, 2, "every later session reuses the hot key");
+
+    let report = server.shutdown(Duration::from_secs(5));
+    assert_eq!(report.completed, 3);
+    assert_eq!(report.failed, 0);
+}
+
+#[test]
 fn typed_rejections_for_incompatible_and_unhosted_clients() {
     let records = blobs(12, 61);
     let (alice, bob) = split_alternating(&records);
