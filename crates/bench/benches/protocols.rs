@@ -161,6 +161,78 @@ fn bench_backend_vertical_e2e(c: &mut Criterion) {
     group.finish();
 }
 
+/// The pruning subsystem's plaintext core: per query, enumerating the
+/// band-intersecting candidates and distance-filtering them, versus the
+/// all-pairs scan it replaces. Downstream secure-comparison work is
+/// proportional to the candidate count, so this ratio is the protocol-level
+/// speedup ceiling (E13 measures the realized end-to-end number).
+fn bench_candidate_generation(c: &mut Criterion) {
+    use ppds_dbscan::{band_width, dist_sq, CoarseGrid};
+    let mut group = c.benchmark_group("candidate_generation");
+    for n in [100usize, 1000] {
+        let w = blob_workload(n, 2, 500 + n as u64);
+        let eps_sq = w.cfg.params.eps_sq as u64;
+        let width = band_width(w.cfg.params.eps_sq, 1);
+        let grid = CoarseGrid::from_points(&w.all, width);
+        group.bench_with_input(BenchmarkId::new("grid", n), &n, |b, _| {
+            b.iter(|| {
+                (0..w.all.len())
+                    .map(|x| {
+                        grid.candidates(w.all[x].coords())
+                            .into_iter()
+                            .filter(|&y| y != x && dist_sq(&w.all[x], &w.all[y]) <= eps_sq)
+                            .count()
+                    })
+                    .sum::<usize>()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("all_pairs", n), &n, |b, _| {
+            b.iter(|| {
+                (0..w.all.len())
+                    .map(|x| {
+                        (0..w.all.len())
+                            .filter(|&y| y != x && dist_sq(&w.all[x], &w.all[y]) <= eps_sq)
+                            .count()
+                    })
+                    .sum::<usize>()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Grid pruning end to end on the vertical protocol (sharing backend,
+/// round-batched): same labels, strictly fewer secure comparisons. The
+/// comparison counts are printed once per row so the wall-time delta can be
+/// read against the work delta.
+fn bench_pruned_vertical_e2e(c: &mut Criterion) {
+    use ppds_dbscan::Pruning;
+    use ppds_smc::BackendKind;
+    let mut w = blob_workload(100, 2, 600);
+    w.cfg.key_bits = 128;
+    let vertical = VerticalPartition::split(&w.all, 1);
+    let base = w.cfg.with_batching(true).with_backend(BackendKind::Sharing);
+    let mut group = c.benchmark_group("vertical_pruning_n100");
+    group.sample_size(10);
+    for (label, cfg) in [
+        ("exhaustive", base),
+        (
+            "grid_pruned",
+            base.with_pruning(Pruning::Grid { coarseness: 1 }),
+        ),
+    ] {
+        let (out, _) = run_vertical_pair(&cfg, &vertical, rng(14), rng(15)).unwrap();
+        println!(
+            "vertical_pruning_n100/{label}: {} secure comparisons",
+            out.yao.comparisons
+        );
+        group.bench_function(label, |b| {
+            b.iter(|| run_vertical_pair(&cfg, &vertical, rng(14), rng(15)).unwrap());
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_full_runs,
@@ -169,6 +241,8 @@ criterion_group!(
     bench_key_size_ablation,
     bench_region_query_index,
     bench_config_validate,
-    bench_backend_vertical_e2e
+    bench_backend_vertical_e2e,
+    bench_candidate_generation,
+    bench_pruned_vertical_e2e
 );
 criterion_main!(benches);

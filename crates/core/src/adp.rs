@@ -150,43 +150,55 @@ pub fn adp_compare_bob<C: Channel, B: SmcBackend>(
 /// One ADP decision per pair view of a whole candidate set, dispatched on
 /// `cfg.batching`: batched mode runs [`adp_compare_batch_alice`],
 /// reference mode one [`adp_compare_alice`] ping-pong per pair. Outcomes
-/// are identical either way.
+/// are identical either way. `records` carries one stable record id per
+/// view; randomness is keyed by id, not position, so pruned (sparse)
+/// candidate sets draw the same per-pair randomness as exhaustive ones.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
 pub fn adp_compare_set_alice<C: Channel, B: SmcBackend>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     backend: &B,
     views: &[PairView<'_>],
+    records: &[u64],
     ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
     acct: &mut SharingLedger,
 ) -> Result<Vec<bool>, SmcError> {
+    debug_assert_eq!(views.len(), records.len(), "one record id per view");
     if cfg.batching {
-        return adp_compare_batch_alice(chan, cfg, backend, views, ctx, ledger, acct);
+        return adp_compare_batch_alice(chan, cfg, backend, views, records, ctx, ledger, acct);
     }
     views
         .iter()
-        .enumerate()
-        .map(|(i, &view)| adp_compare_alice(chan, cfg, backend, view, ctx, i as u64, ledger, acct))
+        .zip(records)
+        .map(|(&view, &record)| {
+            adp_compare_alice(chan, cfg, backend, view, ctx, record, ledger, acct)
+        })
         .collect()
 }
 
 /// Bob's side of [`adp_compare_set_alice`].
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
 pub fn adp_compare_set_bob<C: Channel, B: SmcBackend>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     backend: &B,
     views: &[PairView<'_>],
+    records: &[u64],
     ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
     acct: &mut SharingLedger,
 ) -> Result<Vec<bool>, SmcError> {
+    debug_assert_eq!(views.len(), records.len(), "one record id per view");
     if cfg.batching {
-        return adp_compare_batch_bob(chan, cfg, backend, views, ctx, ledger, acct);
+        return adp_compare_batch_bob(chan, cfg, backend, views, records, ctx, ledger, acct);
     }
     views
         .iter()
-        .enumerate()
-        .map(|(i, &view)| adp_compare_bob(chan, cfg, backend, view, ctx, i as u64, ledger, acct))
+        .zip(records)
+        .map(|(&view, &record)| {
+            adp_compare_bob(chan, cfg, backend, view, ctx, record, ledger, acct)
+        })
         .collect()
 }
 
@@ -196,11 +208,13 @@ pub fn adp_compare_set_bob<C: Channel, B: SmcBackend>(
 /// decides all pairs — 5 rounds per neighborhood instead of 5 per pair.
 /// Outcome `r[i]` equals [`adp_compare_alice`] on `views[i]`; the per-pair
 /// zero-sum masks cancel exactly as in the sequential run.
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
 pub fn adp_compare_batch_alice<C: Channel, B: SmcBackend>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     backend: &B,
     views: &[PairView<'_>],
+    records: &[u64],
     ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
     acct: &mut SharingLedger,
@@ -215,7 +229,7 @@ pub fn adp_compare_batch_alice<C: Channel, B: SmcBackend>(
     // batch, exactly as the sequential protocol skips their exchange —
     // ownership is complementary, so both parties filter identically and
     // logical message counts match the unbatched run. Each group keys its
-    // randomness by the pair's *candidate index*, matching the sequential
+    // randomness by the pair's *record id*, matching the sequential
     // [`adp_compare_alice`] call for that pair.
     let split_pairs: Vec<usize> = (0..parts.len())
         .filter(|&i| !parts[i].split_endpoints.is_empty())
@@ -225,8 +239,8 @@ pub fn adp_compare_batch_alice<C: Channel, B: SmcBackend>(
             .iter()
             .map(|&i| parts[i].split_endpoints.clone())
             .collect();
-        let records: Vec<u64> = split_pairs.iter().map(|&i| i as u64).collect();
-        backend.mul_fold_peer(chan, &ys_groups, &records, ctx, acct)?;
+        let group_records: Vec<u64> = split_pairs.iter().map(|&i| records[i]).collect();
+        backend.mul_fold_peer(chan, &ys_groups, &group_records, ctx, acct)?;
     }
     let domain = adp_domain(cfg, total_dim);
     let i_vals: Vec<i64> = parts
@@ -248,11 +262,13 @@ pub fn adp_compare_batch_alice<C: Channel, B: SmcBackend>(
 }
 
 /// Round-batched Bob side of [`adp_compare_batch_alice`].
+#[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
 pub fn adp_compare_batch_bob<C: Channel, B: SmcBackend>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     backend: &B,
     views: &[PairView<'_>],
+    records: &[u64],
     ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
     acct: &mut SharingLedger,
@@ -271,8 +287,8 @@ pub fn adp_compare_batch_bob<C: Channel, B: SmcBackend>(
             .iter()
             .map(|&i| parts[i].split_endpoints.clone())
             .collect();
-        let records: Vec<u64> = split_pairs.iter().map(|&i| i as u64).collect();
-        let folds = backend.mul_fold_keyholder(chan, &xs_groups, &records, ctx, acct)?;
+        let group_records: Vec<u64> = split_pairs.iter().map(|&i| records[i]).collect();
+        let folds = backend.mul_fold_keyholder(chan, &xs_groups, &group_records, ctx, acct)?;
         for (&i, &fold) in split_pairs.iter().zip(&folds) {
             crosses[i] = fold;
         }
@@ -427,6 +443,7 @@ mod tests {
                 &cfg,
                 &backend,
                 &views,
+                &[1, 2, 3],
                 &ctx(800),
                 &mut ledger,
                 &mut acct,
@@ -449,6 +466,7 @@ mod tests {
             &cfg,
             &backend,
             &b_views,
+            &[1, 2, 3],
             &ctx(900),
             &mut ledger,
             &mut acct,
@@ -513,6 +531,7 @@ mod tests {
                     &cfg,
                     &mk(),
                     &views,
+                    &[1, 2, 3],
                     &ctx(800),
                     &mut ledger,
                     &mut acct,
@@ -533,6 +552,7 @@ mod tests {
                 &cfg,
                 &mk(),
                 &b_views,
+                &[1, 2, 3],
                 &ctx(900),
                 &mut ledger,
                 &mut acct,

@@ -90,6 +90,11 @@ impl ModeDriver for ArbitraryDriver<'_> {
     ) -> Result<Clustering, CoreError> {
         let (cfg, values) = (mctx.cfg, self.values);
         let backend = mctx.backend(self.dim());
+        // With grid pruning, each party publishes coarse bands at the
+        // attribute cells it owns (the rest stay sentinel-marked), the
+        // tables are merged owner-wise, and both sides derive identical
+        // candidate sets over the merged band table.
+        let pruned = arbitrary_band_oracle(chan, cfg, mctx.role, values, &mut log.leakage)?;
         let ledger = &mut log.ledger;
         let sharing = &mut log.sharing;
         // One context instance per region query (see the vertical driver).
@@ -106,19 +111,69 @@ impl ModeDriver for ArbitraryDriver<'_> {
                     y: &values[y],
                 })
                 .collect();
+            let records: Vec<u64> = ys.iter().map(|&y| y as u64).collect();
             let result = match mctx.role {
-                Party::Alice => {
-                    adp_compare_set_alice(chan, cfg, &backend, &views, &qctx, ledger, sharing)?
-                }
-                Party::Bob => {
-                    adp_compare_set_bob(chan, cfg, &backend, &views, &qctx, ledger, sharing)?
-                }
+                Party::Alice => adp_compare_set_alice(
+                    chan, cfg, &backend, &views, &records, &qctx, ledger, sharing,
+                )?,
+                Party::Bob => adp_compare_set_bob(
+                    chan, cfg, &backend, &views, &records, &qctx, ledger, sharing,
+                )?,
             };
             span.end(|| chan.metrics());
             Ok(result)
         };
-        lockstep_dbscan(values.len(), cfg.params, dist_leq_set, &mut log.leakage)
+        let n = values.len();
+        let candidates_for = |x: usize| match &pruned {
+            Some(oracle) => oracle.candidates_of(x),
+            None => crate::prune::exhaustive_candidates(n, x),
+        };
+        lockstep_dbscan(
+            n,
+            cfg.params,
+            candidates_for,
+            dist_leq_set,
+            &mut log.leakage,
+        )
     }
+}
+
+/// Builds the merged-band candidate oracle for a grid-pruned arbitrary
+/// session (`None` when the config is exhaustive). Each party quantizes
+/// the attribute cells it owns to coarse public bands and marks the rest
+/// with the [`crate::prune::BAND_UNOWNED`] sentinel; both tables are
+/// exchanged (the received table is ledgered as a `pruning_bands` leakage
+/// event) and merged owner-wise in the agreed (Alice, Bob) order, so both
+/// parties index the identical merged band table. A cell owned by neither
+/// party is a typed error, never a silent desync.
+fn arbitrary_band_oracle<C: Channel>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    role: Party,
+    values: &[Vec<Option<i64>>],
+    leakage: &mut ppds_smc::LeakageLog,
+) -> Result<Option<crate::prune::BandCandidates>, CoreError> {
+    let ppds_dbscan::Pruning::Grid { coarseness } = cfg.pruning else {
+        return Ok(None);
+    };
+    let width = ppds_dbscan::band_width(cfg.params.eps_sq, coarseness);
+    let mine: Vec<Vec<i64>> = values
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|cell| match cell {
+                    Some(v) => v.div_euclid(width),
+                    None => crate::prune::BAND_UNOWNED,
+                })
+                .collect()
+        })
+        .collect();
+    let theirs = crate::prune::exchange_band_tables(chan, &mine, width, leakage)?;
+    let merged = match role {
+        Party::Alice => crate::prune::merge_band_tables(&mine, &theirs)?,
+        Party::Bob => crate::prune::merge_band_tables(&theirs, &mine)?,
+    };
+    Ok(Some(crate::prune::BandCandidates::new(merged, width)))
 }
 
 /// One party's full run over arbitrarily partitioned data. `my_values` is

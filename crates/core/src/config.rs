@@ -1,7 +1,7 @@
 //! Protocol configuration shared (publicly) by both parties.
 
 use crate::error::CoreError;
-use ppds_dbscan::DbscanParams;
+use ppds_dbscan::{DbscanParams, Pruning};
 use ppds_smc::compare::Comparator;
 use ppds_smc::kth::SelectionMethod;
 use ppds_smc::millionaires;
@@ -62,6 +62,16 @@ pub struct ProtocolConfig {
     /// 8-byte field elements. Both parties must agree — the handshake
     /// rejects a mismatch by name. See DESIGN.md §14.
     pub backend: BackendKind,
+    /// Candidate-generation policy: [`Pruning::Exhaustive`] runs the
+    /// paper's all-pairs neighborhood evaluation; [`Pruning::Grid`]
+    /// restricts secure comparisons to grid-derived candidate sets
+    /// (ε-cell + 3^d neighbors on locally held coordinates, coarse public
+    /// bands on shared ones), producing byte-identical labels with
+    /// strictly fewer secure comparisons, at the price of explicitly
+    /// ledgered band/cardinality disclosures (`pruning_*` leakage
+    /// events). Both parties must agree — the handshake rejects a
+    /// mismatch by name. See DESIGN.md §15.
+    pub pruning: Pruning,
 }
 
 impl ProtocolConfig {
@@ -78,6 +88,7 @@ impl ProtocolConfig {
             batching: false,
             packing: false,
             backend: BackendKind::Paillier,
+            pruning: Pruning::Exhaustive,
         }
     }
 
@@ -99,6 +110,13 @@ impl ProtocolConfig {
     /// [`ProtocolConfig::backend`].
     pub fn with_backend(self, backend: BackendKind) -> Self {
         ProtocolConfig { backend, ..self }
+    }
+
+    /// Returns a copy with the given candidate-generation policy (both
+    /// parties must agree; the handshake rejects a mismatch). See
+    /// [`ProtocolConfig::pruning`].
+    pub fn with_pruning(self, pruning: Pruning) -> Self {
+        ProtocolConfig { pruning, ..self }
     }
 
     /// Same defaults but with the faithful Yao comparator and σ = 2 (the
@@ -131,6 +149,18 @@ impl ProtocolConfig {
         }
         if dim == 0 {
             return Err(CoreError::config("points need at least one dimension"));
+        }
+        if let Pruning::Grid { coarseness } = self.pruning {
+            if coarseness == 0 {
+                return Err(CoreError::config(
+                    "grid pruning needs a band coarseness of at least 1",
+                ));
+            }
+            if self.params.eps_sq == 0 {
+                return Err(CoreError::config(
+                    "grid pruning needs a positive Eps (band width would be zero)",
+                ));
+            }
         }
         let max_d = self.max_dist_sq(dim);
         if self.params.eps_sq > max_d {
@@ -246,6 +276,28 @@ mod tests {
         assert!(ProtocolConfig::new(params(25, 0), 100).validate(2).is_err());
         assert!(ProtocolConfig::new(params(25, 4), 0).validate(2).is_err());
         assert!(ProtocolConfig::new(params(25, 4), 100).validate(0).is_err());
+    }
+
+    #[test]
+    fn pruning_knob_validates() {
+        let cfg = ProtocolConfig::new(params(25, 4), 100);
+        assert_eq!(
+            cfg.pruning,
+            Pruning::Exhaustive,
+            "exhaustive is the default"
+        );
+        let pruned = cfg.with_pruning(Pruning::Grid { coarseness: 1 });
+        assert_eq!(pruned.pruning, Pruning::Grid { coarseness: 1 });
+        assert!(pruned.validate(2).is_ok());
+        assert!(
+            cfg.with_pruning(Pruning::Grid { coarseness: 0 })
+                .validate(2)
+                .is_err(),
+            "zero coarseness must be rejected"
+        );
+        let mut zero_eps = pruned;
+        zero_eps.params.eps_sq = 0;
+        assert!(zero_eps.validate(2).is_err(), "zero radius cannot band");
     }
 
     #[test]

@@ -138,13 +138,16 @@ pub fn enhanced_core_test_querier<C: Channel, B: SmcBackend>(
     Ok(is_core)
 }
 
-/// Responder side of one enhanced core-point test over `my_points`.
+/// Responder side of one enhanced core-point test over `my_points`,
+/// restricted to the `candidates` indices (the full range when pruning is
+/// off — see the crate-internal `prune` module).
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
 pub fn enhanced_core_respond<C: Channel, B: SmcBackend>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     backend: &B,
     my_points: &[Point],
+    candidates: &[usize],
     dim: usize,
     ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
@@ -156,10 +159,10 @@ pub fn enhanced_core_respond<C: Channel, B: SmcBackend>(
         return Ok(());
     }
     let k = k as usize;
-    if k == 0 || k > my_points.len() {
+    if k == 0 || k > candidates.len() {
         return Err(SmcError::protocol(format!(
-            "querier engaged with invalid k = {k} for {} points",
-            my_points.len()
+            "querier engaged with invalid k = {k} for {} served points",
+            candidates.len()
         )));
     }
     leakage.record(LeakageEvent::ThresholdRank {
@@ -167,8 +170,11 @@ pub fn enhanced_core_respond<C: Channel, B: SmcBackend>(
         k: k as u64,
     });
 
-    // Phase 1: masked dot products over a fresh permutation.
-    let mut order: Vec<usize> = (0..my_points.len()).collect();
+    // Phase 1: masked dot products over a fresh permutation of the served
+    // set. Band pruning is exact, so every within-Eps point is a candidate
+    // and the k-th smallest served distance decides core-ness just like
+    // the k-th smallest overall.
+    let mut order: Vec<usize> = candidates.to_vec();
     order.shuffle(&mut ctx.narrow("perm").rng());
     let rows: Vec<Vec<i64>> = order
         .iter()
@@ -258,6 +264,17 @@ impl ModeDriver for EnhancedDriver<'_> {
         let (cfg, points) = (mctx.cfg, self.points);
         let dim = points.first().map_or(0, Point::dim);
         let backend = mctx.backend(dim);
+        // Grid pruning: identical per-query coarse-cell exchange as the
+        // basic horizontal driver, run *before* the (engage, k) message so
+        // the engage decision can use the candidate cardinality.
+        let index = crate::prune::local_index(points, cfg.params.eps_sq, cfg.pruning);
+        let width = match cfg.pruning {
+            ppds_dbscan::Pruning::Grid { coarseness } => {
+                Some(ppds_dbscan::band_width(cfg.params.eps_sq, coarseness))
+            }
+            ppds_dbscan::Pruning::Exhaustive => None,
+        };
+        let grid = width.map(|w| ppds_dbscan::CoarseGrid::from_points(points, w));
         // Direction-keyed paths, for the same reason as the horizontal
         // driver: both halves of one core test must share a context path
         // so the sharing backend's tape draws stay correlated.
@@ -269,37 +286,62 @@ impl ModeDriver for EnhancedDriver<'_> {
         let serve_ctx = ctx.narrow(peer_queries);
         let run_query_phase = |chan: &mut C, log: &mut SessionLog| {
             let mut q = 0u64;
-            crate::horizontal::querier_phase(chan, cfg.params, points, |chan, idx, own_count| {
-                let test_ctx = query_ctx.at(q);
-                let span = trace::span_with(|| format!("query#{q}"), || chan.metrics());
-                q += 1;
-                let is_core = enhanced_core_test_querier(
-                    chan,
-                    cfg,
-                    &backend,
-                    &points[idx],
-                    own_count,
-                    mctx.session.peer_n,
-                    &test_ctx,
-                    &mut log.ledger,
-                    &mut log.sharing,
-                    &mut log.leakage,
-                )?;
-                span.end(|| chan.metrics());
-                Ok(is_core)
-            })
+            crate::horizontal::querier_phase(
+                chan,
+                index.as_ref(),
+                points,
+                |chan, idx, own_count| {
+                    let test_ctx = query_ctx.at(q);
+                    let span = trace::span_with(|| format!("query#{q}"), || chan.metrics());
+                    q += 1;
+                    let responder_count = match width {
+                        Some(w) => crate::prune::query_candidate_count(
+                            chan,
+                            &points[idx],
+                            w,
+                            &mut log.leakage,
+                            &format!("own#{idx}"),
+                        )?,
+                        None => mctx.session.peer_n,
+                    };
+                    let is_core = enhanced_core_test_querier(
+                        chan,
+                        cfg,
+                        &backend,
+                        &points[idx],
+                        own_count,
+                        responder_count,
+                        &test_ctx,
+                        &mut log.ledger,
+                        &mut log.sharing,
+                        &mut log.leakage,
+                    )?;
+                    span.end(|| chan.metrics());
+                    Ok(is_core)
+                },
+            )
         };
         let run_respond_phase = |chan: &mut C, log: &mut SessionLog| {
             let mut q = 0u64;
             crate::horizontal::responder_phase(chan, |chan| {
                 let test_ctx = serve_ctx.at(q);
                 let span = trace::span_with(|| format!("serve#{q}"), || chan.metrics());
+                let candidates = match &grid {
+                    Some(g) => crate::prune::respond_candidates(
+                        chan,
+                        g,
+                        &mut log.leakage,
+                        &format!("serve#{q}"),
+                    )?,
+                    None => crate::prune::all_candidates(points.len()),
+                };
                 q += 1;
                 enhanced_core_respond(
                     chan,
                     cfg,
                     &backend,
                     points,
+                    &candidates,
                     dim,
                     &test_ctx,
                     &mut log.ledger,
@@ -379,11 +421,13 @@ mod tests {
         let mut ledger = YaoLedger::default();
         let mut acct = SharingLedger::default();
         let mut r_leakage = LeakageLog::new();
+        let all: Vec<usize> = (0..responder_points.len()).collect();
         enhanced_core_respond(
             &mut rchan,
             &cfg,
             &backend,
             &responder_points,
+            &all,
             dim,
             &ctx(seed + 1),
             &mut ledger,
@@ -481,6 +525,7 @@ mod tests {
                     &run_cfg,
                     &mk(),
                     &responder_points,
+                    &[0, 1, 2, 3],
                     2,
                     &ctx(2001 + own_count as u64),
                     &mut ledger,

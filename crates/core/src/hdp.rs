@@ -80,17 +80,21 @@ pub fn hdp_query_querier<C: Channel, B: SmcBackend>(
     Ok(count)
 }
 
-/// Responder side of one neighborhood query over `my_points`. Returns the
-/// number of own points that matched (the same bits the querier counted).
-/// The Figure-1-defense permutation draws from the query context's
-/// `"perm"` substream; the point at permuted position `i` keys its
-/// multiplication and comparison randomness by `i`.
+/// Responder side of one neighborhood query over `my_points`, restricted
+/// to the `candidates` indices (the full range when pruning is off — see
+/// the crate-internal `prune` module). Returns the number of served points
+/// that matched
+/// (the same bits the querier counted). The Figure-1-defense permutation
+/// draws from the query context's `"perm"` substream; the point at
+/// permuted position `i` keys its multiplication and comparison
+/// randomness by `i`.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
 pub fn hdp_respond<C: Channel, B: SmcBackend>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     backend: &B,
     my_points: &[Point],
+    candidates: &[usize],
     ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
     acct: &mut SharingLedger,
@@ -102,7 +106,7 @@ pub fn hdp_respond<C: Channel, B: SmcBackend>(
 
     // Fresh permutation per query: the querier sees match bits in an order
     // it cannot link to any previous query (Figure 1 defense).
-    let mut order: Vec<usize> = (0..my_points.len()).collect();
+    let mut order: Vec<usize> = candidates.to_vec();
     order.shuffle(&mut ctx.narrow("perm").rng());
     let cmp_ctx = ctx.narrow("cmp");
 
@@ -172,22 +176,29 @@ pub fn hdp_query<C: Channel, B: SmcBackend>(
     }
 }
 
-/// Responder side of [`hdp_query`], dispatched the same way.
+/// Responder side of [`hdp_query`], dispatched the same way. `candidates`
+/// restricts the served set (pass the full range when pruning is off);
+/// its length must equal the `responder_count` the querier uses.
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
 pub fn hdp_serve<C: Channel, B: SmcBackend>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     backend: &B,
     my_points: &[Point],
+    candidates: &[usize],
     ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
     acct: &mut SharingLedger,
     leakage: &mut LeakageLog,
 ) -> Result<usize, SmcError> {
     if cfg.batching {
-        hdp_respond_batch(chan, cfg, backend, my_points, ctx, ledger, acct, leakage)
+        hdp_respond_batch(
+            chan, cfg, backend, my_points, candidates, ctx, ledger, acct, leakage,
+        )
     } else {
-        hdp_respond(chan, cfg, backend, my_points, ctx, ledger, acct, leakage)
+        hdp_respond(
+            chan, cfg, backend, my_points, candidates, ctx, ledger, acct, leakage,
+        )
     }
 }
 
@@ -257,6 +268,7 @@ pub fn hdp_respond_batch<C: Channel, B: SmcBackend>(
     cfg: &ProtocolConfig,
     backend: &B,
     my_points: &[Point],
+    candidates: &[usize],
     ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
     acct: &mut SharingLedger,
@@ -266,10 +278,10 @@ pub fn hdp_respond_batch<C: Channel, B: SmcBackend>(
     let domain = hdp_domain(cfg, dim);
     let eps = cfg.params.eps_sq as i64;
 
-    let mut order: Vec<usize> = (0..my_points.len()).collect();
+    let mut order: Vec<usize> = candidates.to_vec();
     order.shuffle(&mut ctx.narrow("perm").rng());
     let cmp_ctx = ctx.narrow("cmp");
-    if my_points.is_empty() {
+    if order.is_empty() {
         return Ok(0);
     }
 
@@ -375,11 +387,13 @@ mod tests {
         let mut ledger = YaoLedger::default();
         let mut acct = SharingLedger::default();
         let mut leakage = LeakageLog::new();
+        let all: Vec<usize> = (0..responder_points.len()).collect();
         let responder_count = hdp_respond(
             &mut rchan,
             cfg,
             &backend,
             &responder_points,
+            &all,
             &ctx(200),
             &mut ledger,
             &mut acct,
@@ -446,11 +460,13 @@ mod tests {
         let mut ledger = YaoLedger::default();
         let mut acct = SharingLedger::default();
         let mut leakage = LeakageLog::new();
+        let all: Vec<usize> = (0..responder_points.len()).collect();
         let responder_count = hdp_respond_batch(
             &mut rchan,
             cfg,
             &backend,
             &responder_points,
+            &all,
             &ctx(seeds.1),
             &mut ledger,
             &mut acct,
@@ -543,11 +559,13 @@ mod tests {
             let mut ledger = YaoLedger::default();
             let mut acct = SharingLedger::default();
             let mut leakage = LeakageLog::new();
+            let all: Vec<usize> = (0..responder_points.len()).collect();
             let rc = hdp_serve(
                 &mut rchan,
                 &run_cfg,
                 &mk(),
                 &responder_points,
+                &all,
                 &ctx(200),
                 &mut ledger,
                 &mut acct,
@@ -652,6 +670,7 @@ mod tests {
             &cfg,
             &backend,
             &pts,
+            &[0, 1, 2],
             &ctx(8),
             &mut ledger,
             &mut acct,

@@ -24,8 +24,8 @@ use crate::hdp::{hdp_query, hdp_serve};
 use crate::session::{
     run_two_party, HandshakeProfile, Mode, ModeContext, ModeDriver, Session, SessionLog,
 };
-use ppds_dbscan::index::{LinearIndex, NeighborIndex};
-use ppds_dbscan::{Clustering, DbscanParams, Label, Point};
+use ppds_dbscan::index::NeighborIndex;
+use ppds_dbscan::{Clustering, Label, Point};
 use ppds_observe::trace;
 use ppds_smc::{LeakageEvent, Party, ProtocolContext};
 use ppds_transport::Channel;
@@ -46,11 +46,15 @@ enum State {
 /// Algorithm 4), generic over the core-point test so the basic and
 /// enhanced protocols share it.
 ///
-/// `core_test(chan, point_idx, own_neighbor_count)` runs one interactive
-/// core-point decision with the responder.
+/// `index` answers the party's *local* region queries (the ε-grid when
+/// pruning is on, the linear scan otherwise — see
+/// [`crate::prune::local_index`]; both return identical ascending index
+/// lists, so the swap cannot perturb labels). `core_test(chan, point_idx,
+/// own_neighbor_count)` runs one interactive core-point decision with the
+/// responder.
 pub(crate) fn querier_phase<C, F>(
     chan: &mut C,
-    params: DbscanParams,
+    index: &dyn NeighborIndex,
     points: &[Point],
     mut core_test: F,
 ) -> Result<Clustering, CoreError>
@@ -58,7 +62,6 @@ where
     C: Channel,
     F: FnMut(&mut C, usize, usize) -> Result<bool, CoreError>,
 {
-    let index = LinearIndex::new(points, params.eps_sq);
     let mut states = vec![State::Unclassified; points.len()];
     let mut next_cluster = 0usize;
 
@@ -187,6 +190,18 @@ impl ModeDriver for HorizontalDriver<'_> {
     ) -> Result<Clustering, CoreError> {
         let (cfg, session, points) = (mctx.cfg, mctx.session, self.points);
         let backend = mctx.backend(points.first().map_or(0, Point::dim));
+        // Grid pruning: local queries go through the ε-grid, and each
+        // cross-party query is preceded by a coarse-cell exchange that
+        // narrows the served set to band-intersecting peer points (see
+        // crate::prune for the exactness argument and leakage ledger).
+        let index = crate::prune::local_index(points, cfg.params.eps_sq, cfg.pruning);
+        let width = match cfg.pruning {
+            ppds_dbscan::Pruning::Grid { coarseness } => {
+                Some(ppds_dbscan::band_width(cfg.params.eps_sq, coarseness))
+            }
+            ppds_dbscan::Pruning::Exhaustive => None,
+        };
+        let grid = width.map(|w| ppds_dbscan::CoarseGrid::from_points(points, w));
         // One context instance per issued/served query, keyed by querying
         // *direction* rather than local phase: the querier's q-th query and
         // the responder's q-th serve are two halves of the same protocol
@@ -202,18 +217,31 @@ impl ModeDriver for HorizontalDriver<'_> {
         let serve_ctx = ctx.narrow(peer_queries);
         let run_query_phase = |chan: &mut C, log: &mut SessionLog| {
             let mut q = 0u64;
-            querier_phase(chan, cfg.params, points, |chan, idx, own_count| {
+            querier_phase(chan, index.as_ref(), points, |chan, idx, own_count| {
                 // One HDP query per core test: batched mode ships the whole
                 // responder set in O(1) wire rounds.
                 let qctx = query_ctx.at(q);
                 let span = trace::span_with(|| format!("query#{q}"), || chan.metrics());
                 q += 1;
+                // When pruning, disclose the query's coarse cell and learn
+                // how many peer points survive the band filter; the secure
+                // phase then runs over that candidate set only.
+                let responder_count = match width {
+                    Some(w) => crate::prune::query_candidate_count(
+                        chan,
+                        &points[idx],
+                        w,
+                        &mut log.leakage,
+                        &format!("own#{idx}"),
+                    )?,
+                    None => session.peer_n,
+                };
                 let peer_count = hdp_query(
                     chan,
                     cfg,
                     &backend,
                     &points[idx],
-                    session.peer_n,
+                    responder_count,
                     &qctx,
                     &mut log.ledger,
                     &mut log.sharing,
@@ -231,12 +259,22 @@ impl ModeDriver for HorizontalDriver<'_> {
             responder_phase(chan, |chan| {
                 let qctx = serve_ctx.at(q);
                 let span = trace::span_with(|| format!("serve#{q}"), || chan.metrics());
+                let candidates = match &grid {
+                    Some(g) => crate::prune::respond_candidates(
+                        chan,
+                        g,
+                        &mut log.leakage,
+                        &format!("serve#{q}"),
+                    )?,
+                    None => crate::prune::all_candidates(points.len()),
+                };
                 q += 1;
                 hdp_serve(
                     chan,
                     cfg,
                     &backend,
                     points,
+                    &candidates,
                     &qctx,
                     &mut log.ledger,
                     &mut log.sharing,
@@ -340,7 +378,7 @@ mod tests {
     use crate::driver::{run_enhanced_pair, run_horizontal_pair};
     use crate::session::{Participant, PartyData};
     use crate::test_helpers::rng;
-    use ppds_dbscan::{dbscan_with_external_density, eval};
+    use ppds_dbscan::{dbscan_with_external_density, eval, DbscanParams};
 
     fn pts(coords: &[&[i64]]) -> Vec<Point> {
         coords.iter().map(|c| Point::from(*c)).collect()

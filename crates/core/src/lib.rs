@@ -94,6 +94,7 @@ pub mod horizontal;
 pub mod kumar;
 pub mod multiparty;
 pub mod partition;
+pub(crate) mod prune;
 pub mod session;
 pub mod vdp;
 pub mod vertical;

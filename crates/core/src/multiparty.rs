@@ -38,7 +38,6 @@ use crate::session::{
     establish, HandshakeProfile, Mode, PeerInfo, Session, SessionLog, SessionMeta, SessionOutcome,
     WIRE_VERSION,
 };
-use ppds_dbscan::index::{LinearIndex, NeighborIndex};
 use ppds_dbscan::{Clustering, Label, Point};
 use ppds_observe::{trace, MetricsSnapshot};
 use ppds_paillier::Keypair;
@@ -187,6 +186,7 @@ pub(crate) fn run_mesh_node<C: Channel>(
             batching: cfg.batching,
             packing: cfg.packing,
             backend: cfg.backend,
+            pruning: cfg.pruning,
             peers: peer_meta,
         },
     };
@@ -234,7 +234,16 @@ fn query_phase<C: Channel>(
     querier_ctx: &ProtocolContext,
     log: &mut SessionLog,
 ) -> Result<Clustering, CoreError> {
-    let index = LinearIndex::new(points, cfg.params.eps_sq);
+    // The local index and the per-peer coarse-cell exchange follow the
+    // two-party horizontal driver (see crate::prune); each peer answers
+    // with its own band-filtered candidate cardinality.
+    let index = crate::prune::local_index(points, cfg.params.eps_sq, cfg.pruning);
+    let width = match cfg.pruning {
+        ppds_dbscan::Pruning::Grid { coarseness } => {
+            Some(ppds_dbscan::band_width(cfg.params.eps_sq, coarseness))
+        }
+        ppds_dbscan::Pruning::Exhaustive => None,
+    };
     let mut states = vec![State::Unclassified; points.len()];
     let mut next_cluster = 0usize;
     let mut issued = 0u64;
@@ -254,12 +263,22 @@ fn query_phase<C: Channel>(
             let backend =
                 crate::backend::backend_for(cfg, session, points.first().map_or(0, Point::dim));
             let qctx = querier_ctx.at(*peer_id as u64).narrow("hdp").at(query_no);
+            let responder_count = match width {
+                Some(w) => crate::prune::query_candidate_count(
+                    chan,
+                    &points[idx],
+                    w,
+                    &mut log.leakage,
+                    &format!("own#{idx}/peer#{peer_id}"),
+                )?,
+                None => session.peer_n,
+            };
             let count = hdp_query(
                 chan,
                 cfg,
                 &backend,
                 &points[idx],
-                session.peer_n,
+                responder_count,
                 &qctx,
                 &mut log.ledger,
                 &mut log.sharing,
@@ -339,6 +358,13 @@ fn respond_phase<C: Channel>(
     let serve_ctx = pair_ctx.narrow("hdp");
     let backend =
         crate::backend::backend_for(cfg, session, my_points.first().map_or(0, Point::dim));
+    let grid = match cfg.pruning {
+        ppds_dbscan::Pruning::Grid { coarseness } => {
+            let w = ppds_dbscan::band_width(cfg.params.eps_sq, coarseness);
+            Some(ppds_dbscan::CoarseGrid::from_points(my_points, w))
+        }
+        ppds_dbscan::Pruning::Exhaustive => None,
+    };
     let mut served = 0u64;
     loop {
         let tag: u8 = chan.recv()?;
@@ -347,12 +373,22 @@ fn respond_phase<C: Channel>(
             TAG_QUERY => {
                 let qctx = serve_ctx.at(served);
                 let serve_span = trace::span_with(|| format!("serve#{served}"), || chan.metrics());
+                let candidates = match &grid {
+                    Some(g) => crate::prune::respond_candidates(
+                        chan,
+                        g,
+                        &mut log.leakage,
+                        &format!("serve#{served}"),
+                    )?,
+                    None => crate::prune::all_candidates(my_points.len()),
+                };
                 served += 1;
                 hdp_serve(
                     chan,
                     cfg,
                     &backend,
                     my_points,
+                    &candidates,
                     &qctx,
                     &mut log.ledger,
                     &mut log.sharing,

@@ -57,7 +57,7 @@
 use crate::config::{ProtocolConfig, YaoLedger};
 use crate::driver::{run_pair, PartyOutput};
 use crate::error::CoreError;
-use ppds_dbscan::{Clustering, Point};
+use ppds_dbscan::{Clustering, Point, Pruning};
 use ppds_observe::{trace, SessionTrace, SpanRecorder, TraceSink};
 use ppds_paillier::{FillerHandle, Keypair, PublicKey, RandomizerPool};
 use ppds_smc::compare::Comparator;
@@ -79,8 +79,10 @@ use std::sync::Arc;
 /// the required `packing` field (plaintext-slot packing negotiation); `4`
 /// adds the required `backend` field (Paillier vs additive-sharing SMC
 /// substrate) and, when sharing is negotiated, a dealer-seed contribution
-/// exchange immediately after the `Hello` frames.
-pub const WIRE_VERSION: u32 = 4;
+/// exchange immediately after the `Hello` frames; `5` adds the required
+/// `pruning` field (candidate-generation policy: exhaustive all-pairs vs
+/// grid-derived candidate sets).
+pub const WIRE_VERSION: u32 = 5;
 
 /// Protocol family tag, negotiated during the handshake.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -166,10 +168,11 @@ const F_PACKING: u8 = 12;
 /// and without it interoperate within one wire version.
 const F_SESSION_ID: u8 = 13;
 const F_BACKEND: u8 = 14;
+const F_PRUNING: u8 = 15;
 
 /// Fields that must be byte-equal between the two halves (record count and
 /// dimension are informational / mode-dependent and checked separately).
-const AGREED_FIELDS: [(u8, &str); 11] = [
+const AGREED_FIELDS: [(u8, &str); 12] = [
     (F_MODE, "mode"),
     (F_COORD_BOUND, "coord_bound"),
     (F_EPS_SQ, "eps_sq"),
@@ -181,6 +184,7 @@ const AGREED_FIELDS: [(u8, &str); 11] = [
     (F_BATCHING, "batching"),
     (F_PACKING, "packing"),
     (F_BACKEND, "backend"),
+    (F_PRUNING, "pruning"),
 ];
 
 fn comparator_tag(c: Comparator) -> u64 {
@@ -237,6 +241,7 @@ impl Hello {
                 (F_BATCHING, cfg.batching as u64),
                 (F_PACKING, cfg.packing as u64),
                 (F_BACKEND, u64::from(cfg.backend.tag())),
+                (F_PRUNING, cfg.pruning.tag()),
             ],
         }
     }
@@ -304,6 +309,43 @@ impl Hello {
         self.field(F_BACKEND)
             .and_then(|v| u8::try_from(v).ok())
             .and_then(BackendKind::from_tag)
+    }
+
+    /// The candidate-generation policy the sender advertised, if present
+    /// and representable.
+    pub fn pruning(&self) -> Option<Pruning> {
+        self.field(F_PRUNING).and_then(Pruning::from_tag)
+    }
+
+    /// A stable fingerprint of the agreement-relevant preamble content:
+    /// the wire version plus every tagged field *except* the
+    /// per-connection session id, FNV-1a-hashed in field-id order. Two
+    /// preambles with the same fingerprint would negotiate identically, so
+    /// a server front-end can cache the outcome of
+    /// [`Hello::check_against`] (plus its knob adoption) per fingerprint
+    /// and skip re-negotiation for reconnecting clients.
+    pub fn negotiation_fingerprint(&self) -> u64 {
+        fn fnv(h: u64, byte: u8) -> u64 {
+            (h ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01B3)
+        }
+        let mut pairs: Vec<(u8, u64)> = self
+            .fields
+            .iter()
+            .copied()
+            .filter(|(id, _)| *id != F_SESSION_ID)
+            .collect();
+        pairs.sort_unstable();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in self.wire_version.to_le_bytes() {
+            h = fnv(h, byte);
+        }
+        for (id, value) in pairs {
+            h = fnv(h, id);
+            for byte in value.to_le_bytes() {
+                h = fnv(h, byte);
+            }
+        }
+        h
     }
 
     /// Cross-checks a peer's `Hello` against ours: every agreed field must
@@ -655,6 +697,7 @@ where
             batching: cfg.batching,
             packing: cfg.packing,
             backend: cfg.backend,
+            pruning: cfg.pruning,
             peers: vec![PeerInfo {
                 id: match role {
                     Party::Alice => 1,
@@ -741,6 +784,8 @@ pub struct SessionMeta {
     pub packing: bool,
     /// The negotiated SMC substrate (both sides must agree).
     pub backend: BackendKind,
+    /// The negotiated candidate-generation policy (both sides must agree).
+    pub pruning: Pruning,
     /// One entry per peer session (one for two-party modes, `K − 1` for a
     /// mesh), in peer-id order.
     pub peers: Vec<PeerInfo>,
@@ -1164,6 +1209,48 @@ mod tests {
         assert_eq!(back.batching(), Some(false));
         assert_eq!(back.packing(), Some(false));
         assert_eq!(back.backend(), Some(BackendKind::Paillier));
+        assert_eq!(back.pruning(), Some(Pruning::Exhaustive));
+    }
+
+    #[test]
+    fn hello_carries_the_pruning_policy() {
+        let pruned = cfg().with_pruning(Pruning::Grid { coarseness: 2 });
+        let mine = Hello::for_session(&pruned, Mode::Horizontal, 3, 2);
+        let back = Hello::decode_exact(&mine.encode_to_vec()).unwrap();
+        assert_eq!(back.pruning(), Some(Pruning::Grid { coarseness: 2 }));
+        let theirs = Hello::for_session(&cfg(), Mode::Horizontal, 3, 2);
+        match mine.check_compatible(&theirs, true).unwrap_err() {
+            CoreError::HandshakeMismatch {
+                field,
+                ours,
+                theirs,
+            } => {
+                assert_eq!(field, "pruning");
+                assert_eq!((ours, theirs), (2, 0));
+            }
+            other => panic!("wanted HandshakeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negotiation_fingerprint_ignores_session_id_only() {
+        let mine = Hello::for_session(&cfg(), Mode::Horizontal, 3, 2);
+        assert_eq!(
+            mine.negotiation_fingerprint(),
+            mine.clone().with_session_id(42).negotiation_fingerprint(),
+            "per-connection session ids never change the fingerprint"
+        );
+        let pruned = Hello::for_session(
+            &cfg().with_pruning(Pruning::Grid { coarseness: 1 }),
+            Mode::Horizontal,
+            3,
+            2,
+        );
+        assert_ne!(
+            mine.negotiation_fingerprint(),
+            pruned.negotiation_fingerprint(),
+            "any agreement-relevant change re-negotiates"
+        );
     }
 
     #[test]

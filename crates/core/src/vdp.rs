@@ -74,32 +74,38 @@ pub fn vdp_compare_bob<C: Channel, B: SmcBackend>(
 /// sums for a whole candidate set), dispatched on `cfg.batching`: batched
 /// mode packs the set into a constant number of wire rounds, reference
 /// mode runs one [`vdp_compare_alice`] ping-pong per entry. Outcomes are
-/// identical either way.
+/// identical either way. `records` carries one stable record id per entry
+/// — the per-comparison context path is keyed by id, not position, so a
+/// pruned (sparse) candidate set draws the same randomness for record `y`
+/// as the exhaustive set does (both parties walk identical paths as long
+/// as they enumerate the same candidates in the same order).
 #[allow(clippy::too_many_arguments)] // mirrors the protocol's parameter list
 pub fn vdp_compare_set_alice<C: Channel, B: SmcBackend>(
     chan: &mut C,
     cfg: &ProtocolConfig,
     backend: &B,
     alphas: &[u64],
+    records: &[u64],
     total_dim: usize,
     ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
     acct: &mut SharingLedger,
 ) -> Result<Vec<bool>, SmcError> {
+    debug_assert_eq!(alphas.len(), records.len(), "one record id per entry");
     if cfg.batching {
         return vdp_compare_batch_alice(chan, cfg, backend, alphas, total_dim, ctx, ledger, acct);
     }
     alphas
         .iter()
-        .enumerate()
-        .map(|(i, &alpha)| {
+        .zip(records)
+        .map(|(&alpha, &record)| {
             vdp_compare_alice(
                 chan,
                 cfg,
                 backend,
                 alpha,
                 total_dim,
-                &ctx.at(i as u64),
+                &ctx.at(record),
                 ledger,
                 acct,
             )
@@ -114,25 +120,27 @@ pub fn vdp_compare_set_bob<C: Channel, B: SmcBackend>(
     cfg: &ProtocolConfig,
     backend: &B,
     betas: &[u64],
+    records: &[u64],
     total_dim: usize,
     ctx: &ProtocolContext,
     ledger: &mut YaoLedger,
     acct: &mut SharingLedger,
 ) -> Result<Vec<bool>, SmcError> {
+    debug_assert_eq!(betas.len(), records.len(), "one record id per entry");
     if cfg.batching {
         return vdp_compare_batch_bob(chan, cfg, backend, betas, total_dim, ctx, ledger, acct);
     }
     betas
         .iter()
-        .enumerate()
-        .map(|(i, &beta)| {
+        .zip(records)
+        .map(|(&beta, &record)| {
             vdp_compare_bob(
                 chan,
                 cfg,
                 backend,
                 beta,
                 total_dim,
-                &ctx.at(i as u64),
+                &ctx.at(record),
                 ledger,
                 acct,
             )
@@ -369,6 +377,7 @@ mod tests {
             .zip(&betas)
             .map(|(&a, &b)| a + b <= 10)
             .collect();
+        let records: Vec<u64> = (0..alphas.len() as u64).collect();
         for batching in [false, true] {
             let run_cfg = cfg.with_batching(batching);
             let mk = move || SharingBackend {
@@ -378,6 +387,7 @@ mod tests {
             };
             let (mut achan, mut bchan) = duplex();
             let alphas2 = alphas.clone();
+            let records2 = records.clone();
             let a = std::thread::spawn(move || {
                 let mut ledger = YaoLedger::default();
                 let mut acct = SharingLedger::default();
@@ -386,6 +396,7 @@ mod tests {
                     &run_cfg,
                     &mk(),
                     &alphas2,
+                    &records2,
                     2,
                     &ctx(3),
                     &mut ledger,
@@ -401,6 +412,7 @@ mod tests {
                 &run_cfg,
                 &mk(),
                 &betas,
+                &records,
                 2,
                 &ctx(4),
                 &mut ledger,

@@ -33,24 +33,30 @@ enum State {
 }
 
 /// The shared lockstep DBSCAN engine: Algorithm 5/6 where every region
-/// query hands its full candidate set (`n - 1` record indices) to one
-/// oracle call, which returns one joint `dist² ≤ Eps²` bit per candidate.
-/// A batching driver answers the whole set in O(1) wire rounds; an
-/// unbatched driver loops one comparison per candidate inside the oracle.
+/// query hands its candidate set to one oracle call, which returns one
+/// joint `dist² ≤ Eps²` bit per candidate. A batching driver answers the
+/// whole set in O(1) wire rounds; an unbatched driver loops one comparison
+/// per candidate inside the oracle. `candidates_for` supplies each query's
+/// candidate partners in ascending order, excluding the query record
+/// itself — the exhaustive all-pairs set or a pruned (band-intersecting)
+/// subset; both parties must derive the identical sequence, which they do
+/// because the generator is a function of public/agreed data only.
 /// Also used by the arbitrary-partition driver.
-pub(crate) fn lockstep_dbscan<F>(
+pub(crate) fn lockstep_dbscan<G, F>(
     n: usize,
     params: DbscanParams,
+    mut candidates_for: G,
     mut dist_leq_set: F,
     leakage: &mut LeakageLog,
 ) -> Result<Clustering, CoreError>
 where
+    G: FnMut(usize) -> Vec<usize>,
     F: FnMut(usize, &[usize]) -> Result<Vec<bool>, CoreError>,
 {
     let mut region_query = |x: usize, leakage: &mut LeakageLog| -> Result<Vec<usize>, CoreError> {
         // Self-distance is zero by definition; excluding the point from the
         // candidate set leaks nothing (both sides skip deterministically).
-        let candidates: Vec<usize> = (0..n).filter(|&y| y != x).collect();
+        let candidates = candidates_for(x);
         let within = dist_leq_set(x, &candidates)?;
         if within.len() != candidates.len() {
             return Err(CoreError::mismatch(format!(
@@ -59,13 +65,16 @@ where
                 within.len()
             )));
         }
-        let mut neighbors = Vec::with_capacity(n);
-        let mut answers = within.iter();
-        for y in 0..n {
-            if y == x || *answers.next().expect("one answer per candidate") {
-                neighbors.push(y);
-            }
-        }
+        let mut neighbors: Vec<usize> = candidates
+            .iter()
+            .zip(&within)
+            .filter(|(_, &w)| w)
+            .map(|(&y, _)| y)
+            .collect();
+        // The query point neighbors itself by definition; re-insert it in
+        // index order.
+        let pos = neighbors.partition_point(|&y| y < x);
+        neighbors.insert(pos, x);
         leakage.record(LeakageEvent::NeighborCount {
             query: format!("record#{x}"),
             count: neighbors.len() as u64,
@@ -170,10 +179,15 @@ impl ModeDriver for VerticalDriver<'_> {
         let my_dim = attrs.first().map_or(1, Point::dim);
         let total_dim = my_dim + session.peer_dim;
         let backend = mctx.backend(total_dim);
+        // With grid pruning, both sides publish coarse bands over the
+        // attributes they own (disclosure ledgered inside the oracle) and
+        // derive identical joined-band candidate sets.
+        let pruned = vertical_band_oracle(chan, cfg, mctx.role, attrs, &mut log.leakage)?;
         let ledger = &mut log.ledger;
         let sharing = &mut log.sharing;
-        // One context instance per region query; candidate i of query q
-        // draws from region.at(q).at(i) in both framings.
+        // One context instance per region query; candidate `y` of query q
+        // draws from region.at(q).at(y) in both framings, so pruned
+        // (sparse) and exhaustive candidate sets key identically.
         let region_ctx = ctx.narrow("region");
         let mut q = 0u64;
         let dist_leq_set = |x: usize, ys: &[usize]| -> Result<Vec<bool>, CoreError> {
@@ -184,19 +198,76 @@ impl ModeDriver for VerticalDriver<'_> {
                 .iter()
                 .map(|&y| local_delta_sq(&attrs[x], &attrs[y]))
                 .collect();
+            let records: Vec<u64> = ys.iter().map(|&y| y as u64).collect();
             let result = match mctx.role {
                 Party::Alice => vdp_compare_set_alice(
-                    chan, cfg, &backend, &locals, total_dim, &qctx, ledger, sharing,
+                    chan, cfg, &backend, &locals, &records, total_dim, &qctx, ledger, sharing,
                 )?,
                 Party::Bob => vdp_compare_set_bob(
-                    chan, cfg, &backend, &locals, total_dim, &qctx, ledger, sharing,
+                    chan, cfg, &backend, &locals, &records, total_dim, &qctx, ledger, sharing,
                 )?,
             };
             span.end(|| chan.metrics());
             Ok(result)
         };
-        lockstep_dbscan(attrs.len(), cfg.params, dist_leq_set, &mut log.leakage)
+        let n = attrs.len();
+        let candidates_for = |x: usize| match &pruned {
+            Some(oracle) => oracle.candidates_of(x),
+            None => crate::prune::exhaustive_candidates(n, x),
+        };
+        lockstep_dbscan(
+            n,
+            cfg.params,
+            candidates_for,
+            dist_leq_set,
+            &mut log.leakage,
+        )
     }
+}
+
+/// Builds the joined-band candidate oracle for a grid-pruned vertical
+/// session (`None` when the config is exhaustive): each party quantizes
+/// the attribute slice it owns to coarse public bands, both tables are
+/// exchanged (the received table is ledgered as a
+/// `pruning_bands` leakage event), and the rows are concatenated in the
+/// agreed order — Alice's dimensions first — so both parties index the
+/// identical joined band table.
+fn vertical_band_oracle<C: Channel>(
+    chan: &mut C,
+    cfg: &ProtocolConfig,
+    role: Party,
+    attrs: &[Point],
+    leakage: &mut LeakageLog,
+) -> Result<Option<crate::prune::BandCandidates>, CoreError> {
+    let ppds_dbscan::Pruning::Grid { coarseness } = cfg.pruning else {
+        return Ok(None);
+    };
+    let width = ppds_dbscan::band_width(cfg.params.eps_sq, coarseness);
+    let mine: Vec<Vec<i64>> = attrs
+        .iter()
+        .map(|p| ppds_dbscan::coarse_cell(p.coords(), width))
+        .collect();
+    let theirs = crate::prune::exchange_band_tables(chan, &mine, width, leakage)?;
+    if theirs.len() != mine.len() {
+        return Err(CoreError::mismatch(format!(
+            "peer band table covers {} records, expected {}",
+            theirs.len(),
+            mine.len()
+        )));
+    }
+    let joined: Vec<Vec<i64>> = match role {
+        Party::Alice => mine
+            .iter()
+            .zip(&theirs)
+            .map(|(m, t)| [m.as_slice(), t.as_slice()].concat())
+            .collect(),
+        Party::Bob => theirs
+            .iter()
+            .zip(&mine)
+            .map(|(t, m)| [t.as_slice(), m.as_slice()].concat())
+            .collect(),
+    };
+    Ok(Some(crate::prune::BandCandidates::new(joined, width)))
 }
 
 /// One party's full run of the vertical protocol. `my_attrs` holds this

@@ -35,8 +35,12 @@ pub mod eval;
 pub mod index;
 pub mod kdist;
 pub mod point;
+pub mod pruning;
 pub mod shard;
 
 pub use algo::{dbscan, dbscan_with_external_density, Clustering, DbscanParams, Label};
 pub use point::{dist_sq, Point, Quantizer};
+pub use pruning::{
+    band_width, bands_intersect, coarse_cell, CoarseGrid, Pruning, PRUNING_DISCIPLINE,
+};
 pub use shard::{dbscan_parallel, ShardedGridIndex};

@@ -1,0 +1,315 @@
+//! Candidate pruning: coarse public bands that bound which record pairs
+//! can possibly be Eps-neighbors, so the secure protocols only compare
+//! candidates instead of all `n(n−1)/2` pairs.
+//!
+//! The math is a coarsened version of the [`crate::index::GridIndex`]
+//! cell argument. Fix a *band width* `w = coarseness · ceil(sqrt(eps²))`
+//! (so `w ≥ eps` for every `coarseness ≥ 1`) and quantize each coordinate
+//! to `floor(c / w)`. Two records whose bands differ by at least 2 in any
+//! dimension have a per-coordinate gap of at least `w + 1 > eps` there, so
+//! their squared distance strictly exceeds `eps²`: pruning them away is
+//! *exact* — it can never drop a true neighbor. Conversely every true
+//! neighbor pair satisfies `|c₁ − c₂| ≤ eps ≤ w` per coordinate and hence
+//! lands in adjacent-or-equal bands, so the 3^d neighboring-band union is
+//! a sound candidate set for any `coarseness ≥ 1`.
+//!
+//! Larger coarseness discloses less (fewer, fatter bands) at the price of
+//! larger candidate sets; `coarseness = 1` gives the tightest exact
+//! pruning. What a run discloses is recorded by the protocol layer as
+//! typed `LeakageLog` events — this module is plaintext geometry only.
+
+use crate::point::{isqrt, Point};
+use std::collections::HashMap;
+
+/// Version stamp of the pruning discipline: the band-width formula, cell
+/// quantization, and candidate-set semantics above. Recorded in the bench
+/// trajectory so a reader knows which builds the E13 scaling rows are
+/// comparable with.
+pub const PRUNING_DISCIPLINE: &str = "grid-bands-v1";
+
+/// Candidate-generation policy, agreed by both parties in the handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pruning {
+    /// The paper's all-pairs evaluation: every record pair is compared
+    /// securely. No extra disclosure, `O(n²)` secure comparisons.
+    Exhaustive,
+    /// Grid-derived candidate sets: only records whose coarse bands
+    /// (width `coarseness · ceil(eps)`) are adjacent-or-equal get
+    /// compared. Exact for every `coarseness ≥ 1` — labels match the
+    /// exhaustive run — but the disclosed bands/candidate cardinalities
+    /// are new, explicitly ledgered leakage.
+    Grid {
+        /// Band width multiplier (≥ 1). 1 = tightest pruning, larger
+        /// values coarsen the disclosed bands.
+        coarseness: u32,
+    },
+}
+
+impl Pruning {
+    /// Wire encoding for the handshake: 0 = exhaustive, `c` = grid with
+    /// coarseness `c`.
+    pub fn tag(self) -> u64 {
+        match self {
+            Pruning::Exhaustive => 0,
+            Pruning::Grid { coarseness } => u64::from(coarseness),
+        }
+    }
+
+    /// Inverse of [`Pruning::tag`]. Returns `None` for tags that do not
+    /// fit a `u32` coarseness.
+    pub fn from_tag(tag: u64) -> Option<Self> {
+        match tag {
+            0 => Some(Pruning::Exhaustive),
+            c => u32::try_from(c)
+                .ok()
+                .map(|coarseness| Pruning::Grid { coarseness }),
+        }
+    }
+
+    /// Human-readable policy name for configs, stamps, and errors.
+    pub fn name(self) -> String {
+        match self {
+            Pruning::Exhaustive => "exhaustive".to_string(),
+            Pruning::Grid { coarseness } => format!("grid/{coarseness}"),
+        }
+    }
+
+    /// `true` when this policy prunes (is not the exhaustive fallback).
+    pub fn is_grid(self) -> bool {
+        matches!(self, Pruning::Grid { .. })
+    }
+}
+
+/// The public band width `coarseness · ceil(sqrt(eps²))` — the coarse
+/// quantization step every disclosed band is aligned to.
+///
+/// # Panics
+/// Panics if `coarseness` is zero or `eps_sq` is zero (a zero-width band
+/// quantizes nothing; configuration validation rejects both upstream).
+pub fn band_width(eps_sq: u64, coarseness: u32) -> i64 {
+    assert!(coarseness >= 1, "band coarseness must be at least 1");
+    assert!(eps_sq > 0, "band quantization needs a positive radius");
+    let root = isqrt(eps_sq);
+    let ceil_eps = (root + u64::from(root * root < eps_sq)) as i64;
+    ceil_eps * i64::from(coarseness)
+}
+
+/// Quantizes a coordinate vector to its coarse band cell (per-coordinate
+/// floored division by `width`).
+pub fn coarse_cell(coords: &[i64], width: i64) -> Vec<i64> {
+    coords.iter().map(|&c| c.div_euclid(width)).collect()
+}
+
+/// `true` if two band cells are adjacent-or-equal in every dimension —
+/// the sound candidate criterion (see the module docs for the proof).
+pub fn bands_intersect(a: &[i64], b: &[i64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(&x, &y)| (x - y).abs() <= 1)
+}
+
+/// Hash-grid over coarse band cells: near-constant-time candidate lookup
+/// (union of the 3^d adjacent cells), the piece that makes candidate
+/// generation near-linear instead of an `O(n)` scan per query.
+pub struct CoarseGrid {
+    dim: usize,
+    width: i64,
+    cells: HashMap<Vec<i64>, Vec<usize>>,
+    len: usize,
+}
+
+impl CoarseGrid {
+    /// Indexes `points` by their coarse band cell of width `width`.
+    pub fn from_points(points: &[Point], width: i64) -> Self {
+        Self::from_cells(
+            points
+                .iter()
+                .map(|p| coarse_cell(p.coords(), width))
+                .collect(),
+            width,
+        )
+    }
+
+    /// Indexes pre-quantized band cells directly — the constructor the
+    /// vertical/arbitrary modes use after merging both parties' disclosed
+    /// band tables. All cells must share one dimension.
+    pub fn from_cells(cells: Vec<Vec<i64>>, width: i64) -> Self {
+        let dim = cells.first().map_or(1, Vec::len);
+        let len = cells.len();
+        let mut map: HashMap<Vec<i64>, Vec<usize>> = HashMap::new();
+        for (i, cell) in cells.into_iter().enumerate() {
+            debug_assert_eq!(cell.len(), dim, "band cells must share a dimension");
+            map.entry(cell).or_default().push(i);
+        }
+        CoarseGrid {
+            dim,
+            width,
+            cells: map,
+            len,
+        }
+    }
+
+    /// The band width the grid was built with.
+    pub fn width(&self) -> i64 {
+        self.width
+    }
+
+    /// Number of indexed records.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the grid indexes no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct occupied band cells.
+    pub fn distinct_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// All indexed records whose band is adjacent-or-equal to `cell`, in
+    /// ascending index order (the deterministic order both parties need
+    /// to stay in lockstep).
+    pub fn candidates(&self, cell: &[i64]) -> Vec<usize> {
+        assert_eq!(cell.len(), self.dim, "query band dimension mismatch");
+        let mut hits = Vec::new();
+        let mut offset = vec![-1i64; self.dim];
+        loop {
+            let probe: Vec<i64> = cell.iter().zip(&offset).map(|(b, o)| b + o).collect();
+            if let Some(indices) = self.cells.get(&probe) {
+                hits.extend_from_slice(indices);
+            }
+            // Odometer increment over {-1, 0, 1}^dim.
+            let mut pos = 0;
+            loop {
+                if pos == self.dim {
+                    hits.sort_unstable();
+                    return hits;
+                }
+                offset[pos] += 1;
+                if offset[pos] <= 1 {
+                    break;
+                }
+                offset[pos] = -1;
+                pos += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::dist_sq;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn tag_roundtrip() {
+        for p in [
+            Pruning::Exhaustive,
+            Pruning::Grid { coarseness: 1 },
+            Pruning::Grid { coarseness: 7 },
+        ] {
+            assert_eq!(Pruning::from_tag(p.tag()), Some(p));
+        }
+        assert_eq!(Pruning::from_tag(u64::MAX), None);
+        assert!(!Pruning::Exhaustive.is_grid());
+        assert!(Pruning::Grid { coarseness: 2 }.is_grid());
+        assert_eq!(Pruning::Grid { coarseness: 3 }.name(), "grid/3");
+    }
+
+    #[test]
+    fn band_width_is_coarsened_ceil_eps() {
+        assert_eq!(band_width(25, 1), 5);
+        assert_eq!(band_width(26, 1), 6); // ceil(sqrt(26)) = 6
+        assert_eq!(band_width(25, 3), 15);
+    }
+
+    #[test]
+    fn band_intersection_is_sound_and_prunes() {
+        // Within-eps pairs always land in adjacent-or-equal bands; pairs
+        // pruned away are provably farther than eps.
+        let mut rng = StdRng::seed_from_u64(11);
+        for eps_sq in [4u64, 25, 81] {
+            for coarseness in [1u32, 2, 4] {
+                let w = band_width(eps_sq, coarseness);
+                let points: Vec<Point> = (0..150)
+                    .map(|_| {
+                        Point::new(vec![rng.random_range(-60..=60), rng.random_range(-60..=60)])
+                    })
+                    .collect();
+                for a in &points {
+                    for b in &points {
+                        let ca = coarse_cell(a.coords(), w);
+                        let cb = coarse_cell(b.coords(), w);
+                        if dist_sq(a, b) <= eps_sq {
+                            assert!(
+                                bands_intersect(&ca, &cb),
+                                "neighbor pair pruned: {a:?} {b:?} eps²={eps_sq} w={w}"
+                            );
+                        }
+                        if !bands_intersect(&ca, &cb) {
+                            assert!(
+                                dist_sq(a, b) > eps_sq,
+                                "pruned pair within eps: {a:?} {b:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_grid_candidates_match_scan() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let points: Vec<Point> = (0..200)
+            .map(|_| Point::new(vec![rng.random_range(-50..=50), rng.random_range(-50..=50)]))
+            .collect();
+        let w = band_width(49, 1);
+        let grid = CoarseGrid::from_points(&points, w);
+        assert_eq!(grid.len(), 200);
+        assert!(!grid.is_empty());
+        assert!(grid.distinct_cells() >= 1);
+        assert_eq!(grid.width(), w);
+        for q in points.iter().take(30) {
+            let qc = coarse_cell(q.coords(), w);
+            let want: Vec<usize> = points
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| bands_intersect(&qc, &coarse_cell(p.coords(), w)))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(grid.candidates(&qc), want);
+        }
+    }
+
+    #[test]
+    fn from_cells_matches_from_points() {
+        let points = vec![
+            Point::from([-7i64, 3].as_slice()),
+            Point::from([0i64, 0].as_slice()),
+            Point::from([12i64, -5].as_slice()),
+        ];
+        let w = band_width(9, 2);
+        let cells: Vec<Vec<i64>> = points.iter().map(|p| coarse_cell(p.coords(), w)).collect();
+        let a = CoarseGrid::from_points(&points, w);
+        let b = CoarseGrid::from_cells(cells.clone(), w);
+        for c in &cells {
+            assert_eq!(a.candidates(c), b.candidates(c));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "coarseness")]
+    fn zero_coarseness_panics() {
+        let _ = band_width(25, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive radius")]
+    fn zero_radius_panics() {
+        let _ = band_width(0, 1);
+    }
+}

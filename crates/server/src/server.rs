@@ -78,6 +78,13 @@ pub(crate) struct Shared {
     /// session reuses the server's hot key (with its fixed-base comb
     /// tables already attached) instead of paying keygen per connection.
     keypairs: Mutex<HashMap<usize, Keypair>>,
+    /// Admission-checked session configs keyed by the client preamble's
+    /// [`Hello::negotiation_fingerprint`]: a reconnecting client whose
+    /// preamble content is unchanged skips knob adoption and the
+    /// compatibility cross-check entirely. Only *successful* negotiations
+    /// are cached — refusals stay cheap and a changed preamble always
+    /// re-negotiates (different fingerprint, different entry).
+    negotiated: Mutex<HashMap<u64, ProtocolConfig>>,
 }
 
 /// A running protocol service. Construct with [`Server::start`]; tear down
@@ -128,6 +135,8 @@ impl Server {
             "server_handshake_timeouts",
             "server_keypair_cache_hits",
             "server_keypair_cache_misses",
+            "server_negotiation_cache_hits",
+            "server_negotiation_cache_misses",
         ] {
             metrics.counter(name);
         }
@@ -144,6 +153,7 @@ impl Server {
             shutdown_requested: AtomicBool::new(false),
             admission: Mutex::new(()),
             keypairs: Mutex::new(HashMap::new()),
+            negotiated: Mutex::new(HashMap::new()),
         });
 
         let greeters: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -369,31 +379,50 @@ fn greet(stream: TcpStream, shared: &Arc<Shared>, engine: &Arc<Engine>) {
     };
 
     // Adopt the client's negotiable knobs, then require agreement on
-    // everything protocol-semantic.
-    let scfg = host
-        .cfg
-        .with_batching(hello.batching().unwrap_or(host.cfg.batching))
-        .with_packing(hello.packing().unwrap_or(host.cfg.packing));
-    let (n, dim) = host.data.shape();
-    let mine = Hello::for_session(&scfg, mode, n, dim);
-    if let Err(err) = mine.check_against(&hello, dim_must_match(mode)) {
-        let reply = match err {
-            CoreError::HandshakeMismatch {
-                field,
-                ours,
-                theirs,
-            } => ServerReply::Incompatible {
-                field: field.into(),
-                ours,
-                theirs,
-            },
-            other => ServerReply::Unsupported {
-                detail: other.to_string(),
-            },
-        };
-        refuse(&mut chan, reply, "server_sessions_rejected_incompatible");
-        return;
-    }
+    // everything protocol-semantic. The outcome is cached per preamble
+    // fingerprint: a reconnecting client with unchanged content reuses the
+    // admission-checked config and skips re-negotiation.
+    let fingerprint = hello.negotiation_fingerprint();
+    let cached = shared.negotiated.lock().unwrap().get(&fingerprint).copied();
+    let scfg = if let Some(cfg) = cached {
+        shared
+            .metrics
+            .counter("server_negotiation_cache_hits")
+            .inc();
+        cfg
+    } else {
+        shared
+            .metrics
+            .counter("server_negotiation_cache_misses")
+            .inc();
+        let scfg = host
+            .cfg
+            .with_batching(hello.batching().unwrap_or(host.cfg.batching))
+            .with_packing(hello.packing().unwrap_or(host.cfg.packing))
+            .with_pruning(hello.pruning().unwrap_or(host.cfg.pruning));
+        let (n, dim) = host.data.shape();
+        let mine = Hello::for_session(&scfg, mode, n, dim);
+        if let Err(err) = mine.check_against(&hello, dim_must_match(mode)) {
+            let reply = match err {
+                CoreError::HandshakeMismatch {
+                    field,
+                    ours,
+                    theirs,
+                } => ServerReply::Incompatible {
+                    field: field.into(),
+                    ours,
+                    theirs,
+                },
+                other => ServerReply::Unsupported {
+                    detail: other.to_string(),
+                },
+            };
+            refuse(&mut chan, reply, "server_sessions_rejected_incompatible");
+            return;
+        }
+        shared.negotiated.lock().unwrap().insert(fingerprint, scfg);
+        scfg
+    };
 
     // Admission: depth check, grant, Accept, submit — atomic under the
     // admission lock so racing greeters cannot oversubscribe the cap.

@@ -89,6 +89,38 @@ pub enum LeakageEvent {
         /// The requested rank.
         k: u64,
     },
+    /// Learned the coarse grid cell of one of the peer's query points —
+    /// the disclosure candidate pruning trades for sub-quadratic work. The
+    /// cell coordinates are quantized to the pruning band width, so the
+    /// peer's point is localized only up to a `band_width`-sized box.
+    PruningCellDisclosed {
+        /// Which peer query the cell belongs to (responder-side label).
+        query: String,
+        /// The disclosed coarse cell coordinates.
+        cell: Vec<i64>,
+    },
+    /// Learned the cardinality of the candidate set the peer derived for
+    /// one of the learner's queries — an upper bound on the neighbor count
+    /// the protocol would have disclosed anyway (Theorems 9/10), but
+    /// disclosed *before* the secure comparisons run.
+    PruningCandidateCount {
+        /// Which of the learner's queries the count belongs to.
+        query: String,
+        /// Number of peer records surviving the band intersection.
+        count: u64,
+    },
+    /// Learned the peer's full table of coarse band coordinates (one coarse
+    /// cell per peer record over the dimensions the peer owns) — the
+    /// up-front disclosure the vertical/arbitrary pruning modes make so
+    /// both sides can intersect bands without touching exact coordinates.
+    PruningBandsDisclosed {
+        /// Number of records whose bands were received.
+        records: u64,
+        /// The public quantization width the bands are coarsened to.
+        band_width: i64,
+        /// Number of distinct bands observed in the received table.
+        distinct: u64,
+    },
     /// Learned a neighbor bit **linkable to an identified peer query** —
     /// the Kumar et al. \[14\]-style disclosure this paper exists to remove.
     /// Only the deliberately insecure baseline protocol
@@ -113,6 +145,9 @@ impl LeakageEvent {
             LeakageEvent::ComparisonOutcome { .. } => "comparison_outcome",
             LeakageEvent::OwnPointMatched { .. } => "own_point_matched",
             LeakageEvent::ThresholdRank { .. } => "threshold_rank",
+            LeakageEvent::PruningCellDisclosed { .. } => "pruning_cell",
+            LeakageEvent::PruningCandidateCount { .. } => "pruning_candidates",
+            LeakageEvent::PruningBandsDisclosed { .. } => "pruning_bands",
             LeakageEvent::LinkedNeighborBit { .. } => "linked_neighbor_bit",
         }
     }

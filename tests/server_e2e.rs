@@ -470,6 +470,46 @@ fn hot_keypair_is_generated_once_and_reused_across_sessions() {
 }
 
 #[test]
+fn negotiation_cache_skips_rechecks_for_reconnecting_clients() {
+    let records = blobs(12, 68);
+    let (alice, bob) = split_alternating(&records);
+    let server = start_server(vec![PartyData::Horizontal(bob)], 2, 4);
+    let addr = server.local_addr();
+
+    // Identical preamble three times: the knobs are adopted and
+    // cross-checked once; both reconnects take the cache hit.
+    for seed in [711, 712, 713] {
+        let participant = Participant::new(base_cfg())
+            .role(Party::Alice)
+            .data(PartyData::Horizontal(alice.clone()))
+            .seed(seed);
+        run_session(&addr, participant, 0, TIMEOUT).expect("session completes");
+    }
+    // A changed knob is a different fingerprint: re-negotiated once.
+    let batched = Participant::new(base_cfg().with_batching(true))
+        .role(Party::Alice)
+        .data(PartyData::Horizontal(alice))
+        .seed(714);
+    run_session(&addr, batched, 0, TIMEOUT).expect("batched session completes");
+
+    let metrics = server.metrics();
+    assert_eq!(
+        metrics.counter("server_negotiation_cache_misses").get(),
+        2,
+        "one check per distinct preamble"
+    );
+    assert_eq!(
+        metrics.counter("server_negotiation_cache_hits").get(),
+        2,
+        "reconnects with unchanged config skip re-negotiation"
+    );
+
+    let report = server.shutdown(Duration::from_secs(5));
+    assert_eq!(report.completed, 4);
+    assert_eq!(report.failed, 0);
+}
+
+#[test]
 fn typed_rejections_for_incompatible_and_unhosted_clients() {
     let records = blobs(12, 61);
     let (alice, bob) = split_alternating(&records);
